@@ -1,0 +1,225 @@
+//! Cache hierarchy and DRAM model.
+//!
+//! The memory system prices each workload memory reference by where it
+//! hits (L1 / L2 / DRAM) and caps streaming phases at the DRAM bandwidth.
+//! Hit ratios are estimated analytically from the workload's declared
+//! access pattern and footprint — the model does not simulate individual
+//! addresses (that would be ~10^9 events per STREAM run) but reproduces
+//! the aggregate behaviour the paper's benchmarks exercise.
+
+use kh_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latencies of one core's cache hierarchy plus shared DRAM.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CacheConfig {
+    pub line_bytes: u32,
+    pub l1d_bytes: u64,
+    pub l2_bytes: u64,
+    /// Load-to-use latencies, in core cycles.
+    pub l1_latency: u64,
+    pub l2_latency: u64,
+    /// DRAM random-access latency, in core cycles.
+    pub dram_latency: u64,
+    /// Sustained DRAM bandwidth in bytes/second (shared across cores).
+    pub dram_bw_bytes_per_s: u64,
+}
+
+impl CacheConfig {
+    /// Cortex-A53 on the Pine A64-LTS: 32 KiB L1D, 512 KiB shared L2,
+    /// single-channel DDR3 with ~2.2 GB/s of sustainable stream
+    /// bandwidth at 1.1 GHz.
+    pub const fn cortex_a53_pine64() -> Self {
+        CacheConfig {
+            line_bytes: 64,
+            l1d_bytes: 32 * 1024,
+            l2_bytes: 512 * 1024,
+            l1_latency: 3,
+            l2_latency: 15,
+            dram_latency: 130,
+            dram_bw_bytes_per_s: 2_200_000_000,
+        }
+    }
+
+    /// Raspberry Pi 3 (BCM2837, also A53 but slower memory).
+    pub const fn cortex_a53_rpi3() -> Self {
+        CacheConfig {
+            line_bytes: 64,
+            l1d_bytes: 32 * 1024,
+            l2_bytes: 512 * 1024,
+            l1_latency: 3,
+            l2_latency: 16,
+            dram_latency: 150,
+            dram_bw_bytes_per_s: 1_600_000_000,
+        }
+    }
+
+    /// ThunderX2-class server core.
+    pub const fn thunderx2() -> Self {
+        CacheConfig {
+            line_bytes: 64,
+            l1d_bytes: 32 * 1024,
+            l2_bytes: 256 * 1024,
+            l1_latency: 4,
+            l2_latency: 12,
+            dram_latency: 90,
+            dram_bw_bytes_per_s: 15_000_000_000,
+        }
+    }
+}
+
+/// Analytic hit-ratio estimates for a (pattern, footprint) pair.
+///
+/// `reuse` expresses how much of the data is revisited while still
+/// resident (1.0 = perfect temporal reuse, 0.0 = pure streaming).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitRatios {
+    pub l1: f64,
+    pub l2: f64,
+}
+
+/// The per-node memory system model.
+#[derive(Debug, Clone, Copy)]
+pub struct MemSystem {
+    pub config: CacheConfig,
+}
+
+impl MemSystem {
+    pub fn new(config: CacheConfig) -> Self {
+        MemSystem { config }
+    }
+
+    /// Hit ratios for a working set of `footprint` bytes with the given
+    /// temporal `reuse` in `[0,1]`, accessed with spatial locality
+    /// `spatial` in `[0,1]` (1 = unit-stride so a 64-byte line serves
+    /// line/elem accesses; 0 = every access a new line).
+    pub fn hit_ratios(&self, footprint: u64, reuse: f64, spatial: f64) -> HitRatios {
+        let c = &self.config;
+        let fit = |cache: u64| -> f64 {
+            if footprint == 0 {
+                return 1.0;
+            }
+            (cache as f64 / footprint as f64).min(1.0)
+        };
+        // Spatial locality: consecutive elements share a line. With f64
+        // elements, unit stride gives 7/8 hits from spatial alone.
+        let elems_per_line = (c.line_bytes as f64 / 8.0).max(1.0);
+        let spatial_hits = spatial * (1.0 - 1.0 / elems_per_line);
+        // Temporal component: the fraction of the working set resident.
+        let l1 = (spatial_hits + reuse * fit(c.l1d_bytes) * (1.0 - spatial_hits)).clamp(0.0, 1.0);
+        let l2_resident = reuse * fit(c.l2_bytes);
+        let l2 = (spatial_hits + l2_resident * (1.0 - spatial_hits)).clamp(l1, 1.0);
+        HitRatios { l1, l2 }
+    }
+
+    /// Average core cycles per memory reference given hit ratios
+    /// (excluding TLB/walk costs, which the CPU model adds separately).
+    pub fn cycles_per_ref(&self, h: HitRatios) -> f64 {
+        let c = &self.config;
+        let l1_miss = 1.0 - h.l1;
+        let l2_miss_given_l1_miss = if l1_miss > 1e-12 {
+            ((1.0 - h.l2) / l1_miss).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        c.l1_latency as f64
+            + l1_miss * (c.l2_latency as f64 + l2_miss_given_l1_miss * c.dram_latency as f64)
+    }
+
+    /// Minimum time to move `bytes` through DRAM when `concurrent_streams`
+    /// cores are streaming simultaneously (fair-share bandwidth model).
+    pub fn stream_floor(&self, bytes: u64, concurrent_streams: u32) -> Nanos {
+        let share = self.config.dram_bw_bytes_per_s / concurrent_streams.max(1) as u64;
+        Nanos(((bytes as u128 * 1_000_000_000u128) / share.max(1) as u128) as u64)
+    }
+
+    /// Cost in cycles to re-warm `lines` cache lines after pollution
+    /// (each refill is a DRAM-or-L2 fetch; we charge the L2-weighted
+    /// average because victims usually fall out of L1 to L2 first).
+    pub fn rewarm_cycles(&self, lines: u64) -> u64 {
+        let c = &self.config;
+        lines * (c.l2_latency + (c.dram_latency - c.l2_latency) / 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms() -> MemSystem {
+        MemSystem::new(CacheConfig::cortex_a53_pine64())
+    }
+
+    #[test]
+    fn small_footprint_hits_l1() {
+        let h = ms().hit_ratios(8 * 1024, 1.0, 0.0);
+        assert!(h.l1 > 0.99, "8 KiB with full reuse lives in L1: {h:?}");
+    }
+
+    #[test]
+    fn streaming_has_spatial_hits_only() {
+        let h = ms().hit_ratios(64 * 1024 * 1024, 0.0, 1.0);
+        // 7/8 spatial hits for f64 unit stride, nothing temporal.
+        assert!((h.l1 - 0.875).abs() < 0.01, "{h:?}");
+        assert!((h.l2 - 0.875).abs() < 0.01, "{h:?}");
+    }
+
+    #[test]
+    fn random_large_footprint_misses_everywhere() {
+        let h = ms().hit_ratios(64 * 1024 * 1024, 1.0, 0.0);
+        // 512 KiB L2 over 64 MiB: <1% resident
+        assert!(h.l1 < 0.02, "{h:?}");
+        assert!(h.l2 < 0.02, "{h:?}");
+    }
+
+    #[test]
+    fn mid_footprint_sits_in_l2() {
+        let h = ms().hit_ratios(256 * 1024, 1.0, 0.0);
+        assert!(h.l1 < 0.2, "{h:?}");
+        assert!(h.l2 > 0.9, "{h:?}");
+    }
+
+    #[test]
+    fn hit_ratio_monotonicity_l2_ge_l1() {
+        let m = ms();
+        for fp in [1u64 << 12, 1 << 16, 1 << 20, 1 << 24, 1 << 28] {
+            for reuse in [0.0, 0.3, 0.7, 1.0] {
+                for spatial in [0.0, 0.5, 1.0] {
+                    let h = m.hit_ratios(fp, reuse, spatial);
+                    assert!(h.l2 >= h.l1 - 1e-12, "fp={fp} {h:?}");
+                    assert!((0.0..=1.0).contains(&h.l1));
+                    assert!((0.0..=1.0).contains(&h.l2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_per_ref_bounds() {
+        let m = ms();
+        let best = m.cycles_per_ref(HitRatios { l1: 1.0, l2: 1.0 });
+        assert_eq!(best, m.config.l1_latency as f64);
+        let worst = m.cycles_per_ref(HitRatios { l1: 0.0, l2: 0.0 });
+        assert_eq!(
+            worst,
+            (m.config.l1_latency + m.config.l2_latency + m.config.dram_latency) as f64
+        );
+        let mid = m.cycles_per_ref(HitRatios { l1: 0.0, l2: 1.0 });
+        assert!(mid > best && mid < worst);
+    }
+
+    #[test]
+    fn stream_floor_scales_with_bytes_and_streams() {
+        let m = ms();
+        let t1 = m.stream_floor(2_200_000_000, 1);
+        assert_eq!(t1, Nanos::from_secs(1));
+        let t2 = m.stream_floor(2_200_000_000, 2);
+        assert_eq!(t2, Nanos::from_secs(2), "two streams halve per-core bw");
+    }
+
+    #[test]
+    fn rewarm_cost_positive() {
+        assert!(ms().rewarm_cycles(100) > 0);
+        assert_eq!(ms().rewarm_cycles(0), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! ARMv8-A exception levels and security states.
+//!
+//! The paper's whole design hinges on the ARMv8 privilege hierarchy:
+//! VM state management executes at EL2 (the Hafnium SPM), scheduling and
+//! VM execution at EL1 (the primary VM's kernel), applications at EL0,
+//! and the TrustZone monitor/firmware at EL3. The costs of moving between
+//! levels are what make frequent timer ticks expensive under
+//! virtualization.
+
+use kh_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// An ARMv8-A exception level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ExceptionLevel {
+    /// User space.
+    El0,
+    /// OS kernel (guest kernel when virtualized).
+    El1,
+    /// Hypervisor / Secure Partition Manager.
+    El2,
+    /// Secure monitor / firmware.
+    El3,
+}
+
+impl ExceptionLevel {
+    /// All levels, lowest privilege first.
+    pub const ALL: [ExceptionLevel; 4] = [
+        ExceptionLevel::El0,
+        ExceptionLevel::El1,
+        ExceptionLevel::El2,
+        ExceptionLevel::El3,
+    ];
+
+    /// True when `self` is at least as privileged as `other`.
+    pub fn dominates(self, other: ExceptionLevel) -> bool {
+        self >= other
+    }
+
+    pub fn index(self) -> usize {
+        match self {
+            ExceptionLevel::El0 => 0,
+            ExceptionLevel::El1 => 1,
+            ExceptionLevel::El2 => 2,
+            ExceptionLevel::El3 => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for ExceptionLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EL{}", self.index())
+    }
+}
+
+/// TrustZone security state. With TrustZone enabled the boot sequence
+/// forks at EL3 and parallel secure/non-secure instances of EL2..EL0
+/// exist; memory is statically partitioned between the two worlds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SecurityState {
+    Secure,
+    NonSecure,
+}
+
+impl SecurityState {
+    /// Whether software in `self` may access memory tagged `target`.
+    /// Secure world sees both; non-secure world sees only non-secure.
+    pub fn may_access(self, target: SecurityState) -> bool {
+        match (self, target) {
+            (SecurityState::Secure, _) => true,
+            (SecurityState::NonSecure, SecurityState::NonSecure) => true,
+            (SecurityState::NonSecure, SecurityState::Secure) => false,
+        }
+    }
+}
+
+/// Cycle costs for exception-level transitions on a given core.
+///
+/// The numbers are per-direction: a trap from EL1 to EL2 and the eret
+/// back are charged separately. Values are calibrated to published
+/// Cortex-A53 measurements (hundreds of cycles for an exception round
+/// trip, more when a world switch through EL3 is involved).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TransitionCosts {
+    /// Synchronous/asynchronous exception entry, one level up (cycles).
+    pub trap_entry_cycles: u64,
+    /// `eret` back down one level (cycles).
+    pub eret_cycles: u64,
+    /// Extra cycles for a full EL3 world switch (TrustZone SMC path):
+    /// banked-register save/restore in the monitor.
+    pub world_switch_extra_cycles: u64,
+    /// Extra cycles for a VM context switch at EL2 (save/restore of the
+    /// EL1 system-register context plus stage-2 switch).
+    pub vm_context_switch_cycles: u64,
+}
+
+impl TransitionCosts {
+    /// Cortex-A53-class defaults.
+    pub const fn cortex_a53() -> Self {
+        TransitionCosts {
+            trap_entry_cycles: 280,
+            eret_cycles: 150,
+            world_switch_extra_cycles: 1_600,
+            vm_context_switch_cycles: 2_400,
+        }
+    }
+
+    /// Server-class (ThunderX2-like) defaults: deeper pipeline, slightly
+    /// higher absolute trap cost but far higher clock.
+    pub const fn thunderx2() -> Self {
+        TransitionCosts {
+            trap_entry_cycles: 350,
+            eret_cycles: 180,
+            world_switch_extra_cycles: 2_000,
+            vm_context_switch_cycles: 3_000,
+        }
+    }
+
+    /// Cycles to take an exception from `from` to `to` (to must dominate
+    /// from or equal it — an SVC to the same level is not modelled).
+    pub fn trap_cycles(&self, from: ExceptionLevel, to: ExceptionLevel) -> u64 {
+        assert!(
+            to.dominates(from) && to != from,
+            "traps only go up: {from} -> {to}"
+        );
+        let levels = (to.index() - from.index()) as u64;
+        // Each level crossed re-runs exception entry (vector fetch, PSTATE
+        // save); in practice a trap goes directly to the target EL, so we
+        // charge one entry plus a small per-skipped-level overhead for the
+        // wider register save.
+        self.trap_entry_cycles + (levels - 1) * (self.trap_entry_cycles / 4)
+    }
+
+    /// Cycles for an `eret` from `from` down to `to`.
+    pub fn eret_to_cycles(&self, from: ExceptionLevel, to: ExceptionLevel) -> u64 {
+        assert!(
+            from.dominates(to) && from != to,
+            "eret only goes down: {from} -> {to}"
+        );
+        let levels = (from.index() - to.index()) as u64;
+        self.eret_cycles + (levels - 1) * (self.eret_cycles / 4)
+    }
+
+    /// Full round trip: trap from `lo` to `hi` and return.
+    pub fn round_trip_cycles(&self, lo: ExceptionLevel, hi: ExceptionLevel) -> u64 {
+        self.trap_cycles(lo, hi) + self.eret_to_cycles(hi, lo)
+    }
+
+    /// Duration of a round trip at the given core frequency.
+    pub fn round_trip(&self, lo: ExceptionLevel, hi: ExceptionLevel, freq: kh_sim::Freq) -> Nanos {
+        freq.cycles_to_nanos(self.round_trip_cycles(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kh_sim::Freq;
+
+    #[test]
+    fn ordering_and_dominance() {
+        use ExceptionLevel::*;
+        assert!(El3.dominates(El0));
+        assert!(El2.dominates(El1));
+        assert!(El1.dominates(El1));
+        assert!(!El0.dominates(El1));
+        assert_eq!(El2.index(), 2);
+    }
+
+    #[test]
+    fn security_state_access_matrix() {
+        use SecurityState::*;
+        assert!(Secure.may_access(Secure));
+        assert!(Secure.may_access(NonSecure));
+        assert!(NonSecure.may_access(NonSecure));
+        assert!(!NonSecure.may_access(Secure));
+    }
+
+    #[test]
+    fn trap_costs_increase_with_levels() {
+        let c = TransitionCosts::cortex_a53();
+        use ExceptionLevel::*;
+        assert!(c.trap_cycles(El0, El2) > c.trap_cycles(El1, El2));
+        assert!(c.round_trip_cycles(El1, El2) > 0);
+        assert!(c.eret_to_cycles(El2, El0) > c.eret_to_cycles(El2, El1));
+    }
+
+    #[test]
+    #[should_panic(expected = "traps only go up")]
+    fn downward_trap_panics() {
+        let c = TransitionCosts::cortex_a53();
+        c.trap_cycles(ExceptionLevel::El2, ExceptionLevel::El1);
+    }
+
+    #[test]
+    fn round_trip_duration_is_sub_microsecond_at_ghz() {
+        let c = TransitionCosts::cortex_a53();
+        let f = Freq::ghz_milli(1100);
+        let d = c.round_trip(ExceptionLevel::El1, ExceptionLevel::El2, f);
+        // A53 hypervisor trap round trip is a few hundred ns.
+        assert!(d > Nanos(100) && d < Nanos(2_000), "d = {d}");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ExceptionLevel::El2.to_string(), "EL2");
+    }
+}

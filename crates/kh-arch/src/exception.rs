@@ -1,0 +1,234 @@
+//! Exception routing: which exception level handles what.
+//!
+//! ARMv8 routes exceptions by type and by the control bits the
+//! higher-privileged software sets: `HCR_EL2.{IMO,FMO,AMO,TGE}` pull
+//! interrupts and aborts up to the hypervisor, `SCR_EL3.{IRQ,FIQ,EA}`
+//! up to the monitor, and `SMC` always lands at EL3. Hafnium's whole
+//! dispatch architecture — "VM exits are taken to the Hafnium
+//! hypervisor, with the majority handled internally ... and only a
+//! subset resulting in the invocation of the Primary VM" — is a
+//! configuration of exactly these bits. The model reproduces the
+//! routing rules the stack depends on.
+
+use crate::el::ExceptionLevel;
+use serde::{Deserialize, Serialize};
+
+/// Exception classes the stack cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExceptionType {
+    /// Synchronous: SVC (supervisor call from EL0).
+    Svc,
+    /// Synchronous: HVC (hypercall from EL1).
+    Hvc,
+    /// Synchronous: SMC (secure monitor call).
+    Smc,
+    /// Synchronous: trapped system-register access or instruction.
+    Trap,
+    /// Synchronous: data/instruction abort from a stage-1 fault.
+    Stage1Abort,
+    /// Synchronous: stage-2 fault (only exists under virtualization).
+    Stage2Abort,
+    /// Asynchronous: physical IRQ.
+    Irq,
+    /// Asynchronous: physical FIQ (secure interrupts, by convention).
+    Fiq,
+    /// Asynchronous: system error.
+    SError,
+}
+
+/// The routing-relevant control bits.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// EL2 present and enabled (virtualization active).
+    pub el2_enabled: bool,
+    /// HCR_EL2.IMO: route IRQs to EL2.
+    pub hcr_imo: bool,
+    /// HCR_EL2.FMO: route FIQs to EL2.
+    pub hcr_fmo: bool,
+    /// HCR_EL2.AMO: route SErrors to EL2.
+    pub hcr_amo: bool,
+    /// HCR_EL2.TGE: trap general exceptions (host-only mode).
+    pub hcr_tge: bool,
+    /// SCR_EL3.IRQ: route IRQs to EL3.
+    pub scr_irq: bool,
+    /// SCR_EL3.FIQ: route FIQs to EL3 (the TrustZone convention for
+    /// secure interrupts).
+    pub scr_fiq: bool,
+    /// SCR_EL3.EA: route external aborts/SErrors to EL3.
+    pub scr_ea: bool,
+}
+
+impl RoutingConfig {
+    /// The configuration Hafnium programs while a VM runs: IRQs and
+    /// SErrors to EL2, FIQs to EL3 (secure world), stage-2 active.
+    pub fn hafnium_guest() -> Self {
+        RoutingConfig {
+            el2_enabled: true,
+            hcr_imo: true,
+            hcr_fmo: true,
+            hcr_amo: true,
+            hcr_tge: false,
+            scr_irq: false,
+            scr_fiq: true,
+            scr_ea: false,
+        }
+    }
+
+    /// Native kernel, no hypervisor.
+    pub fn native() -> Self {
+        RoutingConfig {
+            el2_enabled: false,
+            scr_fiq: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Where an exception taken from `from` is delivered.
+pub fn route(cfg: &RoutingConfig, ex: ExceptionType, from: ExceptionLevel) -> ExceptionLevel {
+    use ExceptionLevel::*;
+    use ExceptionType::*;
+    match ex {
+        Smc => El3,
+        Hvc => {
+            if cfg.el2_enabled {
+                El2
+            } else {
+                // UNDEFINED at EL1 without EL2; delivered as a trap to
+                // the current kernel.
+                El1
+            }
+        }
+        Svc => {
+            if cfg.el2_enabled && cfg.hcr_tge {
+                El2 // host-only mode pulls EL0 syscalls up
+            } else {
+                El1
+            }
+        }
+        Trap | Stage2Abort => {
+            if cfg.el2_enabled {
+                El2
+            } else {
+                El1
+            }
+        }
+        Stage1Abort => {
+            // Guest-internal: the guest kernel handles its own page
+            // faults unless TGE is set.
+            if cfg.el2_enabled && cfg.hcr_tge {
+                El2
+            } else {
+                El1
+            }
+        }
+        Irq => {
+            if cfg.scr_irq {
+                El3
+            } else if (cfg.el2_enabled && cfg.hcr_imo) || from == El2 {
+                // HCR.IMO routes guest IRQs up; interrupts taken while
+                // already at EL2 stay there either way.
+                El2
+            } else {
+                El1
+            }
+        }
+        Fiq => {
+            if cfg.scr_fiq {
+                El3
+            } else if cfg.el2_enabled && cfg.hcr_fmo {
+                El2
+            } else {
+                El1
+            }
+        }
+        SError => {
+            if cfg.scr_ea {
+                El3
+            } else if cfg.el2_enabled && cfg.hcr_amo {
+                El2
+            } else {
+                El1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ExceptionLevel::*;
+    use ExceptionType::*;
+
+    #[test]
+    fn smc_always_goes_to_el3() {
+        for cfg in [RoutingConfig::native(), RoutingConfig::hafnium_guest()] {
+            for from in [El0, El1, El2] {
+                assert_eq!(route(&cfg, Smc, from), El3);
+            }
+        }
+    }
+
+    #[test]
+    fn hafnium_owns_guest_irqs() {
+        // The architecture behind "all interrupts delivered to the
+        // primary VM": the hardware takes every IRQ to EL2 first.
+        let cfg = RoutingConfig::hafnium_guest();
+        assert_eq!(route(&cfg, Irq, El0), El2);
+        assert_eq!(route(&cfg, Irq, El1), El2);
+        // Secure interrupts go to the monitor.
+        assert_eq!(route(&cfg, Fiq, El1), El3);
+        // And guest hypercalls land at EL2.
+        assert_eq!(route(&cfg, Hvc, El1), El2);
+    }
+
+    #[test]
+    fn guest_handles_its_own_faults() {
+        let cfg = RoutingConfig::hafnium_guest();
+        assert_eq!(
+            route(&cfg, Stage1Abort, El0),
+            El1,
+            "guest page faults are guest business"
+        );
+        assert_eq!(
+            route(&cfg, Stage2Abort, El1),
+            El2,
+            "stage-2 faults are VM aborts, Hafnium's business"
+        );
+    }
+
+    #[test]
+    fn native_kernel_sees_its_interrupts() {
+        let cfg = RoutingConfig::native();
+        assert_eq!(route(&cfg, Irq, El0), El1);
+        assert_eq!(route(&cfg, Svc, El0), El1);
+        assert_eq!(route(&cfg, SError, El1), El1);
+        assert_eq!(route(&cfg, Fiq, El0), El3, "secure FIQs still to EL3");
+    }
+
+    #[test]
+    fn tge_pulls_everything_to_el2() {
+        let mut cfg = RoutingConfig::hafnium_guest();
+        cfg.hcr_tge = true;
+        assert_eq!(route(&cfg, Svc, El0), El2);
+        assert_eq!(route(&cfg, Stage1Abort, El0), El2);
+    }
+
+    #[test]
+    fn trapped_features_reach_the_hypervisor() {
+        // The secondary-port story: PMU/debug/dc-isw accesses trap.
+        let cfg = RoutingConfig::hafnium_guest();
+        assert_eq!(route(&cfg, Trap, El1), El2);
+        // Without a hypervisor the same access is just an undef at EL1.
+        assert_eq!(route(&RoutingConfig::native(), Trap, El1), El1);
+    }
+
+    #[test]
+    fn scr_bits_override_hcr() {
+        let mut cfg = RoutingConfig::hafnium_guest();
+        cfg.scr_irq = true;
+        assert_eq!(route(&cfg, Irq, El1), El3, "EL3 routing wins");
+        cfg.scr_ea = true;
+        assert_eq!(route(&cfg, SError, El1), El3);
+    }
+}

@@ -1,0 +1,461 @@
+//! Interrupt-controller models.
+//!
+//! The Kitten ARM64 port supports platforms built around the GICv2
+//! (Pine A64's GIC-400), the GICv3 (server parts), and the Broadcom
+//! 2836 local interrupt controller (Raspberry Pi). All three expose the
+//! same behavioural surface to the kernel model here: enable/disable
+//! lines, set pending, route to a core, acknowledge, end-of-interrupt.
+//! Secondary VMs never see any of them directly — Hafnium gives them the
+//! [`VGicInterface`] para-virtual controller instead.
+
+use serde::{Deserialize, Serialize};
+
+/// An interrupt line identifier, using GIC numbering conventions:
+/// 0–15 SGIs (inter-processor), 16–31 PPIs (per-core private, e.g. the
+/// generic timer), 32+ SPIs (shared peripherals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IntId(pub u32);
+
+impl IntId {
+    /// Non-secure physical timer PPI.
+    pub const TIMER_PHYS: IntId = IntId(30);
+    /// Virtual timer PPI (the channel Hafnium hands to guests).
+    pub const TIMER_VIRT: IntId = IntId(27);
+    /// Hypervisor timer PPI.
+    pub const TIMER_HYP: IntId = IntId(26);
+
+    pub fn is_sgi(self) -> bool {
+        self.0 < 16
+    }
+    pub fn is_ppi(self) -> bool {
+        (16..32).contains(&self.0)
+    }
+    pub fn is_spi(self) -> bool {
+        self.0 >= 32
+    }
+}
+
+/// Edge vs level trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IrqTrigger {
+    Edge,
+    Level,
+}
+
+/// Which interrupt-controller hardware a platform carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GicKind {
+    /// GIC-400 class (Pine A64, many A53 SoCs): MMIO distributor + MMIO
+    /// per-CPU interface.
+    GicV2,
+    /// GICv3: system-register CPU interface, affinity routing, LPIs (not
+    /// modelled).
+    GicV3,
+    /// Broadcom 2836 local controller (Raspberry Pi 2/3): no distributor;
+    /// per-core pending words and a global routing register.
+    Bcm2836,
+}
+
+impl GicKind {
+    /// Cycles for an acknowledge+EOI pair. The GICv2 path is MMIO (slow,
+    /// device-memory access); GICv3 uses system registers (fast); the
+    /// BCM2836 is a couple of uncached loads.
+    pub fn ack_eoi_cycles(self) -> u64 {
+        match self {
+            GicKind::GicV2 => 320,
+            GicKind::GicV3 => 90,
+            GicKind::Bcm2836 => 260,
+        }
+    }
+
+    /// Max interrupt lines supported by the model.
+    pub fn num_lines(self) -> u32 {
+        match self {
+            GicKind::GicV2 => 256,
+            GicKind::GicV3 => 512,
+            GicKind::Bcm2836 => 96,
+        }
+    }
+}
+
+/// Per-line distributor state.
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    enabled: bool,
+    /// Pending on which cores (bitmask). For SPIs only the routed target
+    /// bit is used; PPIs/SGIs are inherently per-core.
+    pending: u32,
+    active: u32,
+    priority: u8,
+    /// SPI routing target core (ignored for SGI/PPI).
+    target: u16,
+    trigger: IrqTrigger,
+}
+
+impl LineState {
+    fn new() -> Self {
+        LineState {
+            enabled: false,
+            pending: 0,
+            active: 0,
+            priority: 0xA0,
+            target: 0,
+            trigger: IrqTrigger::Level,
+        }
+    }
+}
+
+/// A behavioural model of a GIC distributor + CPU interfaces.
+#[derive(Debug)]
+pub struct GicModel {
+    kind: GicKind,
+    num_cores: u16,
+    lines: Vec<LineState>,
+    /// Group assignment for TrustZone: true = secure (Group 0).
+    secure_group: Vec<bool>,
+}
+
+/// Error from distributor operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GicError {
+    BadIntId,
+    BadCore,
+}
+
+impl GicModel {
+    pub fn new(kind: GicKind, num_cores: u16) -> Self {
+        let n = kind.num_lines() as usize;
+        GicModel {
+            kind,
+            num_cores,
+            lines: (0..n).map(|_| LineState::new()).collect(),
+            secure_group: vec![false; n],
+        }
+    }
+
+    pub fn kind(&self) -> GicKind {
+        self.kind
+    }
+
+    pub fn num_cores(&self) -> u16 {
+        self.num_cores
+    }
+
+    fn line(&self, id: IntId) -> Result<&LineState, GicError> {
+        self.lines.get(id.0 as usize).ok_or(GicError::BadIntId)
+    }
+    fn line_mut(&mut self, id: IntId) -> Result<&mut LineState, GicError> {
+        self.lines.get_mut(id.0 as usize).ok_or(GicError::BadIntId)
+    }
+
+    pub fn enable(&mut self, id: IntId) -> Result<(), GicError> {
+        self.line_mut(id)?.enabled = true;
+        Ok(())
+    }
+
+    pub fn disable(&mut self, id: IntId) -> Result<(), GicError> {
+        self.line_mut(id)?.enabled = false;
+        Ok(())
+    }
+
+    pub fn is_enabled(&self, id: IntId) -> bool {
+        self.line(id).map(|l| l.enabled).unwrap_or(false)
+    }
+
+    pub fn set_priority(&mut self, id: IntId, prio: u8) -> Result<(), GicError> {
+        self.line_mut(id)?.priority = prio;
+        Ok(())
+    }
+
+    pub fn set_trigger(&mut self, id: IntId, t: IrqTrigger) -> Result<(), GicError> {
+        self.line_mut(id)?.trigger = t;
+        Ok(())
+    }
+
+    /// Route an SPI to a core. PPIs and SGIs reject routing.
+    pub fn route_spi(&mut self, id: IntId, core: u16) -> Result<(), GicError> {
+        if !id.is_spi() {
+            return Err(GicError::BadIntId);
+        }
+        if core >= self.num_cores {
+            return Err(GicError::BadCore);
+        }
+        self.line_mut(id)?.target = core;
+        Ok(())
+    }
+
+    pub fn spi_target(&self, id: IntId) -> Option<u16> {
+        if id.is_spi() {
+            self.line(id).ok().map(|l| l.target)
+        } else {
+            None
+        }
+    }
+
+    /// Mark a line secure (Group 0) for TrustZone configurations.
+    pub fn set_secure(&mut self, id: IntId, secure: bool) -> Result<(), GicError> {
+        let idx = id.0 as usize;
+        if idx >= self.secure_group.len() {
+            return Err(GicError::BadIntId);
+        }
+        self.secure_group[idx] = secure;
+        Ok(())
+    }
+
+    pub fn is_secure(&self, id: IntId) -> bool {
+        self.secure_group
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Raise an interrupt. For SPIs the configured target core becomes
+    /// pending; for PPIs/SGIs `core` selects the core. Returns the core
+    /// that should observe the IRQ, or `None` when the line is disabled
+    /// (level-triggered lines stay latent — re-raised when enabled, which
+    /// the caller models by re-raising).
+    pub fn raise(&mut self, id: IntId, core: u16) -> Result<Option<u16>, GicError> {
+        if core >= self.num_cores && !id.is_spi() {
+            return Err(GicError::BadCore);
+        }
+        let target = if id.is_spi() {
+            self.line(id)?.target
+        } else {
+            core
+        };
+        let l = self.line_mut(id)?;
+        l.pending |= 1 << target;
+        Ok(if l.enabled { Some(target) } else { None })
+    }
+
+    /// Highest-priority pending-and-enabled interrupt for a core
+    /// (lower priority value = more urgent, per GIC convention).
+    pub fn highest_pending(&self, core: u16) -> Option<IntId> {
+        let bit = 1u32 << core;
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.enabled && l.pending & bit != 0 && l.active & bit == 0)
+            .min_by_key(|(i, l)| (l.priority, *i))
+            .map(|(i, _)| IntId(i as u32))
+    }
+
+    /// Acknowledge: pending -> active.
+    pub fn acknowledge(&mut self, id: IntId, core: u16) -> Result<(), GicError> {
+        let bit = 1u32 << core;
+        let l = self.line_mut(id)?;
+        if l.pending & bit == 0 {
+            return Err(GicError::BadIntId);
+        }
+        l.pending &= !bit;
+        l.active |= bit;
+        Ok(())
+    }
+
+    /// End of interrupt: active -> inactive.
+    pub fn eoi(&mut self, id: IntId, core: u16) -> Result<(), GicError> {
+        let bit = 1u32 << core;
+        let l = self.line_mut(id)?;
+        l.active &= !bit;
+        Ok(())
+    }
+
+    /// Send a software-generated interrupt to a set of cores. This is the
+    /// only inter-core signalling primitive the stack has — Hafnium's
+    /// hypercall interface is core-local, so the primary VM must IPI
+    /// itself to act on remote cores.
+    pub fn send_sgi(&mut self, id: IntId, cores: &[u16]) -> Result<Vec<u16>, GicError> {
+        if !id.is_sgi() {
+            return Err(GicError::BadIntId);
+        }
+        let mut delivered = Vec::new();
+        for &c in cores {
+            if c >= self.num_cores {
+                return Err(GicError::BadCore);
+            }
+            if let Some(t) = self.raise(id, c)? {
+                delivered.push(t);
+            }
+        }
+        Ok(delivered)
+    }
+}
+
+/// The para-virtual interrupt controller interface Hafnium provides to
+/// secondary VMs (and that the ported Kitten and the super-secondary
+/// Linux must use instead of the real GIC).
+///
+/// It is a simple per-VCPU pending set manipulated by hypercalls:
+/// `interrupt_enable`, `interrupt_get`, `interrupt_inject`.
+#[derive(Debug, Default)]
+pub struct VGicInterface {
+    enabled: std::collections::BTreeSet<u32>,
+    pending: std::collections::VecDeque<u32>,
+}
+
+impl VGicInterface {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn enable(&mut self, intid: u32, enable: bool) {
+        if enable {
+            self.enabled.insert(intid);
+        } else {
+            self.enabled.remove(&intid);
+        }
+    }
+
+    pub fn is_enabled(&self, intid: u32) -> bool {
+        self.enabled.contains(&intid)
+    }
+
+    /// Hypervisor side: queue an interrupt for delivery. Disabled
+    /// interrupts are dropped (the guest opted out). Returns whether the
+    /// VCPU should be woken.
+    pub fn inject(&mut self, intid: u32) -> bool {
+        if self.enabled.contains(&intid) {
+            if !self.pending.contains(&intid) {
+                self.pending.push_back(intid);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Guest side: fetch the next pending interrupt (the `interrupt_get`
+    /// hypercall).
+    pub fn next_pending(&mut self) -> Option<u32> {
+        self.pending.pop_front()
+    }
+
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intid_classification() {
+        assert!(IntId(3).is_sgi());
+        assert!(IntId(27).is_ppi());
+        assert!(IntId(64).is_spi());
+        assert!(IntId::TIMER_VIRT.is_ppi());
+    }
+
+    #[test]
+    fn enable_raise_ack_eoi_lifecycle() {
+        let mut g = GicModel::new(GicKind::GicV2, 4);
+        let irq = IntId(40);
+        g.enable(irq).unwrap();
+        g.route_spi(irq, 2).unwrap();
+        let target = g.raise(irq, 0).unwrap();
+        assert_eq!(target, Some(2));
+        assert_eq!(g.highest_pending(2), Some(irq));
+        assert_eq!(g.highest_pending(0), None);
+        g.acknowledge(irq, 2).unwrap();
+        assert_eq!(g.highest_pending(2), None, "active irq is not pending");
+        g.eoi(irq, 2).unwrap();
+    }
+
+    #[test]
+    fn disabled_line_latches_but_does_not_fire() {
+        let mut g = GicModel::new(GicKind::GicV2, 4);
+        let irq = IntId(33);
+        g.route_spi(irq, 1).unwrap();
+        assert_eq!(g.raise(irq, 0).unwrap(), None);
+        // becomes visible once enabled
+        g.enable(irq).unwrap();
+        assert_eq!(g.highest_pending(1), Some(irq));
+    }
+
+    #[test]
+    fn priority_ordering() {
+        let mut g = GicModel::new(GicKind::GicV3, 2);
+        let a = IntId(40);
+        let b = IntId(41);
+        for irq in [a, b] {
+            g.enable(irq).unwrap();
+            g.route_spi(irq, 0).unwrap();
+        }
+        g.set_priority(a, 0xC0).unwrap();
+        g.set_priority(b, 0x40).unwrap(); // more urgent
+        g.raise(a, 0).unwrap();
+        g.raise(b, 0).unwrap();
+        assert_eq!(g.highest_pending(0), Some(b));
+    }
+
+    #[test]
+    fn ppi_is_per_core() {
+        let mut g = GicModel::new(GicKind::GicV2, 4);
+        g.enable(IntId::TIMER_PHYS).unwrap();
+        g.raise(IntId::TIMER_PHYS, 3).unwrap();
+        assert_eq!(g.highest_pending(3), Some(IntId::TIMER_PHYS));
+        assert_eq!(g.highest_pending(0), None);
+    }
+
+    #[test]
+    fn sgi_multicast() {
+        let mut g = GicModel::new(GicKind::GicV2, 4);
+        let sgi = IntId(1);
+        g.enable(sgi).unwrap();
+        let delivered = g.send_sgi(sgi, &[0, 2, 3]).unwrap();
+        assert_eq!(delivered, vec![0, 2, 3]);
+        for c in [0u16, 2, 3] {
+            assert_eq!(g.highest_pending(c), Some(sgi));
+        }
+        assert_eq!(g.highest_pending(1), None);
+    }
+
+    #[test]
+    fn sgi_rejects_spi_ids() {
+        let mut g = GicModel::new(GicKind::GicV2, 4);
+        assert_eq!(g.send_sgi(IntId(40), &[0]), Err(GicError::BadIntId));
+    }
+
+    #[test]
+    fn route_rejects_bad_core_and_nonspi() {
+        let mut g = GicModel::new(GicKind::GicV2, 2);
+        assert_eq!(g.route_spi(IntId(40), 7), Err(GicError::BadCore));
+        assert_eq!(g.route_spi(IntId(27), 0), Err(GicError::BadIntId));
+    }
+
+    #[test]
+    fn secure_group_marking() {
+        let mut g = GicModel::new(GicKind::GicV3, 2);
+        g.set_secure(IntId(50), true).unwrap();
+        assert!(g.is_secure(IntId(50)));
+        assert!(!g.is_secure(IntId(51)));
+    }
+
+    #[test]
+    fn ack_eoi_cost_ordering() {
+        // GICv3 system-register interface must be cheaper than MMIO GICv2.
+        assert!(GicKind::GicV3.ack_eoi_cycles() < GicKind::GicV2.ack_eoi_cycles());
+    }
+
+    #[test]
+    fn vgic_enable_inject_get() {
+        let mut v = VGicInterface::new();
+        assert!(!v.inject(27), "disabled intid dropped");
+        v.enable(27, true);
+        assert!(v.inject(27));
+        assert!(v.has_pending());
+        assert_eq!(v.next_pending(), Some(27));
+        assert_eq!(v.next_pending(), None);
+    }
+
+    #[test]
+    fn vgic_dedups_pending() {
+        let mut v = VGicInterface::new();
+        v.enable(30, true);
+        v.inject(30);
+        v.inject(30);
+        assert_eq!(v.next_pending(), Some(30));
+        assert_eq!(v.next_pending(), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! ARMv8-A machine model.
+//!
+//! This crate models the architectural mechanisms that the paper's
+//! measured overheads come from:
+//!
+//! * [`el`] — exception levels EL0–EL3, security states, and the cost of
+//!   transitions between them (trap entry/exit),
+//! * [`sysreg`] — the subset of the system-register space that matters for
+//!   the Kitten secondary-VM port (PMU, debug, cache-maintenance ops, and
+//!   the registers Hafnium traps for secondaries),
+//! * [`gic`] — interrupt-controller models (GICv2, GICv3, BCM2836) plus
+//!   the para-virtual vGIC interface Hafnium exposes to secondary VMs,
+//! * [`timer`] — the ARM generic timer (physical + virtual channels),
+//! * [`mmu`] — stage-1 and stage-2 page tables with walk-step accounting,
+//! * [`tlb`] — a set-associative TLB with VMID/ASID tagging,
+//! * [`cache`] — L1/L2 cache and DRAM bandwidth models,
+//! * [`platform`] — concrete SoC profiles (Pine A64-LTS, Raspberry Pi 3,
+//!   QEMU-virt, ThunderX2),
+//! * [`cpu`] — the core timing model pricing workload phases under a
+//!   translation regime and pollution state,
+//! * [`psci`] — the PSCI secondary-core power interface,
+//! * [`exception`] — exception routing by HCR/SCR control bits,
+//! * [`uart`] — a 16550 UART device model (the super-secondary's console),
+//! * [`noise`] — the OS timing/noise-model interface the executors consume.
+
+pub mod cache;
+pub mod cpu;
+pub mod el;
+pub mod exception;
+pub mod gic;
+pub mod mmu;
+pub mod noise;
+pub mod platform;
+pub mod psci;
+pub mod sysreg;
+pub mod timer;
+pub mod tlb;
+pub mod uart;
+
+pub use cache::{CacheConfig, MemSystem};
+pub use cpu::{AccessPattern, CoreTimer, Phase, PollutionState, TranslationRegime};
+pub use el::{ExceptionLevel, SecurityState, TransitionCosts};
+pub use gic::{GicKind, GicModel, IntId, IrqTrigger, VGicInterface};
+pub use mmu::{MapError, MemAttr, PagePerms, Stage1Table, Stage2Table, PAGE_SHIFT, PAGE_SIZE};
+pub use noise::{NoiseEvent, OsTimingModel};
+pub use platform::{Platform, PlatformKind};
+pub use psci::{PsciError, PsciState};
+pub use sysreg::{AccessOutcome, FeatureClass, SysRegFile, SysRegId, TrapPolicy};
+pub use timer::{GenericTimer, TimerChannel};
+pub use tlb::{Tlb, TlbKey, TlbStage};

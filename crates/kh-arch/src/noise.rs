@@ -1,0 +1,88 @@
+//! OS timing/noise model interface.
+//!
+//! The machine executor is OS-agnostic: any kernel acting as a scheduler
+//! (native Kitten, Kitten-as-primary, Linux-as-primary) presents itself
+//! through [`OsTimingModel`] — its tick rate, the cost of a tick, the
+//! cache/TLB damage a tick does, and a stream of background-noise events
+//! (kworkers, RCU, watchdogs for Linux; nothing for Kitten). This is
+//! exactly the axis the paper varies: everything else in the stack stays
+//! fixed while the primary VM's kernel profile changes.
+
+use crate::cpu::PollutionState;
+use kh_sim::{Nanos, TraceCategory};
+
+/// One background interruption produced by an OS model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseEvent {
+    /// Absolute virtual time the event fires.
+    pub at: Nanos,
+    /// CPU time stolen from whatever was running on the core.
+    pub duration: Nanos,
+    /// Cache/TLB damage done to the preempted context.
+    pub pollution: PollutionState,
+    /// Human-readable source (e.g. `kworker`, `rcu_sched`).
+    pub label: &'static str,
+    /// Trace category for the recorder.
+    pub category: TraceCategory,
+}
+
+/// The timing personality of a kernel acting as (VM) scheduler.
+pub trait OsTimingModel {
+    fn name(&self) -> &'static str;
+
+    /// Scheduler tick period (inverse of HZ).
+    fn tick_period(&self) -> Nanos;
+
+    /// CPU time consumed by one tick's handler (policy evaluation,
+    /// timekeeping, etc.) — excludes any hypervisor transition costs,
+    /// which the executor adds for virtualized configurations.
+    fn tick_cost(&self) -> Nanos;
+
+    /// Cache/TLB damage one tick inflicts on the interrupted context.
+    fn tick_pollution(&self) -> PollutionState;
+
+    /// Cost of a full context switch performed by this kernel.
+    fn ctx_switch_cost(&self) -> Nanos;
+
+    /// Next background-noise event on `core` strictly after `now`, if the
+    /// kernel has any background activity. Successive calls with
+    /// monotonically increasing `now` values enumerate the event stream.
+    fn next_background(&mut self, core: u16, now: Nanos) -> Option<NoiseEvent>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial model for executor tests: fixed tick, no background.
+    struct Quiet;
+
+    impl OsTimingModel for Quiet {
+        fn name(&self) -> &'static str {
+            "quiet"
+        }
+        fn tick_period(&self) -> Nanos {
+            Nanos::from_millis(100)
+        }
+        fn tick_cost(&self) -> Nanos {
+            Nanos::from_micros(1)
+        }
+        fn tick_pollution(&self) -> PollutionState {
+            PollutionState::default()
+        }
+        fn ctx_switch_cost(&self) -> Nanos {
+            Nanos::from_micros(1)
+        }
+        fn next_background(&mut self, _core: u16, _now: Nanos) -> Option<NoiseEvent> {
+            None
+        }
+    }
+
+    #[test]
+    fn trait_object_safety() {
+        let mut q = Quiet;
+        let m: &mut dyn OsTimingModel = &mut q;
+        assert_eq!(m.name(), "quiet");
+        assert!(m.next_background(0, Nanos::ZERO).is_none());
+    }
+}

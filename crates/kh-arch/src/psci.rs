@@ -1,0 +1,150 @@
+//! PSCI (Power State Coordination Interface) model.
+//!
+//! Secondary cores on ARMv8 come up through PSCI `CPU_ON` calls handled
+//! by the firmware (EL3). Under Hafnium, guest PSCI calls are trapped at
+//! EL2 and either emulated (secondaries may only spin up VCPUs the
+//! manifest gave them) or forwarded to EL3 (primary VM controlling real
+//! cores).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core power state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreState {
+    Off,
+    /// Booting: CPU_ON issued, entry point latched, not yet running.
+    Pending,
+    On,
+}
+
+/// PSCI error codes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsciError {
+    InvalidParameters,
+    AlreadyOn,
+    OnPending,
+    Denied,
+}
+
+/// Firmware-level core power state machine.
+#[derive(Debug)]
+pub struct PsciState {
+    cores: Vec<CoreState>,
+    entry_points: Vec<Option<u64>>,
+}
+
+impl PsciState {
+    /// Core 0 boots on; all others start off, as on real hardware.
+    pub fn new(num_cores: u16) -> Self {
+        let n = num_cores as usize;
+        let mut cores = vec![CoreState::Off; n];
+        if n > 0 {
+            cores[0] = CoreState::On;
+        }
+        PsciState {
+            cores,
+            entry_points: vec![None; n],
+        }
+    }
+
+    pub fn state(&self, core: u16) -> Option<CoreState> {
+        self.cores.get(core as usize).copied()
+    }
+
+    /// `PSCI_CPU_ON`: request a core to start at `entry`.
+    pub fn cpu_on(&mut self, core: u16, entry: u64) -> Result<(), PsciError> {
+        let idx = core as usize;
+        match self.cores.get(idx) {
+            None => Err(PsciError::InvalidParameters),
+            Some(CoreState::On) => Err(PsciError::AlreadyOn),
+            Some(CoreState::Pending) => Err(PsciError::OnPending),
+            Some(CoreState::Off) => {
+                self.cores[idx] = CoreState::Pending;
+                self.entry_points[idx] = Some(entry);
+                Ok(())
+            }
+        }
+    }
+
+    /// Firmware completes the power-on; returns the latched entry point.
+    pub fn complete_on(&mut self, core: u16) -> Result<u64, PsciError> {
+        let idx = core as usize;
+        match self.cores.get(idx) {
+            Some(CoreState::Pending) => {
+                self.cores[idx] = CoreState::On;
+                Ok(self.entry_points[idx].expect("pending core has entry"))
+            }
+            Some(_) => Err(PsciError::Denied),
+            None => Err(PsciError::InvalidParameters),
+        }
+    }
+
+    /// `PSCI_CPU_OFF` for the calling core.
+    pub fn cpu_off(&mut self, core: u16) -> Result<(), PsciError> {
+        let idx = core as usize;
+        match self.cores.get(idx) {
+            Some(CoreState::On) => {
+                self.cores[idx] = CoreState::Off;
+                self.entry_points[idx] = None;
+                Ok(())
+            }
+            Some(_) => Err(PsciError::Denied),
+            None => Err(PsciError::InvalidParameters),
+        }
+    }
+
+    pub fn online_count(&self) -> usize {
+        self.cores
+            .iter()
+            .filter(|c| matches!(c, CoreState::On))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_core_is_on() {
+        let p = PsciState::new(4);
+        assert_eq!(p.state(0), Some(CoreState::On));
+        assert_eq!(p.state(3), Some(CoreState::Off));
+        assert_eq!(p.online_count(), 1);
+    }
+
+    #[test]
+    fn cpu_on_lifecycle() {
+        let mut p = PsciState::new(4);
+        p.cpu_on(1, 0x8000_0000).unwrap();
+        assert_eq!(p.state(1), Some(CoreState::Pending));
+        assert_eq!(p.cpu_on(1, 0x0), Err(PsciError::OnPending));
+        assert_eq!(p.complete_on(1), Ok(0x8000_0000));
+        assert_eq!(p.state(1), Some(CoreState::On));
+        assert_eq!(p.cpu_on(1, 0x0), Err(PsciError::AlreadyOn));
+        assert_eq!(p.online_count(), 2);
+    }
+
+    #[test]
+    fn cpu_off_and_restart() {
+        let mut p = PsciState::new(2);
+        p.cpu_off(0).unwrap();
+        assert_eq!(p.online_count(), 0);
+        assert_eq!(p.cpu_off(0), Err(PsciError::Denied));
+        p.cpu_on(0, 0x1000).unwrap();
+        assert_eq!(p.complete_on(0), Ok(0x1000));
+    }
+
+    #[test]
+    fn bad_core_rejected() {
+        let mut p = PsciState::new(2);
+        assert_eq!(p.cpu_on(9, 0), Err(PsciError::InvalidParameters));
+        assert_eq!(p.state(9), None);
+    }
+
+    #[test]
+    fn complete_on_requires_pending() {
+        let mut p = PsciState::new(2);
+        assert_eq!(p.complete_on(1), Err(PsciError::Denied));
+    }
+}

@@ -1,0 +1,338 @@
+//! System registers and the feature-trapping model.
+//!
+//! Porting Kitten to run as a Hafnium *secondary* VM required disabling a
+//! number of low-level architectural features: performance counters,
+//! debug registers, `dc isw` cache-maintenance-by-set/way, and direct
+//! physical-timer access. Hafnium traps these for secondaries and either
+//! injects an Undefined exception or (for a small set) emulates them.
+//! This module models that register space and the per-VM trap policy.
+
+use crate::el::ExceptionLevel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Classes of architectural features that Hafnium's trap policy operates
+/// on. Trapping is configured per class, matching how HCR_EL2/MDCR_EL2
+/// bits gate whole feature groups rather than single registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureClass {
+    /// CPU identification (always readable, emulated for secondaries).
+    Identification,
+    /// Generic-timer virtual channel (always allowed; this is the channel
+    /// Hafnium dedicates to secondaries).
+    VirtualTimer,
+    /// Generic-timer physical channel (primary only).
+    PhysicalTimer,
+    /// Performance-monitor unit.
+    Pmu,
+    /// Self-hosted debug registers.
+    Debug,
+    /// Cache maintenance by set/way (`dc isw` and friends) — inherently
+    /// unsafe under virtualization because set/way ops are not
+    /// broadcastable across VMs.
+    CacheSetWay,
+    /// Stage-1 translation control (always guest-owned).
+    TranslationControl,
+    /// Direct GIC distributor access (primary / super-secondary only;
+    /// secondaries get the para-virtual interface).
+    GicDirect,
+    /// Power control (PSCI CPU_ON etc.).
+    PowerControl,
+}
+
+impl FeatureClass {
+    pub const ALL: [FeatureClass; 9] = [
+        FeatureClass::Identification,
+        FeatureClass::VirtualTimer,
+        FeatureClass::PhysicalTimer,
+        FeatureClass::Pmu,
+        FeatureClass::Debug,
+        FeatureClass::CacheSetWay,
+        FeatureClass::TranslationControl,
+        FeatureClass::GicDirect,
+        FeatureClass::PowerControl,
+    ];
+}
+
+/// What happens when a VM touches a feature class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrapPolicy {
+    /// Access proceeds at native cost.
+    Allow,
+    /// Access traps to EL2 and is emulated there (costly but functional).
+    Emulate,
+    /// Access traps to EL2 and an Undefined exception is injected; the
+    /// guest must have a workaround (this is what the Kitten secondary
+    /// port had to add).
+    Undefined,
+}
+
+/// A per-VM register file plus trap policy, as configured by the
+/// hypervisor when the VM is created.
+#[derive(Debug, Clone)]
+pub struct SysRegFile {
+    regs: HashMap<SysRegId, u64>,
+    policy: HashMap<FeatureClass, TrapPolicy>,
+    /// EL the owning software runs at (guests: EL1).
+    pub owner_el: ExceptionLevel,
+}
+
+/// Identifier for registers in the file (decoupled from the display enum
+/// so the file can be extended without churn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SysRegId {
+    Midr,
+    Mpidr,
+    Cntfrq,
+    Cntpct,
+    Cntvct,
+    CntpCval,
+    CntpCtl,
+    CntvCval,
+    CntvCtl,
+    Pmccntr,
+    Pmcr,
+    Dbgbvr,
+    Dbgwvr,
+    Mdscr,
+    Sctlr,
+    Ttbr0,
+    Ttbr1,
+    Vttbr,
+    Hcr,
+    Scr,
+}
+
+impl SysRegId {
+    /// The feature class whose trap policy gates this register.
+    pub fn class(self) -> FeatureClass {
+        use SysRegId::*;
+        match self {
+            Midr | Mpidr | Cntfrq => FeatureClass::Identification,
+            Cntvct | CntvCval | CntvCtl => FeatureClass::VirtualTimer,
+            Cntpct | CntpCval | CntpCtl => FeatureClass::PhysicalTimer,
+            Pmccntr | Pmcr => FeatureClass::Pmu,
+            Dbgbvr | Dbgwvr | Mdscr => FeatureClass::Debug,
+            Sctlr | Ttbr0 | Ttbr1 => FeatureClass::TranslationControl,
+            Vttbr | Hcr => FeatureClass::TranslationControl,
+            Scr => FeatureClass::PowerControl,
+        }
+    }
+
+    /// Minimum EL that may architecturally access the register at all
+    /// (independent of hypervisor trapping).
+    pub fn min_el(self) -> ExceptionLevel {
+        use SysRegId::*;
+        match self {
+            Vttbr | Hcr => ExceptionLevel::El2,
+            Scr => ExceptionLevel::El3,
+            Sctlr | Ttbr0 | Ttbr1 | Dbgbvr | Dbgwvr | Mdscr | Midr | Mpidr => ExceptionLevel::El1,
+            _ => ExceptionLevel::El0,
+        }
+    }
+}
+
+/// Result of an access attempt through the trap model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Native access, value returned.
+    Ok(u64),
+    /// Trapped to EL2 and emulated; value returned but the caller must
+    /// charge a hypervisor round trip.
+    Emulated(u64),
+    /// Undefined exception injected; the guest's workaround path runs.
+    Undef,
+    /// Architecturally impossible (insufficient EL).
+    Denied,
+}
+
+impl SysRegFile {
+    /// A file with every feature allowed — the native / primary-VM view.
+    pub fn native(owner_el: ExceptionLevel) -> Self {
+        let mut policy = HashMap::new();
+        for c in FeatureClass::ALL {
+            policy.insert(c, TrapPolicy::Allow);
+        }
+        SysRegFile {
+            regs: HashMap::new(),
+            policy,
+            owner_el,
+        }
+    }
+
+    /// The restricted view Hafnium gives secondary VMs: PMU, debug,
+    /// set/way cache ops and the physical timer are blocked; the virtual
+    /// timer and identification are emulated or allowed; direct GIC
+    /// access is replaced by the para-virtual interface.
+    pub fn hafnium_secondary() -> Self {
+        let mut f = SysRegFile::native(ExceptionLevel::El1);
+        f.set_policy(FeatureClass::Pmu, TrapPolicy::Undefined);
+        f.set_policy(FeatureClass::Debug, TrapPolicy::Undefined);
+        f.set_policy(FeatureClass::CacheSetWay, TrapPolicy::Undefined);
+        f.set_policy(FeatureClass::PhysicalTimer, TrapPolicy::Undefined);
+        f.set_policy(FeatureClass::GicDirect, TrapPolicy::Undefined);
+        f.set_policy(FeatureClass::Identification, TrapPolicy::Emulate);
+        f.set_policy(FeatureClass::PowerControl, TrapPolicy::Emulate);
+        f
+    }
+
+    /// The semi-privileged super-secondary view (the paper's extension):
+    /// device/GIC access is allowed so the Linux driver stack works, but
+    /// power control stays emulated (no taking over CPU cores) and the
+    /// physical timer stays blocked (the primary owns it).
+    pub fn hafnium_super_secondary() -> Self {
+        let mut f = SysRegFile::hafnium_secondary();
+        f.set_policy(FeatureClass::GicDirect, TrapPolicy::Allow);
+        f.set_policy(FeatureClass::Pmu, TrapPolicy::Emulate);
+        f.set_policy(FeatureClass::Debug, TrapPolicy::Emulate);
+        f
+    }
+
+    pub fn set_policy(&mut self, class: FeatureClass, p: TrapPolicy) {
+        self.policy.insert(class, p);
+    }
+
+    pub fn policy(&self, class: FeatureClass) -> TrapPolicy {
+        *self.policy.get(&class).unwrap_or(&TrapPolicy::Allow)
+    }
+
+    pub fn write(&mut self, id: SysRegId, value: u64, from: ExceptionLevel) -> AccessOutcome {
+        self.access(id, from, Some(value))
+    }
+
+    pub fn read(&mut self, id: SysRegId, from: ExceptionLevel) -> AccessOutcome {
+        self.access(id, from, None)
+    }
+
+    fn access(&mut self, id: SysRegId, from: ExceptionLevel, write: Option<u64>) -> AccessOutcome {
+        if !from.dominates(id.min_el()) {
+            return AccessOutcome::Denied;
+        }
+        let outcome_value = |regs: &HashMap<SysRegId, u64>| *regs.get(&id).unwrap_or(&0);
+        match self.policy(id.class()) {
+            TrapPolicy::Allow => {
+                if let Some(v) = write {
+                    self.regs.insert(id, v);
+                }
+                AccessOutcome::Ok(outcome_value(&self.regs))
+            }
+            TrapPolicy::Emulate => {
+                if let Some(v) = write {
+                    self.regs.insert(id, v);
+                }
+                AccessOutcome::Emulated(outcome_value(&self.regs))
+            }
+            TrapPolicy::Undefined => AccessOutcome::Undef,
+        }
+    }
+
+    /// Raw peek for the hypervisor side (no policy applied).
+    pub fn peek(&self, id: SysRegId) -> u64 {
+        *self.regs.get(&id).unwrap_or(&0)
+    }
+
+    /// Raw poke for the hypervisor side (no policy applied).
+    pub fn poke(&mut self, id: SysRegId, value: u64) {
+        self.regs.insert(id, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_file_allows_everything() {
+        let mut f = SysRegFile::native(ExceptionLevel::El1);
+        assert_eq!(
+            f.write(SysRegId::Pmccntr, 7, ExceptionLevel::El1),
+            AccessOutcome::Ok(7)
+        );
+        assert_eq!(
+            f.read(SysRegId::Pmccntr, ExceptionLevel::El0),
+            AccessOutcome::Ok(7)
+        );
+    }
+
+    #[test]
+    fn secondary_blocks_pmu_debug_setway_ptimer() {
+        let mut f = SysRegFile::hafnium_secondary();
+        assert_eq!(
+            f.read(SysRegId::Pmccntr, ExceptionLevel::El1),
+            AccessOutcome::Undef
+        );
+        assert_eq!(
+            f.write(SysRegId::Dbgbvr, 1, ExceptionLevel::El1),
+            AccessOutcome::Undef
+        );
+        assert_eq!(
+            f.read(SysRegId::CntpCtl, ExceptionLevel::El1),
+            AccessOutcome::Undef
+        );
+    }
+
+    #[test]
+    fn secondary_keeps_virtual_timer() {
+        let mut f = SysRegFile::hafnium_secondary();
+        assert_eq!(
+            f.write(SysRegId::CntvCval, 123, ExceptionLevel::El1),
+            AccessOutcome::Ok(123)
+        );
+    }
+
+    #[test]
+    fn secondary_identification_is_emulated() {
+        let mut f = SysRegFile::hafnium_secondary();
+        match f.read(SysRegId::Midr, ExceptionLevel::El1) {
+            AccessOutcome::Emulated(_) => {}
+            other => panic!("expected Emulated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn super_secondary_gets_gic_but_not_ptimer() {
+        let f = SysRegFile::hafnium_super_secondary();
+        assert_eq!(f.policy(FeatureClass::GicDirect), TrapPolicy::Allow);
+        assert_eq!(f.policy(FeatureClass::PhysicalTimer), TrapPolicy::Undefined);
+        assert_eq!(f.policy(FeatureClass::PowerControl), TrapPolicy::Emulate);
+    }
+
+    #[test]
+    fn el_gating() {
+        let mut f = SysRegFile::native(ExceptionLevel::El1);
+        // EL0 cannot touch TTBR0_EL1.
+        assert_eq!(
+            f.write(SysRegId::Ttbr0, 1, ExceptionLevel::El0),
+            AccessOutcome::Denied
+        );
+        // EL1 cannot touch VTTBR_EL2 even when untrapped.
+        assert_eq!(
+            f.read(SysRegId::Vttbr, ExceptionLevel::El1),
+            AccessOutcome::Denied
+        );
+        // EL2 can.
+        assert!(matches!(
+            f.read(SysRegId::Vttbr, ExceptionLevel::El2),
+            AccessOutcome::Ok(_)
+        ));
+    }
+
+    #[test]
+    fn peek_poke_bypass_policy() {
+        let mut f = SysRegFile::hafnium_secondary();
+        f.poke(SysRegId::Pmccntr, 42);
+        assert_eq!(f.peek(SysRegId::Pmccntr), 42);
+    }
+
+    #[test]
+    fn every_reg_has_a_class_and_min_el() {
+        use SysRegId::*;
+        for id in [
+            Midr, Mpidr, Cntfrq, Cntpct, Cntvct, CntpCval, CntpCtl, CntvCval, CntvCtl, Pmccntr,
+            Pmcr, Dbgbvr, Dbgwvr, Mdscr, Sctlr, Ttbr0, Ttbr1, Vttbr, Hcr, Scr,
+        ] {
+            let _ = id.class();
+            let _ = id.min_el();
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The ARM generic timer.
+//!
+//! Each core has a set of timer channels driven by a single system
+//! counter (typically 24 MHz on A53-class SoCs). The physical channel
+//! belongs to whoever owns the hardware (native kernel, or the primary VM
+//! under Hafnium); the virtual channel is what Hafnium dedicates to
+//! secondary VMs. A channel fires its PPI when the counter passes the
+//! programmed compare value and the channel is enabled and unmasked.
+
+use crate::gic::IntId;
+use kh_sim::{Freq, Nanos};
+use serde::{Deserialize, Serialize};
+
+/// Which timer channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimerChannel {
+    /// CNTP — physical timer, PPI 30.
+    Physical,
+    /// CNTV — virtual timer, PPI 27.
+    Virtual,
+    /// CNTHP — hypervisor timer, PPI 26 (EL2-owned).
+    Hypervisor,
+}
+
+impl TimerChannel {
+    pub fn ppi(self) -> IntId {
+        match self {
+            TimerChannel::Physical => IntId::TIMER_PHYS,
+            TimerChannel::Virtual => IntId::TIMER_VIRT,
+            TimerChannel::Hypervisor => IntId::TIMER_HYP,
+        }
+    }
+}
+
+/// Per-channel programmable state.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelState {
+    enabled: bool,
+    masked: bool,
+    /// Absolute compare value in counter ticks.
+    cval: u64,
+}
+
+/// One core's generic timer: three channels over a shared counter.
+///
+/// The virtual counter applies an offset (`CNTVOFF_EL2`) controlled by
+/// the hypervisor, so a guest's virtual time can be made to exclude time
+/// it was descheduled — Hafnium leaves the offset fixed at VM creation,
+/// which the model reflects.
+#[derive(Debug)]
+pub struct GenericTimer {
+    freq: Freq,
+    cntvoff: u64,
+    phys: ChannelState,
+    virt: ChannelState,
+    hyp: ChannelState,
+}
+
+impl GenericTimer {
+    pub fn new(freq: Freq) -> Self {
+        GenericTimer {
+            freq,
+            cntvoff: 0,
+            phys: ChannelState::default(),
+            virt: ChannelState::default(),
+            hyp: ChannelState::default(),
+        }
+    }
+
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// Hypervisor-controlled virtual counter offset, in counter ticks.
+    pub fn set_cntvoff(&mut self, off: u64) {
+        self.cntvoff = off;
+    }
+
+    /// Physical counter value at virtual time `now`.
+    pub fn cntpct(&self, now: Nanos) -> u64 {
+        self.freq.nanos_to_cycles(now)
+    }
+
+    /// Virtual counter value at virtual time `now`.
+    pub fn cntvct(&self, now: Nanos) -> u64 {
+        self.cntpct(now).saturating_sub(self.cntvoff)
+    }
+
+    fn chan_mut(&mut self, c: TimerChannel) -> &mut ChannelState {
+        match c {
+            TimerChannel::Physical => &mut self.phys,
+            TimerChannel::Virtual => &mut self.virt,
+            TimerChannel::Hypervisor => &mut self.hyp,
+        }
+    }
+    fn chan(&self, c: TimerChannel) -> &ChannelState {
+        match c {
+            TimerChannel::Physical => &self.phys,
+            TimerChannel::Virtual => &self.virt,
+            TimerChannel::Hypervisor => &self.hyp,
+        }
+    }
+
+    /// Program an absolute compare value (counter ticks) and enable.
+    pub fn program_cval(&mut self, c: TimerChannel, cval: u64) {
+        let ch = self.chan_mut(c);
+        ch.cval = cval;
+        ch.enabled = true;
+        ch.masked = false;
+    }
+
+    /// Program a relative timeout from `now` (the `TVAL` style interface).
+    pub fn program_after(&mut self, c: TimerChannel, now: Nanos, delay: Nanos) {
+        let base = match c {
+            TimerChannel::Virtual => self.cntvct(now),
+            _ => self.cntpct(now),
+        };
+        let ticks = self.freq.nanos_to_cycles(delay).max(1);
+        self.program_cval(c, base + ticks);
+    }
+
+    pub fn disable(&mut self, c: TimerChannel) {
+        self.chan_mut(c).enabled = false;
+    }
+
+    pub fn mask(&mut self, c: TimerChannel, masked: bool) {
+        self.chan_mut(c).masked = masked;
+    }
+
+    pub fn is_enabled(&self, c: TimerChannel) -> bool {
+        self.chan(c).enabled
+    }
+
+    /// The virtual time at which the channel will next fire, if armed and
+    /// in the future relative to `now`. A compare value already in the
+    /// past fires immediately (returns `now`), matching the level-
+    /// triggered behaviour of the hardware condition `CNT >= CVAL`.
+    pub fn next_fire(&self, c: TimerChannel, now: Nanos) -> Option<Nanos> {
+        let ch = self.chan(c);
+        if !ch.enabled || ch.masked {
+            return None;
+        }
+        let cur = match c {
+            TimerChannel::Virtual => self.cntvct(now),
+            _ => self.cntpct(now),
+        };
+        if cur >= ch.cval {
+            return Some(now);
+        }
+        let remaining_ticks = ch.cval - cur;
+        Some(now + self.freq.cycles_to_nanos(remaining_ticks))
+    }
+
+    /// Whether the fire condition holds at `now` (for level-triggered
+    /// re-checks after unmasking).
+    pub fn condition_met(&self, c: TimerChannel, now: Nanos) -> bool {
+        matches!(self.next_fire(c, now), Some(t) if t == now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CNT_FREQ: Freq = Freq::mhz(24);
+
+    #[test]
+    fn counter_tracks_time() {
+        let t = GenericTimer::new(CNT_FREQ);
+        assert_eq!(t.cntpct(Nanos::from_secs(1)), 24_000_000);
+        assert_eq!(t.cntpct(Nanos::ZERO), 0);
+    }
+
+    #[test]
+    fn virtual_offset_applies() {
+        let mut t = GenericTimer::new(CNT_FREQ);
+        t.set_cntvoff(1_000);
+        assert_eq!(t.cntvct(Nanos::from_secs(1)), 24_000_000 - 1_000);
+        // Offset larger than counter saturates to zero, never underflows.
+        assert_eq!(t.cntvct(Nanos::ZERO), 0);
+    }
+
+    #[test]
+    fn program_after_fires_at_expected_time() {
+        let mut t = GenericTimer::new(CNT_FREQ);
+        let now = Nanos::from_millis(5);
+        t.program_after(TimerChannel::Physical, now, Nanos::from_millis(10));
+        let fire = t.next_fire(TimerChannel::Physical, now).unwrap();
+        let expect = Nanos::from_millis(15);
+        let err = fire.as_nanos().abs_diff(expect.as_nanos());
+        // 24 MHz resolution => up to ~42ns rounding
+        assert!(err <= 42, "fire = {fire}, expected ~{expect}");
+    }
+
+    #[test]
+    fn past_cval_fires_immediately() {
+        let mut t = GenericTimer::new(CNT_FREQ);
+        t.program_cval(TimerChannel::Virtual, 10);
+        let now = Nanos::from_secs(1);
+        assert_eq!(t.next_fire(TimerChannel::Virtual, now), Some(now));
+        assert!(t.condition_met(TimerChannel::Virtual, now));
+    }
+
+    #[test]
+    fn disabled_or_masked_never_fires() {
+        let mut t = GenericTimer::new(CNT_FREQ);
+        t.program_after(TimerChannel::Physical, Nanos::ZERO, Nanos::from_millis(1));
+        t.mask(TimerChannel::Physical, true);
+        assert_eq!(t.next_fire(TimerChannel::Physical, Nanos::ZERO), None);
+        t.mask(TimerChannel::Physical, false);
+        assert!(t.next_fire(TimerChannel::Physical, Nanos::ZERO).is_some());
+        t.disable(TimerChannel::Physical);
+        assert_eq!(t.next_fire(TimerChannel::Physical, Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut t = GenericTimer::new(CNT_FREQ);
+        t.program_after(TimerChannel::Physical, Nanos::ZERO, Nanos::from_millis(1));
+        assert!(t.next_fire(TimerChannel::Virtual, Nanos::ZERO).is_none());
+        assert!(t.next_fire(TimerChannel::Hypervisor, Nanos::ZERO).is_none());
+    }
+
+    #[test]
+    fn ppi_mapping() {
+        assert_eq!(TimerChannel::Physical.ppi(), IntId(30));
+        assert_eq!(TimerChannel::Virtual.ppi(), IntId(27));
+        assert_eq!(TimerChannel::Hypervisor.ppi(), IntId(26));
+    }
+}

@@ -1,0 +1,360 @@
+//! A set-associative TLB model with VMID/ASID tagging.
+//!
+//! The TLB is the pivot of the paper's RandomAccess result: with Hafnium
+//! in place every workload miss costs a nested two-stage walk instead of
+//! a single-stage one, and the Linux scheduler's frequent context
+//! switches additionally evict live entries ("TLB pressure from the more
+//! frequent VM context switches"). The model supports exactly the
+//! operations the stack needs: lookup/fill, invalidate-by-ASID,
+//! invalidate-by-VMID, invalidate-all, plus occupancy statistics used by
+//! the timing model.
+
+use crate::mmu::PAGE_SHIFT;
+use serde::{Deserialize, Serialize};
+
+/// Which translation regime an entry caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TlbStage {
+    /// Combined stage-1-only entry (native execution).
+    Stage1,
+    /// Combined two-stage entry (VA→PA under virtualization).
+    TwoStage,
+}
+
+/// Lookup key: address-space + VM tags and the virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TlbKey {
+    pub asid: u16,
+    pub vmid: u16,
+    pub vpn: u64,
+    pub stage: TlbStage,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: TlbKey,
+    ppn: u64,
+    /// LRU stamp within the set.
+    stamp: u64,
+    valid: bool,
+}
+
+/// Set-associative TLB. Cortex-A53's main TLB is a 512-entry 4-way
+/// structure; those are the defaults used by the Pine A64 profile.
+#[derive(Debug)]
+pub struct Tlb {
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// `entries` must be a multiple of `ways`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries >= ways && entries.is_multiple_of(ways));
+        let nsets = entries / ways;
+        Tlb {
+            sets: vec![Vec::with_capacity(ways); nsets],
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Bytes of address space one full TLB covers at 4 KiB pages.
+    pub fn reach_bytes(&self) -> u64 {
+        (self.capacity() as u64) << PAGE_SHIFT
+    }
+
+    fn set_index(&self, key: &TlbKey) -> usize {
+        // Simple mix of the tags and page number.
+        let h = key.vpn.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ ((key.asid as u64) << 32)
+            ^ ((key.vmid as u64) << 48)
+            ^ (matches!(key.stage, TlbStage::TwoStage) as u64);
+        (h % self.sets.len() as u64) as usize
+    }
+
+    /// Look up a translation; updates LRU and hit/miss counters.
+    pub fn lookup(&mut self, key: TlbKey) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(&key);
+        let set = &mut self.sets[idx];
+        for e in set.iter_mut() {
+            if e.valid && e.key == key {
+                e.stamp = tick;
+                self.hits += 1;
+                return Some(e.ppn);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Install a translation (after a walk), evicting LRU within the set.
+    pub fn fill(&mut self, key: TlbKey, ppn: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let idx = self.set_index(&key);
+        let set = &mut self.sets[idx];
+        // Replace an existing entry for the same key, or an invalid slot.
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.key == key) {
+            e.ppn = ppn;
+            e.stamp = tick;
+            return;
+        }
+        if set.len() < ways {
+            set.push(Entry {
+                key,
+                ppn,
+                stamp: tick,
+                valid: true,
+            });
+            return;
+        }
+        if let Some(e) = set.iter_mut().find(|e| !e.valid) {
+            *e = Entry {
+                key,
+                ppn,
+                stamp: tick,
+                valid: true,
+            };
+            return;
+        }
+        // Evict LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| e.stamp)
+            .expect("non-empty set");
+        *victim = Entry {
+            key,
+            ppn,
+            stamp: tick,
+            valid: true,
+        };
+    }
+
+    /// `tlbi aside1`: drop all entries for an ASID (within a VMID).
+    pub fn invalidate_asid(&mut self, vmid: u16, asid: u16) {
+        for set in &mut self.sets {
+            for e in set.iter_mut() {
+                if e.valid && e.key.vmid == vmid && e.key.asid == asid {
+                    e.valid = false;
+                }
+            }
+        }
+    }
+
+    /// `tlbi vmalls12e1`: drop all entries for a VM.
+    pub fn invalidate_vmid(&mut self, vmid: u16) {
+        for set in &mut self.sets {
+            for e in set.iter_mut() {
+                if e.valid && e.key.vmid == vmid {
+                    e.valid = false;
+                }
+            }
+        }
+    }
+
+    /// `tlbi alle1`: drop everything.
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Invalidate a random fraction of live entries — the pollution model
+    /// for competing address spaces touching the TLB while a workload was
+    /// preempted. Deterministic given the internal tick.
+    pub fn pollute(&mut self, fraction: f64) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        if fraction == 0.0 {
+            return;
+        }
+        let mut counter = self.tick;
+        let threshold = (fraction * u32::MAX as f64) as u64;
+        for set in &mut self.sets {
+            for e in set.iter_mut() {
+                counter = counter
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if e.valid && (counter >> 32) < threshold {
+                    e.valid = false;
+                }
+            }
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|e| e.valid).count())
+            .sum()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vpn: u64) -> TlbKey {
+        TlbKey {
+            asid: 1,
+            vmid: 0,
+            vpn,
+            stage: TlbStage::Stage1,
+        }
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut t = Tlb::new(512, 4);
+        assert_eq!(t.lookup(key(5)), None);
+        t.fill(key(5), 99);
+        assert_eq!(t.lookup(key(5)), Some(99));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_tags_do_not_alias() {
+        let mut t = Tlb::new(512, 4);
+        t.fill(key(5), 10);
+        let other_vm = TlbKey {
+            asid: 1,
+            vmid: 3,
+            vpn: 5,
+            stage: TlbStage::TwoStage,
+        };
+        assert_eq!(t.lookup(other_vm), None);
+        t.fill(other_vm, 20);
+        assert_eq!(t.lookup(key(5)), Some(10));
+        assert_eq!(t.lookup(other_vm), Some(20));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 1 set, 2 ways: third fill evicts least-recently-used.
+        let mut t = Tlb::new(2, 2);
+        t.fill(key(1), 1);
+        t.fill(key(2), 2);
+        t.lookup(key(1)); // make key(2) the LRU
+        t.fill(key(3), 3);
+        assert_eq!(t.lookup(key(1)), Some(1));
+        assert_eq!(t.lookup(key(2)), None, "LRU entry must be evicted");
+        assert_eq!(t.lookup(key(3)), Some(3));
+    }
+
+    #[test]
+    fn refill_same_key_updates() {
+        let mut t = Tlb::new(4, 4);
+        t.fill(key(1), 1);
+        t.fill(key(1), 42);
+        assert_eq!(t.lookup(key(1)), Some(42));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_by_asid() {
+        let mut t = Tlb::new(16, 4);
+        t.fill(key(1), 1);
+        let k2 = TlbKey { asid: 2, ..key(2) };
+        t.fill(k2, 2);
+        t.invalidate_asid(0, 1);
+        assert_eq!(t.lookup(key(1)), None);
+        assert_eq!(t.lookup(k2), Some(2));
+    }
+
+    #[test]
+    fn invalidate_by_vmid() {
+        let mut t = Tlb::new(16, 4);
+        let kv = |vmid: u16, vpn: u64| TlbKey {
+            asid: 1,
+            vmid,
+            vpn,
+            stage: TlbStage::TwoStage,
+        };
+        t.fill(kv(1, 1), 1);
+        t.fill(kv(2, 2), 2);
+        t.invalidate_vmid(1);
+        assert_eq!(t.lookup(kv(1, 1)), None);
+        assert_eq!(t.lookup(kv(2, 2)), Some(2));
+    }
+
+    #[test]
+    fn invalidate_all() {
+        let mut t = Tlb::new(16, 4);
+        t.fill(key(1), 1);
+        t.fill(key(2), 2);
+        t.invalidate_all();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn pollute_fraction() {
+        let mut t = Tlb::new(512, 4);
+        for i in 0..512 {
+            t.fill(key(i), i);
+        }
+        let before = t.occupancy();
+        t.pollute(0.5);
+        let after = t.occupancy();
+        assert!(after < before, "pollution must evict something");
+        // Statistically ~50%; allow broad tolerance.
+        assert!(
+            (after as f64) < before as f64 * 0.75 && (after as f64) > before as f64 * 0.25,
+            "after = {after}"
+        );
+        t.pollute(1.0);
+        assert_eq!(t.occupancy(), 0);
+        t.pollute(0.0); // no-op on empty, and never panics
+    }
+
+    #[test]
+    fn reach() {
+        let t = Tlb::new(512, 4);
+        assert_eq!(t.reach_bytes(), 512 * 4096);
+    }
+
+    #[test]
+    fn hit_rate_stats() {
+        let mut t = Tlb::new(16, 4);
+        t.fill(key(1), 1);
+        t.lookup(key(1));
+        t.lookup(key(2));
+        assert!((t.hit_rate() - 0.5).abs() < 1e-9);
+        t.reset_stats();
+        assert_eq!(t.hits() + t.misses(), 0);
+    }
+}

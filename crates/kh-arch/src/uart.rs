@@ -1,0 +1,279 @@
+//! A 16550-style UART device model.
+//!
+//! The Pine A64's serial ports are 16550-compatible (Allwinner's
+//! `uart0` at 0x01C2_8000). This is the device the super-secondary
+//! Login VM owns in the examples: the model implements the register
+//! file, a depth-16 TX FIFO that drains at the configured baud rate,
+//! RX injection, and level-triggered interrupt signalling — enough to
+//! exercise MMIO pass-through and IRQ routing end to end.
+
+use kh_sim::Nanos;
+
+/// Register offsets (byte addresses, as on the A64 with 4-byte stride).
+pub mod regs {
+    /// Transmit holding / receive buffer (write/read).
+    pub const THR_RBR: u64 = 0x00;
+    /// Interrupt enable.
+    pub const IER: u64 = 0x04;
+    /// Interrupt identification (read).
+    pub const IIR: u64 = 0x08;
+    /// Line status.
+    pub const LSR: u64 = 0x14;
+}
+
+/// IER bits.
+pub const IER_RX_AVAIL: u8 = 0x01;
+pub const IER_TX_EMPTY: u8 = 0x02;
+
+/// LSR bits.
+pub const LSR_DATA_READY: u8 = 0x01;
+pub const LSR_THR_EMPTY: u8 = 0x20;
+pub const LSR_IDLE: u8 = 0x40;
+
+const FIFO_DEPTH: usize = 16;
+
+/// The UART model.
+#[derive(Debug)]
+pub struct Uart16550 {
+    /// ns per byte at the configured baud (10 bits per byte on the
+    /// wire: start + 8 data + stop).
+    byte_time: Nanos,
+    /// TX FIFO entries carry their enqueue time, so a lazy `step` can
+    /// reconstruct when each byte actually went out on the wire.
+    tx_fifo: std::collections::VecDeque<(u8, Nanos)>,
+    rx_fifo: std::collections::VecDeque<u8>,
+    ier: u8,
+    /// Everything ever transmitted (the "wire", for assertions).
+    transmitted: Vec<u8>,
+    /// Virtual time the last wire byte finished.
+    tx_busy_until: Nanos,
+    /// Bytes dropped because the TX FIFO was full.
+    pub tx_overruns: u64,
+}
+
+impl Uart16550 {
+    pub fn new(baud: u32) -> Self {
+        let byte_time = Nanos((10_000_000_000u64) / baud.max(1) as u64);
+        Uart16550 {
+            byte_time,
+            tx_fifo: Default::default(),
+            rx_fifo: Default::default(),
+            ier: 0,
+            transmitted: Vec::new(),
+            tx_busy_until: Nanos::ZERO,
+            tx_overruns: 0,
+        }
+    }
+
+    /// Advance the TX engine to `now`, draining bytes whose transmission
+    /// has completed. A byte starts when the line frees up (or when it
+    /// was enqueued, if the line was already idle) and occupies the wire
+    /// for one byte time.
+    pub fn step(&mut self, now: Nanos) {
+        while let Some(&(b, enq)) = self.tx_fifo.front() {
+            let start = self.tx_busy_until.max(enq);
+            let finish = start + self.byte_time;
+            if finish > now {
+                break;
+            }
+            self.transmitted.push(b);
+            self.tx_busy_until = finish;
+            self.tx_fifo.pop_front();
+        }
+    }
+
+    /// MMIO write from the owning VM's driver.
+    pub fn mmio_write(&mut self, offset: u64, value: u8, now: Nanos) {
+        self.step(now);
+        match offset {
+            regs::THR_RBR => {
+                if self.tx_fifo.len() >= FIFO_DEPTH {
+                    self.tx_overruns += 1;
+                } else {
+                    self.tx_fifo.push_back((value, now));
+                }
+            }
+            regs::IER => self.ier = value & 0x0F,
+            _ => {} // FCR/LCR/MCR accepted and ignored by the model
+        }
+    }
+
+    /// MMIO read.
+    pub fn mmio_read(&mut self, offset: u64, now: Nanos) -> u8 {
+        self.step(now);
+        match offset {
+            regs::THR_RBR => self.rx_fifo.pop_front().unwrap_or(0),
+            regs::IER => self.ier,
+            regs::IIR => {
+                if self.irq_pending(now) {
+                    if !self.rx_fifo.is_empty() {
+                        0x04 // RX data available
+                    } else {
+                        0x02 // THR empty
+                    }
+                } else {
+                    0x01 // no interrupt pending
+                }
+            }
+            regs::LSR => {
+                let mut lsr = 0u8;
+                if !self.rx_fifo.is_empty() {
+                    lsr |= LSR_DATA_READY;
+                }
+                if self.tx_fifo.len() < FIFO_DEPTH {
+                    lsr |= LSR_THR_EMPTY;
+                }
+                if self.tx_fifo.is_empty() && self.tx_busy_until <= now {
+                    lsr |= LSR_IDLE;
+                }
+                lsr
+            }
+            _ => 0,
+        }
+    }
+
+    /// External side: a character arrives on the wire.
+    pub fn inject_rx(&mut self, byte: u8) {
+        if self.rx_fifo.len() < FIFO_DEPTH {
+            self.rx_fifo.push_back(byte);
+        }
+    }
+
+    /// Whether the device asserts its interrupt line (level-triggered).
+    /// Evaluates the lazily-drained TX state without mutating it.
+    pub fn irq_pending(&self, now: Nanos) -> bool {
+        let rx = self.ier & IER_RX_AVAIL != 0 && !self.rx_fifo.is_empty();
+        let mut busy = self.tx_busy_until;
+        for &(_, enq) in &self.tx_fifo {
+            busy = busy.max(enq) + self.byte_time;
+        }
+        let tx = self.ier & IER_TX_EMPTY != 0 && busy <= now;
+        rx || tx
+    }
+
+    /// Everything transmitted so far.
+    pub fn wire(&self) -> &[u8] {
+        &self.transmitted
+    }
+}
+
+/// A polled console writer over the UART — the driver the Kitten
+/// control task uses for boot messages (LWKs poll; no interrupt-driven
+/// console complexity).
+pub fn poll_write(uart: &mut Uart16550, mut now: Nanos, text: &[u8]) -> Nanos {
+    for &b in text {
+        // Busy-wait for THR space.
+        while uart.mmio_read(regs::LSR, now) & LSR_THR_EMPTY == 0 {
+            now += Nanos::from_micros(10);
+        }
+        uart.mmio_write(regs::THR_RBR, b, now);
+    }
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uart() -> Uart16550 {
+        Uart16550::new(115_200)
+    }
+
+    #[test]
+    fn transmit_appears_on_the_wire_at_baud_rate() {
+        let mut u = uart();
+        let t0 = Nanos::ZERO;
+        u.mmio_write(regs::THR_RBR, b'H', t0);
+        u.mmio_write(regs::THR_RBR, b'i', t0);
+        // A byte takes 10 bits / 115200 ≈ 86.8 µs on the wire.
+        assert_eq!(u.wire(), b"");
+        u.step(Nanos::from_micros(87));
+        assert_eq!(u.wire(), b"H");
+        u.step(Nanos::from_micros(174));
+        assert_eq!(u.wire(), b"Hi");
+    }
+
+    #[test]
+    fn fifo_overrun_is_counted_not_lost_silently() {
+        let mut u = uart();
+        for b in 0..40u8 {
+            u.mmio_write(regs::THR_RBR, b, Nanos::ZERO);
+        }
+        // 16 in the FIFO; the rest overrun.
+        assert_eq!(u.tx_overruns, 40 - 16);
+    }
+
+    #[test]
+    fn lsr_reflects_fifo_state() {
+        let mut u = uart();
+        assert_eq!(
+            u.mmio_read(regs::LSR, Nanos::ZERO),
+            LSR_THR_EMPTY | LSR_IDLE
+        );
+        for b in 0..16u8 {
+            u.mmio_write(regs::THR_RBR, b, Nanos::ZERO);
+        }
+        assert_eq!(
+            u.mmio_read(regs::LSR, Nanos::ZERO) & LSR_THR_EMPTY,
+            0,
+            "fifo full"
+        );
+        // After enough time everything drains (16 bytes ≈ 1.39 ms).
+        let done = Nanos::from_millis(2);
+        assert_eq!(u.mmio_read(regs::LSR, done), LSR_THR_EMPTY | LSR_IDLE);
+        assert_eq!(u.wire().len(), 16);
+    }
+
+    #[test]
+    fn rx_path_and_interrupts() {
+        let mut u = uart();
+        assert!(!u.irq_pending(Nanos::ZERO));
+        u.mmio_write(regs::IER, IER_RX_AVAIL, Nanos::ZERO);
+        u.inject_rx(b'x');
+        assert!(u.irq_pending(Nanos::ZERO));
+        assert_eq!(u.mmio_read(regs::IIR, Nanos::ZERO), 0x04);
+        assert_eq!(u.mmio_read(regs::THR_RBR, Nanos::ZERO), b'x');
+        assert!(
+            !u.irq_pending(Nanos::ZERO),
+            "reading RBR clears the condition"
+        );
+    }
+
+    #[test]
+    fn tx_empty_interrupt() {
+        let mut u = uart();
+        u.mmio_write(regs::IER, IER_TX_EMPTY, Nanos::ZERO);
+        assert!(u.irq_pending(Nanos::ZERO), "idle TX asserts when enabled");
+        u.mmio_write(regs::THR_RBR, b'a', Nanos::ZERO);
+        u.mmio_write(regs::THR_RBR, b'b', Nanos::ZERO);
+        assert!(!u.irq_pending(Nanos::ZERO));
+        assert!(u.irq_pending(Nanos::from_millis(1)), "drained by then");
+    }
+
+    #[test]
+    fn poll_write_sends_whole_string() {
+        let mut u = uart();
+        let end = poll_write(&mut u, Nanos::ZERO, b"Kitten/ARM64 booting...\n");
+        u.step(end + Nanos::from_millis(5));
+        assert_eq!(u.wire(), b"Kitten/ARM64 booting...\n");
+        assert_eq!(u.tx_overruns, 0, "poll_write respects LSR");
+    }
+
+    #[test]
+    fn rx_fifo_bounded() {
+        let mut u = uart();
+        for b in 0..40u8 {
+            u.inject_rx(b);
+        }
+        let mut got = Vec::new();
+        loop {
+            let lsr = u.mmio_read(regs::LSR, Nanos::ZERO);
+            if lsr & LSR_DATA_READY == 0 {
+                break;
+            }
+            got.push(u.mmio_read(regs::THR_RBR, Nanos::ZERO));
+        }
+        assert_eq!(got.len(), FIFO_DEPTH);
+        assert_eq!(got, (0..16u8).collect::<Vec<_>>());
+    }
+}

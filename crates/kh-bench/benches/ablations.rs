@@ -1,0 +1,74 @@
+//! Criterion benches for the future-work ablations: IRQ routing policy,
+//! tick-rate sweep, and co-tenant interference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kh_core::config::{CoTenantSlices, StackKind};
+use kh_core::figures::{ablation_irq_routing, ablation_tick_sweep};
+use kh_core::machine::Machine;
+use kh_core::MachineConfig;
+use kh_workloads::gups::{GupsConfig, GupsModel};
+
+fn bench_irq_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("irq_routing");
+    group.bench_function("route_10k_device_irqs_both_policies", |b| {
+        b.iter(|| ablation_irq_routing(10_000))
+    });
+    group.finish();
+}
+
+fn bench_tick_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tick_sweep");
+    group.sample_size(10);
+    for hz in [10u64, 250, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(hz), &hz, |b, &hz| {
+            b.iter(|| ablation_tick_sweep(&[hz], 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interference");
+    group.sample_size(10);
+    for (label, stack, slice_ns) in [
+        (
+            "kitten_100ms_slices",
+            StackKind::HafniumKitten,
+            100_000_000u64,
+        ),
+        ("linux_3ms_slices", StackKind::HafniumLinux, 3_000_000),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::pine_a64(stack, 17);
+                cfg.options.co_tenant = Some(CoTenantSlices {
+                    own_slice_ns: slice_ns,
+                    other_slice_ns: slice_ns,
+                });
+                let mut w = GupsModel::new(GupsConfig {
+                    log2_table: 19,
+                    updates_per_entry: 2,
+                });
+                Machine::new(cfg).run(&mut w)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fast Criterion profile: the suite is large (the whole paper plus
+/// ablations), so per-bench sampling is kept short; raise these locally
+/// when chasing small regressions.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_irq_routing, bench_tick_sweep, bench_interference
+}
+criterion_main!(benches);

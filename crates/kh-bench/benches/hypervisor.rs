@@ -1,0 +1,107 @@
+//! Microbenchmarks of the SPM substrate itself: boot, hypercall
+//! dispatch, the vcpu_run/finish cycle, mailbox round trips, and the
+//! image-verification path. These quantify the cost of the mechanisms
+//! the machine executor charges architecturally.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kh_arch::platform::Platform;
+use kh_hafnium::boot::boot;
+use kh_hafnium::hypercall::HfCall;
+use kh_hafnium::manifest::{BootManifest, VmKind, VmManifest};
+use kh_hafnium::sha256;
+use kh_hafnium::spm::{Spm, SpmConfig};
+use kh_hafnium::verify::{KeyRegistry, TrustedKey};
+use kh_hafnium::vm::{VcpuRunExit, VmId};
+use kh_sim::Nanos;
+
+const MB: u64 = 1 << 20;
+
+fn manifest() -> BootManifest {
+    BootManifest::new()
+        .with_vm(VmManifest::new("kitten", VmKind::Primary, 64 * MB, 4))
+        .with_vm(VmManifest::new("app", VmKind::Secondary, 128 * MB, 2))
+}
+
+fn booted() -> Spm {
+    let cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    boot(cfg, &manifest(), vec![]).expect("boots").0
+}
+
+fn bench_spm(c: &mut Criterion) {
+    c.bench_function("spm_boot", |b| b.iter(booted));
+
+    c.bench_function("spm_vcpu_run_finish_cycle", |b| {
+        let mut spm = booted();
+        b.iter(|| {
+            spm.hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::VcpuRun {
+                    vm: VmId(2),
+                    vcpu: 0,
+                },
+                Nanos::ZERO,
+            )
+            .unwrap();
+            spm.finish_run(0, VcpuRunExit::Yield);
+        })
+    });
+
+    c.bench_function("spm_mailbox_roundtrip", |b| {
+        let mut spm = booted();
+        let payload = vec![7u8; 256];
+        b.iter(|| {
+            spm.hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::Send {
+                    to: VmId(2),
+                    payload: payload.clone(),
+                },
+                Nanos::ZERO,
+            )
+            .unwrap();
+            spm.hypercall(VmId(2), 0, 0, HfCall::Recv, Nanos::ZERO)
+                .unwrap()
+        })
+    });
+
+    c.bench_function("spm_isolation_audit", |b| {
+        let spm = booted();
+        b.iter(|| spm.audit_isolation())
+    });
+
+    c.bench_function("sha256_1mib_image", |b| {
+        let image = vec![0xA5u8; 1024 * 1024];
+        b.iter(|| sha256::digest(&image))
+    });
+
+    c.bench_function("image_signature_verify", |b| {
+        let key = TrustedKey::new("release", b"release-key");
+        let image = vec![0x5Au8; 64 * 1024];
+        let sig = key.sign(&image);
+        let mut reg = KeyRegistry::new();
+        reg.install(key).unwrap();
+        reg.seal();
+        b.iter(|| reg.verify(&image, &sig).unwrap())
+    });
+}
+
+/// Fast Criterion profile: the suite is large (the whole paper plus
+/// ablations), so per-bench sampling is kept short; raise these locally
+/// when chasing small regressions.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_spm
+}
+criterion_main!(benches);

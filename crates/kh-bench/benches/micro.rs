@@ -1,0 +1,79 @@
+//! Criterion bench for Figures 7/8: HPCG, STREAM, RandomAccess under
+//! each stack configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kh_core::config::StackKind;
+use kh_core::machine::Machine;
+use kh_core::MachineConfig;
+use kh_workloads::gups::{GupsConfig, GupsModel};
+use kh_workloads::hpcg::{HpcgConfig, HpcgModel};
+use kh_workloads::stream::{StreamConfig, StreamModel};
+use kh_workloads::Workload;
+
+type WorkloadFactory = Box<dyn Fn() -> Box<dyn Workload>>;
+
+fn run(stack: StackKind, mut w: Box<dyn Workload>) -> kh_core::machine::RunReport {
+    let cfg = MachineConfig::pine_a64(stack, 0x5C21);
+    Machine::new(cfg).run(w.as_mut())
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let cases: Vec<(&str, WorkloadFactory)> = vec![
+        (
+            "hpcg",
+            Box::new(|| {
+                Box::new(HpcgModel::new(HpcgConfig {
+                    max_iters: 10,
+                    ..Default::default()
+                }))
+            }),
+        ),
+        (
+            "stream",
+            Box::new(|| {
+                Box::new(StreamModel::new(StreamConfig {
+                    ntimes: 3,
+                    ..Default::default()
+                }))
+            }),
+        ),
+        (
+            "randomaccess",
+            Box::new(|| {
+                Box::new(GupsModel::new(GupsConfig {
+                    log2_table: 20,
+                    updates_per_entry: 2,
+                }))
+            }),
+        ),
+    ];
+    for (name, mk) in &cases {
+        let mut group = c.benchmark_group(format!("micro_{name}"));
+        group.sample_size(10);
+        for stack in StackKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(stack.label()),
+                &stack,
+                |b, &stack| b.iter(|| run(stack, mk())),
+            );
+        }
+        group.finish();
+    }
+}
+
+/// Fast Criterion profile: the suite is large (the whole paper plus
+/// ablations), so per-bench sampling is kept short; raise these locally
+/// when chasing small regressions.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_micro
+}
+criterion_main!(benches);

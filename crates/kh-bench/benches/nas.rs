@@ -1,0 +1,83 @@
+//! Criterion bench for Figures 9/10: the NAS subset under each stack
+//! configuration, plus the real native kernels themselves (LU SSOR, BT
+//! block-Thomas, SP pentadiagonal, CG power iteration, EP pair
+//! generation) so the numeric substrates have their own baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kh_core::config::StackKind;
+use kh_core::machine::Machine;
+use kh_core::MachineConfig;
+use kh_workloads::nas::{self, NasBenchmark};
+
+fn bench_simulated(c: &mut Criterion) {
+    for bench in NasBenchmark::ALL {
+        let mut group = c.benchmark_group(format!("nas_{}", bench.label().to_lowercase()));
+        group.sample_size(10);
+        for stack in StackKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(stack.label()),
+                &stack,
+                |b, &stack| {
+                    b.iter(|| {
+                        let cfg = MachineConfig::pine_a64(stack, 0x5C21);
+                        let mut w = bench.model();
+                        Machine::new(cfg).run(w.as_mut())
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_native_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nas_native_kernels");
+    group.sample_size(10);
+    group.bench_function("ep_2e16_pairs", |b| {
+        b.iter(|| nas::ep::run_native(&nas::ep::EpConfig { log2_pairs: 16 }))
+    });
+    group.bench_function("cg_n400", |b| {
+        b.iter(|| {
+            nas::cg::run_native(
+                &nas::cg::CgConfig {
+                    n: 400,
+                    ..Default::default()
+                },
+                42,
+            )
+        })
+    });
+    group.bench_function("lu_8cubed", |b| {
+        b.iter(|| {
+            nas::lu::run_native(&nas::lu::LuConfig {
+                n: 8,
+                itmax: 10,
+                omega: 1.2,
+            })
+        })
+    });
+    group.bench_function("bt_6cubed", |b| {
+        b.iter(|| nas::bt::run_native(&nas::bt::BtConfig { n: 6, timesteps: 1 }))
+    });
+    group.bench_function("sp_8cubed", |b| {
+        b.iter(|| nas::sp::run_native(&nas::sp::SpConfig { n: 8, timesteps: 1 }))
+    });
+    group.finish();
+}
+
+/// Fast Criterion profile: the suite is large (the whole paper plus
+/// ablations), so per-bench sampling is kept short; raise these locally
+/// when chasing small regressions.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_simulated, bench_native_kernels
+}
+criterion_main!(benches);

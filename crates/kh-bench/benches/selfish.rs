@@ -1,0 +1,51 @@
+//! Criterion bench for Figures 4–6: the selfish-detour benchmark under
+//! each stack configuration. The measured quantity is the simulation of
+//! a fixed window; the interesting output is the per-config detour
+//! counts printed alongside (shape of the paper's scatter plots).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kh_core::config::StackKind;
+use kh_core::machine::Machine;
+use kh_core::MachineConfig;
+use kh_sim::Nanos;
+use kh_workloads::selfish::{SelfishConfig, SelfishDetour};
+
+fn bench_selfish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selfish_detour");
+    group.sample_size(10);
+    for stack in StackKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stack.label()),
+            &stack,
+            |b, &stack| {
+                b.iter(|| {
+                    let cfg = MachineConfig::pine_a64(stack, 0x5C21);
+                    let mut machine = Machine::new(cfg);
+                    let mut w = SelfishDetour::new(SelfishConfig {
+                        duration: Nanos::from_millis(200),
+                        ..Default::default()
+                    });
+                    machine.run(&mut w)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fast Criterion profile: the suite is large (the whole paper plus
+/// ablations), so per-bench sampling is kept short; raise these locally
+/// when chasing small regressions.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_selfish
+}
+criterion_main!(benches);

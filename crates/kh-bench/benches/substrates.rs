@@ -1,0 +1,132 @@
+//! Microbenchmarks of the standalone substrates: the buddy allocator,
+//! the shared ring, the timer wheel, the CFS and Kitten schedulers, the
+//! TLB, and the parallel executor. These bound the bookkeeping costs of
+//! the pieces the node simulation is assembled from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kh_arch::tlb::{Tlb, TlbKey, TlbStage};
+use kh_core::config::StackKind;
+use kh_core::parallel::{BarrierMode, ParallelMachine};
+use kh_core::MachineConfig;
+use kh_hafnium::ring::SharedRing;
+use kh_kitten::pmem::BuddyAllocator;
+use kh_kitten::sched::{KittenScheduler, SchedConfig};
+use kh_kitten::task::TaskKind;
+use kh_linux::cfs::CfsScheduler;
+use kh_linux::timerwheel::TimerWheel;
+use kh_sim::Nanos;
+use kh_workloads::nas::NasBenchmark;
+
+fn bench_pmem(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_cycle", |b| {
+        let mut alloc = BuddyAllocator::new(0, 256 << 20, 4096);
+        b.iter(|| {
+            let p1 = alloc.alloc(64 << 10).unwrap();
+            let p2 = alloc.alloc(2 << 20).unwrap();
+            alloc.free(p1).unwrap();
+            alloc.free(p2).unwrap();
+        })
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_ring");
+    for size in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("push_pop", size), &size, |b, &size| {
+            let mut ring = SharedRing::new(1 << 16);
+            let msg = vec![7u8; size];
+            b.iter(|| {
+                ring.push(&msg).unwrap();
+                ring.pop().unwrap().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_timerwheel(c: &mut Criterion) {
+    c.bench_function("timerwheel_schedule_tick", |b| {
+        let mut w = TimerWheel::new();
+        b.iter(|| {
+            w.schedule(17);
+            w.tick()
+        })
+    });
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    c.bench_function("kitten_pick_next", |b| {
+        let mut s = KittenScheduler::new(4, SchedConfig::default());
+        for i in 0..8 {
+            s.spawn(&format!("t{i}"), TaskKind::Kernel, i % 4);
+        }
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            s.pick_next(0, Nanos(t))
+        })
+    });
+    c.bench_function("cfs_tick_under_load", |b| {
+        let mut s = CfsScheduler::new(1);
+        for i in 0..8 {
+            let id = s.create(&format!("t{i}"), 0, 0);
+            s.enqueue(id);
+        }
+        s.pick_next(0, Nanos::ZERO);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000;
+            s.on_tick(0, Nanos(t))
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb_lookup_fill", |b| {
+        let mut tlb = Tlb::new(512, 4);
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = vpn.wrapping_add(1) % 4096;
+            let key = TlbKey {
+                asid: 1,
+                vmid: 2,
+                vpn,
+                stage: TlbStage::TwoStage,
+            };
+            if tlb.lookup(key).is_none() {
+                tlb.fill(key, vpn);
+            }
+        })
+    });
+}
+
+fn bench_parallel_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_executor");
+    group.sample_size(10);
+    group.bench_function("lu_x4_barriers_kitten", |b| {
+        b.iter(|| {
+            let cfg = MachineConfig::pine_a64(StackKind::HafniumKitten, 3);
+            let mut m = ParallelMachine::new(cfg, 4);
+            let ws = (0..4).map(|_| NasBenchmark::Lu.model()).collect();
+            m.run(ws, BarrierMode::PerPhase)
+        })
+    });
+    group.finish();
+}
+
+/// Fast Criterion profile: the suite is large (the whole paper plus
+/// ablations), so per-bench sampling is kept short; raise these locally
+/// when chasing small regressions.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_pmem, bench_ring, bench_timerwheel, bench_schedulers, bench_tlb, bench_parallel_executor
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Run the future-work ablations (paper §VII): selective IRQ routing,
+//! tick-rate sweep, and multi-workload interference.
+//!
+//! Usage: `cargo run --release -p kh-bench --bin ablations`
+
+use kh_bench::SEED;
+use kh_core::figures::{
+    ablation_ftq, ablation_interference, ablation_io_path, ablation_irq_routing,
+    ablation_page_size, ablation_parallel_nas, ablation_platform_sweep, ablation_tick_sweep,
+};
+
+fn main() {
+    println!("== Ablation 1: IRQ routing (device IRQ to the super-secondary) ==");
+    for r in ablation_irq_routing(10_000) {
+        println!(
+            "  {:<16?} per-IRQ latency = {:<10} forwarded = {}/{}",
+            r.policy, r.per_irq, r.forwarded, r.delivered
+        );
+    }
+
+    println!("\n== Ablation 2: primary tick-rate sweep (selfish, 1 s) ==");
+    for p in ablation_tick_sweep(&[1, 10, 100, 250, 1000], SEED) {
+        println!(
+            "  {:>5} Hz: detours = {:<6} stolen = {:.4}%",
+            p.hz,
+            p.detours,
+            p.stolen_fraction * 100.0
+        );
+    }
+
+    println!("\n== Ablation 3: multi-workload interference (GUPS + co-tenant VM) ==");
+    for p in ablation_interference(SEED) {
+        println!(
+            "  {:<16?} alone = {:.3e} GUP/s  shared = {:.3e} GUP/s  share-efficiency = {:.3} ({} switches)",
+            p.stack,
+            p.gups_alone,
+            p.gups_shared,
+            p.share_efficiency(),
+            p.co_tenant_slices
+        );
+    }
+
+    println!("\n== Ablation 4: secure I/O path (super-secondary -> secondary, 512 B msgs) ==");
+    for r in ablation_io_path(20_000, 512, 32) {
+        println!(
+            "  {:<12} per-message = {:<10} throughput = {:>8.1} MB/s  hypervisor ops = {}",
+            r.path, r.per_message, r.throughput_mbps, r.hypervisor_ops
+        );
+    }
+
+    println!("\n== Ablation 5: FTQ noise cross-check (1000 x 1 ms quanta) ==");
+    for p in ablation_ftq(SEED) {
+        println!(
+            "  {:<16?} work-per-quantum cv = {:.5} over {} quanta",
+            p.stack, p.noise_cv, p.quanta
+        );
+    }
+
+    println!("\n== Ablation 6: 4-thread NAS LU with per-phase barriers ==");
+    for p in ablation_parallel_nas(SEED) {
+        println!(
+            "  {:<16?} aggregate = {:>7.2} Mop/s  barrier wait = {:<10} elapsed = {}",
+            p.stack, p.aggregate_mops, p.barrier_wait, p.elapsed
+        );
+    }
+
+    println!("\n== Ablation 7: guest page size (RandomAccess GUP/s) ==");
+    for p in ablation_page_size(SEED) {
+        println!(
+            "  {:<16?} {:<11} {:.4e} GUP/s",
+            p.stack,
+            if p.block_mappings {
+                "2MiB blocks"
+            } else {
+                "4KiB pages"
+            },
+            p.gups
+        );
+    }
+
+    println!("\n== Ablation 8: platform sweep (RandomAccess, normalized to native) ==");
+    println!(
+        "  {:<22} {:>8} {:>8} {:>8}",
+        "platform", "Native", "Kitten", "Linux"
+    );
+    for p in ablation_platform_sweep(SEED) {
+        println!(
+            "  {:<22} {:>8.3} {:>8.3} {:>8.3}",
+            p.platform, p.normalized[0], p.normalized[1], p.normalized[2]
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerate Figures 4–6: selfish-detour noise profiles under the three
+//! stack configurations.
+//!
+//! Usage: `cargo run --release -p kh-bench --bin fig4_6_selfish`
+
+use kh_bench::SEED;
+use kh_core::figures::{figures_4_to_6, render_selfish};
+use kh_metrics::csv::CsvWriter;
+use kh_metrics::hist::LogHistogram;
+use kh_sim::Nanos;
+
+fn main() {
+    let duration = Nanos::from_secs(1);
+    let profiles = figures_4_to_6(SEED, duration);
+    println!("{}", render_selfish(&profiles, duration));
+
+    println!("Summary:");
+    for p in &profiles {
+        let max = p
+            .detours
+            .iter()
+            .map(|d| d.duration)
+            .max()
+            .unwrap_or(Nanos::ZERO);
+        let mean_us = if p.detours.is_empty() {
+            0.0
+        } else {
+            p.detours
+                .iter()
+                .map(|d| d.duration.as_nanos() as f64)
+                .sum::<f64>()
+                / p.detours.len() as f64
+                / 1e3
+        };
+        let mut hist = LogHistogram::for_detours();
+        for d in &p.detours {
+            hist.record(d.duration.as_nanos() as f64);
+        }
+        println!(
+            "  {:<22} detours={:<6} mean={:.2}us p50={} p99={} max={} stolen={} (host_ticks={} guest_ticks={} bg={})",
+            format!("{:?}", p.stack),
+            p.detours.len(),
+            mean_us,
+            Nanos(hist.median() as u64),
+            Nanos(hist.p99() as u64),
+            max,
+            p.report.stolen,
+            p.report.host_ticks,
+            p.report.guest_ticks,
+            p.report.background_events,
+        );
+    }
+
+    // CSV artifact: one row per detour event.
+    let mut csv = CsvWriter::new(&["config", "at_ns", "duration_ns"]);
+    for p in &profiles {
+        for d in &p.detours {
+            csv.row(&[
+                p.stack.label(),
+                &d.at.as_nanos().to_string(),
+                &d.duration.as_nanos().to_string(),
+            ]);
+        }
+    }
+    let path = "fig4_6_selfish.csv";
+    std::fs::write(path, csv.finish()).expect("write csv");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,16 @@
+//! Regenerate Figures 7 and 8: HPCG, STREAM, and RandomAccess under the
+//! three stack configurations (normalized chart data + raw table).
+//!
+//! Usage: `cargo run --release -p kh-bench --bin fig7_8_micro`
+
+use kh_bench::{SEED, TRIALS};
+use kh_core::figures::figure_7_8;
+
+fn main() {
+    let suite = figure_7_8(TRIALS, SEED);
+    println!("{}", suite.normalized_table());
+    println!("{}", suite.raw_table());
+    let path = "fig7_8_micro.csv";
+    std::fs::write(path, suite.csv()).expect("write csv");
+    println!("wrote {path}");
+}

@@ -1,0 +1,16 @@
+//! Regenerate Figures 9 and 10: the NAS LU/BT/CG/EP/SP subset under the
+//! three stack configurations (normalized chart data + raw Mop/s table).
+//!
+//! Usage: `cargo run --release -p kh-bench --bin fig9_10_nas`
+
+use kh_bench::{SEED, TRIALS};
+use kh_core::figures::figure_9_10;
+
+fn main() {
+    let suite = figure_9_10(TRIALS, SEED);
+    println!("{}", suite.normalized_table());
+    println!("{}", suite.raw_table());
+    let path = "fig9_10_nas.csv";
+    std::fs::write(path, suite.csv()).expect("write csv");
+    println!("wrote {path}");
+}

@@ -1,0 +1,145 @@
+//! System-stack configurations.
+
+use kh_arch::platform::Platform;
+use kh_hafnium::irq::IrqRoutingPolicy;
+use serde::{Deserialize, Serialize};
+
+/// The three configurations of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StackKind {
+    /// Baseline: Kitten on bare metal, no hypervisor.
+    NativeKitten,
+    /// Hafnium with the Kitten LWK as the primary scheduling VM (the
+    /// paper's contribution).
+    HafniumKitten,
+    /// Hafnium with the reference Linux primary (the commodity default).
+    HafniumLinux,
+}
+
+impl StackKind {
+    pub const ALL: [StackKind; 3] = [
+        StackKind::NativeKitten,
+        StackKind::HafniumKitten,
+        StackKind::HafniumLinux,
+    ];
+
+    /// Row labels used throughout the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StackKind::NativeKitten => "Native",
+            StackKind::HafniumKitten => "Kitten",
+            StackKind::HafniumLinux => "Linux",
+        }
+    }
+
+    pub fn is_virtualized(self) -> bool {
+        !matches!(self, StackKind::NativeKitten)
+    }
+}
+
+/// Stack knobs beyond the paper's three base configurations (used by the
+/// ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StackOptions {
+    /// IRQ routing policy (default vs the paper's selective extension).
+    pub routing: IrqRoutingPolicy,
+    /// The secondary (guest) Kitten's scheduler tick rate.
+    pub guest_tick_hz: u64,
+    /// Override the primary's tick rate (None = the kernel's default:
+    /// 10 Hz Kitten, 250 Hz Linux).
+    pub host_tick_hz: Option<u64>,
+    /// Enforce signed VM images at boot.
+    pub verify_images: bool,
+    /// Enable the dynamic-partition extension.
+    pub dynamic_partitions: bool,
+    /// Relative DRAM timing jitter (1σ) applied per phase; models
+    /// run-to-run variation so repeated trials have realistic stdev.
+    pub jitter_sigma: f64,
+    /// Co-tenant time-sharing for the interference ablation: when set,
+    /// a competing VM shares the benchmark's core, alternating
+    /// `own_slice` of benchmark time with `other_slice` of co-tenant
+    /// time (plus switch overheads and pollution).
+    pub co_tenant: Option<CoTenantSlices>,
+    /// Failure injection: at this virtual time (ns) the benchmark VM
+    /// takes an unrecoverable stage-2 fault. The hypervisor aborts the
+    /// VCPU and the run terminates early — used to test the abort path
+    /// end to end.
+    pub inject_fault_at_ns: Option<u64>,
+    /// The guest kernel maps the workload with 2 MiB blocks (Kitten's
+    /// default for large regions; Linux THP equivalent). Multiplies TLB
+    /// reach by 512 — the LWK large-page story as an ablation knob.
+    pub guest_block_mappings: bool,
+}
+
+/// Time-slice pattern of a co-located VM on the benchmark core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoTenantSlices {
+    /// Benchmark's slice length (ns) — the primary scheduler's quantum.
+    pub own_slice_ns: u64,
+    /// Co-tenant's slice length (ns).
+    pub other_slice_ns: u64,
+}
+
+impl Default for StackOptions {
+    fn default() -> Self {
+        StackOptions {
+            routing: IrqRoutingPolicy::AllToPrimary,
+            guest_tick_hz: 10,
+            host_tick_hz: None,
+            verify_images: false,
+            dynamic_partitions: false,
+            jitter_sigma: 0.003,
+            co_tenant: None,
+            inject_fault_at_ns: None,
+            guest_block_mappings: false,
+        }
+    }
+}
+
+/// Everything the executor needs to build a machine.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    pub platform: Platform,
+    pub stack: StackKind,
+    pub options: StackOptions,
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The paper's evaluation machine under a given stack.
+    pub fn pine_a64(stack: StackKind, seed: u64) -> Self {
+        MachineConfig {
+            platform: Platform::pine_a64_lts(),
+            stack,
+            options: StackOptions::default(),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(StackKind::NativeKitten.label(), "Native");
+        assert_eq!(StackKind::HafniumKitten.label(), "Kitten");
+        assert_eq!(StackKind::HafniumLinux.label(), "Linux");
+    }
+
+    #[test]
+    fn virtualization_flag() {
+        assert!(!StackKind::NativeKitten.is_virtualized());
+        assert!(StackKind::HafniumKitten.is_virtualized());
+        assert!(StackKind::HafniumLinux.is_virtualized());
+    }
+
+    #[test]
+    fn default_options() {
+        let o = StackOptions::default();
+        assert_eq!(o.guest_tick_hz, 10);
+        assert_eq!(o.routing, IrqRoutingPolicy::AllToPrimary);
+        assert!(o.jitter_sigma < 0.01);
+    }
+}

@@ -1,0 +1,175 @@
+//! Repeated-trial experiment runner.
+//!
+//! The paper reports mean ± stdev over repeated runs. `run_trials`
+//! executes N independent trials of a workload under one stack
+//! configuration (each with its own seed, so tick alignment, background
+//! noise, and DRAM jitter all vary) and aggregates the results. Trials
+//! are independent simulations, so they run in parallel across host
+//! threads.
+
+use crate::config::{MachineConfig, StackKind, StackOptions};
+use crate::machine::{Machine, RunReport};
+use kh_arch::platform::Platform;
+use kh_metrics::stats::Summary;
+use kh_workloads::Workload;
+
+/// Aggregated results of repeated trials of one (workload, stack) cell.
+#[derive(Debug)]
+pub struct TrialStats {
+    pub stack: StackKind,
+    pub workload: String,
+    /// Throughput summary (empty for detour workloads).
+    pub throughput: Summary,
+    /// Detour-count summary (empty for throughput workloads).
+    pub detour_count: Summary,
+    /// Per-trial reports, in seed order.
+    pub reports: Vec<RunReport>,
+}
+
+impl TrialStats {
+    /// Mean throughput (NaN when the workload reports detours).
+    pub fn mean(&self) -> f64 {
+        self.throughput.mean()
+    }
+
+    pub fn stdev(&self) -> f64 {
+        self.throughput.stdev()
+    }
+}
+
+/// Run `trials` independent simulations of the workload built by
+/// `make_workload` under `stack` on `platform`. Seeds are
+/// `base_seed + trial_index`.
+pub fn run_trials<F>(
+    platform: Platform,
+    stack: StackKind,
+    options: StackOptions,
+    trials: u32,
+    base_seed: u64,
+    make_workload: F,
+) -> TrialStats
+where
+    F: Fn() -> Box<dyn Workload + Send> + Sync,
+{
+    let mut reports: Vec<Option<RunReport>> = (0..trials).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (i, slot) in reports.iter_mut().enumerate() {
+            let mk = &make_workload;
+            s.spawn(move |_| {
+                let cfg = MachineConfig {
+                    platform,
+                    stack,
+                    options,
+                    seed: base_seed + i as u64,
+                };
+                let mut machine = Machine::new(cfg);
+                let mut w = mk();
+                *slot = Some(machine.run(w.as_mut()));
+            });
+        }
+    })
+    .expect("trial threads join");
+    let reports: Vec<RunReport> = reports.into_iter().map(|r| r.expect("trial ran")).collect();
+
+    let mut throughput = Summary::new();
+    let mut detour_count = Summary::new();
+    let mut name = String::new();
+    for r in &reports {
+        name = r.workload.clone();
+        if let Some(v) = r.output.throughput() {
+            throughput.push(v);
+        }
+        if let Some(d) = r.output.detours() {
+            detour_count.push(d.len() as f64);
+        }
+    }
+    TrialStats {
+        stack,
+        workload: name,
+        throughput,
+        detour_count,
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kh_sim::Nanos;
+    use kh_workloads::gups::{GupsConfig, GupsModel};
+    use kh_workloads::selfish::{SelfishConfig, SelfishDetour};
+
+    fn small_gups() -> Box<dyn Workload + Send> {
+        Box::new(GupsModel::new(GupsConfig {
+            log2_table: 18,
+            updates_per_entry: 2,
+        }))
+    }
+
+    #[test]
+    fn trials_aggregate_throughput() {
+        let stats = run_trials(
+            Platform::pine_a64_lts(),
+            StackKind::NativeKitten,
+            StackOptions::default(),
+            4,
+            100,
+            small_gups,
+        );
+        assert_eq!(stats.throughput.count(), 4);
+        assert!(stats.mean() > 0.0);
+        assert_eq!(stats.reports.len(), 4);
+        assert_eq!(stats.workload, "randomaccess");
+    }
+
+    #[test]
+    fn distinct_seeds_produce_spread() {
+        let stats = run_trials(
+            Platform::pine_a64_lts(),
+            StackKind::HafniumLinux,
+            StackOptions::default(),
+            5,
+            7,
+            small_gups,
+        );
+        assert!(stats.stdev() > 0.0, "jitter must produce nonzero stdev");
+        assert!(stats.throughput.cv() < 0.05, "but a small one");
+    }
+
+    #[test]
+    fn detour_workloads_fill_detour_summary() {
+        let stats = run_trials(
+            Platform::pine_a64_lts(),
+            StackKind::NativeKitten,
+            StackOptions::default(),
+            3,
+            1,
+            || {
+                Box::new(SelfishDetour::new(SelfishConfig {
+                    duration: Nanos::from_millis(500),
+                    ..Default::default()
+                }))
+            },
+        );
+        assert_eq!(stats.detour_count.count(), 3);
+        assert_eq!(stats.throughput.count(), 0);
+        // ~5 ticks in 500 ms at 10 Hz.
+        assert!(stats.detour_count.mean() >= 2.0);
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let run = || {
+            run_trials(
+                Platform::pine_a64_lts(),
+                StackKind::HafniumKitten,
+                StackOptions::default(),
+                3,
+                55,
+                small_gups,
+            )
+            .mean()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,875 @@
+//! Regeneration of every figure and table in the paper's evaluation,
+//! plus the future-work ablations.
+//!
+//! | Function | Paper artifact |
+//! |----------|----------------|
+//! | [`figures_4_to_6`] | Figures 4–6: selfish-detour noise profiles |
+//! | [`figure_7_8`] | Figure 7 (normalized) + Figure 8 (raw table): HPCG, STREAM, RandomAccess |
+//! | [`figure_9_10`] | Figure 9 (normalized) + Figure 10 (raw table): NAS LU/BT/CG/EP/SP |
+//! | [`ablation_irq_routing`] | §VII: selective IRQ routing vs forward-via-primary |
+//! | [`ablation_tick_sweep`] | §III.a: why low tick rates matter |
+//! | [`ablation_interference`] | §VII: multi-workload performance isolation |
+
+use crate::config::{CoTenantSlices, MachineConfig, StackKind, StackOptions};
+use crate::experiment::{run_trials, TrialStats};
+use crate::machine::{Machine, RunReport};
+use kh_arch::platform::Platform;
+use kh_hafnium::irq::IrqRoutingPolicy;
+use kh_metrics::csv::CsvWriter;
+use kh_metrics::scatter::AsciiScatter;
+use kh_metrics::table::{format_sig, Table};
+use kh_sim::Nanos;
+use kh_workloads::gups::{GupsConfig, GupsModel};
+use kh_workloads::hpcg::{HpcgConfig, HpcgModel};
+use kh_workloads::nas::NasBenchmark;
+use kh_workloads::selfish::{SelfishConfig, SelfishDetour};
+use kh_workloads::stream::{StreamConfig, StreamModel};
+use kh_workloads::{Detour, ScoreUnit, Workload};
+
+/// A thread-safe factory producing fresh workload instances per trial.
+pub type WorkloadFactory = Box<dyn Fn() -> Box<dyn Workload + Send> + Sync>;
+
+// ---------------------------------------------------------------------
+// Figures 4–6: selfish-detour noise profiles
+// ---------------------------------------------------------------------
+
+/// One configuration's noise profile.
+#[derive(Debug)]
+pub struct SelfishProfile {
+    pub stack: StackKind,
+    pub detours: Vec<Detour>,
+    pub report: RunReport,
+}
+
+/// Run the selfish-detour benchmark under all three stacks.
+pub fn figures_4_to_6(seed: u64, duration: Nanos) -> Vec<SelfishProfile> {
+    StackKind::ALL
+        .iter()
+        .map(|&stack| {
+            let cfg = MachineConfig::pine_a64(stack, seed);
+            let mut machine = Machine::new(cfg);
+            let mut w = SelfishDetour::new(SelfishConfig {
+                duration,
+                ..Default::default()
+            });
+            let report = machine.run(&mut w);
+            let detours = report.output.detours().unwrap_or(&[]).to_vec();
+            SelfishProfile {
+                stack,
+                detours,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Render the three scatter plots (the shape of Figures 4–6).
+pub fn render_selfish(profiles: &[SelfishProfile], duration: Nanos) -> String {
+    let mut out = String::new();
+    for (i, p) in profiles.iter().enumerate() {
+        let scatter = AsciiScatter {
+            x_max: duration,
+            ..Default::default()
+        };
+        let fig = 4 + i;
+        let title = format!(
+            "Figure {fig}: selfish-detour, {} ({} detours, {} stolen)",
+            match p.stack {
+                StackKind::NativeKitten => "native Kitten",
+                StackKind::HafniumKitten => "Kitten secondary VM + Kitten scheduler VM",
+                StackKind::HafniumLinux => "Kitten secondary VM + Linux scheduler VM",
+            },
+            p.detours.len(),
+            p.report.stolen,
+        );
+        let pts: Vec<(Nanos, Nanos)> = p.detours.iter().map(|d| (d.at, d.duration)).collect();
+        out.push_str(&scatter.render(&title, &pts));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Benchmark-suite figures (7/8 and 9/10)
+// ---------------------------------------------------------------------
+
+/// A full stacks × benchmarks result grid.
+#[derive(Debug)]
+pub struct SuiteResult {
+    pub title: String,
+    pub benches: Vec<&'static str>,
+    pub units: Vec<ScoreUnit>,
+    /// `cells[stack_idx][bench_idx]`, stacks in `StackKind::ALL` order.
+    pub cells: Vec<Vec<TrialStats>>,
+}
+
+impl SuiteResult {
+    pub fn mean(&self, stack: StackKind, bench_idx: usize) -> f64 {
+        let si = StackKind::ALL.iter().position(|&s| s == stack).unwrap();
+        self.cells[si][bench_idx].mean()
+    }
+
+    /// Normalized-to-native values per benchmark (Figures 7 and 9).
+    pub fn normalized(&self) -> Vec<(&'static str, Vec<f64>)> {
+        self.benches
+            .iter()
+            .enumerate()
+            .map(|(bi, &name)| {
+                let native = self.mean(StackKind::NativeKitten, bi);
+                let vals = StackKind::ALL
+                    .iter()
+                    .map(|&s| self.mean(s, bi) / native)
+                    .collect();
+                (name, vals)
+            })
+            .collect()
+    }
+
+    /// The raw mean ± stdev table (Figures 8 and 10).
+    pub fn raw_table(&self) -> String {
+        let headers: Vec<String> = self
+            .benches
+            .iter()
+            .zip(&self.units)
+            .flat_map(|(b, u)| [format!("{b} ({})", u.label()), "stdev".to_string()])
+            .collect();
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(self.title.clone(), &hrefs);
+        for (si, &stack) in StackKind::ALL.iter().enumerate() {
+            let mut cells = Vec::new();
+            for bi in 0..self.benches.len() {
+                let s = &self.cells[si][bi];
+                cells.push(format_sig(s.mean(), 3));
+                cells.push(format_sig(s.stdev(), 2));
+            }
+            t.row(stack.label(), cells);
+        }
+        t.render()
+    }
+
+    /// The normalized table (Figures 7 and 9 as numbers).
+    pub fn normalized_table(&self) -> String {
+        let hrefs: Vec<&str> = self.benches.to_vec();
+        let mut t = Table::new(format!("{} (normalized to Native)", self.title), &hrefs);
+        for (si, &stack) in StackKind::ALL.iter().enumerate() {
+            let cells = (0..self.benches.len())
+                .map(|bi| {
+                    let native = self.mean(StackKind::NativeKitten, bi);
+                    format!("{:.3}", self.cells[si][bi].mean() / native)
+                })
+                .collect();
+            t.row(stack.label(), cells);
+        }
+        t.render()
+    }
+
+    /// Machine-readable emission.
+    pub fn csv(&self) -> String {
+        let mut headers = vec!["config".to_string()];
+        for b in &self.benches {
+            headers.push(format!("{b}_mean"));
+            headers.push(format!("{b}_stdev"));
+        }
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut w = CsvWriter::new(&hrefs);
+        for (si, &stack) in StackKind::ALL.iter().enumerate() {
+            let mut vals = Vec::new();
+            for bi in 0..self.benches.len() {
+                vals.push(self.cells[si][bi].mean());
+                vals.push(self.cells[si][bi].stdev());
+            }
+            w.row_f64(stack.label(), &vals);
+        }
+        w.finish()
+    }
+}
+
+fn run_suite(
+    title: &str,
+    benches: Vec<(&'static str, ScoreUnit, WorkloadFactory)>,
+    trials: u32,
+    seed: u64,
+) -> SuiteResult {
+    let platform = Platform::pine_a64_lts();
+    let names: Vec<&'static str> = benches.iter().map(|(n, _, _)| *n).collect();
+    let units: Vec<ScoreUnit> = benches.iter().map(|(_, u, _)| *u).collect();
+    let mut cells = Vec::new();
+    for &stack in &StackKind::ALL {
+        let mut row = Vec::new();
+        for (bi, (_, _, mk)) in benches.iter().enumerate() {
+            row.push(run_trials(
+                platform,
+                stack,
+                StackOptions::default(),
+                trials,
+                seed + 1000 * bi as u64,
+                mk,
+            ));
+        }
+        cells.push(row);
+    }
+    SuiteResult {
+        title: title.to_string(),
+        benches: names,
+        units,
+        cells,
+    }
+}
+
+/// Figures 7/8: HPCG, STREAM, RandomAccess under all three stacks.
+pub fn figure_7_8(trials: u32, seed: u64) -> SuiteResult {
+    run_suite(
+        "Fig 8: HPCG, Stream, and RandomAccess Benchmark performance",
+        vec![
+            (
+                "HPCG",
+                ScoreUnit::GFlops,
+                Box::new(|| Box::new(HpcgModel::new(HpcgConfig::default())) as _),
+            ),
+            (
+                "Stream",
+                ScoreUnit::MBps,
+                Box::new(|| Box::new(StreamModel::new(StreamConfig::default())) as _),
+            ),
+            (
+                "RandomAccess",
+                ScoreUnit::Gups,
+                Box::new(|| Box::new(GupsModel::new(GupsConfig::default())) as _),
+            ),
+        ],
+        trials,
+        seed,
+    )
+}
+
+/// Figures 9/10: the NAS subset under all three stacks.
+pub fn figure_9_10(trials: u32, seed: u64) -> SuiteResult {
+    let benches: Vec<(&'static str, ScoreUnit, WorkloadFactory)> = NasBenchmark::ALL
+        .iter()
+        .map(|&b| {
+            (
+                b.label(),
+                ScoreUnit::Mops,
+                Box::new(move || b.model()) as WorkloadFactory,
+            )
+        })
+        .collect();
+    run_suite(
+        "Fig 10: NAS Parallel Benchmark performance (Mop/s)",
+        benches,
+        trials,
+        seed,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Ablations (paper §VII future-work directions)
+// ---------------------------------------------------------------------
+
+/// Per-policy IRQ delivery costs for device interrupts owned by the
+/// super-secondary.
+#[derive(Debug, Clone)]
+pub struct IrqRoutingResult {
+    pub policy: IrqRoutingPolicy,
+    /// Average end-to-end delivery latency per device IRQ.
+    pub per_irq: Nanos,
+    pub forwarded: u64,
+    pub delivered: u64,
+}
+
+/// Quantify the forwarding tax of the default all-to-primary routing
+/// against the paper's proposed selective routing.
+pub fn ablation_irq_routing(irqs: u64) -> Vec<IrqRoutingResult> {
+    use kh_arch::el::ExceptionLevel;
+    use kh_arch::gic::IntId;
+    use kh_hafnium::manifest::{BootManifest, MmioRegion, VmKind, VmManifest};
+    use kh_hafnium::spm::SpmConfig;
+    let platform = Platform::pine_a64_lts();
+    let freq = platform.core_freq;
+    let rt12 = platform
+        .transitions
+        .round_trip(ExceptionLevel::El1, ExceptionLevel::El2, freq);
+    let vm_switch = freq.cycles_to_nanos(platform.transitions.vm_context_switch_cycles);
+    let gic_ack = freq.cycles_to_nanos(platform.gic.ack_eoi_cycles());
+
+    let mut out = Vec::new();
+    for policy in [IrqRoutingPolicy::AllToPrimary, IrqRoutingPolicy::Selective] {
+        let mut cfg = SpmConfig::default_for(platform);
+        cfg.routing = policy;
+        const MB: u64 = 1 << 20;
+        let manifest = BootManifest::new()
+            .with_vm(VmManifest::new("kitten", VmKind::Primary, 64 * MB, 4))
+            .with_vm(
+                VmManifest::new("login", VmKind::SuperSecondary, 128 * MB, 1).with_device(
+                    MmioRegion {
+                        name: "mmc0".into(),
+                        base: 0x01C0_F000,
+                        len: 0x1000,
+                        irq: Some(92),
+                    },
+                ),
+            );
+        let (mut spm, _) = kh_hafnium::boot::boot(cfg, &manifest, vec![]).expect("boots");
+        let mut total = Nanos::ZERO;
+        let mut forwarded = 0u64;
+        for _ in 0..irqs {
+            let d = spm.physical_irq(IntId(92));
+            // Hardware delivery into the first target's vector.
+            let mut cost = rt12 + gic_ack;
+            if d.forwarded {
+                // Primary takes it, then injects into the
+                // super-secondary via hypercall and Hafnium switches VMs.
+                cost += rt12 + vm_switch.scaled(2);
+                forwarded += 1;
+            }
+            total += cost;
+        }
+        out.push(IrqRoutingResult {
+            policy,
+            per_irq: Nanos(total.as_nanos() / irqs.max(1)),
+            forwarded,
+            delivered: irqs,
+        });
+    }
+    out
+}
+
+/// One point of the tick-rate sweep.
+#[derive(Debug, Clone)]
+pub struct TickSweepPoint {
+    pub hz: u64,
+    pub detours: u64,
+    /// Fraction of CPU time stolen from the benchmark.
+    pub stolen_fraction: f64,
+}
+
+/// Sweep the primary's tick rate and measure noise — the quantitative
+/// version of the paper's "lower timer tick rates" argument.
+pub fn ablation_tick_sweep(hzs: &[u64], seed: u64) -> Vec<TickSweepPoint> {
+    hzs.iter()
+        .map(|&hz| {
+            let mut cfg = MachineConfig::pine_a64(StackKind::HafniumKitten, seed);
+            cfg.options.host_tick_hz = Some(hz);
+            let mut machine = Machine::new(cfg);
+            let mut w = SelfishDetour::new(SelfishConfig {
+                duration: Nanos::from_secs(1),
+                ..Default::default()
+            });
+            let r = machine.run(&mut w);
+            TickSweepPoint {
+                hz,
+                detours: r.output.detours().map(|d| d.len() as u64).unwrap_or(0),
+                stolen_fraction: r.stolen.as_secs_f64() / r.elapsed.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// One stack's interference result.
+#[derive(Debug, Clone)]
+pub struct InterferencePoint {
+    pub stack: StackKind,
+    /// GUPS throughput with a co-tenant VM time-sharing the core.
+    pub gups_shared: f64,
+    /// GUPS throughput alone on the stack.
+    pub gups_alone: f64,
+    pub co_tenant_slices: u64,
+}
+
+impl InterferencePoint {
+    /// Retained fraction of the fair 50% share: 1.0 means the co-tenant
+    /// cost nothing beyond its fair share of the core.
+    pub fn share_efficiency(&self) -> f64 {
+        (self.gups_shared / self.gups_alone) / 0.5
+    }
+}
+
+/// Multi-workload interference: a co-tenant VM shares the benchmark's
+/// core at a 50% duty cycle. Kitten's 100 ms quanta switch rarely;
+/// Linux's millisecond-scale CFS slices switch constantly, and every
+/// switch pollutes the benchmark's cache/TLB state.
+pub fn ablation_interference(seed: u64) -> Vec<InterferencePoint> {
+    let gups = GupsConfig::default();
+    [StackKind::HafniumKitten, StackKind::HafniumLinux]
+        .iter()
+        .map(|&stack| {
+            let slices = match stack {
+                // Kitten rotates at its quantum.
+                StackKind::HafniumKitten => CoTenantSlices {
+                    own_slice_ns: 100_000_000,
+                    other_slice_ns: 100_000_000,
+                },
+                // Linux CFS at class latency: ~3 ms alternation.
+                _ => CoTenantSlices {
+                    own_slice_ns: 3_000_000,
+                    other_slice_ns: 3_000_000,
+                },
+            };
+            let run = |co: Option<CoTenantSlices>| {
+                let mut cfg = MachineConfig::pine_a64(stack, seed);
+                cfg.options.co_tenant = co;
+                let mut m = Machine::new(cfg);
+                let mut w = GupsModel::new(gups);
+                m.run(&mut w)
+            };
+            let alone = run(None);
+            let shared = run(Some(slices));
+            InterferencePoint {
+                stack,
+                gups_shared: shared.output.throughput().unwrap(),
+                gups_alone: alone.output.throughput().unwrap(),
+                co_tenant_slices: shared.co_tenant_slices,
+            }
+        })
+        .collect()
+}
+
+/// Per-path I/O cost comparison (mailbox vs shared-memory ring).
+#[derive(Debug, Clone)]
+pub struct IoPathResult {
+    pub path: &'static str,
+    pub messages: u64,
+    pub bytes: u64,
+    pub per_message: Nanos,
+    pub throughput_mbps: f64,
+    /// Hypervisor-mediated operations (hypercalls or doorbells).
+    pub hypervisor_ops: u64,
+}
+
+/// The I/O-path ablation: move `messages` messages of `msg_bytes` each
+/// from the super-secondary (device owner) to a secondary, first over
+/// Hafnium's single-slot mailbox (two hypercall round trips per
+/// message), then over a shared-memory ring with doorbells batched every
+/// `batch` messages. Both paths move real bytes through the real data
+/// structures; the architectural costs come from the platform profile.
+pub fn ablation_io_path(messages: u64, msg_bytes: usize, batch: u32) -> Vec<IoPathResult> {
+    use kh_hafnium::hypercall::{HfCall, HfReturn};
+    use kh_hafnium::manifest::{BootManifest, VmKind, VmManifest};
+    use kh_hafnium::ring::IoChannel;
+    use kh_hafnium::spm::SpmConfig;
+    use kh_hafnium::vm::VmId;
+
+    let platform = Platform::pine_a64_lts();
+    let freq = platform.core_freq;
+    let rt12 = platform.transitions.round_trip(
+        kh_arch::el::ExceptionLevel::El1,
+        kh_arch::el::ExceptionLevel::El2,
+        freq,
+    );
+    // Copy cost: bytes through the cache hierarchy at ~8 bytes/cycle
+    // effective (load+store pairs with prefetch).
+    let copy_cost = |bytes: u64| freq.cycles_to_nanos(bytes / 8 + 20);
+
+    const MB: u64 = 1 << 20;
+    let manifest = BootManifest::new()
+        .with_vm(VmManifest::new("kitten", VmKind::Primary, 64 * MB, 4))
+        .with_vm(VmManifest::new("login", VmKind::SuperSecondary, 64 * MB, 1))
+        .with_vm(VmManifest::new("app", VmKind::Secondary, 64 * MB, 1));
+    let (mut spm, _) =
+        kh_hafnium::boot::boot(SpmConfig::default_for(platform), &manifest, vec![]).expect("boots");
+    let payload = vec![0x5Au8; msg_bytes];
+
+    // Path 1: the single-slot mailbox.
+    let mut mailbox_time = Nanos::ZERO;
+    let mut mailbox_ops = 0u64;
+    for _ in 0..messages {
+        spm.hypercall(
+            VmId::SUPER_SECONDARY,
+            0,
+            0,
+            HfCall::Send {
+                to: VmId(2),
+                payload: payload.clone(),
+            },
+            Nanos::ZERO,
+        )
+        .expect("send");
+        let got = spm
+            .hypercall(VmId(2), 0, 0, HfCall::Recv, Nanos::ZERO)
+            .expect("recv");
+        match got {
+            HfReturn::Msg(m) => assert_eq!(m.payload.len(), msg_bytes),
+            other => panic!("{other:?}"),
+        }
+        // Two hypercall round trips + two copies (into and out of the
+        // hypervisor-owned buffer page).
+        mailbox_time += rt12.scaled(2) + copy_cost(msg_bytes as u64).scaled(2);
+        mailbox_ops += 2;
+    }
+
+    // Path 2: the shared-memory ring.
+    let grant = spm
+        .share_memory(VmId::PRIMARY, VmId::SUPER_SECONDARY, VmId(2), 2 * MB)
+        .expect("share");
+    assert!(spm.audit_isolation().is_ok());
+    let mut channel = IoChannel::new(1 << 16, batch);
+    let mut ring_time = Nanos::ZERO;
+    let mut received = 0u64;
+    for _ in 0..messages {
+        loop {
+            match channel.send(&payload) {
+                Ok(doorbell) => {
+                    // One copy into the shared region.
+                    ring_time += copy_cost(msg_bytes as u64);
+                    if doorbell {
+                        // Doorbell: one injection hypercall round trip.
+                        ring_time += rt12;
+                    }
+                    break;
+                }
+                Err(_) => {
+                    // Ring full: consumer drains (one copy out each).
+                    for m in channel.tx.drain().expect("ring intact") {
+                        assert_eq!(m.len(), msg_bytes);
+                        ring_time += copy_cost(msg_bytes as u64);
+                        received += 1;
+                    }
+                }
+            }
+        }
+    }
+    if channel.flush() {
+        ring_time += rt12;
+    }
+    for m in channel.tx.drain().expect("ring intact") {
+        assert_eq!(m.len(), msg_bytes);
+        ring_time += copy_cost(msg_bytes as u64);
+        received += 1;
+    }
+    assert_eq!(received, messages);
+    let _ = spm.revoke_share(VmId::PRIMARY, grant.id);
+
+    let total_bytes = messages * msg_bytes as u64;
+    let mk = |path, time: Nanos, ops| IoPathResult {
+        path,
+        messages,
+        bytes: total_bytes,
+        per_message: Nanos(time.as_nanos() / messages.max(1)),
+        throughput_mbps: total_bytes as f64 / time.as_secs_f64().max(1e-12) / 1e6,
+        hypervisor_ops: ops,
+    };
+    vec![
+        mk("mailbox", mailbox_time, mailbox_ops),
+        mk("shared-ring", ring_time, channel.doorbells),
+    ]
+}
+
+/// One FTQ measurement.
+#[derive(Debug, Clone)]
+pub struct FtqPoint {
+    pub stack: StackKind,
+    /// Coefficient of variation of work-per-quantum (lower = quieter).
+    pub noise_cv: f64,
+    pub quanta: usize,
+}
+
+/// The FTQ noise benchmark under all three stacks — an independent
+/// cross-check of the selfish-detour ordering.
+pub fn ablation_ftq(seed: u64) -> Vec<FtqPoint> {
+    use kh_workloads::ftq::{Ftq, FtqConfig};
+    StackKind::ALL
+        .iter()
+        .map(|&stack| {
+            let cfg = MachineConfig::pine_a64(stack, seed);
+            let mut m = Machine::new(cfg);
+            let mut w = Ftq::new(FtqConfig::default());
+            let r = m.run(&mut w);
+            let series = r.output.series().unwrap_or(&[]).to_vec();
+            FtqPoint {
+                stack,
+                noise_cv: Ftq::noise_cv(&series),
+                quanta: series.len(),
+            }
+        })
+        .collect()
+}
+
+/// One platform's RandomAccess overhead measurement.
+#[derive(Debug, Clone)]
+pub struct PlatformPoint {
+    pub platform: &'static str,
+    /// Normalized (to that platform's native run) GUPS per stack, in
+    /// `StackKind::ALL` order.
+    pub normalized: Vec<f64>,
+}
+
+/// The scaling outlook the paper's §VII asks for: the same RandomAccess
+/// experiment on every supported platform profile, including the
+/// ThunderX2 (Astra-node) target. The isolation overhead shape must be
+/// platform-independent.
+pub fn ablation_platform_sweep(seed: u64) -> Vec<PlatformPoint> {
+    use crate::config::StackOptions;
+    [
+        Platform::pine_a64_lts(),
+        Platform::raspberry_pi3(),
+        Platform::qemu_virt(),
+        Platform::thunderx2(),
+    ]
+    .iter()
+    .map(|&platform| {
+        let gups: Vec<f64> = StackKind::ALL
+            .iter()
+            .map(|&stack| {
+                let cfg = MachineConfig {
+                    platform,
+                    stack,
+                    options: StackOptions::default(),
+                    seed,
+                };
+                let mut m = Machine::new(cfg);
+                let mut w = GupsModel::new(GupsConfig::default());
+                m.run(&mut w).output.throughput().unwrap()
+            })
+            .collect();
+        PlatformPoint {
+            platform: platform.name,
+            normalized: gups.iter().map(|g| g / gups[0]).collect(),
+        }
+    })
+    .collect()
+}
+
+/// One page-size configuration's RandomAccess result.
+#[derive(Debug, Clone)]
+pub struct PageSizePoint {
+    pub stack: StackKind,
+    pub block_mappings: bool,
+    pub gups: f64,
+}
+
+/// The large-page ablation: RandomAccess with 4 KiB guest pages vs
+/// 2 MiB block mappings (Kitten's default for big regions — see
+/// `kh_kitten::aspace`). Blocks multiply TLB reach 512x and should
+/// erase most of the two-stage translation penalty.
+pub fn ablation_page_size(seed: u64) -> Vec<PageSizePoint> {
+    use crate::config::StackOptions;
+    let mut out = Vec::new();
+    for &stack in &[StackKind::NativeKitten, StackKind::HafniumKitten] {
+        for &block in &[false, true] {
+            let mut cfg = MachineConfig::pine_a64(stack, seed);
+            cfg.options = StackOptions {
+                guest_block_mappings: block,
+                ..Default::default()
+            };
+            let mut m = Machine::new(cfg);
+            let mut w = GupsModel::new(GupsConfig::default());
+            let gups = m.run(&mut w).output.throughput().unwrap();
+            out.push(PageSizePoint {
+                stack,
+                block_mappings: block,
+                gups,
+            });
+        }
+    }
+    out
+}
+
+/// One stack's parallel-NAS measurement.
+#[derive(Debug, Clone)]
+pub struct ParallelNasPoint {
+    pub stack: StackKind,
+    pub aggregate_mops: f64,
+    pub barrier_wait: Nanos,
+    pub elapsed: Nanos,
+}
+
+/// Four-thread NAS LU with per-phase barriers under each stack — the
+/// noise-amplification experiment the paper's future-work section
+/// motivates (multiple cores, synchronizing workload).
+pub fn ablation_parallel_nas(seed: u64) -> Vec<ParallelNasPoint> {
+    use crate::parallel::{BarrierMode, ParallelMachine};
+    StackKind::ALL
+        .iter()
+        .map(|&stack| {
+            let cfg = MachineConfig::pine_a64(stack, seed);
+            let mut m = ParallelMachine::new(cfg, 4);
+            let workloads = (0..4).map(|_| NasBenchmark::Lu.model()).collect();
+            let r = m.run(workloads, BarrierMode::PerPhase);
+            ParallelNasPoint {
+                stack,
+                aggregate_mops: r.aggregate_throughput(),
+                barrier_wait: r.total_barrier_wait(),
+                elapsed: r.elapsed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_path_ring_beats_mailbox() {
+        let res = ablation_io_path(2000, 512, 32);
+        let mailbox = &res[0];
+        let ring = &res[1];
+        assert!(
+            ring.per_message < mailbox.per_message,
+            "ring {:?} must beat mailbox {:?}",
+            ring.per_message,
+            mailbox.per_message
+        );
+        assert!(ring.hypervisor_ops < mailbox.hypervisor_ops / 10);
+        assert!(ring.throughput_mbps > mailbox.throughput_mbps);
+        assert_eq!(mailbox.bytes, 2000 * 512);
+    }
+
+    #[test]
+    fn ftq_confirms_noise_ordering() {
+        let pts = ablation_ftq(13);
+        assert_eq!(pts.len(), 3);
+        let native = pts[0].noise_cv;
+        let kitten = pts[1].noise_cv;
+        let linux = pts[2].noise_cv;
+        assert!(
+            linux > kitten && linux > native,
+            "linux FTQ cv {linux} must exceed kitten {kitten} / native {native}"
+        );
+        for p in &pts {
+            assert!(p.quanta > 900, "{:?}", p);
+        }
+    }
+
+    #[test]
+    fn block_mappings_erase_most_of_the_two_stage_penalty() {
+        let pts = ablation_page_size(19);
+        let find = |stack, block| {
+            pts.iter()
+                .find(|p| p.stack == stack && p.block_mappings == block)
+                .unwrap()
+                .gups
+        };
+        let native_4k = find(StackKind::NativeKitten, false);
+        let kitten_4k = find(StackKind::HafniumKitten, false);
+        let native_2m = find(StackKind::NativeKitten, true);
+        let kitten_2m = find(StackKind::HafniumKitten, true);
+        let loss_4k = 1.0 - kitten_4k / native_4k;
+        let loss_2m = 1.0 - kitten_2m / native_2m;
+        assert!(
+            loss_2m < loss_4k / 3.0,
+            "blocks must recover the TLB penalty: 4k loss {loss_4k:.4}, 2M loss {loss_2m:.4}"
+        );
+        assert!(native_2m > native_4k, "blocks help even natively");
+    }
+
+    #[test]
+    fn platform_sweep_preserves_overhead_ordering() {
+        let pts = ablation_platform_sweep(31);
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert_eq!(p.normalized[0], 1.0);
+            assert!(
+                p.normalized[1] < 1.0 && p.normalized[2] < p.normalized[1],
+                "{}: {:?}",
+                p.platform,
+                p.normalized
+            );
+            // The band stays within single-digit percent everywhere.
+            assert!(p.normalized[2] > 0.85, "{}: {:?}", p.platform, p.normalized);
+        }
+        // The server part pays *less* relative overhead than the SBC
+        // (bigger TLB, cheaper relative walks).
+        let pine = &pts[0];
+        let tx2 = &pts[3];
+        assert!(tx2.normalized[1] >= pine.normalized[1] - 0.01);
+    }
+
+    #[test]
+    fn parallel_nas_shows_amplified_linux_penalty() {
+        let pts = ablation_parallel_nas(5);
+        let native = &pts[0];
+        let kitten = &pts[1];
+        let linux = &pts[2];
+        assert!(linux.aggregate_mops < kitten.aggregate_mops);
+        assert!(linux.barrier_wait > kitten.barrier_wait);
+        // The parallel Linux penalty exceeds the ~1-1.7% serial one.
+        let norm = linux.aggregate_mops / native.aggregate_mops;
+        assert!(norm < 0.985, "parallel linux normalized {norm}");
+    }
+
+    #[test]
+    fn selfish_figures_reproduce_noise_ordering() {
+        let profiles = figures_4_to_6(21, Nanos::from_millis(500));
+        assert_eq!(profiles.len(), 3);
+        let counts: Vec<usize> = profiles.iter().map(|p| p.detours.len()).collect();
+        // Figure 4 vs 6: Linux far noisier than native.
+        assert!(counts[2] > counts[0] * 5, "{counts:?}");
+        // Figure 5: Kitten-under-Hafnium stays in the native regime.
+        assert!(counts[1] < counts[2] / 4, "{counts:?}");
+        let rendered = render_selfish(&profiles, Nanos::from_millis(500));
+        assert!(rendered.contains("Figure 4"));
+        assert!(rendered.contains("Figure 6"));
+    }
+
+    #[test]
+    fn micro_suite_shapes_match_figure_7() {
+        let suite = figure_7_8(3, 500);
+        let norm = suite.normalized();
+        let by_name: std::collections::HashMap<&str, &Vec<f64>> =
+            norm.iter().map(|(n, v)| (*n, v)).collect();
+        // RandomAccess degrades most; Linux worst.
+        let ra = by_name["RandomAccess"];
+        assert!(ra[1] < 0.99 && ra[2] < ra[1], "RandomAccess {ra:?}");
+        // Stream and HPCG stay within ~2%.
+        for b in ["Stream", "HPCG"] {
+            for v in by_name[b] {
+                assert!((v - 1.0).abs() < 0.03, "{b}: {v}");
+            }
+        }
+        // Tables render.
+        assert!(suite.raw_table().contains("Native"));
+        assert!(suite.normalized_table().contains("Kitten"));
+        assert!(suite.csv().contains("config"));
+    }
+
+    #[test]
+    fn nas_suite_is_nearly_flat() {
+        let suite = figure_9_10(3, 900);
+        for (name, vals) in suite.normalized() {
+            for (si, v) in vals.iter().enumerate() {
+                assert!((v - 1.0).abs() < 0.05, "{name} stack {si} normalized {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn irq_routing_selective_is_cheaper() {
+        let res = ablation_irq_routing(1000);
+        assert_eq!(res.len(), 2);
+        let default = &res[0];
+        let selective = &res[1];
+        assert_eq!(default.forwarded, 1000);
+        assert_eq!(selective.forwarded, 0);
+        assert!(
+            default.per_irq > selective.per_irq.scaled(2),
+            "forwarding tax: {} vs {}",
+            default.per_irq,
+            selective.per_irq
+        );
+    }
+
+    #[test]
+    fn tick_sweep_noise_grows_with_hz() {
+        let pts = ablation_tick_sweep(&[10, 100, 1000], 3);
+        assert!(pts[0].detours < pts[1].detours);
+        assert!(pts[1].detours < pts[2].detours);
+        assert!(pts[0].stolen_fraction < pts[2].stolen_fraction);
+    }
+
+    #[test]
+    fn interference_kitten_preserves_share_better() {
+        let pts = ablation_interference(17);
+        let kitten = &pts[0];
+        let linux = &pts[1];
+        assert!(kitten.co_tenant_slices < linux.co_tenant_slices / 10);
+        assert!(
+            kitten.share_efficiency() > linux.share_efficiency(),
+            "kitten {} vs linux {}",
+            kitten.share_efficiency(),
+            linux.share_efficiency()
+        );
+        // Both should land near the fair 50% share.
+        assert!(kitten.share_efficiency() > 0.9);
+    }
+}

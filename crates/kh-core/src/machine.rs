@@ -1,0 +1,768 @@
+//! The discrete-event machine executor.
+//!
+//! One [`Machine`] simulates one node running one benchmark under a
+//! [`StackKind`]. For virtualized stacks it boots a real
+//! [`kh_hafnium::spm::Spm`] from a manifest (Kitten or Linux primary +
+//! the benchmark's secondary VM), drives the actual `vcpu_run` /
+//! `preempt` / vGIC state machine on every scheduling event, and charges
+//! the architectural costs — trap round trips, EL2 VM context switches,
+//! tick handlers, background bursts, and the cache/TLB pollution each one
+//! inflicts on the interrupted benchmark.
+
+use crate::config::{MachineConfig, StackKind};
+use kh_arch::cpu::{CoreTimer, Phase, PollutionState, TranslationRegime};
+use kh_arch::el::ExceptionLevel;
+use kh_arch::noise::OsTimingModel;
+use kh_hafnium::hypercall::HfCall;
+use kh_hafnium::manifest::{BootManifest, VmKind, VmManifest};
+use kh_hafnium::spm::{Spm, SpmConfig};
+use kh_hafnium::vm::VmId;
+use kh_kitten::profile::KittenProfile;
+use kh_kitten::secondary::SecondaryPort;
+use kh_linux::profile::LinuxProfile;
+use kh_sim::{Nanos, SimRng, TraceCategory, TraceRecorder};
+use kh_workloads::{Workload, WorkloadOutput};
+
+const MB: u64 = 1 << 20;
+/// Cache/TLB damage a co-tenant VM's slice does: a whole competing
+/// working set ran, so most of the benchmark's cached state is gone.
+const CO_TENANT_POLLUTION: PollutionState = PollutionState {
+    tlb_evicted: 400,
+    cache_lines_evicted: 6000,
+};
+/// Extra TLB/cache damage of a full VM switch (beyond the tick handler's
+/// own footprint): VMID tagging avoids full flushes, but the primary's
+/// working set still displaces guest entries.
+const VM_SWITCH_POLLUTION: PollutionState = PollutionState {
+    tlb_evicted: 12,
+    cache_lines_evicted: 96,
+};
+
+/// Nanoseconds to switch one VM's EL1 context at EL2.
+pub(crate) fn vm_ctx_switch(platform: &kh_arch::platform::Platform) -> Nanos {
+    platform
+        .core_freq
+        .cycles_to_nanos(platform.transitions.vm_context_switch_cycles)
+}
+
+fn round_trip_p(
+    platform: &kh_arch::platform::Platform,
+    lo: ExceptionLevel,
+    hi: ExceptionLevel,
+) -> Nanos {
+    platform.transitions.round_trip(lo, hi, platform.core_freq)
+}
+
+/// CPU time one host tick steals from a benchmark under `cfg`.
+///
+/// Virtualized: the secondary exits to EL2, Hafnium switches to the
+/// primary's VCPU context, the primary's tick handler runs, then the
+/// primary re-runs the secondary — two VM context switches and two
+/// EL1<->EL2 round trips around the handler. Native: an EL0->EL1 trap
+/// round trip around the handler.
+pub(crate) fn host_tick_steal(cfg: &MachineConfig, host: &dyn OsTimingModel) -> Nanos {
+    if cfg.stack.is_virtualized() {
+        round_trip_p(&cfg.platform, ExceptionLevel::El1, ExceptionLevel::El2).scaled(2)
+            + vm_ctx_switch(&cfg.platform).scaled(2)
+            + host.tick_cost()
+    } else {
+        round_trip_p(&cfg.platform, ExceptionLevel::El0, ExceptionLevel::El1) + host.tick_cost()
+    }
+}
+
+/// CPU time one guest (secondary-Kitten) tick steals: the virtual timer
+/// fires, Hafnium injects it through the para-virtual interface, and the
+/// guest handler's `interrupt_get` hypercall adds another EL1->EL2 round
+/// trip.
+pub(crate) fn guest_tick_steal(cfg: &MachineConfig, guest: &KittenProfile) -> Nanos {
+    round_trip_p(&cfg.platform, ExceptionLevel::El1, ExceptionLevel::El2).scaled(2)
+        + guest.tick_cost
+        + cfg
+            .platform
+            .core_freq
+            .cycles_to_nanos(cfg.platform.gic.ack_eoi_cycles())
+}
+
+/// CPU time a background burst steals (Linux primary only): the
+/// secondary is exited, CFS context-switches to the kthread, the burst
+/// runs, and everything unwinds.
+pub(crate) fn background_steal(
+    cfg: &MachineConfig,
+    host: &dyn OsTimingModel,
+    burst: Nanos,
+) -> Nanos {
+    round_trip_p(&cfg.platform, ExceptionLevel::El1, ExceptionLevel::El2).scaled(2)
+        + vm_ctx_switch(&cfg.platform).scaled(2)
+        + host.ctx_switch_cost().scaled(2)
+        + burst
+}
+
+/// Extra time a phase needs after an interruption polluted its
+/// cache/TLB state.
+pub(crate) fn rewarm_extra(
+    timer: &CoreTimer,
+    regime: TranslationRegime,
+    phase: &Phase,
+    pollution: PollutionState,
+) -> Nanos {
+    let mut p = pollution;
+    let empty = Phase {
+        instructions: 0,
+        mem_refs: 0,
+        flops: 0,
+        footprint: phase.footprint,
+        dram_bytes: 0,
+        pattern: phase.pattern,
+    };
+    timer.price(&empty, regime, &mut p, 1).time
+}
+
+/// Everything a run produced, beyond the workload's own output.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub workload: String,
+    pub stack: StackKind,
+    pub output: WorkloadOutput,
+    /// Total virtual time from first phase to completion.
+    pub elapsed: Nanos,
+    /// Count of all interruptions the benchmark experienced.
+    pub interruptions: u64,
+    /// CPU time stolen from the benchmark by those interruptions.
+    pub stolen: Nanos,
+    pub host_ticks: u64,
+    pub guest_ticks: u64,
+    pub background_events: u64,
+    /// Co-tenant slices that displaced the benchmark (interference
+    /// ablation only).
+    pub co_tenant_slices: u64,
+    /// `vcpu_run` hypercalls issued by the primary during the run.
+    pub vcpu_runs: u64,
+    /// True when an injected stage-2 fault aborted the VM before the
+    /// benchmark completed.
+    pub aborted: bool,
+}
+
+/// The per-run machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    timer: CoreTimer,
+    host: Box<dyn OsTimingModel>,
+    guest: Option<KittenProfile>,
+    spm: Option<Spm>,
+    port: Option<SecondaryPort>,
+    regime: TranslationRegime,
+    rng: SimRng,
+    workload_vm: VmId,
+    trace: TraceRecorder,
+}
+
+impl Machine {
+    /// Build (and for virtualized stacks, boot) the machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let mut timing_platform = cfg.platform;
+        if cfg.options.guest_block_mappings {
+            // 2 MiB block descriptors: each TLB entry covers 512x the
+            // reach of a 4 KiB page.
+            timing_platform.tlb_entries *= 512;
+        }
+        let timer = CoreTimer::new(timing_platform);
+        let mut rng = SimRng::new(cfg.seed ^ 0x6B68_636F_7265);
+        let host: Box<dyn OsTimingModel> = match cfg.stack {
+            StackKind::NativeKitten | StackKind::HafniumKitten => {
+                Box::new(match cfg.options.host_tick_hz {
+                    Some(hz) => KittenProfile::with_tick_hz(hz),
+                    None => KittenProfile::default(),
+                })
+            }
+            StackKind::HafniumLinux => Box::new(match cfg.options.host_tick_hz {
+                Some(hz) => LinuxProfile::with_hz(rng.next_u64(), cfg.platform.num_cores, hz),
+                None => LinuxProfile::new(rng.next_u64(), cfg.platform.num_cores),
+            }),
+        };
+        let (spm, port, guest, regime, workload_vm) = if cfg.stack.is_virtualized() {
+            let mut spm_cfg = SpmConfig::default_for(cfg.platform);
+            spm_cfg.routing = cfg.options.routing;
+            spm_cfg.require_signed_images = cfg.options.verify_images;
+            spm_cfg.allow_dynamic_partitions = cfg.options.dynamic_partitions;
+            let primary_name = match cfg.stack {
+                StackKind::HafniumKitten => "kitten-primary",
+                _ => "linux-primary",
+            };
+            let manifest = BootManifest::new()
+                .with_vm(VmManifest::new(
+                    primary_name,
+                    VmKind::Primary,
+                    64 * MB,
+                    cfg.platform.num_cores,
+                ))
+                .with_vm(VmManifest::new("bench", VmKind::Secondary, 512 * MB, 1));
+            let (spm, _report) = kh_hafnium::boot::boot(spm_cfg, &manifest, vec![])
+                .expect("benchmark manifest boots");
+            let workload_vm = VmId(2);
+            let port = SecondaryPort::new(workload_vm);
+            port.boot_probe().expect("secondary port has workarounds");
+            (
+                Some(spm),
+                Some(port),
+                Some(KittenProfile::with_tick_hz(cfg.options.guest_tick_hz)),
+                TranslationRegime::TwoStage,
+                workload_vm,
+            )
+        } else {
+            (None, None, None, TranslationRegime::Stage1Only, VmId(0))
+        };
+        Machine {
+            cfg,
+            timer,
+            host,
+            guest,
+            spm,
+            port,
+            regime,
+            rng,
+            workload_vm,
+            trace: TraceRecorder::disabled(),
+        }
+    }
+
+    /// The SPM, for post-run inspection (virtualized stacks only).
+    pub fn spm(&self) -> Option<&Spm> {
+        self.spm.as_ref()
+    }
+
+    /// Enable machine-event tracing (ring buffer of `capacity` records).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = TraceRecorder::new(capacity);
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// CPU time one host tick steals from the benchmark.
+    fn host_tick_steal(&self) -> Nanos {
+        host_tick_steal(&self.cfg, self.host.as_ref())
+    }
+
+    /// CPU time one guest (secondary-Kitten) tick steals.
+    fn guest_tick_steal(&self, guest: &KittenProfile) -> Nanos {
+        guest_tick_steal(&self.cfg, guest)
+    }
+
+    /// CPU time a background burst steals (Linux primary only).
+    fn background_steal(&self, burst: Nanos) -> Nanos {
+        background_steal(&self.cfg, self.host.as_ref(), burst)
+    }
+
+    /// Extra time the current phase needs after an interruption polluted
+    /// the caches/TLB.
+    fn rewarm_extra(&self, phase: &Phase, pollution: PollutionState) -> Nanos {
+        rewarm_extra(&self.timer, self.regime, phase, pollution)
+    }
+
+    /// Run a workload to completion on core 0.
+    pub fn run(&mut self, w: &mut dyn Workload) -> RunReport {
+        let core = 0u16;
+        let mut now = Nanos::ZERO;
+        let mut report = RunReport {
+            workload: w.name().to_string(),
+            stack: self.cfg.stack,
+            output: WorkloadOutput::Detours(Vec::new()),
+            elapsed: Nanos::ZERO,
+            interruptions: 0,
+            stolen: Nanos::ZERO,
+            host_ticks: 0,
+            guest_ticks: 0,
+            background_events: 0,
+            co_tenant_slices: 0,
+            vcpu_runs: 0,
+            aborted: false,
+        };
+
+        // Tick schedules start at a random phase offset so repeated
+        // trials sample the tick/benchmark alignment space.
+        let host_period = self.host.tick_period();
+        let mut host_tick_at = Nanos(1 + self.rng.next_below(host_period.as_nanos().max(1)));
+        let guest_period = self.guest.as_ref().map(|g| g.tick_period);
+        let mut guest_tick_at = guest_period
+            .map(|p| Nanos(1 + self.rng.next_below(p.as_nanos().max(1))))
+            .unwrap_or(Nanos::MAX);
+        let mut background = self.host.next_background(core, now);
+        let co_tenant = self.cfg.options.co_tenant;
+        let mut co_tenant_at = co_tenant
+            .map(|c| Nanos(c.own_slice_ns.max(1)))
+            .unwrap_or(Nanos::MAX);
+
+        // Virtualized: the primary dispatches the benchmark VCPU, and
+        // the guest arms its virtual timer.
+        if let (Some(spm), Some(port)) = (self.spm.as_mut(), self.port.as_mut()) {
+            spm.hypercall(
+                VmId::PRIMARY,
+                core,
+                core,
+                HfCall::VcpuRun {
+                    vm: self.workload_vm,
+                    vcpu: 0,
+                },
+                now,
+            )
+            .expect("initial dispatch");
+            report.vcpu_runs += 1;
+            if let Some(p) = guest_period {
+                port.init_timer(spm, 0, core, p, now).expect("vtimer init");
+            }
+        }
+
+        let fault_at = self
+            .cfg
+            .options
+            .inject_fault_at_ns
+            .filter(|_| self.cfg.stack.is_virtualized())
+            .map(Nanos)
+            .unwrap_or(Nanos::MAX);
+
+        let jitter_sigma = self.cfg.options.jitter_sigma;
+        'run: while let Some(phase) = w.next_phase(now) {
+            let mut clean = PollutionState::default();
+            let cost = self.timer.price(&phase, self.regime, &mut clean, 1);
+            // Per-phase timing jitter models DRAM refresh/thermal
+            // variation: the source of run-to-run stdev.
+            let jitter = 1.0 + self.rng.next_gaussian() * jitter_sigma;
+            let mut remaining = Nanos((cost.time.as_nanos() as f64 * jitter.max(0.5)) as u64);
+
+            loop {
+                let next_bg = background.as_ref().map(|e| e.at).unwrap_or(Nanos::MAX);
+                let next_event = host_tick_at
+                    .min(guest_tick_at)
+                    .min(next_bg)
+                    .min(co_tenant_at)
+                    .min(fault_at);
+                if next_event == fault_at
+                    && now
+                        .checked_add(remaining)
+                        .map(|end| end > fault_at)
+                        .unwrap_or(true)
+                {
+                    // The benchmark VM takes an unrecoverable stage-2
+                    // abort mid-phase: Hafnium reports `Aborted` to the
+                    // primary and the VCPU never runs again.
+                    now = now.max(fault_at);
+                    if let Some(spm) = self.spm.as_mut() {
+                        use kh_hafnium::vm::{VcpuRunExit, VcpuState};
+                        spm.finish_run(core, VcpuRunExit::Aborted);
+                        let state = spm
+                            .vm(self.workload_vm)
+                            .and_then(|vm| vm.vcpu(0))
+                            .map(|v| v.state);
+                        debug_assert!(matches!(state, Some(VcpuState::Aborted)));
+                    }
+                    report.aborted = true;
+                    break 'run;
+                }
+                if now
+                    .checked_add(remaining)
+                    .map(|end| end <= next_event)
+                    .unwrap_or(true)
+                {
+                    now += remaining;
+                    break;
+                }
+                // An event that fell due while a previous interruption
+                // was being serviced fires immediately (advance = 0).
+                let advance = next_event.saturating_sub(now);
+                remaining = remaining.saturating_sub(advance);
+                now = now.max(next_event);
+                report.interruptions += 1;
+
+                let (stolen, pollution, category, label) = if next_event == host_tick_at {
+                    report.host_ticks += 1;
+                    host_tick_at += host_period;
+                    // Drive the real hypervisor state machine: the
+                    // physical timer IRQ preempts the secondary; after
+                    // handling, the primary re-dispatches it.
+                    if let Some(spm) = self.spm.as_mut() {
+                        spm.preempt(core);
+                        spm.hypercall(
+                            VmId::PRIMARY,
+                            core,
+                            core,
+                            HfCall::VcpuRun {
+                                vm: self.workload_vm,
+                                vcpu: 0,
+                            },
+                            now,
+                        )
+                        .expect("re-dispatch after tick");
+                        report.vcpu_runs += 1;
+                    }
+                    let mut pol = self.host.tick_pollution();
+                    if self.cfg.stack.is_virtualized() {
+                        pol.add(VM_SWITCH_POLLUTION);
+                    }
+                    (
+                        self.host_tick_steal(),
+                        pol,
+                        TraceCategory::TimerTick,
+                        "host-tick",
+                    )
+                } else if next_event == guest_tick_at {
+                    report.guest_ticks += 1;
+                    let period = guest_period.expect("guest tick implies guest");
+                    guest_tick_at += period;
+                    // Re-arm the virtual timer and drain the para-virtual
+                    // interrupt through the real SPM interfaces.
+                    if let (Some(spm), Some(port)) = (self.spm.as_mut(), self.port.as_ref()) {
+                        let _ = spm.hypercall(
+                            VmId::PRIMARY,
+                            core,
+                            core,
+                            HfCall::InterruptInject {
+                                vm: self.workload_vm,
+                                vcpu: 0,
+                                intid: port.vtimer_intid,
+                            },
+                            now,
+                        );
+                        let _ = port.next_interrupt(spm, 0, core, now);
+                        let _ = spm.hypercall(
+                            self.workload_vm,
+                            0,
+                            core,
+                            HfCall::ArmVtimer {
+                                delay_ns: period.as_nanos(),
+                            },
+                            now,
+                        );
+                    }
+                    let guest = self.guest.as_ref().expect("guest profile");
+                    (
+                        self.guest_tick_steal(guest),
+                        guest.tick_pollution,
+                        TraceCategory::TimerTick,
+                        "guest-tick",
+                    )
+                } else if next_event == co_tenant_at {
+                    let c = co_tenant.expect("co-tenant event implies config");
+                    report.co_tenant_slices += 1;
+                    // The co-tenant VM runs its slice: a full VM switch
+                    // out and back, plus the slice itself.
+                    let stolen = if self.cfg.stack.is_virtualized() {
+                        self.background_steal(Nanos(c.other_slice_ns))
+                    } else {
+                        Nanos(c.other_slice_ns) + self.host.ctx_switch_cost().scaled(2)
+                    };
+                    co_tenant_at = now + stolen + Nanos(c.own_slice_ns.max(1));
+                    (
+                        stolen,
+                        CO_TENANT_POLLUTION,
+                        TraceCategory::ContextSwitch,
+                        "co-tenant",
+                    )
+                } else {
+                    let ev = background.take().expect("bg event");
+                    report.background_events += 1;
+                    let stolen = if self.cfg.stack.is_virtualized() {
+                        self.background_steal(ev.duration)
+                    } else {
+                        ev.duration + self.host.ctx_switch_cost().scaled(2)
+                    };
+                    let res = (
+                        stolen,
+                        ev.pollution,
+                        TraceCategory::BackgroundTask,
+                        ev.label,
+                    );
+                    background = self.host.next_background(core, now);
+                    res
+                };
+
+                self.trace.emit(now, core, category, stolen, label);
+                now += stolen;
+                report.stolen += stolen;
+                remaining += self.rewarm_extra(&phase, pollution);
+            }
+            w.phase_complete(now, &cost);
+        }
+
+        report.elapsed = now;
+        report.output = w.finish(now);
+        if let Some(spm) = self.spm.as_ref() {
+            // The isolation invariant must survive the whole run.
+            spm.audit_isolation().expect("isolation preserved");
+        }
+        report
+    }
+}
+
+/// Convenience: build a machine and run one workload.
+pub fn run_workload(cfg: MachineConfig, mut w: Box<dyn Workload>) -> RunReport {
+    Machine::new(cfg).run(w.as_mut())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StackOptions;
+    use kh_workloads::gups::{GupsConfig, GupsModel};
+    use kh_workloads::selfish::{SelfishConfig, SelfishDetour};
+    use kh_workloads::stream::{StreamConfig, StreamModel};
+
+    fn cfg(stack: StackKind, seed: u64) -> MachineConfig {
+        MachineConfig::pine_a64(stack, seed)
+    }
+
+    fn selfish(duration_ms: u64) -> Box<SelfishDetour> {
+        Box::new(SelfishDetour::new(SelfishConfig {
+            duration: Nanos::from_millis(duration_ms),
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn native_kitten_has_few_detours() {
+        let mut m = Machine::new(cfg(StackKind::NativeKitten, 1));
+        let mut w = selfish(1000);
+        let r = m.run(w.as_mut());
+        let detours = r.output.detours().unwrap();
+        // 10 Hz tick over 1 s: ~10 detours, nothing else.
+        assert!(
+            (5..=15).contains(&detours.len()),
+            "native detours = {}",
+            detours.len()
+        );
+        assert_eq!(r.background_events, 0);
+        assert_eq!(r.vcpu_runs, 0, "no hypervisor in native mode");
+    }
+
+    #[test]
+    fn kitten_primary_adds_little_noise() {
+        let mut m = Machine::new(cfg(StackKind::HafniumKitten, 2));
+        let mut w = selfish(1000);
+        let r = m.run(w.as_mut());
+        let detours = r.output.detours().unwrap();
+        // Host 10 Hz + guest 10 Hz: ~20 events, still tiny.
+        assert!(
+            (10..=30).contains(&detours.len()),
+            "kitten detours = {}",
+            detours.len()
+        );
+        assert!(r.vcpu_runs > 0, "the SPM dispatch path must be exercised");
+        assert_eq!(r.background_events, 0, "kitten has no kthreads");
+    }
+
+    #[test]
+    fn linux_primary_is_noisy_and_scattered() {
+        let mut m = Machine::new(cfg(StackKind::HafniumLinux, 3));
+        let mut w = selfish(1000);
+        let r = m.run(w.as_mut());
+        let linux_detours = r.output.detours().unwrap().len();
+        let mut m2 = Machine::new(cfg(StackKind::HafniumKitten, 3));
+        let mut w2 = selfish(1000);
+        let kitten_detours = m2.run(w2.as_mut()).output.detours().unwrap().len();
+        assert!(
+            linux_detours > kitten_detours * 5,
+            "linux {linux_detours} vs kitten {kitten_detours}"
+        );
+        assert!(r.background_events > 10, "kthread noise must appear");
+    }
+
+    #[test]
+    fn detour_magnitudes_increase_under_virtualization() {
+        // Figure 5's observation: same count, slightly larger latency.
+        let max_detour = |stack, seed| {
+            let mut m = Machine::new(cfg(stack, seed));
+            let mut w = selfish(1000);
+            let r = m.run(w.as_mut());
+            r.output
+                .detours()
+                .unwrap()
+                .iter()
+                .map(|d| d.duration)
+                .max()
+                .unwrap_or(Nanos::ZERO)
+        };
+        let native = max_detour(StackKind::NativeKitten, 5);
+        let kitten = max_detour(StackKind::HafniumKitten, 5);
+        assert!(
+            kitten > native,
+            "virtualized detours ({kitten}) must exceed native ({native})"
+        );
+    }
+
+    #[test]
+    fn gups_ordering_matches_figure_7() {
+        let gups = |stack, seed| {
+            let mut m = Machine::new(cfg(stack, seed));
+            let mut w = Box::new(GupsModel::new(GupsConfig::default()));
+            m.run(w.as_mut()).output.throughput().unwrap()
+        };
+        let native = gups(StackKind::NativeKitten, 7);
+        let kitten = gups(StackKind::HafniumKitten, 7);
+        let linux = gups(StackKind::HafniumLinux, 7);
+        assert!(
+            native > kitten && kitten > linux,
+            "native {native} > kitten {kitten} > linux {linux}"
+        );
+        let kitten_loss = 1.0 - kitten / native;
+        let linux_loss = 1.0 - linux / native;
+        // Paper band: Kitten −4.6%, Linux −7%.
+        assert!(
+            (0.01..0.15).contains(&kitten_loss),
+            "kitten loss {kitten_loss}"
+        );
+        assert!(linux_loss > kitten_loss, "{linux_loss} vs {kitten_loss}");
+    }
+
+    #[test]
+    fn stream_is_insensitive_to_the_stack() {
+        let stream = |stack, seed| {
+            let mut m = Machine::new(cfg(stack, seed));
+            let mut w = Box::new(StreamModel::new(StreamConfig::default()));
+            m.run(w.as_mut()).output.throughput().unwrap()
+        };
+        let native = stream(StackKind::NativeKitten, 11);
+        let kitten = stream(StackKind::HafniumKitten, 11);
+        let linux = stream(StackKind::HafniumLinux, 11);
+        for (label, v) in [("kitten", kitten), ("linux", linux)] {
+            let delta = (1.0 - v / native).abs();
+            assert!(delta < 0.02, "{label} stream delta {delta}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut m = Machine::new(cfg(StackKind::HafniumLinux, seed));
+            let mut w = Box::new(GupsModel::new(GupsConfig {
+                log2_table: 18,
+                updates_per_entry: 2,
+            }));
+            let r = m.run(w.as_mut());
+            (r.elapsed, r.interruptions, r.stolen)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn isolation_holds_through_the_run() {
+        let mut m = Machine::new(cfg(StackKind::HafniumKitten, 1));
+        let mut w = selfish(100);
+        m.run(w.as_mut());
+        assert!(m.spm().unwrap().audit_isolation().is_ok());
+    }
+
+    #[test]
+    fn stolen_time_is_accounted() {
+        let mut m = Machine::new(cfg(StackKind::HafniumLinux, 9));
+        let mut w = selfish(500);
+        let r = m.run(w.as_mut());
+        assert!(r.stolen > Nanos::ZERO);
+        assert!(r.elapsed > Nanos::from_millis(500));
+        assert_eq!(
+            r.interruptions,
+            r.host_ticks + r.guest_ticks + r.background_events
+        );
+    }
+
+    #[test]
+    fn trace_records_machine_events() {
+        use kh_sim::TraceCategory;
+        let mut m = Machine::new(cfg(StackKind::HafniumLinux, 8));
+        m.enable_tracing(100_000);
+        let mut w = selfish(500);
+        let r = m.run(w.as_mut());
+        let trace = m.trace();
+        assert_eq!(
+            trace.count(TraceCategory::TimerTick) as u64,
+            r.host_ticks + r.guest_ticks
+        );
+        assert_eq!(
+            trace.count(TraceCategory::BackgroundTask) as u64,
+            r.background_events
+        );
+        // Trace time accounting matches the report.
+        let ticks = trace.time_in(TraceCategory::TimerTick, 0);
+        let bg = trace.time_in(TraceCategory::BackgroundTask, 0);
+        assert_eq!(ticks + bg, r.stolen);
+        // Events carry labels.
+        assert!(trace.iter().any(|e| e.detail == "host-tick"));
+        assert!(trace.iter().any(|e| e.detail == "kworker"));
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let mut m = Machine::new(cfg(StackKind::HafniumLinux, 8));
+        let mut w = selfish(100);
+        m.run(w.as_mut());
+        assert!(m.trace().is_empty());
+    }
+
+    #[test]
+    fn injected_fault_aborts_the_vm_cleanly() {
+        use kh_hafnium::hypercall::{HfCall, HfError};
+        use kh_hafnium::vm::{VcpuState, VmId};
+        let mut c = cfg(StackKind::HafniumKitten, 6);
+        c.options.inject_fault_at_ns = Some(Nanos::from_millis(100).as_nanos());
+        let mut m = Machine::new(c);
+        let mut w = selfish(1000);
+        let r = m.run(w.as_mut());
+        assert!(r.aborted);
+        assert!(
+            r.elapsed < Nanos::from_millis(150),
+            "run must stop at the fault: {}",
+            r.elapsed
+        );
+        // The VCPU is dead and cannot be re-run; the primary and
+        // isolation survive.
+        let spm = m.spm.as_mut().unwrap();
+        assert!(matches!(
+            spm.vm(VmId(2)).unwrap().vcpu(0).unwrap().state,
+            VcpuState::Aborted
+        ));
+        assert_eq!(
+            spm.hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::VcpuRun {
+                    vm: VmId(2),
+                    vcpu: 0
+                },
+                r.elapsed
+            ),
+            Err(HfError::NotRunnable)
+        );
+        assert_eq!(spm.current(0), Some((VmId::PRIMARY, 0)));
+        assert!(spm.audit_isolation().is_ok());
+    }
+
+    #[test]
+    fn fault_injection_is_inert_for_native_runs() {
+        let mut c = cfg(StackKind::NativeKitten, 6);
+        c.options.inject_fault_at_ns = Some(Nanos::from_millis(100).as_nanos());
+        let mut m = Machine::new(c);
+        let mut w = selfish(300);
+        let r = m.run(w.as_mut());
+        assert!(!r.aborted, "no hypervisor, no stage-2 fault to take");
+        assert!(r.elapsed >= Nanos::from_millis(300));
+    }
+
+    #[test]
+    fn guest_tick_rate_is_configurable() {
+        let mut c = cfg(StackKind::HafniumKitten, 4);
+        c.options = StackOptions {
+            guest_tick_hz: 100,
+            ..Default::default()
+        };
+        let mut m = Machine::new(c);
+        let mut w = selfish(1000);
+        let r = m.run(w.as_mut());
+        assert!(
+            (80..=130).contains(&r.guest_ticks),
+            "guest ticks = {}",
+            r.guest_ticks
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! The hypercall ABI.
+//!
+//! Modelled on Hafnium's `hf_*` call surface. Two properties matter for
+//! the paper and are enforced by [`crate::spm::Spm::hypercall`]:
+//!
+//! 1. **Privilege**: scheduling calls (`VcpuRun`, `InterruptInject` into
+//!    other VMs, VM lifecycle) are primary-only. The super-secondary gets
+//!    mailboxes and its own interrupt management but *not* the ability to
+//!    assume control over CPU cores.
+//! 2. **Core locality**: a hypercall only affects the core it is issued
+//!    on. `VcpuRun` switches *this* core to the target VCPU; there is no
+//!    "run VCPU over there" call, which is why the primary VM's scheduler
+//!    must be running on every core.
+
+use crate::mailbox::Message;
+use crate::vm::{VcpuRunExit, VmId};
+use serde::{Deserialize, Serialize};
+
+/// A hypercall request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HfCall {
+    /// Number of VMs in the system.
+    VmGetCount,
+    /// Number of VCPUs of a VM.
+    VcpuGetCount(VmId),
+    /// Context-switch the calling core into the target VCPU.
+    /// Primary-only.
+    VcpuRun { vm: VmId, vcpu: u16 },
+    /// Send a mailbox message.
+    Send { to: VmId, payload: Vec<u8> },
+    /// Receive the pending mailbox message for the calling VM.
+    Recv,
+    /// Enable/disable delivery of a para-virtual interrupt to the calling
+    /// VCPU.
+    InterruptEnable { intid: u32, enable: bool },
+    /// Fetch the next pending para-virtual interrupt for the calling
+    /// VCPU.
+    InterruptGet,
+    /// Inject an interrupt into another VM's VCPU. Primary-only (it is
+    /// the forwarding path for device IRQs owned by the super-secondary).
+    InterruptInject { vm: VmId, vcpu: u16, intid: u32 },
+    /// Voluntarily yield back to the primary (secondary-side call).
+    Yield,
+    /// Block until an interrupt (secondary-side WFI surrogate).
+    WaitForInterrupt,
+    /// Arm the calling VCPU's virtual timer `delay_ns` from now.
+    ArmVtimer { delay_ns: u64 },
+    /// Halt the calling VM (all VCPUs off).
+    VmHalt,
+    /// Dynamic-partition extension: create a VM after boot from a staged
+    /// image. Primary-only, and rejected unless the SPM was configured
+    /// with `allow_dynamic_partitions`.
+    VmCreate {
+        name: String,
+        mem_bytes: u64,
+        vcpus: u16,
+        image: Vec<u8>,
+        signature: Option<[u8; 32]>,
+    },
+    /// Dynamic-partition extension: destroy a halted VM and reclaim its
+    /// memory (scrubbed before reuse). Primary-only.
+    VmDestroy(VmId),
+}
+
+/// Successful hypercall results.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HfReturn {
+    Count(u32),
+    /// `VcpuRun` returned with this exit reason.
+    RunExit(VcpuRunExit),
+    /// Message received.
+    Msg(Message),
+    /// Pending interrupt id, or `None`.
+    Interrupt(Option<u32>),
+    /// Newly created VM id (dynamic extension).
+    Created(VmId),
+    Ok,
+}
+
+/// Hypercall failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HfError {
+    /// The calling VM lacks the privilege for this call.
+    Denied,
+    /// Unknown VM or VCPU.
+    NoSuchTarget,
+    /// Target VCPU is not in a runnable state.
+    NotRunnable,
+    /// Mailbox-specific failures.
+    MailboxBusy,
+    MailboxEmpty,
+    MsgTooLong,
+    /// Dynamic partitioning disabled or out of memory.
+    Unsupported,
+    NoMemory,
+    /// Image signature verification failed.
+    BadSignature,
+    /// The call is invalid in the caller's current state.
+    BadState,
+}

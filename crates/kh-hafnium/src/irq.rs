@@ -1,0 +1,166 @@
+//! Interrupt routing policies.
+//!
+//! Hafnium as designed routes *every* hardware interrupt to the primary
+//! VM; the primary forwards device IRQs to whoever owns the device. The
+//! paper identifies this as a problem once the super-secondary owns the
+//! devices — the forwarding path doubles the delivery cost — and sketches
+//! *selective routing* (timer IRQs to the primary, device IRQs directly
+//! to the super-secondary) as future work. Both policies are implemented
+//! so the `irq_routing` bench can quantify the difference.
+
+use crate::vm::VmId;
+use kh_arch::gic::IntId;
+use serde::{Deserialize, Serialize};
+
+/// How hardware IRQs are distributed among VMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IrqRoutingPolicy {
+    /// Hafnium default (and the paper's current implementation): all
+    /// IRQs to the primary; the primary forwards device IRQs to the
+    /// super-secondary via an injection hypercall.
+    AllToPrimary,
+    /// The paper's proposed extension: timer PPIs to the primary, device
+    /// SPIs directly to the super-secondary.
+    Selective,
+}
+
+/// Where an IRQ is delivered first, and whether a software forwarding
+/// hop is then required to reach its final owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// VM whose vector the hardware delivery lands in.
+    pub first_target: VmId,
+    /// VM that ultimately consumes the IRQ.
+    pub final_owner: VmId,
+    /// True when `first_target != final_owner`: the first target must
+    /// re-inject via hypercall, costing an extra EL1→EL2→EL1 round trip.
+    pub forwarded: bool,
+}
+
+/// The routing table the SPM consults on every physical IRQ.
+#[derive(Debug, Clone)]
+pub struct IrqRouter {
+    policy: IrqRoutingPolicy,
+    /// Device SPIs owned by the super-secondary (from its manifest).
+    super_secondary_irqs: Vec<u32>,
+    has_super_secondary: bool,
+}
+
+impl IrqRouter {
+    pub fn new(policy: IrqRoutingPolicy) -> Self {
+        IrqRouter {
+            policy,
+            super_secondary_irqs: Vec::new(),
+            has_super_secondary: false,
+        }
+    }
+
+    pub fn policy(&self) -> IrqRoutingPolicy {
+        self.policy
+    }
+
+    pub fn set_policy(&mut self, p: IrqRoutingPolicy) {
+        self.policy = p;
+    }
+
+    /// Declare the super-secondary and its device IRQ lines.
+    pub fn register_super_secondary(&mut self, irqs: &[u32]) {
+        self.has_super_secondary = true;
+        self.super_secondary_irqs.extend_from_slice(irqs);
+        self.super_secondary_irqs.sort_unstable();
+        self.super_secondary_irqs.dedup();
+    }
+
+    fn owns_device_irq(&self, irq: IntId) -> bool {
+        self.has_super_secondary && self.super_secondary_irqs.binary_search(&irq.0).is_ok()
+    }
+
+    /// Route a physical IRQ.
+    ///
+    /// Timer PPIs always belong to the primary — the Kitten primary
+    /// requires all hardware timer interrupts routed directly to it
+    /// (its scheduler owns the physical timer). Device IRQs belong to
+    /// the super-secondary when one exists, otherwise to the primary.
+    pub fn route(&self, irq: IntId) -> RouteDecision {
+        let is_timer = irq == IntId::TIMER_PHYS || irq == IntId::TIMER_HYP;
+        if is_timer || !self.owns_device_irq(irq) {
+            return RouteDecision {
+                first_target: VmId::PRIMARY,
+                final_owner: VmId::PRIMARY,
+                forwarded: false,
+            };
+        }
+        match self.policy {
+            IrqRoutingPolicy::AllToPrimary => RouteDecision {
+                first_target: VmId::PRIMARY,
+                final_owner: VmId::SUPER_SECONDARY,
+                forwarded: true,
+            },
+            IrqRoutingPolicy::Selective => RouteDecision {
+                first_target: VmId::SUPER_SECONDARY,
+                final_owner: VmId::SUPER_SECONDARY,
+                forwarded: false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_always_go_to_primary() {
+        for policy in [IrqRoutingPolicy::AllToPrimary, IrqRoutingPolicy::Selective] {
+            let mut r = IrqRouter::new(policy);
+            r.register_super_secondary(&[30, 64]); // even if it claims PPI 30
+            let d = r.route(IntId::TIMER_PHYS);
+            assert_eq!(d.final_owner, VmId::PRIMARY, "policy {policy:?}");
+            assert!(!d.forwarded);
+        }
+    }
+
+    #[test]
+    fn default_policy_forwards_device_irqs() {
+        let mut r = IrqRouter::new(IrqRoutingPolicy::AllToPrimary);
+        r.register_super_secondary(&[64]);
+        let d = r.route(IntId(64));
+        assert_eq!(d.first_target, VmId::PRIMARY);
+        assert_eq!(d.final_owner, VmId::SUPER_SECONDARY);
+        assert!(d.forwarded, "default path needs the forwarding hop");
+    }
+
+    #[test]
+    fn selective_policy_delivers_directly() {
+        let mut r = IrqRouter::new(IrqRoutingPolicy::Selective);
+        r.register_super_secondary(&[64]);
+        let d = r.route(IntId(64));
+        assert_eq!(d.first_target, VmId::SUPER_SECONDARY);
+        assert!(!d.forwarded);
+    }
+
+    #[test]
+    fn unclaimed_device_irqs_stay_with_primary() {
+        let r = IrqRouter::new(IrqRoutingPolicy::Selective);
+        let d = r.route(IntId(80));
+        assert_eq!(d.final_owner, VmId::PRIMARY);
+        assert!(!d.forwarded);
+    }
+
+    #[test]
+    fn no_super_secondary_means_primary_owns_all() {
+        let r = IrqRouter::new(IrqRoutingPolicy::AllToPrimary);
+        let d = r.route(IntId(64));
+        assert_eq!(d.final_owner, VmId::PRIMARY);
+    }
+
+    #[test]
+    fn policy_can_be_switched_at_runtime() {
+        let mut r = IrqRouter::new(IrqRoutingPolicy::AllToPrimary);
+        r.register_super_secondary(&[64]);
+        assert!(r.route(IntId(64)).forwarded);
+        r.set_policy(IrqRoutingPolicy::Selective);
+        assert!(!r.route(IntId(64)).forwarded);
+        assert_eq!(r.policy(), IrqRoutingPolicy::Selective);
+    }
+}

@@ -1,0 +1,49 @@
+//! A Hafnium-style Secure Partition Manager (SPM).
+//!
+//! Hafnium is the Trusted Firmware reference SPM: a thin hypervisor at
+//! EL2 whose single job is memory isolation between VMs. Its defining
+//! design decisions — all modelled here — are:
+//!
+//! * **Type-2-ish scheduling.** Hafnium has no CPU scheduler. A single
+//!   *primary VM* runs a host OS whose kernel threads each hold a VCPU
+//!   handle and explicitly `vcpu_run` it via hypercall.
+//! * **Core-local hypercalls.** Hafnium performs no inter-core
+//!   communication; a hypercall only ever affects the calling core, so
+//!   the primary VM's scheduler must run on every core it wants VMs on.
+//! * **Boot-time static partitions.** VM images and memory ranges come
+//!   from a manifest processed before any OS boots; stage-2 tables are
+//!   installed at that point. (A dynamic-partition extension from the
+//!   paper's future-work list is provided behind an explicit opt-in.)
+//! * **All interrupts to the primary.** The GIC is programmed to deliver
+//!   every IRQ to the primary VM, which forwards as needed. The paper's
+//!   *selective routing* extension (timer IRQs to the primary, device
+//!   IRQs to the super-secondary) is implemented as an alternative
+//!   [`irq::IrqRoutingPolicy`].
+//! * **The super-secondary VM** — this paper's architectural extension: a
+//!   semi-privileged VM (the "Login VM") that owns device MMIO and IRQs
+//!   but cannot control CPU cores or issue scheduling hypercalls.
+//!
+//! Module map: [`manifest`] (boot manifest), [`vm`] (VM/VCPU state),
+//! [`spm`] (the hypervisor proper), [`hypercall`] (the ABI),
+//! [`mailbox`] (inter-VM messaging), [`irq`] (routing policies),
+//! [`boot`] (the TF-A-style boot chain), [`sha256`]/[`verify`] (VM image
+//! signature verification), [`shmem`] (audited memory-share grants), and
+//! [`ring`] (the virtio-style shared-memory I/O rings riding on them).
+
+pub mod boot;
+pub mod hypercall;
+pub mod irq;
+pub mod mailbox;
+pub mod manifest;
+pub mod ring;
+pub mod sha256;
+pub mod shmem;
+pub mod spm;
+pub mod verify;
+pub mod vm;
+
+pub use hypercall::{HfCall, HfError, HfReturn};
+pub use irq::IrqRoutingPolicy;
+pub use manifest::{BootManifest, VmKind, VmManifest};
+pub use spm::{Spm, SpmConfig};
+pub use vm::{VcpuRunExit, VcpuState, VmId, VmState};

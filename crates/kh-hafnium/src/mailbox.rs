@@ -1,0 +1,159 @@
+//! Inter-VM mailboxes.
+//!
+//! Hafnium's only inter-VM communication primitive: a single-slot
+//! send/receive buffer pair per VM, accessed through `send`/`recv`
+//! hypercalls. The paper's management path — the super-secondary Login VM
+//! issuing job-control commands to the control task in the Kitten primary
+//! — runs over exactly this channel.
+
+use crate::vm::VmId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Maximum message payload (Hafnium uses a 4 KiB page).
+pub const MAX_MSG_LEN: usize = 4096;
+
+/// A queued message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    pub from: VmId,
+    pub payload: Vec<u8>,
+}
+
+/// Mailbox errors, mirroring the hypercall ABI's failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxError {
+    /// Receiver's buffer is still full (it has not called `recv`).
+    Busy,
+    /// Message exceeds `MAX_MSG_LEN`.
+    TooLong,
+    /// Unknown destination VM.
+    NoSuchVm,
+    /// Nothing to receive.
+    Empty,
+}
+
+/// Per-VM single-slot receive buffer.
+#[derive(Debug, Default)]
+struct Slot {
+    inbox: Option<Message>,
+}
+
+/// All mailboxes in the system, owned by the SPM.
+#[derive(Debug, Default)]
+pub struct MailboxSet {
+    slots: HashMap<VmId, Slot>,
+}
+
+impl MailboxSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a VM's mailbox (done at VM creation).
+    pub fn register(&mut self, vm: VmId) {
+        self.slots.entry(vm).or_default();
+    }
+
+    pub fn unregister(&mut self, vm: VmId) {
+        self.slots.remove(&vm);
+    }
+
+    /// Deliver a message into `to`'s inbox. Single-slot semantics: fails
+    /// with `Busy` until the receiver drains it.
+    pub fn send(&mut self, from: VmId, to: VmId, payload: Vec<u8>) -> Result<(), MailboxError> {
+        if payload.len() > MAX_MSG_LEN {
+            return Err(MailboxError::TooLong);
+        }
+        let slot = self.slots.get_mut(&to).ok_or(MailboxError::NoSuchVm)?;
+        if slot.inbox.is_some() {
+            return Err(MailboxError::Busy);
+        }
+        slot.inbox = Some(Message { from, payload });
+        Ok(())
+    }
+
+    /// Drain `vm`'s inbox.
+    pub fn recv(&mut self, vm: VmId) -> Result<Message, MailboxError> {
+        let slot = self.slots.get_mut(&vm).ok_or(MailboxError::NoSuchVm)?;
+        slot.inbox.take().ok_or(MailboxError::Empty)
+    }
+
+    /// Whether `vm` has a pending message (used to wake VCPUs blocked in
+    /// `WaitForMessage`).
+    pub fn has_pending(&self, vm: VmId) -> bool {
+        self.slots
+            .get(&vm)
+            .map(|s| s.inbox.is_some())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> MailboxSet {
+        let mut m = MailboxSet::new();
+        m.register(VmId(0));
+        m.register(VmId(1));
+        m
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let mut m = setup();
+        m.send(VmId(0), VmId(1), b"launch vm2".to_vec()).unwrap();
+        assert!(m.has_pending(VmId(1)));
+        let msg = m.recv(VmId(1)).unwrap();
+        assert_eq!(msg.from, VmId(0));
+        assert_eq!(msg.payload, b"launch vm2");
+        assert!(!m.has_pending(VmId(1)));
+    }
+
+    #[test]
+    fn single_slot_blocks_second_send() {
+        let mut m = setup();
+        m.send(VmId(0), VmId(1), vec![1]).unwrap();
+        assert_eq!(m.send(VmId(0), VmId(1), vec![2]), Err(MailboxError::Busy));
+        m.recv(VmId(1)).unwrap();
+        m.send(VmId(0), VmId(1), vec![2]).unwrap();
+    }
+
+    #[test]
+    fn recv_empty_fails() {
+        let mut m = setup();
+        assert_eq!(m.recv(VmId(0)), Err(MailboxError::Empty));
+    }
+
+    #[test]
+    fn unknown_vm_fails() {
+        let mut m = setup();
+        assert_eq!(
+            m.send(VmId(0), VmId(9), vec![]),
+            Err(MailboxError::NoSuchVm)
+        );
+        assert_eq!(m.recv(VmId(9)), Err(MailboxError::NoSuchVm));
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let mut m = setup();
+        assert_eq!(
+            m.send(VmId(0), VmId(1), vec![0; MAX_MSG_LEN + 1]),
+            Err(MailboxError::TooLong)
+        );
+        // Exactly the limit is fine.
+        m.send(VmId(0), VmId(1), vec![0; MAX_MSG_LEN]).unwrap();
+    }
+
+    #[test]
+    fn unregister_removes_mailbox() {
+        let mut m = setup();
+        m.unregister(VmId(1));
+        assert_eq!(
+            m.send(VmId(0), VmId(1), vec![]),
+            Err(MailboxError::NoSuchVm)
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! The boot manifest.
+//!
+//! Hafnium learns the system layout from a manifest processed during the
+//! trusted boot sequence — before any OS is initialized. Each entry names
+//! a VM, its kind (primary / super-secondary / secondary), its memory
+//! range, VCPU count, and (for the verification extension) the image
+//! digest and signature.
+
+use crate::sha256;
+use kh_arch::el::SecurityState;
+use serde::{Deserialize, Serialize};
+
+/// VM role within the Hafnium architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmKind {
+    /// The scheduling VM: full hypercall API, owns the physical timer,
+    /// receives all IRQs under the default routing policy.
+    Primary,
+    /// The paper's extension: a semi-privileged "Login VM" with direct
+    /// device/MMIO access but no scheduling or CPU-control rights.
+    SuperSecondary,
+    /// An isolated workload VM.
+    Secondary,
+}
+
+/// A device MMIO region assigned to a VM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MmioRegion {
+    pub name: String,
+    pub base: u64,
+    pub len: u64,
+    /// SPI interrupt line for the device, if any.
+    pub irq: Option<u32>,
+}
+
+/// One VM's manifest entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmManifest {
+    pub name: String,
+    pub kind: VmKind,
+    /// Guest-physical (IPA) size the VM believes it has; the SPM chooses
+    /// the backing PA range at boot.
+    pub mem_bytes: u64,
+    pub vcpus: u16,
+    /// TrustZone world the VM lives in.
+    pub world: SecurityState,
+    /// Kernel image bytes (modelled; hashed for verification).
+    pub image: Vec<u8>,
+    /// HMAC-SHA-256 signature over the image, if the platform enforces
+    /// verified VM launch.
+    pub signature: Option<[u8; sha256::DIGEST_LEN]>,
+    /// Devices assigned to this VM (normally only the primary or the
+    /// super-secondary).
+    pub devices: Vec<MmioRegion>,
+}
+
+impl VmManifest {
+    pub fn new(name: impl Into<String>, kind: VmKind, mem_bytes: u64, vcpus: u16) -> Self {
+        VmManifest {
+            name: name.into(),
+            kind,
+            mem_bytes,
+            vcpus,
+            world: SecurityState::NonSecure,
+            image: Vec::new(),
+            signature: None,
+            devices: Vec::new(),
+        }
+    }
+
+    pub fn secure(mut self) -> Self {
+        self.world = SecurityState::Secure;
+        self
+    }
+
+    pub fn with_image(mut self, image: Vec<u8>) -> Self {
+        self.image = image;
+        self
+    }
+
+    pub fn signed_with(mut self, key: &[u8]) -> Self {
+        self.signature = Some(sha256::hmac(key, &self.image));
+        self
+    }
+
+    pub fn with_device(mut self, dev: MmioRegion) -> Self {
+        self.devices.push(dev);
+        self
+    }
+
+    pub fn image_digest(&self) -> [u8; sha256::DIGEST_LEN] {
+        sha256::digest(&self.image)
+    }
+}
+
+/// The full boot manifest.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BootManifest {
+    pub vms: Vec<VmManifest>,
+}
+
+/// Manifest validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestError {
+    NoPrimary,
+    MultiplePrimaries,
+    MultipleSuperSecondaries,
+    ZeroVcpus(String),
+    ZeroMemory(String),
+    DuplicateName(String),
+}
+
+impl BootManifest {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_vm(mut self, vm: VmManifest) -> Self {
+        self.vms.push(vm);
+        self
+    }
+
+    /// Structural validation: exactly one primary, at most one
+    /// super-secondary, sane sizes, unique names.
+    pub fn validate(&self) -> Result<(), ManifestError> {
+        let primaries = self
+            .vms
+            .iter()
+            .filter(|v| v.kind == VmKind::Primary)
+            .count();
+        if primaries == 0 {
+            return Err(ManifestError::NoPrimary);
+        }
+        if primaries > 1 {
+            return Err(ManifestError::MultiplePrimaries);
+        }
+        if self
+            .vms
+            .iter()
+            .filter(|v| v.kind == VmKind::SuperSecondary)
+            .count()
+            > 1
+        {
+            return Err(ManifestError::MultipleSuperSecondaries);
+        }
+        let mut names = std::collections::HashSet::new();
+        for v in &self.vms {
+            if v.vcpus == 0 {
+                return Err(ManifestError::ZeroVcpus(v.name.clone()));
+            }
+            if v.mem_bytes == 0 {
+                return Err(ManifestError::ZeroMemory(v.name.clone()));
+            }
+            if !names.insert(v.name.as_str()) {
+                return Err(ManifestError::DuplicateName(v.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total memory the manifest asks for.
+    pub fn total_mem(&self) -> u64 {
+        self.vms.iter().map(|v| v.mem_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn primary() -> VmManifest {
+        VmManifest::new("kitten-primary", VmKind::Primary, 64 * MB, 4)
+    }
+
+    #[test]
+    fn valid_manifest() {
+        let m = BootManifest::new()
+            .with_vm(primary())
+            .with_vm(VmManifest::new("app", VmKind::Secondary, 128 * MB, 2));
+        assert!(m.validate().is_ok());
+        assert_eq!(m.total_mem(), 192 * MB);
+    }
+
+    #[test]
+    fn requires_exactly_one_primary() {
+        let none = BootManifest::new().with_vm(VmManifest::new("a", VmKind::Secondary, MB, 1));
+        assert_eq!(none.validate(), Err(ManifestError::NoPrimary));
+        let two = BootManifest::new()
+            .with_vm(primary())
+            .with_vm(VmManifest::new("p2", VmKind::Primary, MB, 1));
+        assert_eq!(two.validate(), Err(ManifestError::MultiplePrimaries));
+    }
+
+    #[test]
+    fn at_most_one_super_secondary() {
+        let m = BootManifest::new()
+            .with_vm(primary())
+            .with_vm(VmManifest::new("l1", VmKind::SuperSecondary, MB, 1))
+            .with_vm(VmManifest::new("l2", VmKind::SuperSecondary, MB, 1));
+        assert_eq!(m.validate(), Err(ManifestError::MultipleSuperSecondaries));
+    }
+
+    #[test]
+    fn rejects_degenerate_vms() {
+        let m = BootManifest::new()
+            .with_vm(primary())
+            .with_vm(VmManifest::new("z", VmKind::Secondary, MB, 0));
+        assert_eq!(m.validate(), Err(ManifestError::ZeroVcpus("z".into())));
+        let m = BootManifest::new()
+            .with_vm(primary())
+            .with_vm(VmManifest::new("z", VmKind::Secondary, 0, 1));
+        assert_eq!(m.validate(), Err(ManifestError::ZeroMemory("z".into())));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let m = BootManifest::new()
+            .with_vm(primary())
+            .with_vm(VmManifest::new("x", VmKind::Secondary, MB, 1))
+            .with_vm(VmManifest::new("x", VmKind::Secondary, MB, 1));
+        assert_eq!(m.validate(), Err(ManifestError::DuplicateName("x".into())));
+    }
+
+    #[test]
+    fn signing_round_trip() {
+        let vm = VmManifest::new("s", VmKind::Secondary, MB, 1)
+            .with_image(vec![1, 2, 3, 4])
+            .signed_with(b"boot-key");
+        let sig = vm.signature.unwrap();
+        assert_eq!(sig, crate::sha256::hmac(b"boot-key", &[1, 2, 3, 4]));
+        assert_ne!(sig, crate::sha256::hmac(b"wrong-key", &[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn secure_world_flag() {
+        let vm = VmManifest::new("tee", VmKind::Secondary, MB, 1).secure();
+        assert_eq!(vm.world, SecurityState::Secure);
+    }
+}

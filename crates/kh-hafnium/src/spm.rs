@@ -1,0 +1,1195 @@
+//! The Secure Partition Manager proper.
+//!
+//! [`Spm`] owns every VM's EL2-side state: stage-2 tables, VCPU
+//! scheduling states, mailboxes, the IRQ router, and the physical-memory
+//! allocator. It enforces the two invariants the paper's security
+//! argument rests on:
+//!
+//! * **Memory isolation** — no two VMs' stage-2 tables may map a common
+//!   physical byte ([`Spm::audit_isolation`] proves it at any time), and
+//! * **Privilege separation** — scheduling is primary-only, device
+//!   ownership is primary/super-secondary-only, and hypercalls are
+//!   core-local.
+
+use crate::hypercall::{HfCall, HfError, HfReturn};
+use crate::irq::{IrqRouter, IrqRoutingPolicy, RouteDecision};
+use crate::mailbox::{MailboxError, MailboxSet};
+use crate::manifest::{VmKind, VmManifest};
+use crate::verify::KeyRegistry;
+use crate::vm::{VcpuRunExit, VcpuState, Vm, VmId, VmState};
+use kh_arch::el::SecurityState;
+use kh_arch::gic::IntId;
+use kh_arch::mmu::{MemAttr, PagePerms};
+use kh_arch::platform::Platform;
+use kh_sim::Nanos;
+use std::collections::BTreeMap;
+
+/// DRAM base address on the modelled SoCs (Allwinner A64 convention).
+pub const DRAM_BASE: u64 = 0x4000_0000;
+/// Physical memory Hafnium reserves for itself at the bottom of DRAM.
+pub const HYP_RESERVED: u64 = 32 * 1024 * 1024;
+/// Allocation granule: 2 MiB so stage-2 can use block mappings.
+pub const ALLOC_ALIGN: u64 = 2 * 1024 * 1024;
+
+/// SPM-wide configuration fixed at boot.
+#[derive(Debug, Clone)]
+pub struct SpmConfig {
+    pub platform: Platform,
+    pub routing: IrqRoutingPolicy,
+    /// Refuse to launch VM images without a valid signature.
+    pub require_signed_images: bool,
+    /// Enable the dynamic-partition extension (`VmCreate`/`VmDestroy`).
+    pub allow_dynamic_partitions: bool,
+    /// Enable the TrustZone world split; `secure_mem_bytes` is carved
+    /// from the top of DRAM at boot (statically, per the architecture's
+    /// requirement).
+    pub trustzone: bool,
+    pub secure_mem_bytes: u64,
+}
+
+impl SpmConfig {
+    pub fn default_for(platform: Platform) -> Self {
+        SpmConfig {
+            platform,
+            routing: IrqRoutingPolicy::AllToPrimary,
+            require_signed_images: false,
+            allow_dynamic_partitions: false,
+            trustzone: false,
+            secure_mem_bytes: 0,
+        }
+    }
+}
+
+/// Errors creating VMs at the SPM level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpmError {
+    OutOfMemory { requested: u64, available: u64 },
+    BadSignature(String),
+    UnsignedImage(String),
+    NoSecureWorld,
+    BadManifest(String),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FreeRegion {
+    base: u64,
+    len: u64,
+}
+
+/// A per-world bump allocator with a free list for reclaimed regions.
+#[derive(Debug)]
+struct WorldAllocator {
+    next: u64,
+    end: u64,
+    free: Vec<FreeRegion>,
+}
+
+impl WorldAllocator {
+    fn new(base: u64, end: u64) -> Self {
+        WorldAllocator {
+            next: base,
+            end,
+            free: Vec::new(),
+        }
+    }
+
+    fn align_up(x: u64) -> u64 {
+        (x + ALLOC_ALIGN - 1) & !(ALLOC_ALIGN - 1)
+    }
+
+    fn available(&self) -> u64 {
+        (self.end - self.next) + self.free.iter().map(|f| f.len).sum::<u64>()
+    }
+
+    fn alloc(&mut self, bytes: u64) -> Option<u64> {
+        let len = Self::align_up(bytes);
+        // First fit from the free list.
+        if let Some(i) = self.free.iter().position(|f| f.len >= len) {
+            let region = self.free[i];
+            if region.len == len {
+                self.free.swap_remove(i);
+            } else {
+                self.free[i] = FreeRegion {
+                    base: region.base + len,
+                    len: region.len - len,
+                };
+            }
+            return Some(region.base);
+        }
+        if self.next + len <= self.end {
+            let base = self.next;
+            self.next += len;
+            Some(base)
+        } else {
+            None
+        }
+    }
+
+    fn release(&mut self, base: u64, bytes: u64) {
+        self.free.push(FreeRegion {
+            base,
+            len: Self::align_up(bytes),
+        });
+    }
+}
+
+/// Aggregate hypercall statistics (consumed by the benches).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpmStats {
+    pub hypercalls: u64,
+    pub vcpu_runs: u64,
+    pub irqs_routed: u64,
+    pub irqs_forwarded: u64,
+    pub vm_switches: u64,
+}
+
+/// The SPM.
+#[derive(Debug)]
+pub struct Spm {
+    pub config: SpmConfig,
+    vms: BTreeMap<VmId, Vm>,
+    mailboxes: MailboxSet,
+    router: IrqRouter,
+    nonsecure: WorldAllocator,
+    secure: Option<WorldAllocator>,
+    /// Which VCPU each physical core is currently executing
+    /// (`None` until the primary is dispatched on the core).
+    current: Vec<Option<(VmId, u16)>>,
+    /// Backing region per VM for reclamation: (base, len, world).
+    backing: BTreeMap<VmId, (u64, u64, SecurityState)>,
+    next_dynamic_id: u16,
+    /// Registered memory-share grants (see [`crate::shmem`]).
+    grants: Vec<crate::shmem::ShareGrant>,
+    next_share: u64,
+    pub keys: KeyRegistry,
+    pub stats: SpmStats,
+}
+
+/// Round a share request up to the allocation granule.
+pub fn align_share(bytes: u64) -> u64 {
+    (bytes + ALLOC_ALIGN - 1) & !(ALLOC_ALIGN - 1)
+}
+
+impl Spm {
+    pub fn new(config: SpmConfig) -> Self {
+        let dram_end = DRAM_BASE + config.platform.dram_bytes;
+        let secure_base = dram_end - config.secure_mem_bytes.min(config.platform.dram_bytes / 2);
+        let (ns_end, secure) = if config.trustzone && config.secure_mem_bytes > 0 {
+            (
+                secure_base,
+                Some(WorldAllocator::new(secure_base, dram_end)),
+            )
+        } else {
+            (dram_end, None)
+        };
+        let cores = config.platform.num_cores as usize;
+        let router = IrqRouter::new(config.routing);
+        Spm {
+            config,
+            vms: BTreeMap::new(),
+            mailboxes: MailboxSet::new(),
+            router,
+            nonsecure: WorldAllocator::new(DRAM_BASE + HYP_RESERVED, ns_end),
+            secure,
+            current: vec![None; cores],
+            backing: BTreeMap::new(),
+            next_dynamic_id: 2,
+            grants: Vec::new(),
+            next_share: 0,
+            keys: KeyRegistry::new(),
+            stats: SpmStats::default(),
+        }
+    }
+
+    /// Allocate non-secure memory for a share grant (crate-internal).
+    pub(crate) fn alloc_nonsecure(&mut self, bytes: u64) -> Result<u64, SpmError> {
+        let available = self.nonsecure.available();
+        self.nonsecure.alloc(bytes).ok_or(SpmError::OutOfMemory {
+            requested: bytes,
+            available,
+        })
+    }
+
+    pub(crate) fn release_nonsecure(&mut self, base: u64, bytes: u64) {
+        self.nonsecure.release(base, bytes);
+    }
+
+    pub(crate) fn next_share_id(&mut self) -> u64 {
+        let id = self.next_share;
+        self.next_share += 1;
+        id
+    }
+
+    pub(crate) fn register_grant(&mut self, grant: crate::shmem::ShareGrant) {
+        self.grants.push(grant);
+    }
+
+    pub(crate) fn take_grant(&mut self, id: u64) -> Option<crate::shmem::ShareGrant> {
+        let pos = self.grants.iter().position(|g| g.id == id)?;
+        Some(self.grants.swap_remove(pos))
+    }
+
+    /// Active share grants.
+    pub fn grants(&self) -> &[crate::shmem::ShareGrant] {
+        &self.grants
+    }
+
+    pub fn router(&self) -> &IrqRouter {
+        &self.router
+    }
+
+    pub fn router_mut(&mut self) -> &mut IrqRouter {
+        &mut self.router
+    }
+
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.get(&id)
+    }
+
+    pub fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
+        self.vms.get_mut(&id)
+    }
+
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        self.vms.keys().copied().collect()
+    }
+
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    pub fn current(&self, core: u16) -> Option<(VmId, u16)> {
+        self.current.get(core as usize).copied().flatten()
+    }
+
+    /// Create a VM with an explicit id (boot path). Verifies signatures
+    /// when required, allocates backing memory in the right world, and
+    /// installs the identity stage-2 mapping.
+    pub fn create_vm(&mut self, id: VmId, m: &VmManifest) -> Result<(), SpmError> {
+        if self.config.require_signed_images {
+            match &m.signature {
+                None => return Err(SpmError::UnsignedImage(m.name.clone())),
+                Some(sig) => {
+                    self.keys
+                        .verify(&m.image, sig)
+                        .map_err(|_| SpmError::BadSignature(m.name.clone()))?;
+                }
+            }
+        }
+        let world = m.world;
+        let alloc = match world {
+            SecurityState::NonSecure => &mut self.nonsecure,
+            SecurityState::Secure => match self.secure.as_mut() {
+                Some(a) => a,
+                None => return Err(SpmError::NoSecureWorld),
+            },
+        };
+        let available = alloc.available();
+        let base = alloc.alloc(m.mem_bytes).ok_or(SpmError::OutOfMemory {
+            requested: m.mem_bytes,
+            available,
+        })?;
+        let mut vm = Vm::new(id, m.name.clone(), m.kind, world, m.mem_bytes, m.vcpus);
+        // Identity-style mapping: IPA 0..len → PA base..base+len.
+        let len = WorldAllocator::align_up(m.mem_bytes);
+        vm.stage2
+            .map(0, base, len, PagePerms::RWX, MemAttr::Normal)
+            .map_err(|e| SpmError::BadManifest(format!("{}: stage2 map failed: {e:?}", m.name)))?;
+        // Device MMIO passthrough for VMs allowed to own devices.
+        // Hardware register blocks are rarely page-sized; the SPM maps
+        // the page-rounded enclosure, as real Hafnium manifests do.
+        if vm.may_own_devices() {
+            const PAGE: u64 = kh_arch::mmu::PAGE_SIZE;
+            for dev in &m.devices {
+                let pa = dev.base & !(PAGE - 1);
+                let end = (dev.base + dev.len.max(1) + PAGE - 1) & !(PAGE - 1);
+                vm.stage2
+                    .map(
+                        0x1000_0000 + pa,
+                        pa,
+                        end - pa,
+                        PagePerms::RW,
+                        MemAttr::Device,
+                    )
+                    .map_err(|e| {
+                        SpmError::BadManifest(format!("{}: device map failed: {e:?}", m.name))
+                    })?;
+            }
+            if m.kind == VmKind::SuperSecondary {
+                let irqs: Vec<u32> = m.devices.iter().filter_map(|d| d.irq).collect();
+                self.router.register_super_secondary(&irqs);
+            }
+        }
+        self.mailboxes.register(id);
+        self.backing.insert(id, (base, len, world));
+        self.vms.insert(id, vm);
+        Ok(())
+    }
+
+    /// Mark the primary's VCPUs as running, one per core (boot handoff).
+    pub fn start_primary(&mut self) {
+        let cores = self.current.len() as u16;
+        if let Some(vm) = self.vms.get_mut(&VmId::PRIMARY) {
+            vm.state = VmState::Running;
+            for (i, v) in vm.vcpus.iter_mut().enumerate() {
+                let core = i as u16;
+                if core < cores {
+                    v.state = VcpuState::Running { core };
+                    self.current[i] = Some((VmId::PRIMARY, core));
+                }
+            }
+        }
+    }
+
+    /// Prove pairwise stage-2 isolation: any physical byte reachable by
+    /// two VMs must be covered by a share grant registered between
+    /// exactly those two VMs. Returns the offending pair on violation.
+    pub fn audit_isolation(&self) -> Result<(), (VmId, VmId)> {
+        let ids: Vec<VmId> = self.vms.keys().copied().collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                for (_, pa_a, len_a) in self.vms[&a].stage2.physical_extents() {
+                    for (_, pa_b, len_b) in self.vms[&b].stage2.physical_extents() {
+                        let lo = pa_a.max(pa_b);
+                        let hi = (pa_a + len_a).min(pa_b + len_b);
+                        if lo >= hi {
+                            continue; // disjoint
+                        }
+                        let covered = self.grants.iter().any(|g| {
+                            let parties_match = (g.a == a && g.b == b) || (g.a == b && g.b == a);
+                            parties_match && g.pa <= lo && hi <= g.pa + g.len
+                        });
+                        if !covered {
+                            return Err((a, b));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `vm` can reach the physical address range — used by tests
+    /// to demonstrate that secondaries cannot touch each other or the
+    /// hypervisor.
+    pub fn vm_reaches_pa(&self, vm: VmId, pa: u64) -> bool {
+        self.vms
+            .get(&vm)
+            .map(|v| {
+                v.stage2
+                    .physical_extents()
+                    .iter()
+                    .any(|&(_, base, len)| pa >= base && pa < base + len)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Route a physical IRQ (the EL2 entry point for hardware
+    /// interrupts). Updates routing stats.
+    pub fn physical_irq(&mut self, irq: IntId) -> RouteDecision {
+        let d = self.router.route(irq);
+        self.stats.irqs_routed += 1;
+        if d.forwarded {
+            self.stats.irqs_forwarded += 1;
+        }
+        d
+    }
+
+    /// A physical IRQ destined for the primary arrived on `core` while a
+    /// secondary VCPU was running there: preempt it. Returns the
+    /// preempted VCPU if any.
+    pub fn preempt(&mut self, core: u16) -> Option<(VmId, u16)> {
+        let cur = self.current(core)?;
+        if cur.0 == VmId::PRIMARY {
+            return None;
+        }
+        self.finish_run(core, VcpuRunExit::Preempted);
+        Some(cur)
+    }
+
+    /// The running VCPU on `core` exited back to the primary with the
+    /// given reason. Applies the state transition and restores the
+    /// primary as the core's current VCPU.
+    pub fn finish_run(&mut self, core: u16, exit: VcpuRunExit) {
+        let Some((vm_id, vcpu_idx)) = self.current(core) else {
+            return;
+        };
+        if vm_id == VmId::PRIMARY {
+            return;
+        }
+        let has_msg = self.mailboxes.has_pending(vm_id);
+        if let Some(vm) = self.vms.get_mut(&vm_id) {
+            let halted = matches!(exit, VcpuRunExit::VmHalted);
+            if let Some(v) = vm.vcpu_mut(vcpu_idx) {
+                v.state = match exit {
+                    VcpuRunExit::Yield | VcpuRunExit::Preempted => VcpuState::Ready,
+                    VcpuRunExit::WaitForInterrupt => {
+                        if v.vgic.has_pending() {
+                            VcpuState::Ready
+                        } else {
+                            VcpuState::BlockedWfi
+                        }
+                    }
+                    VcpuRunExit::WaitForMessage => {
+                        if has_msg {
+                            VcpuState::Ready
+                        } else {
+                            VcpuState::BlockedMailbox
+                        }
+                    }
+                    VcpuRunExit::Message { .. } => VcpuState::Ready,
+                    VcpuRunExit::Aborted => VcpuState::Aborted,
+                    VcpuRunExit::VmHalted => VcpuState::Off,
+                };
+            }
+            if halted {
+                for v in &mut vm.vcpus {
+                    v.state = VcpuState::Off;
+                }
+                vm.state = VmState::Halted;
+            }
+        }
+        self.stats.vm_switches += 1;
+        self.current[core as usize] = Some((VmId::PRIMARY, core));
+        if let Some(p) = self.vms.get_mut(&VmId::PRIMARY) {
+            if let Some(v) = p.vcpu_mut(core) {
+                v.state = VcpuState::Running { core };
+            }
+        }
+    }
+
+    /// The hypercall entry point. `caller`/`caller_vcpu` identify the
+    /// issuing VCPU; `core` is the physical core it runs on (hypercalls
+    /// are core-local by construction: every effect lands on `core`).
+    pub fn hypercall(
+        &mut self,
+        caller: VmId,
+        caller_vcpu: u16,
+        core: u16,
+        call: HfCall,
+        now: Nanos,
+    ) -> Result<HfReturn, HfError> {
+        self.stats.hypercalls += 1;
+        if !self.vms.contains_key(&caller) {
+            return Err(HfError::NoSuchTarget);
+        }
+        match call {
+            HfCall::VmGetCount => Ok(HfReturn::Count(self.vms.len() as u32)),
+            HfCall::VcpuGetCount(id) => self
+                .vms
+                .get(&id)
+                .map(|v| HfReturn::Count(v.vcpus.len() as u32))
+                .ok_or(HfError::NoSuchTarget),
+            HfCall::VcpuRun { vm, vcpu } => self.do_vcpu_run(caller, core, vm, vcpu, now),
+            HfCall::Send { to, payload } => {
+                let woke = match self.mailboxes.send(caller, to, payload) {
+                    Ok(()) => true,
+                    Err(MailboxError::Busy) => return Err(HfError::MailboxBusy),
+                    Err(MailboxError::TooLong) => return Err(HfError::MsgTooLong),
+                    Err(MailboxError::NoSuchVm) => return Err(HfError::NoSuchTarget),
+                    Err(MailboxError::Empty) => unreachable!("send never reports Empty"),
+                };
+                if woke {
+                    // Wake any VCPU of the target blocked on its mailbox.
+                    if let Some(vm) = self.vms.get_mut(&to) {
+                        for v in &mut vm.vcpus {
+                            if matches!(v.state, VcpuState::BlockedMailbox) {
+                                v.state = VcpuState::Ready;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Ok(HfReturn::Ok)
+            }
+            HfCall::Recv => match self.mailboxes.recv(caller) {
+                Ok(msg) => Ok(HfReturn::Msg(msg)),
+                Err(MailboxError::Empty) => Err(HfError::MailboxEmpty),
+                Err(_) => Err(HfError::NoSuchTarget),
+            },
+            HfCall::InterruptEnable { intid, enable } => {
+                let vm = self.vms.get_mut(&caller).ok_or(HfError::NoSuchTarget)?;
+                let v = vm.vcpu_mut(caller_vcpu).ok_or(HfError::NoSuchTarget)?;
+                v.vgic.enable(intid, enable);
+                Ok(HfReturn::Ok)
+            }
+            HfCall::InterruptGet => {
+                let vm = self.vms.get_mut(&caller).ok_or(HfError::NoSuchTarget)?;
+                let v = vm.vcpu_mut(caller_vcpu).ok_or(HfError::NoSuchTarget)?;
+                Ok(HfReturn::Interrupt(v.vgic.next_pending()))
+            }
+            HfCall::InterruptInject { vm, vcpu, intid } => {
+                // Forwarding path: primary-only (it is how device IRQs
+                // reach the super-secondary under the default routing).
+                if !self.vms[&caller].may_schedule() {
+                    return Err(HfError::Denied);
+                }
+                let target = self.vms.get_mut(&vm).ok_or(HfError::NoSuchTarget)?;
+                let v = target.vcpu_mut(vcpu).ok_or(HfError::NoSuchTarget)?;
+                let woke = v.vgic.inject(intid);
+                if woke && matches!(v.state, VcpuState::BlockedWfi) {
+                    v.state = VcpuState::Ready;
+                }
+                Ok(HfReturn::Ok)
+            }
+            HfCall::Yield | HfCall::WaitForInterrupt => {
+                // Secondary-side: the transition is applied when the
+                // executor reports the exit via `finish_run`; accepting
+                // the call here validates the caller only.
+                Ok(HfReturn::Ok)
+            }
+            HfCall::ArmVtimer { delay_ns } => {
+                let vm = self.vms.get_mut(&caller).ok_or(HfError::NoSuchTarget)?;
+                let v = vm.vcpu_mut(caller_vcpu).ok_or(HfError::NoSuchTarget)?;
+                v.vtimer_deadline = Some(now + Nanos(delay_ns));
+                Ok(HfReturn::Ok)
+            }
+            HfCall::VmHalt => {
+                let vm = self.vms.get_mut(&caller).ok_or(HfError::NoSuchTarget)?;
+                for v in &mut vm.vcpus {
+                    v.state = VcpuState::Off;
+                }
+                vm.state = VmState::Halted;
+                Ok(HfReturn::Ok)
+            }
+            HfCall::VmCreate {
+                name,
+                mem_bytes,
+                vcpus,
+                image,
+                signature,
+            } => {
+                if !self.vms[&caller].may_schedule() {
+                    return Err(HfError::Denied);
+                }
+                if !self.config.allow_dynamic_partitions {
+                    return Err(HfError::Unsupported);
+                }
+                let id = VmId(self.next_dynamic_id.max(2));
+                // Find a free id (destroy may leave holes).
+                let mut candidate = id;
+                while self.vms.contains_key(&candidate) {
+                    candidate = VmId(candidate.0 + 1);
+                }
+                let mut m =
+                    VmManifest::new(name, VmKind::Secondary, mem_bytes, vcpus).with_image(image);
+                m.signature = signature;
+                match self.create_vm(candidate, &m) {
+                    Ok(()) => {
+                        self.next_dynamic_id = candidate.0 + 1;
+                        Ok(HfReturn::Created(candidate))
+                    }
+                    Err(SpmError::OutOfMemory { .. }) => Err(HfError::NoMemory),
+                    Err(SpmError::BadSignature(_)) | Err(SpmError::UnsignedImage(_)) => {
+                        Err(HfError::BadSignature)
+                    }
+                    Err(_) => Err(HfError::BadState),
+                }
+            }
+            HfCall::VmDestroy(id) => {
+                if !self.vms[&caller].may_schedule() {
+                    return Err(HfError::Denied);
+                }
+                if !self.config.allow_dynamic_partitions {
+                    return Err(HfError::Unsupported);
+                }
+                if id == VmId::PRIMARY || id == caller {
+                    return Err(HfError::Denied);
+                }
+                let vm = self.vms.get(&id).ok_or(HfError::NoSuchTarget)?;
+                if vm.running_vcpus() > 0 {
+                    return Err(HfError::BadState);
+                }
+                self.vms.remove(&id);
+                self.mailboxes.unregister(id);
+                if let Some((base, len, world)) = self.backing.remove(&id) {
+                    // Memory is scrubbed before reuse (modelled by the
+                    // release itself; the executor charges scrub time).
+                    match world {
+                        SecurityState::NonSecure => self.nonsecure.release(base, len),
+                        SecurityState::Secure => {
+                            if let Some(s) = self.secure.as_mut() {
+                                s.release(base, len)
+                            }
+                        }
+                    }
+                }
+                Ok(HfReturn::Ok)
+            }
+        }
+    }
+
+    fn do_vcpu_run(
+        &mut self,
+        caller: VmId,
+        core: u16,
+        vm_id: VmId,
+        vcpu_idx: u16,
+        now: Nanos,
+    ) -> Result<HfReturn, HfError> {
+        if !self.vms[&caller].may_schedule() {
+            return Err(HfError::Denied);
+        }
+        if vm_id == caller {
+            return Err(HfError::Denied);
+        }
+        if core as usize >= self.current.len() {
+            return Err(HfError::NoSuchTarget);
+        }
+        let vm = self.vms.get_mut(&vm_id).ok_or(HfError::NoSuchTarget)?;
+        if matches!(vm.state, VmState::Halted | VmState::Destroyed) {
+            return Err(HfError::BadState);
+        }
+        let vtimer_expired = vm
+            .vcpu(vcpu_idx)
+            .and_then(|v| v.vtimer_deadline)
+            .map(|d| d <= now)
+            .unwrap_or(false);
+        let v = vm.vcpu_mut(vcpu_idx).ok_or(HfError::NoSuchTarget)?;
+        let runnable = match v.state {
+            VcpuState::Off | VcpuState::Ready => true,
+            VcpuState::BlockedWfi => v.vgic.has_pending() || vtimer_expired,
+            VcpuState::BlockedMailbox => false, // woken by Send
+            VcpuState::Running { .. } | VcpuState::Aborted => false,
+        };
+        if !runnable {
+            return Err(HfError::NotRunnable);
+        }
+        v.state = VcpuState::Running { core };
+        vm.state = VmState::Running;
+        // The primary VCPU on this core steps aside.
+        if let Some(p) = self.vms.get_mut(&VmId::PRIMARY) {
+            if let Some(pv) = p.vcpu_mut(core) {
+                if matches!(pv.state, VcpuState::Running { core: c } if c == core) {
+                    pv.state = VcpuState::Ready;
+                }
+            }
+        }
+        self.current[core as usize] = Some((vm_id, vcpu_idx));
+        self.stats.vcpu_runs += 1;
+        self.stats.vm_switches += 1;
+        Ok(HfReturn::RunExit(VcpuRunExit::Yield))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::MmioRegion;
+
+    const MB: u64 = 1 << 20;
+
+    fn spm_with(manifest: &[VmManifest]) -> Spm {
+        let mut s = Spm::new(SpmConfig::default_for(Platform::pine_a64_lts()));
+        for (i, m) in manifest.iter().enumerate() {
+            let id = match m.kind {
+                VmKind::Primary => VmId::PRIMARY,
+                VmKind::SuperSecondary => VmId::SUPER_SECONDARY,
+                VmKind::Secondary => VmId(2 + i as u16),
+            };
+            s.create_vm(id, m).unwrap();
+        }
+        s.start_primary();
+        s
+    }
+
+    fn basic() -> Spm {
+        spm_with(&[
+            VmManifest::new("primary", VmKind::Primary, 64 * MB, 4),
+            VmManifest::new("app", VmKind::Secondary, 128 * MB, 2),
+        ])
+    }
+
+    #[test]
+    fn boot_creates_isolated_vms() {
+        let s = basic();
+        assert_eq!(s.vm_count(), 2);
+        assert!(s.audit_isolation().is_ok());
+        // Secondary cannot reach the hypervisor's reserved region.
+        let app = s.vm_ids()[1];
+        assert!(!s.vm_reaches_pa(app, DRAM_BASE));
+        // ...but does reach its own backing.
+        let (base, _, _) = s.backing[&app];
+        assert!(s.vm_reaches_pa(app, base));
+        assert!(
+            !s.vm_reaches_pa(VmId::PRIMARY, base),
+            "primary cannot see secondary memory"
+        );
+    }
+
+    #[test]
+    fn primary_runs_on_all_cores_after_boot() {
+        let s = basic();
+        for core in 0..4 {
+            assert_eq!(s.current(core), Some((VmId::PRIMARY, core)));
+        }
+    }
+
+    #[test]
+    fn vcpu_run_switches_core_and_finish_returns() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::VcpuRun { vm: app, vcpu: 0 },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        assert_eq!(s.current(0), Some((app, 0)));
+        // Primary vcpu 0 stepped aside; others still running.
+        assert!(matches!(
+            s.vm(VmId::PRIMARY).unwrap().vcpu(0).unwrap().state,
+            VcpuState::Ready
+        ));
+        assert_eq!(s.current(1), Some((VmId::PRIMARY, 1)));
+        s.finish_run(0, VcpuRunExit::Yield);
+        assert_eq!(s.current(0), Some((VmId::PRIMARY, 0)));
+        assert!(matches!(
+            s.vm(app).unwrap().vcpu(0).unwrap().state,
+            VcpuState::Ready
+        ));
+    }
+
+    #[test]
+    fn only_primary_may_schedule() {
+        let mut s = spm_with(&[
+            VmManifest::new("primary", VmKind::Primary, 64 * MB, 4),
+            VmManifest::new("login", VmKind::SuperSecondary, 64 * MB, 1),
+            VmManifest::new("app", VmKind::Secondary, 64 * MB, 1),
+        ]);
+        let app = *s.vm_ids().last().unwrap();
+        for caller in [VmId::SUPER_SECONDARY, app] {
+            let r = s.hypercall(
+                caller,
+                0,
+                0,
+                HfCall::VcpuRun { vm: app, vcpu: 0 },
+                Nanos::ZERO,
+            );
+            assert_eq!(r, Err(HfError::Denied), "caller {caller:?}");
+        }
+    }
+
+    #[test]
+    fn vcpu_cannot_run_twice_concurrently() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::VcpuRun { vm: app, vcpu: 0 },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        let again = s.hypercall(
+            VmId::PRIMARY,
+            1,
+            1,
+            HfCall::VcpuRun { vm: app, vcpu: 0 },
+            Nanos::ZERO,
+        );
+        assert_eq!(again, Err(HfError::NotRunnable));
+    }
+
+    #[test]
+    fn wfi_blocks_until_interrupt_injected() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::VcpuRun { vm: app, vcpu: 0 },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        // Guest enables its vtimer intid then WFIs.
+        s.hypercall(
+            app,
+            0,
+            0,
+            HfCall::InterruptEnable {
+                intid: 27,
+                enable: true,
+            },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        s.finish_run(0, VcpuRunExit::WaitForInterrupt);
+        assert!(matches!(
+            s.vm(app).unwrap().vcpu(0).unwrap().state,
+            VcpuState::BlockedWfi
+        ));
+        assert_eq!(
+            s.hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::VcpuRun { vm: app, vcpu: 0 },
+                Nanos::ZERO
+            ),
+            Err(HfError::NotRunnable)
+        );
+        // Inject wakes it.
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::InterruptInject {
+                vm: app,
+                vcpu: 0,
+                intid: 27,
+            },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        assert!(matches!(
+            s.vm(app).unwrap().vcpu(0).unwrap().state,
+            VcpuState::Ready
+        ));
+    }
+
+    #[test]
+    fn vtimer_deadline_makes_wfi_runnable() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::VcpuRun { vm: app, vcpu: 0 },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        s.hypercall(app, 0, 0, HfCall::ArmVtimer { delay_ns: 1000 }, Nanos::ZERO)
+            .unwrap();
+        s.finish_run(0, VcpuRunExit::WaitForInterrupt);
+        // Before the deadline: blocked.
+        assert_eq!(
+            s.hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::VcpuRun { vm: app, vcpu: 0 },
+                Nanos(500)
+            ),
+            Err(HfError::NotRunnable)
+        );
+        // After: runnable.
+        assert!(s
+            .hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::VcpuRun { vm: app, vcpu: 0 },
+                Nanos(1500)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn mailbox_send_wakes_blocked_receiver() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::VcpuRun { vm: app, vcpu: 0 },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        s.finish_run(0, VcpuRunExit::WaitForMessage);
+        assert!(matches!(
+            s.vm(app).unwrap().vcpu(0).unwrap().state,
+            VcpuState::BlockedMailbox
+        ));
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::Send {
+                to: app,
+                payload: b"hi".to_vec(),
+            },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        assert!(matches!(
+            s.vm(app).unwrap().vcpu(0).unwrap().state,
+            VcpuState::Ready
+        ));
+        let got = s.hypercall(app, 0, 0, HfCall::Recv, Nanos::ZERO).unwrap();
+        match got {
+            HfReturn::Msg(m) => assert_eq!(m.payload, b"hi"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn preempt_returns_secondary_to_ready() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            2,
+            HfCall::VcpuRun { vm: app, vcpu: 0 },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        let pre = s.preempt(2);
+        assert_eq!(pre, Some((app, 0)));
+        assert_eq!(s.current(2), Some((VmId::PRIMARY, 2)));
+        // Preempting a core running the primary is a no-op.
+        assert_eq!(s.preempt(1), None);
+    }
+
+    #[test]
+    fn dynamic_partitions_gated_by_config() {
+        let mut s = basic();
+        let r = s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::VmCreate {
+                name: "late".into(),
+                mem_bytes: 16 * MB,
+                vcpus: 1,
+                image: vec![],
+                signature: None,
+            },
+            Nanos::ZERO,
+        );
+        assert_eq!(r, Err(HfError::Unsupported));
+    }
+
+    #[test]
+    fn dynamic_create_destroy_reclaims_memory() {
+        let mut cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+        cfg.allow_dynamic_partitions = true;
+        let mut s = Spm::new(cfg);
+        s.create_vm(
+            VmId::PRIMARY,
+            &VmManifest::new("p", VmKind::Primary, 64 * MB, 4),
+        )
+        .unwrap();
+        s.start_primary();
+        let mk_call = |name: &str| HfCall::VmCreate {
+            name: name.into(),
+            mem_bytes: 512 * MB,
+            vcpus: 1,
+            image: vec![],
+            signature: None,
+        };
+        let id1 = match s
+            .hypercall(VmId::PRIMARY, 0, 0, mk_call("a"), Nanos::ZERO)
+            .unwrap()
+        {
+            HfReturn::Created(id) => id,
+            other => panic!("{other:?}"),
+        };
+        let _id2 = match s
+            .hypercall(VmId::PRIMARY, 0, 0, mk_call("b"), Nanos::ZERO)
+            .unwrap()
+        {
+            HfReturn::Created(id) => id,
+            other => panic!("{other:?}"),
+        };
+        let id3 = s
+            .hypercall(VmId::PRIMARY, 0, 0, mk_call("c"), Nanos::ZERO)
+            .unwrap();
+        assert!(matches!(id3, HfReturn::Created(_)));
+        // 2 GiB DRAM − 32 MiB hyp − 64 MiB primary − 3×512 MiB ≈ 0.4 GiB:
+        // a fourth 512 MiB VM cannot fit.
+        let full = s.hypercall(VmId::PRIMARY, 0, 0, mk_call("d"), Nanos::ZERO);
+        assert_eq!(full, Err(HfError::NoMemory));
+        // Destroy one and retry: reclamation makes room.
+        s.hypercall(VmId::PRIMARY, 0, 0, HfCall::VmDestroy(id1), Nanos::ZERO)
+            .unwrap();
+        assert!(s
+            .hypercall(VmId::PRIMARY, 0, 0, mk_call("d"), Nanos::ZERO)
+            .is_ok());
+        assert!(s.audit_isolation().is_ok());
+    }
+
+    #[test]
+    fn signed_launch_enforced() {
+        let mut cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+        cfg.require_signed_images = true;
+        let mut s = Spm::new(cfg);
+        let key = crate::verify::TrustedKey::new("boot", b"k");
+        s.keys.install(key.clone()).unwrap();
+        s.keys.seal();
+        // Unsigned primary rejected.
+        let unsigned = VmManifest::new("p", VmKind::Primary, 64 * MB, 4);
+        assert!(matches!(
+            s.create_vm(VmId::PRIMARY, &unsigned),
+            Err(SpmError::UnsignedImage(_))
+        ));
+        // Properly signed accepted.
+        let signed = VmManifest::new("p", VmKind::Primary, 64 * MB, 4)
+            .with_image(b"kernel".to_vec())
+            .signed_with(b"k");
+        s.create_vm(VmId::PRIMARY, &signed).unwrap();
+        // Bad signature rejected.
+        let forged = VmManifest::new("evil", VmKind::Secondary, 64 * MB, 1)
+            .with_image(b"malware".to_vec())
+            .signed_with(b"wrong-key");
+        assert!(matches!(
+            s.create_vm(VmId(2), &forged),
+            Err(SpmError::BadSignature(_))
+        ));
+    }
+
+    #[test]
+    fn trustzone_worlds_are_disjoint() {
+        let mut cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+        cfg.trustzone = true;
+        cfg.secure_mem_bytes = 256 * MB;
+        let mut s = Spm::new(cfg);
+        s.create_vm(
+            VmId::PRIMARY,
+            &VmManifest::new("p", VmKind::Primary, 64 * MB, 4),
+        )
+        .unwrap();
+        s.create_vm(
+            VmId(2),
+            &VmManifest::new("tee", VmKind::Secondary, 64 * MB, 1).secure(),
+        )
+        .unwrap();
+        s.create_vm(
+            VmId(3),
+            &VmManifest::new("ns", VmKind::Secondary, 64 * MB, 1),
+        )
+        .unwrap();
+        assert!(s.audit_isolation().is_ok());
+        // The secure VM's backing lives in the carved-out top region.
+        let (tee_base, _, _) = s.backing[&VmId(2)];
+        let dram_end = DRAM_BASE + Platform::pine_a64_lts().dram_bytes;
+        assert!(tee_base >= dram_end - 256 * MB);
+        let (ns_base, _, _) = s.backing[&VmId(3)];
+        assert!(ns_base < dram_end - 256 * MB);
+    }
+
+    #[test]
+    fn secure_vm_without_trustzone_fails() {
+        let mut s = Spm::new(SpmConfig::default_for(Platform::pine_a64_lts()));
+        let r = s.create_vm(
+            VmId(2),
+            &VmManifest::new("tee", VmKind::Secondary, MB, 1).secure(),
+        );
+        assert_eq!(r, Err(SpmError::NoSecureWorld));
+    }
+
+    #[test]
+    fn super_secondary_devices_register_irqs() {
+        let mut s = Spm::new(SpmConfig::default_for(Platform::pine_a64_lts()));
+        s.create_vm(
+            VmId::PRIMARY,
+            &VmManifest::new("p", VmKind::Primary, 64 * MB, 4),
+        )
+        .unwrap();
+        let login =
+            VmManifest::new("login", VmKind::SuperSecondary, 64 * MB, 1).with_device(MmioRegion {
+                name: "uart0".into(),
+                base: 0x01C2_8000,
+                len: 0x1000,
+                irq: Some(64),
+            });
+        s.create_vm(VmId::SUPER_SECONDARY, &login).unwrap();
+        let d = s.physical_irq(IntId(64));
+        assert_eq!(d.final_owner, VmId::SUPER_SECONDARY);
+        assert!(d.forwarded, "default policy forwards");
+        assert_eq!(s.stats.irqs_routed, 1);
+        assert_eq!(s.stats.irqs_forwarded, 1);
+    }
+
+    #[test]
+    fn unaligned_device_regions_are_page_rounded() {
+        let mut s = Spm::new(SpmConfig::default_for(Platform::pine_a64_lts()));
+        s.create_vm(
+            VmId::PRIMARY,
+            &VmManifest::new("p", VmKind::Primary, 64 * MB, 4),
+        )
+        .unwrap();
+        // A 0x400-byte register block at an odd offset.
+        let login =
+            VmManifest::new("login", VmKind::SuperSecondary, 64 * MB, 1).with_device(MmioRegion {
+                name: "uart0".into(),
+                base: 0x01C2_8400,
+                len: 0x400,
+                irq: Some(33),
+            });
+        s.create_vm(VmId::SUPER_SECONDARY, &login).unwrap();
+        // The enclosing page is reachable.
+        assert!(s.vm_reaches_pa(VmId::SUPER_SECONDARY, 0x01C2_8400));
+        assert!(s.vm_reaches_pa(VmId::SUPER_SECONDARY, 0x01C2_8000));
+        assert!(!s.vm_reaches_pa(VmId::SUPER_SECONDARY, 0x01C2_9000));
+    }
+
+    #[test]
+    fn secondary_device_maps_ignored() {
+        let mut s = Spm::new(SpmConfig::default_for(Platform::pine_a64_lts()));
+        s.create_vm(
+            VmId::PRIMARY,
+            &VmManifest::new("p", VmKind::Primary, 64 * MB, 4),
+        )
+        .unwrap();
+        let sneaky = VmManifest::new("x", VmKind::Secondary, 64 * MB, 1).with_device(MmioRegion {
+            name: "uart0".into(),
+            base: 0x01C2_8000,
+            len: 0x1000,
+            irq: Some(64),
+        });
+        s.create_vm(VmId(2), &sneaky).unwrap();
+        // Device MMIO never entered the secondary's stage-2.
+        assert!(!s.vm_reaches_pa(VmId(2), 0x01C2_8000));
+    }
+
+    #[test]
+    fn halt_stops_all_vcpus() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        s.hypercall(app, 0, 0, HfCall::VmHalt, Nanos::ZERO).unwrap();
+        let vm = s.vm(app).unwrap();
+        assert_eq!(vm.state, VmState::Halted);
+        assert!(vm.vcpus.iter().all(|v| matches!(v.state, VcpuState::Off)));
+        // Running a halted VM fails.
+        let r = s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::VcpuRun { vm: app, vcpu: 0 },
+            Nanos::ZERO,
+        );
+        assert_eq!(r, Err(HfError::BadState));
+    }
+
+    #[test]
+    fn counts_via_hypercalls() {
+        let mut s = basic();
+        assert_eq!(
+            s.hypercall(VmId::PRIMARY, 0, 0, HfCall::VmGetCount, Nanos::ZERO),
+            Ok(HfReturn::Count(2))
+        );
+        let app = s.vm_ids()[1];
+        assert_eq!(
+            s.hypercall(VmId::PRIMARY, 0, 0, HfCall::VcpuGetCount(app), Nanos::ZERO),
+            Ok(HfReturn::Count(2))
+        );
+        assert_eq!(
+            s.hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::VcpuGetCount(VmId(99)),
+                Nanos::ZERO
+            ),
+            Err(HfError::NoSuchTarget)
+        );
+    }
+}

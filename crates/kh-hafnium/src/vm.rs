@@ -1,0 +1,246 @@
+//! VM and VCPU state, as managed at EL2.
+//!
+//! Hafnium holds all *state management* for VMs behind the EL2 privilege
+//! boundary; the primary VM only holds opaque handles (VM id + VCPU
+//! index) and directs execution via `vcpu_run`. This module is the state
+//! half; the transitions are driven by [`crate::spm::Spm`].
+
+use crate::manifest::VmKind;
+use kh_arch::el::SecurityState;
+use kh_arch::gic::VGicInterface;
+use kh_arch::mmu::Stage2Table;
+use kh_arch::sysreg::SysRegFile;
+use serde::{Deserialize, Serialize};
+
+/// VM identifier. Hafnium's privilege checks literally compare VM ids
+/// against known constants — the paper notes the super-secondary
+/// extension was implemented by adding one more hardcoded id and
+/// adjusting those conditionals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VmId(pub u16);
+
+impl VmId {
+    /// Hafnium convention: the primary VM is id 0... actually HF_PRIMARY_VM_ID = 0.
+    pub const PRIMARY: VmId = VmId(0);
+    /// The extension's hardcoded super-secondary id.
+    pub const SUPER_SECONDARY: VmId = VmId(1);
+}
+
+/// Whole-VM lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Created from the manifest, not yet started.
+    Configured,
+    Running,
+    /// All VCPUs halted.
+    Halted,
+    /// Terminated after a fault or explicit stop; memory scrubbed before
+    /// any reuse.
+    Destroyed,
+}
+
+/// Per-VCPU scheduling state as seen by the hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VcpuState {
+    /// Never run or explicitly reset.
+    Off,
+    /// Runnable, waiting for the primary to `vcpu_run` it.
+    Ready,
+    /// Currently executing on a physical core.
+    Running { core: u16 },
+    /// Blocked in wait-for-interrupt.
+    BlockedWfi,
+    /// Blocked on mailbox receive.
+    BlockedMailbox,
+    /// Dead after an unrecoverable fault.
+    Aborted,
+}
+
+/// Why a `vcpu_run` returned to the primary. Mirrors Hafnium's
+/// `hf_vcpu_run_return` codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VcpuRunExit {
+    /// The VCPU yielded its timeslice voluntarily.
+    Yield,
+    /// The VCPU executed WFI and should not be re-run until an interrupt
+    /// is pending for it.
+    WaitForInterrupt,
+    /// The VCPU is waiting for a mailbox message.
+    WaitForMessage,
+    /// A message from this VCPU's VM is ready for the primary.
+    Message { to: VmId },
+    /// An interrupt targeting the *primary* arrived while the VCPU ran;
+    /// the primary must handle it (this is how timer ticks preempt
+    /// secondary VMs).
+    Preempted,
+    /// The VCPU's VM aborted (stage-2 fault, undefined feature without
+    /// workaround, explicit panic).
+    Aborted,
+    /// The whole VM was turned off.
+    VmHalted,
+}
+
+/// One virtual CPU.
+#[derive(Debug)]
+pub struct Vcpu {
+    pub state: VcpuState,
+    /// Para-virtual interrupt controller state for this VCPU.
+    pub vgic: VGicInterface,
+    /// Pending timer deadline (ns of virtual time) programmed through the
+    /// dedicated virtual-timer channel, if armed.
+    pub vtimer_deadline: Option<kh_sim::Nanos>,
+}
+
+impl Vcpu {
+    fn new() -> Self {
+        Vcpu {
+            state: VcpuState::Off,
+            vgic: VGicInterface::new(),
+            vtimer_deadline: None,
+        }
+    }
+}
+
+/// A VM as the hypervisor sees it.
+#[derive(Debug)]
+pub struct Vm {
+    pub id: VmId,
+    pub name: String,
+    pub kind: VmKind,
+    pub world: SecurityState,
+    pub state: VmState,
+    pub stage2: Stage2Table,
+    pub vcpus: Vec<Vcpu>,
+    /// The trap policy this VM's virtual sysreg file enforces.
+    pub sysregs: SysRegFile,
+    /// IPA size granted by the manifest.
+    pub mem_bytes: u64,
+}
+
+impl Vm {
+    pub fn new(
+        id: VmId,
+        name: String,
+        kind: VmKind,
+        world: SecurityState,
+        mem_bytes: u64,
+        vcpu_count: u16,
+    ) -> Self {
+        let sysregs = match kind {
+            VmKind::Primary => SysRegFile::native(kh_arch::el::ExceptionLevel::El1),
+            VmKind::SuperSecondary => SysRegFile::hafnium_super_secondary(),
+            VmKind::Secondary => SysRegFile::hafnium_secondary(),
+        };
+        Vm {
+            id,
+            name,
+            kind,
+            world,
+            state: VmState::Configured,
+            stage2: Stage2Table::new(id.0),
+            vcpus: (0..vcpu_count).map(|_| Vcpu::new()).collect(),
+            sysregs,
+            mem_bytes,
+        }
+    }
+
+    pub fn vcpu(&self, idx: u16) -> Option<&Vcpu> {
+        self.vcpus.get(idx as usize)
+    }
+
+    pub fn vcpu_mut(&mut self, idx: u16) -> Option<&mut Vcpu> {
+        self.vcpus.get_mut(idx as usize)
+    }
+
+    /// Whether this VM may issue scheduling hypercalls (vcpu_run etc.).
+    pub fn may_schedule(&self) -> bool {
+        self.kind == VmKind::Primary
+    }
+
+    /// Whether this VM may own device MMIO / receive device IRQs.
+    pub fn may_own_devices(&self) -> bool {
+        matches!(self.kind, VmKind::Primary | VmKind::SuperSecondary)
+    }
+
+    pub fn running_vcpus(&self) -> usize {
+        self.vcpus
+            .iter()
+            .filter(|v| matches!(v.state, VcpuState::Running { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(kind: VmKind) -> Vm {
+        Vm::new(
+            VmId(3),
+            "t".into(),
+            kind,
+            SecurityState::NonSecure,
+            1 << 20,
+            2,
+        )
+    }
+
+    #[test]
+    fn new_vm_is_configured_with_off_vcpus() {
+        let vm = mk(VmKind::Secondary);
+        assert_eq!(vm.state, VmState::Configured);
+        assert_eq!(vm.vcpus.len(), 2);
+        assert!(matches!(vm.vcpu(0).unwrap().state, VcpuState::Off));
+        assert!(vm.vcpu(5).is_none());
+    }
+
+    #[test]
+    fn privilege_matrix() {
+        assert!(mk(VmKind::Primary).may_schedule());
+        assert!(!mk(VmKind::SuperSecondary).may_schedule());
+        assert!(!mk(VmKind::Secondary).may_schedule());
+        assert!(mk(VmKind::Primary).may_own_devices());
+        assert!(mk(VmKind::SuperSecondary).may_own_devices());
+        assert!(!mk(VmKind::Secondary).may_own_devices());
+    }
+
+    #[test]
+    fn trap_policies_match_kind() {
+        use kh_arch::sysreg::{FeatureClass, TrapPolicy};
+        assert_eq!(
+            mk(VmKind::Secondary).sysregs.policy(FeatureClass::Pmu),
+            TrapPolicy::Undefined
+        );
+        assert_eq!(
+            mk(VmKind::Primary).sysregs.policy(FeatureClass::Pmu),
+            TrapPolicy::Allow
+        );
+        assert_eq!(
+            mk(VmKind::SuperSecondary)
+                .sysregs
+                .policy(FeatureClass::GicDirect),
+            TrapPolicy::Allow
+        );
+    }
+
+    #[test]
+    fn stage2_vmid_matches() {
+        let vm = mk(VmKind::Secondary);
+        assert_eq!(vm.stage2.vmid, 3);
+    }
+
+    #[test]
+    fn running_vcpu_count() {
+        let mut vm = mk(VmKind::Secondary);
+        assert_eq!(vm.running_vcpus(), 0);
+        vm.vcpu_mut(0).unwrap().state = VcpuState::Running { core: 1 };
+        assert_eq!(vm.running_vcpus(), 1);
+    }
+
+    #[test]
+    fn well_known_ids() {
+        assert_eq!(VmId::PRIMARY, VmId(0));
+        assert_eq!(VmId::SUPER_SECONDARY, VmId(1));
+        assert!(VmId::PRIMARY < VmId::SUPER_SECONDARY);
+    }
+}

@@ -1,0 +1,289 @@
+//! The control task and the job-control protocol.
+//!
+//! "When running as the primary VM, Kitten executes a control task in
+//! user space that is responsible for handling VM management operations"
+//! (§IV.a). Job-control commands originate in the super-secondary Login
+//! VM, travel over the secure mailbox channel, and are translated here
+//! into scheduler/hypercall operations.
+
+use crate::primary::{DriverError, PrimaryDriver};
+use crate::sched::KittenScheduler;
+use kh_hafnium::spm::Spm;
+use kh_hafnium::vm::VmId;
+use kh_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A job-control command, as carried in a mailbox payload (JSON).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmCommand {
+    /// Start scheduling a configured VM's VCPUs.
+    Launch { vm: u16 },
+    /// Halt a VM and retire its VCPU threads.
+    Stop { vm: u16 },
+    /// Re-pin a VCPU thread.
+    SetAffinity { vm: u16, vcpu: u16, core: u16 },
+    /// Report which VMs are launched.
+    Status,
+}
+
+/// The control task's reply, sent back over the mailbox.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmCommandResult {
+    Ok,
+    Launched { vcpu_threads: u16 },
+    Status { running: Vec<u16> },
+    Error { reason: String },
+}
+
+impl VmCommand {
+    /// Serialize for a mailbox payload.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("command serializes")
+    }
+
+    /// Parse a mailbox payload.
+    pub fn decode(payload: &[u8]) -> Option<VmCommand> {
+        serde_json::from_slice(payload).ok()
+    }
+}
+
+impl VmCommandResult {
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("result serializes")
+    }
+
+    pub fn decode(payload: &[u8]) -> Option<VmCommandResult> {
+        serde_json::from_slice(payload).ok()
+    }
+}
+
+/// The control task: owns the driver and processes commands.
+#[derive(Debug, Default)]
+pub struct ControlTask {
+    pub driver: PrimaryDriver,
+    /// Commands processed (diagnostics).
+    pub processed: u64,
+}
+
+impl ControlTask {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle one decoded command.
+    pub fn handle(
+        &mut self,
+        cmd: VmCommand,
+        sched: &mut KittenScheduler,
+        spm: &mut Spm,
+        now: Nanos,
+    ) -> VmCommandResult {
+        self.processed += 1;
+        let map_err = |e: DriverError| VmCommandResult::Error {
+            reason: format!("{e:?}"),
+        };
+        match cmd {
+            VmCommand::Launch { vm } => match self.driver.launch_vm(sched, spm, VmId(vm), now) {
+                Ok(ids) => VmCommandResult::Launched {
+                    vcpu_threads: ids.len() as u16,
+                },
+                Err(e) => map_err(e),
+            },
+            VmCommand::Stop { vm } => match self.driver.stop_vm(sched, spm, VmId(vm), now) {
+                Ok(()) => VmCommandResult::Ok,
+                Err(e) => map_err(e),
+            },
+            VmCommand::SetAffinity { vm, vcpu, core } => {
+                match self.driver.set_affinity(sched, VmId(vm), vcpu, core) {
+                    Ok(()) => VmCommandResult::Ok,
+                    Err(e) => map_err(e),
+                }
+            }
+            VmCommand::Status => VmCommandResult::Status {
+                running: self.driver.launched_vms().iter().map(|v| v.0).collect(),
+            },
+        }
+    }
+
+    /// Full mailbox round: pull a pending command addressed to the
+    /// primary, execute it, and post the reply back to the sender.
+    /// Returns the result when a command was processed.
+    pub fn poll_mailbox(
+        &mut self,
+        sched: &mut KittenScheduler,
+        spm: &mut Spm,
+        now: Nanos,
+    ) -> Option<VmCommandResult> {
+        use kh_hafnium::hypercall::{HfCall, HfReturn};
+        let msg = match spm.hypercall(VmId::PRIMARY, 0, 0, HfCall::Recv, now) {
+            Ok(HfReturn::Msg(m)) => m,
+            _ => return None,
+        };
+        let result = match VmCommand::decode(&msg.payload) {
+            Some(cmd) => self.handle(cmd, sched, spm, now),
+            None => VmCommandResult::Error {
+                reason: "malformed command".into(),
+            },
+        };
+        // Best-effort reply; a busy sender mailbox drops the reply, as on
+        // the real single-slot channel.
+        let _ = spm.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::Send {
+                to: msg.from,
+                payload: result.encode(),
+            },
+            now,
+        );
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedConfig;
+    use kh_arch::platform::Platform;
+    use kh_hafnium::hypercall::{HfCall, HfReturn};
+    use kh_hafnium::manifest::{VmKind, VmManifest};
+    use kh_hafnium::spm::SpmConfig;
+
+    const MB: u64 = 1 << 20;
+
+    fn setup() -> (KittenScheduler, Spm, ControlTask) {
+        let mut spm = Spm::new(SpmConfig::default_for(Platform::pine_a64_lts()));
+        spm.create_vm(
+            VmId::PRIMARY,
+            &VmManifest::new("kitten", VmKind::Primary, 64 * MB, 4),
+        )
+        .unwrap();
+        spm.create_vm(
+            VmId::SUPER_SECONDARY,
+            &VmManifest::new("login", VmKind::SuperSecondary, 64 * MB, 1),
+        )
+        .unwrap();
+        spm.create_vm(
+            VmId(2),
+            &VmManifest::new("app", VmKind::Secondary, 128 * MB, 2),
+        )
+        .unwrap();
+        spm.start_primary();
+        (
+            KittenScheduler::new(4, SchedConfig::default()),
+            spm,
+            ControlTask::new(),
+        )
+    }
+
+    #[test]
+    fn command_codec_round_trip() {
+        for cmd in [
+            VmCommand::Launch { vm: 2 },
+            VmCommand::Stop { vm: 2 },
+            VmCommand::SetAffinity {
+                vm: 2,
+                vcpu: 1,
+                core: 3,
+            },
+            VmCommand::Status,
+        ] {
+            let bytes = cmd.encode();
+            assert_eq!(VmCommand::decode(&bytes), Some(cmd));
+        }
+        assert_eq!(VmCommand::decode(b"not json"), None);
+    }
+
+    #[test]
+    fn launch_stop_lifecycle_via_commands() {
+        let (mut sched, mut spm, mut ctl) = setup();
+        let r = ctl.handle(
+            VmCommand::Launch { vm: 2 },
+            &mut sched,
+            &mut spm,
+            Nanos::ZERO,
+        );
+        assert_eq!(r, VmCommandResult::Launched { vcpu_threads: 2 });
+        let r = ctl.handle(VmCommand::Status, &mut sched, &mut spm, Nanos::ZERO);
+        assert_eq!(r, VmCommandResult::Status { running: vec![2] });
+        let r = ctl.handle(VmCommand::Stop { vm: 2 }, &mut sched, &mut spm, Nanos::ZERO);
+        assert_eq!(r, VmCommandResult::Ok);
+        let r = ctl.handle(VmCommand::Status, &mut sched, &mut spm, Nanos::ZERO);
+        assert_eq!(r, VmCommandResult::Status { running: vec![] });
+        assert_eq!(ctl.processed, 4);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let (mut sched, mut spm, mut ctl) = setup();
+        let r = ctl.handle(VmCommand::Stop { vm: 2 }, &mut sched, &mut spm, Nanos::ZERO);
+        assert!(matches!(r, VmCommandResult::Error { .. }));
+        let r = ctl.handle(
+            VmCommand::Launch { vm: 99 },
+            &mut sched,
+            &mut spm,
+            Nanos::ZERO,
+        );
+        assert!(matches!(r, VmCommandResult::Error { .. }));
+    }
+
+    #[test]
+    fn mailbox_round_trip_from_super_secondary() {
+        let (mut sched, mut spm, mut ctl) = setup();
+        // The Login VM sends a launch command.
+        spm.hypercall(
+            VmId::SUPER_SECONDARY,
+            0,
+            0,
+            HfCall::Send {
+                to: VmId::PRIMARY,
+                payload: VmCommand::Launch { vm: 2 }.encode(),
+            },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        // The control task polls and executes it.
+        let r = ctl.poll_mailbox(&mut sched, &mut spm, Nanos::ZERO).unwrap();
+        assert_eq!(r, VmCommandResult::Launched { vcpu_threads: 2 });
+        // The Login VM receives the reply.
+        let reply = spm
+            .hypercall(VmId::SUPER_SECONDARY, 0, 0, HfCall::Recv, Nanos::ZERO)
+            .unwrap();
+        match reply {
+            HfReturn::Msg(m) => {
+                assert_eq!(
+                    VmCommandResult::decode(&m.payload),
+                    Some(VmCommandResult::Launched { vcpu_threads: 2 })
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_mailbox_polls_none() {
+        let (mut sched, mut spm, mut ctl) = setup();
+        assert!(ctl
+            .poll_mailbox(&mut sched, &mut spm, Nanos::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn malformed_command_yields_error_reply() {
+        let (mut sched, mut spm, mut ctl) = setup();
+        spm.hypercall(
+            VmId::SUPER_SECONDARY,
+            0,
+            0,
+            HfCall::Send {
+                to: VmId::PRIMARY,
+                payload: b"garbage".to_vec(),
+            },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        let r = ctl.poll_mailbox(&mut sched, &mut spm, Nanos::ZERO).unwrap();
+        assert!(matches!(r, VmCommandResult::Error { .. }));
+    }
+}

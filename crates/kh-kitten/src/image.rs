@@ -1,0 +1,353 @@
+//! The Kitten boot-image format (KIMG) — builder, parser, and loader.
+//!
+//! VM manifests carry kernel images as opaque bytes; this module gives
+//! them structure: a small ELF-like container with typed segments, an
+//! entry point, and an integrity digest, plus the loader that maps the
+//! segments into a Kitten [`crate::aspace::AddressSpace`]. The
+//! signature-verification path ([`kh_hafnium::verify`]) authenticates
+//! *who* built an image; the KIMG digest catches *accidental*
+//! corruption, and the loader enforces W^X.
+//!
+//! Layout (little endian):
+//!
+//! ```text
+//! 0x00  magic   "KIMG"
+//! 0x04  version u16 (=1)     0x06  arch u16 (=0xAA64)
+//! 0x08  entry   u64
+//! 0x10  nsegs   u16          0x12  reserved [6]
+//! 0x18  segment table: { vaddr u64, filesz u32, memsz u32, flags u32, pad u32 } * nsegs
+//! ....  segment data, in table order
+//! end   sha256 over everything before it
+//! ```
+
+use crate::aspace::{AddressSpace, AspaceError};
+use kh_arch::mmu::PagePerms;
+use kh_hafnium::sha256;
+use serde::{Deserialize, Serialize};
+
+pub const MAGIC: &[u8; 4] = b"KIMG";
+pub const VERSION: u16 = 1;
+pub const ARCH_AARCH64: u16 = 0xAA64;
+
+/// Segment permission flags.
+pub const SEG_R: u32 = 1;
+pub const SEG_W: u32 = 2;
+pub const SEG_X: u32 = 4;
+
+/// One loadable segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    pub vaddr: u64,
+    /// Bytes present in the file.
+    pub data: Vec<u8>,
+    /// In-memory size (≥ data.len(); the rest is zero-fill, i.e. .bss).
+    pub memsz: u32,
+    pub flags: u32,
+}
+
+impl Segment {
+    pub fn perms(&self) -> PagePerms {
+        PagePerms {
+            read: self.flags & SEG_R != 0,
+            write: self.flags & SEG_W != 0,
+            exec: self.flags & SEG_X != 0,
+        }
+    }
+}
+
+/// A parsed (or under-construction) image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelImage {
+    pub entry: u64,
+    pub segments: Vec<Segment>,
+}
+
+/// Parse/validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    BadMagic,
+    BadVersion(u16),
+    BadArch(u16),
+    Truncated,
+    /// Digest mismatch: bit rot or tampering.
+    Corrupt,
+    /// memsz < filesz, or zero segments.
+    BadSegment,
+    /// Two segments overlap in memory.
+    Overlap,
+    /// A segment asks for writable+executable memory.
+    WxViolation,
+    /// Entry point lies in no executable segment.
+    BadEntry,
+    Aspace(AspaceError),
+}
+
+const HEADER_LEN: usize = 0x18;
+const SEG_DESC_LEN: usize = 24; // vaddr(8) + filesz(4) + memsz(4) + flags(4) + pad(4)
+
+impl KernelImage {
+    pub fn new(entry: u64) -> Self {
+        KernelImage {
+            entry,
+            segments: Vec::new(),
+        }
+    }
+
+    pub fn with_segment(mut self, vaddr: u64, data: Vec<u8>, memsz: u32, flags: u32) -> Self {
+        self.segments.push(Segment {
+            vaddr,
+            data,
+            memsz,
+            flags,
+        });
+        self
+    }
+
+    /// Serialize to the KIMG container, appending the digest.
+    pub fn build(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&ARCH_AARCH64.to_le_bytes());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u16).to_le_bytes());
+        out.extend_from_slice(&[0u8; 6]);
+        for s in &self.segments {
+            out.extend_from_slice(&s.vaddr.to_le_bytes());
+            out.extend_from_slice(&(s.data.len() as u32).to_le_bytes());
+            out.extend_from_slice(&s.memsz.to_le_bytes());
+            out.extend_from_slice(&s.flags.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+        }
+        for s in &self.segments {
+            out.extend_from_slice(&s.data);
+        }
+        let digest = sha256::digest(&out);
+        out.extend_from_slice(&digest);
+        out
+    }
+
+    /// Parse and fully validate a KIMG container.
+    pub fn parse(bytes: &[u8]) -> Result<KernelImage, ImageError> {
+        if bytes.len() < HEADER_LEN + sha256::DIGEST_LEN {
+            return Err(ImageError::Truncated);
+        }
+        let (body, digest) = bytes.split_at(bytes.len() - sha256::DIGEST_LEN);
+        if sha256::digest(body) != *digest {
+            return Err(ImageError::Corrupt);
+        }
+        if &body[0..4] != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let version = u16::from_le_bytes([body[4], body[5]]);
+        if version != VERSION {
+            return Err(ImageError::BadVersion(version));
+        }
+        let arch = u16::from_le_bytes([body[6], body[7]]);
+        if arch != ARCH_AARCH64 {
+            return Err(ImageError::BadArch(arch));
+        }
+        let entry = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+        let nsegs = u16::from_le_bytes([body[16], body[17]]) as usize;
+        if nsegs == 0 {
+            return Err(ImageError::BadSegment);
+        }
+        let table_end = HEADER_LEN + nsegs * SEG_DESC_LEN;
+        if body.len() < table_end {
+            return Err(ImageError::Truncated);
+        }
+        let mut segments = Vec::with_capacity(nsegs);
+        let mut data_off = table_end;
+        for i in 0..nsegs {
+            let d = &body[HEADER_LEN + i * SEG_DESC_LEN..HEADER_LEN + (i + 1) * SEG_DESC_LEN];
+            let vaddr = u64::from_le_bytes(d[0..8].try_into().expect("8"));
+            let filesz = u32::from_le_bytes(d[8..12].try_into().expect("4")) as usize;
+            let memsz = u32::from_le_bytes(d[12..16].try_into().expect("4"));
+            let flags = u32::from_le_bytes(d[16..20].try_into().expect("4"));
+            if (memsz as usize) < filesz {
+                return Err(ImageError::BadSegment);
+            }
+            if body.len() < data_off + filesz {
+                return Err(ImageError::Truncated);
+            }
+            segments.push(Segment {
+                vaddr,
+                data: body[data_off..data_off + filesz].to_vec(),
+                memsz,
+                flags,
+            });
+            data_off += filesz;
+        }
+        let img = KernelImage { entry, segments };
+        img.validate()?;
+        Ok(img)
+    }
+
+    /// Structural validation: no overlaps, W^X, entry in executable
+    /// memory.
+    pub fn validate(&self) -> Result<(), ImageError> {
+        if self.segments.is_empty() {
+            return Err(ImageError::BadSegment);
+        }
+        for (i, a) in self.segments.iter().enumerate() {
+            if a.flags & SEG_W != 0 && a.flags & SEG_X != 0 {
+                return Err(ImageError::WxViolation);
+            }
+            let a_end = a.vaddr + a.memsz as u64;
+            for b in &self.segments[i + 1..] {
+                let b_end = b.vaddr + b.memsz as u64;
+                if a.vaddr < b_end && b.vaddr < a_end {
+                    return Err(ImageError::Overlap);
+                }
+            }
+        }
+        let entry_ok = self.segments.iter().any(|s| {
+            s.flags & SEG_X != 0 && self.entry >= s.vaddr && self.entry < s.vaddr + s.memsz as u64
+        });
+        if !entry_ok {
+            return Err(ImageError::BadEntry);
+        }
+        Ok(())
+    }
+
+    /// Map every segment into an address space (page-rounded) and return
+    /// the entry point.
+    pub fn load(&self, aspace: &mut AddressSpace) -> Result<u64, ImageError> {
+        self.validate()?;
+        for (i, s) in self.segments.iter().enumerate() {
+            aspace
+                .map_region(
+                    &format!("kimg-seg{i}"),
+                    s.vaddr & !0xFFF,
+                    ((s.memsz as u64 + (s.vaddr & 0xFFF)) + 0xFFF) & !0xFFF,
+                    s.perms(),
+                )
+                .map_err(ImageError::Aspace)?;
+        }
+        Ok(self.entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KernelImage {
+        KernelImage::new(0x1000_0040)
+            .with_segment(0x1000_0000, vec![0xAA; 4096], 4096, SEG_R | SEG_X)
+            .with_segment(0x1010_0000, vec![0xBB; 512], 8192, SEG_R | SEG_W)
+    }
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let img = sample();
+        let bytes = img.build();
+        let parsed = KernelImage::parse(&bytes).unwrap();
+        assert_eq!(parsed, img);
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let mut bytes = sample().build();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert_eq!(KernelImage::parse(&bytes), Err(ImageError::Corrupt));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().build();
+        for cut in [0usize, 10, HEADER_LEN, bytes.len() - 33] {
+            assert!(
+                KernelImage::parse(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_arch() {
+        // Corrupting header fields also breaks the digest, so rebuild
+        // images through the builder with hostile values instead.
+        let mut bytes = sample().build();
+        // Re-sign after corrupting the magic, to isolate the magic check.
+        bytes[0] = b'X';
+        let body_len = bytes.len() - 32;
+        let digest = sha256::digest(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&digest);
+        assert_eq!(KernelImage::parse(&bytes), Err(ImageError::BadMagic));
+    }
+
+    #[test]
+    fn wx_segments_rejected() {
+        let img =
+            KernelImage::new(0x1000).with_segment(0x1000, vec![0; 16], 16, SEG_R | SEG_W | SEG_X);
+        assert_eq!(img.validate(), Err(ImageError::WxViolation));
+    }
+
+    #[test]
+    fn overlapping_segments_rejected() {
+        let img = KernelImage::new(0x1000)
+            .with_segment(0x1000, vec![0; 4096], 4096, SEG_R | SEG_X)
+            .with_segment(0x1800, vec![0; 4096], 4096, SEG_R | SEG_W);
+        assert_eq!(img.validate(), Err(ImageError::Overlap));
+    }
+
+    #[test]
+    fn entry_must_be_executable() {
+        let img =
+            KernelImage::new(0x9999_0000).with_segment(0x1000, vec![0; 64], 64, SEG_R | SEG_X);
+        assert_eq!(img.validate(), Err(ImageError::BadEntry));
+        // Entry inside a non-X segment is also bad.
+        let img = KernelImage::new(0x2000)
+            .with_segment(0x1000, vec![0; 64], 64, SEG_R | SEG_X)
+            .with_segment(0x2000, vec![0; 64], 64, SEG_R | SEG_W);
+        assert_eq!(img.validate(), Err(ImageError::BadEntry));
+    }
+
+    #[test]
+    fn bss_memsz_ge_filesz() {
+        let mut img = sample();
+        img.segments[1].memsz = 4; // < filesz 512
+        let bytes = img.build();
+        assert_eq!(KernelImage::parse(&bytes), Err(ImageError::BadSegment));
+    }
+
+    #[test]
+    fn loads_into_aspace_with_correct_perms() {
+        use kh_arch::mmu::AccessKind;
+        let img = sample();
+        let mut aspace = AddressSpace::new(1, 256 * 1024 * 1024);
+        let entry = img.load(&mut aspace).unwrap();
+        assert_eq!(entry, 0x1000_0040);
+        let text = aspace
+            .table
+            .translate(0x1000_0000, AccessKind::Exec)
+            .unwrap();
+        assert!(text.perms.exec && !text.perms.write);
+        let data = aspace
+            .table
+            .translate(0x1010_0000, AccessKind::Write)
+            .unwrap();
+        assert!(data.perms.write && !data.perms.exec);
+        // The .bss tail (memsz > filesz) is mapped too.
+        assert!(aspace
+            .table
+            .translate(0x1010_0000 + 8191, AccessKind::Read)
+            .is_ok());
+    }
+
+    #[test]
+    fn signed_kimg_through_hafnium_verification() {
+        // The full provenance chain: KIMG integrity + HMAC authenticity.
+        use kh_hafnium::verify::{KeyRegistry, TrustedKey};
+        let bytes = sample().build();
+        let key = TrustedKey::new("site", b"k");
+        let sig = key.sign(&bytes);
+        let mut reg = KeyRegistry::new();
+        reg.install(key).unwrap();
+        reg.seal();
+        assert!(reg.verify(&bytes, &sig).is_ok());
+        assert!(KernelImage::parse(&bytes).is_ok());
+    }
+}

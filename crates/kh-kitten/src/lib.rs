@@ -1,0 +1,45 @@
+//! The Kitten lightweight kernel (LWK), modelled.
+//!
+//! Kitten is Sandia's lightweight kernel: a minimal OS for HPC compute
+//! nodes that exposes hardware as directly as possible, schedules with
+//! large quanta and low tick rates, runs essentially no background work,
+//! and keeps deterministic behaviour under load. This crate models the
+//! pieces the paper's integration uses:
+//!
+//! * [`sched`] — the run-queue scheduler (round-robin within priority,
+//!   configurable quantum, cooperative-friendly),
+//! * [`task`] — kernel/user tasks, including per-VCPU kernel threads,
+//! * [`aspace`] — Kitten-style address-space management (large regions,
+//!   2 MiB block mappings — one reason LWK TLB behaviour is good),
+//! * [`profile`] — the timing personality (10 Hz tick, microsecond-class
+//!   handlers, zero background tasks) plugged into the machine executor,
+//! * [`primary`] — Kitten as Hafnium's *primary VM*: the control task,
+//!   per-VCPU kernel threads, incremental VCPU placement, and the
+//!   hypercall driver ported from the Linux reference implementation,
+//! * [`secondary`] — Kitten as a *secondary VM*: the feature workarounds
+//!   required when Hafnium blocks PMU/debug/set-way/physical-timer
+//!   access, and the para-virtual GIC + virtual-timer plumbing,
+//! * [`control`] — the job-control command protocol spoken over the
+//!   mailbox channel with the super-secondary Login VM,
+//! * [`pmem`] — the buddy allocator behind Kitten's physically
+//!   contiguous job memory,
+//! * [`image`] — the KIMG boot-image format and loader (W^X enforcement,
+//!   integrity digest, composes with Hafnium's signature verification).
+
+pub mod aspace;
+pub mod control;
+pub mod image;
+pub mod pmem;
+pub mod primary;
+pub mod profile;
+pub mod sched;
+pub mod secondary;
+pub mod task;
+
+pub use control::{ControlTask, VmCommand, VmCommandResult};
+pub use pmem::BuddyAllocator;
+pub use primary::PrimaryDriver;
+pub use profile::KittenProfile;
+pub use sched::{KittenScheduler, SchedConfig};
+pub use secondary::SecondaryPort;
+pub use task::{Task, TaskId, TaskKind, TaskState};

@@ -1,0 +1,266 @@
+//! Kitten physical-memory management: a buddy allocator.
+//!
+//! Kitten manages node memory as large physically contiguous regions
+//! handed to applications at job launch (no demand paging). The
+//! underlying allocator is a classic binary buddy system: power-of-two
+//! blocks, O(log n) allocation, and eager coalescing on free — chosen
+//! because contiguity is what lets the LWK map everything with 2 MiB
+//! blocks (see [`crate::aspace`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Allocation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PmemError {
+    /// No contiguous block of the requested order is available.
+    OutOfMemory,
+    /// The freed block was not allocated by this allocator (double free
+    /// or wild pointer).
+    BadFree,
+    /// Requested size exceeds the region.
+    TooLarge,
+}
+
+/// A buddy allocator over a physical region.
+///
+/// Orders are powers of two of the base block size: order 0 =
+/// `min_block`, order k = `min_block << k`.
+///
+/// ```
+/// use kh_kitten::pmem::BuddyAllocator;
+/// let mut pmem = BuddyAllocator::new(0x8000_0000, 64 << 20, 4096);
+/// let block = pmem.alloc(2 << 20).unwrap();
+/// assert_eq!(block % (2 << 20), 0, "naturally aligned for 2 MiB mapping");
+/// pmem.free(block).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct BuddyAllocator {
+    base: u64,
+    min_block: u64,
+    max_order: u32,
+    /// Free blocks per order, by offset from `base`.
+    free: Vec<BTreeSet<u64>>,
+    /// Outstanding allocations: offset -> order.
+    allocated: std::collections::HashMap<u64, u32>,
+}
+
+impl BuddyAllocator {
+    /// Create an allocator over `[base, base + size)`. `size` must be a
+    /// power-of-two multiple of `min_block` (callers round down; Kitten
+    /// does the same with the memory map it gets from firmware).
+    pub fn new(base: u64, size: u64, min_block: u64) -> Self {
+        assert!(
+            min_block.is_power_of_two(),
+            "min_block must be a power of two"
+        );
+        assert!(size >= min_block, "region smaller than one block");
+        let usable = if (size / min_block).is_power_of_two() {
+            size
+        } else {
+            // Round down to the largest power-of-two block count.
+            let blocks = (size / min_block).next_power_of_two() / 2;
+            blocks * min_block
+        };
+        let max_order = (usable / min_block).trailing_zeros();
+        let mut free: Vec<BTreeSet<u64>> = (0..=max_order).map(|_| BTreeSet::new()).collect();
+        free[max_order as usize].insert(0);
+        BuddyAllocator {
+            base,
+            min_block,
+            max_order,
+            free,
+            allocated: std::collections::HashMap::new(),
+        }
+    }
+
+    fn order_for(&self, bytes: u64) -> Option<u32> {
+        if bytes == 0 {
+            return Some(0);
+        }
+        let blocks = bytes.div_ceil(self.min_block).next_power_of_two();
+        let order = blocks.trailing_zeros();
+        (order <= self.max_order).then_some(order)
+    }
+
+    fn block_bytes(&self, order: u32) -> u64 {
+        self.min_block << order
+    }
+
+    /// Allocate at least `bytes` contiguous bytes; returns the physical
+    /// address.
+    pub fn alloc(&mut self, bytes: u64) -> Result<u64, PmemError> {
+        let want = self.order_for(bytes).ok_or(PmemError::TooLarge)?;
+        // Find the smallest free order >= want.
+        let mut order = want;
+        while order <= self.max_order && self.free[order as usize].is_empty() {
+            order += 1;
+        }
+        if order > self.max_order {
+            return Err(PmemError::OutOfMemory);
+        }
+        let offset = *self.free[order as usize].iter().next().expect("non-empty");
+        self.free[order as usize].remove(&offset);
+        // Split down to the wanted order, freeing the upper halves.
+        while order > want {
+            order -= 1;
+            let buddy = offset + self.block_bytes(order);
+            self.free[order as usize].insert(buddy);
+        }
+        self.allocated.insert(offset, want);
+        Ok(self.base + offset)
+    }
+
+    /// Free a previously allocated block, coalescing with its buddy
+    /// chain.
+    pub fn free(&mut self, pa: u64) -> Result<(), PmemError> {
+        let mut offset = pa.checked_sub(self.base).ok_or(PmemError::BadFree)?;
+        let mut order = self.allocated.remove(&offset).ok_or(PmemError::BadFree)?;
+        while order < self.max_order {
+            let buddy = offset ^ self.block_bytes(order);
+            if self.free[order as usize].remove(&buddy) {
+                offset = offset.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free[order as usize].insert(offset);
+        Ok(())
+    }
+
+    /// Bytes currently free (may be fragmented).
+    pub fn free_bytes(&self) -> u64 {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(o, s)| s.len() as u64 * self.block_bytes(o as u32))
+            .sum()
+    }
+
+    /// Largest allocation currently possible.
+    pub fn largest_free_block(&self) -> u64 {
+        (0..=self.max_order)
+            .rev()
+            .find(|&o| !self.free[o as usize].is_empty())
+            .map(|o| self.block_bytes(o))
+            .unwrap_or(0)
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> u64 {
+        self.block_bytes(self.max_order)
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.allocated.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * KB;
+
+    fn buddy() -> BuddyAllocator {
+        BuddyAllocator::new(0x8000_0000, 64 * MB, 4 * KB)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut b = buddy();
+        let before = b.free_bytes();
+        let p = b.alloc(10 * KB).unwrap();
+        assert!(p >= 0x8000_0000);
+        assert_eq!(b.free_bytes(), before - 16 * KB, "rounded to 16 KiB block");
+        b.free(p).unwrap();
+        assert_eq!(b.free_bytes(), before);
+        assert_eq!(b.largest_free_block(), 64 * MB, "fully coalesced");
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mut b = buddy();
+        let mut blocks: Vec<(u64, u64)> = Vec::new();
+        for bytes in [4 * KB, 8 * KB, 64 * KB, 2 * MB, 5 * KB, 4 * KB] {
+            let p = b.alloc(bytes).unwrap();
+            let len = bytes.next_power_of_two().max(4 * KB);
+            for &(q, qlen) in &blocks {
+                assert!(p + len <= q || q + qlen <= p, "overlap {p:#x} vs {q:#x}");
+            }
+            blocks.push((p, len));
+        }
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut b = buddy();
+        let p = b.alloc(4 * KB).unwrap();
+        b.free(p).unwrap();
+        assert_eq!(b.free(p), Err(PmemError::BadFree));
+        assert_eq!(b.free(0x123), Err(PmemError::BadFree));
+        assert_eq!(b.free(0x1000), Err(PmemError::BadFree), "below base");
+    }
+
+    #[test]
+    fn exhaustion_and_recovery() {
+        let mut b = BuddyAllocator::new(0, MB, 4 * KB);
+        let mut ps = Vec::new();
+        while let Ok(p) = b.alloc(64 * KB) {
+            ps.push(p);
+        }
+        assert_eq!(ps.len(), 16);
+        assert_eq!(b.alloc(4 * KB), Err(PmemError::OutOfMemory));
+        b.free(ps.pop().unwrap()).unwrap();
+        assert!(b.alloc(64 * KB).is_ok());
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let mut b = buddy();
+        assert_eq!(b.alloc(128 * MB), Err(PmemError::TooLarge));
+    }
+
+    #[test]
+    fn coalescing_rebuilds_large_blocks() {
+        let mut b = BuddyAllocator::new(0, MB, 4 * KB);
+        let ps: Vec<u64> = (0..256).map(|_| b.alloc(4 * KB).unwrap()).collect();
+        assert_eq!(b.largest_free_block(), 0);
+        for p in ps {
+            b.free(p).unwrap();
+        }
+        assert_eq!(b.largest_free_block(), MB);
+        assert_eq!(b.outstanding(), 0);
+    }
+
+    #[test]
+    fn fragmentation_limits_largest_block() {
+        let mut b = BuddyAllocator::new(0, MB, 4 * KB);
+        let a = b.alloc(4 * KB).unwrap();
+        let c = b.alloc(512 * KB).unwrap();
+        // While the 4 KiB block is held, its split chain pins every
+        // level of the lower half.
+        assert!(b.largest_free_block() < 512 * KB);
+        b.free(a).unwrap();
+        // Freeing `a` coalesces the lower half fully, but `c` still pins
+        // the upper half: 512 KiB is the best possible.
+        assert_eq!(b.largest_free_block(), 512 * KB);
+        b.free(c).unwrap();
+        assert_eq!(b.largest_free_block(), MB);
+    }
+
+    #[test]
+    fn non_power_of_two_region_rounds_down() {
+        let b = BuddyAllocator::new(0, 3 * MB, 4 * KB);
+        assert_eq!(b.capacity(), 2 * MB);
+    }
+
+    #[test]
+    fn zero_byte_alloc_gets_min_block() {
+        let mut b = buddy();
+        let p = b.alloc(0).unwrap();
+        b.free(p).unwrap();
+    }
+}

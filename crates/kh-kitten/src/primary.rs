@@ -1,0 +1,250 @@
+//! Kitten as Hafnium's primary VM.
+//!
+//! The port "primarily required porting the hypercall interface from the
+//! Linux driver implementation, and exporting VM management operations
+//! via a device file to user space" (paper §IV.a). The driver keeps one
+//! kernel thread per VCPU of each guest; when such a thread is scheduled
+//! it immediately invokes `vcpu_run` for its VCPU. VCPUs are spread
+//! across cores incrementally by default, and placement can be changed
+//! while the VM runs.
+
+use crate::sched::KittenScheduler;
+use crate::task::{TaskId, TaskKind};
+use kh_hafnium::hypercall::{HfCall, HfError, HfReturn};
+use kh_hafnium::spm::Spm;
+use kh_hafnium::vm::VmId;
+use kh_sim::Nanos;
+use std::collections::HashMap;
+
+/// Driver errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    NoSuchVm,
+    AlreadyLaunched,
+    NotLaunched,
+    Hypercall(HfError),
+    BadCore,
+}
+
+/// The primary-VM driver state: VCPU-thread bookkeeping.
+#[derive(Debug)]
+pub struct PrimaryDriver {
+    /// (vm, vcpu) -> kernel thread id.
+    threads: HashMap<(VmId, u16), TaskId>,
+    /// Next core for incremental VCPU placement.
+    next_core: u16,
+}
+
+impl Default for PrimaryDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrimaryDriver {
+    pub fn new() -> Self {
+        PrimaryDriver {
+            threads: HashMap::new(),
+            next_core: 0,
+        }
+    }
+
+    /// Query the hypervisor for a VM's VCPU count and create the kernel
+    /// threads, placed incrementally across cores.
+    pub fn launch_vm(
+        &mut self,
+        sched: &mut KittenScheduler,
+        spm: &mut Spm,
+        vm: VmId,
+        now: Nanos,
+    ) -> Result<Vec<TaskId>, DriverError> {
+        if self.threads.keys().any(|(v, _)| *v == vm) {
+            return Err(DriverError::AlreadyLaunched);
+        }
+        let vcpus = match spm.hypercall(VmId::PRIMARY, 0, 0, HfCall::VcpuGetCount(vm), now) {
+            Ok(HfReturn::Count(n)) => n as u16,
+            Ok(_) => unreachable!("VcpuGetCount returns Count"),
+            Err(HfError::NoSuchTarget) => return Err(DriverError::NoSuchVm),
+            Err(e) => return Err(DriverError::Hypercall(e)),
+        };
+        let mut ids = Vec::with_capacity(vcpus as usize);
+        for vcpu in 0..vcpus {
+            let core = self.next_core % sched.num_cores();
+            self.next_core = self.next_core.wrapping_add(1);
+            let id = sched.spawn(
+                &format!("vcpu-{}-{}", vm.0, vcpu),
+                TaskKind::VcpuThread { vm, vcpu },
+                core,
+            );
+            self.threads.insert((vm, vcpu), id);
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Stop a VM: halt it at the hypervisor and retire its threads.
+    pub fn stop_vm(
+        &mut self,
+        sched: &mut KittenScheduler,
+        spm: &mut Spm,
+        vm: VmId,
+        now: Nanos,
+    ) -> Result<(), DriverError> {
+        let keys: Vec<(VmId, u16)> = self
+            .threads
+            .keys()
+            .filter(|(v, _)| *v == vm)
+            .copied()
+            .collect();
+        if keys.is_empty() {
+            return Err(DriverError::NotLaunched);
+        }
+        // Ask the SPM to halt the VM on its behalf. (Hafnium models a VM
+        // halt as the VM's own action; the driver path uses the same
+        // state change through the management interface.)
+        spm.hypercall(vm, 0, 0, HfCall::VmHalt, now)
+            .map_err(DriverError::Hypercall)?;
+        for k in keys {
+            if let Some(id) = self.threads.remove(&k) {
+                sched.exit(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Change a VCPU thread's core binding.
+    pub fn set_affinity(
+        &mut self,
+        sched: &mut KittenScheduler,
+        vm: VmId,
+        vcpu: u16,
+        core: u16,
+    ) -> Result<(), DriverError> {
+        let id = self
+            .threads
+            .get(&(vm, vcpu))
+            .copied()
+            .ok_or(DriverError::NotLaunched)?;
+        if sched.set_affinity(id, core) {
+            Ok(())
+        } else {
+            Err(DriverError::BadCore)
+        }
+    }
+
+    pub fn thread_for(&self, vm: VmId, vcpu: u16) -> Option<TaskId> {
+        self.threads.get(&(vm, vcpu)).copied()
+    }
+
+    pub fn launched_vms(&self) -> Vec<VmId> {
+        let mut v: Vec<VmId> = self.threads.keys().map(|(vm, _)| *vm).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedConfig;
+    use kh_arch::platform::Platform;
+    use kh_hafnium::manifest::{VmKind, VmManifest};
+    use kh_hafnium::spm::SpmConfig;
+
+    const MB: u64 = 1 << 20;
+
+    fn setup() -> (KittenScheduler, Spm) {
+        let mut spm = Spm::new(SpmConfig::default_for(Platform::pine_a64_lts()));
+        spm.create_vm(
+            VmId::PRIMARY,
+            &VmManifest::new("kitten", VmKind::Primary, 64 * MB, 4),
+        )
+        .unwrap();
+        spm.create_vm(
+            VmId(2),
+            &VmManifest::new("app", VmKind::Secondary, 128 * MB, 3),
+        )
+        .unwrap();
+        spm.start_primary();
+        let sched = KittenScheduler::new(4, SchedConfig::default());
+        (sched, spm)
+    }
+
+    #[test]
+    fn launch_spreads_vcpus_incrementally() {
+        let (mut sched, mut spm) = setup();
+        let mut d = PrimaryDriver::new();
+        let ids = d
+            .launch_vm(&mut sched, &mut spm, VmId(2), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(ids.len(), 3);
+        let cores: Vec<u16> = ids.iter().map(|id| sched.task(*id).unwrap().cpu).collect();
+        assert_eq!(cores, vec![0, 1, 2], "incremental placement");
+        assert_eq!(d.launched_vms(), vec![VmId(2)]);
+    }
+
+    #[test]
+    fn double_launch_rejected() {
+        let (mut sched, mut spm) = setup();
+        let mut d = PrimaryDriver::new();
+        d.launch_vm(&mut sched, &mut spm, VmId(2), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(
+            d.launch_vm(&mut sched, &mut spm, VmId(2), Nanos::ZERO),
+            Err(DriverError::AlreadyLaunched)
+        );
+    }
+
+    #[test]
+    fn launch_unknown_vm_fails() {
+        let (mut sched, mut spm) = setup();
+        let mut d = PrimaryDriver::new();
+        assert_eq!(
+            d.launch_vm(&mut sched, &mut spm, VmId(9), Nanos::ZERO),
+            Err(DriverError::NoSuchVm)
+        );
+    }
+
+    #[test]
+    fn stop_halts_vm_and_retires_threads() {
+        let (mut sched, mut spm) = setup();
+        let mut d = PrimaryDriver::new();
+        let ids = d
+            .launch_vm(&mut sched, &mut spm, VmId(2), Nanos::ZERO)
+            .unwrap();
+        d.stop_vm(&mut sched, &mut spm, VmId(2), Nanos::ZERO)
+            .unwrap();
+        use kh_hafnium::vm::VmState;
+        assert_eq!(spm.vm(VmId(2)).unwrap().state, VmState::Halted);
+        for id in ids {
+            assert!(matches!(
+                sched.task(id).unwrap().state,
+                crate::task::TaskState::Exited
+            ));
+        }
+        assert_eq!(
+            d.stop_vm(&mut sched, &mut spm, VmId(2), Nanos::ZERO),
+            Err(DriverError::NotLaunched)
+        );
+    }
+
+    #[test]
+    fn affinity_changes_during_execution() {
+        let (mut sched, mut spm) = setup();
+        let mut d = PrimaryDriver::new();
+        d.launch_vm(&mut sched, &mut spm, VmId(2), Nanos::ZERO)
+            .unwrap();
+        d.set_affinity(&mut sched, VmId(2), 0, 3).unwrap();
+        let id = d.thread_for(VmId(2), 0).unwrap();
+        assert_eq!(sched.task(id).unwrap().cpu, 3);
+        assert_eq!(
+            d.set_affinity(&mut sched, VmId(2), 0, 99),
+            Err(DriverError::BadCore)
+        );
+        assert_eq!(
+            d.set_affinity(&mut sched, VmId(9), 0, 0),
+            Err(DriverError::NotLaunched)
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Kitten's timing personality.
+//!
+//! What makes the LWK "low noise" is quantified here: a 10 Hz scheduler
+//! tick (vs the FWK's 250 Hz), a tick handler that touches a handful of
+//! cache lines, *zero* background kernel threads, and no deferred work.
+//! These numbers plug into the machine executor through
+//! [`kh_arch::noise::OsTimingModel`] and directly produce the Figure 4/5
+//! noise profiles.
+
+use kh_arch::cpu::PollutionState;
+use kh_arch::noise::{NoiseEvent, OsTimingModel};
+use kh_sim::Nanos;
+
+/// The Kitten kernel profile.
+#[derive(Debug, Clone)]
+pub struct KittenProfile {
+    pub tick_period: Nanos,
+    pub tick_cost: Nanos,
+    pub ctx_switch_cost: Nanos,
+    pub tick_pollution: PollutionState,
+}
+
+impl Default for KittenProfile {
+    fn default() -> Self {
+        KittenProfile {
+            // 10 Hz: "significantly larger time slices ... and thus lower
+            // timer tick rates".
+            tick_period: Nanos::from_millis(100),
+            // A Kitten tick is a timestamp update and a run-queue glance.
+            tick_cost: Nanos::from_micros(2),
+            ctx_switch_cost: Nanos::from_micros(1),
+            // The handler touches ~16 lines and ~4 pages of kernel data.
+            tick_pollution: PollutionState {
+                tlb_evicted: 4,
+                cache_lines_evicted: 16,
+            },
+        }
+    }
+}
+
+impl KittenProfile {
+    /// A tickless variant (Kitten can disable the periodic tick entirely
+    /// for a lone pinned task) — used by the tick-rate ablation bench.
+    pub fn tickless() -> Self {
+        KittenProfile {
+            tick_period: Nanos::from_secs(3600),
+            ..Default::default()
+        }
+    }
+
+    /// Variant with an explicit tick rate in Hz (ablation sweeps).
+    pub fn with_tick_hz(hz: u64) -> Self {
+        KittenProfile {
+            tick_period: Nanos(1_000_000_000 / hz.max(1)),
+            ..Default::default()
+        }
+    }
+}
+
+impl OsTimingModel for KittenProfile {
+    fn name(&self) -> &'static str {
+        "kitten"
+    }
+    fn tick_period(&self) -> Nanos {
+        self.tick_period
+    }
+    fn tick_cost(&self) -> Nanos {
+        self.tick_cost
+    }
+    fn tick_pollution(&self) -> PollutionState {
+        self.tick_pollution
+    }
+    fn ctx_switch_cost(&self) -> Nanos {
+        self.ctx_switch_cost
+    }
+    /// Kitten has "little to no background tasks that need to
+    /// periodically run, nor ... deferred work that is randomly assigned
+    /// to a CPU core".
+    fn next_background(&mut self, _core: u16, _now: Nanos) -> Option<NoiseEvent> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_low_noise() {
+        let p = KittenProfile::default();
+        assert_eq!(p.tick_period(), Nanos::from_millis(100)); // 10 Hz
+        assert!(p.tick_cost() < Nanos::from_micros(5));
+        assert!(p.tick_pollution().tlb_evicted < 10);
+    }
+
+    #[test]
+    fn no_background_noise_ever() {
+        let mut p = KittenProfile::default();
+        for core in 0..4 {
+            for t in [0u64, 1_000_000, 1_000_000_000] {
+                assert!(p.next_background(core, Nanos(t)).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn tick_hz_variants() {
+        assert_eq!(
+            KittenProfile::with_tick_hz(100).tick_period(),
+            Nanos::from_millis(10)
+        );
+        assert!(KittenProfile::tickless().tick_period() >= Nanos::from_secs(3600));
+    }
+}

@@ -1,0 +1,374 @@
+//! The Kitten scheduler.
+//!
+//! Kitten schedules round-robin within fixed priorities, per core, with a
+//! large quantum and a low tick rate — it is "designed for non-interactive
+//! jobs, allowing significantly larger time slices for the scheduler
+//! quantum and thus lower timer tick rates" (paper §III.a). There is no
+//! load balancing, no deferred work, and nothing migrates: a task runs on
+//! the core it was placed on.
+
+use crate::task::{Task, TaskId, TaskKind, TaskState};
+use kh_sim::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Scheduler parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// Timeslice handed to a task before round-robin rotation.
+    pub quantum: Nanos,
+    /// Tick period (the paper's low-tick-rate claim: Kitten defaults to
+    /// 10 Hz here vs Linux's 250 Hz).
+    pub tick_period: Nanos,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            quantum: Nanos::from_millis(100),
+            tick_period: Nanos::from_millis(100),
+        }
+    }
+}
+
+/// Per-core scheduler state.
+#[derive(Debug, Default)]
+struct CoreQueue {
+    /// Round-robin queues indexed by priority on demand.
+    ready: VecDeque<TaskId>,
+    current: Option<TaskId>,
+    /// Virtual time the current task was dispatched.
+    dispatched_at: Nanos,
+}
+
+/// The Kitten scheduler across all cores of the node.
+#[derive(Debug)]
+pub struct KittenScheduler {
+    pub config: SchedConfig,
+    tasks: HashMap<TaskId, Task>,
+    cores: Vec<CoreQueue>,
+    next_id: u32,
+    /// Count of context switches performed (diagnostics).
+    pub switches: u64,
+}
+
+impl KittenScheduler {
+    pub fn new(num_cores: u16, config: SchedConfig) -> Self {
+        let mut s = KittenScheduler {
+            config,
+            tasks: HashMap::new(),
+            cores: (0..num_cores).map(|_| CoreQueue::default()).collect(),
+            next_id: 1,
+            switches: 0,
+        };
+        // One idle task per core.
+        for c in 0..num_cores {
+            s.spawn("idle", TaskKind::Idle, c);
+        }
+        s
+    }
+
+    pub fn num_cores(&self) -> u16 {
+        self.cores.len() as u16
+    }
+
+    /// Create and enqueue a task on a core.
+    pub fn spawn(&mut self, name: &str, kind: TaskKind, cpu: u16) -> TaskId {
+        assert!((cpu as usize) < self.cores.len(), "bad cpu {cpu}");
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        let task = Task::new(id, name, kind, cpu);
+        self.tasks.insert(id, task);
+        self.cores[cpu as usize].ready.push_back(id);
+        id
+    }
+
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(&id)
+    }
+
+    pub fn task_mut(&mut self, id: TaskId) -> Option<&mut Task> {
+        self.tasks.get_mut(&id)
+    }
+
+    pub fn current(&self, cpu: u16) -> Option<TaskId> {
+        self.cores.get(cpu as usize)?.current
+    }
+
+    /// Highest-priority runnable task on the core's queue (FIFO within a
+    /// priority level).
+    fn best_ready(&self, cpu: u16) -> Option<usize> {
+        let q = &self.cores[cpu as usize];
+        let mut best: Option<(usize, u8)> = None;
+        for (pos, id) in q.ready.iter().enumerate() {
+            let t = &self.tasks[id];
+            if !t.is_runnable() {
+                continue;
+            }
+            match best {
+                None => best = Some((pos, t.priority)),
+                Some((_, bp)) if t.priority < bp => best = Some((pos, t.priority)),
+                _ => {}
+            }
+        }
+        best.map(|(pos, _)| pos)
+    }
+
+    /// Dispatch the next task on `cpu` at time `now`. The previous
+    /// current task (if still runnable) goes to the back of the queue.
+    /// Returns the dispatched task id (idle tasks are always runnable, so
+    /// this returns `Some` whenever the core exists).
+    pub fn pick_next(&mut self, cpu: u16, now: Nanos) -> Option<TaskId> {
+        let prev = self.cores[cpu as usize].current.take();
+        if let Some(pid) = prev {
+            if let Some(t) = self.tasks.get_mut(&pid) {
+                if matches!(t.state, TaskState::Running) {
+                    t.state = TaskState::Ready;
+                }
+                if t.is_runnable() {
+                    self.cores[cpu as usize].ready.push_back(pid);
+                }
+            }
+        }
+        let pos = self.best_ready(cpu)?;
+        let id = self.cores[cpu as usize]
+            .ready
+            .remove(pos)
+            .expect("pos valid");
+        let t = self.tasks.get_mut(&id).expect("task exists");
+        t.state = TaskState::Running;
+        let q = &mut self.cores[cpu as usize];
+        q.current = Some(id);
+        q.dispatched_at = now;
+        if prev != Some(id) {
+            self.switches += 1;
+        }
+        Some(id)
+    }
+
+    /// Tick handler: rotate only when the quantum is exhausted *and* an
+    /// equal-or-higher-priority task is waiting — Kitten does not preempt
+    /// a lone HPC task.
+    pub fn on_tick(&mut self, cpu: u16, now: Nanos) -> Option<TaskId> {
+        let q = &self.cores[cpu as usize];
+        let cur = q.current?;
+        let ran_for = now.saturating_sub(q.dispatched_at);
+        if ran_for < self.config.quantum {
+            return Some(cur);
+        }
+        let cur_prio = self.tasks[&cur].priority;
+        let has_peer = q
+            .ready
+            .iter()
+            .any(|id| self.tasks[id].is_runnable() && self.tasks[id].priority <= cur_prio);
+        if has_peer {
+            self.pick_next(cpu, now)
+        } else {
+            // Reset the quantum for the incumbent.
+            self.cores[cpu as usize].dispatched_at = now;
+            Some(cur)
+        }
+    }
+
+    /// Block the current task on `cpu` and dispatch another.
+    pub fn block_current(&mut self, cpu: u16, now: Nanos) -> Option<TaskId> {
+        let cur = self.cores[cpu as usize].current?;
+        self.tasks.get_mut(&cur).expect("task").state = TaskState::Blocked;
+        self.pick_next(cpu, now)
+    }
+
+    /// Wake a blocked task (it re-enters its core's ready queue).
+    pub fn wake(&mut self, id: TaskId) {
+        if let Some(t) = self.tasks.get_mut(&id) {
+            if matches!(t.state, TaskState::Blocked) {
+                t.state = TaskState::Ready;
+                let cpu = t.cpu as usize;
+                if !self.cores[cpu].ready.contains(&id) {
+                    self.cores[cpu].ready.push_back(id);
+                }
+            }
+        }
+    }
+
+    /// Terminate a task.
+    pub fn exit(&mut self, id: TaskId) {
+        if let Some(t) = self.tasks.get_mut(&id) {
+            t.state = TaskState::Exited;
+            let cpu = t.cpu as usize;
+            self.cores[cpu].ready.retain(|&x| x != id);
+            if self.cores[cpu].current == Some(id) {
+                self.cores[cpu].current = None;
+            }
+        }
+    }
+
+    /// Move a task to another core (used by `SetAffinity` job-control
+    /// commands; the paper notes VCPU placement "can be configured and
+    /// even modified during the secondary VM's execution").
+    pub fn set_affinity(&mut self, id: TaskId, cpu: u16) -> bool {
+        if (cpu as usize) >= self.cores.len() {
+            return false;
+        }
+        let Some(t) = self.tasks.get_mut(&id) else {
+            return false;
+        };
+        let old = t.cpu as usize;
+        if self.cores[old].current == Some(id) {
+            // Cannot migrate a running task; caller must preempt first.
+            return false;
+        }
+        t.cpu = cpu;
+        self.cores[old].ready.retain(|&x| x != id);
+        if t.is_runnable() {
+            self.cores[cpu as usize].ready.push_back(id);
+        }
+        true
+    }
+
+    /// Runnable (non-idle) task count on a core — the "load".
+    pub fn load(&self, cpu: u16) -> usize {
+        self.cores[cpu as usize]
+            .ready
+            .iter()
+            .filter(|id| {
+                let t = &self.tasks[id];
+                t.is_runnable() && !matches!(t.kind, TaskKind::Idle)
+            })
+            .count()
+            + usize::from(
+                self.cores[cpu as usize]
+                    .current
+                    .map(|id| !matches!(self.tasks[&id].kind, TaskKind::Idle))
+                    .unwrap_or(false),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> KittenScheduler {
+        KittenScheduler::new(2, SchedConfig::default())
+    }
+
+    #[test]
+    fn idle_runs_when_empty() {
+        let mut s = sched();
+        let id = s.pick_next(0, Nanos::ZERO).unwrap();
+        assert!(matches!(s.task(id).unwrap().kind, TaskKind::Idle));
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let mut s = sched();
+        let user = s.spawn("control", TaskKind::User, 0);
+        let kthread = s.spawn("vcpu", TaskKind::Kernel, 0);
+        let first = s.pick_next(0, Nanos::ZERO).unwrap();
+        assert_eq!(first, kthread, "kernel priority beats user");
+        s.block_current(0, Nanos::ZERO);
+        assert_eq!(s.current(0), Some(user));
+    }
+
+    #[test]
+    fn round_robin_within_priority() {
+        let mut s = sched();
+        let a = s.spawn("a", TaskKind::Kernel, 0);
+        let b = s.spawn("b", TaskKind::Kernel, 0);
+        assert_eq!(s.pick_next(0, Nanos::ZERO), Some(a));
+        // Quantum expires with a peer waiting: rotate to b.
+        let t1 = Nanos::from_millis(100);
+        assert_eq!(s.on_tick(0, t1), Some(b));
+        let t2 = Nanos::from_millis(200);
+        assert_eq!(s.on_tick(0, t2), Some(a));
+    }
+
+    #[test]
+    fn no_preemption_before_quantum() {
+        let mut s = sched();
+        let a = s.spawn("a", TaskKind::Kernel, 0);
+        s.spawn("b", TaskKind::Kernel, 0);
+        s.pick_next(0, Nanos::ZERO);
+        // Tick at 50 ms: quantum (100 ms) not exhausted.
+        assert_eq!(s.on_tick(0, Nanos::from_millis(50)), Some(a));
+    }
+
+    #[test]
+    fn lone_task_keeps_running_past_quantum() {
+        let mut s = sched();
+        let a = s.spawn("hpc", TaskKind::Kernel, 0);
+        s.pick_next(0, Nanos::ZERO);
+        for ms in [100u64, 200, 300, 1000] {
+            assert_eq!(s.on_tick(0, Nanos::from_millis(ms)), Some(a));
+        }
+        assert_eq!(s.switches, 1, "no churn for a lone task");
+    }
+
+    #[test]
+    fn block_and_wake() {
+        let mut s = sched();
+        let a = s.spawn("a", TaskKind::Kernel, 0);
+        s.pick_next(0, Nanos::ZERO);
+        let next = s.block_current(0, Nanos::ZERO).unwrap();
+        assert!(matches!(s.task(next).unwrap().kind, TaskKind::Idle));
+        s.wake(a);
+        assert_eq!(s.pick_next(0, Nanos::ZERO), Some(a));
+    }
+
+    #[test]
+    fn wake_is_idempotent() {
+        let mut s = sched();
+        let a = s.spawn("a", TaskKind::Kernel, 0);
+        s.pick_next(0, Nanos::ZERO);
+        s.block_current(0, Nanos::ZERO);
+        s.wake(a);
+        s.wake(a);
+        // a must be queued exactly once: after dispatching and blocking
+        // it, no stale duplicate remains and idle runs.
+        assert_eq!(s.pick_next(0, Nanos::ZERO), Some(a));
+        let next = s.block_current(0, Nanos::ZERO).unwrap();
+        assert!(matches!(s.task(next).unwrap().kind, TaskKind::Idle));
+    }
+
+    #[test]
+    fn exit_removes_task() {
+        let mut s = sched();
+        let a = s.spawn("a", TaskKind::Kernel, 0);
+        s.pick_next(0, Nanos::ZERO);
+        s.exit(a);
+        assert_eq!(s.current(0), None);
+        let next = s.pick_next(0, Nanos::ZERO).unwrap();
+        assert_ne!(next, a);
+    }
+
+    #[test]
+    fn affinity_migration() {
+        let mut s = sched();
+        let a = s.spawn("a", TaskKind::Kernel, 0);
+        assert!(s.set_affinity(a, 1));
+        assert_eq!(s.task(a).unwrap().cpu, 1);
+        let next = s.pick_next(1, Nanos::ZERO).unwrap();
+        assert_eq!(next, a);
+        // Running tasks cannot migrate.
+        assert!(!s.set_affinity(a, 0));
+        // Bad core rejected.
+        assert!(!s.set_affinity(a, 9));
+    }
+
+    #[test]
+    fn load_excludes_idle() {
+        let mut s = sched();
+        assert_eq!(s.load(0), 0);
+        s.spawn("a", TaskKind::Kernel, 0);
+        s.spawn("b", TaskKind::Kernel, 0);
+        s.pick_next(0, Nanos::ZERO);
+        assert_eq!(s.load(0), 2);
+        assert_eq!(s.load(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cpu")]
+    fn spawn_on_bad_core_panics() {
+        sched().spawn("x", TaskKind::Kernel, 7);
+    }
+}

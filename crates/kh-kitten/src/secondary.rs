@@ -1,0 +1,252 @@
+//! Kitten as a Hafnium secondary VM — the port with feature workarounds.
+//!
+//! "Porting Kitten to execute as a secondary VM under Hafnium required a
+//! greater deal of effort ... disabling a number of low level
+//! architectural features and providing work-arounds where appropriate"
+//! (§IV.b): performance counters, debug registers, `dc isw` set/way cache
+//! flushes, the physical timer — and the mandatory switch to the
+//! para-virtual interrupt controller and the dedicated virtual timer
+//! channel.
+
+use kh_arch::sysreg::{FeatureClass, SysRegFile, TrapPolicy};
+use kh_hafnium::hypercall::{HfCall, HfError, HfReturn};
+use kh_hafnium::spm::Spm;
+use kh_hafnium::vm::VmId;
+use kh_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// How the port copes with one blocked feature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workaround {
+    pub feature: FeatureClass,
+    /// What the native kernel used the feature for.
+    pub native_use: &'static str,
+    /// The replacement strategy in the secondary port.
+    pub strategy: &'static str,
+}
+
+/// Errors detected at secondary boot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortError {
+    /// A feature is blocked and no workaround exists — the kernel cannot
+    /// run in this VM.
+    MissingWorkaround(FeatureClass),
+    Hypercall(HfError),
+}
+
+/// The workaround table the ported kernel ships.
+pub fn workaround_table() -> Vec<Workaround> {
+    vec![
+        Workaround {
+            feature: FeatureClass::Pmu,
+            native_use: "cycle counting for scheduler accounting",
+            strategy: "read CNTVCT (virtual counter) instead of PMCCNTR",
+        },
+        Workaround {
+            feature: FeatureClass::Debug,
+            native_use: "kernel breakpoints / kgdb-style stubs",
+            strategy: "compile out self-hosted debug; rely on log console",
+        },
+        Workaround {
+            feature: FeatureClass::CacheSetWay,
+            native_use: "dc isw full-cache flushes during boot",
+            strategy: "flush by virtual address ranges (dc civac loops)",
+        },
+        Workaround {
+            feature: FeatureClass::PhysicalTimer,
+            native_use: "scheduler tick via CNTP",
+            strategy: "use the dedicated virtual timer channel (CNTV)",
+        },
+        Workaround {
+            feature: FeatureClass::GicDirect,
+            native_use: "GIC distributor programming",
+            strategy: "para-virtual interrupt controller hypercalls",
+        },
+    ]
+}
+
+/// The secondary-VM port runtime: knows its VM id, carries the restricted
+/// register file, and wraps the para-virtual interfaces.
+#[derive(Debug)]
+pub struct SecondaryPort {
+    pub vm: VmId,
+    pub sysregs: SysRegFile,
+    workarounds: Vec<Workaround>,
+    /// Virtual-timer interrupt id used for the scheduler tick.
+    pub vtimer_intid: u32,
+}
+
+impl SecondaryPort {
+    pub fn new(vm: VmId) -> Self {
+        SecondaryPort {
+            vm,
+            sysregs: SysRegFile::hafnium_secondary(),
+            workarounds: workaround_table(),
+            vtimer_intid: 27,
+        }
+    }
+
+    /// Boot-time probe: every feature the hypervisor blocks must have a
+    /// workaround in the table, otherwise the kernel cannot run here.
+    pub fn boot_probe(&self) -> Result<Vec<&Workaround>, PortError> {
+        let mut applied = Vec::new();
+        for class in FeatureClass::ALL {
+            if self.sysregs.policy(class) == TrapPolicy::Undefined {
+                match self.workarounds.iter().find(|w| w.feature == class) {
+                    Some(w) => applied.push(w),
+                    None => return Err(PortError::MissingWorkaround(class)),
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Enable the virtual-timer interrupt through the para-virtual GIC
+    /// and arm the first tick — the secondary's scheduler-tick setup.
+    pub fn init_timer(
+        &self,
+        spm: &mut Spm,
+        vcpu: u16,
+        core: u16,
+        period: Nanos,
+        now: Nanos,
+    ) -> Result<(), PortError> {
+        spm.hypercall(
+            self.vm,
+            vcpu,
+            core,
+            HfCall::InterruptEnable {
+                intid: self.vtimer_intid,
+                enable: true,
+            },
+            now,
+        )
+        .map_err(PortError::Hypercall)?;
+        spm.hypercall(
+            self.vm,
+            vcpu,
+            core,
+            HfCall::ArmVtimer {
+                delay_ns: period.as_nanos(),
+            },
+            now,
+        )
+        .map_err(PortError::Hypercall)?;
+        Ok(())
+    }
+
+    /// Poll the para-virtual interrupt controller (the `interrupt_get`
+    /// path the ported IRQ handler uses).
+    pub fn next_interrupt(
+        &self,
+        spm: &mut Spm,
+        vcpu: u16,
+        core: u16,
+        now: Nanos,
+    ) -> Result<Option<u32>, PortError> {
+        match spm.hypercall(self.vm, vcpu, core, HfCall::InterruptGet, now) {
+            Ok(HfReturn::Interrupt(i)) => Ok(i),
+            Ok(_) => unreachable!("InterruptGet returns Interrupt"),
+            Err(e) => Err(PortError::Hypercall(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kh_arch::platform::Platform;
+    use kh_arch::sysreg::{AccessOutcome, SysRegId};
+    use kh_hafnium::manifest::{VmKind, VmManifest};
+    use kh_hafnium::spm::SpmConfig;
+
+    const MB: u64 = 1 << 20;
+
+    fn spm() -> Spm {
+        let mut s = Spm::new(SpmConfig::default_for(Platform::pine_a64_lts()));
+        s.create_vm(
+            VmId::PRIMARY,
+            &VmManifest::new("kitten", VmKind::Primary, 64 * MB, 4),
+        )
+        .unwrap();
+        s.create_vm(
+            VmId(2),
+            &VmManifest::new("app", VmKind::Secondary, 64 * MB, 1),
+        )
+        .unwrap();
+        s.start_primary();
+        s
+    }
+
+    #[test]
+    fn every_blocked_feature_has_a_workaround() {
+        let port = SecondaryPort::new(VmId(2));
+        let applied = port.boot_probe().unwrap();
+        // PMU, debug, set/way, physical timer, GIC-direct are all blocked
+        // for secondaries, so all five workarounds apply.
+        assert_eq!(applied.len(), 5);
+        let feats: Vec<FeatureClass> = applied.iter().map(|w| w.feature).collect();
+        assert!(feats.contains(&FeatureClass::Pmu));
+        assert!(feats.contains(&FeatureClass::CacheSetWay));
+        assert!(feats.contains(&FeatureClass::PhysicalTimer));
+    }
+
+    #[test]
+    fn missing_workaround_is_fatal() {
+        let mut port = SecondaryPort::new(VmId(2));
+        port.workarounds.retain(|w| w.feature != FeatureClass::Pmu);
+        assert_eq!(
+            port.boot_probe(),
+            Err(PortError::MissingWorkaround(FeatureClass::Pmu))
+        );
+    }
+
+    #[test]
+    fn pmu_access_traps_but_virtual_counter_works() {
+        let mut port = SecondaryPort::new(VmId(2));
+        assert_eq!(
+            port.sysregs
+                .read(SysRegId::Pmccntr, kh_arch::el::ExceptionLevel::El1),
+            AccessOutcome::Undef
+        );
+        assert!(matches!(
+            port.sysregs
+                .read(SysRegId::Cntvct, kh_arch::el::ExceptionLevel::El1),
+            AccessOutcome::Ok(_)
+        ));
+    }
+
+    #[test]
+    fn timer_init_arms_vtimer_and_enables_intid() {
+        let mut s = spm();
+        let port = SecondaryPort::new(VmId(2));
+        port.init_timer(&mut s, 0, 0, Nanos::from_millis(100), Nanos::ZERO)
+            .unwrap();
+        let v = s.vm(VmId(2)).unwrap().vcpu(0).unwrap();
+        assert!(v.vgic.is_enabled(27));
+        assert_eq!(v.vtimer_deadline, Some(Nanos::from_millis(100)));
+    }
+
+    #[test]
+    fn interrupt_get_drains_pending() {
+        let mut s = spm();
+        let port = SecondaryPort::new(VmId(2));
+        port.init_timer(&mut s, 0, 0, Nanos::from_millis(100), Nanos::ZERO)
+            .unwrap();
+        // Primary forwards/injects the timer interrupt.
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::InterruptInject {
+                vm: VmId(2),
+                vcpu: 0,
+                intid: 27,
+            },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        assert_eq!(port.next_interrupt(&mut s, 0, 0, Nanos::ZERO), Ok(Some(27)));
+        assert_eq!(port.next_interrupt(&mut s, 0, 0, Nanos::ZERO), Ok(None));
+    }
+}

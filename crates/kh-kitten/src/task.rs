@@ -1,0 +1,117 @@
+//! Kitten tasks.
+//!
+//! Kitten's task model is deliberately simple: a task is a kernel thread,
+//! a user process (one per aspace, typically pinned), or — in the
+//! Hafnium-primary role — a VCPU thread holding a handle to one VCPU of a
+//! guest VM.
+
+use kh_hafnium::vm::VmId;
+use serde::{Deserialize, Serialize};
+
+/// Task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// What a task is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// The per-core idle loop.
+    Idle,
+    /// An ordinary kernel thread.
+    Kernel,
+    /// A user-space task (e.g. the control task).
+    User,
+    /// A kernel thread bound to one VCPU of a guest VM; running it means
+    /// issuing `vcpu_run` for that VCPU.
+    VcpuThread { vm: VmId, vcpu: u16 },
+}
+
+/// Scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    Ready,
+    Running,
+    /// Waiting on an event (mailbox, interrupt, VCPU block).
+    Blocked,
+    Exited,
+}
+
+/// A Kitten task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Task {
+    pub id: TaskId,
+    pub name: String,
+    pub kind: TaskKind,
+    pub state: TaskState,
+    /// Lower value = higher priority (Kitten convention).
+    pub priority: u8,
+    /// Core this task is bound to (Kitten pins by default).
+    pub cpu: u16,
+}
+
+impl Task {
+    pub fn new(id: TaskId, name: impl Into<String>, kind: TaskKind, cpu: u16) -> Self {
+        let priority = match kind {
+            TaskKind::Idle => u8::MAX,
+            TaskKind::Kernel => 50,
+            TaskKind::User => 100,
+            TaskKind::VcpuThread { .. } => 50,
+        };
+        Task {
+            id,
+            name: name.into(),
+            kind,
+            state: TaskState::Ready,
+            priority,
+            cpu,
+        }
+    }
+
+    pub fn is_runnable(&self) -> bool {
+        matches!(self.state, TaskState::Ready)
+    }
+
+    pub fn is_vcpu_thread(&self) -> bool {
+        matches!(self.kind, TaskKind::VcpuThread { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_get_sane_priorities() {
+        let idle = Task::new(TaskId(0), "idle", TaskKind::Idle, 0);
+        let vcpu = Task::new(
+            TaskId(1),
+            "vcpu0",
+            TaskKind::VcpuThread {
+                vm: VmId(2),
+                vcpu: 0,
+            },
+            0,
+        );
+        let user = Task::new(TaskId(2), "control", TaskKind::User, 0);
+        assert!(
+            idle.priority > user.priority,
+            "idle runs only when nothing else can"
+        );
+        assert!(
+            vcpu.priority < user.priority,
+            "vcpu threads beat user tasks"
+        );
+        assert!(vcpu.is_vcpu_thread());
+        assert!(!user.is_vcpu_thread());
+    }
+
+    #[test]
+    fn runnable_states() {
+        let mut t = Task::new(TaskId(1), "t", TaskKind::Kernel, 0);
+        assert!(t.is_runnable());
+        t.state = TaskState::Blocked;
+        assert!(!t.is_runnable());
+        t.state = TaskState::Running;
+        assert!(!t.is_runnable());
+    }
+}

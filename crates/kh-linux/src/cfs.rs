@@ -1,0 +1,351 @@
+//! A CFS-like fair scheduler.
+//!
+//! The model keeps the properties that matter for the paper's argument:
+//! virtual-runtime fairness (every runnable entity gets CPU share
+//! proportional to its weight), wakeup preemption, and a scheduling
+//! period divided among runnable entities — which is exactly why a VCPU
+//! thread on Linux gets preempted whenever a kworker wakes up, while
+//! Kitten's run-to-quantum policy leaves it alone.
+
+use kh_sim::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Entity identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Nice-to-weight table excerpt (kernel's `sched_prio_to_weight`).
+fn nice_to_weight(nice: i8) -> u64 {
+    const TABLE: [u64; 11] = [
+        9548, 7620, 6100, 4904, 3906, // -5..-1
+        1024, // 0
+        820, 655, 526, 423, 335, // 1..5
+    ];
+    let idx = (nice.clamp(-5, 5) + 5) as usize;
+    TABLE[idx]
+}
+
+/// A schedulable entity (task or VCPU kthread).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedEntity {
+    pub id: EntityId,
+    pub name: String,
+    pub nice: i8,
+    pub vruntime: u64,
+    pub on_rq: bool,
+}
+
+/// Per-core CFS runqueue.
+#[derive(Debug, Default)]
+struct RunQueue {
+    /// (vruntime, id) ordered set — the "rbtree".
+    tree: BTreeSet<(u64, EntityId)>,
+    current: Option<EntityId>,
+    current_since: Nanos,
+    min_vruntime: u64,
+}
+
+/// The scheduler: entities plus per-core queues.
+#[derive(Debug)]
+pub struct CfsScheduler {
+    entities: HashMap<EntityId, SchedEntity>,
+    /// Which core each entity lives on.
+    placement: HashMap<EntityId, u16>,
+    queues: Vec<RunQueue>,
+    next_id: u32,
+    /// Target scheduling latency (kernel default 6 ms scaled).
+    pub sched_latency: Nanos,
+    /// Minimum slice an entity keeps before preemption (0.75 ms).
+    pub min_granularity: Nanos,
+    pub switches: u64,
+}
+
+impl CfsScheduler {
+    pub fn new(num_cores: u16) -> Self {
+        CfsScheduler {
+            entities: HashMap::new(),
+            placement: HashMap::new(),
+            queues: (0..num_cores).map(|_| RunQueue::default()).collect(),
+            next_id: 1,
+            sched_latency: Nanos::from_millis(6),
+            min_granularity: Nanos::from_micros(750),
+            switches: 0,
+        }
+    }
+
+    pub fn num_cores(&self) -> u16 {
+        self.queues.len() as u16
+    }
+
+    /// Create an entity on a core; it starts off-queue.
+    pub fn create(&mut self, name: &str, nice: i8, core: u16) -> EntityId {
+        assert!((core as usize) < self.queues.len());
+        let id = EntityId(self.next_id);
+        self.next_id += 1;
+        self.entities.insert(
+            id,
+            SchedEntity {
+                id,
+                name: name.into(),
+                nice,
+                vruntime: self.queues[core as usize].min_vruntime,
+                on_rq: false,
+            },
+        );
+        self.placement.insert(id, core);
+        id
+    }
+
+    pub fn entity(&self, id: EntityId) -> Option<&SchedEntity> {
+        self.entities.get(&id)
+    }
+
+    pub fn current(&self, core: u16) -> Option<EntityId> {
+        self.queues.get(core as usize)?.current
+    }
+
+    /// Wake/enqueue an entity. New arrivals get `max(own, min_vruntime)`
+    /// so sleepers cannot hoard unfairly — and, as in the kernel, a woken
+    /// entity with smaller vruntime than the current one triggers
+    /// preemption at the next tick.
+    pub fn enqueue(&mut self, id: EntityId) {
+        let core = self.placement[&id] as usize;
+        let e = self.entities.get_mut(&id).expect("entity exists");
+        if e.on_rq {
+            return;
+        }
+        e.vruntime = e.vruntime.max(self.queues[core].min_vruntime);
+        e.on_rq = true;
+        self.queues[core].tree.insert((e.vruntime, id));
+    }
+
+    /// Remove an entity from its runqueue (sleep/exit).
+    pub fn dequeue(&mut self, id: EntityId) {
+        let core = self.placement[&id] as usize;
+        let Some(e) = self.entities.get_mut(&id) else {
+            return;
+        };
+        if e.on_rq {
+            self.queues[core].tree.remove(&(e.vruntime, id));
+            e.on_rq = false;
+        }
+        if self.queues[core].current == Some(id) {
+            self.queues[core].current = None;
+        }
+    }
+
+    fn charge_current(&mut self, core: usize, now: Nanos) {
+        let Some(cur) = self.queues[core].current else {
+            return;
+        };
+        let ran = now.saturating_sub(self.queues[core].current_since);
+        let e = self.entities.get_mut(&cur).expect("current exists");
+        // delta_vruntime = delta * (base_weight / weight)
+        let w = nice_to_weight(e.nice);
+        e.vruntime += ran.as_nanos() * 1024 / w;
+        self.queues[core].current_since = now;
+        let min = self.queues[core]
+            .tree
+            .iter()
+            .next()
+            .map(|&(v, _)| v)
+            .unwrap_or(e.vruntime)
+            .min(e.vruntime);
+        self.queues[core].min_vruntime = self.queues[core].min_vruntime.max(min);
+    }
+
+    /// Pick the leftmost entity; the previous current is requeued.
+    pub fn pick_next(&mut self, core: u16, now: Nanos) -> Option<EntityId> {
+        let c = core as usize;
+        self.charge_current(c, now);
+        if let Some(prev) = self.queues[c].current.take() {
+            let e = self.entities.get_mut(&prev).expect("entity");
+            if e.on_rq {
+                self.queues[c].tree.insert((e.vruntime, prev));
+            }
+        }
+        let &(v, id) = self.queues[c].tree.iter().next()?;
+        self.queues[c].tree.remove(&(v, id));
+        self.queues[c].current = Some(id);
+        self.queues[c].current_since = now;
+        self.switches += 1;
+        Some(id)
+    }
+
+    /// Per-entity slice: sched_latency / nr_running, floored at
+    /// min_granularity.
+    pub fn timeslice(&self, core: u16) -> Nanos {
+        let c = core as usize;
+        let nr = self.queues[c].tree.len() + usize::from(self.queues[c].current.is_some());
+        if nr == 0 {
+            return self.sched_latency;
+        }
+        let slice = Nanos(self.sched_latency.as_nanos() / nr as u64);
+        slice.max(self.min_granularity)
+    }
+
+    /// Tick: preempt when the current entity exhausted its slice and a
+    /// lower-vruntime entity waits. Returns the (possibly new) current.
+    pub fn on_tick(&mut self, core: u16, now: Nanos) -> Option<EntityId> {
+        let c = core as usize;
+        let cur = self.queues[c].current?;
+        let ran = now.saturating_sub(self.queues[c].current_since);
+        self.charge_current(c, now);
+        let cur_v = self.entities[&cur].vruntime;
+        let leftmost = self.queues[c].tree.iter().next().map(|&(v, _)| v);
+        let should_preempt = match leftmost {
+            Some(lv) => ran >= self.timeslice(core) || lv + 1_000_000 < cur_v,
+            None => false,
+        };
+        if should_preempt {
+            self.pick_next(core, now)
+        } else {
+            Some(cur)
+        }
+    }
+
+    pub fn nr_running(&self, core: u16) -> usize {
+        let c = core as usize;
+        self.queues[c].tree.len() + usize::from(self.queues[c].current.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_lowest_vruntime() {
+        let mut s = CfsScheduler::new(1);
+        let a = s.create("a", 0, 0);
+        let b = s.create("b", 0, 0);
+        s.enqueue(a);
+        s.enqueue(b);
+        let first = s.pick_next(0, Nanos::ZERO).unwrap();
+        assert_eq!(first, a, "FIFO for equal vruntime (id tiebreak)");
+        // After a runs 10 ms its vruntime passes b's; a tick rotates.
+        let next = s.on_tick(0, Nanos::from_millis(10)).unwrap();
+        assert_eq!(next, b);
+    }
+
+    #[test]
+    fn fairness_between_equal_entities() {
+        let mut s = CfsScheduler::new(1);
+        let a = s.create("a", 0, 0);
+        let b = s.create("b", 0, 0);
+        s.enqueue(a);
+        s.enqueue(b);
+        s.pick_next(0, Nanos::ZERO);
+        // Simulate 100 ticks of 4 ms each.
+        let mut runtime = [Nanos::ZERO; 2];
+        let mut last = Nanos::ZERO;
+        let mut cur = s.current(0).unwrap();
+        for i in 1..=100u64 {
+            let now = Nanos::from_millis(4 * i);
+            runtime[if cur == a { 0 } else { 1 }] += now - last;
+            last = now;
+            cur = s.on_tick(0, now).unwrap();
+        }
+        let ra = runtime[0].as_nanos() as f64;
+        let rb = runtime[1].as_nanos() as f64;
+        let ratio = ra / rb;
+        assert!((0.8..1.25).contains(&ratio), "fair split, got {ratio}");
+    }
+
+    #[test]
+    fn weights_bias_runtime() {
+        let mut s = CfsScheduler::new(1);
+        let fast = s.create("important", -5, 0);
+        let slow = s.create("background", 5, 0);
+        s.enqueue(fast);
+        s.enqueue(slow);
+        s.pick_next(0, Nanos::ZERO);
+        let mut runtime = [Nanos::ZERO; 2];
+        let mut last = Nanos::ZERO;
+        let mut cur = s.current(0).unwrap();
+        for i in 1..=500u64 {
+            let now = Nanos::from_millis(2 * i);
+            runtime[if cur == fast { 0 } else { 1 }] += now - last;
+            last = now;
+            cur = s.on_tick(0, now).unwrap();
+        }
+        assert!(
+            runtime[0] > runtime[1].scaled(5),
+            "nice -5 should dominate nice +5: {:?} vs {:?}",
+            runtime[0],
+            runtime[1]
+        );
+    }
+
+    #[test]
+    fn woken_sleeper_does_not_hoard() {
+        let mut s = CfsScheduler::new(1);
+        let a = s.create("a", 0, 0);
+        s.enqueue(a);
+        s.pick_next(0, Nanos::ZERO);
+        // a runs 1 s; a fresh kworker wakes.
+        s.on_tick(0, Nanos::from_secs(1));
+        let kw = s.create("kworker", 0, 0);
+        s.enqueue(kw);
+        let e = s.entity(kw).unwrap();
+        assert!(
+            e.vruntime >= s.entities[&a].vruntime.saturating_sub(10_000_000),
+            "woken entity is placed near min_vruntime, not at zero"
+        );
+    }
+
+    #[test]
+    fn timeslice_shrinks_with_load() {
+        let mut s = CfsScheduler::new(1);
+        let a = s.create("a", 0, 0);
+        s.enqueue(a);
+        s.pick_next(0, Nanos::ZERO);
+        let solo = s.timeslice(0);
+        for i in 0..7 {
+            let id = s.create(&format!("t{i}"), 0, 0);
+            s.enqueue(id);
+        }
+        let loaded = s.timeslice(0);
+        assert!(loaded < solo);
+        assert!(loaded >= s.min_granularity);
+    }
+
+    #[test]
+    fn dequeue_sleeping_entity() {
+        let mut s = CfsScheduler::new(1);
+        let a = s.create("a", 0, 0);
+        let b = s.create("b", 0, 0);
+        s.enqueue(a);
+        s.enqueue(b);
+        s.pick_next(0, Nanos::ZERO);
+        s.dequeue(b);
+        assert_eq!(s.nr_running(0), 1);
+        // Ticking never selects b now.
+        for i in 1..10u64 {
+            let cur = s.on_tick(0, Nanos::from_millis(10 * i)).unwrap();
+            assert_eq!(cur, a);
+        }
+    }
+
+    #[test]
+    fn multi_core_isolation() {
+        let mut s = CfsScheduler::new(2);
+        let a = s.create("a", 0, 0);
+        let b = s.create("b", 0, 1);
+        s.enqueue(a);
+        s.enqueue(b);
+        assert_eq!(s.pick_next(0, Nanos::ZERO), Some(a));
+        assert_eq!(s.pick_next(1, Nanos::ZERO), Some(b));
+        assert_eq!(s.nr_running(0), 1);
+        assert_eq!(s.nr_running(1), 1);
+    }
+
+    #[test]
+    fn empty_core_picks_none() {
+        let mut s = CfsScheduler::new(1);
+        assert_eq!(s.pick_next(0, Nanos::ZERO), None);
+        assert_eq!(s.on_tick(0, Nanos::ZERO), None);
+    }
+}

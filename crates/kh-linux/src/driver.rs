@@ -1,0 +1,187 @@
+//! The Hafnium Linux driver model.
+//!
+//! "The Linux device driver provides scheduling by creating a Linux
+//! kernel thread for each VCPU belonging to a particular VM. Each kernel
+//! thread holds a handle to a single VCPU context managed by Hafnium's
+//! hypervisor, and so can direct Hafnium to context switch to that VCPU
+//! instance via a dedicated hypercall" (paper §II.a). This is the
+//! reference architecture the Kitten primary replaces.
+
+use crate::cfs::{CfsScheduler, EntityId};
+use kh_hafnium::hypercall::{HfCall, HfError, HfReturn};
+use kh_hafnium::spm::Spm;
+use kh_hafnium::vm::VmId;
+use kh_sim::Nanos;
+use std::collections::HashMap;
+
+/// Driver errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    NoSuchVm,
+    AlreadyLaunched,
+    NotLaunched,
+    Hypercall(HfError),
+}
+
+/// The driver: one CFS entity per VCPU, at default nice (a VCPU thread
+/// competes with every other thread on the Linux host — which is the
+/// whole problem).
+#[derive(Debug, Default)]
+pub struct LinuxHafniumDriver {
+    vcpu_threads: HashMap<(VmId, u16), EntityId>,
+}
+
+impl LinuxHafniumDriver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create and enqueue the VCPU kthreads for a VM, spread round-robin
+    /// across cores.
+    pub fn launch_vm(
+        &mut self,
+        cfs: &mut CfsScheduler,
+        spm: &mut Spm,
+        vm: VmId,
+        now: Nanos,
+    ) -> Result<Vec<EntityId>, DriverError> {
+        if self.vcpu_threads.keys().any(|(v, _)| *v == vm) {
+            return Err(DriverError::AlreadyLaunched);
+        }
+        let vcpus = match spm.hypercall(VmId::PRIMARY, 0, 0, HfCall::VcpuGetCount(vm), now) {
+            Ok(HfReturn::Count(n)) => n as u16,
+            Ok(_) => unreachable!(),
+            Err(HfError::NoSuchTarget) => return Err(DriverError::NoSuchVm),
+            Err(e) => return Err(DriverError::Hypercall(e)),
+        };
+        let mut out = Vec::new();
+        for vcpu in 0..vcpus {
+            let core = vcpu % cfs.num_cores();
+            let id = cfs.create(&format!("vcpu-{}-{}", vm.0, vcpu), 0, core);
+            cfs.enqueue(id);
+            self.vcpu_threads.insert((vm, vcpu), id);
+            out.push(id);
+        }
+        Ok(out)
+    }
+
+    /// Tear a VM's threads down.
+    pub fn stop_vm(
+        &mut self,
+        cfs: &mut CfsScheduler,
+        spm: &mut Spm,
+        vm: VmId,
+        now: Nanos,
+    ) -> Result<(), DriverError> {
+        let keys: Vec<(VmId, u16)> = self
+            .vcpu_threads
+            .keys()
+            .filter(|(v, _)| *v == vm)
+            .copied()
+            .collect();
+        if keys.is_empty() {
+            return Err(DriverError::NotLaunched);
+        }
+        spm.hypercall(vm, 0, 0, HfCall::VmHalt, now)
+            .map_err(DriverError::Hypercall)?;
+        for k in keys {
+            if let Some(id) = self.vcpu_threads.remove(&k) {
+                cfs.dequeue(id);
+            }
+        }
+        Ok(())
+    }
+
+    pub fn thread_for(&self, vm: VmId, vcpu: u16) -> Option<EntityId> {
+        self.vcpu_threads.get(&(vm, vcpu)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kh_arch::platform::Platform;
+    use kh_hafnium::manifest::{VmKind, VmManifest};
+    use kh_hafnium::spm::SpmConfig;
+
+    const MB: u64 = 1 << 20;
+
+    fn setup() -> (CfsScheduler, Spm) {
+        let mut spm = Spm::new(SpmConfig::default_for(Platform::pine_a64_lts()));
+        spm.create_vm(
+            VmId::PRIMARY,
+            &VmManifest::new("linux", VmKind::Primary, 256 * MB, 4),
+        )
+        .unwrap();
+        spm.create_vm(
+            VmId(2),
+            &VmManifest::new("app", VmKind::Secondary, 128 * MB, 4),
+        )
+        .unwrap();
+        spm.start_primary();
+        (CfsScheduler::new(4), spm)
+    }
+
+    #[test]
+    fn launch_creates_one_kthread_per_vcpu() {
+        let (mut cfs, mut spm) = setup();
+        let mut d = LinuxHafniumDriver::new();
+        let ids = d
+            .launch_vm(&mut cfs, &mut spm, VmId(2), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(ids.len(), 4);
+        // Spread: one per core, each runnable.
+        for core in 0..4 {
+            assert_eq!(cfs.nr_running(core), 1, "core {core}");
+        }
+    }
+
+    #[test]
+    fn vcpu_threads_compete_under_cfs() {
+        let (mut cfs, mut spm) = setup();
+        let mut d = LinuxHafniumDriver::new();
+        d.launch_vm(&mut cfs, &mut spm, VmId(2), Nanos::ZERO)
+            .unwrap();
+        // A kworker waking on core 0 shares the core fairly with the
+        // VCPU thread — the interference the paper measures.
+        let kw = cfs.create("kworker/0:1", 0, 0);
+        cfs.enqueue(kw);
+        let first = cfs.pick_next(0, Nanos::ZERO).unwrap();
+        let second = cfs.on_tick(0, Nanos::from_millis(10)).unwrap();
+        assert_ne!(first, second, "CFS rotates between vcpu thread and kworker");
+    }
+
+    #[test]
+    fn stop_dequeues_threads() {
+        let (mut cfs, mut spm) = setup();
+        let mut d = LinuxHafniumDriver::new();
+        d.launch_vm(&mut cfs, &mut spm, VmId(2), Nanos::ZERO)
+            .unwrap();
+        d.stop_vm(&mut cfs, &mut spm, VmId(2), Nanos::ZERO).unwrap();
+        for core in 0..4 {
+            assert_eq!(cfs.nr_running(core), 0);
+        }
+        assert_eq!(
+            d.stop_vm(&mut cfs, &mut spm, VmId(2), Nanos::ZERO),
+            Err(DriverError::NotLaunched)
+        );
+    }
+
+    #[test]
+    fn double_launch_and_unknown_vm() {
+        let (mut cfs, mut spm) = setup();
+        let mut d = LinuxHafniumDriver::new();
+        d.launch_vm(&mut cfs, &mut spm, VmId(2), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(
+            d.launch_vm(&mut cfs, &mut spm, VmId(2), Nanos::ZERO),
+            Err(DriverError::AlreadyLaunched)
+        );
+        assert_eq!(
+            d.launch_vm(&mut cfs, &mut spm, VmId(7), Nanos::ZERO),
+            Err(DriverError::NoSuchVm)
+        );
+        assert!(d.thread_for(VmId(2), 0).is_some());
+        assert!(d.thread_for(VmId(2), 9).is_none());
+    }
+}

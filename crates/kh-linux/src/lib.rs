@@ -1,0 +1,33 @@
+//! The Linux full-weight-kernel (FWK) baseline.
+//!
+//! Hafnium's reference stack uses Linux as the primary scheduling VM:
+//! a kernel thread per VCPU, scheduled by CFS, on a kernel that also
+//! runs periodic ticks, softirqs, RCU grace periods, kworkers, and
+//! deferred work "randomly assigned to a CPU core" (paper §III.a). The
+//! paper's argument is that all of this is unnecessary overhead when
+//! every guest is an isolated, self-contained partition — this crate
+//! models precisely the overhead being argued against.
+//!
+//! * [`cfs`] — a vruntime-based fair scheduler (weights, minimum
+//!   granularity, preemption on wakeup),
+//! * [`kthreads`] — the background-noise generator (kworker, ksoftirqd,
+//!   RCU, watchdog) with deterministic Poisson streams,
+//! * [`timerwheel`] — the hierarchical timer wheel deferred work rides on,
+//! * [`profile`] — the timing personality (HZ=250 tick, heavier handler,
+//!   larger cache/TLB footprint) plugged into the executor,
+//! * [`driver`] — the Hafnium Linux driver model: per-VCPU kthreads,
+//! * [`secondary`] — the feature audit for running Linux itself as a
+//!   Hafnium secondary / super-secondary (the paper's in-progress port).
+
+pub mod cfs;
+pub mod driver;
+pub mod kthreads;
+pub mod profile;
+pub mod secondary;
+pub mod timerwheel;
+
+pub use cfs::{CfsScheduler, SchedEntity};
+pub use driver::LinuxHafniumDriver;
+pub use kthreads::{BackgroundTask, KthreadMix};
+pub use profile::LinuxProfile;
+pub use timerwheel::{TimerId, TimerWheel};

@@ -1,0 +1,111 @@
+//! Linux's timing personality.
+//!
+//! HZ=250 (the common distro default for ARM64), a tick handler that
+//! walks CFS statistics and timekeeping (heavier than Kitten's), a
+//! bigger context switch, and the [`KthreadMix`] background noise. The
+//! contrast with the Kitten profile's numbers *is* the experiment.
+
+use crate::kthreads::KthreadMix;
+use kh_arch::cpu::PollutionState;
+use kh_arch::noise::{NoiseEvent, OsTimingModel};
+use kh_sim::Nanos;
+
+/// The Linux kernel profile.
+#[derive(Debug)]
+pub struct LinuxProfile {
+    pub tick_period: Nanos,
+    pub tick_cost: Nanos,
+    pub ctx_switch_cost: Nanos,
+    pub tick_pollution: PollutionState,
+    mixes: Vec<KthreadMix>,
+}
+
+impl LinuxProfile {
+    /// Standard profile: HZ=250 and the default kthread mix on every
+    /// core, seeded deterministically from `seed`.
+    pub fn new(seed: u64, num_cores: u16) -> Self {
+        LinuxProfile {
+            tick_period: Nanos(1_000_000_000 / 250),
+            // CFS tick: update_curr, load tracking, timekeeping, possible
+            // rebalance check.
+            tick_cost: Nanos::from_micros(5),
+            ctx_switch_cost: Nanos::from_micros(3),
+            // The tick path touches far more kernel data than Kitten's.
+            tick_pollution: PollutionState {
+                tlb_evicted: 28,
+                cache_lines_evicted: 220,
+            },
+            mixes: (0..num_cores).map(|c| KthreadMix::new(seed, c)).collect(),
+        }
+    }
+
+    /// Variant with an explicit HZ (tick-rate ablation).
+    pub fn with_hz(seed: u64, num_cores: u16, hz: u64) -> Self {
+        let mut p = Self::new(seed, num_cores);
+        p.tick_period = Nanos(1_000_000_000 / hz.max(1));
+        p
+    }
+}
+
+impl OsTimingModel for LinuxProfile {
+    fn name(&self) -> &'static str {
+        "linux"
+    }
+    fn tick_period(&self) -> Nanos {
+        self.tick_period
+    }
+    fn tick_cost(&self) -> Nanos {
+        self.tick_cost
+    }
+    fn tick_pollution(&self) -> PollutionState {
+        self.tick_pollution
+    }
+    fn ctx_switch_cost(&self) -> Nanos {
+        self.ctx_switch_cost
+    }
+    fn next_background(&mut self, core: u16, now: Nanos) -> Option<NoiseEvent> {
+        self.mixes
+            .get_mut(core as usize)
+            .and_then(|m| m.next_event(core, now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kh_kitten::KittenProfile;
+
+    #[test]
+    fn linux_ticks_25x_more_often_than_kitten() {
+        let l = LinuxProfile::new(0, 4);
+        let k = KittenProfile::default();
+        assert_eq!(l.tick_period(), Nanos(4_000_000)); // 250 Hz
+        assert_eq!(k.tick_period().as_nanos() / l.tick_period().as_nanos(), 25);
+    }
+
+    #[test]
+    fn linux_tick_is_heavier() {
+        let l = LinuxProfile::new(0, 1);
+        let k = KittenProfile::default();
+        assert!(l.tick_cost() > k.tick_cost());
+        assert!(l.ctx_switch_cost() > k.ctx_switch_cost());
+        assert!(l.tick_pollution().cache_lines_evicted > k.tick_pollution().cache_lines_evicted);
+    }
+
+    #[test]
+    fn background_noise_exists_unlike_kitten() {
+        let mut l = LinuxProfile::new(1, 2);
+        assert!(l.next_background(0, Nanos::ZERO).is_some());
+        assert!(l.next_background(1, Nanos::ZERO).is_some());
+        assert!(l.next_background(7, Nanos::ZERO).is_none(), "unknown core");
+        let mut k = KittenProfile::default();
+        use kh_arch::noise::OsTimingModel as _;
+        assert!(k.next_background(0, Nanos::ZERO).is_none());
+    }
+
+    #[test]
+    fn hz_variant() {
+        let l = LinuxProfile::with_hz(0, 1, 1000);
+        assert_eq!(l.tick_period(), Nanos::from_millis(1));
+    }
+}

@@ -1,0 +1,254 @@
+//! A hierarchical timer wheel (the Linux `timer_list` design).
+//!
+//! Linux manages kernel timers in a hierarchy of wheels: level 0 holds
+//! near timers at jiffy granularity, each higher level covers 8× the
+//! range at 8× coarser granularity. Insert and cancel are O(1); a tick
+//! expires level-0 slots and *cascades* coarser levels down when their
+//! windows roll over. Deferred work, delayed workqueues, and protocol
+//! timeouts all ride on this structure — i.e. it is where the FWK's
+//! "deferred work randomly assigned to a CPU core" comes from.
+
+use std::collections::HashMap;
+
+/// Timer identifier returned at schedule time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+const LEVELS: usize = 5;
+const SLOT_BITS: u32 = 6; // 64 slots per level
+const SLOTS: usize = 1 << SLOT_BITS;
+const LEVEL_SHIFT: u32 = 3; // each level is 8x coarser
+
+/// Granularity (in jiffies) of a level.
+fn level_gran(level: usize) -> u64 {
+    1u64 << (LEVEL_SHIFT * level as u32)
+}
+
+/// Range covered by levels 0..=level.
+fn level_range(level: usize) -> u64 {
+    level_gran(level) * SLOTS as u64
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    id: TimerId,
+    expires: u64,
+}
+
+/// The wheel.
+#[derive(Debug)]
+pub struct TimerWheel {
+    now: u64,
+    wheels: Vec<Vec<Vec<Entry>>>,
+    /// Live timers (for O(1)-ish cancel and membership checks).
+    live: HashMap<TimerId, u64>,
+    next_id: u64,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimerWheel {
+    pub fn new() -> Self {
+        TimerWheel {
+            now: 0,
+            wheels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            live: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Max expiry the wheel can hold relative to `now`.
+    pub fn horizon(&self) -> u64 {
+        level_range(LEVELS - 1)
+    }
+
+    fn place(&mut self, e: Entry) {
+        let delta = e.expires.saturating_sub(self.now).max(1);
+        let level = (0..LEVELS)
+            .find(|&l| delta < level_range(l))
+            .unwrap_or(LEVELS - 1);
+        let gran = level_gran(level);
+        let slot = ((e.expires / gran) % SLOTS as u64) as usize;
+        self.wheels[level][slot].push(e);
+    }
+
+    /// Schedule a timer `delta` jiffies from now (minimum 1). Deltas
+    /// beyond the horizon are clamped to it, as in the kernel.
+    pub fn schedule(&mut self, delta: u64) -> TimerId {
+        let id = TimerId(self.next_id);
+        self.next_id += 1;
+        let delta = delta.clamp(1, self.horizon() - 1);
+        let expires = self.now + delta;
+        self.live.insert(id, expires);
+        self.place(Entry { id, expires });
+        id
+    }
+
+    /// Cancel a pending timer. Returns whether it was still pending.
+    /// (The slot entry is removed lazily at expiry, like the kernel's
+    /// detached timers.)
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.live.remove(&id).is_some()
+    }
+
+    /// Advance one jiffy; returns the timers that expired, in expiry
+    /// order (stable for equal expiry).
+    pub fn tick(&mut self) -> Vec<TimerId> {
+        self.now += 1;
+        // Cascade higher levels whose window rolled over.
+        for level in 1..LEVELS {
+            if self.now.is_multiple_of(level_gran(level)) {
+                let slot = ((self.now / level_gran(level)) % SLOTS as u64) as usize;
+                let entries = std::mem::take(&mut self.wheels[level][slot]);
+                for e in entries {
+                    if self.live.contains_key(&e.id) {
+                        self.place(e);
+                    }
+                }
+            }
+        }
+        let slot = (self.now % SLOTS as u64) as usize;
+        let entries = std::mem::take(&mut self.wheels[0][slot]);
+        let mut fired = Vec::new();
+        for e in entries {
+            if self.live.get(&e.id) == Some(&e.expires) && e.expires <= self.now {
+                self.live.remove(&e.id);
+                fired.push(e.id);
+            } else if self.live.contains_key(&e.id) {
+                // Same slot, later lap: re-place.
+                self.place(e);
+            }
+        }
+        fired
+    }
+
+    /// Advance until `target` jiffies, collecting (jiffy, id) expiries.
+    pub fn advance_to(&mut self, target: u64) -> Vec<(u64, TimerId)> {
+        let mut out = Vec::new();
+        while self.now < target {
+            for id in self.tick() {
+                out.push((self.now, id));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_timer_fires_on_time() {
+        let mut w = TimerWheel::new();
+        let id = w.schedule(5);
+        let fired = w.advance_to(10);
+        assert_eq!(fired, vec![(5, id)]);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn many_timers_fire_in_order() {
+        let mut w = TimerWheel::new();
+        let mut expect: Vec<(u64, TimerId)> = (1..=200u64).map(|d| (d, w.schedule(d))).collect();
+        expect.sort();
+        let fired = w.advance_to(256);
+        assert_eq!(fired, expect);
+    }
+
+    #[test]
+    fn far_timers_cascade_correctly() {
+        // Fresh wheel per range so deltas are absolute expiry times:
+        // beyond level 0 (64), level 1 (512), level 2 (4096).
+        for delta in [100u64, 700, 5000, 40_000] {
+            let mut w = TimerWheel::new();
+            let id = w.schedule(delta);
+            let fired = w.advance_to(delta + 10);
+            assert_eq!(fired, vec![(delta, id)], "delta {delta}");
+        }
+    }
+
+    #[test]
+    fn cascade_fires_at_exact_jiffy() {
+        let mut w = TimerWheel::new();
+        let id = w.schedule(1000);
+        let fired = w.advance_to(2000);
+        assert_eq!(fired, vec![(1000, id)]);
+    }
+
+    #[test]
+    fn cancel_prevents_expiry() {
+        let mut w = TimerWheel::new();
+        let a = w.schedule(10);
+        let b = w.schedule(10);
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a), "double cancel");
+        let fired = w.advance_to(20);
+        assert_eq!(fired, vec![(10, b)]);
+    }
+
+    #[test]
+    fn reschedule_pattern_periodic_timer() {
+        // A periodic 7-jiffy timer, rescheduled from its handler.
+        let mut w = TimerWheel::new();
+        w.schedule(7);
+        let mut fire_times = Vec::new();
+        while w.now() < 70 {
+            for _ in w.tick() {
+                fire_times.push(w.now());
+                w.schedule(7);
+            }
+        }
+        assert_eq!(fire_times, vec![7, 14, 21, 28, 35, 42, 49, 56, 63, 70]);
+    }
+
+    #[test]
+    fn horizon_clamps_absurd_deltas() {
+        let mut w = TimerWheel::new();
+        let id = w.schedule(u64::MAX);
+        assert_eq!(w.pending(), 1);
+        let fired = w.advance_to(w.horizon());
+        assert_eq!(fired.last().map(|f| f.1), Some(id));
+    }
+
+    #[test]
+    fn zero_delta_means_next_jiffy() {
+        let mut w = TimerWheel::new();
+        let id = w.schedule(0);
+        assert_eq!(w.tick(), vec![id]);
+    }
+
+    #[test]
+    fn dense_random_load() {
+        let mut w = TimerWheel::new();
+        let mut rng = kh_sim::SimRng::new(1);
+        let mut expected: Vec<(u64, TimerId)> = Vec::new();
+        for _ in 0..500 {
+            let d = rng.range(1, 8000);
+            let id = w.schedule(d);
+            expected.push((d, id));
+        }
+        expected.sort();
+        let fired = w.advance_to(8200);
+        assert_eq!(fired.len(), 500);
+        let mut sorted = fired.clone();
+        sorted.sort();
+        assert_eq!(sorted, expected);
+        // Chronological delivery.
+        assert!(fired.windows(2).all(|p| p[0].0 <= p[1].0));
+    }
+}

@@ -1,0 +1,92 @@
+//! CSV emission for machine-readable experiment artifacts.
+
+use std::fmt::Write as _;
+
+/// A tiny CSV writer (no external dependency; handles quoting).
+#[derive(Debug, Default)]
+pub struct CsvWriter {
+    buf: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    pub fn new(headers: &[&str]) -> Self {
+        let mut w = CsvWriter {
+            buf: String::new(),
+            columns: headers.len(),
+        };
+        w.write_row(headers);
+        w
+    }
+
+    fn quote(field: &str) -> String {
+        if field.contains(',') || field.contains('"') || field.contains('\n') {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    }
+
+    fn write_row(&mut self, fields: &[&str]) {
+        let line = fields
+            .iter()
+            .map(|f| Self::quote(f))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(self.buf, "{line}");
+    }
+
+    /// Append a data row.
+    pub fn row(&mut self, fields: &[&str]) {
+        assert_eq!(fields.len(), self.columns, "column count mismatch");
+        self.write_row(fields);
+    }
+
+    /// Append a row of numbers.
+    pub fn row_f64(&mut self, label: &str, values: &[f64]) {
+        let mut fields: Vec<String> = vec![label.to_string()];
+        fields.extend(values.iter().map(|v| format!("{v}")));
+        let refs: Vec<&str> = fields.iter().map(|s| s.as_str()).collect();
+        self.row(&refs);
+    }
+
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_csv() {
+        let mut w = CsvWriter::new(&["config", "hpcg", "stream"]);
+        w.row(&["native", "0.0018", "59.6"]);
+        let s = w.finish();
+        assert_eq!(s, "config,hpcg,stream\nnative,0.0018,59.6\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.row(&["has,comma", "has\"quote"]);
+        let s = w.finish();
+        assert!(s.contains("\"has,comma\""));
+        assert!(s.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn numeric_rows() {
+        let mut w = CsvWriter::new(&["label", "x", "y"]);
+        w.row_f64("k", &[1.5, 2.25]);
+        assert!(w.finish().contains("k,1.5,2.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn wrong_width_panics() {
+        let mut w = CsvWriter::new(&["a"]);
+        w.row(&["1", "2"]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Log-scale histograms and percentile estimation.
+//!
+//! Noise analysis needs tail statistics: the paper's scatter plots are
+//! really statements about detour-duration distributions. The histogram
+//! uses logarithmic bucketing (constant relative resolution over many
+//! decades, like HDR histograms) so a 2 µs tick and a 250 µs kworker
+//! burst are both resolved.
+
+use serde::{Deserialize, Serialize};
+
+/// A log-bucketed histogram over positive values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Lowest representable value; everything below lands in bucket 0.
+    min_value: f64,
+    /// Buckets per decade.
+    resolution: u32,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl LogHistogram {
+    /// `min_value` is the smallest distinguishable value; `decades` sets
+    /// the range (`min_value * 10^decades`); `resolution` buckets per
+    /// decade.
+    pub fn new(min_value: f64, decades: u32, resolution: u32) -> Self {
+        assert!(min_value > 0.0 && decades > 0 && resolution > 0);
+        LogHistogram {
+            min_value,
+            resolution,
+            counts: vec![0; (decades * resolution + 1) as usize],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Histogram for detour durations: 100 ns .. 1 s, 20 buckets/decade.
+    pub fn for_detours() -> Self {
+        LogHistogram::new(100.0, 7, 20)
+    }
+
+    fn bucket_of(&self, value: f64) -> usize {
+        if value <= self.min_value {
+            return 0;
+        }
+        let b = ((value / self.min_value).log10() * self.resolution as f64).floor() as usize + 1;
+        b.min(self.counts.len() - 1)
+    }
+
+    /// Lower edge of a bucket.
+    fn bucket_floor(&self, bucket: usize) -> f64 {
+        if bucket == 0 {
+            return 0.0;
+        }
+        self.min_value * 10f64.powf((bucket - 1) as f64 / self.resolution as f64)
+    }
+
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value >= 0.0);
+        let b = self.bucket_of(value);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Percentile estimate (bucket lower edge), q in [0, 1].
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bucket_floor(b);
+            }
+        }
+        self.bucket_floor(self.counts.len() - 1)
+    }
+
+    pub fn median(&self) -> f64 {
+        self.percentile(0.5)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    pub fn max_bucket_floor(&self) -> f64 {
+        let last = self.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        self.bucket_floor(last)
+    }
+
+    /// Merge another histogram with identical geometry.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.min_value, other.min_value);
+        assert_eq!(self.resolution, other.resolution);
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = LogHistogram::new(1.0, 6, 10);
+        for v in [1.0, 10.0, 100.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 277.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let mut h = LogHistogram::new(1.0, 6, 20);
+        // 99 values at ~10, one at ~10000.
+        for _ in 0..99 {
+            h.record(10.0);
+        }
+        h.record(10_000.0);
+        let p50 = h.median();
+        let p99 = h.p99();
+        assert!((8.0..13.0).contains(&p50), "p50 = {p50}");
+        assert!(p99 < 20.0, "99 of 100 values are ~10: p99 = {p99}");
+        let p100 = h.percentile(1.0);
+        assert!(p100 > 5000.0, "max = {p100}");
+    }
+
+    #[test]
+    fn relative_resolution_holds_across_decades() {
+        let h = LogHistogram::new(1.0, 6, 20);
+        // Adjacent buckets differ by 10^(1/20) ≈ 12%.
+        for v in [2.0, 20.0, 200.0, 20_000.0] {
+            let b = h.bucket_of(v);
+            let floor = h.bucket_floor(b);
+            let ceil = h.bucket_floor(b + 1);
+            assert!(floor <= v && v < ceil * 1.0001, "{v}: [{floor}, {ceil})");
+            assert!(ceil / floor < 1.13);
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut h = LogHistogram::new(1.0, 2, 10); // up to 100
+        h.record(0.0001);
+        h.record(1e9);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(0.1) <= 1.0);
+        // The huge value lands in the top bucket (floor 10^1.9 ≈ 79).
+        assert!(h.max_bucket_floor() >= 70.0, "{}", h.max_bucket_floor());
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::for_detours();
+        assert!(h.mean().is_nan());
+        assert!(h.percentile(0.5).is_nan());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LogHistogram::new(1.0, 3, 10);
+        let mut b = LogHistogram::new(1.0, 3, 10);
+        a.record(5.0);
+        b.record(50.0);
+        b.record(50.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = LogHistogram::new(1.0, 3, 10);
+        let b = LogHistogram::new(2.0, 3, 10);
+        a.merge(&b);
+    }
+}

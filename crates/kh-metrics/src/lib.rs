@@ -1,0 +1,23 @@
+//! Measurement post-processing for the experiment harness.
+//!
+//! * [`stats`] — streaming mean/stdev (Welford), min/max, confidence
+//!   intervals,
+//! * [`table`] — the ASCII tables that regenerate Figures 8 and 10,
+//! * [`norm`] — normalization against a baseline configuration
+//!   (Figures 7 and 9 report normalized performance),
+//! * [`scatter`] — ASCII scatter rendering for the selfish-detour
+//!   figures (4–6),
+//! * [`csv`] — machine-readable emission of every figure's data.
+
+pub mod csv;
+pub mod hist;
+pub mod norm;
+pub mod scatter;
+pub mod stats;
+pub mod table;
+
+pub use hist::LogHistogram;
+pub use norm::normalize;
+pub use scatter::AsciiScatter;
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,47 @@
+//! Normalization against a baseline (Figures 7 and 9 report performance
+//! normalized to the native configuration).
+
+/// Normalize `values` by the value at `baseline_idx`.
+///
+/// # Panics
+/// Panics when the baseline value is zero or the index is out of range —
+/// both indicate a broken experiment, not a recoverable condition.
+pub fn normalize(values: &[f64], baseline_idx: usize) -> Vec<f64> {
+    let base = values[baseline_idx];
+    assert!(base != 0.0, "baseline value must be non-zero");
+    values.iter().map(|v| v / base).collect()
+}
+
+/// Relative change in percent: `(value / base − 1) × 100`.
+pub fn percent_change(value: f64, base: f64) -> f64 {
+    (value / base - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_to_first() {
+        let v = normalize(&[2.0, 1.0, 4.0], 0);
+        assert_eq!(v, vec![1.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn normalize_to_other_index() {
+        let v = normalize(&[2.0, 1.0, 4.0], 2);
+        assert_eq!(v, vec![0.5, 0.25, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_baseline_panics() {
+        normalize(&[0.0, 1.0], 0);
+    }
+
+    #[test]
+    fn percent() {
+        assert!((percent_change(0.95, 1.0) + 5.0).abs() < 1e-12);
+        assert!((percent_change(1.1, 1.0) - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! ASCII scatter plots for the selfish-detour figures (4–6).
+//!
+//! The paper's Figures 4–6 are scatter plots of detour events: x = time
+//! into the run, y = detour duration (log scale). The renderer bins
+//! events onto a character grid — good enough to see "few events, tight
+//! band" (native Kitten) vs "frequent, scattered" (Linux primary) at a
+//! glance in a terminal or in EXPERIMENTS.md.
+
+use kh_sim::Nanos;
+
+/// A point: (time into run, detour duration).
+pub type Point = (Nanos, Nanos);
+
+/// ASCII scatter renderer.
+#[derive(Debug)]
+pub struct AsciiScatter {
+    pub width: usize,
+    pub height: usize,
+    pub x_max: Nanos,
+    /// Log-scale y range in nanoseconds.
+    pub y_min: Nanos,
+    pub y_max: Nanos,
+}
+
+impl Default for AsciiScatter {
+    fn default() -> Self {
+        AsciiScatter {
+            width: 72,
+            height: 16,
+            x_max: Nanos::from_secs(1),
+            y_min: Nanos::from_micros(1),
+            y_max: Nanos::from_millis(10),
+        }
+    }
+}
+
+impl AsciiScatter {
+    /// Render points to a grid; density shown as `.`, `o`, `#`.
+    pub fn render(&self, title: &str, points: &[Point]) -> String {
+        let mut grid = vec![vec![0u32; self.width]; self.height];
+        let y_min_l = (self.y_min.as_nanos().max(1) as f64).ln();
+        let y_max_l = (self.y_max.as_nanos().max(2) as f64).ln();
+        for &(x, y) in points {
+            if x > self.x_max {
+                continue;
+            }
+            let xi = ((x.as_nanos() as f64 / self.x_max.as_nanos() as f64)
+                * (self.width - 1) as f64) as usize;
+            let yl = (y.as_nanos().max(1) as f64).ln();
+            let yf = ((yl - y_min_l) / (y_max_l - y_min_l)).clamp(0.0, 1.0);
+            let yi = ((1.0 - yf) * (self.height - 1) as f64) as usize;
+            grid[yi][xi] += 1;
+        }
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        out.push_str(&format!(
+            "detour duration [{} .. {}] (log scale), {} events\n",
+            self.y_min,
+            self.y_max,
+            points.len()
+        ));
+        for row in &grid {
+            out.push('|');
+            for &c in row {
+                out.push(match c {
+                    0 => ' ',
+                    1 => '.',
+                    2..=4 => 'o',
+                    _ => '#',
+                });
+            }
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "0 {:>w$}\n",
+            format!("{}", self.x_max),
+            w = self.width - 1
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Count plotted markers, ignoring axis/label lines.
+    fn marks(s: &str) -> usize {
+        s.lines()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.chars().filter(|c| matches!(c, '.' | 'o' | '#')).count())
+            .sum()
+    }
+
+    #[test]
+    fn empty_plot_renders() {
+        let s = AsciiScatter::default().render("empty", &[]);
+        assert!(s.contains("empty"));
+        assert!(s.contains("0 events"));
+    }
+
+    #[test]
+    fn single_point_lands_in_grid() {
+        let sc = AsciiScatter::default();
+        let s = sc.render("one", &[(Nanos::from_millis(500), Nanos::from_micros(100))]);
+        assert_eq!(marks(&s), 1, "{s}");
+    }
+
+    #[test]
+    fn density_escalates_markers() {
+        let sc = AsciiScatter::default();
+        let pts: Vec<Point> = (0..10)
+            .map(|_| (Nanos::from_millis(500), Nanos::from_micros(100)))
+            .collect();
+        let s = sc.render("dense", &pts);
+        assert!(s.contains('#'), "{s}");
+    }
+
+    #[test]
+    fn out_of_range_points_are_dropped_not_panicked() {
+        let sc = AsciiScatter::default();
+        let s = sc.render(
+            "oob",
+            &[
+                (Nanos::from_secs(9), Nanos::from_micros(10)), // x too big
+                (Nanos::ZERO, Nanos::from_secs(10)),           // y clamps
+                (Nanos::ZERO, Nanos::ZERO),                    // y clamps low
+            ],
+        );
+        // Only the two clamped points appear.
+        assert_eq!(marks(&s), 2, "{s}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Streaming statistics (Welford's algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Order-insensitive running summary of a sample set.
+///
+/// ```
+/// use kh_metrics::stats::Summary;
+/// let s = Summary::from_samples([59.4, 59.6, 59.8]);
+/// assert!((s.mean() - 59.6).abs() < 1e-9);
+/// assert!(s.stdev() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Summary::new();
+        for x in samples {
+            s.push(x);
+        }
+        s
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample (n−1) standard deviation.
+    pub fn stdev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Relative stdev (coefficient of variation).
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stdev() / m.abs()
+        }
+    }
+
+    /// Whether another summary's mean lies within ±1 stdev of this mean —
+    /// the "differences are not statistically significant" criterion the
+    /// paper applies to its STREAM results.
+    pub fn overlaps(&self, other: &Summary) -> bool {
+        (self.mean() - other.mean()).abs() <= self.stdev().max(other.stdev())
+    }
+
+    /// Merge two summaries (parallel experiment shards).
+    pub fn merge(&self, other: &Summary) -> Summary {
+        if self.n == 0 {
+            return other.clone();
+        }
+        if other.n == 0 {
+            return self.clone();
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        Summary {
+            n,
+            mean,
+            m2,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4} (n={})", self.mean(), self.stdev(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = Summary::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stdev of this classic set is ~2.138.
+        assert!((s.stdev() - 2.1380899).abs() < 1e-6, "{}", s.stdev());
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::new();
+        assert!(e.mean().is_nan());
+        assert_eq!(e.stdev(), 0.0);
+        let s = Summary::from_samples([3.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.stdev(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(37);
+        let merged = Summary::from_samples(a.iter().copied())
+            .merge(&Summary::from_samples(b.iter().copied()));
+        let full = Summary::from_samples(xs.iter().copied());
+        assert!((merged.mean() - full.mean()).abs() < 1e-10);
+        assert!((merged.stdev() - full.stdev()).abs() < 1e-10);
+        assert_eq!(merged.count(), full.count());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let a = Summary::from_samples([1.0, 2.0]);
+        let e = Summary::new();
+        assert_eq!(a.merge(&e).count(), 2);
+        assert_eq!(e.merge(&a).count(), 2);
+    }
+
+    #[test]
+    fn overlap_criterion() {
+        let a = Summary::from_samples([10.0, 10.2, 9.8]);
+        let b = Summary::from_samples([10.1, 10.3, 9.9]);
+        assert!(a.overlaps(&b), "near-identical samples overlap");
+        let c = Summary::from_samples([20.0, 20.1, 19.9]);
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn cv() {
+        let s = Summary::from_samples([9.0, 10.0, 11.0]);
+        assert!((s.cv() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Summary::from_samples([1.0, 2.0, 3.0]);
+        let t = s.to_string();
+        assert!(t.contains("2.0000") && t.contains("n=3"), "{t}");
+    }
+}

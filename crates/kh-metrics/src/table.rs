@@ -1,0 +1,137 @@
+//! ASCII tables, for regenerating the paper's tabular figures (8, 10).
+
+/// A simple right-aligned ASCII table with a header row and row labels.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a row. `cells.len()` must equal the header count.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header"
+        );
+        self.rows.push((label.into(), cells));
+        self
+    }
+
+    /// Convenience: numeric row with a fixed precision.
+    pub fn row_f64(
+        &mut self,
+        label: impl Into<String>,
+        values: &[f64],
+        precision: usize,
+    ) -> &mut Self {
+        self.row(
+            label,
+            values.iter().map(|v| format_sig(*v, precision)).collect(),
+        )
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut label_w = 0usize;
+        for (label, cells) in &self.rows {
+            label_w = label_w.max(label.len());
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        // Header.
+        out.push_str(&format!("{:label_w$}", ""));
+        for (h, w) in self.headers.iter().zip(&widths) {
+            out.push_str(&format!("  {h:>w$}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(label_w + widths.iter().map(|w| w + 2).sum::<usize>()));
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("{label:label_w$}"));
+            for (c, w) in cells.iter().zip(&widths) {
+                out.push_str(&format!("  {c:>w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format with `sig` significant-looking decimals, switching to
+/// scientific notation for very small magnitudes (the paper's Figure 8
+/// reports RandomAccess as 6.5e-5 etc.).
+pub fn format_sig(v: f64, sig: usize) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-2..1e6).contains(&a) {
+        format!("{v:.*e}", sig.max(1))
+    } else {
+        format!("{v:.*}", sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Fig 10: NAS (Mop/s)", &["LU", "BT", "CG", "EP", "SP"]);
+        t.row_f64("Native", &[33.16, 34.214, 4.38, 0.77, 15.084], 2);
+        t.row_f64("Kitten", &[33.116, 34.2, 4.38, 0.77, 15.08], 2);
+        let s = t.render();
+        assert!(s.contains("Fig 10"));
+        assert!(s.contains("Native"));
+        assert!(s.contains("33.16"));
+        // All data lines same length.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains("  ")).collect();
+        let lens: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}\n{s}");
+    }
+
+    #[test]
+    fn scientific_for_tiny_values() {
+        assert!(format_sig(6.5e-5, 2).contains('e'));
+        assert_eq!(format_sig(0.0, 2), "0");
+        assert_eq!(format_sig(59.6, 1), "59.6");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row("x", vec!["1".into()]);
+    }
+
+    #[test]
+    fn row_count() {
+        let mut t = Table::new("", &["v"]);
+        assert_eq!(t.num_rows(), 0);
+        t.row("a", vec!["1".into()]);
+        assert_eq!(t.num_rows(), 1);
+    }
+}

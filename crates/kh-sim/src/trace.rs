@@ -1,0 +1,253 @@
+//! Structured simulation tracing.
+//!
+//! The noise-profile experiments (Figures 4–6 in the paper) are built from
+//! machine-event traces: every trap, tick, context switch and hypercall is
+//! recorded with its timestamp, then post-processed by the selfish-detour
+//! analysis. The recorder is a bounded ring buffer so long simulations do
+//! not grow without bound when tracing is left enabled.
+
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Category of a machine-level trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceCategory {
+    /// Hardware timer interrupt fired.
+    TimerTick,
+    /// Device (non-timer) interrupt fired.
+    DeviceIrq,
+    /// Inter-processor interrupt.
+    Ipi,
+    /// Trap into the hypervisor (EL2).
+    HypTrapEnter,
+    /// Return from the hypervisor into a VM.
+    HypTrapExit,
+    /// Guest exit delivered to the primary VM scheduler.
+    PrimaryDispatch,
+    /// OS scheduler context switch.
+    ContextSwitch,
+    /// A background kernel task ran (kworker, rcu, ...).
+    BackgroundTask,
+    /// Hypercall issued by a VM.
+    Hypercall,
+    /// Secure world transition (TrustZone SMC).
+    WorldSwitch,
+    /// Workload phase boundary.
+    PhaseBoundary,
+    /// VM lifecycle event (created, started, halted).
+    VmLifecycle,
+    /// Stage-2 / permission fault.
+    Fault,
+}
+
+/// A single trace record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub at: Nanos,
+    pub core: u16,
+    pub category: TraceCategory,
+    /// Duration the event stole from the interrupted context (zero for
+    /// instantaneous markers).
+    pub duration: Nanos,
+    /// Free-form detail (VM id, task name, ...).
+    pub detail: String,
+}
+
+/// Bounded ring-buffer trace recorder.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    pub fn new(capacity: usize) -> Self {
+        TraceRecorder {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// A recorder that ignores all records (used when an experiment does
+    /// not need traces; recording cost then disappears).
+    pub fn disabled() -> Self {
+        TraceRecorder {
+            buf: VecDeque::new(),
+            capacity: 0,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn record(&mut self, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Convenience constructor + record.
+    pub fn emit(
+        &mut self,
+        at: Nanos,
+        core: u16,
+        category: TraceCategory,
+        duration: Nanos,
+        detail: impl Into<String>,
+    ) {
+        if !self.enabled {
+            return; // avoid the String allocation entirely when disabled
+        }
+        self.record(TraceEvent {
+            at,
+            core,
+            category,
+            duration,
+            detail: detail.into(),
+        });
+    }
+
+    /// Number of records evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Drain all records, leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Events of a given category, in time order.
+    pub fn by_category(&self, cat: TraceCategory) -> Vec<&TraceEvent> {
+        self.buf.iter().filter(|e| e.category == cat).collect()
+    }
+
+    /// Count events per category (cheap summary for tests/reports).
+    pub fn count(&self, cat: TraceCategory) -> usize {
+        self.buf.iter().filter(|e| e.category == cat).count()
+    }
+
+    /// Total time attributed to a category on a given core.
+    pub fn time_in(&self, cat: TraceCategory, core: u16) -> Nanos {
+        let total: u64 = self
+            .buf
+            .iter()
+            .filter(|e| e.category == cat && e.core == core)
+            .map(|e| e.duration.as_nanos())
+            .sum();
+        Nanos(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, cat: TraceCategory) -> TraceEvent {
+        TraceEvent {
+            at: Nanos(at),
+            core: 0,
+            category: cat,
+            duration: Nanos(10),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn records_and_iterates_in_order() {
+        let mut t = TraceRecorder::new(16);
+        t.record(ev(1, TraceCategory::TimerTick));
+        t.record(ev(2, TraceCategory::ContextSwitch));
+        let ats: Vec<u64> = t.iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(ats, vec![1, 2]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = TraceRecorder::new(3);
+        for i in 0..5 {
+            t.record(ev(i, TraceCategory::TimerTick));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.iter().next().unwrap().at;
+        assert_eq!(first, Nanos(2));
+    }
+
+    #[test]
+    fn disabled_recorder_ignores() {
+        let mut t = TraceRecorder::disabled();
+        t.record(ev(1, TraceCategory::TimerTick));
+        t.emit(Nanos(2), 0, TraceCategory::Ipi, Nanos::ZERO, "x");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn category_filters_and_counts() {
+        let mut t = TraceRecorder::new(16);
+        t.record(ev(1, TraceCategory::TimerTick));
+        t.record(ev(2, TraceCategory::TimerTick));
+        t.record(ev(3, TraceCategory::Ipi));
+        assert_eq!(t.count(TraceCategory::TimerTick), 2);
+        assert_eq!(t.by_category(TraceCategory::Ipi).len(), 1);
+    }
+
+    #[test]
+    fn time_accounting() {
+        let mut t = TraceRecorder::new(16);
+        t.record(ev(1, TraceCategory::TimerTick));
+        t.record(ev(2, TraceCategory::TimerTick));
+        assert_eq!(t.time_in(TraceCategory::TimerTick, 0), Nanos(20));
+        assert_eq!(t.time_in(TraceCategory::TimerTick, 1), Nanos::ZERO);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut t = TraceRecorder::new(16);
+        t.record(ev(1, TraceCategory::TimerTick));
+        let drained = t.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn toggle_enabled() {
+        let mut t = TraceRecorder::new(16);
+        t.set_enabled(false);
+        assert!(!t.is_enabled());
+        t.record(ev(1, TraceCategory::TimerTick));
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(ev(2, TraceCategory::TimerTick));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! FTQ — the Fixed Time Quantum noise benchmark.
+//!
+//! The classic companion to selfish-detour in LWK noise studies
+//! (Sottile & Minnich): count how many fixed-size work units complete in
+//! each fixed wall-clock quantum. On a quiet machine every quantum holds
+//! the same count; OS noise shows up as dips. The headline metric is the
+//! coefficient of variation of the per-quantum counts.
+
+use crate::{Workload, WorkloadOutput};
+use kh_arch::cpu::{Phase, PhaseCost};
+use kh_sim::Nanos;
+
+/// FTQ parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FtqConfig {
+    /// Quantum length (classic FTQ uses ~1 ms on HPC nodes).
+    pub quantum: Nanos,
+    /// Number of quanta to sample.
+    pub quanta: u32,
+    /// Instructions per work unit (small relative to the quantum so
+    /// counts are high-resolution).
+    pub unit_instructions: u64,
+}
+
+impl Default for FtqConfig {
+    fn default() -> Self {
+        FtqConfig {
+            quantum: Nanos::from_millis(1),
+            quanta: 1000,
+            unit_instructions: 1_000,
+        }
+    }
+}
+
+/// The FTQ workload.
+#[derive(Debug)]
+pub struct Ftq {
+    cfg: FtqConfig,
+    started: Option<Nanos>,
+    counts: Vec<f64>,
+    current_count: f64,
+    quantum_end: Nanos,
+    done: bool,
+}
+
+impl Ftq {
+    pub fn new(cfg: FtqConfig) -> Self {
+        Ftq {
+            cfg,
+            started: None,
+            counts: Vec::with_capacity(cfg.quanta as usize),
+            current_count: 0.0,
+            quantum_end: Nanos::ZERO,
+            done: false,
+        }
+    }
+
+    /// Coefficient of variation of the completed counts (the FTQ noise
+    /// figure; lower is quieter).
+    pub fn noise_cv(counts: &[f64]) -> f64 {
+        if counts.len() < 2 {
+            return 0.0;
+        }
+        let n = counts.len() as f64;
+        let mean = counts.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (n - 1.0);
+        var.sqrt() / mean
+    }
+}
+
+impl Workload for Ftq {
+    fn name(&self) -> &'static str {
+        "ftq"
+    }
+
+    fn next_phase(&mut self, now: Nanos) -> Option<Phase> {
+        if self.done {
+            return None;
+        }
+        if self.started.is_none() {
+            self.started = Some(now);
+            self.quantum_end = now + self.cfg.quantum;
+        }
+        Some(Phase::compute(self.cfg.unit_instructions))
+    }
+
+    fn phase_complete(&mut self, now: Nanos, _cost: &PhaseCost) {
+        // Close out every quantum boundary the unit crossed.
+        while now >= self.quantum_end {
+            self.counts.push(self.current_count);
+            self.current_count = 0.0;
+            self.quantum_end += self.cfg.quantum;
+            if self.counts.len() as u32 >= self.cfg.quanta {
+                self.done = true;
+                return;
+            }
+        }
+        self.current_count += 1.0;
+    }
+
+    fn finish(&mut self, _elapsed: Nanos) -> WorkloadOutput {
+        WorkloadOutput::Series {
+            label: "ftq_work_per_quantum".into(),
+            values: std::mem::take(&mut self.counts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> PhaseCost {
+        PhaseCost {
+            cycles: 1000,
+            time: Nanos(900),
+            walk_cycles: 0,
+            rewarm_cycles: 0,
+            bandwidth_bound: false,
+        }
+    }
+
+    #[test]
+    fn quiet_run_has_uniform_counts() {
+        let mut f = Ftq::new(FtqConfig {
+            quantum: Nanos::from_micros(100),
+            quanta: 50,
+            unit_instructions: 1000,
+        });
+        let mut now = Nanos::ZERO;
+        while f.next_phase(now).is_some() {
+            now += Nanos(900); // constant unit time
+            f.phase_complete(now, &cost());
+        }
+        let out = f.finish(now);
+        let counts = out.series().unwrap();
+        assert_eq!(counts.len(), 50);
+        let cv = Ftq::noise_cv(counts);
+        assert!(cv < 0.02, "quiet cv = {cv}");
+    }
+
+    #[test]
+    fn noise_dips_show_up_in_cv() {
+        let mut f = Ftq::new(FtqConfig {
+            quantum: Nanos::from_micros(100),
+            quanta: 50,
+            unit_instructions: 1000,
+        });
+        let mut now = Nanos::ZERO;
+        let mut i = 0u64;
+        while f.next_phase(now).is_some() {
+            i += 1;
+            // Every 40th unit is stretched by a 60 µs interruption.
+            now += if i.is_multiple_of(40) {
+                Nanos(60_900)
+            } else {
+                Nanos(900)
+            };
+            f.phase_complete(now, &cost());
+        }
+        let out = f.finish(now);
+        let cv = Ftq::noise_cv(out.series().unwrap());
+        assert!(cv > 0.05, "noisy cv = {cv}");
+    }
+
+    #[test]
+    fn cv_edge_cases() {
+        assert_eq!(Ftq::noise_cv(&[]), 0.0);
+        assert_eq!(Ftq::noise_cv(&[5.0]), 0.0);
+        assert_eq!(Ftq::noise_cv(&[0.0, 0.0]), 0.0);
+        assert_eq!(Ftq::noise_cv(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn terminates_after_requested_quanta() {
+        let mut f = Ftq::new(FtqConfig {
+            quantum: Nanos::from_micros(10),
+            quanta: 5,
+            unit_instructions: 100,
+        });
+        let mut now = Nanos::ZERO;
+        let mut phases = 0;
+        while f.next_phase(now).is_some() {
+            phases += 1;
+            now += Nanos(900);
+            f.phase_complete(now, &cost());
+            assert!(phases < 10_000);
+        }
+        let out = f.finish(now);
+        assert_eq!(out.series().unwrap().len(), 5);
+    }
+}

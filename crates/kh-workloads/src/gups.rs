@@ -1,0 +1,221 @@
+//! RandomAccess / GUPS (Figures 7/8).
+//!
+//! The HPC Challenge RandomAccess benchmark: XOR-update random locations
+//! of a large table, scored in giga-updates-per-second. Its TLB hit rate
+//! is terrible by design, which is why the paper expects (and finds) it
+//! to be the benchmark most sensitive to Hafnium's two-stage translation.
+
+use crate::{throughput, ScoreUnit, Workload, WorkloadOutput};
+use kh_arch::cpu::{AccessPattern, Phase, PhaseCost};
+use kh_sim::Nanos;
+
+/// The HPCC random-number sequence: x <- (x << 1) ^ (x < 0 ? POLY : 0)
+/// over 64-bit signed semantics.
+const POLY: u64 = 0x0000_0000_0000_0007;
+
+#[inline]
+fn hpcc_next(x: u64) -> u64 {
+    let shifted = x << 1;
+    if (x as i64) < 0 {
+        shifted ^ POLY
+    } else {
+        shifted
+    }
+}
+
+/// Configuration shared by kernel and model.
+#[derive(Debug, Clone, Copy)]
+pub struct GupsConfig {
+    /// log2 of the table size in words.
+    pub log2_table: u32,
+    /// Updates as a multiple of the table size (HPCC uses 4×).
+    pub updates_per_entry: u32,
+}
+
+impl Default for GupsConfig {
+    fn default() -> Self {
+        GupsConfig {
+            // 2^21 u64 = 16 MiB: far beyond the 2 MiB TLB reach and the
+            // 512 KiB L2 of the Pine A64.
+            log2_table: 21,
+            updates_per_entry: 4,
+        }
+    }
+}
+
+impl GupsConfig {
+    pub fn table_words(&self) -> u64 {
+        1u64 << self.log2_table
+    }
+    pub fn total_updates(&self) -> u64 {
+        self.table_words() * self.updates_per_entry as u64
+    }
+    pub fn table_bytes(&self) -> u64 {
+        self.table_words() * 8
+    }
+}
+
+// ---------------------------------------------------------------------
+// Real kernel
+// ---------------------------------------------------------------------
+
+/// Native run result.
+#[derive(Debug, Clone)]
+pub struct GupsNativeResult {
+    pub gups: f64,
+    /// Fraction of table entries with unexpected values after the
+    /// verification pass (HPCC allows up to 1%).
+    pub error_rate: f64,
+}
+
+/// Run the real table updates on the host and verify.
+pub fn run_native(cfg: &GupsConfig) -> GupsNativeResult {
+    let n = cfg.table_words() as usize;
+    let mask = (n - 1) as u64;
+    let mut table: Vec<u64> = (0..n as u64).collect();
+    let updates = cfg.total_updates();
+    let t0 = std::time::Instant::now();
+    let mut ran = 1u64;
+    for _ in 0..updates {
+        ran = hpcc_next(ran);
+        let idx = (ran & mask) as usize;
+        table[idx] ^= ran;
+    }
+    let dt = t0.elapsed().as_secs_f64().max(1e-12);
+    // Verification: replay the same sequence; XOR is an involution, so
+    // applying every update again restores the identity table.
+    let mut ran = 1u64;
+    for _ in 0..updates {
+        ran = hpcc_next(ran);
+        let idx = (ran & mask) as usize;
+        table[idx] ^= ran;
+    }
+    let errors = table
+        .iter()
+        .enumerate()
+        .filter(|(i, v)| **v != *i as u64)
+        .count();
+    GupsNativeResult {
+        gups: updates as f64 / dt / 1e9,
+        error_rate: errors as f64 / n as f64,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation model
+// ---------------------------------------------------------------------
+
+/// GUPS as a phase stream: batches of updates with a Random pattern over
+/// the table footprint.
+#[derive(Debug)]
+pub struct GupsModel {
+    cfg: GupsConfig,
+    updates_done: u64,
+    batch: u64,
+}
+
+impl GupsModel {
+    pub fn new(cfg: GupsConfig) -> Self {
+        GupsModel {
+            cfg,
+            updates_done: 0,
+            batch: 262_144, // updates per phase
+        }
+    }
+}
+
+impl Workload for GupsModel {
+    fn name(&self) -> &'static str {
+        "randomaccess"
+    }
+
+    fn next_phase(&mut self, _now: Nanos) -> Option<Phase> {
+        let remaining = self.cfg.total_updates().saturating_sub(self.updates_done);
+        if remaining == 0 {
+            return None;
+        }
+        let n = remaining.min(self.batch);
+        Some(Phase {
+            // RNG step + masking + loop: ~6 instructions per update.
+            instructions: 6 * n,
+            // Read + write of the table word.
+            mem_refs: 2 * n,
+            flops: 0,
+            footprint: self.cfg.table_bytes(),
+            // Random single-word touches do not stream; latency-bound.
+            dram_bytes: 0,
+            pattern: AccessPattern::Random,
+        })
+    }
+
+    fn phase_complete(&mut self, _now: Nanos, _cost: &PhaseCost) {
+        let remaining = self.cfg.total_updates() - self.updates_done;
+        self.updates_done += remaining.min(self.batch);
+    }
+
+    fn finish(&mut self, elapsed: Nanos) -> WorkloadOutput {
+        throughput(self.updates_done as f64, elapsed, ScoreUnit::Gups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpcc_rng_is_nontrivial() {
+        let mut x = 1u64;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            x = hpcc_next(x);
+            seen.insert(x);
+        }
+        assert_eq!(seen.len(), 10_000, "sequence must not cycle early");
+    }
+
+    #[test]
+    fn native_verifies_with_zero_errors() {
+        // Single-threaded updates are exact: the involution check must
+        // restore the identity table perfectly.
+        let cfg = GupsConfig {
+            log2_table: 14, // 16K words — fast under the test harness
+            updates_per_entry: 4,
+        };
+        let r = run_native(&cfg);
+        assert_eq!(r.error_rate, 0.0);
+        assert!(r.gups > 0.0);
+    }
+
+    #[test]
+    fn model_covers_all_updates() {
+        let cfg = GupsConfig {
+            log2_table: 16,
+            updates_per_entry: 4,
+        };
+        let mut m = GupsModel::new(cfg);
+        let mut refs = 0u64;
+        let mut phases = 0u32;
+        while let Some(p) = m.next_phase(Nanos::ZERO) {
+            refs += p.mem_refs;
+            phases += 1;
+            m.phase_complete(Nanos::ZERO, &zero_cost());
+            assert_eq!(p.pattern, AccessPattern::Random);
+            assert_eq!(p.footprint, cfg.table_bytes());
+        }
+        assert_eq!(refs, 2 * cfg.total_updates());
+        assert!(phases >= 1);
+        let out = m.finish(Nanos::from_secs(1));
+        let gups = out.throughput().unwrap();
+        assert!((gups - cfg.total_updates() as f64 / 1e9).abs() < 1e-12);
+    }
+
+    fn zero_cost() -> PhaseCost {
+        PhaseCost {
+            cycles: 0,
+            time: Nanos::ZERO,
+            walk_cycles: 0,
+            rewarm_cycles: 0,
+            bandwidth_bound: false,
+        }
+    }
+}

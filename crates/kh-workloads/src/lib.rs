@@ -1,0 +1,157 @@
+//! The paper's benchmark suite.
+//!
+//! Every benchmark exists in two coupled forms:
+//!
+//! 1. **A real numeric kernel** — actual Rust code computing actual
+//!    answers (STREAM moves real arrays, HPCG solves a real 27-point
+//!    system, NAS-CG runs a real power iteration...). The test suite
+//!    verifies these against known properties (residuals, checksums,
+//!    analytic solutions).
+//! 2. **A simulation model** ([`Workload`]) — the same computation
+//!    described as a stream of [`kh_arch::cpu::Phase`]s, derived from the
+//!    kernel's own operation counts, which the machine executor prices
+//!    under each OS/hypervisor configuration.
+//!
+//! The coupling matters: the model's instruction/byte/flop counts are
+//! *computed from the same parameters* as the real kernel, so the
+//! simulated figures inherit the kernels' arithmetic intensity and
+//! footprints rather than being hand-tuned constants.
+
+pub mod ftq;
+pub mod gups;
+pub mod hpcg;
+pub mod nas;
+pub mod selfish;
+pub mod stream;
+
+use kh_arch::cpu::{Phase, PhaseCost};
+use kh_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Unit of a benchmark's headline number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoreUnit {
+    /// HPCG (paper Figure 8 reports GFlop/s).
+    GFlops,
+    /// STREAM.
+    MBps,
+    /// RandomAccess.
+    Gups,
+    /// NAS benchmarks (Figure 10).
+    Mops,
+}
+
+impl ScoreUnit {
+    pub fn label(self) -> &'static str {
+        match self {
+            ScoreUnit::GFlops => "GFlops",
+            ScoreUnit::MBps => "MB/s",
+            ScoreUnit::Gups => "GUP/s",
+            ScoreUnit::Mops => "Mop/s",
+        }
+    }
+}
+
+/// A detour event recorded by the selfish benchmark: the loop noticed it
+/// lost the CPU for `duration` at time `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detour {
+    pub at: Nanos,
+    pub duration: Nanos,
+}
+
+/// What a completed workload produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadOutput {
+    /// A throughput score (work / elapsed).
+    Throughput { value: f64, unit: ScoreUnit },
+    /// The selfish-detour event series.
+    Detours(Vec<Detour>),
+    /// A per-interval sample series (FTQ work-per-quantum counts).
+    Series { label: String, values: Vec<f64> },
+}
+
+impl WorkloadOutput {
+    pub fn throughput(&self) -> Option<f64> {
+        match self {
+            WorkloadOutput::Throughput { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    pub fn detours(&self) -> Option<&[Detour]> {
+        match self {
+            WorkloadOutput::Detours(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    pub fn series(&self) -> Option<&[f64]> {
+        match self {
+            WorkloadOutput::Series { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+}
+
+/// A benchmark as the machine executor sees it: a phase generator plus a
+/// scorer.
+pub trait Workload {
+    fn name(&self) -> &'static str;
+
+    /// Next phase to execute, given the current virtual time (the time
+    /// the workload "observes" — selfish uses it to detect detours).
+    /// `None` when the workload has completed.
+    fn next_phase(&mut self, now: Nanos) -> Option<Phase>;
+
+    /// Called when the phase issued by the last `next_phase` finished at
+    /// `now` with the given cost breakdown.
+    fn phase_complete(&mut self, now: Nanos, cost: &PhaseCost);
+
+    /// Produce the benchmark's output once the executor reports overall
+    /// elapsed virtual time.
+    fn finish(&mut self, elapsed: Nanos) -> WorkloadOutput;
+}
+
+/// Convenience: a throughput score from total work and elapsed time.
+pub(crate) fn throughput(work: f64, elapsed: Nanos, unit: ScoreUnit) -> WorkloadOutput {
+    let secs = elapsed.as_secs_f64().max(1e-12);
+    let value = match unit {
+        ScoreUnit::GFlops => work / secs / 1e9,
+        ScoreUnit::MBps => work / secs / 1e6,
+        ScoreUnit::Gups => work / secs / 1e9,
+        ScoreUnit::Mops => work / secs / 1e6,
+    };
+    WorkloadOutput::Throughput { value, unit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let out = throughput(2e9, Nanos::from_secs(2), ScoreUnit::GFlops);
+        assert_eq!(
+            out,
+            WorkloadOutput::Throughput {
+                value: 1.0,
+                unit: ScoreUnit::GFlops
+            }
+        );
+        assert_eq!(out.throughput(), Some(1.0));
+        assert!(out.detours().is_none());
+    }
+
+    #[test]
+    fn units_have_labels() {
+        for u in [
+            ScoreUnit::GFlops,
+            ScoreUnit::MBps,
+            ScoreUnit::Gups,
+            ScoreUnit::Mops,
+        ] {
+            assert!(!u.label().is_empty());
+        }
+    }
+}

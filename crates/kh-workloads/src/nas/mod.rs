@@ -1,0 +1,170 @@
+//! NAS Parallel Benchmarks subset (Figures 9/10): LU, BT, CG, EP, SP.
+//!
+//! Each benchmark is a real solver with the same numerical skeleton as
+//! its NPB namesake, at class-S-like problem sizes:
+//!
+//! * [`ep`] — Embarrassingly Parallel: the exact NPB linear-congruential
+//!   generator and Marsaglia polar pair acceptance, verified against the
+//!   analytic acceptance rate.
+//! * [`cg`] — Conjugate Gradient: power iteration with an inner CG solve
+//!   on a random sparse symmetric positive-definite matrix.
+//! * [`lu`] — an SSOR sweep solver on a 3-D 7-point convection-diffusion
+//!   system (NPB LU's pipelined SSOR, scalar form).
+//! * [`bt`] — Block-Tridiagonal ADI: 5×5 block-Thomas line solves along
+//!   each grid dimension per timestep.
+//! * [`sp`] — Scalar-Pentadiagonal ADI: pentadiagonal line solves.
+//!
+//! All five report Mop/s (Figure 10's unit) from their true operation
+//! counts, and all five have verification tests on their numerics.
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod lu;
+pub mod sp;
+
+use crate::{throughput, ScoreUnit, Workload, WorkloadOutput};
+use kh_arch::cpu::{AccessPattern, Phase, PhaseCost};
+use kh_sim::Nanos;
+
+/// Which NAS benchmark (used by the experiment harness tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NasBenchmark {
+    Lu,
+    Bt,
+    Cg,
+    Ep,
+    Sp,
+}
+
+impl NasBenchmark {
+    pub const ALL: [NasBenchmark; 5] = [
+        NasBenchmark::Lu,
+        NasBenchmark::Bt,
+        NasBenchmark::Cg,
+        NasBenchmark::Ep,
+        NasBenchmark::Sp,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            NasBenchmark::Lu => "LU",
+            NasBenchmark::Bt => "BT",
+            NasBenchmark::Cg => "CG",
+            NasBenchmark::Ep => "EP",
+            NasBenchmark::Sp => "SP",
+        }
+    }
+
+    /// Build the standard-size simulation model for this benchmark.
+    pub fn model(self) -> Box<dyn Workload + Send> {
+        match self {
+            NasBenchmark::Lu => Box::new(lu::LuModel::new(lu::LuConfig::default())),
+            NasBenchmark::Bt => Box::new(bt::BtModel::new(bt::BtConfig::default())),
+            NasBenchmark::Cg => Box::new(cg::CgModel::new(cg::CgConfig::default())),
+            NasBenchmark::Ep => Box::new(ep::EpModel::new(ep::EpConfig::default())),
+            NasBenchmark::Sp => Box::new(sp::SpModel::new(sp::SpConfig::default())),
+        }
+    }
+}
+
+/// Shared iteration-driven model scaffold: N identical phases, Mop/s
+/// scoring. Each benchmark supplies its per-iteration phase.
+#[derive(Debug)]
+pub(crate) struct IterModel {
+    name: &'static str,
+    phase: Phase,
+    iters_total: u32,
+    iters_done: u32,
+    ops_per_iter: u64,
+}
+
+impl IterModel {
+    pub(crate) fn new(name: &'static str, phase: Phase, iters: u32, ops_per_iter: u64) -> Self {
+        IterModel {
+            name,
+            phase,
+            iters_total: iters,
+            iters_done: 0,
+            ops_per_iter,
+        }
+    }
+}
+
+impl Workload for IterModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn next_phase(&mut self, _now: Nanos) -> Option<Phase> {
+        (self.iters_done < self.iters_total).then_some(self.phase)
+    }
+
+    fn phase_complete(&mut self, _now: Nanos, _cost: &PhaseCost) {
+        self.iters_done += 1;
+    }
+
+    fn finish(&mut self, elapsed: Nanos) -> WorkloadOutput {
+        throughput(
+            (self.ops_per_iter * self.iters_done as u64) as f64,
+            elapsed,
+            ScoreUnit::Mops,
+        )
+    }
+}
+
+/// Helper for solver models: a blocked-stencil phase.
+pub(crate) fn stencil_phase(flops: u64, mem_refs: u64, footprint: u64, reuse: f64) -> Phase {
+    Phase {
+        instructions: flops + mem_refs / 2,
+        mem_refs,
+        flops,
+        footprint,
+        dram_bytes: 0,
+        pattern: AccessPattern::Blocked { reuse },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_have_models() {
+        for b in NasBenchmark::ALL {
+            let mut m = b.model();
+            assert!(!m.name().is_empty());
+            let p = m.next_phase(Nanos::ZERO).expect("at least one phase");
+            assert!(p.instructions > 0);
+        }
+    }
+
+    #[test]
+    fn iter_model_runs_to_completion() {
+        let mut m = IterModel::new("x", stencil_phase(100, 50, 1024, 0.5), 3, 100);
+        let mut n = 0;
+        while m.next_phase(Nanos::ZERO).is_some() {
+            m.phase_complete(
+                Nanos::ZERO,
+                &PhaseCost {
+                    cycles: 0,
+                    time: Nanos::ZERO,
+                    walk_cycles: 0,
+                    rewarm_cycles: 0,
+                    bandwidth_bound: false,
+                },
+            );
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        let out = m.finish(Nanos::from_secs(1));
+        // 300 ops over 1 s = 3e-4 Mop/s
+        assert!((out.throughput().unwrap() - 3e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        let labels: Vec<&str> = NasBenchmark::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels, vec!["LU", "BT", "CG", "EP", "SP"]);
+    }
+}

@@ -1,0 +1,263 @@
+//! STREAM memory-bandwidth benchmark (Figures 7/8).
+//!
+//! McCalpin's four kernels — copy, scale, add, triad — over large f64
+//! arrays, repeated `ntimes` and scored as sustained MB/s of the best
+//! iteration (we report the mean over iterations, matching how the paper
+//! tabulates mean ± stdev over runs).
+
+use crate::{throughput, ScoreUnit, Workload, WorkloadOutput};
+use kh_arch::cpu::{AccessPattern, Phase, PhaseCost};
+use kh_sim::Nanos;
+
+/// Which STREAM kernel a phase corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKernel {
+    Copy,
+    Scale,
+    Add,
+    Triad,
+}
+
+impl StreamKernel {
+    pub const ALL: [StreamKernel; 4] = [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ];
+
+    /// (arrays read, arrays written, flops per element)
+    fn shape(self) -> (u64, u64, u64) {
+        match self {
+            StreamKernel::Copy => (1, 1, 0),
+            StreamKernel::Scale => (1, 1, 1),
+            StreamKernel::Add => (2, 1, 1),
+            StreamKernel::Triad => (2, 1, 2),
+        }
+    }
+
+    /// Bytes moved per element (8-byte f64 per array touched).
+    pub fn bytes_per_elem(self) -> u64 {
+        let (r, w, _) = self.shape();
+        (r + w) * 8
+    }
+}
+
+/// Configuration shared by the real kernel and the model.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Elements per array. The classic rule: each array ≥ 4× the LLC.
+    pub n: usize,
+    /// Repetitions of the 4-kernel sweep.
+    pub ntimes: u32,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            // 4 MiB arrays (512 KiB L2 on the Pine A64 → 8× the LLC).
+            n: 512 * 1024,
+            ntimes: 10,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Total bytes moved across the whole run.
+    pub fn total_bytes(&self) -> u64 {
+        let per_sweep: u64 = StreamKernel::ALL
+            .iter()
+            .map(|k| k.bytes_per_elem() * self.n as u64)
+            .sum();
+        per_sweep * self.ntimes as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Real kernel
+// ---------------------------------------------------------------------
+
+/// Results of a native STREAM run (real arrays on the host).
+#[derive(Debug, Clone)]
+pub struct StreamNativeResult {
+    /// Best MB/s per kernel, host wall-clock.
+    pub mbps: [f64; 4],
+    /// Verification: max |a - expected| after all iterations.
+    pub max_error: f64,
+}
+
+/// Run the real arrays on the host. Scalar values follow the reference
+/// implementation so the final array contents are analytically known.
+pub fn run_native(cfg: &StreamConfig) -> StreamNativeResult {
+    let n = cfg.n;
+    let scalar = 3.0f64;
+    let mut a = vec![1.0f64; n];
+    let mut b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+    let mut best = [f64::MAX; 4];
+    for _ in 0..cfg.ntimes {
+        for (idx, k) in StreamKernel::ALL.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            // The four loops are written exactly as in stream.c.
+            match k {
+                StreamKernel::Copy => c.copy_from_slice(&a),
+                StreamKernel::Scale => {
+                    for i in 0..n {
+                        b[i] = scalar * c[i];
+                    }
+                }
+                StreamKernel::Add => {
+                    for i in 0..n {
+                        c[i] = a[i] + b[i];
+                    }
+                }
+                StreamKernel::Triad => {
+                    for i in 0..n {
+                        a[i] = b[i] + scalar * c[i];
+                    }
+                }
+            }
+            let dt = t0.elapsed().as_secs_f64().max(1e-12);
+            let mbps = (k.bytes_per_elem() * n as u64) as f64 / dt / 1e6;
+            best[idx] = best[idx].min(1.0 / mbps); // store inverse, min time
+        }
+    }
+    // Reference validation, as in stream.c: evolve scalars the same way.
+    let (mut aj, mut bj, mut cj) = (1.0f64, 2.0f64, 0.0f64);
+    for _ in 0..cfg.ntimes {
+        cj = aj;
+        bj = scalar * cj;
+        cj = aj + bj;
+        aj = bj + scalar * cj;
+    }
+    let max_error = a
+        .iter()
+        .map(|x| (x - aj).abs())
+        .chain(b.iter().map(|x| (x - bj).abs()))
+        .chain(c.iter().map(|x| (x - cj).abs()))
+        .fold(0.0f64, f64::max);
+    StreamNativeResult {
+        mbps: [1.0 / best[0], 1.0 / best[1], 1.0 / best[2], 1.0 / best[3]],
+        max_error,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation model
+// ---------------------------------------------------------------------
+
+/// STREAM as a phase stream: one phase per kernel per iteration.
+#[derive(Debug)]
+pub struct StreamModel {
+    cfg: StreamConfig,
+    next: u32, // kernel index within sweep + sweep count encoded
+    bytes_done: u64,
+}
+
+impl StreamModel {
+    pub fn new(cfg: StreamConfig) -> Self {
+        StreamModel {
+            cfg,
+            next: 0,
+            bytes_done: 0,
+        }
+    }
+}
+
+impl Workload for StreamModel {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn next_phase(&mut self, _now: Nanos) -> Option<Phase> {
+        let total_phases = 4 * self.cfg.ntimes;
+        if self.next >= total_phases {
+            return None;
+        }
+        let kernel = StreamKernel::ALL[(self.next % 4) as usize];
+        self.next += 1;
+        let n = self.cfg.n as u64;
+        let (reads, writes, flops_per) = kernel.shape();
+        let bytes = kernel.bytes_per_elem() * n;
+        Some(Phase {
+            // Loop control + address generation: ~2 instructions/element.
+            instructions: 2 * n + flops_per * n,
+            mem_refs: (reads + writes) * n,
+            flops: flops_per * n,
+            footprint: 3 * 8 * n, // three arrays resident
+            dram_bytes: bytes,
+            pattern: AccessPattern::Stream,
+        })
+    }
+
+    fn phase_complete(&mut self, _now: Nanos, _cost: &PhaseCost) {
+        let idx = (self.next - 1) % 4;
+        self.bytes_done += StreamKernel::ALL[idx as usize].bytes_per_elem() * self.cfg.n as u64;
+    }
+
+    fn finish(&mut self, elapsed: Nanos) -> WorkloadOutput {
+        throughput(self.bytes_done as f64, elapsed, ScoreUnit::MBps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_stream_validates() {
+        let cfg = StreamConfig {
+            n: 100_000,
+            ntimes: 3,
+        };
+        let r = run_native(&cfg);
+        assert!(
+            r.max_error < 1e-9,
+            "array contents must match the analytic recurrence, err = {}",
+            r.max_error
+        );
+        for (i, m) in r.mbps.iter().enumerate() {
+            assert!(*m > 100.0, "kernel {i} rate {m} MB/s implausibly low");
+        }
+    }
+
+    #[test]
+    fn model_emits_all_phases_with_correct_totals() {
+        let cfg = StreamConfig { n: 1000, ntimes: 2 };
+        let mut m = StreamModel::new(cfg);
+        let mut phases = Vec::new();
+        while let Some(p) = m.next_phase(Nanos::ZERO) {
+            m.phase_complete(Nanos::ZERO, &zero_cost());
+            phases.push(p);
+        }
+        assert_eq!(phases.len(), 8);
+        let dram_total: u64 = phases.iter().map(|p| p.dram_bytes).sum();
+        assert_eq!(dram_total, cfg.total_bytes());
+        // Copy moves 16 B/elem, triad 24 B/elem.
+        assert_eq!(phases[0].dram_bytes, 16 * 1000);
+        assert_eq!(phases[3].dram_bytes, 24 * 1000);
+        assert!(phases.iter().all(|p| p.pattern == AccessPattern::Stream));
+    }
+
+    #[test]
+    fn score_counts_all_bytes() {
+        let cfg = StreamConfig { n: 1000, ntimes: 1 };
+        let mut m = StreamModel::new(cfg);
+        while m.next_phase(Nanos::ZERO).is_some() {
+            m.phase_complete(Nanos::ZERO, &zero_cost());
+        }
+        let out = m.finish(Nanos::from_millis(1));
+        // (16+16+24+24)*1000 bytes in 1 ms = 80 MB/s
+        assert_eq!(out.throughput().unwrap().round(), 80.0);
+    }
+
+    fn zero_cost() -> kh_arch::cpu::PhaseCost {
+        kh_arch::cpu::PhaseCost {
+            cycles: 0,
+            time: Nanos::ZERO,
+            walk_cycles: 0,
+            rewarm_cycles: 0,
+            bandwidth_bound: true,
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Multi-tenant isolation: several secondary VMs share a node; the
+//! hypervisor proves memory isolation, and the interference ablation
+//! shows what each scheduler does to a co-tenant's performance.
+//!
+//! ```bash
+//! cargo run --release --example multi_tenant
+//! ```
+
+use kitten_hafnium::arch::platform::Platform;
+use kitten_hafnium::core::figures::ablation_interference;
+use kitten_hafnium::hafnium::boot::boot;
+use kitten_hafnium::hafnium::manifest::{BootManifest, VmKind, VmManifest};
+use kitten_hafnium::hafnium::spm::SpmConfig;
+
+const MB: u64 = 1 << 20;
+
+fn main() {
+    // Boot a node hosting three tenants plus the Kitten primary.
+    let manifest = BootManifest::new()
+        .with_vm(VmManifest::new(
+            "kitten-primary",
+            VmKind::Primary,
+            64 * MB,
+            4,
+        ))
+        .with_vm(VmManifest::new("tenant-a", VmKind::Secondary, 256 * MB, 2))
+        .with_vm(VmManifest::new("tenant-b", VmKind::Secondary, 256 * MB, 2))
+        .with_vm(VmManifest::new("tenant-c", VmKind::Secondary, 128 * MB, 1));
+    let cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    let (spm, report) = boot(cfg, &manifest, vec![]).expect("boot");
+
+    println!("Booted {} VMs:", spm.vm_count());
+    for (name, id) in &report.vm_ids {
+        let vm = spm.vm(*id).unwrap();
+        println!(
+            "  {:<16} id={:<3} vcpus={} mem={} MiB",
+            name,
+            id.0,
+            vm.vcpus.len(),
+            vm.mem_bytes / MB
+        );
+    }
+
+    match spm.audit_isolation() {
+        Ok(()) => println!("\nIsolation audit: no two VMs share a physical byte. ✓"),
+        Err((a, b)) => panic!("isolation violated between {a:?} and {b:?}"),
+    }
+
+    // Tenants cannot reach each other's memory.
+    let a = report.vm_ids[1].1;
+    let b = report.vm_ids[2].1;
+    let (_, b_base, _) = spm.vm(b).unwrap().stage2.physical_extents()[0];
+    assert!(
+        !spm.vm_reaches_pa(a, b_base),
+        "tenant-a must not reach tenant-b's memory"
+    );
+    println!("tenant-a cannot address tenant-b's backing memory. ✓");
+
+    // What does co-tenancy cost under each scheduler?
+    println!("\nCo-tenant interference (GUPS sharing a core at 50% duty):");
+    for p in ablation_interference(7) {
+        println!(
+            "  {:<16} alone {:.3e} GUP/s -> shared {:.3e} GUP/s  (share efficiency {:.3}, {} switches)",
+            format!("{:?}", p.stack),
+            p.gups_alone,
+            p.gups_shared,
+            p.share_efficiency(),
+            p.co_tenant_slices
+        );
+    }
+    println!("\nKitten's 100 ms quanta preserve nearly the full fair share;");
+    println!("Linux's millisecond slices pay cache/TLB re-warm on every switch.");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: boot the Kitten-primary Hafnium stack, run STREAM inside
+//! a securely isolated secondary VM, and compare against native.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use kitten_hafnium::core::config::StackKind;
+use kitten_hafnium::core::machine::Machine;
+use kitten_hafnium::core::MachineConfig;
+use kitten_hafnium::workloads::stream::{run_native, StreamConfig, StreamModel};
+
+fn main() {
+    println!("kitten-hafnium v{} — quickstart\n", kitten_hafnium::VERSION);
+
+    // 1. The real STREAM kernel on this host (verifies the numerics).
+    let cfg = StreamConfig {
+        n: 200_000,
+        ntimes: 3,
+    };
+    let native = run_native(&cfg);
+    println!(
+        "Host STREAM (real arrays, verification error {:.1e}):",
+        native.max_error
+    );
+    for (k, v) in ["copy", "scale", "add", "triad"].iter().zip(native.mbps) {
+        println!("  {k:<6} {v:>10.0} MB/s");
+    }
+
+    // 2. The same benchmark on the simulated Pine A64-LTS, under each of
+    //    the paper's three configurations.
+    println!("\nSimulated Pine A64-LTS (4x Cortex-A53 @ 1.1 GHz):");
+    for stack in StackKind::ALL {
+        let mcfg = MachineConfig::pine_a64(stack, 42);
+        let mut machine = Machine::new(mcfg);
+        let mut w = StreamModel::new(StreamConfig::default());
+        let report = machine.run(&mut w);
+        println!(
+            "  {:<8} {:>8.1} MB/s   elapsed {:>9}  interruptions {:>4}  stolen {}",
+            stack.label(),
+            report.output.throughput().unwrap(),
+            report.elapsed,
+            report.interruptions,
+            report.stolen,
+        );
+        if let Some(spm) = machine.spm() {
+            assert!(spm.audit_isolation().is_ok());
+            println!(
+                "           (isolation audited: {} VMs, {} hypercalls, {} vcpu_runs)",
+                spm.vm_count(),
+                spm.stats.hypercalls,
+                spm.stats.vcpu_runs
+            );
+        }
+    }
+
+    println!("\nThe secondary VM's memory is stage-2 isolated: neither the");
+    println!("primary scheduler nor any other VM can read or tamper with it,");
+    println!("yet the benchmark runs within ~1% of native (see Figure 7/8).");
+}

@@ -1,0 +1,59 @@
+//! Secure I/O between VMs: the mailbox control path vs the
+//! shared-memory ring data path (the paper's §VII I/O direction).
+//!
+//! ```bash
+//! cargo run --release --example secure_io
+//! ```
+
+use kitten_hafnium::core::figures::ablation_io_path;
+use kitten_hafnium::hafnium::ring::{IoChannel, SharedRing};
+
+fn main() {
+    println!("Secure inter-VM I/O on the kitten-hafnium stack\n");
+
+    // The data structure itself: a virtio-style ring.
+    let mut ring = SharedRing::new(4096);
+    for i in 0u32..8 {
+        ring.push(format!("block-{i}").as_bytes()).unwrap();
+    }
+    println!(
+        "ring: {} messages queued, {} of {} bytes used",
+        ring.messages_sent,
+        ring.used(),
+        ring.capacity()
+    );
+    while let Some(msg) = ring.pop().unwrap() {
+        print!("{} ", String::from_utf8_lossy(&msg));
+    }
+    println!("\n");
+
+    // Doorbell batching.
+    let mut ch = IoChannel::new(1 << 16, 16);
+    for _ in 0..100 {
+        ch.send(b"sector payload here").unwrap();
+    }
+    ch.flush();
+    println!(
+        "channel: 100 sends -> {} doorbells (hypervisor entries)\n",
+        ch.doorbells
+    );
+
+    // The measured comparison across message sizes.
+    println!(
+        "{:<8} {:>16} {:>16} {:>14} {:>14}",
+        "size", "mailbox ns/msg", "ring ns/msg", "mailbox MB/s", "ring MB/s"
+    );
+    for msg_bytes in [64usize, 512, 4096] {
+        let res = ablation_io_path(5_000, msg_bytes, 32);
+        println!(
+            "{:<8} {:>16} {:>16} {:>14.1} {:>14.1}",
+            msg_bytes,
+            res[0].per_message.as_nanos(),
+            res[1].per_message.as_nanos(),
+            res[0].throughput_mbps,
+            res[1].throughput_mbps,
+        );
+    }
+    println!("\nThe ring wins by amortizing hypervisor entries over batches while");
+    println!("the share grant keeps stage-2 isolation intact (audited every run).");
+}

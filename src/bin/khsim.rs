@@ -1,0 +1,253 @@
+//! `khsim` — command-line driver for the kitten-hafnium simulation.
+//!
+//! ```text
+//! khsim run --workload hpcg --stack kitten --seed 7 --platform pine
+//! khsim run --workload selfish --stack linux --trials 3
+//! khsim parallel --threads 4 --stack kitten
+//! khsim figures            # regenerate every paper figure
+//! khsim list               # show workloads / stacks / platforms
+//! ```
+
+use kitten_hafnium::arch::platform::Platform;
+use kitten_hafnium::core::config::{MachineConfig, StackKind, StackOptions};
+use kitten_hafnium::core::figures;
+use kitten_hafnium::core::machine::Machine;
+use kitten_hafnium::core::parallel::{BarrierMode, ParallelMachine};
+use kitten_hafnium::sim::Nanos;
+use kitten_hafnium::workloads::ftq::{Ftq, FtqConfig};
+use kitten_hafnium::workloads::gups::{GupsConfig, GupsModel};
+use kitten_hafnium::workloads::hpcg::{HpcgConfig, HpcgModel};
+use kitten_hafnium::workloads::nas::NasBenchmark;
+use kitten_hafnium::workloads::selfish::{SelfishConfig, SelfishDetour};
+use kitten_hafnium::workloads::stream::{StreamConfig, StreamModel};
+use kitten_hafnium::workloads::{Workload, WorkloadOutput};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const WORKLOADS: &[&str] = &[
+    "selfish",
+    "ftq",
+    "stream",
+    "randomaccess",
+    "hpcg",
+    "nas-lu",
+    "nas-bt",
+    "nas-cg",
+    "nas-ep",
+    "nas-sp",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "khsim v{} — the kitten-hafnium reproduction driver
+
+USAGE:
+  khsim run [--workload W] [--stack S] [--seed N] [--platform P] [--trials N]
+  khsim parallel [--threads N] [--stack S] [--seed N] [--no-barrier]
+  khsim figures [--trials N] [--seed N]
+  khsim list
+
+OPTIONS:
+  --workload  one of: {}
+  --stack     native | kitten | linux        (default kitten)
+  --platform  pine | rpi3 | qemu | tx2       (default pine)
+  --seed      u64                            (default 0x5C21)
+  --trials    repeat count with seed+i       (default 1)
+  --threads   parallel worker threads        (default 4)",
+        kitten_hafnium::VERSION,
+        WORKLOADS.join(" | ")
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            if key == "no-barrier" {
+                map.insert(key.to_string(), "true".to_string());
+                continue;
+            }
+            let value = it.next()?;
+            map.insert(key.to_string(), value.clone());
+        } else {
+            return None;
+        }
+    }
+    Some(map)
+}
+
+fn stack_of(name: &str) -> Option<StackKind> {
+    match name {
+        "native" => Some(StackKind::NativeKitten),
+        "kitten" => Some(StackKind::HafniumKitten),
+        "linux" => Some(StackKind::HafniumLinux),
+        _ => None,
+    }
+}
+
+fn platform_of(name: &str) -> Option<Platform> {
+    match name {
+        "pine" => Some(Platform::pine_a64_lts()),
+        "rpi3" => Some(Platform::raspberry_pi3()),
+        "qemu" => Some(Platform::qemu_virt()),
+        "tx2" => Some(Platform::thunderx2()),
+        _ => None,
+    }
+}
+
+fn workload_of(name: &str) -> Option<Box<dyn Workload + Send>> {
+    match name {
+        "selfish" => Some(Box::new(SelfishDetour::new(SelfishConfig::default()))),
+        "ftq" => Some(Box::new(Ftq::new(FtqConfig::default()))),
+        "stream" => Some(Box::new(StreamModel::new(StreamConfig::default()))),
+        "randomaccess" | "gups" => Some(Box::new(GupsModel::new(GupsConfig::default()))),
+        "hpcg" => Some(Box::new(HpcgModel::new(HpcgConfig::default()))),
+        "nas-lu" => Some(NasBenchmark::Lu.model()),
+        "nas-bt" => Some(NasBenchmark::Bt.model()),
+        "nas-cg" => Some(NasBenchmark::Cg.model()),
+        "nas-ep" => Some(NasBenchmark::Ep.model()),
+        "nas-sp" => Some(NasBenchmark::Sp.model()),
+        _ => None,
+    }
+}
+
+fn describe(output: &WorkloadOutput) -> String {
+    match output {
+        WorkloadOutput::Throughput { value, unit } => format!("{value:.6} {}", unit.label()),
+        WorkloadOutput::Detours(d) => {
+            let total: u64 = d.iter().map(|x| x.duration.as_nanos()).sum();
+            format!("{} detours, {} total detour time", d.len(), Nanos(total))
+        }
+        WorkloadOutput::Series { label, values } => {
+            format!(
+                "{label}: {} samples, noise cv = {:.5}",
+                values.len(),
+                Ftq::noise_cv(values)
+            )
+        }
+    }
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Option<()> {
+    let workload = flags.get("workload").map(|s| s.as_str()).unwrap_or("hpcg");
+    let stack = stack_of(flags.get("stack").map(|s| s.as_str()).unwrap_or("kitten"))?;
+    let platform = platform_of(flags.get("platform").map(|s| s.as_str()).unwrap_or("pine"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(0x5C21))?;
+    let trials: u64 = flags
+        .get("trials")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(1))?;
+
+    println!(
+        "workload={workload} stack={} platform={} seed={seed:#x} trials={trials}",
+        stack.label(),
+        platform.name
+    );
+    for t in 0..trials {
+        let cfg = MachineConfig {
+            platform,
+            stack,
+            options: StackOptions::default(),
+            seed: seed + t,
+        };
+        let mut machine = Machine::new(cfg);
+        let mut w = workload_of(workload)?;
+        let r = machine.run(w.as_mut());
+        println!(
+            "  trial {t}: {:<44} elapsed={:<12} interruptions={:<5} stolen={}",
+            describe(&r.output),
+            format!("{}", r.elapsed),
+            r.interruptions,
+            r.stolen
+        );
+    }
+    Some(())
+}
+
+fn cmd_parallel(flags: &HashMap<String, String>) -> Option<()> {
+    let stack = stack_of(flags.get("stack").map(|s| s.as_str()).unwrap_or("kitten"))?;
+    let threads: u16 = flags
+        .get("threads")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(4))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(0x5C21))?;
+    let barrier = if flags.contains_key("no-barrier") {
+        BarrierMode::None
+    } else {
+        BarrierMode::PerPhase
+    };
+    let cfg = MachineConfig::pine_a64(stack, seed);
+    let mut m = ParallelMachine::new(cfg, threads);
+    let workloads = (0..threads).map(|_| NasBenchmark::Lu.model()).collect();
+    let r = m.run(workloads, barrier);
+    println!(
+        "parallel LU x{threads} on {}: aggregate {:.2} Mop/s, elapsed {}, barrier wait {}, {} barriers",
+        stack.label(),
+        r.aggregate_throughput(),
+        r.elapsed,
+        r.total_barrier_wait(),
+        r.barriers
+    );
+    Some(())
+}
+
+fn cmd_figures(flags: &HashMap<String, String>) -> Option<()> {
+    let trials: u32 = flags
+        .get("trials")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(3))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(0x5C21))?;
+    let profiles = figures::figures_4_to_6(seed, Nanos::from_secs(1));
+    println!(
+        "{}",
+        figures::render_selfish(&profiles, Nanos::from_secs(1))
+    );
+    let micro = figures::figure_7_8(trials, seed);
+    println!("{}", micro.normalized_table());
+    println!("{}", micro.raw_table());
+    let nas = figures::figure_9_10(trials, seed);
+    println!("{}", nas.normalized_table());
+    println!("{}", nas.raw_table());
+    Some(())
+}
+
+fn cmd_list() {
+    println!("workloads : {}", WORKLOADS.join(", "));
+    println!("stacks    : native, kitten, linux");
+    println!("platforms : pine (Pine A64-LTS), rpi3, qemu, tx2 (ThunderX2)");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(rest) else {
+        return usage();
+    };
+    let ok = match cmd.as_str() {
+        "run" => cmd_run(&flags),
+        "parallel" => cmd_parallel(&flags),
+        "figures" => cmd_figures(&flags),
+        "list" => {
+            cmd_list();
+            Some(())
+        }
+        _ => None,
+    };
+    match ok {
+        Some(()) => ExitCode::SUCCESS,
+        None => usage(),
+    }
+}

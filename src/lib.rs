@@ -1,0 +1,53 @@
+//! # kitten-hafnium
+//!
+//! A full-stack reproduction of *"Low Overhead Security Isolation using
+//! Lightweight Kernels and TEEs"* (Lange, Gordon, Gaines — SC 2021) as a
+//! deterministic simulation in safe Rust: the ARMv8 machine model, a
+//! Hafnium-style Secure Partition Manager, the Kitten lightweight kernel
+//! acting as the primary scheduling VM, the Linux full-weight-kernel
+//! baseline, and the paper's complete benchmark suite.
+//!
+//! This umbrella crate re-exports the workspace. Start with
+//! [`core::figures`] (every figure of the paper regenerated) or the
+//! examples:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! cargo run --release --example noise_profile
+//! cargo run --release --example multi_tenant
+//! cargo run --release --example super_secondary
+//! cargo run --release --example secure_boot
+//! ```
+//!
+//! Layer map (each is a crate in `crates/`):
+//!
+//! | Re-export | Crate | Role |
+//! |-----------|-------|------|
+//! | [`sim`] | `kh-sim` | discrete-event engine |
+//! | [`arch`] | `kh-arch` | ARMv8 model: ELs, GIC, timers, 2-stage MMU, TLB |
+//! | [`hafnium`] | `kh-hafnium` | the SPM: isolation, hypercalls, TrustZone |
+//! | [`kitten`] | `kh-kitten` | the LWK: scheduler, control task, VM driver |
+//! | [`linux`] | `kh-linux` | the FWK baseline: CFS, kthread noise |
+//! | [`workloads`] | `kh-workloads` | HPCG, STREAM, GUPS, NAS, selfish |
+//! | [`metrics`] | `kh-metrics` | stats, tables, scatter plots |
+//! | [`core`] | `kh-core` | machine executor + experiment harness |
+
+pub use kh_arch as arch;
+pub use kh_core as core;
+pub use kh_hafnium as hafnium;
+pub use kh_kitten as kitten;
+pub use kh_linux as linux;
+pub use kh_metrics as metrics;
+pub use kh_sim as sim;
+pub use kh_workloads as workloads;
+
+/// Crate version, for examples and reports.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end console pipeline: a secondary VM's console output travels
+//! through a shared-memory ring to the super-secondary Login VM, whose
+//! Linux driver writes it out of the physical UART it owns — the I/O
+//! architecture of the paper's Figure 3, assembled from every layer.
+
+use kitten_hafnium::arch::gic::IntId;
+use kitten_hafnium::arch::platform::Platform;
+use kitten_hafnium::arch::uart::{self, Uart16550};
+use kitten_hafnium::hafnium::boot::boot;
+use kitten_hafnium::hafnium::manifest::{BootManifest, MmioRegion, VmKind, VmManifest};
+use kitten_hafnium::hafnium::ring::SharedRing;
+use kitten_hafnium::hafnium::spm::SpmConfig;
+use kitten_hafnium::hafnium::vm::VmId;
+use kitten_hafnium::sim::Nanos;
+
+const MB: u64 = 1 << 20;
+
+#[test]
+fn secondary_console_reaches_the_wire_through_login_vm() {
+    // Boot: Kitten primary, Linux login VM owning uart0, app VM.
+    let manifest = BootManifest::new()
+        .with_vm(VmManifest::new(
+            "kitten-primary",
+            VmKind::Primary,
+            64 * MB,
+            4,
+        ))
+        .with_vm(
+            VmManifest::new("login", VmKind::SuperSecondary, 128 * MB, 1).with_device(MmioRegion {
+                name: "uart0".into(),
+                base: 0x01C2_8000,
+                len: 0x1000,
+                irq: Some(32),
+            }),
+        )
+        .with_vm(VmManifest::new("hpc-app", VmKind::Secondary, 128 * MB, 1));
+    let cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    let (mut spm, _) = boot(cfg, &manifest, vec![]).unwrap();
+
+    // Only the login VM can reach the UART MMIO.
+    assert!(spm.vm_reaches_pa(VmId::SUPER_SECONDARY, 0x01C2_8000));
+    assert!(!spm.vm_reaches_pa(VmId(2), 0x01C2_8000));
+
+    // The primary brokers a console ring between app and login VM.
+    let grant = spm
+        .share_memory(VmId::PRIMARY, VmId(2), VmId::SUPER_SECONDARY, 2 * MB)
+        .unwrap();
+    assert!(spm.audit_isolation().is_ok());
+
+    // App side: write boot messages into the ring.
+    let mut ring = SharedRing::new(4096);
+    let lines = [
+        "Kitten/ARM64 secondary VM booting\n",
+        "workload: hpcg 32x32x32\n",
+        "residual 4.1e-11, done\n",
+    ];
+    for l in &lines {
+        ring.push(l.as_bytes()).unwrap();
+    }
+    // Doorbell: the app's virtual interrupt reaches the login VM (the
+    // primary forwards it under the default routing).
+    let decision = spm.physical_irq(IntId(32));
+    assert_eq!(decision.final_owner, VmId::SUPER_SECONDARY);
+
+    // Login VM side: drain the ring and push every byte out of the
+    // UART it owns.
+    let mut uart0 = Uart16550::new(115_200);
+    let mut now = Nanos::ZERO;
+    for msg in ring.drain().unwrap() {
+        now = uart::poll_write(&mut uart0, now, &msg);
+    }
+    uart0.step(now + Nanos::from_millis(20));
+
+    let wire = String::from_utf8_lossy(uart0.wire()).to_string();
+    assert_eq!(wire, lines.concat());
+    assert_eq!(uart0.tx_overruns, 0);
+
+    // Teardown: revoke the console ring; isolation is fully restored.
+    spm.revoke_share(VmId::PRIMARY, grant.id).unwrap();
+    assert!(spm.audit_isolation().is_ok());
+    assert!(spm.grants().is_empty());
+}
+
+#[test]
+fn uart_rx_feeds_job_control_commands() {
+    // The reverse path: an operator types on the console; the login VM
+    // turns the line into a job-control command for the control task.
+    use kitten_hafnium::hafnium::hypercall::{HfCall, HfReturn};
+    use kitten_hafnium::kitten::control::{ControlTask, VmCommand, VmCommandResult};
+    use kitten_hafnium::kitten::sched::{KittenScheduler, SchedConfig};
+
+    let manifest = BootManifest::new()
+        .with_vm(VmManifest::new(
+            "kitten-primary",
+            VmKind::Primary,
+            64 * MB,
+            4,
+        ))
+        .with_vm(VmManifest::new("login", VmKind::SuperSecondary, 64 * MB, 1))
+        .with_vm(VmManifest::new("hpc-app", VmKind::Secondary, 128 * MB, 2));
+    let cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    let (mut spm, _) = boot(cfg, &manifest, vec![]).unwrap();
+
+    // Operator types "launch 2\n" into the login VM's console.
+    let mut uart0 = Uart16550::new(115_200);
+    for b in b"launch 2\n" {
+        uart0.inject_rx(*b);
+    }
+    let mut line = Vec::new();
+    loop {
+        let lsr = uart0.mmio_read(uart::regs::LSR, Nanos::ZERO);
+        if lsr & uart::LSR_DATA_READY == 0 {
+            break;
+        }
+        line.push(uart0.mmio_read(uart::regs::THR_RBR, Nanos::ZERO));
+    }
+    assert_eq!(line, b"launch 2\n");
+
+    // The login VM's shell parses it into a command and mails it.
+    let text = String::from_utf8(line).unwrap();
+    let mut parts = text.split_whitespace();
+    let cmd = match (parts.next(), parts.next()) {
+        (Some("launch"), Some(vm)) => VmCommand::Launch {
+            vm: vm.parse().unwrap(),
+        },
+        other => panic!("unparsed console line: {other:?}"),
+    };
+    spm.hypercall(
+        VmId::SUPER_SECONDARY,
+        0,
+        0,
+        HfCall::Send {
+            to: VmId::PRIMARY,
+            payload: cmd.encode(),
+        },
+        Nanos::ZERO,
+    )
+    .unwrap();
+
+    // The control task executes it.
+    let mut sched = KittenScheduler::new(4, SchedConfig::default());
+    let mut ctl = ControlTask::new();
+    let result = ctl.poll_mailbox(&mut sched, &mut spm, Nanos::ZERO).unwrap();
+    assert_eq!(result, VmCommandResult::Launched { vcpu_threads: 2 });
+    // And the reply reaches the login VM.
+    match spm
+        .hypercall(VmId::SUPER_SECONDARY, 0, 0, HfCall::Recv, Nanos::ZERO)
+        .unwrap()
+    {
+        HfReturn::Msg(m) => assert_eq!(
+            VmCommandResult::decode(&m.payload),
+            Some(VmCommandResult::Launched { vcpu_threads: 2 })
+        ),
+        other => panic!("{other:?}"),
+    }
+}

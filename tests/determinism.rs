@@ -1,0 +1,95 @@
+//! Reproducibility: the entire stack is deterministic given a seed —
+//! a requirement for publishable noise measurements and for the figure
+//! artifacts being regenerable bit-for-bit.
+
+use kitten_hafnium::core::config::StackKind;
+use kitten_hafnium::core::figures::{figure_7_8, figures_4_to_6};
+use kitten_hafnium::core::machine::Machine;
+use kitten_hafnium::core::MachineConfig;
+use kitten_hafnium::sim::Nanos;
+use kitten_hafnium::workloads::nas::NasBenchmark;
+use kitten_hafnium::workloads::selfish::{SelfishConfig, SelfishDetour};
+
+#[test]
+fn selfish_traces_replay_exactly() {
+    let run = |seed: u64| {
+        let cfg = MachineConfig::pine_a64(StackKind::HafniumLinux, seed);
+        let mut m = Machine::new(cfg);
+        let mut w = SelfishDetour::new(SelfishConfig {
+            duration: Nanos::from_millis(300),
+            ..Default::default()
+        });
+        let r = m.run(&mut w);
+        (
+            r.output.detours().unwrap().to_vec(),
+            r.elapsed,
+            r.stolen,
+            r.interruptions,
+        )
+    };
+    assert_eq!(run(9), run(9), "same seed must replay the same trace");
+    let (d1, ..) = run(9);
+    let (d2, ..) = run(10);
+    assert_ne!(d1, d2, "different seeds must differ");
+}
+
+#[test]
+fn figure_regeneration_is_stable() {
+    let a = figure_7_8(2, 123);
+    let b = figure_7_8(2, 123);
+    for bi in 0..a.benches.len() {
+        for &stack in &StackKind::ALL {
+            assert_eq!(a.mean(stack, bi), b.mean(stack, bi));
+        }
+    }
+    assert_eq!(a.csv(), b.csv());
+}
+
+#[test]
+fn noise_profile_csv_is_reproducible() {
+    let d = Nanos::from_millis(300);
+    let p1 = figures_4_to_6(777, d);
+    let p2 = figures_4_to_6(777, d);
+    for (a, b) in p1.iter().zip(&p2) {
+        assert_eq!(a.detours, b.detours);
+        assert_eq!(a.report.stolen, b.report.stolen);
+    }
+}
+
+#[test]
+fn nas_models_are_deterministic_across_stacks() {
+    for bench in [NasBenchmark::Lu, NasBenchmark::Ep] {
+        for stack in StackKind::ALL {
+            let run = || {
+                let cfg = MachineConfig::pine_a64(stack, 5);
+                let mut w = bench.model();
+                Machine::new(cfg).run(w.as_mut()).elapsed
+            };
+            assert_eq!(run(), run(), "{} on {stack:?}", bench.label());
+        }
+    }
+}
+
+#[test]
+fn native_kernels_are_deterministic() {
+    use kitten_hafnium::workloads::nas::{cg, ep};
+    let a = ep::run_native(&ep::EpConfig { log2_pairs: 14 });
+    let b = ep::run_native(&ep::EpConfig { log2_pairs: 14 });
+    assert_eq!(a.sx, b.sx);
+    assert_eq!(a.annulus, b.annulus);
+    let c1 = cg::run_native(
+        &cg::CgConfig {
+            n: 200,
+            ..Default::default()
+        },
+        9,
+    );
+    let c2 = cg::run_native(
+        &cg::CgConfig {
+            n: 200,
+            ..Default::default()
+        },
+        9,
+    );
+    assert_eq!(c1.zeta, c2.zeta);
+}

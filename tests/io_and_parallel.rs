@@ -1,0 +1,158 @@
+//! Integration tests for the extension subsystems: shared-memory I/O,
+//! the parallel executor, the KIMG image chain, and the FTQ benchmark.
+
+use kitten_hafnium::arch::platform::Platform;
+use kitten_hafnium::core::config::{MachineConfig, StackKind};
+use kitten_hafnium::core::figures::{ablation_ftq, ablation_io_path, ablation_parallel_nas};
+use kitten_hafnium::core::parallel::{BarrierMode, ParallelMachine};
+use kitten_hafnium::hafnium::boot::boot;
+use kitten_hafnium::hafnium::manifest::{BootManifest, VmKind, VmManifest};
+use kitten_hafnium::hafnium::spm::SpmConfig;
+use kitten_hafnium::hafnium::verify::TrustedKey;
+use kitten_hafnium::hafnium::vm::VmId;
+use kitten_hafnium::kitten::aspace::AddressSpace;
+use kitten_hafnium::kitten::image::{KernelImage, SEG_R, SEG_W, SEG_X};
+use kitten_hafnium::workloads::nas::NasBenchmark;
+use kitten_hafnium::workloads::stream::{StreamConfig, StreamModel};
+
+const MB: u64 = 1 << 20;
+
+#[test]
+fn shared_ring_outperforms_mailbox_across_sizes() {
+    for size in [64usize, 1024] {
+        let res = ablation_io_path(1000, size, 16);
+        assert!(
+            res[1].per_message < res[0].per_message,
+            "size {size}: ring must win"
+        );
+        assert!(res[1].hypervisor_ops * 8 <= res[0].hypervisor_ops);
+    }
+}
+
+#[test]
+fn share_grants_do_not_leak_across_revocation_cycles() {
+    let manifest = BootManifest::new()
+        .with_vm(VmManifest::new("p", VmKind::Primary, 64 * MB, 4))
+        .with_vm(VmManifest::new("a", VmKind::Secondary, 64 * MB, 1))
+        .with_vm(VmManifest::new("b", VmKind::Secondary, 64 * MB, 1));
+    let cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    let (mut spm, _) = boot(cfg, &manifest, vec![]).unwrap();
+    for round in 0..10 {
+        let g = spm
+            .share_memory(VmId::PRIMARY, VmId(2), VmId(3), 2 * MB)
+            .unwrap_or_else(|e| panic!("round {round}: {e:?}"));
+        assert!(spm.audit_isolation().is_ok());
+        assert_eq!(spm.grants().len(), 1);
+        spm.revoke_share(VmId::PRIMARY, g.id).unwrap();
+        assert!(spm.grants().is_empty());
+        assert!(spm.audit_isolation().is_ok());
+    }
+}
+
+#[test]
+fn parallel_strong_scaling_on_compute_bound_work() {
+    // EP is compute bound: 4 threads ≈ 4x throughput under every stack.
+    for stack in StackKind::ALL {
+        let agg = |threads: u16| {
+            let cfg = MachineConfig::pine_a64(stack, 9);
+            let mut m = ParallelMachine::new(cfg, threads);
+            let ws = (0..threads).map(|_| NasBenchmark::Ep.model()).collect();
+            m.run(ws, BarrierMode::None).aggregate_throughput()
+        };
+        let one = agg(1);
+        let four = agg(4);
+        let speedup = four / one;
+        assert!(
+            (3.5..4.3).contains(&speedup),
+            "{stack:?}: EP speedup {speedup}"
+        );
+    }
+}
+
+#[test]
+fn parallel_stream_is_bandwidth_limited() {
+    let cfg = MachineConfig::pine_a64(StackKind::HafniumKitten, 2);
+    let mut m = ParallelMachine::new(cfg, 4);
+    let ws = (0..4)
+        .map(|_| Box::new(StreamModel::new(StreamConfig::default())) as _)
+        .collect();
+    let r = m.run(ws, BarrierMode::None);
+    let agg = r.aggregate_throughput();
+    // One memory controller: the four cores cannot exceed the platform
+    // DRAM bandwidth (2.2 GB/s → 2200 MB/s).
+    assert!(agg < 2350.0, "aggregate {agg} MB/s exceeds the memory wall");
+    assert!(agg > 1500.0, "aggregate {agg} MB/s implausibly low");
+}
+
+#[test]
+fn ftq_and_selfish_agree_on_noise_ordering() {
+    let pts = ablation_ftq(3);
+    assert!(pts[2].noise_cv > 10.0 * pts[1].noise_cv.max(1e-6));
+}
+
+#[test]
+fn parallel_nas_ablation_is_deterministic() {
+    let a = ablation_parallel_nas(21);
+    let b = ablation_parallel_nas(21);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.aggregate_mops, y.aggregate_mops);
+        assert_eq!(x.barrier_wait, y.barrier_wait);
+    }
+}
+
+#[test]
+fn kimg_end_to_end_chain() {
+    // Build a structured kernel image, sign it, boot a verified stack
+    // with it, parse it back out of the manifest, and load it into a
+    // Kitten address space.
+    let image = KernelImage::new(0x4008_0000)
+        .with_segment(0x4008_0000, vec![0xD5; 64 * 1024], 64 * 1024, SEG_R | SEG_X)
+        .with_segment(0x4100_0000, vec![0x00; 4096], 1 << 20, SEG_R | SEG_W)
+        .build();
+    let key = TrustedKey::new("site", b"secret");
+    let manifest = BootManifest::new().with_vm(
+        VmManifest::new("kitten-primary", VmKind::Primary, 64 * MB, 4)
+            .with_image(image.clone())
+            .signed_with(b"secret"),
+    );
+    let mut cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    cfg.require_signed_images = true;
+    let (spm, report) = boot(cfg, &manifest, vec![key]).unwrap();
+    assert_eq!(spm.vm_count(), 1);
+    // The boot report measured exactly this image.
+    assert_eq!(
+        report.stages.last().unwrap().measurement,
+        kitten_hafnium::hafnium::sha256::digest_hex(&image)
+    );
+    // Parse + load.
+    let parsed = KernelImage::parse(&image).unwrap();
+    let mut aspace = AddressSpace::new(1, 256 * MB);
+    let entry = parsed.load(&mut aspace).unwrap();
+    assert_eq!(entry, 0x4008_0000);
+    assert_eq!(aspace.regions().len(), 2);
+}
+
+#[test]
+fn corrupted_kimg_fails_parse_but_signature_may_pass() {
+    // Integrity (KIMG digest) and authenticity (HMAC) are independent:
+    // signing a corrupted image still verifies (the signer signed those
+    // bytes) but the loader refuses it — defense in depth.
+    let mut image = KernelImage::new(0x1000)
+        .with_segment(0x1000, vec![1; 4096], 4096, SEG_R | SEG_X)
+        .build();
+    let n = image.len();
+    image[n / 2] ^= 0xFF;
+    let key = TrustedKey::new("site", b"secret");
+    let sig = key.sign(&image);
+    let mut reg = kitten_hafnium::hafnium::verify::KeyRegistry::new();
+    reg.install(key).unwrap();
+    reg.seal();
+    assert!(
+        reg.verify(&image, &sig).is_ok(),
+        "signature over corrupt bytes"
+    );
+    assert!(
+        KernelImage::parse(&image).is_err(),
+        "loader catches the corruption"
+    );
+}

@@ -1,0 +1,268 @@
+//! Security-invariant integration tests: the properties the paper's
+//! isolation argument rests on, checked on the assembled stack.
+
+use kitten_hafnium::arch::el::SecurityState;
+use kitten_hafnium::arch::platform::Platform;
+use kitten_hafnium::hafnium::boot::boot;
+use kitten_hafnium::hafnium::hypercall::{HfCall, HfError, HfReturn};
+use kitten_hafnium::hafnium::manifest::{BootManifest, MmioRegion, VmKind, VmManifest};
+use kitten_hafnium::hafnium::spm::{Spm, SpmConfig};
+use kitten_hafnium::hafnium::verify::TrustedKey;
+use kitten_hafnium::hafnium::vm::VmId;
+use kitten_hafnium::sim::Nanos;
+
+const MB: u64 = 1 << 20;
+
+fn base_manifest() -> BootManifest {
+    BootManifest::new()
+        .with_vm(VmManifest::new("primary", VmKind::Primary, 64 * MB, 4))
+        .with_vm(VmManifest::new("login", VmKind::SuperSecondary, 64 * MB, 1))
+        .with_vm(VmManifest::new("app-a", VmKind::Secondary, 128 * MB, 2))
+        .with_vm(VmManifest::new("app-b", VmKind::Secondary, 128 * MB, 2))
+}
+
+fn booted() -> Spm {
+    let cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    boot(cfg, &base_manifest(), vec![]).unwrap().0
+}
+
+#[test]
+fn no_vm_can_reach_another_vms_memory() {
+    let spm = booted();
+    let ids = spm.vm_ids();
+    for &a in &ids {
+        for &b in &ids {
+            if a == b {
+                continue;
+            }
+            for (_, pa, len) in spm.vm(b).unwrap().stage2.physical_extents() {
+                // Probe start, middle, last byte of every extent.
+                for probe in [pa, pa + len / 2, pa + len - 1] {
+                    assert!(
+                        !spm.vm_reaches_pa(a, probe),
+                        "VM {a:?} reaches VM {b:?} memory at {probe:#x}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hypervisor_memory_is_unreachable_by_all_vms() {
+    let spm = booted();
+    use kitten_hafnium::hafnium::spm::{DRAM_BASE, HYP_RESERVED};
+    for id in spm.vm_ids() {
+        for probe in [DRAM_BASE, DRAM_BASE + HYP_RESERVED - 1] {
+            assert!(
+                !spm.vm_reaches_pa(id, probe),
+                "{id:?} reaches hypervisor memory"
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduling_privilege_is_primary_only() {
+    let mut spm = booted();
+    let app_a = VmId(2);
+    let app_b = VmId(3);
+    // Secondary cannot run another VM.
+    assert_eq!(
+        spm.hypercall(
+            app_a,
+            0,
+            0,
+            HfCall::VcpuRun { vm: app_b, vcpu: 0 },
+            Nanos::ZERO
+        ),
+        Err(HfError::Denied)
+    );
+    // Super-secondary cannot either — semi-privileged means devices, not
+    // CPU control.
+    assert_eq!(
+        spm.hypercall(
+            VmId::SUPER_SECONDARY,
+            0,
+            0,
+            HfCall::VcpuRun { vm: app_a, vcpu: 0 },
+            Nanos::ZERO
+        ),
+        Err(HfError::Denied)
+    );
+    // Nor inject interrupts into other VMs.
+    assert_eq!(
+        spm.hypercall(
+            app_a,
+            0,
+            0,
+            HfCall::InterruptInject {
+                vm: app_b,
+                vcpu: 0,
+                intid: 40
+            },
+            Nanos::ZERO
+        ),
+        Err(HfError::Denied)
+    );
+    // Nor create or destroy VMs.
+    assert_eq!(
+        spm.hypercall(
+            VmId::SUPER_SECONDARY,
+            0,
+            0,
+            HfCall::VmDestroy(app_a),
+            Nanos::ZERO
+        ),
+        Err(HfError::Denied)
+    );
+}
+
+#[test]
+fn device_mmio_goes_only_to_device_owners() {
+    let cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    let uart = MmioRegion {
+        name: "uart0".into(),
+        base: 0x01C2_8000,
+        len: 0x1000,
+        irq: Some(64),
+    };
+    let manifest = BootManifest::new()
+        .with_vm(VmManifest::new("primary", VmKind::Primary, 64 * MB, 4))
+        .with_vm(
+            VmManifest::new("login", VmKind::SuperSecondary, 64 * MB, 1).with_device(uart.clone()),
+        )
+        .with_vm(VmManifest::new("sneaky", VmKind::Secondary, 64 * MB, 1).with_device(uart));
+    let (spm, _) = boot(cfg, &manifest, vec![]).unwrap();
+    assert!(
+        spm.vm_reaches_pa(VmId::SUPER_SECONDARY, 0x01C2_8000),
+        "login VM owns the UART"
+    );
+    assert!(
+        !spm.vm_reaches_pa(VmId(2), 0x01C2_8000),
+        "secondary manifest device entries are ignored"
+    );
+}
+
+#[test]
+fn isolation_survives_dynamic_churn() {
+    let mut cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    cfg.allow_dynamic_partitions = true;
+    let (mut spm, _) = boot(cfg, &base_manifest(), vec![]).unwrap();
+    // Create/destroy VMs in a churn loop; after every operation the
+    // pairwise isolation invariant must hold.
+    let mut live: Vec<VmId> = Vec::new();
+    for round in 0..20u64 {
+        if round % 3 == 2 && !live.is_empty() {
+            let victim = live.remove(0);
+            spm.hypercall(VmId::PRIMARY, 0, 0, HfCall::VmDestroy(victim), Nanos::ZERO)
+                .unwrap();
+        } else {
+            let r = spm.hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::VmCreate {
+                    name: format!("churn-{round}"),
+                    mem_bytes: 64 * MB,
+                    vcpus: 1,
+                    image: vec![],
+                    signature: None,
+                },
+                Nanos::ZERO,
+            );
+            match r {
+                Ok(HfReturn::Created(id)) => live.push(id),
+                Err(HfError::NoMemory) => {
+                    // Full: destroy someone and continue.
+                    if let Some(victim) = live.pop() {
+                        spm.hypercall(VmId::PRIMARY, 0, 0, HfCall::VmDestroy(victim), Nanos::ZERO)
+                            .unwrap();
+                    }
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(spm.audit_isolation().is_ok(), "round {round}");
+    }
+}
+
+#[test]
+fn trustzone_secure_world_is_a_disjoint_partition() {
+    let mut cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    cfg.trustzone = true;
+    cfg.secure_mem_bytes = 256 * MB;
+    let manifest = BootManifest::new()
+        .with_vm(VmManifest::new("primary", VmKind::Primary, 64 * MB, 4))
+        .with_vm(VmManifest::new("tee", VmKind::Secondary, 128 * MB, 1).secure())
+        .with_vm(VmManifest::new("ns-app", VmKind::Secondary, 128 * MB, 1));
+    let (spm, _) = boot(cfg, &manifest, vec![]).unwrap();
+    let tee = VmId(2);
+    let ns = VmId(3);
+    assert_eq!(spm.vm(tee).unwrap().world, SecurityState::Secure);
+    assert_eq!(spm.vm(ns).unwrap().world, SecurityState::NonSecure);
+    // Architectural rule: non-secure world cannot access secure memory.
+    assert!(!SecurityState::NonSecure.may_access(SecurityState::Secure));
+    // And the allocator enforced the static split.
+    let (_, tee_pa, _) = spm.vm(tee).unwrap().stage2.physical_extents()[0];
+    let (_, ns_pa, _) = spm.vm(ns).unwrap().stage2.physical_extents()[0];
+    let dram_end = kitten_hafnium::hafnium::spm::DRAM_BASE + Platform::pine_a64_lts().dram_bytes;
+    assert!(tee_pa >= dram_end - 256 * MB);
+    assert!(ns_pa < dram_end - 256 * MB);
+}
+
+#[test]
+fn verified_boot_is_all_or_nothing() {
+    let key = TrustedKey::new("release", b"k");
+    let sign = |name: &str, image: &[u8]| {
+        VmManifest::new(name, VmKind::Secondary, 64 * MB, 1)
+            .with_image(image.to_vec())
+            .signed_with(b"k")
+    };
+    let primary = VmManifest::new("primary", VmKind::Primary, 64 * MB, 4)
+        .with_image(b"kitten".to_vec())
+        .signed_with(b"k");
+    // All signed: boots.
+    let mut cfg = SpmConfig::default_for(Platform::pine_a64_lts());
+    cfg.require_signed_images = true;
+    let good = BootManifest::new()
+        .with_vm(primary.clone())
+        .with_vm(sign("a", b"image-a"))
+        .with_vm(sign("b", b"image-b"));
+    assert!(boot(cfg.clone(), &good, vec![key.clone()]).is_ok());
+    // One forged signature anywhere: boot fails.
+    let mut forged = sign("evil", b"image-evil");
+    forged.signature = Some([0u8; 32]);
+    let bad = BootManifest::new().with_vm(primary).with_vm(forged);
+    assert!(boot(cfg, &bad, vec![key]).is_err());
+}
+
+#[test]
+fn secondary_feature_restrictions_hold_after_boot() {
+    use kitten_hafnium::arch::sysreg::{FeatureClass, TrapPolicy};
+    let spm = booted();
+    let app = spm.vm(VmId(2)).unwrap();
+    for feature in [
+        FeatureClass::Pmu,
+        FeatureClass::Debug,
+        FeatureClass::CacheSetWay,
+        FeatureClass::PhysicalTimer,
+        FeatureClass::GicDirect,
+    ] {
+        assert_eq!(
+            app.sysregs.policy(feature),
+            TrapPolicy::Undefined,
+            "{feature:?} must be blocked for secondaries"
+        );
+    }
+    // The login VM gets devices but not CPU power control.
+    let login = spm.vm(VmId::SUPER_SECONDARY).unwrap();
+    assert_eq!(
+        login.sysregs.policy(FeatureClass::GicDirect),
+        TrapPolicy::Allow
+    );
+    assert_eq!(
+        login.sysregs.policy(FeatureClass::PowerControl),
+        TrapPolicy::Emulate
+    );
+}

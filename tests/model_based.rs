@@ -1,0 +1,225 @@
+//! Model-based property tests: each substrate is driven with random
+//! operation sequences and checked against a trivially correct oracle.
+
+use proptest::prelude::*;
+
+use kitten_hafnium::hafnium::ring::{RingError, SharedRing};
+use kitten_hafnium::kitten::pmem::BuddyAllocator;
+use kitten_hafnium::linux::timerwheel::TimerWheel;
+
+// ---------------------------------------------------------------------
+// Buddy allocator vs an interval oracle
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PmemOp {
+    /// Allocate this many KiB.
+    Alloc(u16),
+    /// Free the i-th live allocation (modulo the live count).
+    Free(u8),
+}
+
+fn pmem_ops() -> impl Strategy<Value = Vec<PmemOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u16..2048).prop_map(PmemOp::Alloc),
+            any::<u8>().prop_map(PmemOp::Free),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the op sequence: live blocks never overlap, free bytes
+    /// are conserved, and full teardown restores the whole region.
+    #[test]
+    fn buddy_allocator_never_overlaps(ops in pmem_ops()) {
+        const MB: u64 = 1 << 20;
+        let mut b = BuddyAllocator::new(0x1000_0000, 16 * MB, 4096);
+        let capacity = b.capacity();
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (pa, rounded len)
+        for op in &ops {
+            match op {
+                PmemOp::Alloc(kib) => {
+                    let bytes = *kib as u64 * 1024;
+                    if let Ok(pa) = b.alloc(bytes) {
+                        let len = bytes.next_power_of_two().max(4096);
+                        for &(q, qlen) in &live {
+                            prop_assert!(pa + len <= q || q + qlen <= pa,
+                                "overlap: {pa:#x}+{len:#x} vs {q:#x}+{qlen:#x}");
+                        }
+                        prop_assert!(pa >= 0x1000_0000 && pa + len <= 0x1000_0000 + capacity);
+                        live.push((pa, len));
+                    }
+                }
+                PmemOp::Free(idx) => {
+                    if !live.is_empty() {
+                        let (pa, _) = live.swap_remove(*idx as usize % live.len());
+                        prop_assert!(b.free(pa).is_ok());
+                    }
+                }
+            }
+            let live_bytes: u64 = live.iter().map(|(_, l)| l).sum();
+            prop_assert_eq!(b.free_bytes(), capacity - live_bytes, "conservation");
+        }
+        for (pa, _) in live.drain(..) {
+            prop_assert!(b.free(pa).is_ok());
+        }
+        prop_assert_eq!(b.free_bytes(), capacity);
+        prop_assert_eq!(b.largest_free_block(), capacity, "full coalescing");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared ring vs a VecDeque oracle
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum RingOp {
+    Push(Vec<u8>),
+    Pop,
+}
+
+fn ring_ops() -> impl Strategy<Value = Vec<RingOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop::collection::vec(any::<u8>(), 0..60).prop_map(RingOp::Push),
+            Just(RingOp::Pop),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The ring delivers exactly the accepted messages, in order, with
+    /// byte-perfect contents — against a VecDeque oracle.
+    #[test]
+    fn shared_ring_matches_fifo_oracle(ops in ring_ops()) {
+        let mut ring = SharedRing::new(256);
+        let mut oracle: std::collections::VecDeque<Vec<u8>> = Default::default();
+        for op in ops {
+            match op {
+                RingOp::Push(msg) => match ring.push(&msg) {
+                    Ok(()) => oracle.push_back(msg),
+                    Err(RingError::Full) => {
+                        prop_assert!(4 + msg.len() > ring.free(), "spurious Full");
+                    }
+                    Err(RingError::TooLarge) => {
+                        prop_assert!(4 + msg.len() > ring.capacity());
+                    }
+                    Err(RingError::Corrupt) => prop_assert!(false, "corrupt on push"),
+                },
+                RingOp::Pop => {
+                    let got = ring.pop().expect("ring never corrupts itself");
+                    prop_assert_eq!(got, oracle.pop_front());
+                }
+            }
+        }
+        // Drain and compare the tails.
+        let rest = ring.drain().expect("intact");
+        prop_assert_eq!(rest, oracle.into_iter().collect::<Vec<_>>());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer wheel vs a sorted-list oracle
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum WheelOp {
+    Schedule(u32),
+    CancelNth(u8),
+    Tick(u8),
+}
+
+fn wheel_ops() -> impl Strategy<Value = Vec<WheelOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u32..10_000).prop_map(WheelOp::Schedule),
+            any::<u8>().prop_map(WheelOp::CancelNth),
+            (1u8..50).prop_map(WheelOp::Tick),
+        ],
+        1..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every non-cancelled timer fires exactly once, at exactly its
+    /// scheduled jiffy — against a sorted-list oracle.
+    #[test]
+    fn timer_wheel_matches_oracle(ops in wheel_ops()) {
+        let mut w = TimerWheel::new();
+        let mut pending: Vec<(u64, kitten_hafnium::linux::timerwheel::TimerId)> = Vec::new();
+        let mut fired_oracle: Vec<(u64, kitten_hafnium::linux::timerwheel::TimerId)> = Vec::new();
+        let mut fired_actual = Vec::new();
+        for op in ops {
+            match op {
+                WheelOp::Schedule(delta) => {
+                    let id = w.schedule(delta as u64);
+                    pending.push((w.now() + delta as u64, id));
+                }
+                WheelOp::CancelNth(n) => {
+                    if !pending.is_empty() {
+                        let idx = n as usize % pending.len();
+                        let (_, id) = pending.swap_remove(idx);
+                        prop_assert!(w.cancel(id));
+                    }
+                }
+                WheelOp::Tick(n) => {
+                    let target = w.now() + n as u64;
+                    fired_actual.extend(w.advance_to(target));
+                    let (due, rest): (Vec<_>, Vec<_>) =
+                        pending.iter().partition(|(t, _)| *t <= target);
+                    fired_oracle.extend(due);
+                    pending = rest;
+                }
+            }
+        }
+        // Flush everything still pending.
+        let horizon = w.now() + 40_000;
+        fired_actual.extend(w.advance_to(horizon));
+        fired_oracle.extend(pending.iter().filter(|(t, _)| *t <= horizon));
+        fired_oracle.sort();
+        fired_actual.sort();
+        prop_assert_eq!(fired_actual, fired_oracle);
+        prop_assert_eq!(w.pending(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// KIMG round trip
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any well-formed image survives a build/parse round trip; any
+    /// single-bit flip is detected.
+    #[test]
+    fn kimg_roundtrip_and_bitflip(
+        seg_sizes in prop::collection::vec(1usize..2000, 1..5),
+        flip in any::<u64>(),
+    ) {
+        use kitten_hafnium::kitten::image::{KernelImage, SEG_R, SEG_W, SEG_X};
+        let mut img = KernelImage::new(0x10_0000);
+        let mut va = 0x10_0000u64;
+        for (i, sz) in seg_sizes.iter().enumerate() {
+            let flags = if i == 0 { SEG_R | SEG_X } else { SEG_R | SEG_W };
+            img = img.with_segment(va, vec![i as u8; *sz], *sz as u32, flags);
+            va += (*sz as u64 + 0xFFF) & !0xFFF;
+        }
+        let bytes = img.build();
+        prop_assert_eq!(KernelImage::parse(&bytes).unwrap(), img);
+        // Single bit flip anywhere must be caught.
+        let mut corrupted = bytes.clone();
+        let pos = (flip % (bytes.len() as u64 * 8)) as usize;
+        corrupted[pos / 8] ^= 1 << (pos % 8);
+        prop_assert!(KernelImage::parse(&corrupted).is_err());
+    }
+}

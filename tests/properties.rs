@@ -1,0 +1,236 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use proptest::prelude::*;
+
+use kitten_hafnium::arch::mmu::{AccessKind, MemAttr, PagePerms, Stage2Table, PAGE_SIZE};
+use kitten_hafnium::arch::tlb::{Tlb, TlbKey, TlbStage};
+use kitten_hafnium::metrics::stats::Summary;
+use kitten_hafnium::sim::event::EventQueue;
+use kitten_hafnium::sim::{Nanos, SimRng};
+
+// ---------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Popped timestamps are non-decreasing for any schedule of inserts.
+    #[test]
+    fn event_queue_pops_monotonically(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(Nanos(*t), i);
+        }
+        let mut last = Nanos::ZERO;
+        let mut popped = 0;
+        while let Some(e) = q.pop_next() {
+            prop_assert!(e.at >= last);
+            last = e.at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times.iter().enumerate().map(|(i, t)| (q.schedule_at(Nanos(*t), i), i)).collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for ((id, payload), &c) in ids.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
+            if c {
+                q.cancel(*id);
+                cancelled.insert(*payload);
+            }
+        }
+        while let Some(e) = q.pop_next() {
+            prop_assert!(!cancelled.contains(&e.payload), "cancelled event {} popped", e.payload);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TLB
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// After a fill, an immediate lookup of the same key hits with the
+    /// filled value, regardless of prior traffic.
+    #[test]
+    fn tlb_fill_then_lookup_hits(
+        ops in prop::collection::vec((0u64..4096, 0u64..1_000_000), 1..300),
+        probe_vpn in 0u64..4096,
+    ) {
+        let mut tlb = Tlb::new(64, 4);
+        let key = |vpn| TlbKey { asid: 1, vmid: 0, vpn, stage: TlbStage::Stage1 };
+        for (vpn, ppn) in &ops {
+            tlb.fill(key(*vpn), *ppn);
+        }
+        tlb.fill(key(probe_vpn), 0xABCD);
+        prop_assert_eq!(tlb.lookup(key(probe_vpn)), Some(0xABCD));
+    }
+
+    /// Occupancy never exceeds capacity, and invalidate_all empties.
+    #[test]
+    fn tlb_occupancy_bounded(ops in prop::collection::vec((0u64..100_000, 0u64..100), 1..500)) {
+        let mut tlb = Tlb::new(32, 4);
+        for (vpn, ppn) in &ops {
+            tlb.fill(TlbKey { asid: (*ppn % 4) as u16, vmid: (*ppn % 2) as u16, vpn: *vpn, stage: TlbStage::TwoStage }, *ppn);
+            prop_assert!(tlb.occupancy() <= 32);
+        }
+        tlb.invalidate_all();
+        prop_assert_eq!(tlb.occupancy(), 0);
+    }
+
+    /// invalidate_vmid removes all and only that VMID's entries.
+    #[test]
+    fn tlb_vmid_shootdown_is_precise(entries in prop::collection::vec((0u64..1000, 0u16..4), 1..100)) {
+        let mut tlb = Tlb::new(256, 4);
+        for (vpn, vmid) in &entries {
+            tlb.fill(TlbKey { asid: 0, vmid: *vmid, vpn: *vpn, stage: TlbStage::TwoStage }, *vpn);
+        }
+        tlb.invalidate_vmid(2);
+        for (vpn, vmid) in &entries {
+            let hit = tlb.lookup(TlbKey { asid: 0, vmid: *vmid, vpn: *vpn, stage: TlbStage::TwoStage }).is_some();
+            if *vmid == 2 {
+                prop_assert!(!hit, "vmid 2 entry survived shootdown");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage-2 tables
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Sequential non-overlapping mappings all translate correctly and
+    /// in-range addresses map to the right offset.
+    #[test]
+    fn stage2_translation_is_offset_correct(
+        count in 1usize..20,
+        page_counts in prop::collection::vec(1u64..32, 1..20),
+        probe in 0u64..31,
+    ) {
+        let mut t = Stage2Table::new(1);
+        let mut ipa = 0u64;
+        let mut pa = 0x8000_0000u64;
+        let mut ranges = Vec::new();
+        for len_pages in page_counts.iter().take(count) {
+            let len = len_pages * PAGE_SIZE;
+            t.map(ipa, pa, len, PagePerms::RW, MemAttr::Normal).unwrap();
+            ranges.push((ipa, pa, len));
+            ipa += len + PAGE_SIZE; // leave a hole
+            pa += len + PAGE_SIZE;
+        }
+        for (ipa, pa, len) in &ranges {
+            let off = (probe * 97) % len; // arbitrary in-range offset
+            let tr = t.translate(ipa + off, AccessKind::Read).unwrap();
+            prop_assert_eq!(tr.out_addr, pa + off);
+            // The hole after each range must fault.
+            prop_assert!(t.translate(ipa + len, AccessKind::Read).is_err());
+        }
+    }
+
+    /// Overlap rejection is symmetric: any second mapping that intersects
+    /// an existing one is rejected, regardless of order.
+    #[test]
+    fn stage2_overlaps_always_rejected(
+        a_start in 0u64..64, a_len in 1u64..32,
+        b_start in 0u64..64, b_len in 1u64..32,
+    ) {
+        let to = |pages: u64| pages * PAGE_SIZE;
+        let mut t = Stage2Table::new(1);
+        t.map(to(a_start), 0, to(a_len), PagePerms::RW, MemAttr::Normal).unwrap();
+        let result = t.map(to(b_start), 0x4000_0000, to(b_len), PagePerms::RW, MemAttr::Normal);
+        let intersects = to(b_start) < to(a_start) + to(a_len) && to(a_start) < to(b_start) + to(b_len);
+        prop_assert_eq!(result.is_err(), intersects);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Merge of any split equals the whole (within float tolerance).
+    #[test]
+    fn summary_merge_associates(xs in prop::collection::vec(-1e6f64..1e6, 2..200), split in 1usize..199) {
+        let split = split.min(xs.len() - 1);
+        let (a, b) = xs.split_at(split);
+        let merged = Summary::from_samples(a.iter().copied())
+            .merge(&Summary::from_samples(b.iter().copied()));
+        let whole = Summary::from_samples(xs.iter().copied());
+        prop_assert!((merged.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((merged.stdev() - whole.stdev()).abs() <= 1e-6 * (1.0 + whole.stdev()));
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+    }
+
+    /// Mean lies within [min, max] for any sample set.
+    #[test]
+    fn summary_mean_bounded(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+        let s = Summary::from_samples(xs.iter().copied());
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.stdev() >= 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// next_below never exceeds the bound for arbitrary seeds/bounds.
+    #[test]
+    fn rng_bounds_respected(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Split streams never coincide for a window.
+    #[test]
+    fn rng_split_streams_diverge(seed in any::<u64>()) {
+        let mut root = SimRng::new(seed);
+        let mut a = root.split(1);
+        let mut b = root.split(2);
+        let matches = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert!(matches <= 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Numerical solvers (cross-checking the NAS substrates)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The pentadiagonal solver solves every diagonally dominant system
+    /// it is given.
+    #[test]
+    fn penta_solver_always_converges(seed in any::<u64>(), len in 3usize..40) {
+        use kitten_hafnium::workloads::nas::sp::PentaLine;
+        let mut rng = SimRng::new(seed);
+        let line = PentaLine::random(len, &mut rng);
+        let (x, _) = line.solve();
+        prop_assert!(line.residual(&x) < 1e-8);
+    }
+
+    /// The 5x5 block-tridiagonal solver likewise.
+    #[test]
+    fn block_thomas_always_converges(seed in any::<u64>(), len in 2usize..20) {
+        use kitten_hafnium::workloads::nas::bt::BlockTriLine;
+        let mut rng = SimRng::new(seed);
+        let line = BlockTriLine::random(len, &mut rng);
+        let (x, _) = line.solve();
+        prop_assert!(line.residual(&x) < 1e-7);
+    }
+}
