@@ -7,6 +7,7 @@ use kh_bench::SEED;
 use kh_core::figures::{
     ablation_ftq, ablation_interference, ablation_io_path, ablation_irq_routing,
     ablation_page_size, ablation_parallel_nas, ablation_platform_sweep, ablation_tick_sweep,
+    ablation_virtio, render_virtio,
 };
 
 fn main() {
@@ -89,4 +90,7 @@ fn main() {
             p.platform, p.normalized[0], p.normalized[1], p.normalized[2]
         );
     }
+
+    println!("\n== Ablation 9: paravirtual I/O (virtio-net echo + virtio-blk stream) ==");
+    println!("{}", render_virtio(&ablation_virtio(2048, 1024, 16)));
 }

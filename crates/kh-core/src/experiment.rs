@@ -52,10 +52,10 @@ where
     F: Fn() -> Box<dyn Workload + Send> + Sync,
 {
     let mut reports: Vec<Option<RunReport>> = (0..trials).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (i, slot) in reports.iter_mut().enumerate() {
             let mk = &make_workload;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let cfg = MachineConfig {
                     platform,
                     stack,
@@ -67,8 +67,7 @@ where
                 *slot = Some(machine.run(w.as_mut()));
             });
         }
-    })
-    .expect("trial threads join");
+    });
     let reports: Vec<RunReport> = reports.into_iter().map(|r| r.expect("trial ran")).collect();
 
     let mut throughput = Summary::new();

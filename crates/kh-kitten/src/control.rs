@@ -36,24 +36,287 @@ pub enum VmCommandResult {
 }
 
 impl VmCommand {
-    /// Serialize for a mailbox payload.
+    /// Serialize for a mailbox payload (externally-tagged JSON, the same
+    /// wire format serde_json emitted before the codec was hand-rolled
+    /// for the offline build).
     pub fn encode(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("command serializes")
+        match self {
+            VmCommand::Launch { vm } => format!(r#"{{"Launch":{{"vm":{vm}}}}}"#).into_bytes(),
+            VmCommand::Stop { vm } => format!(r#"{{"Stop":{{"vm":{vm}}}}}"#).into_bytes(),
+            VmCommand::SetAffinity { vm, vcpu, core } => {
+                format!(r#"{{"SetAffinity":{{"vm":{vm},"vcpu":{vcpu},"core":{core}}}}}"#)
+                    .into_bytes()
+            }
+            VmCommand::Status => b"\"Status\"".to_vec(),
+        }
     }
 
-    /// Parse a mailbox payload.
+    /// Parse a mailbox payload; `None` on anything malformed.
     pub fn decode(payload: &[u8]) -> Option<VmCommand> {
-        serde_json::from_slice(payload).ok()
+        match json::parse(payload)? {
+            json::Val::Str(s) if s == "Status" => Some(VmCommand::Status),
+            json::Val::Obj(fields) => {
+                let (tag, body) = json::sole(&fields)?;
+                match tag {
+                    "Launch" => Some(VmCommand::Launch {
+                        vm: json::u16_field(body, "vm")?,
+                    }),
+                    "Stop" => Some(VmCommand::Stop {
+                        vm: json::u16_field(body, "vm")?,
+                    }),
+                    "SetAffinity" => Some(VmCommand::SetAffinity {
+                        vm: json::u16_field(body, "vm")?,
+                        vcpu: json::u16_field(body, "vcpu")?,
+                        core: json::u16_field(body, "core")?,
+                    }),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
     }
 }
 
 impl VmCommandResult {
     pub fn encode(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("result serializes")
+        match self {
+            VmCommandResult::Ok => b"\"Ok\"".to_vec(),
+            VmCommandResult::Launched { vcpu_threads } => {
+                format!(r#"{{"Launched":{{"vcpu_threads":{vcpu_threads}}}}}"#).into_bytes()
+            }
+            VmCommandResult::Status { running } => {
+                let list: Vec<String> = running.iter().map(|v| v.to_string()).collect();
+                format!(r#"{{"Status":{{"running":[{}]}}}}"#, list.join(",")).into_bytes()
+            }
+            VmCommandResult::Error { reason } => {
+                format!(r#"{{"Error":{{"reason":{}}}}}"#, json::quote(reason)).into_bytes()
+            }
+        }
     }
 
     pub fn decode(payload: &[u8]) -> Option<VmCommandResult> {
-        serde_json::from_slice(payload).ok()
+        match json::parse(payload)? {
+            json::Val::Str(s) if s == "Ok" => Some(VmCommandResult::Ok),
+            json::Val::Obj(fields) => {
+                let (tag, body) = json::sole(&fields)?;
+                match tag {
+                    "Launched" => Some(VmCommandResult::Launched {
+                        vcpu_threads: json::u16_field(body, "vcpu_threads")?,
+                    }),
+                    "Status" => {
+                        let arr = match json::field(body, "running")? {
+                            json::Val::Arr(a) => a,
+                            _ => return None,
+                        };
+                        let mut running = Vec::with_capacity(arr.len());
+                        for v in arr {
+                            match v {
+                                json::Val::Num(n) if *n >= 0 && *n <= u16::MAX as i64 => {
+                                    running.push(*n as u16)
+                                }
+                                _ => return None,
+                            }
+                        }
+                        Some(VmCommandResult::Status { running })
+                    }
+                    "Error" => match json::field(body, "reason")? {
+                        json::Val::Str(reason) => Some(VmCommandResult::Error {
+                            reason: reason.clone(),
+                        }),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Just enough JSON to carry the job-control protocol: objects, arrays,
+/// strings with the standard escapes, and integer numbers. Hand-rolled
+/// because the offline build vendors a no-op serde (see `stubs/`).
+mod json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Val {
+        Num(i64),
+        Str(String),
+        Arr(Vec<Val>),
+        Obj(Vec<(String, Val)>),
+    }
+
+    /// The single `(tag, body)` pair of an externally-tagged enum object.
+    pub fn sole(fields: &[(String, Val)]) -> Option<(&str, &Val)> {
+        match fields {
+            [(tag, body)] => Some((tag.as_str(), body)),
+            _ => None,
+        }
+    }
+
+    pub fn field<'a>(body: &'a Val, name: &str) -> Option<&'a Val> {
+        match body {
+            Val::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn u16_field(body: &Val, name: &str) -> Option<u16> {
+        match field(body, name)? {
+            Val::Num(n) if *n >= 0 && *n <= u16::MAX as i64 => Some(*n as u16),
+            _ => None,
+        }
+    }
+
+    /// Quote + escape a string literal.
+    pub fn quote(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    pub fn parse(bytes: &[u8]) -> Option<Val> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut p = Parser {
+            chars: text.char_indices().peekable(),
+            text,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.chars.next().is_some() {
+            return None; // trailing garbage
+        }
+        Some(v)
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+        text: &'a str,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+                self.chars.next();
+            }
+        }
+
+        fn eat(&mut self, want: char) -> Option<()> {
+            match self.chars.next() {
+                Some((_, c)) if c == want => Some(()),
+                _ => None,
+            }
+        }
+
+        fn value(&mut self) -> Option<Val> {
+            self.skip_ws();
+            match self.chars.peek().copied()? {
+                (_, '"') => self.string().map(Val::Str),
+                (_, '{') => self.object(),
+                (_, '[') => self.array(),
+                (_, c) if c == '-' || c.is_ascii_digit() => self.number(),
+                _ => None,
+            }
+        }
+
+        fn string(&mut self) -> Option<String> {
+            self.eat('"')?;
+            let mut out = String::new();
+            loop {
+                match self.chars.next()? {
+                    (_, '"') => return Some(out),
+                    (_, '\\') => match self.chars.next()? {
+                        (_, '"') => out.push('"'),
+                        (_, '\\') => out.push('\\'),
+                        (_, '/') => out.push('/'),
+                        (_, 'n') => out.push('\n'),
+                        (_, 't') => out.push('\t'),
+                        (_, 'r') => out.push('\r'),
+                        (_, 'b') => out.push('\u{8}'),
+                        (_, 'f') => out.push('\u{c}'),
+                        (_, 'u') => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, c) = self.chars.next()?;
+                                code = code * 16 + c.to_digit(16)?;
+                            }
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    },
+                    (_, c) => out.push(c),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Option<Val> {
+            let start = self.chars.peek()?.0;
+            let mut end = start;
+            while let Some(&(i, c)) = self.chars.peek() {
+                if c == '-' || c.is_ascii_digit() {
+                    end = i + c.len_utf8();
+                    self.chars.next();
+                } else {
+                    break;
+                }
+            }
+            self.text[start..end].parse::<i64>().ok().map(Val::Num)
+        }
+
+        fn object(&mut self) -> Option<Val> {
+            self.eat('{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if matches!(self.chars.peek(), Some((_, '}'))) {
+                self.chars.next();
+                return Some(Val::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.eat(':')?;
+                let val = self.value()?;
+                fields.push((key, val));
+                self.skip_ws();
+                match self.chars.next()? {
+                    (_, ',') => continue,
+                    (_, '}') => return Some(Val::Obj(fields)),
+                    _ => return None,
+                }
+            }
+        }
+
+        fn array(&mut self) -> Option<Val> {
+            self.eat('[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if matches!(self.chars.peek(), Some((_, ']'))) {
+                self.chars.next();
+                return Some(Val::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.chars.next()? {
+                    (_, ',') => continue,
+                    (_, ']') => return Some(Val::Arr(items)),
+                    _ => return None,
+                }
+            }
+        }
     }
 }
 

@@ -35,6 +35,7 @@ pub mod profile;
 pub mod sched;
 pub mod secondary;
 pub mod task;
+pub mod virtio;
 
 pub use control::{ControlTask, VmCommand, VmCommandResult};
 pub use pmem::BuddyAllocator;

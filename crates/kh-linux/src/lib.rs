@@ -25,6 +25,7 @@ pub mod kthreads;
 pub mod profile;
 pub mod secondary;
 pub mod timerwheel;
+pub mod virtio;
 
 pub use cfs::{CfsScheduler, SchedEntity};
 pub use driver::LinuxHafniumDriver;

@@ -39,6 +39,33 @@ pub enum TraceCategory {
     VmLifecycle,
     /// Stage-2 / permission fault.
     Fault,
+    /// Virtio driver→device notification (queue kick through the SPM).
+    Doorbell,
+    /// Virtio device→driver completion interrupt injection.
+    IrqInject,
+}
+
+impl TraceCategory {
+    /// Stable lowercase label, used for CSV emission (`khsim trace`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceCategory::TimerTick => "timer_tick",
+            TraceCategory::DeviceIrq => "device_irq",
+            TraceCategory::Ipi => "ipi",
+            TraceCategory::HypTrapEnter => "hyp_trap_enter",
+            TraceCategory::HypTrapExit => "hyp_trap_exit",
+            TraceCategory::PrimaryDispatch => "primary_dispatch",
+            TraceCategory::ContextSwitch => "context_switch",
+            TraceCategory::BackgroundTask => "background_task",
+            TraceCategory::Hypercall => "hypercall",
+            TraceCategory::WorldSwitch => "world_switch",
+            TraceCategory::PhaseBoundary => "phase_boundary",
+            TraceCategory::VmLifecycle => "vm_lifecycle",
+            TraceCategory::Fault => "fault",
+            TraceCategory::Doorbell => "doorbell",
+            TraceCategory::IrqInject => "irq_inject",
+        }
+    }
 }
 
 /// A single trace record.

@@ -1,0 +1,364 @@
+//! The virtio-blk device model.
+//!
+//! One request virtqueue. Writes are a single out-descriptor carrying a
+//! header plus payload; reads are a 2-descriptor chain (out header, in
+//! response buffer) — the classic virtio-blk read shape. The device
+//! stores sectors sparsely and prices each request with a seek cost
+//! proportional to the sector distance from the previous request plus a
+//! transfer cost from the storage profile's bandwidth.
+
+use crate::cost::IoCostModel;
+use crate::queue::{QueueError, QueueRegion, Virtqueue};
+use kh_arch::platform::Platform;
+use kh_sim::Nanos;
+use std::collections::BTreeMap;
+
+pub const SECTOR_BYTES: usize = 512;
+const HDR_BYTES: usize = 13; // op u8 + sector u64 + count u32
+const OP_READ: u8 = 0;
+const OP_WRITE: u8 = 1;
+
+/// Seek/transfer cost model of the simulated storage device, derived
+/// from the platform: server parts get NVMe-class numbers, embedded
+/// boards eMMC-class ones.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageProfile {
+    /// Fixed per-request latency (command issue, controller firmware).
+    pub base_latency: Nanos,
+    /// Extra latency per 1024 sectors of distance from the previous
+    /// request — zero for flash, nonzero where locality matters.
+    pub seek_per_1k_sectors: Nanos,
+    pub bytes_per_sec: u64,
+}
+
+impl StorageProfile {
+    pub fn emmc() -> Self {
+        StorageProfile {
+            base_latency: Nanos::from_micros(150),
+            seek_per_1k_sectors: Nanos(400),
+            bytes_per_sec: 180 * 1_000_000,
+        }
+    }
+
+    pub fn nvme() -> Self {
+        StorageProfile {
+            base_latency: Nanos::from_micros(15),
+            seek_per_1k_sectors: Nanos(20),
+            bytes_per_sec: 2_500 * 1_000_000,
+        }
+    }
+
+    /// Pick a storage class for the platform (server parts: ≥ 16 GiB DRAM).
+    pub fn from_platform(p: &Platform) -> Self {
+        if p.dram_bytes >= 16 * (1 << 30) {
+            Self::nvme()
+        } else {
+            Self::emmc()
+        }
+    }
+
+    /// Service time for a request touching `sectors` sectors at
+    /// `distance` sectors from the previous request.
+    pub fn service_time(&self, sectors: u32, distance: u64) -> Nanos {
+        let bytes = sectors as u64 * SECTOR_BYTES as u64;
+        let transfer = Nanos(bytes * 1_000_000_000 / self.bytes_per_sec.max(1));
+        self.base_latency + self.seek_per_1k_sectors.scaled(distance / 1024) + transfer
+    }
+}
+
+/// A block request as the driver submits it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlkRequest {
+    Read { sector: u64, sectors: u32 },
+    Write { sector: u64, data: Vec<u8> },
+}
+
+impl BlkRequest {
+    fn header(op: u8, sector: u64, count: u32) -> [u8; HDR_BYTES] {
+        let mut h = [0u8; HDR_BYTES];
+        h[0] = op;
+        h[1..9].copy_from_slice(&sector.to_le_bytes());
+        h[9..13].copy_from_slice(&count.to_le_bytes());
+        h
+    }
+
+    fn parse(bytes: &[u8]) -> Option<(u8, u64, u32)> {
+        if bytes.len() < HDR_BYTES {
+            return None;
+        }
+        let op = bytes[0];
+        let sector = u64::from_le_bytes(bytes[1..9].try_into().ok()?);
+        let count = u32::from_le_bytes(bytes[9..13].try_into().ok()?);
+        Some((op, sector, count))
+    }
+}
+
+/// Counters for one device instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlkStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub bad_requests: u64,
+}
+
+/// Result of one device service pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlkServiceReport {
+    pub time: Nanos,
+    pub completed: u64,
+    /// Completion interrupts that actually fired (not suppressed).
+    pub irqs: u64,
+}
+
+/// The virtio-blk device: one request queue, a sparse sector store, and
+/// optionally the share grant backing the queue memory.
+#[derive(Debug)]
+pub struct VirtioBlk {
+    pub queue: Virtqueue,
+    /// SPI the device raises for completions.
+    pub intid: u32,
+    pub storage: StorageProfile,
+    pub cost: IoCostModel,
+    pub region: Option<QueueRegion>,
+    pub stats: BlkStats,
+    sectors: BTreeMap<u64, [u8; SECTOR_BYTES]>,
+    last_sector: u64,
+    /// Event-index batching depth (0/1 = legacy always-notify).
+    batch: u64,
+}
+
+impl VirtioBlk {
+    /// An unbound device (unit tests, native workload runs). `batch` is
+    /// the event-index batching depth; 0 disables suppression.
+    pub fn new(platform: &Platform, intid: u32, queue_size: u16, batch: u64) -> Self {
+        let event_idx = batch > 1;
+        let mut queue = Virtqueue::new(queue_size, event_idx).expect("queue size");
+        if event_idx {
+            queue.suppress_kicks_for(batch);
+            queue.suppress_interrupts_for(batch);
+        }
+        VirtioBlk {
+            queue,
+            intid,
+            storage: StorageProfile::from_platform(platform),
+            cost: IoCostModel::new(platform),
+            region: None,
+            stats: BlkStats::default(),
+            sectors: BTreeMap::new(),
+            last_sector: 0,
+            batch,
+        }
+    }
+
+    /// Attach grant-backed queue memory (see [`QueueRegion::establish`]).
+    pub fn bind(&mut self, region: QueueRegion) {
+        self.region = Some(region);
+    }
+
+    // -- driver side --------------------------------------------------
+
+    /// Submit a request. Returns whether the doorbell actually fired
+    /// (event-index suppression may swallow it).
+    pub fn submit(&mut self, req: &BlkRequest) -> Result<bool, QueueError> {
+        match req {
+            BlkRequest::Write { sector, data } => {
+                if data.is_empty() || data.len() % SECTOR_BYTES != 0 {
+                    return Err(QueueError::BadSize);
+                }
+                let count = (data.len() / SECTOR_BYTES) as u32;
+                let mut buf = Vec::with_capacity(HDR_BYTES + data.len());
+                buf.extend_from_slice(&BlkRequest::header(OP_WRITE, *sector, count));
+                buf.extend_from_slice(data);
+                self.queue.add_outbuf(&buf)?;
+            }
+            BlkRequest::Read { sector, sectors } => {
+                if *sectors == 0 {
+                    return Err(QueueError::BadSize);
+                }
+                let hdr = BlkRequest::header(OP_READ, *sector, *sectors);
+                self.queue
+                    .add_chain(&hdr, *sectors * SECTOR_BYTES as u32)?;
+            }
+        }
+        Ok(self.queue.kick())
+    }
+
+    /// Reap one completion: the data for reads, empty for writes.
+    /// Re-arms interrupt suppression once the queue is drained.
+    pub fn poll_completion(&mut self) -> Option<Vec<u8>> {
+        match self.queue.poll_used() {
+            Some(c) => Some(c.data),
+            None => {
+                if self.batch > 1 {
+                    self.queue.suppress_interrupts_for(self.batch);
+                }
+                None
+            }
+        }
+    }
+
+    // -- device side --------------------------------------------------
+
+    /// One device service pass: drain the request queue, apply each
+    /// request to the sector store, price seek + transfer, raise (or
+    /// suppress) the completion interrupt.
+    pub fn device_poll(&mut self) -> BlkServiceReport {
+        let mut report = BlkServiceReport::default();
+        while let Some(head) = self.queue.pop_avail() {
+            let hdr = self.queue.out_bytes(head).expect("request header").to_vec();
+            let Some((op, sector, count)) = BlkRequest::parse(&hdr) else {
+                self.stats.bad_requests += 1;
+                self.queue.push_used(head, 0).expect("bad-request completion");
+                report.completed += 1;
+                continue;
+            };
+            let distance = sector.abs_diff(self.last_sector);
+            self.last_sector = sector + count as u64;
+            let bytes = count as u64 * SECTOR_BYTES as u64;
+            report.time += self.storage.service_time(count, distance) + self.cost.copy(bytes);
+            let written = match op {
+                OP_WRITE => {
+                    let payload = &hdr[HDR_BYTES..];
+                    for (i, chunk) in payload.chunks_exact(SECTOR_BYTES).enumerate() {
+                        let mut s = [0u8; SECTOR_BYTES];
+                        s.copy_from_slice(chunk);
+                        self.sectors.insert(sector + i as u64, s);
+                    }
+                    self.stats.writes += 1;
+                    self.stats.bytes_written += bytes;
+                    0
+                }
+                OP_READ => {
+                    let buf = self.queue.in_buf_mut(head).expect("read chain in-buf");
+                    let mut written = 0usize;
+                    for i in 0..count as u64 {
+                        let src = self
+                            .sectors
+                            .get(&(sector + i))
+                            .copied()
+                            .unwrap_or([0u8; SECTOR_BYTES]);
+                        let at = i as usize * SECTOR_BYTES;
+                        if at + SECTOR_BYTES > buf.len() {
+                            break;
+                        }
+                        buf[at..at + SECTOR_BYTES].copy_from_slice(&src);
+                        written = at + SECTOR_BYTES;
+                    }
+                    self.stats.reads += 1;
+                    self.stats.bytes_read += bytes;
+                    written as u32
+                }
+                _ => {
+                    self.stats.bad_requests += 1;
+                    0
+                }
+            };
+            self.queue.push_used(head, written).expect("completion");
+            report.completed += 1;
+        }
+        if report.completed > 0 && self.queue.interrupt() {
+            report.irqs += 1;
+        }
+        // Re-arm doorbell suppression for the driver's next batch.
+        if self.batch > 1 {
+            self.queue.suppress_kicks_for(self.batch);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum;
+
+    fn dev() -> VirtioBlk {
+        VirtioBlk::new(&Platform::pine_a64_lts(), 79, 64, 0)
+    }
+
+    fn pattern(sectors: usize, salt: u8) -> Vec<u8> {
+        (0..sectors * SECTOR_BYTES)
+            .map(|i| (i as u8).wrapping_mul(salt).wrapping_add(salt))
+            .collect()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut d = dev();
+        let data = pattern(4, 7);
+        let sum = checksum(&data);
+        d.submit(&BlkRequest::Write { sector: 100, data: data.clone() })
+            .unwrap();
+        d.device_poll();
+        assert!(d.poll_completion().is_some(), "write completion");
+
+        d.submit(&BlkRequest::Read { sector: 100, sectors: 4 }).unwrap();
+        let report = d.device_poll();
+        assert_eq!(report.completed, 1);
+        assert!(report.time > Nanos::ZERO);
+        let got = d.poll_completion().expect("read completion");
+        assert_eq!(got.len(), 4 * SECTOR_BYTES);
+        assert_eq!(checksum(&got), sum);
+        assert_eq!(d.stats.reads, 1);
+        assert_eq!(d.stats.writes, 1);
+    }
+
+    #[test]
+    fn unwritten_sectors_read_as_zero() {
+        let mut d = dev();
+        d.submit(&BlkRequest::Read { sector: 5000, sectors: 2 }).unwrap();
+        d.device_poll();
+        let got = d.poll_completion().unwrap();
+        assert_eq!(got.len(), 2 * SECTOR_BYTES);
+        assert!(got.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn seeks_cost_more_than_sequential() {
+        let p = StorageProfile::emmc();
+        assert!(p.service_time(8, 1_000_000) > p.service_time(8, 0));
+        assert!(
+            StorageProfile::nvme().service_time(8, 0) < p.service_time(8, 0),
+            "nvme is faster than emmc"
+        );
+    }
+
+    #[test]
+    fn misaligned_write_rejected() {
+        let mut d = dev();
+        let err = d
+            .submit(&BlkRequest::Write { sector: 0, data: vec![1, 2, 3] })
+            .unwrap_err();
+        assert_eq!(err, QueueError::BadSize);
+        assert!(d.submit(&BlkRequest::Read { sector: 0, sectors: 0 }).is_err());
+    }
+
+    #[test]
+    fn batching_suppresses_completion_irqs() {
+        let mut d = VirtioBlk::new(&Platform::pine_a64_lts(), 79, 64, 8);
+        for i in 0..8u64 {
+            d.submit(&BlkRequest::Write { sector: i, data: pattern(1, i as u8 + 1) })
+                .unwrap();
+        }
+        let report = d.device_poll();
+        assert_eq!(report.completed, 8);
+        assert_eq!(d.queue.stats.kicks, 1, "one doorbell per 8-request batch");
+        assert_eq!(d.queue.stats.irqs + d.queue.stats.irqs_suppressed, 1);
+    }
+
+    #[test]
+    fn overwrites_take_latest_data() {
+        let mut d = dev();
+        d.submit(&BlkRequest::Write { sector: 9, data: pattern(1, 3) }).unwrap();
+        d.submit(&BlkRequest::Write { sector: 9, data: pattern(1, 11) }).unwrap();
+        d.device_poll();
+        d.poll_completion();
+        d.poll_completion();
+        d.submit(&BlkRequest::Read { sector: 9, sectors: 1 }).unwrap();
+        d.device_poll();
+        let got = d.poll_completion().unwrap();
+        assert_eq!(checksum(&got), checksum(&pattern(1, 11)));
+    }
+}

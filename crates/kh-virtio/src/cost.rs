@@ -1,0 +1,109 @@
+//! Architectural costs of the paravirtual I/O path.
+//!
+//! Every doorbell is a hypercall (EL1→EL2→EL1 round trip); every
+//! completion interrupt pays GIC ack/EOI plus delivery, and — under the
+//! default all-to-primary routing — an extra round trip and two VM
+//! context switches for the forwarding hop. The numbers come from the
+//! platform profile, priced exactly as `ablation_io_path` and
+//! `ablation_irq_routing` price them, so the virtio figures compose with
+//! the existing ones.
+
+use kh_arch::el::ExceptionLevel;
+use kh_arch::platform::Platform;
+use kh_hafnium::irq::RouteDecision;
+use kh_sim::{Freq, Nanos};
+
+/// Platform-derived cost model shared by the net/blk devices.
+#[derive(Debug, Clone, Copy)]
+pub struct IoCostModel {
+    /// EL1→EL2→EL1 hypercall round trip.
+    pub rt12: Nanos,
+    /// One VM context switch performed by the SPM.
+    pub vm_switch: Nanos,
+    /// GIC acknowledge + EOI.
+    pub gic_ack: Nanos,
+    freq: Freq,
+}
+
+impl IoCostModel {
+    pub fn new(platform: &Platform) -> Self {
+        let freq = platform.core_freq;
+        IoCostModel {
+            rt12: platform
+                .transitions
+                .round_trip(ExceptionLevel::El1, ExceptionLevel::El2, freq),
+            vm_switch: freq.cycles_to_nanos(platform.transitions.vm_context_switch_cycles),
+            gic_ack: freq.cycles_to_nanos(platform.gic.ack_eoi_cycles()),
+            freq,
+        }
+    }
+
+    /// Copy `bytes` through the cache hierarchy (~8 B/cycle effective,
+    /// plus loop setup) — same model as the shared-ring ablation.
+    pub fn copy(&self, bytes: u64) -> Nanos {
+        self.freq.cycles_to_nanos(bytes / 8 + 20)
+    }
+
+    /// Ringing a doorbell: one notification hypercall round trip.
+    pub fn doorbell(&self) -> Nanos {
+        self.rt12
+    }
+
+    /// Delivering a completion interrupt along a routing decision.
+    /// Direct delivery pays the trap + GIC ack; a forwarded delivery
+    /// additionally pays the injection hypercall and two VM context
+    /// switches (into the primary and on to the final owner).
+    pub fn irq_delivery(&self, route: &RouteDecision) -> Nanos {
+        let mut cost = self.rt12 + self.gic_ack;
+        if route.forwarded {
+            cost += self.rt12 + self.vm_switch.scaled(2);
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kh_hafnium::vm::VmId;
+
+    fn routes() -> (RouteDecision, RouteDecision) {
+        let direct = RouteDecision {
+            first_target: VmId::SUPER_SECONDARY,
+            final_owner: VmId::SUPER_SECONDARY,
+            forwarded: false,
+        };
+        let forwarded = RouteDecision {
+            first_target: VmId::PRIMARY,
+            final_owner: VmId::SUPER_SECONDARY,
+            forwarded: true,
+        };
+        (direct, forwarded)
+    }
+
+    #[test]
+    fn forwarded_delivery_costs_more() {
+        let m = IoCostModel::new(&Platform::pine_a64_lts());
+        let (direct, forwarded) = routes();
+        assert!(m.irq_delivery(&forwarded) > m.irq_delivery(&direct));
+        // The gap is exactly the injection round trip + two VM switches.
+        assert_eq!(
+            m.irq_delivery(&forwarded) - m.irq_delivery(&direct),
+            m.rt12 + m.vm_switch.scaled(2)
+        );
+    }
+
+    #[test]
+    fn copies_scale_with_bytes() {
+        let m = IoCostModel::new(&Platform::pine_a64_lts());
+        assert!(m.copy(4096) > m.copy(64));
+        assert!(m.copy(0) > Nanos::ZERO, "loop setup is never free");
+    }
+
+    #[test]
+    fn costs_differ_across_platforms() {
+        let a = IoCostModel::new(&Platform::pine_a64_lts());
+        let b = IoCostModel::new(&Platform::thunderx2());
+        assert_ne!(a.rt12, b.rt12);
+    }
+}

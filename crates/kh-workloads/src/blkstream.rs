@@ -1,0 +1,248 @@
+//! blkstream — the streaming block-I/O benchmark for the virtio subsystem.
+//!
+//! A write pass lays down a deterministic pattern across a span of
+//! sectors through a `VirtioBlk` request queue; a read-back pass fetches
+//! every request's span again and verifies it by FNV checksum. The model
+//! form prices the same per-request copy work as a phase stream.
+
+use crate::{throughput, ScoreUnit, Workload, WorkloadOutput};
+use kh_arch::cpu::{AccessPattern, Phase, PhaseCost};
+use kh_arch::platform::Platform;
+use kh_sim::Nanos;
+use kh_virtio::blk::{BlkRequest, VirtioBlk, SECTOR_BYTES};
+use kh_virtio::checksum;
+
+/// Configuration shared by the real device run and the model.
+#[derive(Debug, Clone, Copy)]
+pub struct BlkStreamConfig {
+    /// Requests per pass (one write pass + one read pass).
+    pub requests: u32,
+    /// Sectors per request.
+    pub sectors_per_req: u32,
+    /// Requests per doorbell batch (event-index suppression depth).
+    pub batch: u64,
+    /// Gap between consecutive requests' start sectors, in requests'
+    /// own lengths: 1 = fully sequential, larger = strided seeks.
+    pub stride: u64,
+}
+
+impl Default for BlkStreamConfig {
+    fn default() -> Self {
+        BlkStreamConfig {
+            requests: 512,
+            sectors_per_req: 8,
+            batch: 8,
+            stride: 1,
+        }
+    }
+}
+
+impl BlkStreamConfig {
+    fn start_sector(&self, idx: u32) -> u64 {
+        idx as u64 * self.sectors_per_req as u64 * self.stride.max(1)
+    }
+
+    /// Bytes crossing the queue over the run (written + read back).
+    pub fn total_bytes(&self) -> u64 {
+        2 * self.requests as u64 * self.sectors_per_req as u64 * SECTOR_BYTES as u64
+    }
+}
+
+/// Deterministic payload for one request, seeded by its index.
+fn request_payload(idx: u32, sectors: u32) -> Vec<u8> {
+    (0..sectors as usize * SECTOR_BYTES)
+        .map(|j| {
+            let x = (idx as u64)
+                .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                .wrapping_add(j as u64);
+            (x ^ (x >> 9)) as u8
+        })
+        .collect()
+}
+
+/// Results of a native blkstream run (real queue, real sector store).
+#[derive(Debug, Clone)]
+pub struct BlkStreamNativeResult {
+    pub requests_verified: u32,
+    pub checksum_failures: u32,
+    pub doorbells: u64,
+    pub doorbells_suppressed: u64,
+    pub irqs: u64,
+    pub irqs_suppressed: u64,
+    /// Modeled device-side service time (seek + transfer) for the run.
+    pub device_time: Nanos,
+}
+
+/// Drive a real `VirtioBlk`: write everything, read everything back,
+/// verify every span.
+pub fn run_native(cfg: &BlkStreamConfig, platform: &Platform) -> BlkStreamNativeResult {
+    let qsize = 256u16;
+    let mut blk = VirtioBlk::new(platform, 79, qsize, cfg.batch);
+    let mut res = BlkStreamNativeResult {
+        requests_verified: 0,
+        checksum_failures: 0,
+        doorbells: 0,
+        doorbells_suppressed: 0,
+        irqs: 0,
+        irqs_suppressed: 0,
+        device_time: Nanos::ZERO,
+    };
+    let burst = (cfg.batch.max(1) as u32).min(qsize as u32 / 2);
+
+    // Write pass.
+    let mut issued = 0u32;
+    while issued < cfg.requests {
+        let n = burst.min(cfg.requests - issued);
+        for i in 0..n {
+            let idx = issued + i;
+            blk.submit(&BlkRequest::Write {
+                sector: cfg.start_sector(idx),
+                data: request_payload(idx, cfg.sectors_per_req),
+            })
+            .unwrap();
+        }
+        res.device_time += blk.device_poll().time;
+        while blk.poll_completion().is_some() {}
+        issued += n;
+    }
+
+    // Read-back pass with verification.
+    let mut fetched = 0u32;
+    while fetched < cfg.requests {
+        let n = burst.min(cfg.requests - fetched);
+        let mut sums = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let idx = fetched + i;
+            sums.push(checksum(&request_payload(idx, cfg.sectors_per_req)));
+            blk.submit(&BlkRequest::Read {
+                sector: cfg.start_sector(idx),
+                sectors: cfg.sectors_per_req,
+            })
+            .unwrap();
+        }
+        res.device_time += blk.device_poll().time;
+        for sum in sums {
+            match blk.poll_completion() {
+                Some(data) if checksum(&data) == sum => res.requests_verified += 1,
+                _ => res.checksum_failures += 1,
+            }
+        }
+        fetched += n;
+    }
+    res.doorbells = blk.queue.stats.kicks;
+    res.doorbells_suppressed = blk.queue.stats.kicks_suppressed;
+    res.irqs = blk.queue.stats.irqs;
+    res.irqs_suppressed = blk.queue.stats.irqs_suppressed;
+    res
+}
+
+// ---------------------------------------------------------------------
+// Simulation model
+// ---------------------------------------------------------------------
+
+/// blkstream as a phase stream: one phase per doorbell batch, covering
+/// the request payload copies of the batch (write pass then read pass).
+#[derive(Debug)]
+pub struct BlkStreamModel {
+    cfg: BlkStreamConfig,
+    issued: u32, // across both passes: 0..2*requests
+    bytes_done: u64,
+}
+
+impl BlkStreamModel {
+    pub fn new(cfg: BlkStreamConfig) -> Self {
+        BlkStreamModel {
+            cfg,
+            issued: 0,
+            bytes_done: 0,
+        }
+    }
+}
+
+impl Workload for BlkStreamModel {
+    fn name(&self) -> &'static str {
+        "blkstream"
+    }
+
+    fn next_phase(&mut self, _now: Nanos) -> Option<Phase> {
+        let total = 2 * self.cfg.requests;
+        if self.issued >= total {
+            return None;
+        }
+        let n = (self.cfg.batch.max(1) as u32).min(total - self.issued);
+        self.issued += n;
+        let bytes = n as u64 * self.cfg.sectors_per_req as u64 * SECTOR_BYTES as u64;
+        Some(Phase {
+            // Pattern generation + checksum: ~3 instructions per word.
+            instructions: 3 * bytes / 8,
+            mem_refs: bytes / 8,
+            flops: 0,
+            footprint: bytes,
+            dram_bytes: bytes,
+            pattern: AccessPattern::Stream,
+        })
+    }
+
+    fn phase_complete(&mut self, _now: Nanos, _cost: &PhaseCost) {
+        self.bytes_done =
+            self.issued as u64 * self.cfg.sectors_per_req as u64 * SECTOR_BYTES as u64;
+    }
+
+    fn finish(&mut self, elapsed: Nanos) -> WorkloadOutput {
+        throughput(self.bytes_done as f64, elapsed, ScoreUnit::MBps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_run_verifies_every_request() {
+        let cfg = BlkStreamConfig {
+            requests: 64,
+            sectors_per_req: 4,
+            batch: 8,
+            stride: 1,
+        };
+        let r = run_native(&cfg, &Platform::pine_a64_lts());
+        assert_eq!(r.requests_verified, 64);
+        assert_eq!(r.checksum_failures, 0);
+        assert!(r.device_time > Nanos::ZERO);
+    }
+
+    #[test]
+    fn strided_run_pays_more_seek_time() {
+        let seq = run_native(&BlkStreamConfig { stride: 1, ..Default::default() },
+                             &Platform::pine_a64_lts());
+        let strided = run_native(&BlkStreamConfig { stride: 64, ..Default::default() },
+                                 &Platform::pine_a64_lts());
+        assert_eq!(seq.checksum_failures + strided.checksum_failures, 0);
+        assert!(strided.device_time > seq.device_time);
+    }
+
+    #[test]
+    fn model_covers_the_configured_bytes() {
+        let cfg = BlkStreamConfig {
+            requests: 32,
+            sectors_per_req: 8,
+            batch: 8,
+            stride: 1,
+        };
+        let mut m = BlkStreamModel::new(cfg);
+        let zero = PhaseCost {
+            cycles: 0,
+            time: Nanos::ZERO,
+            walk_cycles: 0,
+            rewarm_cycles: 0,
+            bandwidth_bound: false,
+        };
+        let mut total = 0u64;
+        while let Some(p) = m.next_phase(Nanos::ZERO) {
+            total += p.dram_bytes;
+            m.phase_complete(Nanos::ZERO, &zero);
+        }
+        assert_eq!(total, cfg.total_bytes());
+        assert!(m.finish(Nanos::from_millis(5)).throughput().unwrap() > 0.0);
+    }
+}

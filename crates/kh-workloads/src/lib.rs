@@ -17,8 +17,10 @@
 //! simulated figures inherit the kernels' arithmetic intensity and
 //! footprints rather than being hand-tuned constants.
 
+pub mod blkstream;
 pub mod ftq;
 pub mod gups;
+pub mod netecho;
 pub mod hpcg;
 pub mod nas;
 pub mod selfish;

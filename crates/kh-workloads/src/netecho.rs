@@ -1,0 +1,234 @@
+//! netecho — the network round-trip benchmark for the virtio subsystem.
+//!
+//! The driver pushes frames through a `VirtioNet` tx queue to an echo
+//! backend and verifies every returned payload by FNV checksum, so a
+//! single corrupted byte anywhere on the driver → queue → device →
+//! backend → queue → driver path fails the run. The model form prices
+//! the same per-frame copy work as a phase stream.
+
+use crate::{throughput, ScoreUnit, Workload, WorkloadOutput};
+use kh_arch::cpu::{AccessPattern, Phase, PhaseCost};
+use kh_arch::platform::Platform;
+use kh_sim::Nanos;
+use kh_virtio::checksum;
+use kh_virtio::net::{EchoBackend, VirtioNet};
+
+/// Configuration shared by the real device run and the model.
+#[derive(Debug, Clone, Copy)]
+pub struct NetEchoConfig {
+    /// Frames to echo.
+    pub frames: u32,
+    /// Payload bytes per frame.
+    pub frame_bytes: usize,
+    /// Frames per doorbell batch (event-index suppression depth).
+    pub batch: u64,
+}
+
+impl Default for NetEchoConfig {
+    fn default() -> Self {
+        NetEchoConfig {
+            frames: 2048,
+            frame_bytes: 1500,
+            batch: 16,
+        }
+    }
+}
+
+impl NetEchoConfig {
+    /// Bytes crossing the queues over the run (tx payload + echoed rx).
+    pub fn total_bytes(&self) -> u64 {
+        2 * self.frames as u64 * self.frame_bytes as u64
+    }
+}
+
+/// Deterministic per-frame payload; seeded by the frame index so every
+/// frame differs and reordering would be caught.
+fn frame_payload(idx: u32, bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|j| {
+            let x = (idx as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(j as u64);
+            (x ^ (x >> 7)) as u8
+        })
+        .collect()
+}
+
+/// Results of a native netecho run (real queues, real payloads).
+#[derive(Debug, Clone)]
+pub struct NetEchoNativeResult {
+    pub frames_verified: u32,
+    pub checksum_failures: u32,
+    /// Doorbells that actually trapped vs suppressed by event-idx.
+    pub doorbells: u64,
+    pub doorbells_suppressed: u64,
+    pub irqs: u64,
+    pub irqs_suppressed: u64,
+    /// Modeled device-side service time for the whole run.
+    pub device_time: Nanos,
+}
+
+/// Drive a real `VirtioNet` + `EchoBackend` and verify every frame.
+pub fn run_native(cfg: &NetEchoConfig, platform: &Platform) -> NetEchoNativeResult {
+    let qsize = 256u16;
+    let mut net = VirtioNet::new(platform, 78, qsize, cfg.batch);
+    let mut backend = EchoBackend::default();
+    let mut res = NetEchoNativeResult {
+        frames_verified: 0,
+        checksum_failures: 0,
+        doorbells: 0,
+        doorbells_suppressed: 0,
+        irqs: 0,
+        irqs_suppressed: 0,
+        device_time: Nanos::ZERO,
+    };
+    let burst = (cfg.batch.max(1) as u32).min(qsize as u32 / 2);
+    let mut sent = 0u32;
+    while sent < cfg.frames {
+        let n = burst.min(cfg.frames - sent);
+        let mut sums = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let payload = frame_payload(sent + i, cfg.frame_bytes);
+            sums.push(checksum(&payload));
+            net.post_rx(cfg.frame_bytes as u32).unwrap();
+            net.send_frame(&payload).unwrap();
+        }
+        let report = net.device_poll(&mut backend);
+        res.device_time += report.time;
+        for sum in sums {
+            match net.recv_frame() {
+                Some(got) if checksum(&got) == sum => res.frames_verified += 1,
+                _ => res.checksum_failures += 1,
+            }
+        }
+        net.reap_tx();
+        sent += n;
+    }
+    res.doorbells = net.tx.stats.kicks;
+    res.doorbells_suppressed = net.tx.stats.kicks_suppressed;
+    res.irqs = net.tx.stats.irqs + net.rx.stats.irqs;
+    res.irqs_suppressed = net.tx.stats.irqs_suppressed + net.rx.stats.irqs_suppressed;
+    res
+}
+
+// ---------------------------------------------------------------------
+// Simulation model
+// ---------------------------------------------------------------------
+
+/// netecho as a phase stream: one phase per doorbell batch, covering the
+/// tx copy-in and rx copy-out of every frame in the batch.
+#[derive(Debug)]
+pub struct NetEchoModel {
+    cfg: NetEchoConfig,
+    sent: u32,
+    bytes_done: u64,
+}
+
+impl NetEchoModel {
+    pub fn new(cfg: NetEchoConfig) -> Self {
+        NetEchoModel {
+            cfg,
+            sent: 0,
+            bytes_done: 0,
+        }
+    }
+}
+
+impl Workload for NetEchoModel {
+    fn name(&self) -> &'static str {
+        "netecho"
+    }
+
+    fn next_phase(&mut self, _now: Nanos) -> Option<Phase> {
+        if self.sent >= self.cfg.frames {
+            return None;
+        }
+        let n = (self.cfg.batch.max(1) as u32).min(self.cfg.frames - self.sent);
+        self.sent += n;
+        let bytes = 2 * n as u64 * self.cfg.frame_bytes as u64;
+        Some(Phase {
+            // Checksum + header fill: ~3 instructions per 8-byte word.
+            instructions: 3 * bytes / 8,
+            mem_refs: bytes / 8,
+            flops: 0,
+            footprint: bytes,
+            dram_bytes: bytes,
+            pattern: AccessPattern::Stream,
+        })
+    }
+
+    fn phase_complete(&mut self, _now: Nanos, _cost: &PhaseCost) {
+        let done = self.sent.min(self.cfg.frames) as u64;
+        self.bytes_done = 2 * done * self.cfg.frame_bytes as u64;
+    }
+
+    fn finish(&mut self, elapsed: Nanos) -> WorkloadOutput {
+        throughput(self.bytes_done as f64, elapsed, ScoreUnit::MBps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_run_verifies_every_frame() {
+        let cfg = NetEchoConfig {
+            frames: 200,
+            frame_bytes: 512,
+            batch: 8,
+        };
+        let r = run_native(&cfg, &Platform::pine_a64_lts());
+        assert_eq!(r.frames_verified, 200);
+        assert_eq!(r.checksum_failures, 0);
+        assert!(r.device_time > Nanos::ZERO);
+    }
+
+    #[test]
+    fn batching_cuts_doorbells() {
+        let batched = run_native(
+            &NetEchoConfig {
+                frames: 256,
+                frame_bytes: 256,
+                batch: 16,
+            },
+            &Platform::pine_a64_lts(),
+        );
+        let legacy = run_native(
+            &NetEchoConfig {
+                frames: 256,
+                frame_bytes: 256,
+                batch: 1,
+            },
+            &Platform::pine_a64_lts(),
+        );
+        assert!(batched.doorbells < legacy.doorbells);
+        assert_eq!(legacy.doorbells, 256, "legacy notifies per frame");
+        assert!(batched.doorbells_suppressed > 0);
+    }
+
+    #[test]
+    fn model_covers_the_configured_bytes() {
+        let cfg = NetEchoConfig {
+            frames: 100,
+            frame_bytes: 1000,
+            batch: 16,
+        };
+        let mut m = NetEchoModel::new(cfg);
+        let mut total = 0u64;
+        let zero = PhaseCost {
+            cycles: 0,
+            time: Nanos::ZERO,
+            walk_cycles: 0,
+            rewarm_cycles: 0,
+            bandwidth_bound: false,
+        };
+        while let Some(p) = m.next_phase(Nanos::ZERO) {
+            total += p.dram_bytes;
+            m.phase_complete(Nanos::ZERO, &zero);
+        }
+        assert_eq!(total, cfg.total_bytes());
+        let out = m.finish(Nanos::from_millis(10));
+        assert!(out.throughput().unwrap() > 0.0);
+    }
+}

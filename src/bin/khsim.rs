@@ -5,6 +5,7 @@
 //! khsim run --workload selfish --stack linux --trials 3
 //! khsim parallel --threads 4 --stack kitten
 //! khsim figures            # regenerate every paper figure
+//! khsim trace --workload netecho --stack linux    # event trace as CSV
 //! khsim list               # show workloads / stacks / platforms
 //! ```
 
@@ -14,10 +15,14 @@ use kitten_hafnium::core::figures;
 use kitten_hafnium::core::machine::Machine;
 use kitten_hafnium::core::parallel::{BarrierMode, ParallelMachine};
 use kitten_hafnium::sim::Nanos;
+use kitten_hafnium::hafnium::irq::IrqRoutingPolicy;
+use kitten_hafnium::sim::trace::{TraceEvent, TraceRecorder};
+use kitten_hafnium::workloads::blkstream::{BlkStreamConfig, BlkStreamModel};
 use kitten_hafnium::workloads::ftq::{Ftq, FtqConfig};
 use kitten_hafnium::workloads::gups::{GupsConfig, GupsModel};
 use kitten_hafnium::workloads::hpcg::{HpcgConfig, HpcgModel};
 use kitten_hafnium::workloads::nas::NasBenchmark;
+use kitten_hafnium::workloads::netecho::{NetEchoConfig, NetEchoModel};
 use kitten_hafnium::workloads::selfish::{SelfishConfig, SelfishDetour};
 use kitten_hafnium::workloads::stream::{StreamConfig, StreamModel};
 use kitten_hafnium::workloads::{Workload, WorkloadOutput};
@@ -35,6 +40,8 @@ const WORKLOADS: &[&str] = &[
     "nas-cg",
     "nas-ep",
     "nas-sp",
+    "netecho",
+    "blkstream",
 ];
 
 fn usage() -> ExitCode {
@@ -45,6 +52,7 @@ USAGE:
   khsim run [--workload W] [--stack S] [--seed N] [--platform P] [--trials N]
   khsim parallel [--threads N] [--stack S] [--seed N] [--no-barrier]
   khsim figures [--trials N] [--seed N]
+  khsim trace [--workload W] [--stack S] [--routing primary|selective] [--out FILE]
   khsim list
 
 OPTIONS:
@@ -109,6 +117,8 @@ fn workload_of(name: &str) -> Option<Box<dyn Workload + Send>> {
         "nas-cg" => Some(NasBenchmark::Cg.model()),
         "nas-ep" => Some(NasBenchmark::Ep.model()),
         "nas-sp" => Some(NasBenchmark::Sp.model()),
+        "netecho" => Some(Box::new(NetEchoModel::new(NetEchoConfig::default()))),
+        "blkstream" => Some(Box::new(BlkStreamModel::new(BlkStreamConfig::default()))),
         _ => None,
     }
 }
@@ -222,6 +232,95 @@ fn cmd_figures(flags: &HashMap<String, String>) -> Option<()> {
     Some(())
 }
 
+fn trace_csv(events: impl Iterator<Item = TraceEvent>) -> String {
+    let mut out = String::from("at_ns,core,category,duration_ns,detail\n");
+    for e in events {
+        let detail = if e.detail.contains(',') || e.detail.contains('"') {
+            format!("\"{}\"", e.detail.replace('"', "\"\""))
+        } else {
+            e.detail.clone()
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            e.at.as_nanos(),
+            e.core,
+            e.category.label(),
+            e.duration.as_nanos(),
+            detail
+        ));
+    }
+    out
+}
+
+/// `khsim trace`: run one workload with event tracing and dump the
+/// recorded events — including the virtio doorbell / IRQ-injection
+/// events for the I/O workloads — as CSV (stdout or `--out FILE`).
+fn cmd_trace(flags: &HashMap<String, String>) -> Option<()> {
+    let workload = flags.get("workload").map(|s| s.as_str()).unwrap_or("netecho");
+    let stack = stack_of(flags.get("stack").map(|s| s.as_str()).unwrap_or("kitten"))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(0x5C21))?;
+    let routing = match flags.get("routing").map(|s| s.as_str()).unwrap_or("primary") {
+        "primary" => IrqRoutingPolicy::AllToPrimary,
+        "selective" => IrqRoutingPolicy::Selective,
+        _ => return None,
+    };
+
+    let csv = match workload {
+        // The I/O workloads trace the virtio path itself: every doorbell
+        // and completion-interrupt injection, priced.
+        "netecho" | "blkstream" => {
+            let mut tr = TraceRecorder::new(1 << 20);
+            let (frames, requests) = if workload == "netecho" { (512, 0) } else { (0, 256) };
+            let row = figures::virtio_io_run(stack, routing, frames, requests, 16, Some(&mut tr));
+            eprintln!(
+                "{workload} on {} / {routing:?}: {} doorbells ({} suppressed), {} irqs ({} forwarded)",
+                stack.label(),
+                row.doorbells,
+                row.doorbells_suppressed,
+                row.irqs_delivered,
+                row.irqs_forwarded
+            );
+            trace_csv(tr.drain().into_iter())
+        }
+        _ => {
+            let platform =
+                platform_of(flags.get("platform").map(|s| s.as_str()).unwrap_or("pine"))?;
+            let cfg = MachineConfig {
+                platform,
+                stack,
+                options: StackOptions::default(),
+                seed,
+            };
+            let mut machine = Machine::new(cfg);
+            machine.enable_tracing(1 << 20);
+            let mut w = workload_of(workload)?;
+            let r = machine.run(w.as_mut());
+            eprintln!(
+                "{workload} on {}: {} ({} events traced)",
+                stack.label(),
+                describe(&r.output),
+                machine.trace().len()
+            );
+            trace_csv(machine.trace().iter().cloned())
+        }
+    };
+
+    match flags.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &csv) {
+                eprintln!("error: cannot write {path}: {e}");
+                return None;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{csv}"),
+    }
+    Some(())
+}
+
 fn cmd_list() {
     println!("workloads : {}", WORKLOADS.join(", "));
     println!("stacks    : native, kitten, linux");
@@ -240,6 +339,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags),
         "parallel" => cmd_parallel(&flags),
         "figures" => cmd_figures(&flags),
+        "trace" => cmd_trace(&flags),
         "list" => {
             cmd_list();
             Some(())

@@ -17,6 +17,7 @@
 //! cargo run --release --example multi_tenant
 //! cargo run --release --example super_secondary
 //! cargo run --release --example secure_boot
+//! cargo run --release --example virtio_echo
 //! ```
 //!
 //! Layer map (each is a crate in `crates/`):
@@ -28,6 +29,7 @@
 //! | [`hafnium`] | `kh-hafnium` | the SPM: isolation, hypercalls, TrustZone |
 //! | [`kitten`] | `kh-kitten` | the LWK: scheduler, control task, VM driver |
 //! | [`linux`] | `kh-linux` | the FWK baseline: CFS, kthread noise |
+//! | [`virtio`] | `kh-virtio` | paravirtual I/O: virtqueues, net/blk devices |
 //! | [`workloads`] | `kh-workloads` | HPCG, STREAM, GUPS, NAS, selfish |
 //! | [`metrics`] | `kh-metrics` | stats, tables, scatter plots |
 //! | [`core`] | `kh-core` | machine executor + experiment harness |
@@ -39,6 +41,7 @@ pub use kh_kitten as kitten;
 pub use kh_linux as linux;
 pub use kh_metrics as metrics;
 pub use kh_sim as sim;
+pub use kh_virtio as virtio;
 pub use kh_workloads as workloads;
 
 /// Crate version, for examples and reports.

@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors a minimal substitute. The simulator only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations — no
+//! code path relies on the generated trait impls (the one JSON codec in
+//! `kh-kitten::control` is hand-rolled) — so an empty expansion is sound.
+//! The `attributes(serde)` registration keeps `#[serde(...)]` field
+//! attributes legal should future types add them.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

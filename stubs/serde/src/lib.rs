@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives so existing
+//! `use serde::{Deserialize, Serialize};` imports and `#[derive(...)]`
+//! annotations keep compiling without a crates registry. See
+//! `stubs/serde-derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -93,3 +93,48 @@ fn native_kernels_are_deterministic() {
     );
     assert_eq!(c1.zeta, c2.zeta);
 }
+
+#[test]
+fn netecho_under_linux_primary_is_bit_identical() {
+    use kitten_hafnium::core::figures::virtio_io_run;
+    use kitten_hafnium::hafnium::irq::IrqRoutingPolicy;
+    use kitten_hafnium::sim::trace::TraceRecorder;
+    use kitten_hafnium::workloads::netecho::{NetEchoConfig, NetEchoModel};
+
+    // The modeled workload under the Linux-primary machine.
+    let run = |seed: u64| {
+        let cfg = MachineConfig::pine_a64(StackKind::HafniumLinux, seed);
+        let mut m = Machine::new(cfg);
+        let mut w = NetEchoModel::new(NetEchoConfig::default());
+        let r = m.run(&mut w);
+        (r.output, r.elapsed, r.stolen, r.interruptions)
+    };
+    assert_eq!(run(41), run(41), "same seed must replay bit-identically");
+    assert_ne!(run(41).1, run(42).1, "different seeds must differ");
+
+    // The priced virtio path, including its event trace.
+    let io = || {
+        let mut tr = TraceRecorder::new(1 << 16);
+        let row = virtio_io_run(
+            StackKind::HafniumLinux,
+            IrqRoutingPolicy::AllToPrimary,
+            128,
+            64,
+            16,
+            Some(&mut tr),
+        );
+        let events: Vec<(u64, String)> = tr
+            .drain()
+            .into_iter()
+            .map(|e| (e.at.as_nanos(), format!("{:?}|{}", e.category, e.detail)))
+            .collect();
+        (
+            row.net_per_frame,
+            row.blk_per_request,
+            row.doorbells,
+            row.irqs_delivered,
+            events,
+        )
+    };
+    assert_eq!(io(), io(), "the virtio trace must replay bit-identically");
+}

@@ -266,3 +266,71 @@ fn secondary_feature_restrictions_hold_after_boot() {
         TrapPolicy::Emulate
     );
 }
+
+#[test]
+fn virtqueue_pages_stay_private_to_the_grant_parties() {
+    use kitten_hafnium::arch::mmu::AccessKind;
+    use kitten_hafnium::virtio::QueueRegion;
+
+    let mut spm = booted();
+    let driver = VmId(2); // app-a
+    let device = VmId::SUPER_SECONDARY; // login / I/O servant
+    let outsider = VmId(3); // app-b — not a party to the grant
+
+    let region = QueueRegion::establish(&mut spm, driver, device, 2, 256, 2048).unwrap();
+    assert!(region.verify(&spm), "parties mapped and audit clean");
+
+    // Both parties reach the queue pages...
+    for vm in [driver, device] {
+        assert!(
+            spm.vm(vm)
+                .unwrap()
+                .stage2
+                .translate(region.grant.ipa, AccessKind::Write)
+                .is_ok(),
+            "{vm:?} must map its own queue region"
+        );
+        assert!(spm.vm_reaches_pa(vm, region.grant.pa));
+    }
+
+    // ...but a VM outside the grant can neither translate the queue IPA
+    // nor reach the backing frames through any of its own mappings.
+    assert!(
+        spm.vm(outsider)
+            .unwrap()
+            .stage2
+            .translate(region.grant.ipa, AccessKind::Read)
+            .is_err(),
+        "outsider must not translate another VM's virtqueue window"
+    );
+    for probe in [
+        region.grant.pa,
+        region.grant.pa + region.grant.len / 2,
+        region.grant.pa + region.grant.len - 1,
+    ] {
+        assert!(
+            !spm.vm_reaches_pa(outsider, probe),
+            "outsider reaches virtqueue frame {probe:#x}"
+        );
+    }
+    // The declared grant keeps the audit green despite the shared frames.
+    assert!(spm.audit_isolation().is_ok());
+
+    // Revocation restores full exclusivity: nobody but the owner side
+    // can see the frames any more.
+    let pa = region.grant.pa;
+    let ipa = region.grant.ipa;
+    region.revoke(&mut spm).unwrap();
+    for vm in [driver, device] {
+        assert!(
+            spm.vm(vm)
+                .unwrap()
+                .stage2
+                .translate(ipa, AccessKind::Read)
+                .is_err(),
+            "{vm:?} must lose the mapping on revoke"
+        );
+        assert!(!spm.vm_reaches_pa(vm, pa) || spm.audit_isolation().is_ok());
+    }
+    assert!(spm.audit_isolation().is_ok());
+}
