@@ -743,7 +743,7 @@ impl VirtioFrontend {
     }
 
     /// (completions, cost, bytes)
-    fn drain_net(&self, net: &mut kh_virtio::net::VirtioNet) -> (u64, Nanos, u64) {
+    fn drain_net(&mut self, net: &mut kh_virtio::net::VirtioNet) -> (u64, Nanos, u64) {
         match self {
             VirtioFrontend::Kitten(d) => {
                 let r = d.drain_net(net);
@@ -756,7 +756,7 @@ impl VirtioFrontend {
         }
     }
 
-    fn drain_blk(&self, blk: &mut kh_virtio::blk::VirtioBlk) -> (u64, Nanos, u64) {
+    fn drain_blk(&mut self, blk: &mut kh_virtio::blk::VirtioBlk) -> (u64, Nanos, u64) {
         match self {
             VirtioFrontend::Kitten(d) => {
                 let r = d.drain_blk(blk);
@@ -812,7 +812,7 @@ pub fn virtio_io_run(
         .expect("share grant");
     assert!(region.verify(&spm), "queue region must verify");
 
-    let frontend = VirtioFrontend::for_stack(stack, driver_vm);
+    let mut frontend = VirtioFrontend::for_stack(stack, driver_vm);
     // The backend service task in the primary is scheduled in per pass;
     // forwarded completions additionally run the primary's relay handler.
     let primary_frontend = VirtioFrontend::for_stack(stack, VmId::PRIMARY);
@@ -1031,6 +1031,119 @@ pub fn render_virtio(rows: &[VirtioAblationRow]) -> String {
     t.render()
 }
 
+// ---------------------------------------------------------------------
+// Ablation: fault injection (isolation while a partition misbehaves)
+// ---------------------------------------------------------------------
+
+/// The default fault storm for `khsim run --faults default` and the
+/// figures table: one crash, one hang, and lossy message/doorbell/IRQ
+/// channels throughout.
+pub const DEFAULT_FAULT_SPEC: &str = "crash@60ms,hang@150ms:20ms,drop-mailbox:0.2,\
+    corrupt-mailbox:0.05,lose-doorbell:0.2,lose-irq:0.2,corrupt-ring:0.1,\
+    delay-timer:3:1ms,spurious-doorbell:3,spurious-irq:3";
+
+/// One stack's paired clean/faulted measurement.
+#[derive(Debug, Clone)]
+pub struct FaultAblationRow {
+    pub stack: StackKind,
+    /// Benchmark detour counts — clean vs faulted must be equal.
+    pub clean_detours: usize,
+    pub faulted_detours: usize,
+    /// Benchmark stolen time — clean vs faulted must be equal.
+    pub clean_stolen: Nanos,
+    pub faulted_stolen: Nanos,
+    /// True when the benchmark's detour series, stolen time, and elapsed
+    /// time are bit-identical across the pair — the paper's isolation
+    /// claim, checked rather than asserted.
+    pub primary_unperturbed: bool,
+    pub victim: crate::victim::VictimReport,
+    pub fault_stats: kh_sim::FaultStats,
+    pub vm_restarts: u64,
+}
+
+/// The isolation-under-faults ablation: run the selfish-detour noise
+/// benchmark clean and under a fault storm, per virtualized stack. The
+/// benchmark's noise profile must not move; only the victim secondary
+/// (which absorbs every injection on its own core) degrades.
+pub fn ablation_faults(seed: u64, fault_seed: u64, spec: &kh_sim::FaultSpec) -> Vec<FaultAblationRow> {
+    use kh_sim::FaultPlan;
+    let duration = Nanos::from_millis(300);
+    [StackKind::HafniumKitten, StackKind::HafniumLinux]
+        .iter()
+        .map(|&stack| {
+            let run = |plan: Option<FaultPlan>| {
+                let mut m = Machine::new(MachineConfig::pine_a64(stack, seed));
+                if let Some(p) = plan {
+                    m.inject_faults(p);
+                }
+                let mut w = SelfishDetour::new(SelfishConfig {
+                    duration,
+                    ..Default::default()
+                });
+                m.run(&mut w)
+            };
+            let clean = run(None);
+            let faulted = run(Some(FaultPlan::new(spec, fault_seed, duration)));
+            let unperturbed = clean.output.detours() == faulted.output.detours()
+                && clean.stolen == faulted.stolen
+                && clean.elapsed == faulted.elapsed;
+            FaultAblationRow {
+                stack,
+                clean_detours: clean.output.detours().map_or(0, |d| d.len()),
+                faulted_detours: faulted.output.detours().map_or(0, |d| d.len()),
+                clean_stolen: clean.stolen,
+                faulted_stolen: faulted.stolen,
+                primary_unperturbed: unperturbed,
+                victim: faulted.victim.unwrap_or_default(),
+                fault_stats: faulted.fault_stats,
+                vm_restarts: faulted.vm_restarts,
+            }
+        })
+        .collect()
+}
+
+/// Render the fault ablation as an aligned table.
+pub fn render_faults(rows: &[FaultAblationRow]) -> String {
+    let mut t = Table::new(
+        "Ablation: fault injection (benchmark noise vs victim degradation)",
+        &[
+            "detours clean/faulted",
+            "stolen clean/faulted (ns)",
+            "primary",
+            "beats",
+            "crash/hang/miss",
+            "drop+corrupt",
+            "rekicks",
+            "restarts",
+        ],
+    );
+    for r in rows {
+        let v = &r.victim;
+        t.row(
+            format!("{:?}", r.stack),
+            vec![
+                format!("{}/{}", r.clean_detours, r.faulted_detours),
+                format!(
+                    "{}/{}",
+                    r.clean_stolen.as_nanos(),
+                    r.faulted_stolen.as_nanos()
+                ),
+                if r.primary_unperturbed {
+                    "unperturbed".into()
+                } else {
+                    "PERTURBED".into()
+                },
+                v.heartbeats.to_string(),
+                format!("{}/{}/{}", v.crashes, v.hangs, v.missed),
+                (v.dropped + v.corrupt).to_string(),
+                v.rekicks.to_string(),
+                r.vm_restarts.to_string(),
+            ],
+        );
+    }
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1049,6 +1162,26 @@ mod tests {
         assert!(ring.hypervisor_ops < mailbox.hypervisor_ops / 10);
         assert!(ring.throughput_mbps > mailbox.throughput_mbps);
         assert_eq!(mailbox.bytes, 2000 * 512);
+    }
+
+    #[test]
+    fn fault_ablation_keeps_the_primary_unperturbed() {
+        let spec = kh_sim::FaultSpec::parse(DEFAULT_FAULT_SPEC).unwrap();
+        let rows = ablation_faults(23, 5, &spec);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.primary_unperturbed, "{:?}: {:?}", r.stack, r);
+            assert_eq!(r.clean_detours, r.faulted_detours);
+            assert_eq!(r.clean_stolen, r.faulted_stolen);
+            assert_eq!(r.victim.crashes, 1, "{:?}", r.stack);
+            assert_eq!(r.vm_restarts, 1);
+            assert!(r.victim.heartbeats > 100);
+            assert!(r.fault_stats.total() > 0);
+        }
+        let rendered = render_faults(&rows);
+        assert!(rendered.contains("unperturbed"));
+        assert!(!rendered.contains("PERTURBED\n"));
+        assert!(rendered.contains("HafniumLinux"));
     }
 
     #[test]

@@ -25,8 +25,10 @@ pub mod experiment;
 pub mod figures;
 pub mod machine;
 pub mod parallel;
+pub mod victim;
 
 pub use config::{MachineConfig, StackKind, StackOptions};
 pub use experiment::{run_trials, TrialStats};
 pub use machine::{Machine, RunReport};
+pub use victim::{VictimReport, VictimVm, VICTIM_VM};
 pub use parallel::{BarrierMode, ParallelMachine, ParallelReport};

@@ -141,6 +141,8 @@ pub struct SpmStats {
     pub irqs_routed: u64,
     pub irqs_forwarded: u64,
     pub vm_switches: u64,
+    /// Secondary VMs restarted after a crash (fault-injection runs).
+    pub vm_restarts: u64,
 }
 
 /// The SPM.
@@ -456,6 +458,87 @@ impl Spm {
                 v.state = VcpuState::Running { core };
             }
         }
+    }
+
+    /// Whether `id` has crashed: at least one VCPU is dead in
+    /// [`VcpuState::Aborted`]. The machine layer polls this after every
+    /// secondary exit to decide when to trigger a restart.
+    pub fn vm_is_crashed(&self, id: VmId) -> bool {
+        self.vms
+            .get(&id)
+            .map(|vm| vm.vcpus.iter().any(|v| v.state == VcpuState::Aborted))
+            .unwrap_or(false)
+    }
+
+    /// All crashed VMs, in id order.
+    pub fn crashed_vms(&self) -> Vec<VmId> {
+        self.vms
+            .keys()
+            .copied()
+            .filter(|&id| self.vm_is_crashed(id))
+            .collect()
+    }
+
+    /// Restart a crashed secondary in place: revoke any share grants it
+    /// participated in, flush its stale mailbox state, and replace the
+    /// whole VM object — crucially its stage-2 table — with a fresh one
+    /// identity-mapped over the *same* backing region (memory is
+    /// scrubbed on reuse, exactly as in teardown). Only plain
+    /// secondaries restart this way: the primary is the system, and the
+    /// super-secondary's device passthrough windows come from a boot
+    /// manifest the SPM does not retain.
+    pub fn restart_vm(&mut self, id: VmId) -> Result<(), SpmError> {
+        let Some(old) = self.vms.get(&id) else {
+            return Err(SpmError::BadManifest(format!("no VM {} to restart", id.0)));
+        };
+        if old.kind != VmKind::Secondary {
+            return Err(SpmError::BadManifest(format!(
+                "{}: only plain secondaries restart in place",
+                old.name
+            )));
+        }
+        let (name, kind, world, mem_bytes, vcpus) = (
+            old.name.clone(),
+            old.kind,
+            old.world,
+            old.mem_bytes,
+            old.vcpus.len() as u16,
+        );
+        let &(base, len, _) = self
+            .backing
+            .get(&id)
+            .ok_or_else(|| SpmError::BadManifest(format!("{name}: no backing region")))?;
+        // The peer of a share keeps no window into memory the restarted
+        // instance never agreed to share: revoke, don't re-establish.
+        let stale: Vec<u64> = self
+            .grants
+            .iter()
+            .filter(|g| g.a == id || g.b == id)
+            .map(|g| g.id)
+            .collect();
+        for gid in stale {
+            let _ = self.revoke_share(VmId::PRIMARY, gid);
+        }
+        // Pre-crash messages must not be delivered to the new instance.
+        self.mailboxes.unregister(id);
+        self.mailboxes.register(id);
+        // Any core still nominally running this VM falls back to the
+        // primary (the crash normally did this via `finish_run`, but a
+        // hang-triggered restart may not have exited cleanly).
+        for core in 0..self.current.len() {
+            if matches!(self.current[core], Some((vm, _)) if vm == id) {
+                self.current[core] = Some((VmId::PRIMARY, core as u16));
+            }
+        }
+        let mut vm = Vm::new(id, name, kind, world, mem_bytes, vcpus);
+        vm.stage2
+            .map(0, base, len, PagePerms::RWX, MemAttr::Normal)
+            .map_err(|e| {
+                SpmError::BadManifest(format!("{}: restart stage2 map failed: {e:?}", vm.name))
+            })?;
+        self.vms.insert(id, vm);
+        self.stats.vm_restarts += 1;
+        Ok(())
     }
 
     /// The hypercall entry point. `caller`/`caller_vcpu` identify the
@@ -1191,5 +1274,120 @@ mod tests {
             ),
             Err(HfError::NoSuchTarget)
         );
+    }
+
+    fn run_app(s: &mut Spm, app: VmId) {
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::VcpuRun { vm: app, vcpu: 0 },
+            Nanos::ZERO,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn crash_is_detected_and_vcpu_not_runnable() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        assert!(!s.vm_is_crashed(app));
+        run_app(&mut s, app);
+        s.finish_run(0, VcpuRunExit::Aborted);
+        assert!(s.vm_is_crashed(app));
+        assert_eq!(s.crashed_vms(), vec![app]);
+        let r = s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::VcpuRun { vm: app, vcpu: 0 },
+            Nanos::ZERO,
+        );
+        assert_eq!(r, Err(HfError::NotRunnable));
+    }
+
+    #[test]
+    fn restart_revives_a_crashed_secondary() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        run_app(&mut s, app);
+        s.finish_run(0, VcpuRunExit::Aborted);
+        s.restart_vm(app).unwrap();
+        assert!(!s.vm_is_crashed(app));
+        assert_eq!(s.stats.vm_restarts, 1);
+        // Runnable again on a fresh stage-2 over the same backing.
+        run_app(&mut s, app);
+        assert_eq!(s.current(0), Some((app, 0)));
+        s.finish_run(0, VcpuRunExit::Yield);
+        assert!(s.audit_isolation().is_ok());
+    }
+
+    #[test]
+    fn restart_preserves_backing_and_isolation() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        let extents_before = s.vm(app).unwrap().stage2.physical_extents();
+        run_app(&mut s, app);
+        s.finish_run(0, VcpuRunExit::Aborted);
+        s.restart_vm(app).unwrap();
+        let extents_after = s.vm(app).unwrap().stage2.physical_extents();
+        assert_eq!(
+            extents_before, extents_after,
+            "restart reuses the same physical backing"
+        );
+        assert!(s.audit_isolation().is_ok());
+    }
+
+    #[test]
+    fn restart_revokes_stale_grants_and_flushes_mailbox() {
+        let mut s = spm_with(&[
+            VmManifest::new("primary", VmKind::Primary, 64 * MB, 4),
+            VmManifest::new("app", VmKind::Secondary, 64 * MB, 1),
+            VmManifest::new("other", VmKind::Secondary, 64 * MB, 1),
+        ]);
+        let app = s.vm_ids()[1];
+        let other = s.vm_ids()[2];
+        let g = s.share_memory(VmId::PRIMARY, app, other, MB).unwrap();
+        // A message queued before the crash must not reach the new
+        // instance after restart.
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::Send {
+                to: app,
+                payload: vec![1, 2, 3],
+            },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        run_app(&mut s, app);
+        s.finish_run(0, VcpuRunExit::Aborted);
+        s.restart_vm(app).unwrap();
+        assert!(s.grants().iter().all(|gr| gr.id != g.id));
+        assert!(
+            s.vm(other)
+                .unwrap()
+                .stage2
+                .translate(g.ipa, kh_arch::mmu::AccessKind::Read)
+                .is_err(),
+            "peer's window is gone too"
+        );
+        let r = s.hypercall(app, 0, 0, HfCall::Recv, Nanos::ZERO);
+        assert_eq!(r, Err(HfError::MailboxEmpty));
+        assert!(s.audit_isolation().is_ok());
+    }
+
+    #[test]
+    fn restart_refuses_primary_super_secondary_and_unknown() {
+        let mut s = spm_with(&[
+            VmManifest::new("primary", VmKind::Primary, 64 * MB, 4),
+            VmManifest::new("login", VmKind::SuperSecondary, 64 * MB, 1),
+            VmManifest::new("app", VmKind::Secondary, 64 * MB, 1),
+        ]);
+        assert!(s.restart_vm(VmId::PRIMARY).is_err());
+        assert!(s.restart_vm(VmId::SUPER_SECONDARY).is_err());
+        assert!(s.restart_vm(VmId(99)).is_err());
+        assert_eq!(s.stats.vm_restarts, 0);
     }
 }

@@ -326,6 +326,11 @@ pub struct ControlTask {
     pub driver: PrimaryDriver,
     /// Commands processed (diagnostics).
     pub processed: u64,
+    /// Replies that never got through even after the retry budget (the
+    /// requester's mailbox stayed busy; it will re-poll Status).
+    pub replies_dropped: u64,
+    /// Extra send attempts spent on busy reply mailboxes.
+    pub reply_retries: u64,
 }
 
 impl ControlTask {
@@ -388,18 +393,30 @@ impl ControlTask {
                 reason: "malformed command".into(),
             },
         };
-        // Best-effort reply; a busy sender mailbox drops the reply, as on
-        // the real single-slot channel.
-        let _ = spm.hypercall(
+        // Reply with bounded retry: a transiently busy requester mailbox
+        // (it is mid-restart, or still holds an old reply) gets the
+        // backoff budget before the reply is abandoned. The requester
+        // can always re-poll Status, so giving up is safe — blocking the
+        // control task forever is not.
+        match crate::retry::send_with_retry(
+            spm,
             VmId::PRIMARY,
             0,
             0,
-            HfCall::Send {
-                to: msg.from,
-                payload: result.encode(),
-            },
+            msg.from,
+            &result.encode(),
             now,
-        );
+            crate::retry::MailboxRetryPolicy::kitten(),
+            crate::retry::no_progress,
+        ) {
+            Ok(outcome) => {
+                self.reply_retries += (outcome.attempts - 1) as u64;
+                if !outcome.delivered {
+                    self.replies_dropped += 1;
+                }
+            }
+            Err(_) => self.replies_dropped += 1,
+        }
         Some(result)
     }
 }

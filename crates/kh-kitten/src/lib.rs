@@ -21,6 +21,8 @@
 //!   access, and the para-virtual GIC + virtual-timer plumbing,
 //! * [`control`] — the job-control command protocol spoken over the
 //!   mailbox channel with the super-secondary Login VM,
+//! * [`retry`] — bounded retry-with-backoff for single-slot mailbox
+//!   sends (the control path's fault-tolerance primitive),
 //! * [`pmem`] — the buddy allocator behind Kitten's physically
 //!   contiguous job memory,
 //! * [`image`] — the KIMG boot-image format and loader (W^X enforcement,
@@ -32,12 +34,14 @@ pub mod image;
 pub mod pmem;
 pub mod primary;
 pub mod profile;
+pub mod retry;
 pub mod sched;
 pub mod secondary;
 pub mod task;
 pub mod virtio;
 
 pub use control::{ControlTask, VmCommand, VmCommandResult};
+pub use retry::{send_with_retry, MailboxRetryPolicy, SendOutcome};
 pub use pmem::BuddyAllocator;
 pub use primary::PrimaryDriver;
 pub use profile::KittenProfile;

@@ -1,0 +1,289 @@
+//! Mailbox send retry with timeout and backoff.
+//!
+//! The secure mailbox is a single-slot channel: a `Send` to a VM whose
+//! slot is still occupied fails with `MailboxBusy`. Before the
+//! fault-injection work, callers either unwrapped (and panicked under a
+//! slow receiver) or dropped the message silently. Both are wrong for a
+//! primary that must stay up while secondaries crash and restart: the
+//! control path now retries with exponential backoff, giving up only
+//! after a bounded virtual-time budget so a wedged receiver cannot stall
+//! the primary forever.
+//!
+//! The simulation is single-threaded, so the receiver cannot drain
+//! concurrently; the `between` hook stands in for everything the rest of
+//! the machine does during a backoff interval (the machine layer passes
+//! its drain step, unit tests pass a receiver model, fire-and-forget
+//! callers pass `no_progress`).
+
+use kh_hafnium::hypercall::{HfCall, HfError};
+use kh_hafnium::spm::Spm;
+use kh_hafnium::vm::VmId;
+use kh_sim::Nanos;
+
+/// Backoff policy for mailbox sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MailboxRetryPolicy {
+    /// Attempts before giving up (the first send counts as attempt 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub initial_backoff: Nanos,
+    /// Backoff growth ceiling.
+    pub max_backoff: Nanos,
+}
+
+impl MailboxRetryPolicy {
+    /// Kitten's default: a lightweight kernel's control task spins on a
+    /// microsecond scale.
+    pub fn kitten() -> Self {
+        MailboxRetryPolicy {
+            max_attempts: 6,
+            initial_backoff: Nanos::from_micros(2),
+            max_backoff: Nanos::from_micros(64),
+        }
+    }
+
+    /// Backoff ahead of attempt `n` (1-based; attempt 1 has none).
+    pub fn backoff_before(&self, attempt: u32) -> Nanos {
+        if attempt <= 1 {
+            return Nanos::ZERO;
+        }
+        let doublings = (attempt - 2).min(62);
+        Nanos(
+            self.initial_backoff
+                .as_nanos()
+                .saturating_mul(1u64 << doublings)
+                .min(self.max_backoff.as_nanos()),
+        )
+    }
+
+    /// Total virtual time a caller can lose to a send that never
+    /// succeeds (the timeout the policy encodes).
+    pub fn worst_case_wait(&self) -> Nanos {
+        let mut total = Nanos::ZERO;
+        for attempt in 2..=self.max_attempts {
+            total += self.backoff_before(attempt);
+        }
+        total
+    }
+}
+
+/// What a retried send did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendOutcome {
+    pub delivered: bool,
+    pub attempts: u32,
+    /// Virtual time spent backing off (the caller charges this to its
+    /// own timeline).
+    pub waited: Nanos,
+}
+
+/// `between` hook for callers with nothing to do while backing off.
+pub fn no_progress(_spm: &mut Spm, _now: Nanos) {}
+
+/// Send `payload` from `(from, vcpu, core)` to `to`, retrying on
+/// `MailboxBusy` per `policy`. `between` runs once per backoff interval
+/// with the advanced virtual time. Non-busy errors abort immediately —
+/// retrying a `Denied` or `NoSuchTarget` cannot help.
+pub fn send_with_retry(
+    spm: &mut Spm,
+    from: VmId,
+    vcpu: u16,
+    core: u16,
+    to: VmId,
+    payload: &[u8],
+    now: Nanos,
+    policy: MailboxRetryPolicy,
+    mut between: impl FnMut(&mut Spm, Nanos),
+) -> Result<SendOutcome, HfError> {
+    let mut waited = Nanos::ZERO;
+    for attempt in 1..=policy.max_attempts.max(1) {
+        let backoff = policy.backoff_before(attempt);
+        if backoff > Nanos::ZERO {
+            waited += backoff;
+            between(spm, now + waited);
+        }
+        let r = spm.hypercall(
+            from,
+            vcpu,
+            core,
+            HfCall::Send {
+                to,
+                payload: payload.to_vec(),
+            },
+            now + waited,
+        );
+        match r {
+            Ok(_) => {
+                return Ok(SendOutcome {
+                    delivered: true,
+                    attempts: attempt,
+                    waited,
+                })
+            }
+            Err(HfError::MailboxBusy) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(SendOutcome {
+        delivered: false,
+        attempts: policy.max_attempts.max(1),
+        waited,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kh_arch::platform::Platform;
+    use kh_hafnium::hypercall::HfReturn;
+    use kh_hafnium::manifest::{VmKind, VmManifest};
+    use kh_hafnium::spm::SpmConfig;
+
+    const MB: u64 = 1 << 20;
+
+    fn spm() -> Spm {
+        let mut s = Spm::new(SpmConfig::default_for(Platform::pine_a64_lts()));
+        s.create_vm(
+            VmId::PRIMARY,
+            &VmManifest::new("kitten", VmKind::Primary, 64 * MB, 4),
+        )
+        .unwrap();
+        s.create_vm(
+            VmId(2),
+            &VmManifest::new("app", VmKind::Secondary, 64 * MB, 1),
+        )
+        .unwrap();
+        s.start_primary();
+        s
+    }
+
+    #[test]
+    fn first_attempt_success_costs_nothing() {
+        let mut s = spm();
+        let o = send_with_retry(
+            &mut s,
+            VmId::PRIMARY,
+            0,
+            0,
+            VmId(2),
+            b"hi",
+            Nanos::ZERO,
+            MailboxRetryPolicy::kitten(),
+            no_progress,
+        )
+        .unwrap();
+        assert_eq!(
+            o,
+            SendOutcome {
+                delivered: true,
+                attempts: 1,
+                waited: Nanos::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn busy_then_drained_succeeds_with_backoff_charged() {
+        let mut s = spm();
+        // Occupy the slot.
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::Send {
+                to: VmId(2),
+                payload: b"first".to_vec(),
+            },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        // The receiver drains during the second backoff interval.
+        let mut drains = 0;
+        let o = send_with_retry(
+            &mut s,
+            VmId::PRIMARY,
+            0,
+            0,
+            VmId(2),
+            b"second",
+            Nanos::ZERO,
+            MailboxRetryPolicy::kitten(),
+            |spm, now| {
+                drains += 1;
+                if drains == 2 {
+                    let r = spm.hypercall(VmId(2), 0, 0, HfCall::Recv, now);
+                    assert!(matches!(r, Ok(HfReturn::Msg(_))));
+                }
+            },
+        )
+        .unwrap();
+        assert!(o.delivered);
+        assert_eq!(o.attempts, 3);
+        // 2µs before attempt 2, 2µs (doubled from attempt 3's view:
+        // initial * 2^(3-2) = 4µs) before attempt 3.
+        assert_eq!(o.waited, Nanos::from_micros(2) + Nanos::from_micros(4));
+    }
+
+    #[test]
+    fn persistent_busy_gives_up_after_bounded_wait() {
+        let mut s = spm();
+        s.hypercall(
+            VmId::PRIMARY,
+            0,
+            0,
+            HfCall::Send {
+                to: VmId(2),
+                payload: b"stuck".to_vec(),
+            },
+            Nanos::ZERO,
+        )
+        .unwrap();
+        let policy = MailboxRetryPolicy::kitten();
+        let o = send_with_retry(
+            &mut s,
+            VmId::PRIMARY,
+            0,
+            0,
+            VmId(2),
+            b"lost",
+            Nanos::ZERO,
+            policy,
+            no_progress,
+        )
+        .unwrap();
+        assert!(!o.delivered);
+        assert_eq!(o.attempts, policy.max_attempts);
+        assert_eq!(o.waited, policy.worst_case_wait());
+    }
+
+    #[test]
+    fn hard_errors_abort_without_retry() {
+        let mut s = spm();
+        let r = send_with_retry(
+            &mut s,
+            VmId::PRIMARY,
+            0,
+            0,
+            VmId(99),
+            b"void",
+            Nanos::ZERO,
+            MailboxRetryPolicy::kitten(),
+            no_progress,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = MailboxRetryPolicy {
+            max_attempts: 8,
+            initial_backoff: Nanos(100),
+            max_backoff: Nanos(400),
+        };
+        assert_eq!(p.backoff_before(1), Nanos::ZERO);
+        assert_eq!(p.backoff_before(2), Nanos(100));
+        assert_eq!(p.backoff_before(3), Nanos(200));
+        assert_eq!(p.backoff_before(4), Nanos(400));
+        assert_eq!(p.backoff_before(5), Nanos(400), "capped");
+    }
+}

@@ -13,6 +13,7 @@ use kh_hafnium::vm::VmId;
 use kh_sim::Nanos;
 use kh_virtio::blk::VirtioBlk;
 use kh_virtio::net::VirtioNet;
+use kh_virtio::watchdog::KickWatchdog;
 
 /// What one completion-interrupt service pass cost and reaped.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,6 +32,10 @@ pub struct KittenVirtioDriver {
     pub profile: KittenProfile,
     /// Per-completion reap cost (descriptor recycle + buffer handoff).
     pub per_completion: Nanos,
+    /// Doorbell watchdog: a lost kick is re-rung after this lapses. An
+    /// LWK can afford a tight watchdog (its timers are cheap and its
+    /// device round trips are microseconds).
+    pub watchdog: KickWatchdog,
 }
 
 impl KittenVirtioDriver {
@@ -39,7 +44,19 @@ impl KittenVirtioDriver {
             vm,
             profile: KittenProfile::default(),
             per_completion: Nanos(150),
+            watchdog: KickWatchdog::new(Nanos::from_micros(100)),
         }
+    }
+
+    /// The frontend rang a doorbell: arm the re-kick watchdog.
+    pub fn note_kick(&mut self, now: Nanos) {
+        self.watchdog.note_kick(now);
+    }
+
+    /// If a kick has gone unanswered past the timeout, consume the
+    /// deadline and tell the caller to ring the doorbell again.
+    pub fn should_rekick(&mut self, now: Nanos) -> bool {
+        self.watchdog.fire(now)
     }
 
     /// Enable the device's completion interrupt through the para-virtual
@@ -69,7 +86,7 @@ impl KittenVirtioDriver {
     }
 
     /// Service a net completion interrupt: reap rx frames and tx slots.
-    pub fn drain_net(&self, net: &mut VirtioNet) -> DrainReport {
+    pub fn drain_net(&mut self, net: &mut VirtioNet) -> DrainReport {
         let mut r = DrainReport {
             cost: self.irq_entry_cost(),
             ..Default::default()
@@ -82,11 +99,14 @@ impl KittenVirtioDriver {
         let tx = net.reap_tx();
         r.completions += tx;
         r.cost += self.per_completion.scaled(tx);
+        if r.completions > 0 {
+            self.watchdog.note_completion();
+        }
         r
     }
 
     /// Service a blk completion interrupt: reap finished requests.
-    pub fn drain_blk(&self, blk: &mut VirtioBlk) -> DrainReport {
+    pub fn drain_blk(&mut self, blk: &mut VirtioBlk) -> DrainReport {
         let mut r = DrainReport {
             cost: self.irq_entry_cost(),
             ..Default::default()
@@ -95,6 +115,9 @@ impl KittenVirtioDriver {
             r.completions += 1;
             r.bytes += data.len() as u64;
             r.cost += self.per_completion;
+        }
+        if r.completions > 0 {
+            self.watchdog.note_completion();
         }
         r
     }
@@ -144,7 +167,7 @@ mod tests {
         }
         net.device_poll(&mut backend);
 
-        let drv = KittenVirtioDriver::new(VmId(2));
+        let mut drv = KittenVirtioDriver::new(VmId(2));
         let r = drv.drain_net(&mut net);
         assert_eq!(r.completions, 8, "4 rx frames + 4 tx slots");
         assert_eq!(r.bytes, 400);
@@ -158,5 +181,31 @@ mod tests {
     fn lwk_interrupt_entry_is_one_switch() {
         let drv = KittenVirtioDriver::new(VmId(2));
         assert_eq!(drv.irq_entry_cost(), Nanos::from_micros(1));
+    }
+
+    #[test]
+    fn lost_doorbell_is_rekicked_after_timeout() {
+        let mut drv = KittenVirtioDriver::new(VmId(2));
+        drv.note_kick(Nanos::ZERO);
+        // The doorbell was lost: no completion ever arrives.
+        assert!(!drv.should_rekick(Nanos::from_micros(99)));
+        assert!(drv.should_rekick(Nanos::from_micros(100)));
+        assert_eq!(drv.watchdog.rekicks, 1);
+    }
+
+    #[test]
+    fn served_doorbell_disarms_the_watchdog() {
+        let platform = Platform::pine_a64_lts();
+        let mut net = VirtioNet::new(&platform, 78, 64, 0);
+        let mut backend = EchoBackend::default();
+        net.post_rx(256).unwrap();
+        net.send_frame(&[7u8; 64]).unwrap();
+        let mut drv = KittenVirtioDriver::new(VmId(2));
+        drv.note_kick(Nanos::ZERO);
+        net.device_poll(&mut backend);
+        let r = drv.drain_net(&mut net);
+        assert!(r.completions > 0);
+        assert!(!drv.should_rekick(Nanos::from_micros(1000)));
+        assert_eq!(drv.watchdog.rekicks, 0);
     }
 }

@@ -13,6 +13,7 @@ use kh_hafnium::vm::VmId;
 use kh_sim::Nanos;
 use kh_virtio::blk::VirtioBlk;
 use kh_virtio::net::VirtioNet;
+use kh_virtio::watchdog::KickWatchdog;
 
 /// What one completion-interrupt service pass cost and reaped.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,6 +31,10 @@ pub struct LinuxVirtioDriver {
     pub profile: LinuxProfile,
     /// Per-completion bookkeeping (skb alloc / bio endio, cgroup stats).
     pub per_completion: Nanos,
+    /// Doorbell watchdog (virtio-net tx watchdog / blk-mq request
+    /// timeout). Jiffy-resolution timers make it far coarser than
+    /// Kitten's: 4 ms, one HZ=250 tick.
+    pub watchdog: KickWatchdog,
 }
 
 impl LinuxVirtioDriver {
@@ -38,7 +43,19 @@ impl LinuxVirtioDriver {
             vm,
             profile: LinuxProfile::new(0, num_cores),
             per_completion: Nanos(450),
+            watchdog: KickWatchdog::new(Nanos::from_micros(4000)),
         }
+    }
+
+    /// The frontend rang a doorbell: arm the re-kick watchdog.
+    pub fn note_kick(&mut self, now: Nanos) {
+        self.watchdog.note_kick(now);
+    }
+
+    /// If a kick has gone unanswered past the timeout, consume the
+    /// deadline and tell the caller to ring the doorbell again.
+    pub fn should_rekick(&mut self, now: Nanos) -> bool {
+        self.watchdog.fire(now)
     }
 
     /// Enable the device's completion interrupt through the para-virtual
@@ -68,7 +85,7 @@ impl LinuxVirtioDriver {
     }
 
     /// Service a net completion interrupt (the NAPI poll).
-    pub fn drain_net(&self, net: &mut VirtioNet) -> DrainReport {
+    pub fn drain_net(&mut self, net: &mut VirtioNet) -> DrainReport {
         let mut r = DrainReport {
             cost: self.irq_entry_cost(),
             ..Default::default()
@@ -81,11 +98,14 @@ impl LinuxVirtioDriver {
         let tx = net.reap_tx();
         r.completions += tx;
         r.cost += self.per_completion.scaled(tx);
+        if r.completions > 0 {
+            self.watchdog.note_completion();
+        }
         r
     }
 
     /// Service a blk completion interrupt (the blk-mq completion pass).
-    pub fn drain_blk(&self, blk: &mut VirtioBlk) -> DrainReport {
+    pub fn drain_blk(&mut self, blk: &mut VirtioBlk) -> DrainReport {
         let mut r = DrainReport {
             cost: self.irq_entry_cost(),
             ..Default::default()
@@ -94,6 +114,9 @@ impl LinuxVirtioDriver {
             r.completions += 1;
             r.bytes += data.len() as u64;
             r.cost += self.per_completion;
+        }
+        if r.completions > 0 {
+            self.watchdog.note_completion();
         }
         r
     }
@@ -112,6 +135,19 @@ mod tests {
         let kitten = KittenVirtioDriver::new(VmId(2));
         assert!(linux.irq_entry_cost() > kitten.irq_entry_cost());
         assert!(linux.per_completion > kitten.per_completion);
+        assert!(
+            linux.watchdog.timeout > kitten.watchdog.timeout,
+            "jiffy-resolution re-kick vs LWK microsecond watchdog"
+        );
+    }
+
+    #[test]
+    fn lost_doorbell_rekicks_on_the_jiffy_scale() {
+        let mut drv = LinuxVirtioDriver::new(VmId(2), 4);
+        drv.note_kick(Nanos::ZERO);
+        assert!(!drv.should_rekick(Nanos::from_micros(3999)));
+        assert!(drv.should_rekick(Nanos::from_micros(4000)));
+        assert_eq!(drv.watchdog.rekicks, 1);
     }
 
     #[test]
@@ -123,7 +159,7 @@ mod tests {
                 .unwrap();
         }
         blk.device_poll();
-        let drv = LinuxVirtioDriver::new(VmId(2), 4);
+        let mut drv = LinuxVirtioDriver::new(VmId(2), 4);
         let r = drv.drain_blk(&mut blk);
         assert_eq!(r.completions, 3);
         assert_eq!(

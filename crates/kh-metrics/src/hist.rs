@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A log-bucketed histogram over positive values.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LogHistogram {
     /// Lowest representable value; everything below lands in bucket 0.
     min_value: f64,
@@ -48,7 +48,9 @@ impl LogHistogram {
         b.min(self.counts.len() - 1)
     }
 
-    /// Lower edge of a bucket.
+    /// Lower edge of a bucket (only the tests need it now that the
+    /// estimators all report upper edges).
+    #[cfg(test)]
     fn bucket_floor(&self, bucket: usize) -> f64 {
         if bucket == 0 {
             return 0.0;
@@ -56,8 +58,21 @@ impl LogHistogram {
         self.min_value * 10f64.powf((bucket - 1) as f64 / self.resolution as f64)
     }
 
+    /// Upper edge of a bucket: bucket 0 holds `(0, min_value]`, bucket
+    /// `b > 0` holds `(ceil(b-1), ceil(b)]`.
+    fn bucket_ceil(&self, bucket: usize) -> f64 {
+        self.min_value * 10f64.powf(bucket as f64 / self.resolution as f64)
+    }
+
+    /// Record one sample. Negative and non-finite values (a workload
+    /// model bug, but one that must not corrupt published statistics)
+    /// are clamped to zero instead of poisoning `sum`/`mean`.
     pub fn record(&mut self, value: f64) {
-        debug_assert!(value >= 0.0);
+        let value = if value.is_finite() && value >= 0.0 {
+            value
+        } else {
+            0.0
+        };
         let b = self.bucket_of(value);
         self.counts[b] += 1;
         self.total += 1;
@@ -76,7 +91,9 @@ impl LogHistogram {
         }
     }
 
-    /// Percentile estimate (bucket lower edge), q in [0, 1].
+    /// Percentile estimate (bucket upper edge), q in [0, 1]. The upper
+    /// edge is a conservative tail estimate: the lower edge would report
+    /// a p99/max *below* a value actually observed.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.total == 0 {
             return f64::NAN;
@@ -87,10 +104,10 @@ impl LogHistogram {
         for (b, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return self.bucket_floor(b);
+                return self.bucket_ceil(b);
             }
         }
-        self.bucket_floor(self.counts.len() - 1)
+        self.bucket_ceil(self.counts.len() - 1)
     }
 
     pub fn median(&self) -> f64 {
@@ -101,9 +118,11 @@ impl LogHistogram {
         self.percentile(0.99)
     }
 
-    pub fn max_bucket_floor(&self) -> f64 {
+    /// Upper edge of the highest populated bucket — the histogram's
+    /// estimate of the maximum recorded value.
+    pub fn max_bucket_ceil(&self) -> f64 {
         let last = self.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
-        self.bucket_floor(last)
+        self.bucket_ceil(last)
     }
 
     /// Merge another histogram with identical geometry.
@@ -169,8 +188,32 @@ mod tests {
         h.record(1e9);
         assert_eq!(h.count(), 2);
         assert!(h.percentile(0.1) <= 1.0);
-        // The huge value lands in the top bucket (floor 10^1.9 ≈ 79).
-        assert!(h.max_bucket_floor() >= 70.0, "{}", h.max_bucket_floor());
+        // The huge value lands in the top bucket (upper edge 10^2 = 100).
+        assert!(h.max_bucket_ceil() >= 99.0, "{}", h.max_bucket_ceil());
+    }
+
+    #[test]
+    fn negative_and_nonfinite_values_clamp_to_zero() {
+        let mut h = LogHistogram::new(1.0, 3, 10);
+        h.record(-250.0);
+        h.record(f64::NAN);
+        h.record(f64::NEG_INFINITY);
+        h.record(10.0);
+        assert_eq!(h.count(), 4);
+        // sum must be 10.0, not poisoned by negatives or NaN.
+        assert!((h.mean() - 2.5).abs() < 1e-9, "mean = {}", h.mean());
+        assert!(h.percentile(0.25) <= 1.0, "clamped values sit in bucket 0");
+    }
+
+    #[test]
+    fn percentile_upper_edge_covers_observed_values() {
+        // The tail estimate must never be below a recorded value's
+        // bucket: with one sample, p100 >= the sample's bucket ceiling
+        // which is >= the sample itself (modulo bucket resolution).
+        let mut h = LogHistogram::new(1.0, 6, 20);
+        h.record(10.0);
+        assert!(h.percentile(1.0) >= 10.0, "p100 = {}", h.percentile(1.0));
+        assert!(h.max_bucket_ceil() >= 10.0);
     }
 
     #[test]

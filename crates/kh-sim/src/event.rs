@@ -67,6 +67,11 @@ impl<T> Ord for HeapEntry<T> {
 #[derive(Debug)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<HeapEntry<T>>,
+    /// Ids scheduled but neither popped nor cancelled. This is the exact
+    /// pending set; `live` is always `pending.len()`.
+    pending: HashSet<EventId>,
+    /// Cancelled ids whose heap entries have not been reaped yet
+    /// (removal from a binary heap is lazy).
     cancelled: HashSet<EventId>,
     next_seq: u64,
     now: Nanos,
@@ -83,6 +88,7 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            pending: HashSet::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
             now: Nanos::ZERO,
@@ -124,6 +130,7 @@ impl<T> EventQueue<T> {
             id,
             payload,
         });
+        self.pending.insert(id);
         self.live += 1;
         id
     }
@@ -136,28 +143,16 @@ impl<T> EventQueue<T> {
 
     /// Cancel a pending event. Returns `true` if the event was still
     /// pending (i.e. not yet popped and not already cancelled).
+    /// Cancelling an unknown, already-popped, or already-cancelled id is
+    /// a no-op returning `false` — `len()` stays exact either way.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false; // never issued
+        if !self.pending.remove(&id) {
+            return false; // never issued, already popped, or already cancelled
         }
-        if self.cancelled.insert(id) {
-            // It may have already popped; `cancelled` entries for popped
-            // ids are impossible because pop removes them from the heap
-            // and we only count live ones here if it is actually pending.
-            // We verify by scanning lazily at pop time; the live count is
-            // adjusted optimistically and fixed if the id was stale.
-            // To keep `live` exact we check whether the heap can still
-            // contain it: ids are unique, so if it is not in the heap the
-            // insert is a stale cancel. A linear scan would be O(n); we
-            // instead accept the invariant that callers only cancel
-            // pending events (enforced in debug builds).
-            if self.live > 0 {
-                self.live -= 1;
-            }
-            true
-        } else {
-            false
-        }
+        // The heap entry is reaped lazily at the next peek/pop.
+        self.cancelled.insert(id);
+        self.live -= 1;
+        true
     }
 
     /// Peek at the timestamp of the next pending event.
@@ -172,6 +167,7 @@ impl<T> EventQueue<T> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
+        self.pending.remove(&entry.id);
         self.live -= 1;
         Some(ScheduledEvent {
             id: entry.id,
@@ -275,6 +271,82 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn cancel_after_pop_is_false_and_len_stays_exact() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Nanos(10), "a");
+        q.schedule_at(Nanos(20), "b");
+        assert_eq!(q.pop_next().unwrap().id, a);
+        assert!(!q.cancel(a), "cancelling a popped id must report false");
+        assert_eq!(q.len(), 1, "stale cancel must not decrement len");
+        assert!(!q.is_empty());
+        assert_eq!(q.pop_next().unwrap().payload, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_cancel_does_not_leak_into_cancelled_set() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Nanos(10), ());
+        q.pop_next();
+        q.cancel(a); // stale
+        assert!(q.cancelled.is_empty(), "stale cancel must not be retained");
+        // A fresh cancel is reaped from the set once the heap entry goes.
+        let b = q.schedule_at(Nanos(20), ());
+        q.schedule_at(Nanos(30), ());
+        assert!(q.cancel(b));
+        q.pop_next();
+        assert!(q.cancelled.is_empty(), "reaped cancel must be forgotten");
+    }
+
+    proptest::proptest! {
+        /// Interleave schedule/pop/cancel (incl. double-cancel and
+        /// cancel-after-pop) and check `len()` against a model that
+        /// tracks the exact pending set.
+        #[test]
+        fn len_matches_model_under_interleavings(
+            ops in proptest::collection::vec((0u8..3, 0usize..32), 1..200)
+        ) {
+            let mut q: EventQueue<usize> = EventQueue::new();
+            let mut issued: Vec<EventId> = Vec::new();
+            let mut model: std::collections::HashSet<EventId> =
+                std::collections::HashSet::new();
+            let mut t = 0u64;
+            for (op, arg) in ops {
+                match op {
+                    0 => {
+                        t += 1 + (arg as u64);
+                        let id = q.schedule_at(Nanos(t), arg);
+                        issued.push(id);
+                        model.insert(id);
+                    }
+                    1 => {
+                        let popped = q.pop_next();
+                        proptest::prop_assert_eq!(popped.is_some(), !model.is_empty());
+                        if let Some(e) = popped {
+                            proptest::prop_assert!(model.remove(&e.id));
+                        }
+                    }
+                    _ => {
+                        if !issued.is_empty() {
+                            let id = issued[arg % issued.len()];
+                            let was_pending = model.remove(&id);
+                            proptest::prop_assert_eq!(q.cancel(id), was_pending);
+                        }
+                    }
+                }
+                proptest::prop_assert_eq!(q.len(), model.len());
+                proptest::prop_assert_eq!(q.is_empty(), model.is_empty());
+            }
+            // Drain: every remaining pop must come from the model.
+            while let Some(e) = q.pop_next() {
+                proptest::prop_assert!(model.remove(&e.id));
+                proptest::prop_assert_eq!(q.len(), model.len());
+            }
+            proptest::prop_assert!(model.is_empty());
+        }
     }
 
     #[test]

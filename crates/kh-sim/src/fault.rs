@@ -1,0 +1,580 @@
+//! Deterministic fault injection.
+//!
+//! The paper's isolation claim is only meaningful under adversity: a
+//! crashed, hung, or actively misbehaving secondary must not perturb
+//! the primary's noise profile. This module turns a textual fault spec
+//! (`crash@200ms,drop-mailbox:0.01`) plus a seed into a [`FaultPlan`] —
+//! a fully expanded, reproducible schedule of injections.
+//!
+//! Determinism guarantees:
+//!
+//! * Every random decision is drawn from streams split off a dedicated
+//!   fault root seed (`SimRng::new(fault_seed)`), one child stream per
+//!   component (mailbox, doorbell, IRQ, ring, timer, lifecycle). The
+//!   machine's own noise streams are never consulted, so two runs with
+//!   the same workload seed — one with faults, one without — see
+//!   bit-identical primary-side noise.
+//! * Scheduled injections (crashes, hangs, spurious doorbells/IRQs,
+//!   delayed ticks) are expanded to concrete virtual times at plan
+//!   construction; per-event gates (message drops, doorbell/IRQ loss,
+//!   ring corruption) consume their component stream in arrival order,
+//!   which the single-threaded engine makes a total order.
+
+use crate::rng::SimRng;
+use crate::time::Nanos;
+use std::fmt;
+
+/// Labels for the per-component fault streams ([`SimRng::split`]).
+const STREAM_LIFECYCLE: u64 = 1;
+const STREAM_MAILBOX: u64 = 2;
+const STREAM_DOORBELL: u64 = 3;
+const STREAM_IRQ: u64 = 4;
+const STREAM_RING: u64 = 5;
+const STREAM_TIMER: u64 = 6;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The victim secondary VM takes an unrecoverable abort.
+    SecondaryCrash,
+    /// The victim secondary stops responding for `stall`.
+    SecondaryHang { stall: Nanos },
+    /// A spurious doorbell with no published buffers behind it.
+    DoorbellSpurious,
+    /// A spurious completion IRQ with no completions behind it.
+    IrqSpurious,
+    /// A timer tick delivered `extra` late.
+    TimerDelay { extra: Nanos },
+}
+
+/// A scheduled injection at a concrete virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at: Nanos,
+    pub kind: FaultKind,
+}
+
+/// Errors from [`FaultSpec::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultParseError(pub String);
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+/// One clause of a fault spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Clause {
+    /// `crash@<time>` — crash the victim secondary at the given time.
+    CrashAt(Nanos),
+    /// `hang@<time>:<dur>` — victim stops responding for `dur`.
+    HangAt(Nanos, Nanos),
+    /// `drop-mailbox:<p>` — drop each mailbox send with probability p.
+    DropMailbox(f64),
+    /// `corrupt-mailbox:<p>` — corrupt each delivered message with
+    /// probability p.
+    CorruptMailbox(f64),
+    /// `lose-doorbell:<p>` — swallow each rung doorbell with
+    /// probability p.
+    LoseDoorbell(f64),
+    /// `spurious-doorbell:<n>` — n phantom doorbells at random times.
+    SpuriousDoorbell(u32),
+    /// `lose-irq:<p>` — swallow each completion IRQ with probability p.
+    LoseIrq(f64),
+    /// `spurious-irq:<n>` — n phantom completion IRQs at random times.
+    SpuriousIrq(u32),
+    /// `delay-timer:<n>:<extra>` — n ticks delivered `extra` late, at
+    /// random times.
+    DelayTimer(u32, Nanos),
+    /// `corrupt-ring:<p>` — corrupt each virtqueue publish with
+    /// probability p.
+    CorruptRing(f64),
+}
+
+/// A parsed fault specification: the what, without the when. Feed it to
+/// [`FaultPlan::new`] with a seed and horizon to expand it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    clauses: Vec<Clause>,
+}
+
+fn parse_time(s: &str) -> Result<Nanos, FaultParseError> {
+    let err = || FaultParseError(format!("bad time `{s}` (want e.g. 200ms, 50us, 3s, 1200ns)"));
+    let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1u64)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        (s, 1)
+    };
+    let v: u64 = num.parse().map_err(|_| err())?;
+    v.checked_mul(mult).map(Nanos).ok_or_else(err)
+}
+
+fn parse_prob(s: &str) -> Result<f64, FaultParseError> {
+    let p: f64 = s
+        .parse()
+        .map_err(|_| FaultParseError(format!("bad probability `{s}`")))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(FaultParseError(format!("probability `{s}` not in [0, 1]")));
+    }
+    Ok(p)
+}
+
+fn parse_count(s: &str) -> Result<u32, FaultParseError> {
+    s.parse()
+        .map_err(|_| FaultParseError(format!("bad count `{s}`")))
+}
+
+impl FaultSpec {
+    /// Parse a comma-separated clause list, e.g.
+    /// `crash@200ms,drop-mailbox:0.01,spurious-irq:8`.
+    pub fn parse(spec: &str) -> Result<FaultSpec, FaultParseError> {
+        let mut clauses = Vec::new();
+        for raw in spec.split(',') {
+            let c = raw.trim();
+            if c.is_empty() {
+                continue;
+            }
+            let clause = if let Some(rest) = c.strip_prefix("crash@") {
+                Clause::CrashAt(parse_time(rest)?)
+            } else if let Some(rest) = c.strip_prefix("hang@") {
+                let (at, dur) = rest
+                    .split_once(':')
+                    .ok_or_else(|| FaultParseError(format!("`{c}` wants hang@<time>:<dur>")))?;
+                Clause::HangAt(parse_time(at)?, parse_time(dur)?)
+            } else if let Some(rest) = c.strip_prefix("drop-mailbox:") {
+                Clause::DropMailbox(parse_prob(rest)?)
+            } else if let Some(rest) = c.strip_prefix("corrupt-mailbox:") {
+                Clause::CorruptMailbox(parse_prob(rest)?)
+            } else if let Some(rest) = c.strip_prefix("lose-doorbell:") {
+                Clause::LoseDoorbell(parse_prob(rest)?)
+            } else if let Some(rest) = c.strip_prefix("spurious-doorbell:") {
+                Clause::SpuriousDoorbell(parse_count(rest)?)
+            } else if let Some(rest) = c.strip_prefix("lose-irq:") {
+                Clause::LoseIrq(parse_prob(rest)?)
+            } else if let Some(rest) = c.strip_prefix("spurious-irq:") {
+                Clause::SpuriousIrq(parse_count(rest)?)
+            } else if let Some(rest) = c.strip_prefix("delay-timer:") {
+                let (n, extra) = rest.split_once(':').ok_or_else(|| {
+                    FaultParseError(format!("`{c}` wants delay-timer:<n>:<extra>"))
+                })?;
+                Clause::DelayTimer(parse_count(n)?, parse_time(extra)?)
+            } else if let Some(rest) = c.strip_prefix("corrupt-ring:") {
+                Clause::CorruptRing(parse_prob(rest)?)
+            } else {
+                return Err(FaultParseError(format!("unknown clause `{c}`")));
+            };
+            clauses.push(clause);
+        }
+        Ok(FaultSpec { clauses })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match c {
+                Clause::CrashAt(t) => write!(f, "crash@{}ns", t.as_nanos())?,
+                Clause::HangAt(t, d) => {
+                    write!(f, "hang@{}ns:{}ns", t.as_nanos(), d.as_nanos())?
+                }
+                Clause::DropMailbox(p) => write!(f, "drop-mailbox:{p}")?,
+                Clause::CorruptMailbox(p) => write!(f, "corrupt-mailbox:{p}")?,
+                Clause::LoseDoorbell(p) => write!(f, "lose-doorbell:{p}")?,
+                Clause::SpuriousDoorbell(n) => write!(f, "spurious-doorbell:{n}")?,
+                Clause::LoseIrq(p) => write!(f, "lose-irq:{p}")?,
+                Clause::SpuriousIrq(n) => write!(f, "spurious-irq:{n}")?,
+                Clause::DelayTimer(n, e) => {
+                    write!(f, "delay-timer:{n}:{}ns", e.as_nanos())?
+                }
+                Clause::CorruptRing(p) => write!(f, "corrupt-ring:{p}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters for what actually fired, layer by layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub crashes: u64,
+    pub hangs: u64,
+    pub mailbox_dropped: u64,
+    pub mailbox_corrupted: u64,
+    pub doorbells_lost: u64,
+    pub doorbells_spurious: u64,
+    pub irqs_lost: u64,
+    pub irqs_spurious: u64,
+    pub timer_delays: u64,
+    pub ring_corruptions: u64,
+}
+
+impl FaultStats {
+    /// Total injections across every kind.
+    pub fn total(&self) -> u64 {
+        self.crashes
+            + self.hangs
+            + self.mailbox_dropped
+            + self.mailbox_corrupted
+            + self.doorbells_lost
+            + self.doorbells_spurious
+            + self.irqs_lost
+            + self.irqs_spurious
+            + self.timer_delays
+            + self.ring_corruptions
+    }
+}
+
+/// A fully expanded, deterministic injection schedule plus the per-event
+/// probability gates, each on its own RNG stream.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Scheduled injections, sorted by time (stable for equal times).
+    scheduled: Vec<FaultEvent>,
+    /// Cursor over `scheduled` (events fire once, in order).
+    next_scheduled: usize,
+    drop_mailbox_p: f64,
+    corrupt_mailbox_p: f64,
+    lose_doorbell_p: f64,
+    lose_irq_p: f64,
+    corrupt_ring_p: f64,
+    mailbox_rng: SimRng,
+    doorbell_rng: SimRng,
+    irq_rng: SimRng,
+    ring_rng: SimRng,
+    pub stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (every gate closed, no schedule).
+    pub fn none() -> FaultPlan {
+        FaultPlan::new(&FaultSpec::default(), 0, Nanos::ZERO)
+    }
+
+    /// Expand `spec` over `[0, horizon)` using streams derived from
+    /// `fault_seed`. The same (spec, seed, horizon) triple always yields
+    /// the same plan.
+    pub fn new(spec: &FaultSpec, fault_seed: u64, horizon: Nanos) -> FaultPlan {
+        let mut root = SimRng::new(fault_seed);
+        let mut lifecycle = root.split(STREAM_LIFECYCLE);
+        let mailbox_rng = root.split(STREAM_MAILBOX);
+        let mut doorbell_rng = root.split(STREAM_DOORBELL);
+        let mut irq_rng = root.split(STREAM_IRQ);
+        let ring_rng = root.split(STREAM_RING);
+        let mut timer_rng = root.split(STREAM_TIMER);
+
+        let span = horizon.as_nanos().max(1);
+        let mut scheduled = Vec::new();
+        let mut drop_mailbox_p = 0.0;
+        let mut corrupt_mailbox_p = 0.0;
+        let mut lose_doorbell_p = 0.0;
+        let mut lose_irq_p = 0.0;
+        let mut corrupt_ring_p = 0.0;
+
+        for clause in &spec.clauses {
+            match *clause {
+                Clause::CrashAt(at) => scheduled.push(FaultEvent {
+                    at,
+                    kind: FaultKind::SecondaryCrash,
+                }),
+                Clause::HangAt(at, stall) => scheduled.push(FaultEvent {
+                    at,
+                    kind: FaultKind::SecondaryHang { stall },
+                }),
+                Clause::SpuriousDoorbell(n) => {
+                    for _ in 0..n {
+                        scheduled.push(FaultEvent {
+                            at: Nanos(lifecycle_draw(&mut doorbell_rng, span)),
+                            kind: FaultKind::DoorbellSpurious,
+                        });
+                    }
+                }
+                Clause::SpuriousIrq(n) => {
+                    for _ in 0..n {
+                        scheduled.push(FaultEvent {
+                            at: Nanos(lifecycle_draw(&mut irq_rng, span)),
+                            kind: FaultKind::IrqSpurious,
+                        });
+                    }
+                }
+                Clause::DelayTimer(n, extra) => {
+                    for _ in 0..n {
+                        scheduled.push(FaultEvent {
+                            at: Nanos(lifecycle_draw(&mut timer_rng, span)),
+                            kind: FaultKind::TimerDelay { extra },
+                        });
+                    }
+                }
+                Clause::DropMailbox(p) => drop_mailbox_p = combine(drop_mailbox_p, p),
+                Clause::CorruptMailbox(p) => corrupt_mailbox_p = combine(corrupt_mailbox_p, p),
+                Clause::LoseDoorbell(p) => lose_doorbell_p = combine(lose_doorbell_p, p),
+                Clause::LoseIrq(p) => lose_irq_p = combine(lose_irq_p, p),
+                Clause::CorruptRing(p) => corrupt_ring_p = combine(corrupt_ring_p, p),
+            }
+        }
+        // One throwaway draw keeps the lifecycle stream "used" whatever
+        // the spec, so adding clauses later cannot silently repurpose it.
+        let _ = lifecycle.next_u64();
+        scheduled.sort_by_key(|e| e.at);
+
+        FaultPlan {
+            scheduled,
+            next_scheduled: 0,
+            drop_mailbox_p,
+            corrupt_mailbox_p,
+            lose_doorbell_p,
+            lose_irq_p,
+            corrupt_ring_p,
+            mailbox_rng,
+            doorbell_rng,
+            irq_rng,
+            ring_rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Does this plan ever inject anything?
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty()
+            && self.drop_mailbox_p == 0.0
+            && self.corrupt_mailbox_p == 0.0
+            && self.lose_doorbell_p == 0.0
+            && self.lose_irq_p == 0.0
+            && self.corrupt_ring_p == 0.0
+    }
+
+    /// The full expanded schedule (inspection/tests).
+    pub fn scheduled(&self) -> &[FaultEvent] {
+        &self.scheduled
+    }
+
+    /// Time of the next scheduled injection not yet taken.
+    pub fn next_scheduled_at(&self) -> Option<Nanos> {
+        self.scheduled.get(self.next_scheduled).map(|e| e.at)
+    }
+
+    /// Take every scheduled injection due at or before `now`, in order.
+    pub fn take_due(&mut self, now: Nanos) -> Vec<FaultEvent> {
+        let mut due = Vec::new();
+        while let Some(e) = self.scheduled.get(self.next_scheduled) {
+            if e.at > now {
+                break;
+            }
+            match e.kind {
+                FaultKind::SecondaryCrash => self.stats.crashes += 1,
+                FaultKind::SecondaryHang { .. } => self.stats.hangs += 1,
+                FaultKind::DoorbellSpurious => self.stats.doorbells_spurious += 1,
+                FaultKind::IrqSpurious => self.stats.irqs_spurious += 1,
+                FaultKind::TimerDelay { .. } => self.stats.timer_delays += 1,
+            }
+            due.push(*e);
+            self.next_scheduled += 1;
+        }
+        due
+    }
+
+    // -- per-event gates (each on its own stream) ----------------------
+
+    /// Should this mailbox send be dropped in flight?
+    pub fn drop_mailbox(&mut self) -> bool {
+        if self.drop_mailbox_p > 0.0 && self.mailbox_rng.chance(self.drop_mailbox_p) {
+            self.stats.mailbox_dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Should this delivered mailbox message be corrupted?
+    pub fn corrupt_mailbox(&mut self) -> bool {
+        if self.corrupt_mailbox_p > 0.0 && self.mailbox_rng.chance(self.corrupt_mailbox_p) {
+            self.stats.mailbox_corrupted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Should this doorbell be swallowed before the device sees it?
+    pub fn lose_doorbell(&mut self) -> bool {
+        if self.lose_doorbell_p > 0.0 && self.doorbell_rng.chance(self.lose_doorbell_p) {
+            self.stats.doorbells_lost += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Should this completion IRQ be swallowed before the driver sees it?
+    pub fn lose_irq(&mut self) -> bool {
+        if self.lose_irq_p > 0.0 && self.irq_rng.chance(self.lose_irq_p) {
+            self.stats.irqs_lost += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Should this virtqueue publish be corrupted on the ring?
+    pub fn corrupt_ring(&mut self) -> bool {
+        if self.corrupt_ring_p > 0.0 && self.ring_rng.chance(self.corrupt_ring_p) {
+            self.stats.ring_corruptions += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Uniform injection time over the horizon.
+fn lifecycle_draw(rng: &mut SimRng, span: u64) -> u64 {
+    rng.next_below(span)
+}
+
+/// Combine independent per-event probabilities from repeated clauses:
+/// P(either fires) = 1 - (1-a)(1-b).
+fn combine(a: f64, b: f64) -> f64 {
+    1.0 - (1.0 - a) * (1.0 - b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_clause_kind() {
+        let spec = FaultSpec::parse(
+            "crash@200ms,hang@150ms:2ms,drop-mailbox:0.01,corrupt-mailbox:0.02,\
+             lose-doorbell:0.05,spurious-doorbell:8,lose-irq:0.03,spurious-irq:4,\
+             delay-timer:16:50us,corrupt-ring:0.1",
+        )
+        .unwrap();
+        assert_eq!(spec.clauses.len(), 10);
+        assert_eq!(spec.clauses[0], Clause::CrashAt(Nanos::from_millis(200)));
+        assert_eq!(
+            spec.clauses[1],
+            Clause::HangAt(Nanos::from_millis(150), Nanos::from_millis(2))
+        );
+        assert_eq!(
+            spec.clauses[8],
+            Clause::DelayTimer(16, Nanos::from_micros(50))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_clauses() {
+        assert!(FaultSpec::parse("explode@5ms").is_err());
+        assert!(FaultSpec::parse("crash@fast").is_err());
+        assert!(FaultSpec::parse("drop-mailbox:1.5").is_err());
+        assert!(FaultSpec::parse("hang@5ms").is_err(), "missing duration");
+        assert!(FaultSpec::parse("delay-timer:4").is_err(), "missing delay");
+    }
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        let spec = FaultSpec::parse("").unwrap();
+        assert!(spec.is_empty());
+        let plan = FaultPlan::new(&spec, 1, Nanos::from_secs(1));
+        assert!(plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = "crash@200000000ns,drop-mailbox:0.01,spurious-irq:4";
+        let spec = FaultSpec::parse(s).unwrap();
+        assert_eq!(FaultSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let spec = FaultSpec::parse("spurious-doorbell:16,delay-timer:8:10us").unwrap();
+        let a = FaultPlan::new(&spec, 42, Nanos::from_secs(1));
+        let b = FaultPlan::new(&spec, 42, Nanos::from_secs(1));
+        assert_eq!(a.scheduled(), b.scheduled());
+        let c = FaultPlan::new(&spec, 43, Nanos::from_secs(1));
+        assert_ne!(a.scheduled(), c.scheduled(), "different seed, different times");
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_within_horizon() {
+        let spec = FaultSpec::parse("spurious-irq:64,spurious-doorbell:64").unwrap();
+        let horizon = Nanos::from_millis(10);
+        let plan = FaultPlan::new(&spec, 7, horizon);
+        assert_eq!(plan.scheduled().len(), 128);
+        let mut prev = Nanos::ZERO;
+        for e in plan.scheduled() {
+            assert!(e.at >= prev, "schedule must be sorted");
+            assert!(e.at < horizon, "injection outside horizon");
+            prev = e.at;
+        }
+    }
+
+    #[test]
+    fn take_due_fires_once_in_order() {
+        let spec = FaultSpec::parse("crash@5ms,hang@2ms:1ms").unwrap();
+        let mut plan = FaultPlan::new(&spec, 1, Nanos::from_secs(1));
+        assert_eq!(plan.next_scheduled_at(), Some(Nanos::from_millis(2)));
+        let due = plan.take_due(Nanos::from_millis(3));
+        assert_eq!(due.len(), 1);
+        assert!(matches!(due[0].kind, FaultKind::SecondaryHang { .. }));
+        let due = plan.take_due(Nanos::from_millis(10));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, FaultKind::SecondaryCrash);
+        assert!(plan.take_due(Nanos::from_secs(1)).is_empty());
+        assert_eq!(plan.stats.crashes, 1);
+        assert_eq!(plan.stats.hangs, 1);
+    }
+
+    #[test]
+    fn gates_draw_from_independent_streams() {
+        let spec =
+            FaultSpec::parse("drop-mailbox:0.5,lose-doorbell:0.5,lose-irq:0.5").unwrap();
+        // Interleaving order of *different* gates must not change any
+        // single gate's decision sequence.
+        let mut a = FaultPlan::new(&spec, 9, Nanos::from_secs(1));
+        let mut b = FaultPlan::new(&spec, 9, Nanos::from_secs(1));
+        let seq_a: Vec<bool> = (0..64).map(|_| a.drop_mailbox()).collect();
+        // b consults the doorbell and IRQ gates between mailbox draws.
+        let seq_b: Vec<bool> = (0..64)
+            .map(|_| {
+                let _ = b.lose_doorbell();
+                let _ = b.lose_irq();
+                b.drop_mailbox()
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b, "streams must be independent per component");
+    }
+
+    #[test]
+    fn repeated_probability_clauses_combine() {
+        let spec = FaultSpec::parse("drop-mailbox:0.5,drop-mailbox:0.5").unwrap();
+        let plan = FaultPlan::new(&spec, 1, Nanos::from_secs(1));
+        assert!((plan.drop_mailbox_p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_rates_are_plausible() {
+        let spec = FaultSpec::parse("drop-mailbox:0.25").unwrap();
+        let mut plan = FaultPlan::new(&spec, 3, Nanos::from_secs(1));
+        let hits = (0..10_000).filter(|_| plan.drop_mailbox()).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+        assert_eq!(plan.stats.mailbox_dropped, hits as u64);
+    }
+}

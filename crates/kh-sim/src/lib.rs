@@ -12,7 +12,10 @@
 //!   ordering among simultaneous events,
 //! * [`trace`] — a lightweight structured trace recorder used to capture
 //!   machine-level happenings (traps, ticks, context switches) for the
-//!   noise-profile experiments.
+//!   noise-profile experiments,
+//! * [`fault`] — seeded, deterministic fault-injection plans (crashes,
+//!   hangs, dropped/corrupted messages, lost/spurious doorbells and
+//!   IRQs, delayed ticks) used to test isolation under adversity.
 //!
 //! The engine is intentionally single-threaded: reproducibility of the
 //! paper's noise measurements requires a total order over machine events.
@@ -20,11 +23,13 @@
 //! harness runs independent experiments on separate engines).
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue, ScheduledEvent};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, FaultStats};
 pub use rng::{SimRng, SplitMix64};
 pub use time::{Freq, Nanos};
 pub use trace::{TraceCategory, TraceEvent, TraceRecorder};

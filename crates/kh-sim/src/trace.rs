@@ -193,6 +193,35 @@ impl TraceRecorder {
             .sum();
         Nanos(total)
     }
+
+    /// The recorded events as the canonical `khsim trace` CSV.
+    pub fn to_csv(&self) -> String {
+        events_to_csv(self.iter())
+    }
+}
+
+/// Render trace events as CSV (`at_ns,core,category,duration_ns,detail`)
+/// with RFC-4180 quoting of the free-form detail column. This is the
+/// byte format the determinism suite compares, so it lives here rather
+/// than in the CLI binary.
+pub fn events_to_csv<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> String {
+    let mut out = String::from("at_ns,core,category,duration_ns,detail\n");
+    for e in events {
+        let detail = if e.detail.contains(',') || e.detail.contains('"') {
+            format!("\"{}\"", e.detail.replace('"', "\"\""))
+        } else {
+            e.detail.clone()
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            e.at.as_nanos(),
+            e.core,
+            e.category.label(),
+            e.duration.as_nanos(),
+            detail
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -264,6 +293,21 @@ mod tests {
         let drained = t.drain();
         assert_eq!(drained.len(), 1);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_embedded_commas_and_quotes() {
+        let mut t = TraceRecorder::new(4);
+        t.emit(Nanos(5), 1, TraceCategory::Hypercall, Nanos(2), "vm=2,op=\"send\"");
+        t.emit(Nanos(7), 0, TraceCategory::TimerTick, Nanos::ZERO, "plain");
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("at_ns,core,category,duration_ns,detail"));
+        assert_eq!(
+            lines.next(),
+            Some("5,1,hypercall,2,\"vm=2,op=\"\"send\"\"\"")
+        );
+        assert_eq!(lines.next(), Some("7,0,timer_tick,0,plain"));
     }
 
     #[test]

@@ -110,6 +110,9 @@ pub struct BlkServiceReport {
     pub completed: u64,
     /// Completion interrupts that actually fired (not suppressed).
     pub irqs: u64,
+    /// Ring entries rejected by descriptor validation; the pass
+    /// continues past them.
+    pub corrupt: u64,
 }
 
 /// The virtio-blk device: one request queue, a sparse sector store, and
@@ -186,15 +189,19 @@ impl VirtioBlk {
     }
 
     /// Reap one completion: the data for reads, empty for writes.
-    /// Re-arms interrupt suppression once the queue is drained.
+    /// Re-arms interrupt suppression once the queue is drained. Corrupt
+    /// used entries are skipped (counted in `queue.stats.corruptions`).
     pub fn poll_completion(&mut self) -> Option<Vec<u8>> {
-        match self.queue.poll_used() {
-            Some(c) => Some(c.data),
-            None => {
-                if self.batch > 1 {
-                    self.queue.suppress_interrupts_for(self.batch);
+        loop {
+            match self.queue.try_poll_used() {
+                Ok(Some(c)) => return Some(c.data),
+                Ok(None) => {
+                    if self.batch > 1 {
+                        self.queue.suppress_interrupts_for(self.batch);
+                    }
+                    return None;
                 }
-                None
+                Err(_) => continue,
             }
         }
     }
@@ -206,8 +213,19 @@ impl VirtioBlk {
     /// suppress) the completion interrupt.
     pub fn device_poll(&mut self) -> BlkServiceReport {
         let mut report = BlkServiceReport::default();
-        while let Some(head) = self.queue.pop_avail() {
-            let hdr = self.queue.out_bytes(head).expect("request header").to_vec();
+        loop {
+            let head = match self.queue.try_pop_avail() {
+                Ok(Some(h)) => h,
+                Ok(None) => break,
+                Err(_) => {
+                    report.corrupt += 1;
+                    continue;
+                }
+            };
+            let Ok(hdr) = self.queue.out_bytes(head).map(<[u8]>::to_vec) else {
+                report.corrupt += 1;
+                continue;
+            };
             let Some((op, sector, count)) = BlkRequest::parse(&hdr) else {
                 self.stats.bad_requests += 1;
                 self.queue.push_used(head, 0).expect("bad-request completion");
@@ -231,7 +249,14 @@ impl VirtioBlk {
                     0
                 }
                 OP_READ => {
-                    let buf = self.queue.in_buf_mut(head).expect("read chain in-buf");
+                    // A header claiming a read on an out-only chain is a
+                    // malformed request, not a device panic.
+                    let Ok(buf) = self.queue.in_buf_mut(head) else {
+                        self.stats.bad_requests += 1;
+                        self.queue.push_used(head, 0).expect("completion");
+                        report.completed += 1;
+                        continue;
+                    };
                     let mut written = 0usize;
                     for i in 0..count as u64 {
                         let src = self

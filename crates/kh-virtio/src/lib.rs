@@ -32,11 +32,13 @@ pub mod blk;
 pub mod cost;
 pub mod net;
 pub mod queue;
+pub mod watchdog;
 
 pub use blk::{BlkRequest, StorageProfile, VirtioBlk};
 pub use cost::IoCostModel;
 pub use net::{EchoBackend, LinkProfile, NetBackend, VirtioNet};
 pub use queue::{QueueError, QueueRegion, QueueStats, Virtqueue};
+pub use watchdog::KickWatchdog;
 
 /// FNV-1a checksum used by the I/O workloads to verify payload integrity
 /// end to end (driver → queue → device → backend → queue → driver).

@@ -95,6 +95,9 @@ pub struct ServiceReport {
     pub rx_done: u64,
     /// Completion interrupts that actually fired (not suppressed).
     pub irqs: u64,
+    /// Ring entries rejected by descriptor validation (see
+    /// [`QueueError::Corrupt`]); the pass continues past them.
+    pub corrupt: u64,
 }
 
 /// The virtio-net device: tx + rx queues, a link model, and optionally
@@ -158,24 +161,34 @@ impl VirtioNet {
     }
 
     /// Reap one received frame, if any. Re-arms interrupt suppression
-    /// for the next batch once the queue is drained.
+    /// for the next batch once the queue is drained. Corrupt used
+    /// entries are skipped (counted in `rx.stats.corruptions`) so one
+    /// bad entry cannot wedge the reap loop.
     pub fn recv_frame(&mut self) -> Option<Vec<u8>> {
-        match self.rx.poll_used() {
-            Some(c) => Some(c.data),
-            None => {
-                if self.batch > 1 {
-                    self.rx.suppress_interrupts_for(self.batch);
+        loop {
+            match self.rx.try_poll_used() {
+                Ok(Some(c)) => return Some(c.data),
+                Ok(None) => {
+                    if self.batch > 1 {
+                        self.rx.suppress_interrupts_for(self.batch);
+                    }
+                    return None;
                 }
-                None
+                Err(_) => continue,
             }
         }
     }
 
     /// Reap tx completions (frees tx descriptors), returning how many.
+    /// Corrupt entries are skipped, not reaped.
     pub fn reap_tx(&mut self) -> u64 {
         let mut n = 0;
-        while self.tx.poll_used().is_some() {
-            n += 1;
+        loop {
+            match self.tx.try_poll_used() {
+                Ok(Some(_)) => n += 1,
+                Ok(None) => break,
+                Err(_) => continue,
+            }
         }
         if self.batch > 1 {
             self.tx.suppress_interrupts_for(self.batch);
@@ -189,12 +202,21 @@ impl VirtioNet {
     /// returned frames to rx, raise (or suppress) completion IRQs.
     pub fn device_poll(&mut self, backend: &mut dyn NetBackend) -> ServiceReport {
         let mut report = ServiceReport::default();
-        while let Some(head) = self.tx.pop_avail() {
-            let frame = self
-                .tx
-                .out_bytes(head)
-                .expect("popped chain has out bytes")
-                .to_vec();
+        loop {
+            let head = match self.tx.try_pop_avail() {
+                Ok(Some(h)) => h,
+                Ok(None) => break,
+                Err(_) => {
+                    // The driver side of the ring is untrusted; skip the
+                    // corrupt entry and keep servicing the rest.
+                    report.corrupt += 1;
+                    continue;
+                }
+            };
+            let Ok(frame) = self.tx.out_bytes(head).map(<[u8]>::to_vec) else {
+                report.corrupt += 1;
+                continue;
+            };
             let bytes = frame.len() as u64;
             report.time +=
                 self.cost.copy(bytes) + self.link.wire_time(bytes) + self.link.base_latency;

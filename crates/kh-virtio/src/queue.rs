@@ -42,6 +42,11 @@ pub enum QueueError {
     BadSize,
     /// The backing share grant is too small for this queue layout.
     RegionTooSmall,
+    /// A ring entry named a descriptor that is out of range, not posted,
+    /// or chained into a cycle — shared queue memory was corrupted by
+    /// the peer (or a fault injection). The entry is consumed and the
+    /// error surfaced; the queue itself stays usable.
+    Corrupt,
 }
 
 /// Per-queue counters; the figure harness reads these.
@@ -63,6 +68,8 @@ pub struct QueueStats {
     pub bytes_down: u64,
     /// Device→driver payload bytes.
     pub bytes_up: u64,
+    /// Ring entries rejected by descriptor-chain validation.
+    pub corruptions: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -159,6 +166,14 @@ impl Virtqueue {
         (counter & (self.size as u64 - 1)) as usize
     }
 
+    /// Wrap-safe "a is past b" over free-running counters: the signed
+    /// distance is what matters, exactly as in virtio's `vring_need_event`.
+    /// Valid while the two counters stay within `i64::MAX` of each other,
+    /// which queue-size bounds guarantee.
+    fn counter_after(a: u64, b: u64) -> bool {
+        a.wrapping_sub(b) as i64 > 0
+    }
+
     // -- driver side --------------------------------------------------
 
     fn alloc(&mut self) -> Result<u16, QueueError> {
@@ -168,7 +183,7 @@ impl Virtqueue {
     fn publish(&mut self, head: u16) {
         let slot = self.slot(self.avail_idx);
         self.avail_ring[slot] = head;
-        self.avail_idx += 1;
+        self.avail_idx = self.avail_idx.wrapping_add(1);
         self.stats.added += 1;
     }
 
@@ -232,7 +247,7 @@ impl Virtqueue {
     /// event-index suppression the device parks its `avail_event` ahead
     /// of the published counter to batch kicks.
     pub fn needs_kick(&self) -> bool {
-        !self.event_idx || self.avail_idx > self.avail_event
+        !self.event_idx || Self::counter_after(self.avail_idx, self.avail_event)
     }
 
     /// Ring the doorbell. Returns whether a notification fired (false
@@ -250,21 +265,24 @@ impl Virtqueue {
     /// Driver-side interrupt batching: don't interrupt until `batch`
     /// more completions are posted.
     pub fn suppress_interrupts_for(&mut self, batch: u64) {
-        self.used_event = self.used_idx + batch.saturating_sub(1);
+        self.used_event = self.used_idx.wrapping_add(batch.saturating_sub(1));
     }
 
-    /// Reap one completion, recycling its descriptors.
-    pub fn poll_used(&mut self) -> Option<Completion> {
-        if self.last_used >= self.used_idx {
-            return None;
+    /// Reap one completion, recycling its descriptors. Returns
+    /// `Ok(None)` when the used ring is empty and [`QueueError::Corrupt`]
+    /// when the next entry fails descriptor-chain validation (the entry
+    /// is consumed; the queue stays usable).
+    pub fn try_poll_used(&mut self) -> Result<Option<Completion>, QueueError> {
+        if self.used_pending() == 0 {
+            return Ok(None);
         }
         let (head, written) = self.used_ring[self.slot(self.last_used)];
-        self.last_used += 1;
+        self.last_used = self.last_used.wrapping_add(1);
+        self.validate_chain(head)?;
         let mut data = Vec::new();
         let mut cursor = Some(head);
         while let Some(id) = cursor {
             let d = &mut self.desc[id as usize];
-            debug_assert!(d.in_use, "completed descriptor not in use");
             if d.write {
                 data = std::mem::take(&mut d.buf);
                 data.truncate(written as usize);
@@ -275,29 +293,88 @@ impl Virtqueue {
             cursor = d.next.take();
             self.free.push(id);
         }
-        Some(Completion {
+        Ok(Some(Completion {
             head,
             written,
             data,
-        })
+        }))
+    }
+
+    /// [`Self::try_poll_used`] with corruption folded into `None` (the
+    /// error stays visible in `stats.corruptions`). Prefer the fallible
+    /// form in device/driver code.
+    pub fn poll_used(&mut self) -> Option<Completion> {
+        self.try_poll_used().ok().flatten()
+    }
+
+    /// Walk a chain read off a ring, proving every hop names a posted
+    /// descriptor and the chain terminates. A corrupted ring can name an
+    /// out-of-range id, a free descriptor, or splice a cycle; all are
+    /// rejected without touching descriptor state.
+    fn validate_chain(&mut self, head: u16) -> Result<(), QueueError> {
+        let mut cursor = Some(head);
+        let mut hops = 0u32;
+        while let Some(id) = cursor {
+            let ok = self.desc.get(id as usize).filter(|d| d.in_use);
+            let Some(d) = ok else {
+                self.stats.corruptions += 1;
+                return Err(QueueError::Corrupt);
+            };
+            hops += 1;
+            if hops > self.size as u32 {
+                // Longer than every descriptor chained once: a cycle.
+                self.stats.corruptions += 1;
+                return Err(QueueError::Corrupt);
+            }
+            cursor = d.next;
+        }
+        Ok(())
     }
 
     // -- device side --------------------------------------------------
 
-    /// Take the next available chain head, if any.
-    pub fn pop_avail(&mut self) -> Option<u16> {
-        if self.last_avail >= self.avail_idx {
-            return None;
+    /// Take the next available chain head, if any, validating it the way
+    /// a defensive device must: the driver side of the ring is untrusted
+    /// shared memory. Corrupt entries are consumed and surfaced.
+    pub fn try_pop_avail(&mut self) -> Result<Option<u16>, QueueError> {
+        if self.avail_pending() == 0 {
+            return Ok(None);
         }
         let head = self.avail_ring[self.slot(self.last_avail)];
-        self.last_avail += 1;
-        Some(head)
+        self.last_avail = self.last_avail.wrapping_add(1);
+        self.validate_chain(head)?;
+        Ok(Some(head))
+    }
+
+    /// [`Self::try_pop_avail`] with corruption folded into `None` (the
+    /// error stays visible in `stats.corruptions`).
+    pub fn pop_avail(&mut self) -> Option<u16> {
+        self.try_pop_avail().ok().flatten()
     }
 
     /// Device-side doorbell batching: no kick needed until `batch` more
     /// buffers are published past the device's current position.
     pub fn suppress_kicks_for(&mut self, batch: u64) {
-        self.avail_event = self.last_avail + batch.saturating_sub(1);
+        self.avail_event = self.last_avail.wrapping_add(batch.saturating_sub(1));
+    }
+
+    // -- fault injection ----------------------------------------------
+
+    /// Simulate peer-side memory corruption: publish a bogus avail entry
+    /// exactly as a misbehaving driver scribbling on shared queue memory
+    /// would. Bypasses the descriptor allocator and stats on purpose.
+    pub fn inject_corrupt_avail(&mut self, head: u16) {
+        let slot = self.slot(self.avail_idx);
+        self.avail_ring[slot] = head;
+        self.avail_idx = self.avail_idx.wrapping_add(1);
+    }
+
+    /// Simulate device-side memory corruption: publish a bogus used
+    /// entry for the driver to trip over.
+    pub fn inject_corrupt_used(&mut self, head: u16, written: u32) {
+        let slot = self.slot(self.used_idx);
+        self.used_ring[slot] = (head, written);
+        self.used_idx = self.used_idx.wrapping_add(1);
     }
 
     /// The device-readable bytes of a chain (the out descriptor).
@@ -343,7 +420,7 @@ impl Virtqueue {
         }
         let slot = self.slot(self.used_idx);
         self.used_ring[slot] = (head, written);
-        self.used_idx += 1;
+        self.used_idx = self.used_idx.wrapping_add(1);
         self.stats.completed += 1;
         self.stats.bytes_up += written as u64;
         Ok(())
@@ -351,7 +428,7 @@ impl Virtqueue {
 
     /// Would raising the completion interrupt now reach the driver?
     pub fn needs_interrupt(&self) -> bool {
-        !self.event_idx || self.used_idx > self.used_event
+        !self.event_idx || Self::counter_after(self.used_idx, self.used_event)
     }
 
     /// Raise (or suppress) the completion interrupt.
@@ -367,12 +444,12 @@ impl Virtqueue {
 
     /// Completions published but not yet reaped by the driver.
     pub fn used_pending(&self) -> u64 {
-        self.used_idx - self.last_used
+        self.used_idx.wrapping_sub(self.last_used)
     }
 
     /// Buffers published but not yet consumed by the device.
     pub fn avail_pending(&self) -> u64 {
-        self.avail_idx - self.last_avail
+        self.avail_idx.wrapping_sub(self.last_avail)
     }
 }
 
@@ -565,6 +642,115 @@ mod tests {
         assert_eq!(q.push_used(99, 0).err(), Some(QueueError::BadDescriptor));
         let id = q.add_outbuf(b"z").unwrap();
         assert_eq!(q.in_buf_mut(id).err(), Some(QueueError::BadDescriptor));
+    }
+
+    /// Start every free-running counter just shy of u64::MAX so the
+    /// next few operations cross the wrap boundary.
+    fn near_wrap(size: u16, event_idx: bool) -> Virtqueue {
+        let mut q = Virtqueue::new(size, event_idx).unwrap();
+        let base = u64::MAX - 2;
+        q.avail_idx = base;
+        q.last_avail = base;
+        q.used_idx = base;
+        q.last_used = base;
+        q.avail_event = base;
+        q.used_event = base;
+        q
+    }
+
+    #[test]
+    fn round_trips_across_counter_wrap() {
+        let mut q = near_wrap(8, false);
+        for round in 0u64..8 {
+            let id = q.add_outbuf(&round.to_le_bytes()).unwrap();
+            assert_eq!(q.avail_pending(), 1, "round {round}");
+            let h = q.pop_avail().unwrap();
+            assert_eq!(h, id);
+            q.push_used(h, 0).unwrap();
+            assert_eq!(q.used_pending(), 1, "round {round}");
+            assert_eq!(q.poll_used().unwrap().head, id);
+            assert_eq!(q.used_pending(), 0);
+        }
+        // The counters did wrap during those rounds.
+        assert!(q.avail_idx < 8, "avail_idx wrapped: {}", q.avail_idx);
+    }
+
+    #[test]
+    fn event_suppression_is_wrap_safe() {
+        // suppress_kicks_for parks avail_event across the wrap boundary;
+        // the unwrapped `>` comparison would see avail_idx (tiny, post-
+        // wrap) vs avail_event (huge) and kick on every publish.
+        let mut q = near_wrap(16, true);
+        q.suppress_kicks_for(8);
+        let mut fired = 0;
+        for i in 0..8u8 {
+            q.add_outbuf(&[i]).unwrap();
+            if q.kick() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "only the 8th publish crosses avail_event");
+        assert_eq!(q.stats.kicks_suppressed, 7);
+
+        // Same for the interrupt side: used_event wraps, completions
+        // land at small post-wrap used_idx values.
+        q.suppress_interrupts_for(4);
+        let mut irqs = 0;
+        for _ in 0..8 {
+            let h = q.pop_avail().unwrap();
+            q.push_used(h, 0).unwrap();
+            if q.interrupt() {
+                irqs += 1;
+            }
+        }
+        assert_eq!(irqs, 5, "suppressed until the 4th, then every one");
+    }
+
+    #[test]
+    fn corrupt_avail_entry_is_surfaced_not_panicked() {
+        let mut q = Virtqueue::new(8, false).unwrap();
+        q.add_outbuf(b"good").unwrap();
+        q.inject_corrupt_avail(99); // out of range
+        q.inject_corrupt_avail(5); // in range but never posted
+        assert!(q.try_pop_avail().unwrap().is_some(), "good entry first");
+        assert_eq!(q.try_pop_avail(), Err(QueueError::Corrupt));
+        assert_eq!(q.try_pop_avail(), Err(QueueError::Corrupt));
+        assert_eq!(q.try_pop_avail(), Ok(None), "corrupt entries consumed");
+        assert_eq!(q.stats.corruptions, 2);
+    }
+
+    #[test]
+    fn corrupt_used_entry_is_surfaced_not_panicked() {
+        let mut q = Virtqueue::new(8, false).unwrap();
+        let id = q.add_outbuf(b"x").unwrap();
+        let h = q.pop_avail().unwrap();
+        q.inject_corrupt_used(200, 4); // out of range
+        q.push_used(h, 0).unwrap();
+        assert_eq!(q.try_poll_used(), Err(QueueError::Corrupt));
+        let c = q.try_poll_used().unwrap().unwrap();
+        assert_eq!(c.head, id, "queue recovers after the corrupt entry");
+        assert_eq!(q.stats.corruptions, 1);
+    }
+
+    #[test]
+    fn chain_cycle_is_detected() {
+        let mut q = Virtqueue::new(8, false).unwrap();
+        let head = q.add_chain(b"hdr", 16).unwrap();
+        // Corrupt the chain into a self-loop before the device reads it.
+        let tail = q.desc[head as usize].next.unwrap();
+        q.desc[tail as usize].next = Some(head);
+        assert_eq!(q.try_pop_avail(), Err(QueueError::Corrupt));
+        assert_eq!(q.stats.corruptions, 1);
+    }
+
+    #[test]
+    fn infallible_wrappers_fold_corruption_into_none() {
+        let mut q = Virtqueue::new(8, false).unwrap();
+        q.inject_corrupt_avail(99);
+        assert_eq!(q.pop_avail(), None);
+        q.inject_corrupt_used(99, 0);
+        assert!(q.poll_used().is_none());
+        assert_eq!(q.stats.corruptions, 2);
     }
 
     #[test]

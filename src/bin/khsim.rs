@@ -14,9 +14,10 @@ use kitten_hafnium::core::config::{MachineConfig, StackKind, StackOptions};
 use kitten_hafnium::core::figures;
 use kitten_hafnium::core::machine::Machine;
 use kitten_hafnium::core::parallel::{BarrierMode, ParallelMachine};
+use kitten_hafnium::sim::fault::{FaultPlan, FaultSpec};
 use kitten_hafnium::sim::Nanos;
 use kitten_hafnium::hafnium::irq::IrqRoutingPolicy;
-use kitten_hafnium::sim::trace::{TraceEvent, TraceRecorder};
+use kitten_hafnium::sim::trace::{events_to_csv, TraceRecorder};
 use kitten_hafnium::workloads::blkstream::{BlkStreamConfig, BlkStreamModel};
 use kitten_hafnium::workloads::ftq::{Ftq, FtqConfig};
 use kitten_hafnium::workloads::gups::{GupsConfig, GupsModel};
@@ -50,18 +51,23 @@ fn usage() -> ExitCode {
 
 USAGE:
   khsim run [--workload W] [--stack S] [--seed N] [--platform P] [--trials N]
+            [--faults SPEC] [--fault-seed N]
   khsim parallel [--threads N] [--stack S] [--seed N] [--no-barrier]
   khsim figures [--trials N] [--seed N]
   khsim trace [--workload W] [--stack S] [--routing primary|selective] [--out FILE]
   khsim list
 
 OPTIONS:
-  --workload  one of: {}
-  --stack     native | kitten | linux        (default kitten)
-  --platform  pine | rpi3 | qemu | tx2       (default pine)
-  --seed      u64                            (default 0x5C21)
-  --trials    repeat count with seed+i       (default 1)
-  --threads   parallel worker threads        (default 4)",
+  --workload    one of: {}
+  --stack       native | kitten | linux        (default kitten)
+  --platform    pine | rpi3 | qemu | tx2       (default pine)
+  --seed        u64                            (default 0x5C21)
+  --trials      repeat count with seed+i       (default 1)
+  --threads     parallel worker threads        (default 4)
+  --faults      fault spec, e.g. crash@200ms,drop-mailbox:0.1,lose-irq:0.05
+                (`default` = the built-in storm); injected into a victim
+                secondary VM, never the benchmark
+  --fault-seed  u64 seed for the fault streams (default 1)",
         kitten_hafnium::VERSION,
         WORKLOADS.join(" | ")
     );
@@ -152,6 +158,21 @@ fn cmd_run(flags: &HashMap<String, String>) -> Option<()> {
         .get("trials")
         .map(|s| s.parse().ok())
         .unwrap_or(Some(1))?;
+    let fault_spec = match flags.get("faults").map(|s| s.as_str()) {
+        None => None,
+        Some("default") => Some(FaultSpec::parse(figures::DEFAULT_FAULT_SPEC).expect("builtin")),
+        Some(raw) => match FaultSpec::parse(raw) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: bad --faults spec: {e}");
+                return None;
+            }
+        },
+    };
+    let fault_seed: u64 = flags
+        .get("fault-seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(1))?;
 
     println!(
         "workload={workload} stack={} platform={} seed={seed:#x} trials={trials}",
@@ -166,6 +187,11 @@ fn cmd_run(flags: &HashMap<String, String>) -> Option<()> {
             seed: seed + t,
         };
         let mut machine = Machine::new(cfg);
+        if let Some(spec) = &fault_spec {
+            // Horizon beyond any bundled workload; events past the end
+            // of the run simply never fire.
+            machine.inject_faults(FaultPlan::new(spec, fault_seed, Nanos::from_secs(30)));
+        }
         let mut w = workload_of(workload)?;
         let r = machine.run(w.as_mut());
         println!(
@@ -175,6 +201,34 @@ fn cmd_run(flags: &HashMap<String, String>) -> Option<()> {
             r.interruptions,
             r.stolen
         );
+        if let Some(v) = &r.victim {
+            let f = &r.fault_stats;
+            println!(
+                "    faults: {} injected (crash {}, hang {}, drop {}, corrupt {}, \
+                 doorbell -{}/+{}, irq -{}/+{}, timer {})",
+                f.total(),
+                f.crashes,
+                f.hangs,
+                f.mailbox_dropped,
+                f.mailbox_corrupted,
+                f.doorbells_lost,
+                f.doorbells_spurious,
+                f.irqs_lost,
+                f.irqs_spurious,
+                f.timer_delays,
+            );
+            println!(
+                "    victim: {} beats ({} delivered, {} missed), {} restarts, \
+                 {} rekicks, {} frames echoed, {} sends abandoned",
+                v.heartbeats,
+                v.delivered,
+                v.missed,
+                r.vm_restarts,
+                v.rekicks,
+                v.frames_echoed,
+                v.sends_abandoned,
+            );
+        }
     }
     Some(())
 }
@@ -229,27 +283,10 @@ fn cmd_figures(flags: &HashMap<String, String>) -> Option<()> {
     let nas = figures::figure_9_10(trials, seed);
     println!("{}", nas.normalized_table());
     println!("{}", nas.raw_table());
+    let spec = FaultSpec::parse(figures::DEFAULT_FAULT_SPEC).expect("builtin");
+    let faults = figures::ablation_faults(seed, 1, &spec);
+    println!("{}", figures::render_faults(&faults));
     Some(())
-}
-
-fn trace_csv(events: impl Iterator<Item = TraceEvent>) -> String {
-    let mut out = String::from("at_ns,core,category,duration_ns,detail\n");
-    for e in events {
-        let detail = if e.detail.contains(',') || e.detail.contains('"') {
-            format!("\"{}\"", e.detail.replace('"', "\"\""))
-        } else {
-            e.detail.clone()
-        };
-        out.push_str(&format!(
-            "{},{},{},{},{}\n",
-            e.at.as_nanos(),
-            e.core,
-            e.category.label(),
-            e.duration.as_nanos(),
-            detail
-        ));
-    }
-    out
 }
 
 /// `khsim trace`: run one workload with event tracing and dump the
@@ -283,7 +320,8 @@ fn cmd_trace(flags: &HashMap<String, String>) -> Option<()> {
                 row.irqs_delivered,
                 row.irqs_forwarded
             );
-            trace_csv(tr.drain().into_iter())
+            let events = tr.drain();
+            events_to_csv(events.iter())
         }
         _ => {
             let platform =
@@ -304,7 +342,7 @@ fn cmd_trace(flags: &HashMap<String, String>) -> Option<()> {
                 describe(&r.output),
                 machine.trace().len()
             );
-            trace_csv(machine.trace().iter().cloned())
+            machine.trace().to_csv()
         }
     };
 

@@ -334,3 +334,58 @@ fn virtqueue_pages_stay_private_to_the_grant_parties() {
     }
     assert!(spm.audit_isolation().is_ok());
 }
+
+#[test]
+fn a_crashing_neighbour_leaves_the_benchmark_histogram_untouched() {
+    // The paper's core claim, under active sabotage: a secondary that
+    // crashes, hangs, and loses messages/doorbells/IRQs must not move
+    // the benchmark partition's noise histogram by a single bit.
+    use kitten_hafnium::core::config::StackKind;
+    use kitten_hafnium::core::machine::Machine;
+    use kitten_hafnium::core::MachineConfig;
+    use kitten_hafnium::metrics::hist::LogHistogram;
+    use kitten_hafnium::sim::fault::{FaultPlan, FaultSpec};
+    use kitten_hafnium::workloads::ftq::{Ftq, FtqConfig};
+    use kitten_hafnium::workloads::selfish::{SelfishConfig, SelfishDetour};
+
+    for stack in [StackKind::HafniumKitten, StackKind::HafniumLinux] {
+        let spec = FaultSpec::parse(
+            "crash@30ms,crash@90ms,hang@150ms:25ms,drop-mailbox:0.4,\
+             corrupt-mailbox:0.1,lose-doorbell:0.4,lose-irq:0.4,corrupt-ring:0.2",
+        )
+        .unwrap();
+        let run = |faulted: bool| {
+            let mut m = Machine::new(MachineConfig::pine_a64(stack, 51));
+            if faulted {
+                m.inject_faults(FaultPlan::new(&spec, 9, Nanos::from_millis(250)));
+            }
+            let mut w = SelfishDetour::new(SelfishConfig {
+                duration: Nanos::from_millis(250),
+                ..Default::default()
+            });
+            let r = m.run(&mut w);
+            let mut hist = LogHistogram::for_detours();
+            for d in r.output.detours().unwrap() {
+                hist.record(d.duration.as_nanos() as f64);
+            }
+            (hist, r.elapsed, r.stolen)
+        };
+        let clean = run(false);
+        let faulted = run(true);
+        assert_eq!(clean.0, faulted.0, "{stack:?} selfish histogram moved");
+        assert_eq!(clean.1, faulted.1, "{stack:?} elapsed moved");
+        assert_eq!(clean.2, faulted.2, "{stack:?} stolen time moved");
+
+        // Same check through the FTQ lens: work-per-quantum series.
+        let ftq = |faulted: bool| {
+            let mut m = Machine::new(MachineConfig::pine_a64(stack, 52));
+            if faulted {
+                m.inject_faults(FaultPlan::new(&spec, 9, Nanos::from_millis(250)));
+            }
+            let mut w = Ftq::new(FtqConfig::default());
+            let r = m.run(&mut w);
+            r.output.series().unwrap().to_vec()
+        };
+        assert_eq!(ftq(false), ftq(true), "{stack:?} FTQ series moved");
+    }
+}
