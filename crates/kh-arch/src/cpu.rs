@@ -186,6 +186,25 @@ impl CoreTimer {
         pollution: &mut PollutionState,
         concurrent_streams: u32,
     ) -> PhaseCost {
+        self.price_with_walk_factor(phase, regime, pollution, concurrent_streams, 1.0)
+    }
+
+    /// Like [`CoreTimer::price`], but scales the analytic TLB-walk term by
+    /// `walk_factor` — the fraction of full nested-walk cost actually paid
+    /// as measured by a walk cache
+    /// ([`crate::walkcache::WalkCacheStats::walk_cost_factor`]). A factor
+    /// of 1.0 reproduces `price` exactly; 0.0 means every walk was fully
+    /// short-circuited. Re-warm walks after pollution are charged at full
+    /// cost either way: pollution evicts walk-cache entries too.
+    pub fn price_with_walk_factor(
+        &self,
+        phase: &Phase,
+        regime: TranslationRegime,
+        pollution: &mut PollutionState,
+        concurrent_streams: u32,
+        walk_factor: f64,
+    ) -> PhaseCost {
+        let walk_factor = walk_factor.clamp(0.0, 1.0);
         let p = &self.platform;
         let (reuse, spatial) = phase.pattern.locality();
         let ratios = self.mem.hit_ratios(phase.footprint, reuse, spatial);
@@ -206,7 +225,8 @@ impl CoreTimer {
         // TLB walk cycles.
         let miss_ratio = phase.pattern.tlb_miss_ratio(phase.footprint, p.tlb_entries);
         let walk = self.walk_cycles(regime);
-        let walk_cycles = (phase.mem_refs as f64 * miss_ratio * walk as f64).ceil() as u64;
+        let walk_cycles =
+            (phase.mem_refs as f64 * miss_ratio * walk as f64 * walk_factor).ceil() as u64;
 
         // Pollution re-warm: evicted TLB entries the workload would have
         // hit get re-walked; evicted cache lines get re-fetched. Only the
@@ -285,6 +305,35 @@ mod tests {
             dram_bytes: 48 * 1024 * 1024,
             pattern: AccessPattern::Stream,
         }
+    }
+
+    #[test]
+    fn walk_factor_one_reproduces_price() {
+        let t = timer();
+        let mut a = PollutionState::default();
+        let mut b = PollutionState::default();
+        let full = t.price(&gups_phase(), TranslationRegime::TwoStage, &mut a, 1);
+        let same =
+            t.price_with_walk_factor(&gups_phase(), TranslationRegime::TwoStage, &mut b, 1, 1.0);
+        assert_eq!(full.cycles, same.cycles);
+        assert_eq!(full.time, same.time);
+    }
+
+    #[test]
+    fn walk_factor_discounts_two_stage_gups() {
+        let t = timer();
+        let mut a = PollutionState::default();
+        let mut b = PollutionState::default();
+        let full = t.price(&gups_phase(), TranslationRegime::TwoStage, &mut a, 1);
+        let cached =
+            t.price_with_walk_factor(&gups_phase(), TranslationRegime::TwoStage, &mut b, 1, 0.2);
+        assert!(cached.walk_cycles < full.walk_cycles);
+        assert!(cached.time < full.time);
+        // Out-of-range factors clamp rather than amplify.
+        let mut c = PollutionState::default();
+        let clamped =
+            t.price_with_walk_factor(&gups_phase(), TranslationRegime::TwoStage, &mut c, 1, 7.0);
+        assert_eq!(clamped.cycles, full.cycles);
     }
 
     #[test]

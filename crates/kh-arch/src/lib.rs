@@ -36,6 +36,7 @@ pub mod sysreg;
 pub mod timer;
 pub mod tlb;
 pub mod uart;
+pub mod walkcache;
 
 pub use cache::{CacheConfig, MemSystem};
 pub use cpu::{AccessPattern, CoreTimer, Phase, PollutionState, TranslationRegime};
@@ -48,3 +49,4 @@ pub use psci::{PsciError, PsciState};
 pub use sysreg::{AccessOutcome, FeatureClass, SysRegFile, SysRegId, TrapPolicy};
 pub use timer::{GenericTimer, TimerChannel};
 pub use tlb::{Tlb, TlbKey, TlbStage};
+pub use walkcache::{WalkCache, WalkCacheStats};

@@ -257,6 +257,22 @@ impl Stage1Table {
         self.core.map(va, ipa, len, perms, attr, true)
     }
 
+    /// Like [`Stage1Table::map`] but with explicit granule control:
+    /// `prefer_blocks = false` forces 4 KiB page descriptors even for
+    /// 2 MiB-aligned ranges, modeling a guest kernel that maps its heap
+    /// with small pages (the paper's default Linux configuration).
+    pub fn map_with_granule(
+        &mut self,
+        va: u64,
+        ipa: u64,
+        len: u64,
+        perms: PagePerms,
+        attr: MemAttr,
+        prefer_blocks: bool,
+    ) -> Result<(), MapError> {
+        self.core.map(va, ipa, len, perms, attr, prefer_blocks)
+    }
+
     pub fn unmap(&mut self, va: u64) -> bool {
         self.core.unmap(va)
     }
@@ -343,26 +359,37 @@ pub fn two_stage_translate(
     let t2 = s2
         .translate(t1.out_addr, kind)
         .map_err(TwoStageFault::Stage2)?;
-    let total_steps = t1.walk_steps * (t2.walk_steps + 1) + t2.walk_steps;
-    Ok((
-        Translation {
-            out_addr: t2.out_addr,
-            // Effective permissions are the intersection of both stages.
-            perms: PagePerms {
-                read: t1.perms.read && t2.perms.read,
-                write: t1.perms.write && t2.perms.write,
-                exec: t1.perms.exec && t2.perms.exec,
-            },
-            attr: if t1.attr == MemAttr::Device || t2.attr == MemAttr::Device {
-                MemAttr::Device
-            } else {
-                MemAttr::Normal
-            },
-            walk_steps: total_steps,
-            block: t1.block && t2.block,
+    let total_steps = full_nested_steps(&t1, &t2);
+    Ok((combine_translations(&t1, &t2, total_steps), total_steps))
+}
+
+/// Descriptor reads for a full nested walk of both stages:
+/// `s1_steps * (s2_steps + 1) + s2_steps`.
+pub fn full_nested_steps(t1: &Translation, t2: &Translation) -> u32 {
+    t1.walk_steps * (t2.walk_steps + 1) + t2.walk_steps
+}
+
+/// Combine per-stage results into the effective VA→PA translation:
+/// permissions intersect, Device attribute wins, the final mapping is a
+/// block only when both stages used blocks. `walk_steps` is the
+/// descriptor-read count actually paid (the walk cache passes a
+/// short-circuited count here).
+pub fn combine_translations(t1: &Translation, t2: &Translation, walk_steps: u32) -> Translation {
+    Translation {
+        out_addr: t2.out_addr,
+        perms: PagePerms {
+            read: t1.perms.read && t2.perms.read,
+            write: t1.perms.write && t2.perms.write,
+            exec: t1.perms.exec && t2.perms.exec,
         },
-        total_steps,
-    ))
+        attr: if t1.attr == MemAttr::Device || t2.attr == MemAttr::Device {
+            MemAttr::Device
+        } else {
+            MemAttr::Normal
+        },
+        walk_steps,
+        block: t1.block && t2.block,
+    }
 }
 
 /// Fault from a two-stage walk, attributed to the faulting stage. Stage-2

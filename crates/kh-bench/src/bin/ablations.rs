@@ -11,6 +11,7 @@ use kh_core::figures::{
 };
 
 fn main() {
+    kh_bench::announce_pool("ablations");
     println!("== Ablation 1: IRQ routing (device IRQ to the super-secondary) ==");
     for r in ablation_irq_routing(10_000) {
         println!(

@@ -10,6 +10,7 @@ use kh_metrics::hist::LogHistogram;
 use kh_sim::Nanos;
 
 fn main() {
+    kh_bench::announce_pool("fig4_6_selfish");
     let duration = Nanos::from_secs(1);
     let profiles = figures_4_to_6(SEED, duration);
     println!("{}", render_selfish(&profiles, duration));

@@ -7,6 +7,7 @@ use kh_bench::{SEED, TRIALS};
 use kh_core::figures::figure_7_8;
 
 fn main() {
+    kh_bench::announce_pool("fig7_8_micro");
     let suite = figure_7_8(TRIALS, SEED);
     println!("{}", suite.normalized_table());
     println!("{}", suite.raw_table());

@@ -7,6 +7,7 @@ use kh_bench::{SEED, TRIALS};
 use kh_core::figures::figure_9_10;
 
 fn main() {
+    kh_bench::announce_pool("fig9_10_nas");
     let suite = figure_9_10(TRIALS, SEED);
     println!("{}", suite.normalized_table());
     println!("{}", suite.raw_table());

@@ -1,0 +1,375 @@
+//! `khbench` — wall-clock performance harness for the simulator itself.
+//!
+//! Where the figure binaries measure *simulated* (virtual-time) results,
+//! `khbench perf` measures how fast the simulator produces them: median
+//! wall-clock per representative cell with warmup and repeats, the
+//! pooled-vs-serial speedup on the multi-trial figure grid (with a
+//! bit-identity determinism check), and the walk-cache fast path on the
+//! TLB-miss-heavy gups workload. Results go to
+//! `BENCH_parallel_walkcache.json`, the repo's perf trajectory artifact.
+//!
+//! ```text
+//! khbench perf [--quick] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+//! ```
+
+use kh_arch::mmu::{two_stage_translate, AccessKind, MemAttr, PagePerms, Stage1Table, Stage2Table};
+use kh_arch::platform::Platform;
+use kh_arch::walkcache::WalkCache;
+use kh_core::config::{StackKind, StackOptions};
+use kh_core::experiment::run_trials_pooled;
+use kh_core::machine::Machine;
+use kh_core::pool::Pool;
+use kh_core::MachineConfig;
+use kh_sim::{FaultPlan, FaultSpec, Nanos, SimRng};
+use kh_workloads::gups::{GupsConfig, GupsModel};
+use kh_workloads::hpcg::{HpcgConfig, HpcgModel};
+use kh_workloads::netecho::{NetEchoConfig, NetEchoModel};
+use kh_workloads::selfish::{SelfishConfig, SelfishDetour};
+use kh_workloads::Workload;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const PAGE_SIZE: u64 = 1 << 12;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "khbench — simulator wall-clock performance harness
+
+USAGE:
+  khbench perf [--quick] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+
+OPTIONS:
+  --quick    smaller trial counts / fewer repeats (CI smoke profile)
+  --jobs     pooled worker count (default: KH_JOBS env, then host cores)
+  --seed     base seed for all cells               (default 0x5C21)
+  --repeats  timed repeats per cell after 1 warmup (default 5, quick 3)
+  --out      output JSON path (default BENCH_parallel_walkcache.json)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a.strip_prefix("--")?;
+        if key == "quick" {
+            map.insert(key.to_string(), "true".to_string());
+        } else {
+            map.insert(key.to_string(), it.next()?.clone());
+        }
+    }
+    Some(map)
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time `f` with one warmup run and `repeats` timed runs; median ns.
+fn time_median<F: FnMut()>(repeats: usize, mut f: F) -> u128 {
+    f(); // warmup
+    let mut samples = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos());
+    }
+    median_ns(samples)
+}
+
+fn small_gups() -> Box<dyn Workload + Send> {
+    Box::new(GupsModel::new(GupsConfig {
+        log2_table: 19,
+        updates_per_entry: 2,
+    }))
+}
+
+/// One wall-clock cell: a full Machine::run of the named workload.
+fn cell_run(name: &str, seed: u64) -> Box<dyn FnMut()> {
+    let name = name.to_string();
+    Box::new(move || {
+        let stack = StackKind::HafniumKitten;
+        match name.as_str() {
+            "gups" => {
+                let mut w = small_gups();
+                Machine::new(MachineConfig::pine_a64(stack, seed)).run(w.as_mut());
+            }
+            "selfish" => {
+                let mut w = SelfishDetour::new(SelfishConfig {
+                    duration: Nanos::from_millis(300),
+                    ..Default::default()
+                });
+                Machine::new(MachineConfig::pine_a64(stack, seed)).run(&mut w);
+            }
+            "netecho" => {
+                let mut w = NetEchoModel::new(NetEchoConfig::default());
+                Machine::new(MachineConfig::pine_a64(stack, seed)).run(&mut w);
+            }
+            "hpcg" => {
+                let mut w = HpcgModel::new(HpcgConfig::default());
+                Machine::new(MachineConfig::pine_a64(stack, seed)).run(&mut w);
+            }
+            "fault-storm" => {
+                let spec = FaultSpec::parse(kh_core::figures::DEFAULT_FAULT_SPEC)
+                    .expect("builtin fault spec");
+                let duration = Nanos::from_millis(300);
+                let mut m = Machine::new(MachineConfig::pine_a64(stack, seed));
+                m.inject_faults(FaultPlan::new(&spec, seed ^ 1, duration));
+                let mut w = SelfishDetour::new(SelfishConfig {
+                    duration,
+                    ..Default::default()
+                });
+                m.run(&mut w);
+            }
+            other => panic!("unknown cell {other}"),
+        }
+    })
+}
+
+/// Run the multi-trial grid (gups under all three stacks) on `pool` and
+/// return a Debug fingerprint of every report, for bit-identity checks.
+fn grid_fingerprint(pool: &Pool, trials: u32, seed: u64) -> String {
+    let mut out = String::new();
+    for &stack in &StackKind::ALL {
+        let stats = run_trials_pooled(
+            pool,
+            Platform::pine_a64_lts(),
+            stack,
+            StackOptions::default(),
+            trials,
+            seed,
+            small_gups,
+        );
+        out.push_str(&format!("{:?}\n", stats.reports));
+    }
+    out
+}
+
+struct WalkCacheResults {
+    virtual_analytic_ns: u64,
+    virtual_cached_ns: u64,
+    virtual_speedup: f64,
+    stats: kh_arch::walkcache::WalkCacheStats,
+    translate_uncached_ns: f64,
+    translate_cached_ns: f64,
+    translate_speedup: f64,
+}
+
+/// Measure the walk cache on gups: simulated per-trial speedup (analytic
+/// full-walk pricing vs replay-discounted pricing) and the raw wall-clock
+/// cost of cached vs uncached functional translation.
+fn walk_cache_bench(seed: u64, quick: bool) -> WalkCacheResults {
+    let run = |model: bool| {
+        let mut cfg = MachineConfig::pine_a64(StackKind::HafniumKitten, seed);
+        cfg.options.model_translation = model;
+        let mut w = small_gups();
+        Machine::new(cfg).run(w.as_mut())
+    };
+    let analytic = run(false);
+    let cached = run(true);
+    let stats = cached.walk_cache.expect("modeled run records stats");
+
+    // Functional-translation microbench: same access stream through the
+    // raw nested walk and through the walk cache.
+    let pages: u64 = 4096; // 16 MiB table, far beyond TLB reach
+    let mut s1 = Stage1Table::new(1);
+    s1.map_with_granule(
+        0x4000_0000,
+        0,
+        pages * PAGE_SIZE,
+        PagePerms::RW,
+        MemAttr::Normal,
+        false,
+    )
+    .unwrap();
+    let mut s2 = Stage2Table::new(2);
+    s2.map(
+        0,
+        0x8000_0000,
+        pages * PAGE_SIZE,
+        PagePerms::RWX,
+        MemAttr::Normal,
+    )
+    .unwrap();
+    let accesses: u64 = if quick { 50_000 } else { 200_000 };
+    let vas: Vec<u64> = {
+        let mut rng = SimRng::new(seed ^ 0x77616C6B);
+        (0..accesses)
+            .map(|_| 0x4000_0000 + rng.next_below(pages) * PAGE_SIZE)
+            .collect()
+    };
+    let repeats = if quick { 3 } else { 5 };
+    let uncached_ns = time_median(repeats, || {
+        let mut steps = 0u64;
+        for &va in &vas {
+            let (_, s) = two_stage_translate(&s1, &s2, va, AccessKind::Read).unwrap();
+            steps += s as u64;
+        }
+        assert!(steps > 0);
+    });
+    let cached_ns = time_median(repeats, || {
+        let mut wc = WalkCache::default();
+        let mut hits = 0u64;
+        for &va in &vas {
+            let (_, s) = wc.translate2(&s1, &s2, va, AccessKind::Read).unwrap();
+            hits += (s == 0) as u64;
+        }
+        assert!(hits > 0);
+    });
+
+    WalkCacheResults {
+        virtual_analytic_ns: analytic.elapsed.as_nanos(),
+        virtual_cached_ns: cached.elapsed.as_nanos(),
+        virtual_speedup: analytic.elapsed.as_nanos() as f64
+            / cached.elapsed.as_nanos().max(1) as f64,
+        stats,
+        translate_uncached_ns: uncached_ns as f64 / accesses as f64,
+        translate_cached_ns: cached_ns as f64 / accesses as f64,
+        translate_speedup: uncached_ns as f64 / cached_ns.max(1) as f64,
+    }
+}
+
+fn cmd_perf(flags: &HashMap<String, String>) -> Option<()> {
+    let quick = flags.contains_key("quick");
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(kh_bench::SEED))?;
+    let repeats: usize = flags
+        .get("repeats")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(if quick { 3 } else { 5 }))?;
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parallel_walkcache.json".to_string());
+    let jobs = match flags.get("jobs") {
+        Some(j) => {
+            let n: usize = j.parse().ok().filter(|&n| n >= 1)?;
+            kh_core::pool::set_jobs(n);
+            n
+        }
+        None => kh_core::pool::jobs(),
+    };
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let trials: u32 = if quick { 4 } else { 8 };
+    eprintln!("khbench perf: jobs={jobs} host_parallelism={host} quick={quick} seed={seed:#x}");
+
+    // --- 1. Pooled vs serial figure grid -----------------------------
+    let serial_pool = Pool::new(1);
+    let pooled_pool = Pool::new(jobs);
+    eprintln!(
+        "grid: {} stacks x {trials} trials (gups), serial baseline...",
+        StackKind::ALL.len()
+    );
+    let mut serial_fp = String::new();
+    let serial_ns = time_median(repeats, || {
+        serial_fp = grid_fingerprint(&serial_pool, trials, seed);
+    });
+    eprintln!("grid: pooled x{jobs}...");
+    let mut pooled_fp = String::new();
+    let pooled_ns = time_median(repeats, || {
+        pooled_fp = grid_fingerprint(&pooled_pool, trials, seed);
+    });
+    let identical = serial_fp == pooled_fp && !serial_fp.is_empty();
+    let grid_speedup = serial_ns as f64 / pooled_ns.max(1) as f64;
+    eprintln!(
+        "grid: serial {:.1} ms, pooled {:.1} ms, speedup {grid_speedup:.2}x, identical={identical}",
+        serial_ns as f64 / 1e6,
+        pooled_ns as f64 / 1e6
+    );
+
+    // --- 2. Per-cell wall clock --------------------------------------
+    let cell_names = ["gups", "selfish", "netecho", "hpcg", "fault-storm"];
+    let mut cell_json = Vec::new();
+    for name in cell_names {
+        let f = cell_run(name, seed);
+        let ns = time_median(repeats, f);
+        eprintln!(
+            "cell {name}: median {:.2} ms over {repeats} repeats",
+            ns as f64 / 1e6
+        );
+        cell_json.push(format!(
+            "    {{ \"name\": \"{name}\", \"median_wall_ns\": {ns}, \"repeats\": {repeats} }}"
+        ));
+    }
+
+    // --- 3. Walk cache on gups ---------------------------------------
+    eprintln!("walk cache: gups analytic vs replay-discounted, translate microbench...");
+    let wc = walk_cache_bench(seed, quick);
+    eprintln!(
+        "walk cache: hit rate {:.4}, virtual speedup {:.3}x, translate {:.1} -> {:.1} ns/access ({:.2}x)",
+        wc.stats.hit_rate(),
+        wc.virtual_speedup,
+        wc.translate_uncached_ns,
+        wc.translate_cached_ns,
+        wc.translate_speedup
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"khbench-perf-v1\",\n  \"quick\": {quick},\n  \"seed\": {seed},\n  \
+         \"jobs\": {jobs},\n  \"host_parallelism\": {host},\n  \"grid\": {{\n    \
+         \"cells\": {cells},\n    \"trials_per_cell\": {trials},\n    \
+         \"serial_wall_ns\": {serial_ns},\n    \"pooled_wall_ns\": {pooled_ns},\n    \
+         \"speedup\": {grid_speedup:.4},\n    \"pooled_equals_serial\": {identical}\n  }},\n  \
+         \"cells\": [\n{cell_rows}\n  ],\n  \"walk_cache\": {{\n    \
+         \"gups_virtual_elapsed_analytic_ns\": {va},\n    \
+         \"gups_virtual_elapsed_cached_ns\": {vc},\n    \
+         \"gups_virtual_speedup\": {vs:.4},\n    \"hit_rate\": {hr:.6},\n    \
+         \"hits\": {hits},\n    \"s1_prefix_hits\": {s1h},\n    \"misses\": {misses},\n    \
+         \"invalidations\": {inv},\n    \"steps_paid\": {paid},\n    \"steps_saved\": {saved},\n    \
+         \"walk_cost_factor\": {wcf:.6},\n    \
+         \"translate_uncached_ns_per_access\": {tu:.2},\n    \
+         \"translate_cached_ns_per_access\": {tc:.2},\n    \
+         \"translate_wall_speedup\": {ts:.4}\n  }}\n}}\n",
+        cells = StackKind::ALL.len(),
+        cell_rows = cell_json.join(",\n"),
+        va = wc.virtual_analytic_ns,
+        vc = wc.virtual_cached_ns,
+        vs = wc.virtual_speedup,
+        hr = wc.stats.hit_rate(),
+        hits = wc.stats.hits,
+        s1h = wc.stats.s1_prefix_hits,
+        misses = wc.stats.misses,
+        inv = wc.stats.invalidations,
+        paid = wc.stats.steps_paid,
+        saved = wc.stats.steps_saved,
+        wcf = wc.stats.walk_cost_factor(),
+        tu = wc.translate_uncached_ns,
+        tc = wc.translate_cached_ns,
+        ts = wc.translate_speedup,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return None;
+    }
+    eprintln!("wrote {out_path}");
+    if !identical {
+        eprintln!("error: pooled grid diverged from serial — determinism broken");
+        return None;
+    }
+    Some(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(rest) else {
+        return usage();
+    };
+    let ok = match cmd.as_str() {
+        "perf" => cmd_perf(&flags),
+        _ => None,
+    };
+    match ok {
+        Some(()) => ExitCode::SUCCESS,
+        None => ExitCode::FAILURE,
+    }
+}

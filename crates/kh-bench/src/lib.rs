@@ -26,6 +26,17 @@ pub const TRIALS: u32 = 5;
 /// reproducible bit-for-bit.
 pub const SEED: u64 = 0x5C21;
 
+/// Log the experiment-pool width once at startup. Figure regeneration is
+/// parallel by default (`KH_JOBS` or `khsim --jobs` override the width);
+/// results are bit-identical for any worker count, so this is purely
+/// informational.
+pub fn announce_pool(what: &str) {
+    eprintln!(
+        "{what}: experiment pool with {} worker(s)",
+        kh_core::pool::jobs()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,6 +69,13 @@ pub struct StackOptions {
     /// default for large regions; Linux THP equivalent). Multiplies TLB
     /// reach by 512 — the LWK large-page story as an ablation knob.
     pub guest_block_mappings: bool,
+    /// Functionally model guest address translation through the SPM's
+    /// walk cache: each virtualized phase replays a sample of its memory
+    /// accesses through the real stage-1/stage-2 tables and the measured
+    /// walk-cache cost factor discounts the analytic TLB-walk term.
+    /// Off by default — the paper's figures use the analytic model alone
+    /// (full nested-walk cost on every TLB miss, i.e. no walk cache).
+    pub model_translation: bool,
 }
 
 /// Time-slice pattern of a co-located VM on the benchmark core.
@@ -92,6 +99,7 @@ impl Default for StackOptions {
             co_tenant: None,
             inject_fault_at_ns: None,
             guest_block_mappings: false,
+            model_translation: false,
         }
     }
 }

@@ -4,11 +4,13 @@
 //! executes N independent trials of a workload under one stack
 //! configuration (each with its own seed, so tick alignment, background
 //! noise, and DRAM jitter all vary) and aggregates the results. Trials
-//! are independent simulations, so they run in parallel across host
-//! threads.
+//! are independent simulations, so they run in parallel across a bounded
+//! [`Pool`] — results are bit-identical to serial execution because each
+//! trial's seed and result slot depend only on its index.
 
 use crate::config::{MachineConfig, StackKind, StackOptions};
 use crate::machine::{Machine, RunReport};
+use crate::pool::Pool;
 use kh_arch::platform::Platform;
 use kh_metrics::stats::Summary;
 use kh_workloads::Workload;
@@ -51,24 +53,44 @@ pub fn run_trials<F>(
 where
     F: Fn() -> Box<dyn Workload + Send> + Sync,
 {
-    let mut reports: Vec<Option<RunReport>> = (0..trials).map(|_| None).collect();
-    std::thread::scope(|s| {
-        for (i, slot) in reports.iter_mut().enumerate() {
-            let mk = &make_workload;
-            s.spawn(move || {
-                let cfg = MachineConfig {
-                    platform,
-                    stack,
-                    options,
-                    seed: base_seed + i as u64,
-                };
-                let mut machine = Machine::new(cfg);
-                let mut w = mk();
-                *slot = Some(machine.run(w.as_mut()));
-            });
-        }
+    run_trials_pooled(
+        &Pool::with_default_jobs(),
+        platform,
+        stack,
+        options,
+        trials,
+        base_seed,
+        make_workload,
+    )
+}
+
+/// [`run_trials`] on an explicit pool. Concurrency is capped at the pool's
+/// worker count (never one unbounded OS thread per trial), and a panicking
+/// trial propagates with its trial index attached.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trials_pooled<F>(
+    pool: &Pool,
+    platform: Platform,
+    stack: StackKind,
+    options: StackOptions,
+    trials: u32,
+    base_seed: u64,
+    make_workload: F,
+) -> TrialStats
+where
+    F: Fn() -> Box<dyn Workload + Send> + Sync,
+{
+    let reports: Vec<RunReport> = pool.run_indexed(trials as usize, |i| {
+        let cfg = MachineConfig {
+            platform,
+            stack,
+            options,
+            seed: base_seed + i as u64,
+        };
+        let mut machine = Machine::new(cfg);
+        let mut w = make_workload();
+        machine.run(w.as_mut())
     });
-    let reports: Vec<RunReport> = reports.into_iter().map(|r| r.expect("trial ran")).collect();
 
     let mut throughput = Summary::new();
     let mut detour_count = Summary::new();
@@ -154,6 +176,63 @@ mod tests {
         assert_eq!(stats.throughput.count(), 0);
         // ~5 ticks in 500 ms at 10 Hz.
         assert!(stats.detour_count.mean() >= 2.0);
+    }
+
+    #[test]
+    fn pooled_reports_bit_identical_to_serial() {
+        let run = |workers: usize| {
+            let stats = run_trials_pooled(
+                &Pool::new(workers),
+                Platform::pine_a64_lts(),
+                StackKind::HafniumKitten,
+                StackOptions::default(),
+                4,
+                900,
+                small_gups,
+            );
+            format!("{:?}", stats.reports)
+        };
+        let serial = run(1);
+        for workers in [2, 3, 8] {
+            assert_eq!(run(workers), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn panicking_trial_reports_its_index() {
+        struct Bomb;
+        impl Workload for Bomb {
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+            fn next_phase(&mut self, _now: Nanos) -> Option<kh_arch::Phase> {
+                panic!("deliberate trial failure")
+            }
+            fn phase_complete(&mut self, _now: Nanos, _cost: &kh_arch::cpu::PhaseCost) {}
+            fn finish(&mut self, _elapsed: Nanos) -> kh_workloads::WorkloadOutput {
+                unreachable!()
+            }
+        }
+        let r = std::panic::catch_unwind(|| {
+            run_trials_pooled(
+                &Pool::new(2),
+                Platform::pine_a64_lts(),
+                StackKind::NativeKitten,
+                StackOptions::default(),
+                3,
+                0,
+                || Box::new(Bomb) as Box<dyn Workload + Send>,
+            )
+        });
+        let payload = r.expect_err("must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("pooled job 0 panicked"),
+            "lowest failing trial index must be attached, got: {msg}"
+        );
     }
 
     #[test]

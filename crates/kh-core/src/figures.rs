@@ -41,26 +41,28 @@ pub struct SelfishProfile {
     pub report: RunReport,
 }
 
-/// Run the selfish-detour benchmark under all three stacks.
+/// Run the selfish-detour benchmark under all three stacks. The three
+/// runs are independent (per-stack config, same seed) and execute on the
+/// experiment pool; output order is always native, Hafnium+Kitten,
+/// Hafnium+Linux.
 pub fn figures_4_to_6(seed: u64, duration: Nanos) -> Vec<SelfishProfile> {
-    StackKind::ALL
-        .iter()
-        .map(|&stack| {
-            let cfg = MachineConfig::pine_a64(stack, seed);
-            let mut machine = Machine::new(cfg);
-            let mut w = SelfishDetour::new(SelfishConfig {
-                duration,
-                ..Default::default()
-            });
-            let report = machine.run(&mut w);
-            let detours = report.output.detours().unwrap_or(&[]).to_vec();
-            SelfishProfile {
-                stack,
-                detours,
-                report,
-            }
-        })
-        .collect()
+    let pool = crate::pool::Pool::with_default_jobs();
+    pool.run_indexed(StackKind::ALL.len(), |i| {
+        let stack = StackKind::ALL[i];
+        let cfg = MachineConfig::pine_a64(stack, seed);
+        let mut machine = Machine::new(cfg);
+        let mut w = SelfishDetour::new(SelfishConfig {
+            duration,
+            ..Default::default()
+        });
+        let report = machine.run(&mut w);
+        let detours = report.output.detours().unwrap_or(&[]).to_vec();
+        SelfishProfile {
+            stack,
+            detours,
+            report,
+        }
+    })
 }
 
 /// Render the three scatter plots (the shape of Figures 4–6).
@@ -193,19 +195,29 @@ fn run_suite(
     let platform = Platform::pine_a64_lts();
     let names: Vec<&'static str> = benches.iter().map(|(n, _, _)| *n).collect();
     let units: Vec<ScoreUnit> = benches.iter().map(|(_, u, _)| *u).collect();
+    // Every (stack, bench) cell is independent: flatten the grid and farm
+    // cells out to the pool. Seeds depend only on the bench index, exactly
+    // as the serial loops computed them, so results are bit-identical.
+    // The nested run_trials inside each cell runs inline (see kh-core::pool).
+    let grid: Vec<(StackKind, usize)> = StackKind::ALL
+        .iter()
+        .flat_map(|&stack| (0..benches.len()).map(move |bi| (stack, bi)))
+        .collect();
+    let pool = crate::pool::Pool::with_default_jobs();
+    let mut flat = pool.run_indexed(grid.len(), |j| {
+        let (stack, bi) = grid[j];
+        run_trials(
+            platform,
+            stack,
+            StackOptions::default(),
+            trials,
+            seed + 1000 * bi as u64,
+            &benches[bi].2,
+        )
+    });
     let mut cells = Vec::new();
-    for &stack in &StackKind::ALL {
-        let mut row = Vec::new();
-        for (bi, (_, _, mk)) in benches.iter().enumerate() {
-            row.push(run_trials(
-                platform,
-                stack,
-                StackOptions::default(),
-                trials,
-                seed + 1000 * bi as u64,
-                mk,
-            ));
-        }
+    for _ in &StackKind::ALL {
+        let row: Vec<TrialStats> = flat.drain(..benches.len()).collect();
         cells.push(row);
     }
     SuiteResult {
@@ -799,7 +811,12 @@ pub fn virtio_io_run(
     const MB: u64 = 1 << 20;
     let manifest = BootManifest::new()
         .with_vm(VmManifest::new("primary", VmKind::Primary, 64 * MB, 4))
-        .with_vm(VmManifest::new("iodrv", VmKind::SuperSecondary, 128 * MB, 1));
+        .with_vm(VmManifest::new(
+            "iodrv",
+            VmKind::SuperSecondary,
+            128 * MB,
+            1,
+        ));
     let (mut spm, _) = kh_hafnium::boot::boot(cfg, &manifest, vec![]).expect("boots");
     // The frontend lives in the super-secondary; its completion IRQs are
     // the ones selective routing can deliver directly.
@@ -839,11 +856,11 @@ pub fn virtio_io_run(
 
     // One priced completion-interrupt delivery, shared by both devices.
     let deliver_irq = |spm: &mut kh_hafnium::spm::Spm,
-                           row: &mut VirtioAblationRow,
-                           trace: &mut Option<&mut kh_sim::trace::TraceRecorder>,
-                           now: Nanos,
-                           intid: u32,
-                           what: &str|
+                       row: &mut VirtioAblationRow,
+                       trace: &mut Option<&mut kh_sim::trace::TraceRecorder>,
+                       now: Nanos,
+                       intid: u32,
+                       what: &str|
      -> Nanos {
         let route = spm.physical_irq(kh_arch::gic::IntId(intid));
         let mut t = cost.irq_delivery(&route);
@@ -860,7 +877,11 @@ pub fn virtio_io_run(
                 t,
                 format!(
                     "{what} intid={intid} {}",
-                    if route.forwarded { "forwarded-via-primary" } else { "direct" }
+                    if route.forwarded {
+                        "forwarded-via-primary"
+                    } else {
+                        "direct"
+                    }
                 ),
             );
         }
@@ -1065,12 +1086,18 @@ pub struct FaultAblationRow {
 /// benchmark clean and under a fault storm, per virtualized stack. The
 /// benchmark's noise profile must not move; only the victim secondary
 /// (which absorbs every injection on its own core) degrades.
-pub fn ablation_faults(seed: u64, fault_seed: u64, spec: &kh_sim::FaultSpec) -> Vec<FaultAblationRow> {
+pub fn ablation_faults(
+    seed: u64,
+    fault_seed: u64,
+    spec: &kh_sim::FaultSpec,
+) -> Vec<FaultAblationRow> {
     use kh_sim::FaultPlan;
     let duration = Nanos::from_millis(300);
-    [StackKind::HafniumKitten, StackKind::HafniumLinux]
-        .iter()
-        .map(|&stack| {
+    let stacks = [StackKind::HafniumKitten, StackKind::HafniumLinux];
+    let pool = crate::pool::Pool::with_default_jobs();
+    pool.run_indexed(stacks.len(), |si| {
+        let stack = stacks[si];
+        {
             let run = |plan: Option<FaultPlan>| {
                 let mut m = Machine::new(MachineConfig::pine_a64(stack, seed));
                 if let Some(p) = plan {
@@ -1098,8 +1125,8 @@ pub fn ablation_faults(seed: u64, fault_seed: u64, spec: &kh_sim::FaultSpec) -> 
                 fault_stats: faulted.fault_stats,
                 vm_restarts: faulted.vm_restarts,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Render the fault ablation as an aligned table.

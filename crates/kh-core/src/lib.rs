@@ -25,10 +25,12 @@ pub mod experiment;
 pub mod figures;
 pub mod machine;
 pub mod parallel;
+pub mod pool;
 pub mod victim;
 
 pub use config::{MachineConfig, StackKind, StackOptions};
-pub use experiment::{run_trials, TrialStats};
+pub use experiment::{run_trials, run_trials_pooled, TrialStats};
 pub use machine::{Machine, RunReport};
-pub use victim::{VictimReport, VictimVm, VICTIM_VM};
 pub use parallel::{BarrierMode, ParallelMachine, ParallelReport};
+pub use pool::Pool;
+pub use victim::{VictimReport, VictimVm, VICTIM_VM};

@@ -11,9 +11,11 @@
 
 use crate::config::{MachineConfig, StackKind};
 use crate::victim::{VictimReport, VictimVm};
-use kh_arch::cpu::{CoreTimer, Phase, PollutionState, TranslationRegime};
+use kh_arch::cpu::{AccessPattern, CoreTimer, Phase, PollutionState, TranslationRegime};
 use kh_arch::el::ExceptionLevel;
+use kh_arch::mmu::{AccessKind, MemAttr, PagePerms, Stage1Table, BLOCK_SIZE, PAGE_SIZE};
 use kh_arch::noise::OsTimingModel;
+use kh_arch::walkcache::WalkCacheStats;
 use kh_hafnium::hypercall::HfCall;
 use kh_hafnium::manifest::{BootManifest, VmKind, VmManifest};
 use kh_hafnium::spm::{Spm, SpmConfig};
@@ -147,6 +149,10 @@ pub struct RunReport {
     pub victim: Option<VictimReport>,
     /// Secondary restarts the SPM performed during the run.
     pub vm_restarts: u64,
+    /// Walk-cache counters from the translation replay (None unless
+    /// `StackOptions::model_translation` was enabled on a virtualized
+    /// stack).
+    pub walk_cache: Option<WalkCacheStats>,
 }
 
 /// The per-run machine.
@@ -167,6 +173,17 @@ pub struct Machine {
     faults: FaultPlan,
     /// The sacrificial secondary absorbing the plan's injections.
     victim: Option<VictimVm>,
+    /// Guest stage-1 table for the translation replay (present only when
+    /// `model_translation` is on and the stack is virtualized). Grown
+    /// lazily to cover each phase's footprint.
+    s1_replay: Option<Stage1Table>,
+    /// Bytes of the replay VA window mapped so far.
+    replay_mapped: u64,
+    /// RNG for replay access sampling. A dedicated stream (like the
+    /// fault plan's): enabling the replay must not shift the noise
+    /// drawn from `rng`, so a modeled and an unmodeled run with the same
+    /// seed see identical tick alignment and jitter.
+    replay_rng: SimRng,
 }
 
 impl Machine {
@@ -224,6 +241,9 @@ impl Machine {
         } else {
             (None, None, None, TranslationRegime::Stage1Only, VmId(0))
         };
+        let s1_replay = (cfg.options.model_translation && cfg.stack.is_virtualized())
+            .then(|| Stage1Table::new(1));
+        let replay_rng = SimRng::new(cfg.seed ^ 0x6B68_7761_6C6B);
         Machine {
             cfg,
             timer,
@@ -237,6 +257,9 @@ impl Machine {
             trace: TraceRecorder::disabled(),
             faults: FaultPlan::none(),
             victim: None,
+            s1_replay,
+            replay_mapped: 0,
+            replay_rng,
         }
     }
 
@@ -297,6 +320,61 @@ impl Machine {
         self.spm.as_ref()
     }
 
+    /// Replay a sample of the phase's memory accesses through the real
+    /// stage-1/stage-2 tables via the SPM's walk cache, and return the
+    /// measured walk-cost factor (fraction of full nested-walk cost
+    /// actually paid) for this phase. Returns 1.0 — i.e. the analytic
+    /// full-cost model — when the replay is disabled or the phase touches
+    /// no memory.
+    fn replay_translation(&mut self, phase: &Phase) -> f64 {
+        const REPLAY_VA_BASE: u64 = 0x4000_0000;
+        /// Accesses sampled per phase: enough to warm and exercise the
+        /// cache, small enough to keep simulation overhead bounded.
+        const REPLAY_SAMPLES: u64 = 1024;
+
+        let (Some(s1), Some(spm)) = (self.s1_replay.as_mut(), self.spm.as_mut()) else {
+            return 1.0;
+        };
+        if phase.mem_refs == 0 || phase.footprint == 0 {
+            return 1.0;
+        }
+        // Grow the guest mapping to cover this phase's footprint. Granule
+        // follows the stack's mapping policy: 2 MiB blocks when the guest
+        // kernel uses them, 4 KiB pages otherwise.
+        let blocks = self.cfg.options.guest_block_mappings;
+        let granule = if blocks { BLOCK_SIZE } else { PAGE_SIZE };
+        let want = phase.footprint.div_ceil(granule) * granule;
+        if want > self.replay_mapped {
+            s1.map_with_granule(
+                REPLAY_VA_BASE + self.replay_mapped,
+                self.replay_mapped,
+                want - self.replay_mapped,
+                PagePerms::RW,
+                MemAttr::Normal,
+                blocks,
+            )
+            .expect("replay window extends contiguously");
+            self.replay_mapped = want;
+        }
+        let pages = (phase.footprint / PAGE_SIZE).max(1);
+        let samples = phase.mem_refs.min(REPLAY_SAMPLES);
+        let before = spm.walk_cache_stats();
+        for s in 0..samples {
+            let vpn = match phase.pattern {
+                // GUPS-style: uniform over the whole table.
+                AccessPattern::Random => self.replay_rng.next_below(pages),
+                // Unit stride sweeps the footprint.
+                AccessPattern::Stream => s % pages,
+                // Cache-blocked: hot working set far below the footprint.
+                AccessPattern::Blocked { .. } => self.replay_rng.next_below(pages.min(512)),
+                AccessPattern::Compute => 0,
+            };
+            let va = REPLAY_VA_BASE + vpn * PAGE_SIZE + (s % PAGE_SIZE);
+            let _ = spm.translate_guest(self.workload_vm, s1, va, AccessKind::Read);
+        }
+        spm.walk_cache_stats().since(&before).walk_cost_factor()
+    }
+
     /// Enable machine-event tracing (ring buffer of `capacity` records).
     pub fn enable_tracing(&mut self, capacity: usize) {
         self.trace = TraceRecorder::new(capacity);
@@ -348,6 +426,7 @@ impl Machine {
             fault_stats: FaultStats::default(),
             victim: None,
             vm_restarts: 0,
+            walk_cache: None,
         };
 
         // Tick schedules start at a random phase offset so repeated
@@ -395,7 +474,16 @@ impl Machine {
         let jitter_sigma = self.cfg.options.jitter_sigma;
         'run: while let Some(phase) = w.next_phase(now) {
             let mut clean = PollutionState::default();
-            let cost = self.timer.price(&phase, self.regime, &mut clean, 1);
+            // Walk-cache discount from the functional translation replay;
+            // exactly 1.0 (the analytic full-cost model) when disabled.
+            let walk_factor = if self.s1_replay.is_some() {
+                self.replay_translation(&phase)
+            } else {
+                1.0
+            };
+            let cost =
+                self.timer
+                    .price_with_walk_factor(&phase, self.regime, &mut clean, 1, walk_factor);
             // Per-phase timing jitter models DRAM refresh/thermal
             // variation: the source of run-to-run stdev.
             let jitter = 1.0 + self.rng.next_gaussian() * jitter_sigma;
@@ -411,7 +499,10 @@ impl Machine {
                 // Victim-side fault activity runs on its own core up to
                 // wherever the benchmark is about to advance; it never
                 // enters core 0's event competition above.
-                let horizon = now.checked_add(remaining).unwrap_or(Nanos::MAX).min(next_event);
+                let horizon = now
+                    .checked_add(remaining)
+                    .unwrap_or(Nanos::MAX)
+                    .min(next_event);
                 self.drive_faults(horizon);
                 if next_event == fault_at
                     && now
@@ -566,6 +657,9 @@ impl Machine {
         report.victim = self.victim.as_ref().map(|v| v.report);
         if let Some(spm) = self.spm.as_ref() {
             report.vm_restarts = spm.stats.vm_restarts;
+            if self.s1_replay.is_some() {
+                report.walk_cache = Some(spm.walk_cache_stats());
+            }
             // The isolation invariant must survive the whole run.
             spm.audit_isolation().expect("isolation preserved");
         }
@@ -595,6 +689,67 @@ mod tests {
             duration: Nanos::from_millis(duration_ms),
             ..Default::default()
         }))
+    }
+
+    fn small_gups() -> Box<GupsModel> {
+        Box::new(GupsModel::new(GupsConfig {
+            log2_table: 20,
+            updates_per_entry: 2,
+        }))
+    }
+
+    #[test]
+    fn model_translation_reports_walk_cache_stats() {
+        let mut c = cfg(StackKind::HafniumKitten, 5);
+        c.options.model_translation = true;
+        let mut m = Machine::new(c);
+        let r = m.run(small_gups().as_mut());
+        let wc = r.walk_cache.expect("replay must record stats");
+        assert!(wc.lookups() > 0);
+        assert!(wc.hit_rate() > 0.0, "warm phases must hit the walk cache");
+        assert!(wc.walk_cost_factor() < 1.0);
+    }
+
+    #[test]
+    fn model_translation_off_reports_none_and_is_unchanged() {
+        let run = |model: bool| {
+            let mut c = cfg(StackKind::HafniumKitten, 5);
+            c.options.model_translation = model;
+            let mut m = Machine::new(c);
+            m.run(small_gups().as_mut())
+        };
+        let off = run(false);
+        assert!(off.walk_cache.is_none());
+        // The replay draws from its own RNG stream and only *discounts*
+        // walk time: the modeled run is at least as fast, never noisier.
+        let on = run(true);
+        assert!(on.elapsed <= off.elapsed);
+        assert_eq!(on.host_ticks, off.host_ticks);
+    }
+
+    #[test]
+    fn model_translation_speeds_up_gups_under_virtualization() {
+        let run = |model: bool| {
+            let mut c = cfg(StackKind::HafniumKitten, 11);
+            c.options.model_translation = model;
+            let mut m = Machine::new(c);
+            m.run(small_gups().as_mut()).elapsed
+        };
+        let analytic = run(false);
+        let cached = run(true);
+        assert!(
+            cached < analytic,
+            "walk cache must shorten two-stage gups: {cached:?} vs {analytic:?}"
+        );
+    }
+
+    #[test]
+    fn native_stack_ignores_model_translation() {
+        let mut c = cfg(StackKind::NativeKitten, 3);
+        c.options.model_translation = true;
+        let mut m = Machine::new(c);
+        let r = m.run(small_gups().as_mut());
+        assert!(r.walk_cache.is_none(), "no stage 2 to cache natively");
     }
 
     #[test]
@@ -860,8 +1015,14 @@ mod tests {
         assert_eq!(v.hangs, 1);
         assert!(v.missed > 0, "a 30ms hang must miss beats");
         assert!(v.dropped + v.corrupt > 0);
-        assert!(v.frames_echoed > 0, "the echo service must still make progress");
-        assert!(v.rekicks > 0, "lost doorbells must be recovered by the watchdog");
+        assert!(
+            v.frames_echoed > 0,
+            "the echo service must still make progress"
+        );
+        assert!(
+            v.rekicks > 0,
+            "lost doorbells must be recovered by the watchdog"
+        );
         assert_eq!(faulted.vm_restarts, 1);
         assert!(faulted.fault_stats.total() > 0);
         // And a clean run carries no victim at all.
@@ -875,8 +1036,7 @@ mod tests {
         use kh_sim::{FaultPlan, FaultSpec};
         let run = |fault_seed| {
             let mut m = Machine::new(cfg(StackKind::HafniumKitten, 13));
-            let spec =
-                FaultSpec::parse("drop-mailbox:0.5,lose-doorbell:0.5,lose-irq:0.5").unwrap();
+            let spec = FaultSpec::parse("drop-mailbox:0.5,lose-doorbell:0.5,lose-irq:0.5").unwrap();
             m.inject_faults(FaultPlan::new(&spec, fault_seed, Nanos::from_millis(200)));
             let mut w = selfish(200);
             let r = m.run(w.as_mut());

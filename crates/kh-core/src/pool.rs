@@ -1,0 +1,216 @@
+//! Deterministic bounded work-stealing pool for independent trials.
+//!
+//! Experiment grids are embarrassingly parallel — every (workload, stack,
+//! seed) cell is an independent simulation — but parallelism must never
+//! change results. The pool guarantees that by construction:
+//!
+//! - work items are *indices*; workers steal the next index from a shared
+//!   atomic counter, so scheduling order is irrelevant to what each item
+//!   computes (item `i` always runs `f(i)` with its own seed);
+//! - results land in per-index slots and are collected in index order, so
+//!   the output `Vec` is identical to `(0..n).map(f).collect()` regardless
+//!   of worker count or interleaving;
+//! - panics are caught per item and re-raised after the scope joins, with
+//!   the *lowest failing index* attached (matching what serial execution
+//!   would have hit first).
+//!
+//! Nested use (a pooled figure cell calling pooled `run_trials`) is safe:
+//! a thread already inside a pool runs nested work inline rather than
+//! spawning a second layer of threads.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker-count override: 0 = unset (fall back to `KH_JOBS`
+/// env var, then host parallelism). Set from `--jobs` style flags.
+static CONFIGURED_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while the current thread is executing inside a pool worker;
+    /// nested `run_indexed` calls then run inline (no thread explosion).
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Override the default worker count for all subsequently created pools
+/// (`Pool::with_default_jobs`). Clamped to at least 1.
+pub fn set_jobs(n: usize) {
+    CONFIGURED_JOBS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// Effective default worker count: explicit [`set_jobs`] override, else
+/// the `KH_JOBS` environment variable, else host `available_parallelism`.
+pub fn jobs() -> usize {
+    let n = CONFIGURED_JOBS.load(Ordering::SeqCst);
+    if n > 0 {
+        return n;
+    }
+    if let Ok(v) = std::env::var("KH_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A bounded pool executing indexed jobs with deterministic results.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized by [`jobs`] (flag override → `KH_JOBS` → host cores).
+    pub fn with_default_jobs() -> Self {
+        Self::new(jobs())
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `f(0), f(1), …, f(n-1)` across the pool and return results in
+    /// index order — bit-identical to `(0..n).map(f).collect()`.
+    ///
+    /// # Panics
+    /// If any job panics, re-raises after all workers finish, reporting
+    /// the lowest failing index and the original message.
+    pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let nested = IN_POOL.with(|c| c.get());
+        if self.workers == 1 || n == 1 || nested {
+            return (0..n).map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let threads = self.workers.min(n);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    IN_POOL.with(|c| c.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = catch_unwind(AssertUnwindSafe(|| f(i)));
+                        *slots[i].lock().expect("slot poisoned") = Some(r);
+                    }
+                    IN_POOL.with(|c| c.set(false));
+                });
+            }
+        });
+
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().expect("slot poisoned").expect("job ran") {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    panic!("pooled job {i} panicked: {msg}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    #[test]
+    fn results_are_in_index_order_for_any_worker_count() {
+        let serial: Vec<u64> = (0..97).map(|i| (i as u64) * 3 + 1).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let pooled = Pool::new(workers).run_indexed(97, |i| (i as u64) * 3 + 1);
+            assert_eq!(pooled, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let p = Pool::new(4);
+        assert_eq!(p.run_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(p.run_indexed(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn caps_thread_count_at_workers() {
+        // With 2 workers and slow jobs, at most 2 run concurrently.
+        let live = Counter::new(0);
+        let peak = Counter::new(0);
+        Pool::new(2).run_indexed(16, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn panic_reports_lowest_failing_index() {
+        let r = std::panic::catch_unwind(|| {
+            Pool::new(4).run_indexed(32, |i| {
+                if i == 7 || i == 20 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        let payload = r.expect_err("must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("pooled job 7 panicked") && msg.contains("boom at 7"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn nested_pools_run_inline() {
+        let outer = Pool::new(4);
+        let sums = outer.run_indexed(4, |i| {
+            // Inner call must not deadlock or explode thread count.
+            let inner: Vec<usize> = Pool::new(4).run_indexed(8, |j| i * 100 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..4).map(|i| (0..8).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn jobs_clamps_to_one() {
+        assert!(jobs() >= 1);
+        assert_eq!(Pool::new(0).workers(), 1);
+    }
+}

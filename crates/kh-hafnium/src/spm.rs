@@ -19,8 +19,9 @@ use crate::verify::KeyRegistry;
 use crate::vm::{VcpuRunExit, VcpuState, Vm, VmId, VmState};
 use kh_arch::el::SecurityState;
 use kh_arch::gic::IntId;
-use kh_arch::mmu::{MemAttr, PagePerms};
+use kh_arch::mmu::{AccessKind, MemAttr, PagePerms, Stage1Table, Translation, TwoStageFault};
 use kh_arch::platform::Platform;
+use kh_arch::walkcache::{WalkCache, WalkCacheStats};
 use kh_sim::Nanos;
 use std::collections::BTreeMap;
 
@@ -165,6 +166,11 @@ pub struct Spm {
     next_share: u64,
     pub keys: KeyRegistry,
     pub stats: SpmStats,
+    /// Shared translation walk cache (the hardware MMU analogue: entries
+    /// are vmid/asid tagged, so one cache serves all VMs). Invalidated
+    /// per-VMID on restart, mirroring the `TLBI VMALLS12E1` a real
+    /// hypervisor issues when it re-initializes a stage-2 table.
+    walk_cache: WalkCache,
 }
 
 /// Round a share request up to the allocation granule.
@@ -200,7 +206,36 @@ impl Spm {
             next_share: 0,
             keys: KeyRegistry::new(),
             stats: SpmStats::default(),
+            walk_cache: WalkCache::default(),
         }
+    }
+
+    /// Translate a guest VA through `s1` and the VM's stage-2 table via
+    /// the shared walk cache. Returns the effective translation and the
+    /// descriptor reads actually performed (short-circuited on hits).
+    pub fn translate_guest(
+        &mut self,
+        vm: VmId,
+        s1: &Stage1Table,
+        va: u64,
+        kind: AccessKind,
+    ) -> Result<Result<(Translation, u32), TwoStageFault>, SpmError> {
+        let vm_ref = self
+            .vms
+            .get(&vm)
+            .ok_or_else(|| SpmError::BadManifest(format!("no VM {} to translate for", vm.0)))?;
+        Ok(self.walk_cache.translate2(s1, &vm_ref.stage2, va, kind))
+    }
+
+    /// Walk-cache counters since boot.
+    pub fn walk_cache_stats(&self) -> WalkCacheStats {
+        self.walk_cache.stats()
+    }
+
+    /// Drop walk-cache entries for one VM (stage-2 change without a full
+    /// restart, e.g. memory reclaim).
+    pub fn invalidate_walk_cache_vmid(&mut self, vm: VmId) {
+        self.walk_cache.invalidate_vmid(vm.0);
     }
 
     /// Allocate non-secure memory for a share grant (crate-internal).
@@ -537,6 +572,9 @@ impl Spm {
                 SpmError::BadManifest(format!("{}: restart stage2 map failed: {e:?}", vm.name))
             })?;
         self.vms.insert(id, vm);
+        // The new instance gets a fresh stage-2 table: cached translations
+        // for this VMID are stale and must miss.
+        self.walk_cache.invalidate_vmid(id.0);
         self.stats.vm_restarts += 1;
         Ok(())
     }
@@ -1320,6 +1358,47 @@ mod tests {
         assert_eq!(s.current(0), Some((app, 0)));
         s.finish_run(0, VcpuRunExit::Yield);
         assert!(s.audit_isolation().is_ok());
+    }
+
+    #[test]
+    fn restart_invalidates_walk_cache_for_that_vm_only() {
+        let mut s = basic();
+        let app = s.vm_ids()[1];
+        let mut s1 = Stage1Table::new(1);
+        s1.map(0x4000_0000, 0x0, MB, PagePerms::RW, MemAttr::Normal)
+            .unwrap();
+        // Warm entries for both the primary and the app VM.
+        s.translate_guest(VmId::PRIMARY, &s1, 0x4000_0000, AccessKind::Read)
+            .unwrap()
+            .unwrap();
+        s.translate_guest(app, &s1, 0x4000_0000, AccessKind::Read)
+            .unwrap()
+            .unwrap();
+        let (_, hot) = s
+            .translate_guest(app, &s1, 0x4000_0000, AccessKind::Read)
+            .unwrap()
+            .unwrap();
+        assert_eq!(hot, 0, "warm combined entry must be free");
+        run_app(&mut s, app);
+        s.finish_run(0, VcpuRunExit::Aborted);
+        s.restart_vm(app).unwrap();
+        let before = s.walk_cache_stats();
+        let (_, cold) = s
+            .translate_guest(app, &s1, 0x4000_0000, AccessKind::Read)
+            .unwrap()
+            .unwrap();
+        assert!(cold > 0, "post-restart translation must re-walk");
+        assert!(
+            s.walk_cache_stats().invalidations > 0,
+            "restart must invalidate the VMID"
+        );
+        assert_eq!(s.walk_cache_stats().hits, before.hits);
+        // The primary's entries survive the app restart.
+        let (_, primary_steps) = s
+            .translate_guest(VmId::PRIMARY, &s1, 0x4000_0000, AccessKind::Read)
+            .unwrap()
+            .unwrap();
+        assert_eq!(primary_steps, 0);
     }
 
     #[test]

@@ -41,10 +41,10 @@ pub mod task;
 pub mod virtio;
 
 pub use control::{ControlTask, VmCommand, VmCommandResult};
-pub use retry::{send_with_retry, MailboxRetryPolicy, SendOutcome};
 pub use pmem::BuddyAllocator;
 pub use primary::PrimaryDriver;
 pub use profile::KittenProfile;
+pub use retry::{send_with_retry, MailboxRetryPolicy, SendOutcome};
 pub use sched::{KittenScheduler, SchedConfig};
 pub use secondary::SecondaryPort;
 pub use task::{Task, TaskId, TaskKind, TaskState};

@@ -84,6 +84,7 @@ pub fn no_progress(_spm: &mut Spm, _now: Nanos) {}
 /// `MailboxBusy` per `policy`. `between` runs once per backoff interval
 /// with the advanced virtual time. Non-busy errors abort immediately —
 /// retrying a `Denied` or `NoSuchTarget` cannot help.
+#[allow(clippy::too_many_arguments)]
 pub fn send_with_retry(
     spm: &mut Spm,
     from: VmId,

@@ -73,7 +73,10 @@ impl KittenVirtioDriver {
             self.vm,
             vcpu,
             core,
-            HfCall::InterruptEnable { intid, enable: true },
+            HfCall::InterruptEnable {
+                intid,
+                enable: true,
+            },
             now,
         )
         .map(|_| ())
@@ -171,10 +174,7 @@ mod tests {
         let r = drv.drain_net(&mut net);
         assert_eq!(r.completions, 8, "4 rx frames + 4 tx slots");
         assert_eq!(r.bytes, 400);
-        assert_eq!(
-            r.cost,
-            drv.irq_entry_cost() + drv.per_completion.scaled(8)
-        );
+        assert_eq!(r.cost, drv.irq_entry_cost() + drv.per_completion.scaled(8));
     }
 
     #[test]

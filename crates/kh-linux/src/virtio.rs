@@ -72,7 +72,10 @@ impl LinuxVirtioDriver {
             self.vm,
             vcpu,
             core,
-            HfCall::InterruptEnable { intid, enable: true },
+            HfCall::InterruptEnable {
+                intid,
+                enable: true,
+            },
             now,
         )
         .map(|_| ())
@@ -155,16 +158,16 @@ mod tests {
         let platform = Platform::pine_a64_lts();
         let mut blk = VirtioBlk::new(&platform, 79, 64, 0);
         for i in 0..3u64 {
-            blk.submit(&BlkRequest::Write { sector: i, data: vec![i as u8; 512] })
-                .unwrap();
+            blk.submit(&BlkRequest::Write {
+                sector: i,
+                data: vec![i as u8; 512],
+            })
+            .unwrap();
         }
         blk.device_poll();
         let mut drv = LinuxVirtioDriver::new(VmId(2), 4);
         let r = drv.drain_blk(&mut blk);
         assert_eq!(r.completions, 3);
-        assert_eq!(
-            r.cost,
-            drv.irq_entry_cost() + drv.per_completion.scaled(3)
-        );
+        assert_eq!(r.cost, drv.irq_entry_cost() + drv.per_completion.scaled(3));
     }
 }

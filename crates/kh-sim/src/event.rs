@@ -8,6 +8,7 @@ use crate::time::Nanos;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
+use std::collections::VecDeque;
 
 /// Opaque handle to a scheduled event; used for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,6 +57,27 @@ impl<T> Ord for HeapEntry<T> {
 /// `pop_next` never returns an event scheduled in the past relative to the
 /// last popped event — virtual time is monotone by construction.
 ///
+/// # Lazy deletion invariant
+///
+/// Cancellation does not remove entries from the heap (a `BinaryHeap` has no
+/// efficient arbitrary removal). Instead the id goes into `cancelled` and the
+/// entry is reaped when it surfaces. The queue maintains a stronger *clean
+/// front* invariant: after every public mutating call, neither the heap top
+/// nor the immediate-lane front is a cancelled entry. `cancel` and `pop_next`
+/// re-establish it before returning, which is what lets the read-only
+/// accessors (`peek_time`, `contains`, `len`) take `&self`. Cancelled
+/// entries *behind* the front stay in place until they surface; `cancelled`
+/// therefore holds exactly the not-yet-reaped cancelled ids, and
+/// `pending`/`live` are always exact.
+///
+/// # Fast paths
+///
+/// Events scheduled exactly at the current virtual time bypass the heap into
+/// a FIFO `immediate` lane (plain `VecDeque` push/pop, no sift). Global
+/// `(at, seq)` order is preserved: `pop_next` compares the lane front with
+/// the heap top, so an earlier-`seq` heap entry at the same instant still
+/// pops first.
+///
 /// ```
 /// use kh_sim::{EventQueue, Nanos};
 /// let mut q = EventQueue::new();
@@ -67,11 +89,13 @@ impl<T> Ord for HeapEntry<T> {
 #[derive(Debug)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<HeapEntry<T>>,
+    /// Zero-delay lane: events scheduled at exactly `now`, in seq order.
+    immediate: VecDeque<HeapEntry<T>>,
     /// Ids scheduled but neither popped nor cancelled. This is the exact
     /// pending set; `live` is always `pending.len()`.
     pending: HashSet<EventId>,
-    /// Cancelled ids whose heap entries have not been reaped yet
-    /// (removal from a binary heap is lazy).
+    /// Cancelled ids whose entries have not been reaped yet (removal from
+    /// a binary heap is lazy; see the lazy-deletion invariant above).
     cancelled: HashSet<EventId>,
     next_seq: u64,
     now: Nanos,
@@ -86,14 +110,27 @@ impl<T> Default for EventQueue<T> {
 
 impl<T> EventQueue<T> {
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Create a queue with pre-reserved capacity in the heap and pending
+    /// set, avoiding reallocation churn in hot simulation loops.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            heap: BinaryHeap::with_capacity(cap),
+            immediate: VecDeque::new(),
+            pending: HashSet::with_capacity(cap),
             cancelled: HashSet::new(),
             next_seq: 0,
             now: Nanos::ZERO,
             live: 0,
         }
+    }
+
+    /// Reserve room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        self.pending.reserve(additional);
     }
 
     /// Current virtual time: the timestamp of the last popped event.
@@ -110,6 +147,12 @@ impl<T> EventQueue<T> {
         self.live == 0
     }
 
+    /// O(1) exact membership test: is `id` still pending (scheduled,
+    /// not yet popped, not cancelled)?
+    pub fn contains(&self, id: EventId) -> bool {
+        self.pending.contains(&id)
+    }
+
     /// Schedule `payload` at absolute time `at`.
     ///
     /// # Panics
@@ -124,12 +167,19 @@ impl<T> EventQueue<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
-        self.heap.push(HeapEntry {
+        let entry = HeapEntry {
             at,
             seq,
             id,
             payload,
-        });
+        };
+        if at == self.now {
+            // Zero-delay fast path: no heap sift. FIFO order within the
+            // lane is seq order because seq is monotone.
+            self.immediate.push_back(entry);
+        } else {
+            self.heap.push(entry);
+        }
         self.pending.insert(id);
         self.live += 1;
         id
@@ -141,6 +191,12 @@ impl<T> EventQueue<T> {
         self.schedule_at(at, payload)
     }
 
+    /// Schedule `payload` at the current instant (zero delay). Takes the
+    /// immediate-dispatch lane, skipping the heap entirely.
+    pub fn schedule_now(&mut self, payload: T) -> EventId {
+        self.schedule_at(self.now, payload)
+    }
+
     /// Cancel a pending event. Returns `true` if the event was still
     /// pending (i.e. not yet popped and not already cancelled).
     /// Cancelling an unknown, already-popped, or already-cancelled id is
@@ -149,26 +205,55 @@ impl<T> EventQueue<T> {
         if !self.pending.remove(&id) {
             return false; // never issued, already popped, or already cancelled
         }
-        // The heap entry is reaped lazily at the next peek/pop.
+        // The entry is reaped lazily; re-establish the clean-front
+        // invariant in case we just cancelled the front.
         self.cancelled.insert(id);
         self.live -= 1;
+        self.clean_front();
         true
     }
 
     /// Peek at the timestamp of the next pending event.
-    pub fn peek_time(&mut self) -> Option<Nanos> {
-        self.skip_cancelled();
-        self.heap.peek().map(|e| e.at)
+    ///
+    /// Read-only: the clean-front invariant guarantees neither front is a
+    /// cancelled entry, so no lazy cleanup is needed here.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        match (self.heap.peek(), self.immediate.front()) {
+            (None, None) => None,
+            (Some(h), None) => Some(h.at),
+            (None, Some(i)) => Some(i.at),
+            (Some(h), Some(i)) => {
+                if (i.at, i.seq) < (h.at, h.seq) {
+                    Some(i.at)
+                } else {
+                    Some(h.at)
+                }
+            }
+        }
     }
 
     /// Pop the next event, advancing virtual time to its timestamp.
     pub fn pop_next(&mut self) -> Option<ScheduledEvent<T>> {
-        self.skip_cancelled();
-        let entry = self.heap.pop()?;
+        let take_immediate = match (self.heap.peek(), self.immediate.front()) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(h), Some(i)) => (i.at, i.seq) < (h.at, h.seq),
+        };
+        let entry = if take_immediate {
+            self.immediate.pop_front().expect("front just observed")
+        } else {
+            self.heap.pop().expect("top just observed")
+        };
+        debug_assert!(
+            !self.cancelled.contains(&entry.id),
+            "clean-front invariant violated"
+        );
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         self.pending.remove(&entry.id);
         self.live -= 1;
+        self.clean_front();
         Some(ScheduledEvent {
             id: entry.id,
             at: entry.at,
@@ -189,10 +274,21 @@ impl<T> EventQueue<T> {
         self.now = t;
     }
 
-    fn skip_cancelled(&mut self) {
+    /// Re-establish the clean-front invariant: reap cancelled entries from
+    /// the heap top and the immediate-lane front until both are live (or
+    /// empty). Called after every mutation that can expose a cancelled
+    /// entry at a front.
+    fn clean_front(&mut self) {
         while let Some(top) = self.heap.peek() {
             if self.cancelled.remove(&top.id) {
                 self.heap.pop();
+            } else {
+                break;
+            }
+        }
+        while let Some(front) = self.immediate.front() {
+            if self.cancelled.remove(&front.id) {
+                self.immediate.pop_front();
             } else {
                 break;
             }
@@ -347,6 +443,75 @@ mod tests {
             }
             proptest::prop_assert!(model.is_empty());
         }
+    }
+
+    #[test]
+    fn immediate_lane_preserves_global_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Nanos(10), "first");
+        q.pop_next(); // now = 10
+        let heap_same_instant = q.schedule_at(Nanos(20), "heap@20");
+        q.pop_next(); // now = 20; heap_same_instant popped
+        assert_eq!(q.now(), Nanos(20));
+        let _ = heap_same_instant;
+        // Heap entry at the current instant scheduled *before* two
+        // zero-delay events must still pop first (seq order).
+        q.schedule_at(Nanos(25), "later");
+        q.pop_next(); // now = 25
+        q.schedule_at(Nanos(30), "heap-entry");
+        q.pop_next(); // now = 30
+        q.schedule_at(Nanos(40), "h1");
+        let z1 = q.schedule_now("z1");
+        let z2 = q.schedule_now("z2");
+        assert!(q.contains(z1) && q.contains(z2));
+        assert_eq!(q.peek_time(), Some(Nanos(30)));
+        assert_eq!(q.pop_next().unwrap().payload, "z1");
+        assert_eq!(q.pop_next().unwrap().payload, "z2");
+        assert_eq!(q.pop_next().unwrap().payload, "h1");
+    }
+
+    #[test]
+    fn heap_entry_at_same_instant_with_lower_seq_pops_before_lane() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Nanos(10), "a");
+        q.schedule_at(Nanos(10), "b"); // heap, seq 1
+        q.pop_next(); // pops "a", now = 10; "b" still in heap at now
+        let _z = q.schedule_now("z"); // lane, seq 2
+        assert_eq!(q.pop_next().unwrap().payload, "b");
+        assert_eq!(q.pop_next().unwrap().payload, "z");
+    }
+
+    #[test]
+    fn cancel_in_immediate_lane() {
+        let mut q = EventQueue::new();
+        let z1 = q.schedule_now("z1");
+        let z2 = q.schedule_now("z2");
+        assert!(q.cancel(z1));
+        assert!(!q.contains(z1));
+        assert!(q.contains(z2));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_next().unwrap().payload, "z2");
+        assert!(q.cancelled.is_empty(), "lane cancel must be reaped");
+    }
+
+    #[test]
+    fn peek_time_is_read_only() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Nanos(10), "a");
+        q.schedule_at(Nanos(20), "b");
+        q.cancel(a);
+        // &self access: the clean-front invariant already reaped `a`.
+        let q_ref: &EventQueue<&str> = &q;
+        assert_eq!(q_ref.peek_time(), Some(Nanos(20)));
+        assert!(!q_ref.contains(a));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        q.reserve(16);
+        q.schedule_at(Nanos(5), 1);
+        assert_eq!(q.pop_next().unwrap().payload, 1);
     }
 
     #[test]

@@ -103,7 +103,11 @@ pub struct FaultSpec {
 }
 
 fn parse_time(s: &str) -> Result<Nanos, FaultParseError> {
-    let err = || FaultParseError(format!("bad time `{s}` (want e.g. 200ms, 50us, 3s, 1200ns)"));
+    let err = || {
+        FaultParseError(format!(
+            "bad time `{s}` (want e.g. 200ms, 50us, 3s, 1200ns)"
+        ))
+    };
     let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
         (n, 1u64)
     } else if let Some(n) = s.strip_suffix("us") {
@@ -191,18 +195,14 @@ impl fmt::Display for FaultSpec {
             }
             match c {
                 Clause::CrashAt(t) => write!(f, "crash@{}ns", t.as_nanos())?,
-                Clause::HangAt(t, d) => {
-                    write!(f, "hang@{}ns:{}ns", t.as_nanos(), d.as_nanos())?
-                }
+                Clause::HangAt(t, d) => write!(f, "hang@{}ns:{}ns", t.as_nanos(), d.as_nanos())?,
                 Clause::DropMailbox(p) => write!(f, "drop-mailbox:{p}")?,
                 Clause::CorruptMailbox(p) => write!(f, "corrupt-mailbox:{p}")?,
                 Clause::LoseDoorbell(p) => write!(f, "lose-doorbell:{p}")?,
                 Clause::SpuriousDoorbell(n) => write!(f, "spurious-doorbell:{n}")?,
                 Clause::LoseIrq(p) => write!(f, "lose-irq:{p}")?,
                 Clause::SpuriousIrq(n) => write!(f, "spurious-irq:{n}")?,
-                Clause::DelayTimer(n, e) => {
-                    write!(f, "delay-timer:{n}:{}ns", e.as_nanos())?
-                }
+                Clause::DelayTimer(n, e) => write!(f, "delay-timer:{n}:{}ns", e.as_nanos())?,
                 Clause::CorruptRing(p) => write!(f, "corrupt-ring:{p}")?,
             }
         }
@@ -509,7 +509,11 @@ mod tests {
         let b = FaultPlan::new(&spec, 42, Nanos::from_secs(1));
         assert_eq!(a.scheduled(), b.scheduled());
         let c = FaultPlan::new(&spec, 43, Nanos::from_secs(1));
-        assert_ne!(a.scheduled(), c.scheduled(), "different seed, different times");
+        assert_ne!(
+            a.scheduled(),
+            c.scheduled(),
+            "different seed, different times"
+        );
     }
 
     #[test]
@@ -544,8 +548,7 @@ mod tests {
 
     #[test]
     fn gates_draw_from_independent_streams() {
-        let spec =
-            FaultSpec::parse("drop-mailbox:0.5,lose-doorbell:0.5,lose-irq:0.5").unwrap();
+        let spec = FaultSpec::parse("drop-mailbox:0.5,lose-doorbell:0.5,lose-irq:0.5").unwrap();
         // Interleaving order of *different* gates must not change any
         // single gate's decision sequence.
         let mut a = FaultPlan::new(&spec, 9, Nanos::from_secs(1));

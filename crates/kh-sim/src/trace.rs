@@ -298,7 +298,13 @@ mod tests {
     #[test]
     fn csv_quotes_embedded_commas_and_quotes() {
         let mut t = TraceRecorder::new(4);
-        t.emit(Nanos(5), 1, TraceCategory::Hypercall, Nanos(2), "vm=2,op=\"send\"");
+        t.emit(
+            Nanos(5),
+            1,
+            TraceCategory::Hypercall,
+            Nanos(2),
+            "vm=2,op=\"send\"",
+        );
         t.emit(Nanos(7), 0, TraceCategory::TimerTick, Nanos::ZERO, "plain");
         let csv = t.to_csv();
         let mut lines = csv.lines();

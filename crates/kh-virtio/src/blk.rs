@@ -181,8 +181,7 @@ impl VirtioBlk {
                     return Err(QueueError::BadSize);
                 }
                 let hdr = BlkRequest::header(OP_READ, *sector, *sectors);
-                self.queue
-                    .add_chain(&hdr, *sectors * SECTOR_BYTES as u32)?;
+                self.queue.add_chain(&hdr, *sectors * SECTOR_BYTES as u32)?;
             }
         }
         Ok(self.queue.kick())
@@ -228,7 +227,9 @@ impl VirtioBlk {
             };
             let Some((op, sector, count)) = BlkRequest::parse(&hdr) else {
                 self.stats.bad_requests += 1;
-                self.queue.push_used(head, 0).expect("bad-request completion");
+                self.queue
+                    .push_used(head, 0)
+                    .expect("bad-request completion");
                 report.completed += 1;
                 continue;
             };
@@ -314,12 +315,19 @@ mod tests {
         let mut d = dev();
         let data = pattern(4, 7);
         let sum = checksum(&data);
-        d.submit(&BlkRequest::Write { sector: 100, data: data.clone() })
-            .unwrap();
+        d.submit(&BlkRequest::Write {
+            sector: 100,
+            data: data.clone(),
+        })
+        .unwrap();
         d.device_poll();
         assert!(d.poll_completion().is_some(), "write completion");
 
-        d.submit(&BlkRequest::Read { sector: 100, sectors: 4 }).unwrap();
+        d.submit(&BlkRequest::Read {
+            sector: 100,
+            sectors: 4,
+        })
+        .unwrap();
         let report = d.device_poll();
         assert_eq!(report.completed, 1);
         assert!(report.time > Nanos::ZERO);
@@ -333,7 +341,11 @@ mod tests {
     #[test]
     fn unwritten_sectors_read_as_zero() {
         let mut d = dev();
-        d.submit(&BlkRequest::Read { sector: 5000, sectors: 2 }).unwrap();
+        d.submit(&BlkRequest::Read {
+            sector: 5000,
+            sectors: 2,
+        })
+        .unwrap();
         d.device_poll();
         let got = d.poll_completion().unwrap();
         assert_eq!(got.len(), 2 * SECTOR_BYTES);
@@ -354,18 +366,29 @@ mod tests {
     fn misaligned_write_rejected() {
         let mut d = dev();
         let err = d
-            .submit(&BlkRequest::Write { sector: 0, data: vec![1, 2, 3] })
+            .submit(&BlkRequest::Write {
+                sector: 0,
+                data: vec![1, 2, 3],
+            })
             .unwrap_err();
         assert_eq!(err, QueueError::BadSize);
-        assert!(d.submit(&BlkRequest::Read { sector: 0, sectors: 0 }).is_err());
+        assert!(d
+            .submit(&BlkRequest::Read {
+                sector: 0,
+                sectors: 0
+            })
+            .is_err());
     }
 
     #[test]
     fn batching_suppresses_completion_irqs() {
         let mut d = VirtioBlk::new(&Platform::pine_a64_lts(), 79, 64, 8);
         for i in 0..8u64 {
-            d.submit(&BlkRequest::Write { sector: i, data: pattern(1, i as u8 + 1) })
-                .unwrap();
+            d.submit(&BlkRequest::Write {
+                sector: i,
+                data: pattern(1, i as u8 + 1),
+            })
+            .unwrap();
         }
         let report = d.device_poll();
         assert_eq!(report.completed, 8);
@@ -376,12 +399,24 @@ mod tests {
     #[test]
     fn overwrites_take_latest_data() {
         let mut d = dev();
-        d.submit(&BlkRequest::Write { sector: 9, data: pattern(1, 3) }).unwrap();
-        d.submit(&BlkRequest::Write { sector: 9, data: pattern(1, 11) }).unwrap();
+        d.submit(&BlkRequest::Write {
+            sector: 9,
+            data: pattern(1, 3),
+        })
+        .unwrap();
+        d.submit(&BlkRequest::Write {
+            sector: 9,
+            data: pattern(1, 11),
+        })
+        .unwrap();
         d.device_poll();
         d.poll_completion();
         d.poll_completion();
-        d.submit(&BlkRequest::Read { sector: 9, sectors: 1 }).unwrap();
+        d.submit(&BlkRequest::Read {
+            sector: 9,
+            sectors: 1,
+        })
+        .unwrap();
         d.device_poll();
         let got = d.poll_completion().unwrap();
         assert_eq!(checksum(&got), checksum(&pattern(1, 11)));

@@ -489,7 +489,11 @@ impl QueueRegion {
         use kh_arch::mmu::AccessKind;
         let mapped = |vm: VmId, spm: &Spm| {
             spm.vm(vm)
-                .map(|v| v.stage2.translate(self.grant.ipa, AccessKind::Write).is_ok())
+                .map(|v| {
+                    v.stage2
+                        .translate(self.grant.ipa, AccessKind::Write)
+                        .is_ok()
+                })
                 .unwrap_or(false)
         };
         mapped(self.driver_vm, spm) && mapped(self.device_vm, spm) && spm.audit_isolation().is_ok()
@@ -509,10 +513,7 @@ mod tests {
     fn rejects_bad_sizes() {
         assert_eq!(Virtqueue::new(0, false).err(), Some(QueueError::BadSize));
         assert_eq!(Virtqueue::new(24, false).err(), Some(QueueError::BadSize));
-        assert_eq!(
-            Virtqueue::new(2048, false).err(),
-            Some(QueueError::BadSize)
-        );
+        assert_eq!(Virtqueue::new(2048, false).err(), Some(QueueError::BadSize));
         assert!(Virtqueue::new(256, true).is_ok());
     }
 

@@ -213,10 +213,20 @@ mod tests {
 
     #[test]
     fn strided_run_pays_more_seek_time() {
-        let seq = run_native(&BlkStreamConfig { stride: 1, ..Default::default() },
-                             &Platform::pine_a64_lts());
-        let strided = run_native(&BlkStreamConfig { stride: 64, ..Default::default() },
-                                 &Platform::pine_a64_lts());
+        let seq = run_native(
+            &BlkStreamConfig {
+                stride: 1,
+                ..Default::default()
+            },
+            &Platform::pine_a64_lts(),
+        );
+        let strided = run_native(
+            &BlkStreamConfig {
+                stride: 64,
+                ..Default::default()
+            },
+            &Platform::pine_a64_lts(),
+        );
         assert_eq!(seq.checksum_failures + strided.checksum_failures, 0);
         assert!(strided.device_time > seq.device_time);
     }

@@ -20,9 +20,9 @@
 pub mod blkstream;
 pub mod ftq;
 pub mod gups;
-pub mod netecho;
 pub mod hpcg;
 pub mod nas;
+pub mod netecho;
 pub mod selfish;
 pub mod stream;
 

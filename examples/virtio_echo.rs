@@ -37,7 +37,10 @@ fn main() {
     let device = VmId::SUPER_SECONDARY;
     let region = QueueRegion::establish(&mut spm, driver, device, 2, 256, 2048).unwrap();
     assert!(region.verify(&spm), "both parties mapped, audit clean");
-    println!("queue region: {} bytes shared, stage-2 audit clean", region.grant.len);
+    println!(
+        "queue region: {} bytes shared, stage-2 audit clean",
+        region.grant.len
+    );
     assert!(
         !spm.vm_reaches_pa(VmId(3), region.grant.pa),
         "a VM outside the grant must not reach the queue pages"
@@ -82,7 +85,11 @@ fn main() {
         println!(
             "  {policy:?}: {} ns{}",
             cost.as_nanos(),
-            if forwarded { "  (forwarded via primary)" } else { "  (direct to owner)" }
+            if forwarded {
+                "  (forwarded via primary)"
+            } else {
+                "  (direct to owner)"
+            }
         );
     }
 }

@@ -14,10 +14,10 @@ use kitten_hafnium::core::config::{MachineConfig, StackKind, StackOptions};
 use kitten_hafnium::core::figures;
 use kitten_hafnium::core::machine::Machine;
 use kitten_hafnium::core::parallel::{BarrierMode, ParallelMachine};
-use kitten_hafnium::sim::fault::{FaultPlan, FaultSpec};
-use kitten_hafnium::sim::Nanos;
 use kitten_hafnium::hafnium::irq::IrqRoutingPolicy;
+use kitten_hafnium::sim::fault::{FaultPlan, FaultSpec};
 use kitten_hafnium::sim::trace::{events_to_csv, TraceRecorder};
+use kitten_hafnium::sim::Nanos;
 use kitten_hafnium::workloads::blkstream::{BlkStreamConfig, BlkStreamModel};
 use kitten_hafnium::workloads::ftq::{Ftq, FtqConfig};
 use kitten_hafnium::workloads::gups::{GupsConfig, GupsModel};
@@ -51,9 +51,9 @@ fn usage() -> ExitCode {
 
 USAGE:
   khsim run [--workload W] [--stack S] [--seed N] [--platform P] [--trials N]
-            [--faults SPEC] [--fault-seed N]
+            [--faults SPEC] [--fault-seed N] [--jobs N]
   khsim parallel [--threads N] [--stack S] [--seed N] [--no-barrier]
-  khsim figures [--trials N] [--seed N]
+  khsim figures [--trials N] [--seed N] [--jobs N]
   khsim trace [--workload W] [--stack S] [--routing primary|selective] [--out FILE]
   khsim list
 
@@ -67,7 +67,9 @@ OPTIONS:
   --faults      fault spec, e.g. crash@200ms,drop-mailbox:0.1,lose-irq:0.05
                 (`default` = the built-in storm); injected into a victim
                 secondary VM, never the benchmark
-  --fault-seed  u64 seed for the fault streams (default 1)",
+  --fault-seed  u64 seed for the fault streams (default 1)
+  --jobs        experiment-pool worker threads (default: KH_JOBS env var,
+                then host cores). Results are identical for any value.",
         kitten_hafnium::VERSION,
         WORKLOADS.join(" | ")
     );
@@ -293,13 +295,20 @@ fn cmd_figures(flags: &HashMap<String, String>) -> Option<()> {
 /// recorded events — including the virtio doorbell / IRQ-injection
 /// events for the I/O workloads — as CSV (stdout or `--out FILE`).
 fn cmd_trace(flags: &HashMap<String, String>) -> Option<()> {
-    let workload = flags.get("workload").map(|s| s.as_str()).unwrap_or("netecho");
+    let workload = flags
+        .get("workload")
+        .map(|s| s.as_str())
+        .unwrap_or("netecho");
     let stack = stack_of(flags.get("stack").map(|s| s.as_str()).unwrap_or("kitten"))?;
     let seed: u64 = flags
         .get("seed")
         .map(|s| s.parse().ok())
         .unwrap_or(Some(0x5C21))?;
-    let routing = match flags.get("routing").map(|s| s.as_str()).unwrap_or("primary") {
+    let routing = match flags
+        .get("routing")
+        .map(|s| s.as_str())
+        .unwrap_or("primary")
+    {
         "primary" => IrqRoutingPolicy::AllToPrimary,
         "selective" => IrqRoutingPolicy::Selective,
         _ => return None,
@@ -310,7 +319,11 @@ fn cmd_trace(flags: &HashMap<String, String>) -> Option<()> {
         // and completion-interrupt injection, priced.
         "netecho" | "blkstream" => {
             let mut tr = TraceRecorder::new(1 << 20);
-            let (frames, requests) = if workload == "netecho" { (512, 0) } else { (0, 256) };
+            let (frames, requests) = if workload == "netecho" {
+                (512, 0)
+            } else {
+                (0, 256)
+            };
             let row = figures::virtio_io_run(stack, routing, frames, requests, 16, Some(&mut tr));
             eprintln!(
                 "{workload} on {} / {routing:?}: {} doorbells ({} suppressed), {} irqs ({} forwarded)",
@@ -373,6 +386,12 @@ fn main() -> ExitCode {
     let Some(flags) = parse_flags(rest) else {
         return usage();
     };
+    if let Some(jobs) = flags.get("jobs") {
+        match jobs.parse::<usize>() {
+            Ok(n) if n >= 1 => kitten_hafnium::core::pool::set_jobs(n),
+            _ => return usage(),
+        }
+    }
     let ok = match cmd.as_str() {
         "run" => cmd_run(&flags),
         "parallel" => cmd_parallel(&flags),

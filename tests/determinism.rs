@@ -59,7 +59,11 @@ fn faulted_runs_replay_byte_identically() {
     };
     let a = csv(3);
     assert_eq!(a, csv(3), "same fault seed must replay byte-identically");
-    assert_ne!(a, csv(4), "a different fault seed must change the victim's history");
+    assert_ne!(
+        a,
+        csv(4),
+        "a different fault seed must change the victim's history"
+    );
     // The victim's activity really is in the trace being compared.
     assert!(a.contains("victim crash"));
 }
@@ -168,4 +172,87 @@ fn netecho_under_linux_primary_is_bit_identical() {
         )
     };
     assert_eq!(io(), io(), "the virtio trace must replay bit-identically");
+}
+
+// ---------------------------------------------------------------------
+// Experiment pool: pooling is a pure wall-clock optimization — results
+// must be byte-identical to the serial engine for ANY worker count.
+// ---------------------------------------------------------------------
+
+mod pool_determinism {
+    use super::*;
+    use kitten_hafnium::arch::platform::Platform;
+    use kitten_hafnium::core::config::StackOptions;
+    use kitten_hafnium::core::experiment::run_trials_pooled;
+    use kitten_hafnium::core::pool::Pool;
+    use kitten_hafnium::workloads::gups::{GupsConfig, GupsModel};
+    use kitten_hafnium::workloads::Workload;
+    use proptest::prelude::*;
+
+    fn gups() -> Box<dyn Workload + Send> {
+        Box::new(GupsModel::new(GupsConfig {
+            log2_table: 18,
+            updates_per_entry: 1,
+        }))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// RunReports from the pooled engine are byte-identical (Debug
+        /// fingerprint) to the serial engine across random seeds, trial
+        /// counts, stacks, and worker counts (1, 2, ..., beyond-host).
+        #[test]
+        fn pooled_reports_match_serial(
+            seed in 0u64..10_000,
+            trials in 1u32..5,
+            workers in 1usize..9,
+            stack_idx in 0usize..3,
+        ) {
+            let stack = StackKind::ALL[stack_idx];
+            let fingerprint = |pool: &Pool| {
+                let stats = run_trials_pooled(
+                    pool,
+                    Platform::pine_a64_lts(),
+                    stack,
+                    StackOptions::default(),
+                    trials,
+                    seed,
+                    gups,
+                );
+                format!("{:?}", stats.reports)
+            };
+            let serial = fingerprint(&Pool::new(1));
+            let pooled = fingerprint(&Pool::new(workers));
+            prop_assert_eq!(serial, pooled);
+        }
+
+        /// Full trace CSVs (per-event noise records) produced inside the
+        /// pool are byte-identical to the same machines run serially.
+        #[test]
+        fn pooled_trace_csvs_match_serial(
+            base_seed in 0u64..10_000,
+            workers in 2usize..7,
+        ) {
+            let csv_for = |seed: u64| {
+                let mut m = Machine::new(MachineConfig::pine_a64(
+                    StackKind::HafniumKitten,
+                    seed,
+                ));
+                m.enable_tracing(1 << 16);
+                let mut w = SelfishDetour::new(SelfishConfig {
+                    duration: Nanos::from_millis(20),
+                    ..Default::default()
+                });
+                m.run(&mut w);
+                m.trace().to_csv()
+            };
+            let n = 3usize;
+            let serial: Vec<String> =
+                (0..n).map(|i| csv_for(base_seed + i as u64)).collect();
+            let pooled = Pool::new(workers)
+                .run_indexed(n, |i| csv_for(base_seed + i as u64));
+            prop_assert_eq!(serial, pooled);
+        }
+    }
 }

@@ -223,3 +223,139 @@ proptest! {
         prop_assert!(KernelImage::parse(&corrupted).is_err());
     }
 }
+
+// ---------------------------------------------------------------------
+// Walk cache vs the uncached nested walk
+// ---------------------------------------------------------------------
+
+mod walkcache_model {
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    use kitten_hafnium::arch::mmu::{
+        two_stage_translate, AccessKind, MemAttr, PagePerms, Stage1Table, Stage2Table,
+    };
+    use kitten_hafnium::arch::walkcache::WalkCache;
+
+    const PAGE: u64 = 1 << 12;
+    const VA_BASE: u64 = 0x4000_0000;
+    const PAGES: u64 = 32;
+
+    /// The cache is driven with random map / translate / invalidate /
+    /// VM-restart sequences over two VMs x two ASIDs; every translation
+    /// must agree with the uncached nested walk (address, perms, attr,
+    /// and fault kind — walk-step pricing is allowed to differ: that is
+    /// the point of the cache).
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Map page `p` in world `w` (fresh pages only; remapping a live
+        /// page without TLBI is stale-by-design, as on real hardware).
+        Map {
+            w: u8,
+            p: u8,
+        },
+        Translate {
+            w: u8,
+            p: u8,
+        },
+        InvalidateAsid {
+            w: u8,
+        },
+        InvalidateVm {
+            vm: u8,
+        },
+        /// Re-init the VM's stage-2 (restart) + TLBI VMALLS12E1 analogue.
+        Restart {
+            vm: u8,
+        },
+        InvalidateAll,
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            prop_oneof![
+                (0u8..4, 0u8..PAGES as u8).prop_map(|(w, p)| Op::Map { w, p }),
+                (0u8..4, 0u8..PAGES as u8).prop_map(|(w, p)| Op::Translate { w, p }),
+                (0u8..4, 0u8..PAGES as u8).prop_map(|(w, p)| Op::Translate { w, p }),
+                (0u8..4).prop_map(|w| Op::InvalidateAsid { w }),
+                (0u8..2).prop_map(|vm| Op::InvalidateVm { vm }),
+                (0u8..2).prop_map(|vm| Op::Restart { vm }),
+                Just(Op::InvalidateAll),
+            ],
+            1..200,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn walk_cache_agrees_with_uncached_walk(ops in ops()) {
+            // World w = (vmid, asid): two ASIDs share each VM's stage-2.
+            let vmid_of = |w: u8| 1 + u16::from(w / 2);
+            let asid_of = |w: u8| 1 + u16::from(w % 2);
+            let mut s1: Vec<Stage1Table> =
+                (0u8..4).map(|w| Stage1Table::new(asid_of(w))).collect();
+            let mut s2: Vec<Stage2Table> =
+                (0u16..2).map(|vm| Stage2Table::new(1 + vm)).collect();
+            let mut s1_mapped: HashSet<(u8, u8)> = HashSet::new();
+            let mut s2_mapped: HashSet<(u8, u8)> = HashSet::new();
+            let mut wc = WalkCache::default();
+
+            for op in ops {
+                match op {
+                    Op::Map { w, p } => {
+                        let vm = w / 2;
+                        let (va, ipa) = (VA_BASE + u64::from(p) * PAGE, u64::from(p) * PAGE);
+                        if s1_mapped.insert((w, p)) {
+                            let perms = if p % 3 == 0 { PagePerms::RO } else { PagePerms::RW };
+                            s1[w as usize]
+                                .map_with_granule(va, ipa, PAGE, perms, MemAttr::Normal, false)
+                                .unwrap();
+                        }
+                        if s2_mapped.insert((vm, p)) {
+                            let pa = 0x8000_0000 + u64::from(vm) * 0x1000_0000 + ipa;
+                            s2[vm as usize]
+                                .map(ipa, pa, PAGE, PagePerms::RWX, MemAttr::Normal)
+                                .unwrap();
+                        }
+                    }
+                    Op::Translate { w, p } => {
+                        let va = VA_BASE + u64::from(p) * PAGE + u64::from(p); // sub-page offset
+                        let s1t = &s1[w as usize];
+                        let s2t = &s2[(w / 2) as usize];
+                        let cached = wc.translate2(s1t, s2t, va, AccessKind::Read);
+                        let oracle = two_stage_translate(s1t, s2t, va, AccessKind::Read);
+                        match (cached, oracle) {
+                            (Ok((c, _)), Ok((o, _))) => {
+                                prop_assert_eq!(
+                                    (c.out_addr, c.perms, c.attr),
+                                    (o.out_addr, o.perms, o.attr)
+                                );
+                            }
+                            (Err(c), Err(o)) => prop_assert_eq!(c, o),
+                            (c, o) => prop_assert!(
+                                false,
+                                "cached {:?} vs oracle {:?} disagree on fault-ness",
+                                c.map(|x| x.1),
+                                o.map(|x| x.1)
+                            ),
+                        }
+                    }
+                    Op::InvalidateAsid { w } => {
+                        wc.invalidate_asid(vmid_of(w), asid_of(w));
+                    }
+                    Op::InvalidateVm { vm } => wc.invalidate_vmid(1 + u16::from(vm)),
+                    Op::Restart { vm } => {
+                        // Stage-2 re-init: fresh table, everything unmapped
+                        // again; the hypervisor must TLBI the whole VM.
+                        s2[vm as usize] = Stage2Table::new(1 + u16::from(vm));
+                        s2_mapped.retain(|&(v, _)| v != vm);
+                        wc.invalidate_vmid(1 + u16::from(vm));
+                    }
+                    Op::InvalidateAll => wc.invalidate_all(),
+                }
+            }
+        }
+    }
+}
