@@ -10,7 +10,13 @@
 //!
 //! ```text
 //! khbench perf [--quick] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+//! khbench cluster [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
 //! ```
+//!
+//! `khbench cluster` runs the kh-cluster svcload ablation (Kitten vs
+//! Linux servers under identical offered load), times each arm, checks
+//! per-request-trace bit-identity across reruns and worker counts, and
+//! writes `BENCH_cluster_svcload.json`.
 
 use kh_arch::mmu::{two_stage_translate, AccessKind, MemAttr, PagePerms, Stage1Table, Stage2Table};
 use kh_arch::platform::Platform;
@@ -38,13 +44,16 @@ fn usage() -> ExitCode {
 
 USAGE:
   khbench perf [--quick] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+  khbench cluster [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
 
 OPTIONS:
   --quick    smaller trial counts / fewer repeats (CI smoke profile)
+  --nodes    cluster node count                    (default 4)
   --jobs     pooled worker count (default: KH_JOBS env, then host cores)
   --seed     base seed for all cells               (default 0x5C21)
   --repeats  timed repeats per cell after 1 warmup (default 5, quick 3)
-  --out      output JSON path (default BENCH_parallel_walkcache.json)"
+  --out      output JSON path (default BENCH_parallel_walkcache.json,
+             cluster: BENCH_cluster_svcload.json)"
     );
     ExitCode::from(2)
 }
@@ -356,6 +365,139 @@ fn cmd_perf(flags: &HashMap<String, String>) -> Option<()> {
     Some(())
 }
 
+/// `khbench cluster`: wall-clock + simulated tails for the svcload
+/// ablation, with a bit-identity determinism gate (rerun same seed, and
+/// serial vs pooled arms) baked into the exit code.
+fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
+    use kh_cluster::figures::{ablation_cluster, ARMS};
+    use kh_cluster::ClusterReport;
+    use kh_workloads::svcload::SvcLoadConfig;
+
+    let quick = flags.contains_key("quick");
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(4))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(kh_bench::SEED))?;
+    let repeats: usize = flags
+        .get("repeats")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(if quick { 3 } else { 5 }))?;
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster_svcload.json".to_string());
+    let jobs = match flags.get("jobs") {
+        Some(j) => j.parse().ok().filter(|&n| n >= 1)?,
+        None => kh_core::pool::jobs(),
+    };
+    let svcload = if quick {
+        SvcLoadConfig::quick()
+    } else {
+        SvcLoadConfig::default()
+    };
+    eprintln!("khbench cluster: nodes={nodes} jobs={jobs} quick={quick} seed={seed:#x}");
+
+    let fingerprint = |reports: &[ClusterReport]| -> String {
+        reports
+            .iter()
+            .map(|r| r.csv())
+            .collect::<Vec<_>>()
+            .join("---\n")
+    };
+    let run_arms = |workers: usize| -> Vec<ClusterReport> {
+        kh_core::pool::set_jobs(workers);
+        ablation_cluster(nodes, seed, svcload)
+    };
+
+    // Determinism gate: serial, pooled, and a same-seed rerun must all
+    // produce byte-identical per-request traces.
+    let serial = run_arms(1);
+    let pooled = run_arms(jobs);
+    let rerun = run_arms(jobs);
+    let deterministic =
+        fingerprint(&serial) == fingerprint(&pooled) && fingerprint(&pooled) == fingerprint(&rerun);
+    eprintln!("determinism (serial == pooled == rerun): {deterministic}");
+
+    // Wall clock per arm, timed at the requested worker count.
+    kh_core::pool::set_jobs(jobs);
+    let mut arm_wall_ns = Vec::new();
+    for (i, arm) in ARMS.iter().enumerate() {
+        let ns = time_median(repeats, || {
+            let mut cfg = kh_cluster::ClusterConfig::new(nodes, *arm, seed);
+            cfg.svcload = svcload;
+            let r = kh_cluster::run(&cfg);
+            assert_eq!(r.sent, serial[i].sent);
+        });
+        eprintln!(
+            "arm {}: median {:.2} ms over {repeats} repeats",
+            arm.label(),
+            ns as f64 / 1e6
+        );
+        arm_wall_ns.push(ns);
+    }
+
+    let kitten = &pooled[0];
+    let linux = &pooled[1];
+    let tail_ordering_holds = kitten.latency.p99() <= linux.latency.p99()
+        && kitten.latency.p999() <= linux.latency.p999();
+    eprintln!(
+        "tails (us): Kitten p99 {:.1} p999 {:.1} | Linux p99 {:.1} p999 {:.1} | ordering holds: {tail_ordering_holds}",
+        kitten.latency.p99() / 1e3,
+        kitten.latency.p999() / 1e3,
+        linux.latency.p99() / 1e3,
+        linux.latency.p999() / 1e3,
+    );
+
+    let arm_rows: Vec<String> = pooled
+        .iter()
+        .zip(&arm_wall_ns)
+        .map(|(r, wall)| {
+            format!(
+                "    {{ \"stack\": \"{}\", \"sent\": {}, \"completed\": {}, \
+                 \"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"p999_ns\": {:.0}, \
+                 \"max_ns\": {:.0}, \"median_wall_ns\": {wall} }}",
+                r.server_stack.label(),
+                r.sent,
+                r.completed,
+                r.latency.median(),
+                r.latency.p99(),
+                r.latency.p999(),
+                r.latency.max(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"khbench-cluster-svcload-v1\",\n  \"quick\": {quick},\n  \
+         \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"clients\": {},\n  \
+         \"servers\": {},\n  \"jobs\": {jobs},\n  \"repeats\": {repeats},\n  \
+         \"deterministic\": {deterministic},\n  \
+         \"tail_ordering_holds\": {tail_ordering_holds},\n  \"arms\": [\n{}\n  ]\n}}\n",
+        kitten.clients,
+        kitten.servers,
+        arm_rows.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return None;
+    }
+    eprintln!("wrote {out_path}");
+    if !deterministic {
+        eprintln!(
+            "error: cluster traces diverged across reruns/worker counts — determinism broken"
+        );
+        return None;
+    }
+    if !tail_ordering_holds {
+        eprintln!("error: Kitten-primary tails exceed Linux-primary under identical load");
+        return None;
+    }
+    Some(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -366,6 +508,7 @@ fn main() -> ExitCode {
     };
     let ok = match cmd.as_str() {
         "perf" => cmd_perf(&flags),
+        "cluster" => cmd_cluster(&flags),
         _ => None,
     };
     match ok {

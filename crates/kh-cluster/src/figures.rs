@@ -1,0 +1,88 @@
+//! The cluster ablation: Kitten-primary vs Linux-primary servers under
+//! identical offered load.
+//!
+//! Both arms run the *same* client nodes, the same arrival streams, and
+//! the same fabric; only the server stack differs. The table restates
+//! the paper's noise argument as service tail latency: a 250 Hz + kthread
+//! primary next to the service VM costs you the p99/p999, not the median.
+
+use crate::cluster::{self, ClusterConfig, ClusterReport};
+use kh_core::config::StackKind;
+use kh_core::pool::Pool;
+use kh_metrics::table::Table;
+use kh_workloads::svcload::SvcLoadConfig;
+
+/// The two server stacks the ablation compares.
+pub const ARMS: [StackKind; 2] = [StackKind::HafniumKitten, StackKind::HafniumLinux];
+
+/// Run both arms (pooled, deterministic for any worker count) and return
+/// the reports in [`ARMS`] order.
+pub fn ablation_cluster(nodes: usize, seed: u64, svcload: SvcLoadConfig) -> Vec<ClusterReport> {
+    Pool::with_default_jobs().run_indexed(ARMS.len(), |i| {
+        let mut cfg = ClusterConfig::new(nodes, ARMS[i], seed);
+        cfg.svcload = svcload;
+        cluster::run(&cfg)
+    })
+}
+
+/// Render the two-arm comparison as the paper-style table.
+pub fn render_cluster(reports: &[ClusterReport]) -> String {
+    let us = |v: f64| {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.1}", v / 1_000.0)
+        }
+    };
+    let nodes = reports.first().map(|r| r.nodes).unwrap_or(0);
+    let mut t = Table::new(
+        format!("cluster svcload tail latency, {nodes} nodes (us)"),
+        &["sent", "done", "p50", "p99", "p999", "max"],
+    );
+    for r in reports {
+        t.row(
+            r.server_stack.label(),
+            vec![
+                r.sent.to_string(),
+                r.completed.to_string(),
+                us(r.latency.median()),
+                us(r.latency.p99()),
+                us(r.latency.p999()),
+                us(r.latency.max()),
+            ],
+        );
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kh_core::pool;
+
+    #[test]
+    fn ablation_orders_the_tails() {
+        let reports = ablation_cluster(4, 2, SvcLoadConfig::quick());
+        assert_eq!(reports.len(), 2);
+        let (kitten, linux) = (&reports[0], &reports[1]);
+        assert_eq!(kitten.server_stack, StackKind::HafniumKitten);
+        assert_eq!(linux.server_stack, StackKind::HafniumLinux);
+        assert_eq!(kitten.sent, linux.sent, "identical offered load");
+        assert!(kitten.latency.p99() <= linux.latency.p99());
+        assert!(kitten.latency.p999() <= linux.latency.p999());
+        let table = render_cluster(&reports);
+        assert!(table.contains("Kitten") && table.contains("Linux"));
+    }
+
+    #[test]
+    fn ablation_is_worker_count_independent() {
+        let render = |jobs| {
+            pool::set_jobs(jobs);
+            let r = ablation_cluster(4, 6, SvcLoadConfig::quick());
+            pool::set_jobs(1);
+            let csv: Vec<String> = r.iter().map(|x| x.csv()).collect();
+            (render_cluster(&r), csv)
+        };
+        assert_eq!(render(1), render(2));
+    }
+}

@@ -1,0 +1,35 @@
+//! kh-cluster — deterministic multi-machine simulation.
+//!
+//! Scales the single-machine executor (`kh_core::machine`) out to a
+//! cluster: N full machine stacks — each its own Hafnium SPM with a
+//! Kitten or Linux primary and a service secondary — joined by a
+//! switched network fabric under **one shared event queue and one
+//! virtual clock**.
+//!
+//! The layering:
+//!
+//! - [`node`] — one booted stack per node, with a lazily-advanced OS
+//!   noise cursor that keeps per-node randomness out of the shared
+//!   queue (the determinism invariant) and noise schedules independent
+//!   of traffic (the isolation invariant);
+//! - [`fabric`] — the switch: per-destination bounded egress queues
+//!   over the same `LinkProfile` the guest NICs use, with
+//!   `kh_sim::FabricFaultPlan` hooks for loss, reorder, jitter, and
+//!   partitions;
+//! - [`cluster`] — topology, the event loop, and [`ClusterReport`]
+//!   (latency histogram, per-request CSV trace, per-node noise);
+//! - [`figures`] — the Kitten-vs-Linux server ablation under identical
+//!   offered load.
+//!
+//! Everything is a pure function of `(config, seed)`: same seed, same
+//! bytes out — across worker counts, and with fault injection armed.
+
+pub mod cluster;
+pub mod fabric;
+pub mod figures;
+pub mod node;
+
+pub use cluster::{run, ClusterConfig, ClusterReport, NodeReport, RequestRecord};
+pub use fabric::{Fabric, FabricStats, DEFAULT_QUEUE_DEPTH};
+pub use figures::{ablation_cluster, render_cluster, ARMS};
+pub use node::{Node, NodeStats, Role};

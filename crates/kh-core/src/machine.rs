@@ -42,7 +42,7 @@ const VM_SWITCH_POLLUTION: PollutionState = PollutionState {
 };
 
 /// Nanoseconds to switch one VM's EL1 context at EL2.
-pub(crate) fn vm_ctx_switch(platform: &kh_arch::platform::Platform) -> Nanos {
+pub fn vm_ctx_switch(platform: &kh_arch::platform::Platform) -> Nanos {
     platform
         .core_freq
         .cycles_to_nanos(platform.transitions.vm_context_switch_cycles)
@@ -63,7 +63,7 @@ fn round_trip_p(
 /// primary re-runs the secondary — two VM context switches and two
 /// EL1<->EL2 round trips around the handler. Native: an EL0->EL1 trap
 /// round trip around the handler.
-pub(crate) fn host_tick_steal(cfg: &MachineConfig, host: &dyn OsTimingModel) -> Nanos {
+pub fn host_tick_steal(cfg: &MachineConfig, host: &dyn OsTimingModel) -> Nanos {
     if cfg.stack.is_virtualized() {
         round_trip_p(&cfg.platform, ExceptionLevel::El1, ExceptionLevel::El2).scaled(2)
             + vm_ctx_switch(&cfg.platform).scaled(2)
@@ -77,7 +77,7 @@ pub(crate) fn host_tick_steal(cfg: &MachineConfig, host: &dyn OsTimingModel) -> 
 /// fires, Hafnium injects it through the para-virtual interface, and the
 /// guest handler's `interrupt_get` hypercall adds another EL1->EL2 round
 /// trip.
-pub(crate) fn guest_tick_steal(cfg: &MachineConfig, guest: &KittenProfile) -> Nanos {
+pub fn guest_tick_steal(cfg: &MachineConfig, guest: &KittenProfile) -> Nanos {
     round_trip_p(&cfg.platform, ExceptionLevel::El1, ExceptionLevel::El2).scaled(2)
         + guest.tick_cost
         + cfg
@@ -89,11 +89,7 @@ pub(crate) fn guest_tick_steal(cfg: &MachineConfig, guest: &KittenProfile) -> Na
 /// CPU time a background burst steals (Linux primary only): the
 /// secondary is exited, CFS context-switches to the kthread, the burst
 /// runs, and everything unwinds.
-pub(crate) fn background_steal(
-    cfg: &MachineConfig,
-    host: &dyn OsTimingModel,
-    burst: Nanos,
-) -> Nanos {
+pub fn background_steal(cfg: &MachineConfig, host: &dyn OsTimingModel, burst: Nanos) -> Nanos {
     round_trip_p(&cfg.platform, ExceptionLevel::El1, ExceptionLevel::El2).scaled(2)
         + vm_ctx_switch(&cfg.platform).scaled(2)
         + host.ctx_switch_cost().scaled(2)
@@ -102,7 +98,7 @@ pub(crate) fn background_steal(
 
 /// Extra time a phase needs after an interruption polluted its
 /// cache/TLB state.
-pub(crate) fn rewarm_extra(
+pub fn rewarm_extra(
     timer: &CoreTimer,
     regime: TranslationRegime,
     phase: &Phase,

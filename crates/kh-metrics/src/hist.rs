@@ -18,6 +18,10 @@ pub struct LogHistogram {
     counts: Vec<u64>,
     total: u64,
     sum: f64,
+    /// Smallest recorded value (post-clamping); `INFINITY` when empty.
+    min_seen: f64,
+    /// Largest recorded value (post-clamping); `0.0` when empty.
+    max_seen: f64,
 }
 
 impl LogHistogram {
@@ -32,12 +36,22 @@ impl LogHistogram {
             counts: vec![0; (decades * resolution + 1) as usize],
             total: 0,
             sum: 0.0,
+            min_seen: f64::INFINITY,
+            max_seen: 0.0,
         }
     }
 
     /// Histogram for detour durations: 100 ns .. 1 s, 20 buckets/decade.
     pub fn for_detours() -> Self {
         LogHistogram::new(100.0, 7, 20)
+    }
+
+    /// Histogram for end-to-end request latencies: 1 µs .. 1000 s, 100
+    /// buckets/decade (2.3% relative resolution — fine enough that a few
+    /// tens of microseconds of OS noise on a sub-millisecond request
+    /// moves the reported tail).
+    pub fn for_latency() -> Self {
+        LogHistogram::new(1_000.0, 9, 100)
     }
 
     fn bucket_of(&self, value: f64) -> usize {
@@ -77,6 +91,28 @@ impl LogHistogram {
         self.counts[b] += 1;
         self.total += 1;
         self.sum += value;
+        self.min_seen = self.min_seen.min(value);
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Smallest recorded value, exactly as recorded (not bucket-quantized).
+    /// `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.min_seen
+        }
+    }
+
+    /// Largest recorded value, exactly as recorded (not bucket-quantized).
+    /// `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.max_seen
+        }
     }
 
     pub fn count(&self) -> u64 {
@@ -118,6 +154,16 @@ impl LogHistogram {
         self.percentile(0.99)
     }
 
+    /// The 99.9th percentile — the svcload tail-latency headline number.
+    pub fn p999(&self) -> f64 {
+        self.percentile(0.999)
+    }
+
+    /// The 99.99th percentile.
+    pub fn p9999(&self) -> f64 {
+        self.percentile(0.9999)
+    }
+
     /// Upper edge of the highest populated bucket — the histogram's
     /// estimate of the maximum recorded value.
     pub fn max_bucket_ceil(&self) -> f64 {
@@ -135,6 +181,8 @@ impl LogHistogram {
         }
         self.total += other.total;
         self.sum += other.sum;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
     }
 }
 
@@ -221,7 +269,35 @@ mod tests {
         let h = LogHistogram::for_detours();
         assert!(h.mean().is_nan());
         assert!(h.percentile(0.5).is_nan());
+        assert!(h.min().is_nan());
+        assert!(h.max().is_nan());
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn min_max_track_recorded_extremes() {
+        let mut h = LogHistogram::new(1.0, 6, 20);
+        for v in [42.0, 3.0, 900.0, 17.0] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 3.0);
+        assert_eq!(h.max(), 900.0);
+    }
+
+    #[test]
+    fn deep_tail_percentiles_resolve_rare_outliers() {
+        let mut h = LogHistogram::new(1.0, 6, 20);
+        // 9998 values at ~10, one at ~100000 (the outlier is rank
+        // 9999 of 9999 = above the 99.99th): p99/p999 stay near the
+        // mass, p9999 reaches the outlier.
+        for _ in 0..9_998 {
+            h.record(10.0);
+        }
+        h.record(100_000.0);
+        assert!(h.p99() < 20.0, "p99 = {}", h.p99());
+        assert!(h.p999() < 20.0, "p999 = {}", h.p999());
+        assert!(h.p9999() > 50_000.0, "p9999 = {}", h.p9999());
+        assert!(h.p999() <= h.p9999());
     }
 
     #[test]
@@ -237,10 +313,73 @@ mod tests {
     }
 
     #[test]
+    fn merge_combines_min_max() {
+        let mut a = LogHistogram::new(1.0, 3, 10);
+        let mut b = LogHistogram::new(1.0, 3, 10);
+        a.record(5.0);
+        b.record(0.5);
+        b.record(700.0);
+        a.merge(&b);
+        assert_eq!(a.min(), 0.5);
+        assert_eq!(a.max(), 700.0);
+    }
+
+    #[test]
     #[should_panic]
     fn merge_rejects_mismatched_geometry() {
         let mut a = LogHistogram::new(1.0, 3, 10);
         let b = LogHistogram::new(2.0, 3, 10);
         a.merge(&b);
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Percentiles are monotone in the quantile for any sample set.
+            #[test]
+            fn percentile_monotone_in_quantile(
+                values in prop::collection::vec(1.0f64..1e6, 1..300),
+                qa in 0.0f64..1.0,
+                qb in 0.0f64..1.0,
+            ) {
+                let mut h = LogHistogram::new(1.0, 7, 20);
+                for v in &values {
+                    h.record(*v);
+                }
+                let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+                prop_assert!(
+                    h.percentile(lo) <= h.percentile(hi),
+                    "p({lo}) = {} > p({hi}) = {}",
+                    h.percentile(lo),
+                    h.percentile(hi)
+                );
+            }
+
+            /// Every percentile is bounded by the recorded min and max:
+            /// the upper-edge estimator never reports below the minimum
+            /// sample, and never above the maximum sample's bucket
+            /// ceiling (one bucket of relative slack, 10^(1/resolution)).
+            #[test]
+            fn percentile_bounded_by_recorded_min_max(
+                values in prop::collection::vec(1.0f64..1e6, 1..300),
+                q in 0.0f64..1.0,
+            ) {
+                let resolution = 20u32;
+                let mut h = LogHistogram::new(1.0, 7, resolution);
+                for v in &values {
+                    h.record(*v);
+                }
+                let p = h.percentile(q);
+                prop_assert!(p >= h.min(), "p({q}) = {p} below min {}", h.min());
+                let slack = 10f64.powf(1.0 / resolution as f64) * (1.0 + 1e-9);
+                prop_assert!(
+                    p <= h.max() * slack,
+                    "p({q}) = {p} above max {} (+slack)",
+                    h.max()
+                );
+            }
+        }
     }
 }

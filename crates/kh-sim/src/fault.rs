@@ -31,6 +31,12 @@ const STREAM_DOORBELL: u64 = 3;
 const STREAM_IRQ: u64 = 4;
 const STREAM_RING: u64 = 5;
 const STREAM_TIMER: u64 = 6;
+/// Fabric streams (cluster network faults) — split off the same root so
+/// one fault seed covers both machine-level and fabric-level injection,
+/// while every component still has its own independent stream.
+const STREAM_FABRIC_DROP: u64 = 7;
+const STREAM_FABRIC_REORDER: u64 = 8;
+const STREAM_FABRIC_JITTER: u64 = 9;
 
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -442,6 +448,244 @@ impl FaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fabric faults (cluster network)
+// ---------------------------------------------------------------------
+
+/// One clause of a fabric fault spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FabricClause {
+    /// `drop:<p>` — drop each frame in transit with probability p.
+    DropFrame(f64),
+    /// `reorder:<p>` — hold each frame one extra wire-time with
+    /// probability p, letting later traffic overtake it.
+    Reorder(f64),
+    /// `jitter:<p>:<extra>` — with probability p, delay a frame by a
+    /// uniform extra in `[0, extra)`.
+    Jitter(f64, Nanos),
+    /// `partition@<time>:<dur>:<node>` — the node is unreachable (every
+    /// frame to or from it is dropped at the switch) during the window.
+    Partition(Nanos, Nanos, u16),
+}
+
+/// A parsed fabric fault specification (the cluster-side analogue of
+/// [`FaultSpec`]): link loss, reordering, delay jitter, and node
+/// partitions. Feed it to [`FabricFaultPlan::new`] with a seed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FabricFaultSpec {
+    clauses: Vec<FabricClause>,
+}
+
+impl FabricFaultSpec {
+    /// Parse a comma-separated clause list, e.g.
+    /// `drop:0.01,reorder:0.05,jitter:0.1:50us,partition@100ms:40ms:3`.
+    pub fn parse(spec: &str) -> Result<FabricFaultSpec, FaultParseError> {
+        let mut clauses = Vec::new();
+        for raw in spec.split(',') {
+            let c = raw.trim();
+            if c.is_empty() {
+                continue;
+            }
+            let clause = if let Some(rest) = c.strip_prefix("drop:") {
+                FabricClause::DropFrame(parse_prob(rest)?)
+            } else if let Some(rest) = c.strip_prefix("reorder:") {
+                FabricClause::Reorder(parse_prob(rest)?)
+            } else if let Some(rest) = c.strip_prefix("jitter:") {
+                let (p, extra) = rest
+                    .split_once(':')
+                    .ok_or_else(|| FaultParseError(format!("`{c}` wants jitter:<p>:<extra>")))?;
+                FabricClause::Jitter(parse_prob(p)?, parse_time(extra)?)
+            } else if let Some(rest) = c.strip_prefix("partition@") {
+                let mut parts = rest.splitn(3, ':');
+                let err = || FaultParseError(format!("`{c}` wants partition@<time>:<dur>:<node>"));
+                let at = parse_time(parts.next().ok_or_else(err)?)?;
+                let dur = parse_time(parts.next().ok_or_else(err)?)?;
+                let node: u16 = parts
+                    .next()
+                    .ok_or_else(err)?
+                    .parse()
+                    .map_err(|_| FaultParseError(format!("bad node in `{c}`")))?;
+                FabricClause::Partition(at, dur, node)
+            } else {
+                return Err(FaultParseError(format!("unknown fabric clause `{c}`")));
+            };
+            clauses.push(clause);
+        }
+        Ok(FabricFaultSpec { clauses })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+impl fmt::Display for FabricFaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match c {
+                FabricClause::DropFrame(p) => write!(f, "drop:{p}")?,
+                FabricClause::Reorder(p) => write!(f, "reorder:{p}")?,
+                FabricClause::Jitter(p, e) => write!(f, "jitter:{p}:{}ns", e.as_nanos())?,
+                FabricClause::Partition(t, d, n) => {
+                    write!(f, "partition@{}ns:{}ns:{n}", t.as_nanos(), d.as_nanos())?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counters for what the fabric plan actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricFaultStats {
+    /// Frames dropped by the random-loss gate.
+    pub frames_dropped: u64,
+    /// Frames held back by the reorder gate.
+    pub frames_reordered: u64,
+    /// Frames delayed by the jitter gate.
+    pub frames_jittered: u64,
+    /// Frames dropped because an endpoint was partitioned.
+    pub partition_drops: u64,
+}
+
+impl FabricFaultStats {
+    /// Total injections across every kind.
+    pub fn total(&self) -> u64 {
+        self.frames_dropped + self.frames_reordered + self.frames_jittered + self.partition_drops
+    }
+}
+
+/// A deterministic fabric fault plan: per-frame probability gates on
+/// dedicated RNG streams plus explicit partition windows. The same
+/// (spec, seed) pair always yields the same decisions in frame-arrival
+/// order; the streams are split off the same root as [`FaultPlan`]'s but
+/// never shared with it, so arming one plan cannot perturb the other.
+#[derive(Debug, Clone)]
+pub struct FabricFaultPlan {
+    drop_p: f64,
+    reorder_p: f64,
+    jitter_p: f64,
+    jitter_extra: Nanos,
+    partitions: Vec<(Nanos, Nanos, u16)>,
+    drop_rng: SimRng,
+    reorder_rng: SimRng,
+    jitter_rng: SimRng,
+    pub stats: FabricFaultStats,
+}
+
+impl FabricFaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FabricFaultPlan {
+        FabricFaultPlan::new(&FabricFaultSpec::default(), 0)
+    }
+
+    /// Expand `spec` using streams derived from `fault_seed`.
+    pub fn new(spec: &FabricFaultSpec, fault_seed: u64) -> FabricFaultPlan {
+        let mut root = SimRng::new(fault_seed);
+        let drop_rng = root.split(STREAM_FABRIC_DROP);
+        let reorder_rng = root.split(STREAM_FABRIC_REORDER);
+        let jitter_rng = root.split(STREAM_FABRIC_JITTER);
+        let mut drop_p = 0.0;
+        let mut reorder_p = 0.0;
+        let mut jitter_p = 0.0;
+        let mut jitter_extra = Nanos::ZERO;
+        let mut partitions = Vec::new();
+        for clause in &spec.clauses {
+            match *clause {
+                FabricClause::DropFrame(p) => drop_p = combine(drop_p, p),
+                FabricClause::Reorder(p) => reorder_p = combine(reorder_p, p),
+                FabricClause::Jitter(p, extra) => {
+                    jitter_p = combine(jitter_p, p);
+                    jitter_extra = jitter_extra.max(extra);
+                }
+                FabricClause::Partition(at, dur, node) => {
+                    partitions.push((at, at + dur, node));
+                }
+            }
+        }
+        FabricFaultPlan {
+            drop_p,
+            reorder_p,
+            jitter_p,
+            jitter_extra,
+            partitions,
+            drop_rng,
+            reorder_rng,
+            jitter_rng,
+            stats: FabricFaultStats::default(),
+        }
+    }
+
+    /// Does this plan ever inject anything?
+    pub fn is_empty(&self) -> bool {
+        self.drop_p == 0.0
+            && self.reorder_p == 0.0
+            && self.jitter_p == 0.0
+            && self.partitions.is_empty()
+    }
+
+    /// The nodes named by any partition window (healthy-node tests use
+    /// this to know which endpoints are victims).
+    pub fn partitioned_nodes(&self) -> Vec<u16> {
+        let mut nodes: Vec<u16> = self.partitions.iter().map(|&(_, _, n)| n).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Is `node` inside one of its partition windows at `now`? Counts a
+    /// partition drop when true (callers ask exactly once per frame).
+    pub fn partitioned(&mut self, node: u16, now: Nanos) -> bool {
+        let hit = self
+            .partitions
+            .iter()
+            .any(|&(from, to, n)| n == node && now >= from && now < to);
+        if hit {
+            self.stats.partition_drops += 1;
+        }
+        hit
+    }
+
+    /// Should this frame be dropped in transit?
+    pub fn drop_frame(&mut self) -> bool {
+        if self.drop_p > 0.0 && self.drop_rng.chance(self.drop_p) {
+            self.stats.frames_dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Extra hold applied to this frame by the reorder gate: `hold` (one
+    /// wire-time, supplied by the switch) with probability p, letting the
+    /// next frame on the port overtake this one.
+    pub fn reorder_hold(&mut self, hold: Nanos) -> Nanos {
+        if self.reorder_p > 0.0 && self.reorder_rng.chance(self.reorder_p) {
+            self.stats.frames_reordered += 1;
+            hold
+        } else {
+            Nanos::ZERO
+        }
+    }
+
+    /// Extra delay jitter for this frame: uniform in `[0, extra)` with
+    /// probability p, zero otherwise.
+    pub fn jitter(&mut self) -> Nanos {
+        if self.jitter_p > 0.0 && self.jitter_rng.chance(self.jitter_p) {
+            self.stats.frames_jittered += 1;
+            Nanos(
+                self.jitter_rng
+                    .next_below(self.jitter_extra.as_nanos().max(1)),
+            )
+        } else {
+            Nanos::ZERO
+        }
+    }
+}
+
 /// Uniform injection time over the horizon.
 fn lifecycle_draw(rng: &mut SimRng, span: u64) -> u64 {
     rng.next_below(span)
@@ -570,6 +814,82 @@ mod tests {
         let spec = FaultSpec::parse("drop-mailbox:0.5,drop-mailbox:0.5").unwrap();
         let plan = FaultPlan::new(&spec, 1, Nanos::from_secs(1));
         assert!((plan.drop_mailbox_p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fabric_spec_parses_and_round_trips() {
+        let s = "drop:0.01,reorder:0.05,jitter:0.1:50000ns,partition@100000000ns:40000000ns:3";
+        let spec = FabricFaultSpec::parse(s).unwrap();
+        assert_eq!(spec.clauses.len(), 4);
+        assert_eq!(FabricFaultSpec::parse(&spec.to_string()).unwrap(), spec);
+        assert!(FabricFaultSpec::parse("explode:0.5").is_err());
+        assert!(
+            FabricFaultSpec::parse("jitter:0.5").is_err(),
+            "missing extra"
+        );
+        assert!(
+            FabricFaultSpec::parse("partition@5ms:2ms").is_err(),
+            "missing node"
+        );
+        assert!(FabricFaultSpec::parse("").unwrap().is_empty());
+        assert!(FabricFaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn fabric_partition_windows_hit_only_their_node() {
+        let spec = FabricFaultSpec::parse("partition@10ms:5ms:2").unwrap();
+        let mut plan = FabricFaultPlan::new(&spec, 1);
+        assert_eq!(plan.partitioned_nodes(), vec![2]);
+        assert!(!plan.partitioned(2, Nanos::from_millis(9)));
+        assert!(plan.partitioned(2, Nanos::from_millis(12)));
+        assert!(
+            !plan.partitioned(1, Nanos::from_millis(12)),
+            "other node unaffected"
+        );
+        assert!(
+            !plan.partitioned(2, Nanos::from_millis(15)),
+            "window is half-open"
+        );
+        assert_eq!(plan.stats.partition_drops, 1);
+    }
+
+    #[test]
+    fn fabric_gates_draw_from_independent_streams() {
+        let spec = FabricFaultSpec::parse("drop:0.5,reorder:0.5,jitter:0.5:10us").unwrap();
+        let mut a = FabricFaultPlan::new(&spec, 9);
+        let mut b = FabricFaultPlan::new(&spec, 9);
+        let seq_a: Vec<bool> = (0..64).map(|_| a.drop_frame()).collect();
+        let seq_b: Vec<bool> = (0..64)
+            .map(|_| {
+                let _ = b.reorder_hold(Nanos(100));
+                let _ = b.jitter();
+                b.drop_frame()
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b, "fabric streams must be independent per gate");
+    }
+
+    #[test]
+    fn fabric_plan_is_deterministic_per_seed() {
+        let spec = FabricFaultSpec::parse("drop:0.3,jitter:0.4:20us").unwrap();
+        let decisions = |seed| {
+            let mut p = FabricFaultPlan::new(&spec, seed);
+            let d: Vec<(bool, Nanos)> = (0..128).map(|_| (p.drop_frame(), p.jitter())).collect();
+            (d, p.stats)
+        };
+        assert_eq!(decisions(5), decisions(5));
+        assert_ne!(decisions(5), decisions(6));
+    }
+
+    #[test]
+    fn fabric_jitter_stays_below_extra() {
+        let spec = FabricFaultSpec::parse("jitter:1.0:10us").unwrap();
+        let mut plan = FabricFaultPlan::new(&spec, 2);
+        for _ in 0..256 {
+            let j = plan.jitter();
+            assert!(j < Nanos::from_micros(10));
+        }
+        assert_eq!(plan.stats.frames_jittered, 256);
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue, ScheduledEvent};
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, FaultStats};
+pub use fault::{
+    FabricFaultPlan, FabricFaultSpec, FabricFaultStats, FaultEvent, FaultKind, FaultPlan,
+    FaultSpec, FaultStats,
+};
 pub use rng::{SimRng, SplitMix64};
 pub use time::{Freq, Nanos};
 pub use trace::{TraceCategory, TraceEvent, TraceRecorder};

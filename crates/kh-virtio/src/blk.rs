@@ -9,6 +9,7 @@
 
 use crate::cost::IoCostModel;
 use crate::queue::{QueueError, QueueRegion, Virtqueue};
+use crate::timing;
 use kh_arch::platform::Platform;
 use kh_sim::Nanos;
 use std::collections::BTreeMap;
@@ -34,23 +35,23 @@ pub struct StorageProfile {
 impl StorageProfile {
     pub fn emmc() -> Self {
         StorageProfile {
-            base_latency: Nanos::from_micros(150),
-            seek_per_1k_sectors: Nanos(400),
-            bytes_per_sec: 180 * 1_000_000,
+            base_latency: timing::EMMC_BASE_LATENCY,
+            seek_per_1k_sectors: timing::EMMC_SEEK_PER_1K_SECTORS,
+            bytes_per_sec: timing::EMMC_BYTES_PER_SEC,
         }
     }
 
     pub fn nvme() -> Self {
         StorageProfile {
-            base_latency: Nanos::from_micros(15),
-            seek_per_1k_sectors: Nanos(20),
-            bytes_per_sec: 2_500 * 1_000_000,
+            base_latency: timing::NVME_BASE_LATENCY,
+            seek_per_1k_sectors: timing::NVME_SEEK_PER_1K_SECTORS,
+            bytes_per_sec: timing::NVME_BYTES_PER_SEC,
         }
     }
 
     /// Pick a storage class for the platform (server parts: ≥ 16 GiB DRAM).
     pub fn from_platform(p: &Platform) -> Self {
-        if p.dram_bytes >= 16 * (1 << 30) {
+        if p.dram_bytes >= timing::SERVER_CLASS_DRAM_BYTES {
             Self::nvme()
         } else {
             Self::emmc()

@@ -32,11 +32,12 @@ pub mod blk;
 pub mod cost;
 pub mod net;
 pub mod queue;
+pub mod timing;
 pub mod watchdog;
 
 pub use blk::{BlkRequest, StorageProfile, VirtioBlk};
 pub use cost::IoCostModel;
-pub use net::{EchoBackend, LinkProfile, NetBackend, VirtioNet};
+pub use net::{EchoBackend, LinkProfile, NetBackend, NetStats, PeerBackend, VirtioNet};
 pub use queue::{QueueError, QueueRegion, QueueStats, Virtqueue};
 pub use watchdog::KickWatchdog;
 

@@ -9,6 +9,7 @@
 
 use crate::cost::IoCostModel;
 use crate::queue::{QueueError, QueueRegion, Virtqueue};
+use crate::timing;
 use kh_arch::platform::Platform;
 use kh_sim::Nanos;
 
@@ -25,21 +26,21 @@ pub struct LinkProfile {
 impl LinkProfile {
     pub fn gigabit() -> Self {
         LinkProfile {
-            bits_per_sec: 1_000_000_000,
-            base_latency: Nanos::from_micros(20),
+            bits_per_sec: timing::GIGABIT_BITS_PER_SEC,
+            base_latency: timing::GIGABIT_BASE_LATENCY,
         }
     }
 
     pub fn ten_gigabit() -> Self {
         LinkProfile {
-            bits_per_sec: 10_000_000_000,
-            base_latency: Nanos::from_micros(5),
+            bits_per_sec: timing::TEN_GIGABIT_BITS_PER_SEC,
+            base_latency: timing::TEN_GIGABIT_BASE_LATENCY,
         }
     }
 
     /// Pick a link class for the platform (server parts: ≥ 16 GiB DRAM).
     pub fn from_platform(p: &Platform) -> Self {
-        if p.dram_bytes >= 16 * (1 << 30) {
+        if p.dram_bytes >= timing::SERVER_CLASS_DRAM_BYTES {
             Self::ten_gigabit()
         } else {
             Self::gigabit()
@@ -70,6 +71,37 @@ impl NetBackend for EchoBackend {
         self.frames += 1;
         self.bytes += frame.len() as u64;
         Some(frame.to_vec())
+    }
+}
+
+/// The cluster-fabric peering backend: frames leaving this machine's tx
+/// queue are captured for a remote machine instead of looping back.
+/// `device_poll` pushes each transmitted frame into `outbound`; the
+/// fabric drains it, applies transit (wire time, switch queueing,
+/// faults), and delivers the frame into the *remote* device's rx queue
+/// via [`VirtioNet::deliver_frame`]. Nothing comes back locally, so
+/// `frame` always returns `None`.
+#[derive(Debug, Default)]
+pub struct PeerBackend {
+    /// Frames awaiting fabric pickup, in transmission order.
+    pub outbound: std::collections::VecDeque<Vec<u8>>,
+    pub frames: u64,
+    pub bytes: u64,
+}
+
+impl PeerBackend {
+    /// Drain every captured frame, oldest first.
+    pub fn drain(&mut self) -> Vec<Vec<u8>> {
+        self.outbound.drain(..).collect()
+    }
+}
+
+impl NetBackend for PeerBackend {
+    fn frame(&mut self, frame: &[u8]) -> Option<Vec<u8>> {
+        self.frames += 1;
+        self.bytes += frame.len() as u64;
+        self.outbound.push_back(frame.to_vec());
+        None
     }
 }
 
@@ -253,6 +285,31 @@ impl VirtioNet {
         }
         report
     }
+
+    /// Deliver a frame that arrived from a *remote* machine over the
+    /// fabric into this device's rx queue (the receive half of the
+    /// [`PeerBackend`] peering path). Returns the device-side service
+    /// time and whether a completion interrupt actually fired; `None`
+    /// when no rx buffer was posted (the frame is dropped and counted
+    /// in `stats.rx_dropped`, exactly like an unanswered echo).
+    pub fn deliver_frame(&mut self, frame: &[u8]) -> Option<(Nanos, bool)> {
+        match self.rx.pop_avail() {
+            Some(rx_head) => {
+                let buf = self.rx.in_buf_mut(rx_head).expect("rx in-buf");
+                let n = frame.len().min(buf.len());
+                buf[..n].copy_from_slice(&frame[..n]);
+                let time = self.cost.copy(n as u64);
+                self.rx.push_used(rx_head, n as u32).expect("rx completion");
+                self.stats.frames_rx += 1;
+                self.stats.bytes_rx += n as u64;
+                Some((time, self.rx.interrupt()))
+            }
+            None => {
+                self.stats.rx_dropped += 1;
+                None
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +359,43 @@ mod tests {
         }
         assert_eq!(d.tx.stats.kicks, 1, "one doorbell per 16-frame batch");
         assert_eq!(d.tx.stats.kicks_suppressed, 15);
+    }
+
+    #[test]
+    fn peer_backend_captures_frames_without_loopback() {
+        let mut d = dev();
+        let mut backend = PeerBackend::default();
+        d.post_rx(2048).unwrap();
+        d.send_frame(b"to-remote").unwrap();
+        let report = d.device_poll(&mut backend);
+        assert_eq!(report.tx_done, 1);
+        assert_eq!(report.rx_done, 0, "peering never loops back locally");
+        assert_eq!(backend.frames, 1);
+        let captured = backend.drain();
+        assert_eq!(captured, vec![b"to-remote".to_vec()]);
+        assert!(backend.outbound.is_empty());
+        assert!(d.recv_frame().is_none());
+    }
+
+    #[test]
+    fn deliver_frame_lands_in_remote_rx() {
+        let frame: Vec<u8> = (0..600u32).map(|i| (i * 7) as u8).collect();
+        let sum = checksum(&frame);
+        let mut remote = dev();
+        remote.post_rx(2048).unwrap();
+        let (time, irq) = remote.deliver_frame(&frame).expect("posted buffer");
+        assert!(time > Nanos::ZERO);
+        assert!(irq, "unsuppressed completion interrupt fires");
+        let got = remote.recv_frame().expect("delivered frame");
+        assert_eq!(checksum(&got), sum);
+        assert_eq!(remote.stats.frames_rx, 1);
+    }
+
+    #[test]
+    fn deliver_frame_without_rx_buffer_drops() {
+        let mut remote = dev();
+        assert!(remote.deliver_frame(b"lost").is_none());
+        assert_eq!(remote.stats.rx_dropped, 1);
     }
 
     #[test]

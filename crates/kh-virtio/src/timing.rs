@@ -1,0 +1,63 @@
+//! Single source of truth for link and storage timing constants.
+//!
+//! Two consumers price the same physical devices: the guest-visible
+//! device models ([`crate::net::LinkProfile`], [`crate::blk::StorageProfile`])
+//! and the cluster fabric (`kh-cluster`), which reuses [`crate::net::LinkProfile`]
+//! for inter-node transit. Both must agree on the raw numbers — a NIC
+//! whose guest-visible wire-time disagrees with the fabric's transit
+//! time for the same frame would make the cluster model internally
+//! inconsistent. Every hardcoded latency/bandwidth lives here and only
+//! here.
+
+use kh_sim::Nanos;
+
+/// DRAM threshold above which a platform is server-class and gets the
+/// faster link and storage parts (10 GbE + NVMe instead of 1 GbE + eMMC).
+pub const SERVER_CLASS_DRAM_BYTES: u64 = 16 * (1 << 30);
+
+// -- link classes ------------------------------------------------------
+
+/// 1 GbE MAC (embedded boards such as the Pine A64).
+pub const GIGABIT_BITS_PER_SEC: u64 = 1_000_000_000;
+/// Fixed DMA + MAC + wire latency per frame on the 1 GbE part.
+pub const GIGABIT_BASE_LATENCY: Nanos = Nanos(20_000);
+
+/// 10 GbE NIC (server-class parts).
+pub const TEN_GIGABIT_BITS_PER_SEC: u64 = 10_000_000_000;
+/// Fixed DMA + MAC + wire latency per frame on the 10 GbE part.
+pub const TEN_GIGABIT_BASE_LATENCY: Nanos = Nanos(5_000);
+
+// -- storage classes ---------------------------------------------------
+
+/// eMMC command-issue/firmware latency (embedded boards).
+pub const EMMC_BASE_LATENCY: Nanos = Nanos(150_000);
+/// eMMC extra latency per 1024 sectors of distance from the previous
+/// request.
+pub const EMMC_SEEK_PER_1K_SECTORS: Nanos = Nanos(400);
+/// eMMC sequential bandwidth.
+pub const EMMC_BYTES_PER_SEC: u64 = 180 * 1_000_000;
+
+/// NVMe command-issue/firmware latency (server-class parts).
+pub const NVME_BASE_LATENCY: Nanos = Nanos(15_000);
+/// NVMe extra latency per 1024 sectors of distance from the previous
+/// request.
+pub const NVME_SEEK_PER_1K_SECTORS: Nanos = Nanos(20);
+/// NVMe sequential bandwidth.
+pub const NVME_BYTES_PER_SEC: u64 = 2_500 * 1_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_classes_are_ordered() {
+        const { assert!(TEN_GIGABIT_BITS_PER_SEC > GIGABIT_BITS_PER_SEC) }
+        assert!(TEN_GIGABIT_BASE_LATENCY < GIGABIT_BASE_LATENCY);
+    }
+
+    #[test]
+    fn storage_classes_are_ordered() {
+        assert!(NVME_BASE_LATENCY < EMMC_BASE_LATENCY);
+        const { assert!(NVME_BYTES_PER_SEC > EMMC_BYTES_PER_SEC) }
+    }
+}

@@ -25,6 +25,7 @@ pub mod nas;
 pub mod netecho;
 pub mod selfish;
 pub mod stream;
+pub mod svcload;
 
 use kh_arch::cpu::{Phase, PhaseCost};
 use kh_sim::Nanos;

@@ -4,6 +4,7 @@
 //! khsim run --workload hpcg --stack kitten --seed 7 --platform pine
 //! khsim run --workload selfish --stack linux --trials 3
 //! khsim parallel --threads 4 --stack kitten
+//! khsim cluster --nodes 4 --workload svcload --stack linux
 //! khsim figures            # regenerate every paper figure
 //! khsim trace --workload netecho --stack linux    # event trace as CSV
 //! khsim list               # show workloads / stacks / platforms
@@ -53,6 +54,9 @@ USAGE:
   khsim run [--workload W] [--stack S] [--seed N] [--platform P] [--trials N]
             [--faults SPEC] [--fault-seed N] [--jobs N]
   khsim parallel [--threads N] [--stack S] [--seed N] [--no-barrier]
+  khsim cluster [--nodes N] [--workload svcload] [--stack S] [--seed N]
+                [--faults SPEC] [--fault-seed N] [--quick] [--ablation]
+                [--out FILE] [--jobs N]
   khsim figures [--trials N] [--seed N] [--jobs N]
   khsim trace [--workload W] [--stack S] [--routing primary|selective] [--out FILE]
   khsim list
@@ -66,7 +70,14 @@ OPTIONS:
   --threads     parallel worker threads        (default 4)
   --faults      fault spec, e.g. crash@200ms,drop-mailbox:0.1,lose-irq:0.05
                 (`default` = the built-in storm); injected into a victim
-                secondary VM, never the benchmark
+                secondary VM, never the benchmark. For `cluster` the spec
+                is a fabric spec: drop:P,reorder:P,jitter:P:EXTRA,
+                partition@T:DUR:NODE
+  --nodes       cluster node count: first half clients, second half
+                servers (default 4)
+  --quick       cluster: 50 ms load window instead of 200 ms
+  --ablation    cluster: run both server stacks and print the comparison
+  --out         cluster/trace: write the per-request CSV here
   --fault-seed  u64 seed for the fault streams (default 1)
   --jobs        experiment-pool worker threads (default: KH_JOBS env var,
                 then host cores). Results are identical for any value.",
@@ -81,7 +92,7 @@ fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            if key == "no-barrier" {
+            if matches!(key, "no-barrier" | "quick" | "ablation") {
                 map.insert(key.to_string(), "true".to_string());
                 continue;
             }
@@ -265,6 +276,74 @@ fn cmd_parallel(flags: &HashMap<String, String>) -> Option<()> {
     Some(())
 }
 
+/// `khsim cluster`: N machine stacks under one clock driving the
+/// svcload tail-latency workload over the simulated fabric.
+fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
+    use kitten_hafnium::cluster::{self, ClusterConfig};
+    use kitten_hafnium::sim::fault::FabricFaultSpec;
+    use kitten_hafnium::workloads::svcload::SvcLoadConfig;
+
+    let workload = flags
+        .get("workload")
+        .map(|s| s.as_str())
+        .unwrap_or("svcload");
+    if workload != "svcload" {
+        eprintln!("error: the cluster driver only knows the svcload workload");
+        return None;
+    }
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(4))?;
+    let stack = stack_of(flags.get("stack").map(|s| s.as_str()).unwrap_or("kitten"))?;
+    if !stack.is_virtualized() {
+        eprintln!("error: cluster nodes need a virtualized stack (kitten | linux)");
+        return None;
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(0x5C21))?;
+    let svcload = if flags.contains_key("quick") {
+        SvcLoadConfig::quick()
+    } else {
+        SvcLoadConfig::default()
+    };
+
+    if flags.contains_key("ablation") {
+        let reports = cluster::ablation_cluster(nodes, seed, svcload);
+        println!("{}", cluster::render_cluster(&reports));
+        return Some(());
+    }
+
+    let mut cfg = ClusterConfig::new(nodes, stack, seed);
+    cfg.svcload = svcload;
+    if let Some(raw) = flags.get("faults") {
+        let spec = match FabricFaultSpec::parse(raw) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: bad --faults spec: {e}");
+                return None;
+            }
+        };
+        let fault_seed: u64 = flags
+            .get("fault-seed")
+            .map(|s| s.parse().ok())
+            .unwrap_or(Some(1))?;
+        cfg.faults = Some((spec, fault_seed));
+    }
+    let report = cluster::run(&cfg);
+    println!("{}", report.render());
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = std::fs::write(path, report.csv()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return None;
+        }
+        eprintln!("wrote {path}");
+    }
+    Some(())
+}
+
 fn cmd_figures(flags: &HashMap<String, String>) -> Option<()> {
     let trials: u32 = flags
         .get("trials")
@@ -395,6 +474,7 @@ fn main() -> ExitCode {
     let ok = match cmd.as_str() {
         "run" => cmd_run(&flags),
         "parallel" => cmd_parallel(&flags),
+        "cluster" => cmd_cluster(&flags),
         "figures" => cmd_figures(&flags),
         "trace" => cmd_trace(&flags),
         "list" => {

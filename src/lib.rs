@@ -33,8 +33,10 @@
 //! | [`workloads`] | `kh-workloads` | HPCG, STREAM, GUPS, NAS, selfish |
 //! | [`metrics`] | `kh-metrics` | stats, tables, scatter plots |
 //! | [`core`] | `kh-core` | machine executor + experiment harness |
+//! | [`cluster`] | `kh-cluster` | multi-machine fabric + svcload tails |
 
 pub use kh_arch as arch;
+pub use kh_cluster as cluster;
 pub use kh_core as core;
 pub use kh_hafnium as hafnium;
 pub use kh_kitten as kitten;

@@ -191,7 +191,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use core::ops::{Range, RangeInclusive};
 
-    /// Element-count bounds for [`vec`], mirroring proptest's `SizeRange`.
+    /// Element-count bounds for [`vec()`](fn@vec), mirroring proptest's `SizeRange`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         pub min: usize,

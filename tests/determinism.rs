@@ -256,3 +256,69 @@ mod pool_determinism {
         }
     }
 }
+
+/// Cluster-scale determinism: the multi-machine fabric runs must be
+/// byte-identical — across repeated same-seed runs, across pool worker
+/// counts, and with fabric fault injection armed.
+mod cluster_determinism {
+    use kitten_hafnium::cluster::{self, ClusterConfig};
+    use kitten_hafnium::core::config::StackKind;
+    use kitten_hafnium::core::pool;
+    use kitten_hafnium::sim::fault::FabricFaultSpec;
+    use kitten_hafnium::workloads::svcload::SvcLoadConfig;
+
+    fn quick(stack: StackKind, seed: u64) -> ClusterConfig {
+        let mut c = ClusterConfig::new(4, stack, seed);
+        c.svcload = SvcLoadConfig::quick();
+        c
+    }
+
+    #[test]
+    fn cluster_reports_and_traces_replay_byte_identically() {
+        let artifacts = |seed: u64| {
+            let r = cluster::run(&quick(StackKind::HafniumLinux, seed));
+            (r.render(), r.csv())
+        };
+        assert_eq!(artifacts(42), artifacts(42));
+        assert_ne!(artifacts(42).1, artifacts(43).1);
+    }
+
+    #[test]
+    fn cluster_ablation_is_identical_for_any_worker_count() {
+        // One test exercises all worker counts (set_jobs is process
+        // global; serializing inside a single test avoids cross-test
+        // interference on the shared default).
+        let arms_fingerprint = |jobs: usize| {
+            pool::set_jobs(jobs);
+            let reports = cluster::ablation_cluster(4, 11, SvcLoadConfig::quick());
+            pool::set_jobs(1);
+            reports
+                .iter()
+                .map(|r| format!("{}\n{}", r.render(), r.csv()))
+                .collect::<Vec<_>>()
+        };
+        let serial = arms_fingerprint(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(serial, arms_fingerprint(jobs), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn faulted_cluster_runs_replay_byte_identically() {
+        let csv = |fault_seed: u64| {
+            let mut cfg = quick(StackKind::HafniumKitten, 7);
+            cfg.faults = Some((
+                FabricFaultSpec::parse(
+                    "drop:0.05,reorder:0.1,jitter:0.2:40us,partition@10ms:15ms:3",
+                )
+                .unwrap(),
+                fault_seed,
+            ));
+            let r = cluster::run(&cfg);
+            assert!(r.completed < r.sent, "faults must cost something");
+            (r.render(), r.csv())
+        };
+        assert_eq!(csv(5), csv(5), "same fault seed, same bytes");
+        assert_ne!(csv(5).1, csv(6).1, "fault streams are seeded");
+    }
+}

@@ -389,3 +389,65 @@ fn a_crashing_neighbour_leaves_the_benchmark_histogram_untouched() {
         assert_eq!(ftq(false), ftq(true), "{stack:?} FTQ series moved");
     }
 }
+
+/// Cluster-scale isolation: a partitioned, fault-stormed victim node
+/// must not perturb the healthy nodes — their noise profiles and the
+/// healthy client/server pair's request latencies stay byte-identical
+/// to a clean run. This is the paper's single-machine noise-isolation
+/// claim restated across a fabric.
+#[test]
+fn a_partitioned_node_leaves_healthy_nodes_untouched() {
+    use kitten_hafnium::cluster::{self, ClusterConfig};
+    use kitten_hafnium::core::config::StackKind;
+    use kitten_hafnium::sim::fault::FabricFaultSpec;
+    use kitten_hafnium::workloads::svcload::SvcLoadConfig;
+
+    // 4 nodes: clients 0,1 pin to servers 2,3. Node 3 is the victim.
+    let cfg_base = {
+        let mut c = ClusterConfig::new(4, StackKind::HafniumKitten, 99);
+        c.svcload = SvcLoadConfig::quick();
+        c
+    };
+    let clean = cluster::run(&cfg_base);
+    let faulted = {
+        let mut c = cfg_base.clone();
+        // Partition-only spec: probability gates stay at zero, so the
+        // fault plan consumes no randomness for surviving frames and the
+        // healthy half of the cluster sees literally the same world.
+        c.faults = Some((FabricFaultSpec::parse("partition@5ms:40ms:3").unwrap(), 1));
+        cluster::run(&c)
+    };
+
+    // The victim's traffic is lost...
+    assert!(faulted.completed < clean.completed);
+    assert!(faulted.fault_stats.partition_drops > 0);
+    // ... but every node's noise profile — victim included, since noise
+    // schedules are traffic-independent by construction — is unchanged.
+    for (c, f) in clean.per_node.iter().zip(&faulted.per_node) {
+        assert_eq!(
+            c.noise_hist, f.noise_hist,
+            "node{} noise profile must not see the partition",
+            c.index
+        );
+    }
+    // And the healthy pair (client 0 -> server 2) completes the same
+    // requests at the same times, to the nanosecond.
+    let pair = |r: &cluster::ClusterReport| {
+        r.records
+            .iter()
+            .filter(|rec| rec.server == 2)
+            .map(|rec| (rec.id, rec.sent, rec.completed))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(pair(&clean), pair(&faulted));
+    // The victim-bound requests are exactly the ones that got hurt.
+    let victim_losses = faulted
+        .records
+        .iter()
+        .filter(|rec| rec.server == 3 && rec.completed.is_none())
+        .count();
+    assert_eq!(
+        clean.completed as usize - faulted.completed as usize,
+        victim_losses
+    );
+}
