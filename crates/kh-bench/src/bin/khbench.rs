@@ -11,12 +11,21 @@
 //! ```text
 //! khbench perf [--quick] [--jobs N] [--seed N] [--repeats N] [--out FILE]
 //! khbench cluster [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+//! khbench reliability [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
 //! ```
 //!
 //! `khbench cluster` runs the kh-cluster svcload ablation (Kitten vs
 //! Linux servers under identical offered load), times each arm, checks
 //! per-request-trace bit-identity across reruns and worker counts, and
 //! writes `BENCH_cluster_svcload.json`.
+//!
+//! `khbench reliability` runs the fault-injection reliability cell:
+//! `{no-faults, drop:0.05, partition, crashsvc}` x `{retries off, on}`
+//! with a hedge delay derived from the clean run's p99. It gates on
+//! byte-identical per-request traces across worker counts and reruns,
+//! goodput-with-retries >= 99% under 5% frame loss (where retries-off
+//! measurably loses requests), and crash recovery inside the
+//! detect+restart budget. Writes `BENCH_cluster_reliability.json`.
 
 use kh_arch::mmu::{two_stage_translate, AccessKind, MemAttr, PagePerms, Stage1Table, Stage2Table};
 use kh_arch::platform::Platform;
@@ -45,6 +54,7 @@ fn usage() -> ExitCode {
 USAGE:
   khbench perf [--quick] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench cluster [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+  khbench reliability [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
 
 OPTIONS:
   --quick    smaller trial counts / fewer repeats (CI smoke profile)
@@ -53,7 +63,8 @@ OPTIONS:
   --seed     base seed for all cells               (default 0x5C21)
   --repeats  timed repeats per cell after 1 warmup (default 5, quick 3)
   --out      output JSON path (default BENCH_parallel_walkcache.json,
-             cluster: BENCH_cluster_svcload.json)"
+             cluster: BENCH_cluster_svcload.json,
+             reliability: BENCH_cluster_reliability.json)"
     );
     ExitCode::from(2)
 }
@@ -498,6 +509,206 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
     Some(())
 }
 
+/// `khbench reliability`: the fault-matrix reliability cell with the
+/// determinism, goodput, and crash-recovery gates baked into the exit
+/// code. The hedge delay is derived from the clean baseline's p99, so
+/// the policy under test is itself a pure function of `(config, seed)`.
+fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
+    use kh_cluster::figures::{reliability_matrix, render_reliability};
+    use kh_cluster::{ClusterConfig, ClusterReport};
+    use kh_sim::Nanos;
+    use kh_workloads::svcload::{RetryPolicy, SvcLoadConfig};
+
+    let quick = flags.contains_key("quick");
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(4))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(kh_bench::SEED))?;
+    let repeats: usize = flags
+        .get("repeats")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(if quick { 3 } else { 5 }))?;
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster_reliability.json".to_string());
+    let jobs = match flags.get("jobs") {
+        Some(j) => j.parse().ok().filter(|&n| n >= 1)?,
+        None => kh_core::pool::jobs(),
+    };
+    let svcload = if quick {
+        SvcLoadConfig::quick()
+    } else {
+        SvcLoadConfig::default()
+    };
+    eprintln!("khbench reliability: nodes={nodes} jobs={jobs} quick={quick} seed={seed:#x}");
+
+    // Hedge delay from the clean baseline: run the no-fault, no-retry
+    // cell once and take its p99. Requests still in flight at that age
+    // are in the tail, so a hedge is cheap insurance, not extra load.
+    let baseline = {
+        let mut cfg = ClusterConfig::new(nodes, StackKind::HafniumKitten, seed);
+        cfg.svcload = svcload;
+        kh_cluster::run(&cfg)
+    };
+    let p99 = baseline.latency.p99();
+    let mut retry = RetryPolicy::default();
+    if p99.is_finite() && p99 > 0.0 {
+        retry.hedge_delay = Some(Nanos::from_nanos(p99 as u64));
+    }
+    let hedge_ns = retry.hedge_delay.map(|d| d.as_nanos()).unwrap_or(0);
+    eprintln!(
+        "hedge delay from baseline p99: {:.1} us",
+        hedge_ns as f64 / 1e3
+    );
+
+    type Row = (String, bool, ClusterReport);
+    let fingerprint = |rows: &[Row]| -> String {
+        rows.iter()
+            .map(|(name, retries, r)| format!("{name},{retries}\n{}", r.csv()))
+            .collect::<Vec<_>>()
+            .join("---\n")
+    };
+    let run_matrix = |workers: usize| -> Vec<Row> {
+        kh_core::pool::set_jobs(workers);
+        reliability_matrix(nodes, seed, svcload, retry)
+    };
+
+    // Determinism gate: --jobs 1, 2, and N plus a same-seed rerun must
+    // all produce byte-identical per-request traces.
+    let serial = run_matrix(1);
+    let two = run_matrix(2);
+    let pooled = run_matrix(jobs);
+    let rerun = run_matrix(jobs);
+    let fp = fingerprint(&serial);
+    let deterministic = !fp.is_empty()
+        && fp == fingerprint(&two)
+        && fp == fingerprint(&pooled)
+        && fp == fingerprint(&rerun);
+    eprintln!("determinism (jobs 1 == 2 == {jobs} == rerun): {deterministic}");
+
+    // Wall clock for the whole matrix at the requested worker count.
+    kh_core::pool::set_jobs(jobs);
+    let wall_ns = time_median(repeats, || {
+        let rows = reliability_matrix(nodes, seed, svcload, retry);
+        assert_eq!(rows.len(), pooled.len());
+    });
+    eprintln!(
+        "matrix: median {:.2} ms over {repeats} repeats",
+        wall_ns as f64 / 1e6
+    );
+    eprintln!("{}", render_reliability(&pooled));
+
+    // Reliability gates, on the drop and crash scenarios.
+    let find = |name: &str, retries: bool| -> &Row {
+        pooled
+            .iter()
+            .find(|(n, on, _)| n == name && *on == retries)
+            .expect("matrix covers all scenarios")
+    };
+    let retries_off_loses = find("drop0.05", false).2.goodput() < 1.0;
+    let goodput_gate = find("drop0.05", true).2.goodput() >= 0.99;
+    let recovery_budget = {
+        let cfg = ClusterConfig::new(nodes, StackKind::HafniumKitten, seed);
+        cfg.detect_latency + cfg.restart_cost + Nanos::from_millis(1)
+    };
+    let crash_rows = [find("crashsvc", false), find("crashsvc", true)];
+    let recovery_gate = crash_rows.iter().all(|(_, _, r)| {
+        !r.recoveries.is_empty()
+            && r.recoveries
+                .iter()
+                .all(|rec| rec.recovered_at != Nanos::MAX && rec.downtime() <= recovery_budget)
+    });
+    eprintln!(
+        "gates: retries_off_loses_requests={retries_off_loses} goodput_gate_met={goodput_gate} \
+         crash_recovery_within_gate={recovery_gate}"
+    );
+
+    let rows_json: Vec<String> = pooled
+        .iter()
+        .map(|(name, retries, r)| {
+            let o = &r.reliability.outcomes;
+            let recov: Vec<String> = r
+                .recoveries
+                .iter()
+                .map(|rec| {
+                    format!(
+                        "{{ \"node\": {}, \"crashed_at_ns\": {}, \"detected_at_ns\": {}, \
+                         \"recovered_at_ns\": {}, \"downtime_ns\": {} }}",
+                        rec.node,
+                        rec.crashed_at.as_nanos(),
+                        rec.detected_at.as_nanos(),
+                        rec.recovered_at.as_nanos(),
+                        rec.downtime().as_nanos(),
+                    )
+                })
+                .collect();
+            format!(
+                "    {{ \"scenario\": \"{name}\", \"retries\": {retries}, \"sent\": {}, \
+                 \"goodput\": {:.6}, \"p99_ns\": {:.0}, \"retransmits\": {}, \"hedges\": {}, \
+                 \"nacks_sent\": {}, \"corrupt_rx\": {}, \"crash_drops\": {}, \
+                 \"outcomes\": {{ \"ok\": {}, \"ok_hedged\": {}, \"shed\": {}, \
+                 \"deadline\": {}, \"corrupt\": {}, \"failed\": {} }}, \
+                 \"recoveries\": [{}] }}",
+                r.sent,
+                r.goodput(),
+                r.latency.p99(),
+                r.reliability.retransmits,
+                r.reliability.hedges,
+                r.reliability.nacks_sent,
+                r.reliability.corrupt_rx,
+                r.reliability.crash_drops,
+                o.ok,
+                o.ok_hedged,
+                o.shed,
+                o.deadline,
+                o.corrupt,
+                o.failed,
+                recov.join(", "),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"khbench-cluster-reliability-v1\",\n  \"quick\": {quick},\n  \
+         \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"jobs\": {jobs},\n  \
+         \"repeats\": {repeats},\n  \"hedge_delay_ns\": {hedge_ns},\n  \
+         \"matrix_median_wall_ns\": {wall_ns},\n  \
+         \"deterministic\": {deterministic},\n  \
+         \"retries_off_loses_requests\": {retries_off_loses},\n  \
+         \"goodput_gate_met\": {goodput_gate},\n  \
+         \"crash_recovery_within_gate\": {recovery_gate},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return None;
+    }
+    eprintln!("wrote {out_path}");
+    if !deterministic {
+        eprintln!(
+            "error: reliability traces diverged across reruns/worker counts — determinism broken"
+        );
+        return None;
+    }
+    if !retries_off_loses {
+        eprintln!("error: drop:0.05 with retries off lost nothing — the fault path is inert");
+        return None;
+    }
+    if !goodput_gate {
+        eprintln!("error: goodput with retries under drop:0.05 fell below 99%");
+        return None;
+    }
+    if !recovery_gate {
+        eprintln!("error: crashsvc recovery missed the detect+restart budget");
+        return None;
+    }
+    Some(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -509,6 +720,7 @@ fn main() -> ExitCode {
     let ok = match cmd.as_str() {
         "perf" => cmd_perf(&flags),
         "cluster" => cmd_cluster(&flags),
+        "reliability" => cmd_reliability(&flags),
         _ => None,
     };
     match ok {

@@ -18,10 +18,18 @@ use crate::node::{Node, NodeStats, Role};
 use kh_arch::platform::Platform;
 use kh_core::config::StackKind;
 use kh_metrics::hist::LogHistogram;
+use kh_metrics::outcome::OutcomeCounters;
 use kh_metrics::table::Table;
 use kh_sim::{EventQueue, FabricFaultPlan, FabricFaultSpec, FabricFaultStats, Nanos, SimRng};
 use kh_virtio::LinkProfile;
-use kh_workloads::svcload::{parse_header, request_frame, response_frame, Arrivals, SvcLoadConfig};
+use kh_workloads::svcload::{
+    corrupt_frame_payload, decode_frame, nack_frame, request_frame, response_frame, retry_seed,
+    Arrivals, FrameError, FrameHeader, FrameKind, RequestOutcome, RetryPolicy, SvcLoadConfig,
+};
+
+/// Default bound on a server's outstanding service queue; past it,
+/// admission control sheds with an explicit NACK.
+pub const DEFAULT_ADMISSION_LIMIT: usize = 64;
 
 /// Everything a cluster run needs.
 #[derive(Debug, Clone)]
@@ -37,6 +45,16 @@ pub struct ClusterConfig {
     pub queue_depth: usize,
     /// Fabric fault plan: (spec, fault seed). None = clean fabric.
     pub faults: Option<(FabricFaultSpec, u64)>,
+    /// Client-side reliability policy. None = fire-and-forget (a lost
+    /// frame silently erases its request, outcome `Failed`).
+    pub retry: Option<RetryPolicy>,
+    /// Server admission bound: outstanding requests before shedding.
+    pub admission_limit: usize,
+    /// How long the Kitten primary takes to notice a dead secondary
+    /// (`Spm::vm_is_crashed` poll cadence) before driving restart.
+    pub detect_latency: Nanos,
+    /// Service-core time a restart costs (stage-2 rebuild, reboot).
+    pub restart_cost: Nanos,
 }
 
 impl ClusterConfig {
@@ -50,6 +68,10 @@ impl ClusterConfig {
             svcload: SvcLoadConfig::default(),
             queue_depth: DEFAULT_QUEUE_DEPTH,
             faults: None,
+            retry: None,
+            admission_limit: DEFAULT_ADMISSION_LIMIT,
+            detect_latency: Nanos::from_millis(1),
+            restart_cost: Nanos::from_millis(2),
         }
     }
 
@@ -71,8 +93,50 @@ pub struct RequestRecord {
     pub client: u16,
     pub server: u16,
     pub sent: Nanos,
-    /// None when the request or its response was lost in the fabric.
+    /// None when the request never completed (lost, shed, expired).
+    /// Always paired with a terminal [`RequestOutcome`] — analysis code
+    /// matches on `outcome` instead of unwrapping this.
     pub completed: Option<Nanos>,
+    /// Transmissions made for this request (1 = first send only).
+    pub attempts: u32,
+    /// How the request's story ended.
+    pub outcome: RequestOutcome,
+}
+
+/// Aggregate reliability-layer counters for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Terminal outcome of every generated request.
+    pub outcomes: OutcomeCounters,
+    /// Backoff-scheduled retransmissions actually sent.
+    pub retransmits: u64,
+    /// Hedge transmissions actually sent.
+    pub hedges: u64,
+    /// NACKs servers sent when shedding.
+    pub nacks_sent: u64,
+    /// Checksum-rejected frames observed at any receiver.
+    pub corrupt_rx: u64,
+    /// Request frames that arrived at a down (crashed) service VM.
+    pub crash_drops: u64,
+}
+
+/// One service-VM crash and its recovery, for time-to-recovery gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    pub node: u16,
+    /// When the fault killed the service VM.
+    pub crashed_at: Nanos,
+    /// When the primary saw `vm_is_crashed` and started the restart.
+    pub detected_at: Nanos,
+    /// When the restarted service VM accepts requests again.
+    pub recovered_at: Nanos,
+}
+
+impl RecoveryRecord {
+    /// Crash-to-serving downtime.
+    pub fn downtime(&self) -> Nanos {
+        self.recovered_at.saturating_sub(self.crashed_at)
+    }
 }
 
 /// What one node contributed, for the report.
@@ -103,6 +167,10 @@ pub struct ClusterReport {
     pub per_node: Vec<NodeReport>,
     pub fabric: FabricStats,
     pub fault_stats: FabricFaultStats,
+    /// Reliability-layer counters (all zero on a clean, policy-less run).
+    pub reliability: ReliabilityStats,
+    /// One entry per `crashsvc` fault that fired.
+    pub recoveries: Vec<RecoveryRecord>,
     /// Virtual time of the last event processed.
     pub elapsed: Nanos,
 }
@@ -112,6 +180,64 @@ enum Ev {
     Arrival { client: u16 },
     /// A frame exits the fabric at `dst`'s NIC.
     Deliver { dst: u16, frame: Vec<u8> },
+    /// Backoff timer: retransmit request `id` unless it resolved.
+    Retry { id: u64 },
+    /// Hedge timer: duplicate request `id` unless it resolved.
+    Hedge { id: u64 },
+    /// Request `id`'s deadline expires.
+    Deadline { id: u64 },
+    /// The `crashsvc` fault kills `node`'s service VM.
+    CrashSvc { node: u16 },
+    /// `node`'s primary detected the dead secondary; drive restart.
+    RestartSvc { node: u16 },
+}
+
+/// Client-side in-flight state for one request, indexed by id.
+struct ReqState {
+    server: u16,
+    /// First-send time; every retransmission echoes it so latency is
+    /// end-to-end from the original send.
+    sent: Nanos,
+    deadline_at: Nanos,
+    /// Seeded jittered backoff delays still unconsumed.
+    backoff: Vec<Nanos>,
+    next_backoff: usize,
+    /// Attempt index the hedge transmission used, if one was sent.
+    hedge_attempt: Option<u8>,
+    nack_seen: bool,
+    corrupt_seen: bool,
+    done: bool,
+}
+
+/// Send one (re)transmission of a request through the client NIC and
+/// the fabric, applying the corrupt gate's byte-flip on delivery.
+#[allow(clippy::too_many_arguments)]
+fn transmit_request(
+    cfg: &ClusterConfig,
+    nodes: &mut [Node],
+    fabric: &mut Fabric,
+    q: &mut EventQueue<Ev>,
+    st: &ReqState,
+    id: u64,
+    client: u16,
+    attempt: u8,
+    now: Nanos,
+    horizon: Nanos,
+) {
+    let mut frame = request_frame(&cfg.svcload, id, client, st.sent, attempt);
+    let enter = nodes[client as usize].send(now, &frame, horizon);
+    if let Some(d) = fabric.transit(client, st.server, frame.len() as u64, enter) {
+        if let Some(salt) = d.corrupt_salt {
+            corrupt_frame_payload(&mut frame, salt);
+        }
+        q.schedule_at(
+            d.at,
+            Ev::Deliver {
+                dst: st.server,
+                frame,
+            },
+        );
+    }
 }
 
 /// Run the svcload workload over a freshly booted cluster.
@@ -168,9 +294,21 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
             q.schedule_at(t, Ev::Arrival { client: c as u16 });
         }
     }
+    // Scheduled service-VM crashes become events; each is detected and
+    // recovered by the node's own primary, on the cluster clock.
+    for e in fabric.faults.svc_crash_events().to_vec() {
+        q.schedule_at(e.at, Ev::CrashSvc { node: e.node });
+    }
+    // The retry layer draws per-request jitter from its own stream root,
+    // split off the run seed like every other stream — arming it never
+    // perturbs arrivals, noise, or fabric fault draws.
+    let retry_root = SimRng::new(cfg.seed ^ 0x6B68_7274_7279).next_u64(); // "khrtry"
 
     let mut records: Vec<RequestRecord> = Vec::new();
+    let mut states: Vec<ReqState> = Vec::new();
     let mut latency = LogHistogram::for_latency();
+    let mut rel = ReliabilityStats::default();
+    let mut recoveries: Vec<RecoveryRecord> = Vec::new();
     let mut sent = 0u64;
     let mut completed = 0u64;
 
@@ -191,51 +329,288 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                     server,
                     sent: now,
                     completed: None,
+                    attempts: 1,
+                    // Placeholder until a terminal outcome resolves it.
+                    outcome: RequestOutcome::Failed,
                 });
                 sent += 1;
-                let frame = request_frame(&cfg.svcload, id, client, now);
-                let enter = nodes[client as usize].send(now, &frame, horizon);
-                if let Some(at) = fabric.transit(client, server, frame.len() as u64, enter) {
-                    q.schedule_at(at, Ev::Deliver { dst: server, frame });
+                let mut st = ReqState {
+                    server,
+                    sent: now,
+                    deadline_at: Nanos::MAX,
+                    backoff: Vec::new(),
+                    next_backoff: 0,
+                    hedge_attempt: None,
+                    nack_seen: false,
+                    corrupt_seen: false,
+                    done: false,
+                };
+                if let Some(policy) = &cfg.retry {
+                    st.deadline_at = now + policy.deadline;
+                    st.backoff = policy.backoff_schedule(retry_seed(retry_root, id));
+                    q.schedule_at(st.deadline_at, Ev::Deadline { id });
+                    if let Some(first) = st.backoff.first() {
+                        let at = now + *first;
+                        if at < st.deadline_at {
+                            q.schedule_at(at, Ev::Retry { id });
+                        }
+                        st.next_backoff = 1;
+                    }
+                    if let Some(h) = policy.hedge_delay {
+                        let at = now + h;
+                        if at < st.deadline_at {
+                            q.schedule_at(at, Ev::Hedge { id });
+                        }
+                    }
+                }
+                transmit_request(
+                    cfg,
+                    &mut nodes,
+                    &mut fabric,
+                    &mut q,
+                    &st,
+                    id,
+                    client,
+                    0,
+                    now,
+                    horizon,
+                );
+                states.push(st);
+            }
+            Ev::Retry { id } => {
+                let rec = &mut records[id as usize];
+                let st = &mut states[id as usize];
+                let max = cfg.retry.as_ref().map(|p| p.max_attempts).unwrap_or(1);
+                if st.done || now >= st.deadline_at || rec.attempts >= max {
+                    continue;
+                }
+                let attempt = rec.attempts as u8;
+                rec.attempts += 1;
+                rel.retransmits += 1;
+                // Chain the next backoff timer off this send instant.
+                if let Some(delay) = st.backoff.get(st.next_backoff).copied() {
+                    st.next_backoff += 1;
+                    let at = now + delay;
+                    if at < st.deadline_at {
+                        q.schedule_at(at, Ev::Retry { id });
+                    }
+                }
+                let client = rec.client;
+                let st = &states[id as usize];
+                transmit_request(
+                    cfg,
+                    &mut nodes,
+                    &mut fabric,
+                    &mut q,
+                    st,
+                    id,
+                    client,
+                    attempt,
+                    now,
+                    horizon,
+                );
+            }
+            Ev::Hedge { id } => {
+                let rec = &mut records[id as usize];
+                let st = &mut states[id as usize];
+                let max = cfg.retry.as_ref().map(|p| p.max_attempts).unwrap_or(1);
+                if st.done || now >= st.deadline_at || rec.attempts >= max {
+                    continue;
+                }
+                let attempt = rec.attempts as u8;
+                rec.attempts += 1;
+                rel.hedges += 1;
+                st.hedge_attempt = Some(attempt);
+                let client = rec.client;
+                let st = &states[id as usize];
+                transmit_request(
+                    cfg,
+                    &mut nodes,
+                    &mut fabric,
+                    &mut q,
+                    st,
+                    id,
+                    client,
+                    attempt,
+                    now,
+                    horizon,
+                );
+            }
+            Ev::Deadline { id } => {
+                let st = &mut states[id as usize];
+                if st.done {
+                    continue;
+                }
+                st.done = true;
+                records[id as usize].outcome = if st.nack_seen {
+                    RequestOutcome::Shed
+                } else if st.corrupt_seen {
+                    RequestOutcome::Corrupt
+                } else {
+                    RequestOutcome::DeadlineExceeded
+                };
+            }
+            Ev::CrashSvc { node } => {
+                let n = node as usize;
+                if n >= nodes.len() || nodes[n].role != Role::Server || nodes[n].is_crashed() {
+                    continue;
+                }
+                fabric.faults.note_svc_crash();
+                nodes[n].crash_svc(now, horizon);
+                recoveries.push(RecoveryRecord {
+                    node,
+                    crashed_at: now,
+                    detected_at: now + cfg.detect_latency,
+                    recovered_at: Nanos::MAX,
+                });
+                q.schedule_at(now + cfg.detect_latency, Ev::RestartSvc { node });
+            }
+            Ev::RestartSvc { node } => {
+                let up = nodes[node as usize].restart_svc(now, cfg.restart_cost, horizon);
+                if let Some(r) = recoveries
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.recovered_at == Nanos::MAX)
+                {
+                    r.recovered_at = up;
                 }
             }
             Ev::Deliver { dst, frame } => {
-                let Some((id, client, sent_at)) = parse_header(&frame) else {
-                    continue;
-                };
+                let decoded = decode_frame(&frame);
                 if nodes[dst as usize].role == Role::Server {
-                    // Request lands at the server: RX copy, queue for the
-                    // service core, compute, then send the response back.
-                    let node = &mut nodes[dst as usize];
-                    let ready = node.receive(now, &frame, horizon);
-                    let done = node.serve(ready, &phase, horizon);
-                    let reply = response_frame(&cfg.svcload, id, client, sent_at);
-                    let enter = node.send(done, &reply, horizon);
-                    if let Some(at) = fabric.transit(dst, client, reply.len() as u64, enter) {
-                        q.schedule_at(
-                            at,
-                            Ev::Deliver {
-                                dst: client,
-                                frame: reply,
-                            },
-                        );
+                    match decoded {
+                        Ok(FrameHeader {
+                            id,
+                            client,
+                            sent: sent_at,
+                            kind: FrameKind::Request,
+                            attempt,
+                        }) => {
+                            let node = &mut nodes[dst as usize];
+                            if node.is_crashed() {
+                                // The NIC died with the VM: nothing to
+                                // receive into. The client's retry path
+                                // (or deadline) owns recovery.
+                                node.stats.crash_drops += 1;
+                                rel.crash_drops += 1;
+                                continue;
+                            }
+                            // Request lands at the server: RX copy, admission
+                            // check, queue for the service core, compute, then
+                            // answer (response or NACK) back through the fabric.
+                            let ready = node.receive(now, &frame, horizon);
+                            let reply = if node.admit(ready, cfg.admission_limit) {
+                                let done = node.serve(ready, &phase, horizon);
+                                let reply =
+                                    response_frame(&cfg.svcload, id, client, sent_at, attempt);
+                                (done, reply)
+                            } else {
+                                rel.nacks_sent += 1;
+                                (ready, nack_frame(id, client, sent_at, attempt))
+                            };
+                            let (depart, mut reply_frame) = reply;
+                            let enter = node.send(depart, &reply_frame, horizon);
+                            if let Some(d) =
+                                fabric.transit(dst, client, reply_frame.len() as u64, enter)
+                            {
+                                if let Some(salt) = d.corrupt_salt {
+                                    corrupt_frame_payload(&mut reply_frame, salt);
+                                }
+                                q.schedule_at(
+                                    d.at,
+                                    Ev::Deliver {
+                                        dst: client,
+                                        frame: reply_frame,
+                                    },
+                                );
+                            }
+                        }
+                        Ok(_) => {} // response/NACK routed to a server: unreachable
+                        Err(_) => {
+                            // Mangled request: the RX path still pays the copy,
+                            // then the checksum rejects it. The client's retry
+                            // path (or deadline) owns recovery.
+                            rel.corrupt_rx += 1;
+                            if !nodes[dst as usize].is_crashed() {
+                                let _ = nodes[dst as usize].receive(now, &frame, horizon);
+                            }
+                        }
                     }
                 } else {
-                    // Response lands back at the client: the request is
-                    // complete once the payload is in guest memory.
-                    let done = nodes[dst as usize].receive(now, &frame, horizon);
-                    let lat = done.saturating_sub(sent_at);
-                    latency.record(lat.as_nanos().max(1) as f64);
-                    nodes[dst as usize]
-                        .latency_hist
-                        .record(lat.as_nanos().max(1) as f64);
-                    records[id as usize].completed = Some(done);
-                    completed += 1;
+                    // A reply lands back at the client.
+                    match decoded {
+                        Ok(h) => {
+                            let done = nodes[dst as usize].receive(now, &frame, horizon);
+                            let st = &mut states[h.id as usize];
+                            if st.done {
+                                continue; // duplicate answer after resolution
+                            }
+                            match h.kind {
+                                FrameKind::Response => {
+                                    st.done = true;
+                                    let lat = done.saturating_sub(h.sent);
+                                    latency.record(lat.as_nanos().max(1) as f64);
+                                    nodes[dst as usize]
+                                        .latency_hist
+                                        .record(lat.as_nanos().max(1) as f64);
+                                    let rec = &mut records[h.id as usize];
+                                    rec.completed = Some(done);
+                                    rec.outcome = if st.hedge_attempt == Some(h.attempt) {
+                                        RequestOutcome::OkHedged { attempt: h.attempt }
+                                    } else {
+                                        RequestOutcome::Ok { attempt: h.attempt }
+                                    };
+                                    completed += 1;
+                                }
+                                FrameKind::Nack => st.nack_seen = true,
+                                FrameKind::Request => {} // unreachable
+                            }
+                        }
+                        Err(FrameError::Corrupt(hdr)) => {
+                            rel.corrupt_rx += 1;
+                            let _ = nodes[dst as usize].receive(now, &frame, horizon);
+                            // The header survived (the corrupt gate flips
+                            // payload bytes), so the damage is attributable.
+                            if let Some(st) = hdr.and_then(|h| states.get_mut(h.id as usize)) {
+                                if !st.done {
+                                    st.corrupt_seen = true;
+                                }
+                            }
+                        }
+                        Err(FrameError::Truncated) => {}
+                    }
                 }
             }
         }
     }
     let elapsed = q.now();
+
+    // Resolve what the event loop could not: with no retry policy there
+    // are no deadline timers, so an unanswered request stays open until
+    // this end-of-run sweep names its outcome explicitly.
+    for (rec, st) in records.iter_mut().zip(states.iter_mut()) {
+        if st.done {
+            continue;
+        }
+        st.done = true;
+        rec.outcome = if st.nack_seen {
+            RequestOutcome::Shed
+        } else if st.corrupt_seen {
+            RequestOutcome::Corrupt
+        } else {
+            RequestOutcome::Failed
+        };
+    }
+    for rec in &records {
+        match rec.outcome {
+            RequestOutcome::Ok { .. } => rel.outcomes.ok += 1,
+            RequestOutcome::OkHedged { .. } => rel.outcomes.ok_hedged += 1,
+            RequestOutcome::Shed => rel.outcomes.shed += 1,
+            RequestOutcome::DeadlineExceeded => rel.outcomes.deadline += 1,
+            RequestOutcome::Corrupt => rel.outcomes.corrupt += 1,
+            RequestOutcome::Failed => rel.outcomes.failed += 1,
+        }
+    }
 
     // Final sweep: every node replays noise out to the fixed horizon, so
     // the noise histograms cover the same window regardless of traffic.
@@ -269,8 +644,10 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
         latency,
         records,
         per_node,
-        fabric: fabric.stats,
+        fabric: fabric.stats.clone(),
         fault_stats: fabric.faults.stats,
+        reliability: rel,
+        recoveries,
         elapsed,
     }
 }
@@ -282,6 +659,11 @@ impl ClusterReport {
             return 0.0;
         }
         1.0 - self.completed as f64 / self.sent as f64
+    }
+
+    /// Fraction of requests whose client got an answer.
+    pub fn goodput(&self) -> f64 {
+        self.reliability.outcomes.goodput()
     }
 
     /// Human-readable run summary.
@@ -339,13 +721,38 @@ impl ClusterReport {
         out.push_str(&nt.render());
         if self.fault_stats.total() > 0 || self.fabric.queue_drops > 0 {
             out.push_str(&format!(
-                "\nfabric: {} forwarded, {} queue drops, {} fault drops, {} reordered, {} jittered, {} partition drops\n",
+                "\nfabric: {} forwarded, {} queue drops, {} fault drops, {} reordered, {} jittered, {} partition drops, {} corrupted\n",
                 self.fabric.frames_forwarded,
                 self.fabric.queue_drops,
                 self.fault_stats.frames_dropped,
                 self.fault_stats.frames_reordered,
                 self.fault_stats.frames_jittered,
                 self.fault_stats.partition_drops,
+                self.fault_stats.frames_corrupted,
+            ));
+        }
+        let r = &self.reliability;
+        if r.retransmits + r.hedges + r.nacks_sent + r.corrupt_rx + r.crash_drops > 0
+            || r.outcomes.good() != r.outcomes.total()
+        {
+            out.push_str(&format!(
+                "reliability: goodput {:.3}%, outcomes [{}], {} retransmits, {} hedges, {} nacks, {} corrupt rx, {} crash drops\n",
+                self.goodput() * 100.0,
+                r.outcomes.render(),
+                r.retransmits,
+                r.hedges,
+                r.nacks_sent,
+                r.corrupt_rx,
+                r.crash_drops,
+            ));
+        }
+        for rec in &self.recoveries {
+            out.push_str(&format!(
+                "recovery: node{} crashed at {}ns, detected +{}ns, serving again +{}ns\n",
+                rec.node,
+                rec.crashed_at.as_nanos(),
+                rec.detected_at.saturating_sub(rec.crashed_at).as_nanos(),
+                rec.downtime().as_nanos(),
             ));
         }
         out
@@ -354,7 +761,8 @@ impl ClusterReport {
     /// The per-request trace as CSV — the byte-identity artifact the
     /// determinism tests (and `khsim cluster --out`) compare.
     pub fn csv(&self) -> String {
-        let mut s = String::from("req,client,server,sent_ns,completed_ns,latency_ns\n");
+        let mut s =
+            String::from("req,client,server,sent_ns,completed_ns,latency_ns,attempts,outcome\n");
         for r in &self.records {
             let (done, lat) = match r.completed {
                 Some(c) => (
@@ -364,13 +772,15 @@ impl ClusterReport {
                 None => (String::new(), String::new()),
             };
             s.push_str(&format!(
-                "{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{}\n",
                 r.id,
                 r.client,
                 r.server,
                 r.sent.as_nanos(),
                 done,
-                lat
+                lat,
+                r.attempts,
+                r.outcome.label(),
             ));
         }
         s
@@ -397,11 +807,16 @@ mod tests {
         assert_eq!(r.completed, r.sent, "clean fabric loses nothing");
         assert_eq!(r.latency.count(), r.completed);
         assert!(r.latency.median() > 0.0);
-        // Every record is complete and causally ordered.
-        assert!(r
-            .records
-            .iter()
-            .all(|rec| rec.completed.unwrap() > rec.sent));
+        // Every record resolved Ok, is complete, and causally ordered —
+        // matched on outcome, never unwrapped: an uncompleted request
+        // is a first-class result, not a panic hazard.
+        assert!(r.records.iter().all(|rec| {
+            rec.outcome.is_ok()
+                && rec.attempts == 1
+                && matches!(rec.completed, Some(done) if done > rec.sent)
+        }));
+        assert_eq!(r.goodput(), 1.0);
+        assert_eq!(r.reliability.outcomes.ok, r.sent);
     }
 
     #[test]
@@ -457,7 +872,125 @@ mod tests {
         assert!(a.completed < a.sent, "5% drop must lose something");
         assert!(a.fault_stats.frames_dropped > 0);
         assert!(a.loss() > 0.0);
+        // No reliability layer: every loss is a silent-drop Failure.
+        assert_eq!(a.reliability.outcomes.failed, a.sent - a.completed);
+        assert_eq!(a.fabric.loss_drops, a.fault_stats.frames_dropped);
         let b = run(&cfg);
         assert_eq!(a.csv(), b.csv(), "faulted runs are reproducible");
+    }
+
+    #[test]
+    fn retries_recover_random_loss() {
+        let mut cfg = quick(StackKind::HafniumKitten, 9);
+        cfg.faults = Some((FabricFaultSpec::parse("drop:0.05").unwrap(), 3));
+        let bare = run(&cfg);
+        assert!(bare.goodput() < 1.0, "no-retry arm must lose requests");
+        cfg.retry = Some(RetryPolicy::default());
+        let armed = run(&cfg);
+        assert_eq!(armed.sent, bare.sent, "open loop: same offered load");
+        assert!(
+            armed.goodput() >= 0.99,
+            "goodput with retries = {}",
+            armed.goodput()
+        );
+        assert!(armed.goodput() > bare.goodput());
+        assert!(armed.reliability.retransmits > 0);
+        assert!(armed
+            .records
+            .iter()
+            .any(|r| matches!(r.outcome, RequestOutcome::Ok { attempt } if attempt > 0)));
+        // Armed runs stay byte-reproducible.
+        let again = run(&cfg);
+        assert_eq!(armed.csv(), again.csv());
+    }
+
+    #[test]
+    fn hedging_duplicates_slow_requests() {
+        let mut cfg = quick(StackKind::HafniumKitten, 11);
+        cfg.faults = Some((FabricFaultSpec::parse("drop:0.1").unwrap(), 5));
+        cfg.retry = Some(RetryPolicy {
+            // Hedge well before the first backoff so hedges win races.
+            hedge_delay: Some(Nanos::from_micros(900)),
+            ..RetryPolicy::default()
+        });
+        let r = run(&cfg);
+        assert!(r.reliability.hedges > 0, "hedge timer must fire");
+        assert!(
+            r.records
+                .iter()
+                .any(|rec| matches!(rec.outcome, RequestOutcome::OkHedged { .. })),
+            "some hedge transmission should win"
+        );
+        assert!(r.goodput() >= 0.99, "goodput = {}", r.goodput());
+    }
+
+    #[test]
+    fn admission_control_sheds_with_explicit_nacks() {
+        let mut cfg = quick(StackKind::HafniumKitten, 13);
+        // Overdrive one server pair and bound the queue tightly.
+        cfg.svcload.mean_interarrival = Nanos::from_micros(40);
+        cfg.admission_limit = 2;
+        cfg.retry = Some(RetryPolicy::default());
+        let r = run(&cfg);
+        assert!(r.reliability.nacks_sent > 0, "overload must shed");
+        assert!(
+            r.records
+                .iter()
+                .any(|rec| rec.outcome == RequestOutcome::Shed),
+            "shed requests end as Shed, not silent loss"
+        );
+        assert_eq!(
+            r.reliability.outcomes.failed, 0,
+            "with the policy armed nothing fails silently"
+        );
+        let shed_total: u64 = r.per_node.iter().map(|n| n.stats.shed).sum();
+        assert_eq!(shed_total, r.reliability.nacks_sent);
+    }
+
+    #[test]
+    fn corrupt_frames_are_detected_not_misparsed() {
+        let mut cfg = quick(StackKind::HafniumKitten, 17);
+        cfg.faults = Some((FabricFaultSpec::parse("corrupt:0.1").unwrap(), 7));
+        let r = run(&cfg);
+        assert!(r.fault_stats.frames_corrupted > 0);
+        assert!(r.reliability.corrupt_rx > 0, "checksum catches mangling");
+        assert!(
+            r.records
+                .iter()
+                .any(|rec| rec.outcome == RequestOutcome::Corrupt),
+            "a corrupted reply is attributed to its request"
+        );
+        // With retries armed the corruption is survivable.
+        cfg.retry = Some(RetryPolicy::default());
+        let armed = run(&cfg);
+        assert!(armed.goodput() >= 0.99, "goodput = {}", armed.goodput());
+    }
+
+    #[test]
+    fn crashsvc_recovers_within_the_gate() {
+        let mut cfg = quick(StackKind::HafniumKitten, 19);
+        let victim = cfg.clients(); // first server node
+        cfg.faults = Some((
+            FabricFaultSpec::parse(&format!("crashsvc@10ms:{victim}")).unwrap(),
+            1,
+        ));
+        cfg.retry = Some(RetryPolicy::default());
+        let r = run(&cfg);
+        assert_eq!(r.recoveries.len(), 1);
+        let rec = r.recoveries[0];
+        assert_eq!(rec.node as usize, victim);
+        assert_eq!(rec.crashed_at, Nanos::from_millis(10));
+        assert_eq!(rec.detected_at, rec.crashed_at + cfg.detect_latency);
+        assert!(
+            rec.downtime() <= cfg.detect_latency + cfg.restart_cost + Nanos::from_millis(1),
+            "downtime {}ns",
+            rec.downtime().as_nanos()
+        );
+        assert_eq!(r.fault_stats.svc_crashes, 1);
+        let crashed_node = &r.per_node[victim];
+        assert_eq!(crashed_node.stats.restarts, 1);
+        assert!(r.goodput() >= 0.99, "goodput = {}", r.goodput());
+        // Reproducible, crash and all.
+        assert_eq!(run(&cfg).csv(), r.csv());
     }
 }

@@ -17,13 +17,33 @@
 
 use kh_sim::{FabricFaultPlan, Nanos};
 use kh_virtio::LinkProfile;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Default egress queue depth (frames) per switch port.
 pub const DEFAULT_QUEUE_DEPTH: usize = 64;
 
-/// Counters for one fabric instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Per-destination-port traffic and drop breakdown. Drops are charged
+/// to the frame's *destination* port — the victim whose reply budget
+/// they consume — so shed/lost accounting in reports is exact per node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortStats {
+    /// Frames delivered toward this port.
+    pub forwarded: u64,
+    /// Tail-dropped: this port's egress queue was full.
+    pub queue_drops: u64,
+    /// Eaten by the random-loss fault gate.
+    pub loss_drops: u64,
+    /// Dropped because an endpoint was inside a partition window.
+    pub partition_drops: u64,
+    /// Delivered, but with a payload byte mangled by the corrupt gate.
+    pub corrupted: u64,
+}
+
+/// Counters for one fabric instance. Every way a frame can die (or
+/// arrive damaged) in transit is folded in here, totalled and broken
+/// down per destination port.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FabricStats {
     /// Frames that made it through the switch.
     pub frames_forwarded: u64,
@@ -31,6 +51,30 @@ pub struct FabricStats {
     pub bytes_forwarded: u64,
     /// Frames tail-dropped because an egress queue was full.
     pub queue_drops: u64,
+    /// Frames eaten by the random-loss fault gate.
+    pub loss_drops: u64,
+    /// Frames dropped inside a partition window.
+    pub partition_drops: u64,
+    /// Frames delivered corrupted.
+    pub corrupted: u64,
+    /// The same counters broken down by destination port.
+    pub per_port: Vec<PortStats>,
+}
+
+impl FabricStats {
+    /// Every frame lost in transit, whatever the cause.
+    pub fn total_drops(&self) -> u64 {
+        self.queue_drops + self.loss_drops + self.partition_drops
+    }
+}
+
+/// One delivered frame: when it lands at the destination NIC, and —
+/// when the corrupt gate fired — the seeded salt the caller feeds to
+/// `kh_workloads::svcload::corrupt_frame_payload` to mangle it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    pub at: Nanos,
+    pub corrupt_salt: Option<u64>,
 }
 
 #[derive(Debug, Default)]
@@ -61,7 +105,10 @@ impl Fabric {
             queue_depth: queue_depth.max(1),
             ports: (0..ports).map(|_| Port::default()).collect(),
             faults: FabricFaultPlan::none(),
-            stats: FabricStats::default(),
+            stats: FabricStats {
+                per_port: vec![PortStats::default(); ports],
+                ..FabricStats::default()
+            },
         }
     }
 
@@ -71,18 +118,24 @@ impl Fabric {
     }
 
     /// A frame of `bytes` from `src` arrives at the switch at `t_in`,
-    /// bound for `dst`. Returns the delivery time at `dst`'s NIC, or
+    /// bound for `dst`. Returns the [`Delivery`] at `dst`'s NIC, or
     /// `None` when the frame is dropped (partition, random loss, or a
     /// full egress queue). Gate order per frame is fixed — partition,
-    /// loss, reorder, jitter — so fault streams are consumed in a total
-    /// order given by switch arrival processing.
-    pub fn transit(&mut self, src: u16, dst: u16, bytes: u64, t_in: Nanos) -> Option<Nanos> {
+    /// loss, corrupt, reorder, jitter — so fault streams are consumed
+    /// in a total order given by switch arrival processing.
+    pub fn transit(&mut self, src: u16, dst: u16, bytes: u64, t_in: Nanos) -> Option<Delivery> {
+        let pp = &mut self.stats.per_port[dst as usize];
         if self.faults.partitioned(src, t_in) || self.faults.partitioned(dst, t_in) {
+            self.stats.partition_drops += 1;
+            pp.partition_drops += 1;
             return None;
         }
         if self.faults.drop_frame() {
+            self.stats.loss_drops += 1;
+            pp.loss_drops += 1;
             return None;
         }
+        let corrupt_salt = self.faults.corrupt_frame();
         let wire = self.link.wire_time(bytes);
         let hold = self.faults.reorder_hold(wire);
         let jitter = self.faults.jitter();
@@ -92,6 +145,7 @@ impl Fabric {
         }
         if port.departures.len() >= self.queue_depth {
             self.stats.queue_drops += 1;
+            self.stats.per_port[dst as usize].queue_drops += 1;
             return None;
         }
         let start = t_in.max(port.busy_until);
@@ -100,7 +154,16 @@ impl Fabric {
         port.departures.push_back(depart);
         self.stats.frames_forwarded += 1;
         self.stats.bytes_forwarded += bytes;
-        Some(depart + self.link.base_latency)
+        let pp = &mut self.stats.per_port[dst as usize];
+        pp.forwarded += 1;
+        if corrupt_salt.is_some() {
+            self.stats.corrupted += 1;
+            pp.corrupted += 1;
+        }
+        Some(Delivery {
+            at: depart + self.link.base_latency,
+            corrupt_salt,
+        })
     }
 }
 
@@ -116,20 +179,23 @@ mod tests {
     #[test]
     fn transit_pays_wire_time_and_base_latency() {
         let mut f = fab();
-        let t = f.transit(0, 1, 1500, Nanos::ZERO).unwrap();
+        let d = f.transit(0, 1, 1500, Nanos::ZERO).unwrap();
         // 1500 B at 1 Gb/s = 12 us serialization + 20 us base latency.
-        assert_eq!(t, Nanos(12_000) + LinkProfile::gigabit().base_latency);
+        assert_eq!(d.at, Nanos(12_000) + LinkProfile::gigabit().base_latency);
+        assert_eq!(d.corrupt_salt, None);
         assert_eq!(f.stats.frames_forwarded, 1);
+        assert_eq!(f.stats.per_port[1].forwarded, 1);
+        assert_eq!(f.stats.per_port[0].forwarded, 0);
     }
 
     #[test]
     fn egress_serializes_per_destination_port() {
         let mut f = fab();
-        let a = f.transit(0, 2, 1500, Nanos::ZERO).unwrap();
-        let b = f.transit(1, 2, 1500, Nanos::ZERO).unwrap();
+        let a = f.transit(0, 2, 1500, Nanos::ZERO).unwrap().at;
+        let b = f.transit(1, 2, 1500, Nanos::ZERO).unwrap().at;
         assert_eq!(b, a + Nanos(12_000), "second frame queues behind the first");
         // A different destination port is independent.
-        let c = f.transit(1, 3, 1500, Nanos::ZERO).unwrap();
+        let c = f.transit(1, 3, 1500, Nanos::ZERO).unwrap().at;
         assert_eq!(c, a);
     }
 
@@ -144,6 +210,8 @@ mod tests {
         }
         assert_eq!(delivered, 4, "queue depth bounds burst admission");
         assert_eq!(f.stats.queue_drops, 6);
+        assert_eq!(f.stats.per_port[1].queue_drops, 6);
+        assert_eq!(f.stats.total_drops(), 6);
         // Once queued frames depart, capacity frees up.
         assert!(f.transit(0, 1, 1500, Nanos::from_millis(1)).is_some());
     }
@@ -160,6 +228,37 @@ mod tests {
             "window over"
         );
         assert_eq!(f.faults.stats.partition_drops, 2);
+        // Folded into FabricStats, charged to the destination port.
+        assert_eq!(f.stats.partition_drops, 2);
+        assert_eq!(f.stats.per_port[1].partition_drops, 1);
+        assert_eq!(f.stats.per_port[2].partition_drops, 1);
+    }
+
+    #[test]
+    fn loss_and_corruption_fold_into_port_stats() {
+        let mut f = fab();
+        f.faults =
+            FabricFaultPlan::new(&FabricFaultSpec::parse("drop:0.4,corrupt:0.4").unwrap(), 3);
+        let mut lost = 0;
+        let mut mangled = 0;
+        for i in 0..64 {
+            match f.transit(0, 1, 800, Nanos::from_micros(40 * i)) {
+                None => lost += 1,
+                Some(d) if d.corrupt_salt.is_some() => mangled += 1,
+                Some(_) => {}
+            }
+        }
+        assert!(lost > 0 && mangled > 0, "{lost} lost, {mangled} mangled");
+        assert_eq!(f.stats.loss_drops, lost);
+        assert_eq!(f.stats.per_port[1].loss_drops, lost);
+        assert_eq!(f.stats.corrupted, mangled);
+        assert_eq!(f.stats.per_port[1].corrupted, mangled);
+        assert_eq!(f.stats.loss_drops, f.faults.stats.frames_dropped);
+        assert_eq!(f.stats.corrupted, f.faults.stats.frames_corrupted);
+        assert_eq!(
+            f.stats.frames_forwarded,
+            f.stats.per_port.iter().map(|p| p.forwarded).sum::<u64>()
+        );
     }
 
     #[test]
@@ -168,10 +267,10 @@ mod tests {
         let run = |seed| {
             let mut f = fab();
             f.faults = FabricFaultPlan::new(&spec, seed);
-            let out: Vec<Option<Nanos>> = (0..64)
+            let out: Vec<Option<Delivery>> = (0..64)
                 .map(|i| f.transit(0, 1, 800, Nanos::from_micros(40 * i)))
                 .collect();
-            (out, f.stats, f.faults.stats)
+            (out, f.stats.clone(), f.faults.stats)
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));

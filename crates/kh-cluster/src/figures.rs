@@ -10,7 +10,8 @@ use crate::cluster::{self, ClusterConfig, ClusterReport};
 use kh_core::config::StackKind;
 use kh_core::pool::Pool;
 use kh_metrics::table::Table;
-use kh_workloads::svcload::SvcLoadConfig;
+use kh_sim::FabricFaultSpec;
+use kh_workloads::svcload::{RetryPolicy, SvcLoadConfig};
 
 /// The two server stacks the ablation compares.
 pub const ARMS: [StackKind; 2] = [StackKind::HafniumKitten, StackKind::HafniumLinux];
@@ -55,6 +56,93 @@ pub fn render_cluster(reports: &[ClusterReport]) -> String {
     t.render()
 }
 
+/// The reliability sweep's fault scenarios for a cluster of `nodes`:
+/// `(label, fault spec)`, with `None` the clean-fabric baseline. The
+/// partition and crash scenarios target the first server node.
+pub fn reliability_scenarios(nodes: usize) -> Vec<(String, Option<String>)> {
+    let victim = (nodes / 2).max(1); // first server index
+    vec![
+        ("no-faults".to_string(), None),
+        ("drop0.05".to_string(), Some("drop:0.05".to_string())),
+        (
+            "partition".to_string(),
+            Some(format!("partition@10ms:5ms:{victim}")),
+        ),
+        (
+            "crashsvc".to_string(),
+            Some(format!("crashsvc@10ms:{victim}")),
+        ),
+    ]
+}
+
+/// Run the reliability cell: `{no-faults, drop, partition, crashsvc}`
+/// × `{retries off, retries on}` on Kitten-primary servers, pooled and
+/// deterministic for any worker count. Returns
+/// `(scenario, retries_on, report)` rows in a fixed order.
+pub fn reliability_matrix(
+    nodes: usize,
+    seed: u64,
+    svcload: SvcLoadConfig,
+    retry: RetryPolicy,
+) -> Vec<(String, bool, ClusterReport)> {
+    let combos: Vec<(String, Option<String>, bool)> = reliability_scenarios(nodes)
+        .into_iter()
+        .flat_map(|(name, spec)| [(name.clone(), spec.clone(), false), (name, spec, true)])
+        .collect();
+    let reports = Pool::with_default_jobs().run_indexed(combos.len(), |i| {
+        let (_, spec, retries) = &combos[i];
+        let mut cfg = ClusterConfig::new(nodes, StackKind::HafniumKitten, seed);
+        cfg.svcload = svcload;
+        if let Some(s) = spec {
+            let spec = FabricFaultSpec::parse(s).expect("scenario specs parse");
+            cfg.faults = Some((spec, seed ^ 0xFAB5));
+        }
+        if *retries {
+            cfg.retry = Some(retry);
+        }
+        cluster::run(&cfg)
+    });
+    combos
+        .into_iter()
+        .zip(reports)
+        .map(|((name, _, retries), r)| (name, retries, r))
+        .collect()
+}
+
+/// Render the reliability matrix as a table.
+pub fn render_reliability(rows: &[(String, bool, ClusterReport)]) -> String {
+    let us = |v: f64| {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.1}", v / 1_000.0)
+        }
+    };
+    let nodes = rows.first().map(|(_, _, r)| r.nodes).unwrap_or(0);
+    let mut t = Table::new(
+        format!("cluster reliability sweep, {nodes} nodes"),
+        &[
+            "retries", "sent", "goodput%", "retx", "hedges", "shed", "p99 us", "outcomes",
+        ],
+    );
+    for (name, retries, r) in rows {
+        t.row(
+            format!("{name}{}", if *retries { "+retry" } else { "" }),
+            vec![
+                if *retries { "on" } else { "off" }.to_string(),
+                r.sent.to_string(),
+                format!("{:.3}", r.goodput() * 100.0),
+                r.reliability.retransmits.to_string(),
+                r.reliability.hedges.to_string(),
+                r.reliability.nacks_sent.to_string(),
+                us(r.latency.p99()),
+                r.reliability.outcomes.render(),
+            ],
+        );
+    }
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +160,38 @@ mod tests {
         assert!(kitten.latency.p999() <= linux.latency.p999());
         let table = render_cluster(&reports);
         assert!(table.contains("Kitten") && table.contains("Linux"));
+    }
+
+    #[test]
+    fn reliability_matrix_covers_the_scenarios() {
+        let rows = reliability_matrix(4, 3, SvcLoadConfig::quick(), RetryPolicy::default());
+        assert_eq!(rows.len(), 8, "4 scenarios x retries off/on");
+        // The drop scenario: retries-off loses, retries-on recovers.
+        let drop_off = rows
+            .iter()
+            .find(|(n, retries, _)| n == "drop0.05" && !retries)
+            .unwrap();
+        let drop_on = rows
+            .iter()
+            .find(|(n, retries, _)| n == "drop0.05" && *retries)
+            .unwrap();
+        assert!(drop_off.2.goodput() < 1.0);
+        assert!(drop_on.2.goodput() >= 0.99);
+        let table = render_reliability(&rows);
+        assert!(table.contains("crashsvc+retry"));
+    }
+
+    #[test]
+    fn reliability_matrix_is_worker_count_independent() {
+        let fingerprint = |jobs| {
+            pool::set_jobs(jobs);
+            let rows = reliability_matrix(4, 5, SvcLoadConfig::quick(), RetryPolicy::default());
+            pool::set_jobs(1);
+            rows.iter()
+                .map(|(n, retries, r)| format!("{n},{retries}\n{}", r.csv()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fingerprint(1), fingerprint(2));
     }
 
     #[test]

@@ -14,12 +14,15 @@
 //!   of traffic (the isolation invariant);
 //! - [`fabric`] — the switch: per-destination bounded egress queues
 //!   over the same `LinkProfile` the guest NICs use, with
-//!   `kh_sim::FabricFaultPlan` hooks for loss, reorder, jitter, and
-//!   partitions;
-//! - [`cluster`] — topology, the event loop, and [`ClusterReport`]
-//!   (latency histogram, per-request CSV trace, per-node noise);
+//!   `kh_sim::FabricFaultPlan` hooks for loss, corruption, reorder,
+//!   jitter, and partitions;
+//! - [`cluster`] — topology, the event loop with the end-to-end
+//!   reliability layer (deadlines, seeded-backoff retries, hedging,
+//!   admission control, crash recovery), and [`ClusterReport`]
+//!   (latency histogram, per-request CSV trace with terminal outcomes,
+//!   per-node noise);
 //! - [`figures`] — the Kitten-vs-Linux server ablation under identical
-//!   offered load.
+//!   offered load, plus the reliability fault-matrix sweep.
 //!
 //! Everything is a pure function of `(config, seed)`: same seed, same
 //! bytes out — across worker counts, and with fault injection armed.
@@ -29,7 +32,13 @@ pub mod fabric;
 pub mod figures;
 pub mod node;
 
-pub use cluster::{run, ClusterConfig, ClusterReport, NodeReport, RequestRecord};
-pub use fabric::{Fabric, FabricStats, DEFAULT_QUEUE_DEPTH};
-pub use figures::{ablation_cluster, render_cluster, ARMS};
+pub use cluster::{
+    run, ClusterConfig, ClusterReport, NodeReport, RecoveryRecord, ReliabilityStats, RequestRecord,
+    DEFAULT_ADMISSION_LIMIT,
+};
+pub use fabric::{Delivery, Fabric, FabricStats, PortStats, DEFAULT_QUEUE_DEPTH};
+pub use figures::{
+    ablation_cluster, reliability_matrix, reliability_scenarios, render_cluster,
+    render_reliability, ARMS,
+};
 pub use node::{Node, NodeStats, Role};

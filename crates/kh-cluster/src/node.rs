@@ -32,13 +32,14 @@ use kh_core::machine::{background_steal, guest_tick_steal, host_tick_steal, rewa
 use kh_hafnium::hypercall::HfCall;
 use kh_hafnium::manifest::{BootManifest, VmKind, VmManifest};
 use kh_hafnium::spm::{Spm, SpmConfig};
-use kh_hafnium::vm::VmId;
+use kh_hafnium::vm::{VcpuRunExit, VmId};
 use kh_kitten::profile::KittenProfile;
 use kh_kitten::secondary::SecondaryPort;
 use kh_linux::profile::LinuxProfile;
 use kh_metrics::hist::LogHistogram;
 use kh_sim::{Nanos, SimRng};
 use kh_virtio::{PeerBackend, VirtioNet};
+use std::collections::VecDeque;
 
 const MB: u64 = 1 << 20;
 /// Virtio-net completion interrupt id on the svc secondary.
@@ -67,6 +68,12 @@ pub struct NodeStats {
     pub stolen: Nanos,
     /// Requests this node served (servers only).
     pub served: u64,
+    /// Requests refused by admission control (servers only).
+    pub shed: u64,
+    /// Requests that arrived while the service VM was down.
+    pub crash_drops: u64,
+    /// Times the primary restarted a crashed service VM.
+    pub restarts: u64,
 }
 
 /// One full machine stack wired into the cluster fabric.
@@ -87,6 +94,11 @@ pub struct Node {
     host_tick_at: Nanos,
     guest_tick_at: Nanos,
     background: Option<NoiseEvent>,
+    /// Completion times of admitted requests still in the service
+    /// queue; admission control bounds its occupancy.
+    pending_done: VecDeque<Nanos>,
+    /// True between a `crashsvc` fault and the primary's restart.
+    crashed: bool,
     /// When this node's service core is next free.
     pub busy_until: Nanos,
     /// Stolen-time distribution of noise events below the horizon.
@@ -176,6 +188,8 @@ impl Node {
             host_tick_at,
             guest_tick_at,
             background,
+            pending_done: VecDeque::new(),
+            crashed: false,
             busy_until: Nanos::ZERO,
             noise_hist: LogHistogram::for_detours(),
             latency_hist: LogHistogram::for_latency(),
@@ -199,21 +213,25 @@ impl Node {
             self.stats.host_ticks += 1;
             self.host_tick_at += self.host.tick_period();
             // The physical timer IRQ preempts the secondary; the primary
-            // handles its tick and re-dispatches.
+            // handles its tick and re-dispatches. A crashed secondary
+            // has nothing to re-dispatch (the tick itself still steals
+            // the same time, so the noise profile is crash-invariant).
             self.spm.preempt(0);
-            self.spm
-                .hypercall(
-                    VmId::PRIMARY,
-                    0,
-                    0,
-                    HfCall::VcpuRun {
-                        vm: self.svc_vm,
-                        vcpu: 0,
-                    },
-                    at,
-                )
-                .expect("re-dispatch after tick");
-            self.stats.vcpu_runs += 1;
+            if !self.crashed {
+                self.spm
+                    .hypercall(
+                        VmId::PRIMARY,
+                        0,
+                        0,
+                        HfCall::VcpuRun {
+                            vm: self.svc_vm,
+                            vcpu: 0,
+                        },
+                        at,
+                    )
+                    .expect("re-dispatch after tick");
+                self.stats.vcpu_runs += 1;
+            }
             (
                 host_tick_steal(&self.cfg, self.host.as_ref()),
                 self.host.tick_pollution(),
@@ -343,7 +361,95 @@ impl Node {
         }
         self.busy_until = now;
         self.stats.served += 1;
+        self.pending_done.push_back(now);
         now
+    }
+
+    /// Admission control: may a request arriving at `now` enter the
+    /// service queue? Requests whose service already completed free
+    /// their slot; at `limit` outstanding the request is shed (counted
+    /// here; the caller answers with an explicit NACK, never a silent
+    /// drop).
+    pub fn admit(&mut self, now: Nanos, limit: usize) -> bool {
+        while self.pending_done.front().is_some_and(|d| *d <= now) {
+            self.pending_done.pop_front();
+        }
+        if self.pending_done.len() >= limit.max(1) {
+            self.stats.shed += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Is the service VM currently down (crashed, not yet restarted)?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Kill the service VM through the real SPM path at `now`: preempt,
+    /// dispatch, abort. In-flight work dies with the VM — clients get
+    /// their answers back via the retry path. Noise accounting is
+    /// untouched, so the node's noise profile stays byte-identical to a
+    /// fault-free run (the isolation tests assert this).
+    pub fn crash_svc(&mut self, now: Nanos, horizon: Nanos) {
+        self.advance_noise_to(now, horizon);
+        self.spm.preempt(0);
+        let dispatched = self
+            .spm
+            .hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::VcpuRun {
+                    vm: self.svc_vm,
+                    vcpu: 0,
+                },
+                now,
+            )
+            .is_ok();
+        if dispatched {
+            self.stats.vcpu_runs += 1;
+            self.spm.finish_run(0, VcpuRunExit::Aborted);
+        }
+        debug_assert!(self.spm.vm_is_crashed(self.svc_vm));
+        self.crashed = true;
+        self.pending_done.clear();
+    }
+
+    /// The Kitten primary noticed the dead secondary (via
+    /// `Spm::vm_is_crashed`) and drives recovery: rebuild stage-2
+    /// through `Spm::restart_vm`, bring up fresh virtio queues, re-arm
+    /// the vtimer, and charge `restart_cost` of service-core time.
+    /// Returns the instant the service is accepting requests again.
+    pub fn restart_svc(&mut self, now: Nanos, restart_cost: Nanos, horizon: Nanos) -> Nanos {
+        self.advance_noise_to(now, horizon);
+        debug_assert!(self.spm.vm_is_crashed(self.svc_vm));
+        self.spm.restart_vm(self.svc_vm).expect("svc restart");
+        // The crashed instance's device state dies with it; the fresh
+        // instance brings up fresh queues.
+        self.net = VirtioNet::new(&self.cfg.platform, NET_INTID, QUEUE_SIZE, 0);
+        self.peer = PeerBackend::default();
+        self.spm
+            .hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::VcpuRun {
+                    vm: self.svc_vm,
+                    vcpu: 0,
+                },
+                now,
+            )
+            .expect("re-dispatch after restart");
+        self.stats.vcpu_runs += 1;
+        self.port
+            .init_timer(&mut self.spm, 0, 0, self.guest.tick_period, now)
+            .expect("vtimer re-init");
+        self.crashed = false;
+        self.stats.restarts += 1;
+        self.busy_until = self.busy_until.max(now) + restart_cost;
+        self.busy_until
     }
 
     /// Per-device NIC counters.
@@ -433,6 +539,59 @@ mod tests {
         assert!(done2 > done);
         assert_eq!(n.stats.served, 2);
         assert!(n.audit_isolation().is_ok());
+    }
+
+    #[test]
+    fn admission_bounds_the_service_queue() {
+        let phase = SvcLoadConfig::default().service_phase();
+        let horizon = Nanos::from_millis(10);
+        let mut n = node(StackKind::HafniumKitten, 6);
+        let t = Nanos::from_micros(10);
+        assert!(n.admit(t, 2));
+        n.serve(t, &phase, horizon);
+        assert!(n.admit(t, 2));
+        n.serve(t, &phase, horizon);
+        assert!(!n.admit(t, 2), "queue full: third concurrent request shed");
+        assert_eq!(n.stats.shed, 1);
+        // Once the queued work completes, capacity frees up.
+        let later = n.busy_until + Nanos(1);
+        assert!(n.admit(later, 2));
+        assert_eq!(n.stats.shed, 1);
+    }
+
+    #[test]
+    fn crash_and_restart_drive_the_real_spm() {
+        let phase = SvcLoadConfig::default().service_phase();
+        let horizon = Nanos::from_millis(50);
+        let mut n = node(StackKind::HafniumLinux, 8);
+        assert!(!n.is_crashed());
+        n.crash_svc(Nanos::from_micros(100), horizon);
+        assert!(n.is_crashed());
+        // Noise keeps replaying while the secondary is down (the host
+        // tick has nothing to re-dispatch but still steals its time).
+        n.advance_noise_to(Nanos::from_millis(5), horizon);
+        let up = n.restart_svc(Nanos::from_millis(5), Nanos::from_millis(2), horizon);
+        assert!(!n.is_crashed());
+        assert!(up >= Nanos::from_millis(7), "restart cost charged");
+        assert_eq!(n.stats.restarts, 1);
+        assert!(n.audit_isolation().is_ok());
+        let done = n.serve(up, &phase, horizon);
+        assert!(done > up, "service answers again after recovery");
+    }
+
+    #[test]
+    fn crash_window_does_not_perturb_the_noise_profile() {
+        let horizon = Nanos::from_millis(50);
+        let mut clean = node(StackKind::HafniumLinux, 9);
+        clean.advance_noise_to(horizon, horizon);
+        let mut crashed = node(StackKind::HafniumLinux, 9);
+        crashed.crash_svc(Nanos::from_millis(10), horizon);
+        crashed.restart_svc(Nanos::from_millis(12), Nanos::from_millis(2), horizon);
+        crashed.advance_noise_to(horizon, horizon);
+        assert_eq!(
+            clean.noise_hist, crashed.noise_hist,
+            "crash+restart must leave the noise histogram byte-identical"
+        );
     }
 
     #[test]

@@ -7,17 +7,21 @@
 //!   (Figures 7 and 9 report normalized performance),
 //! * [`scatter`] — ASCII scatter rendering for the selfish-detour
 //!   figures (4–6),
-//! * [`csv`] — machine-readable emission of every figure's data.
+//! * [`csv`] — machine-readable emission of every figure's data,
+//! * [`outcome`] — terminal request-outcome counters and goodput for
+//!   the cluster reliability layer.
 
 pub mod csv;
 pub mod hist;
 pub mod norm;
+pub mod outcome;
 pub mod scatter;
 pub mod stats;
 pub mod table;
 
 pub use hist::LogHistogram;
 pub use norm::normalize;
+pub use outcome::OutcomeCounters;
 pub use scatter::AsciiScatter;
 pub use stats::Summary;
 pub use table::Table;

@@ -1,0 +1,101 @@
+//! Request-outcome accounting for the reliability layer.
+//!
+//! Every request a workload generates ends in exactly one terminal
+//! outcome; [`OutcomeCounters`] tallies them so reports can state
+//! goodput (answered / generated) next to *why* the rest were not
+//! answered — shed by admission control, expired at the deadline,
+//! corrupted in transit, or silently lost with no retry policy armed.
+
+use serde::{Deserialize, Serialize};
+
+/// One counter per terminal request outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounters {
+    /// Answered by a regular (first or retransmitted) attempt.
+    pub ok: u64,
+    /// Answered, and the hedge transmission won.
+    pub ok_hedged: u64,
+    /// Server shed it (NACK) and no attempt got through.
+    pub shed: u64,
+    /// Deadline expired with attempts still outstanding.
+    pub deadline: u64,
+    /// Every observed reply failed its checksum.
+    pub corrupt: u64,
+    /// Lost with no reliability layer armed.
+    pub failed: u64,
+}
+
+impl OutcomeCounters {
+    /// All requests accounted for.
+    pub fn total(&self) -> u64 {
+        self.ok + self.ok_hedged + self.shed + self.deadline + self.corrupt + self.failed
+    }
+
+    /// Requests whose client got an answer.
+    pub fn good(&self) -> u64 {
+        self.ok + self.ok_hedged
+    }
+
+    /// Fraction of requests answered; 1.0 for an empty run.
+    pub fn goodput(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.good() as f64 / total as f64
+        }
+    }
+
+    /// `label=count` pairs for every non-zero bucket, in fixed order —
+    /// the stable text form used by reports and fingerprints.
+    pub fn render(&self) -> String {
+        let pairs = [
+            ("ok", self.ok),
+            ("ok-hedged", self.ok_hedged),
+            ("shed", self.shed),
+            ("deadline", self.deadline),
+            ("corrupt", self.corrupt),
+            ("failed", self.failed),
+        ];
+        let mut out = String::new();
+        for (label, n) in pairs {
+            if n > 0 {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&format!("{label}={n}"));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("none");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_counts_both_ok_kinds() {
+        let c = OutcomeCounters {
+            ok: 90,
+            ok_hedged: 9,
+            deadline: 1,
+            ..Default::default()
+        };
+        assert_eq!(c.total(), 100);
+        assert_eq!(c.good(), 99);
+        assert!((c.goodput() - 0.99).abs() < 1e-12);
+        assert_eq!(c.render(), "ok=90 ok-hedged=9 deadline=1");
+    }
+
+    #[test]
+    fn empty_run_has_perfect_goodput() {
+        let c = OutcomeCounters::default();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.goodput(), 1.0);
+        assert_eq!(c.render(), "none");
+    }
+}

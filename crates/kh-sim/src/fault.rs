@@ -37,6 +37,7 @@ const STREAM_TIMER: u64 = 6;
 const STREAM_FABRIC_DROP: u64 = 7;
 const STREAM_FABRIC_REORDER: u64 = 8;
 const STREAM_FABRIC_JITTER: u64 = 9;
+const STREAM_FABRIC_CORRUPT: u64 = 10;
 
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -466,11 +467,34 @@ enum FabricClause {
     /// `partition@<time>:<dur>:<node>` — the node is unreachable (every
     /// frame to or from it is dropped at the switch) during the window.
     Partition(Nanos, Nanos, u16),
+    /// `corrupt:<p>` — with probability p, a frame is delivered with its
+    /// payload mangled in transit (the receiver's header checksum is
+    /// what catches it).
+    Corrupt(f64),
+    /// `crashsvc@<time>:<node>` — the service secondary VM on the named
+    /// node takes an unrecoverable abort at the given time; the node's
+    /// primary must detect and restart it.
+    CrashSvc(Nanos, u16),
+}
+
+/// A scheduled service-VM crash on one cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SvcCrashEvent {
+    pub at: Nanos,
+    pub node: u16,
 }
 
 /// A parsed fabric fault specification (the cluster-side analogue of
-/// [`FaultSpec`]): link loss, reordering, delay jitter, and node
-/// partitions. Feed it to [`FabricFaultPlan::new`] with a seed.
+/// [`FaultSpec`]): link loss, reordering, delay jitter, in-transit
+/// corruption, node partitions, and scheduled service-VM crashes. Feed
+/// it to [`FabricFaultPlan::new`] with a seed.
+///
+/// ```
+/// use kh_sim::FabricFaultSpec;
+/// let spec = FabricFaultSpec::parse("drop:0.05,corrupt:0.01,crashsvc@10ms:3").unwrap();
+/// assert!(!spec.is_empty());
+/// assert_eq!(FabricFaultSpec::parse(&spec.to_string()).unwrap(), spec);
+/// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FabricFaultSpec {
     clauses: Vec<FabricClause>,
@@ -478,7 +502,7 @@ pub struct FabricFaultSpec {
 
 impl FabricFaultSpec {
     /// Parse a comma-separated clause list, e.g.
-    /// `drop:0.01,reorder:0.05,jitter:0.1:50us,partition@100ms:40ms:3`.
+    /// `drop:0.01,reorder:0.05,jitter:0.1:50us,corrupt:0.02,partition@100ms:40ms:3,crashsvc@50ms:2`.
     pub fn parse(spec: &str) -> Result<FabricFaultSpec, FaultParseError> {
         let mut clauses = Vec::new();
         for raw in spec.split(',') {
@@ -506,6 +530,16 @@ impl FabricFaultSpec {
                     .parse()
                     .map_err(|_| FaultParseError(format!("bad node in `{c}`")))?;
                 FabricClause::Partition(at, dur, node)
+            } else if let Some(rest) = c.strip_prefix("corrupt:") {
+                FabricClause::Corrupt(parse_prob(rest)?)
+            } else if let Some(rest) = c.strip_prefix("crashsvc@") {
+                let (at, node) = rest.split_once(':').ok_or_else(|| {
+                    FaultParseError(format!("`{c}` wants crashsvc@<time>:<node>"))
+                })?;
+                let node: u16 = node
+                    .parse()
+                    .map_err(|_| FaultParseError(format!("bad node in `{c}`")))?;
+                FabricClause::CrashSvc(parse_time(at)?, node)
             } else {
                 return Err(FaultParseError(format!("unknown fabric clause `{c}`")));
             };
@@ -532,6 +566,8 @@ impl fmt::Display for FabricFaultSpec {
                 FabricClause::Partition(t, d, n) => {
                     write!(f, "partition@{}ns:{}ns:{n}", t.as_nanos(), d.as_nanos())?
                 }
+                FabricClause::Corrupt(p) => write!(f, "corrupt:{p}")?,
+                FabricClause::CrashSvc(t, n) => write!(f, "crashsvc@{}ns:{n}", t.as_nanos())?,
             }
         }
         Ok(())
@@ -549,12 +585,21 @@ pub struct FabricFaultStats {
     pub frames_jittered: u64,
     /// Frames dropped because an endpoint was partitioned.
     pub partition_drops: u64,
+    /// Frames delivered with their payload mangled in transit.
+    pub frames_corrupted: u64,
+    /// Service-VM crashes injected.
+    pub svc_crashes: u64,
 }
 
 impl FabricFaultStats {
     /// Total injections across every kind.
     pub fn total(&self) -> u64 {
-        self.frames_dropped + self.frames_reordered + self.frames_jittered + self.partition_drops
+        self.frames_dropped
+            + self.frames_reordered
+            + self.frames_jittered
+            + self.partition_drops
+            + self.frames_corrupted
+            + self.svc_crashes
     }
 }
 
@@ -569,10 +614,13 @@ pub struct FabricFaultPlan {
     reorder_p: f64,
     jitter_p: f64,
     jitter_extra: Nanos,
+    corrupt_p: f64,
     partitions: Vec<(Nanos, Nanos, u16)>,
+    svc_crashes: Vec<SvcCrashEvent>,
     drop_rng: SimRng,
     reorder_rng: SimRng,
     jitter_rng: SimRng,
+    corrupt_rng: SimRng,
     pub stats: FabricFaultStats,
 }
 
@@ -588,11 +636,14 @@ impl FabricFaultPlan {
         let drop_rng = root.split(STREAM_FABRIC_DROP);
         let reorder_rng = root.split(STREAM_FABRIC_REORDER);
         let jitter_rng = root.split(STREAM_FABRIC_JITTER);
+        let corrupt_rng = root.split(STREAM_FABRIC_CORRUPT);
         let mut drop_p = 0.0;
         let mut reorder_p = 0.0;
         let mut jitter_p = 0.0;
+        let mut corrupt_p = 0.0;
         let mut jitter_extra = Nanos::ZERO;
         let mut partitions = Vec::new();
+        let mut svc_crashes = Vec::new();
         for clause in &spec.clauses {
             match *clause {
                 FabricClause::DropFrame(p) => drop_p = combine(drop_p, p),
@@ -601,20 +652,28 @@ impl FabricFaultPlan {
                     jitter_p = combine(jitter_p, p);
                     jitter_extra = jitter_extra.max(extra);
                 }
+                FabricClause::Corrupt(p) => corrupt_p = combine(corrupt_p, p),
                 FabricClause::Partition(at, dur, node) => {
                     partitions.push((at, at + dur, node));
                 }
+                FabricClause::CrashSvc(at, node) => {
+                    svc_crashes.push(SvcCrashEvent { at, node });
+                }
             }
         }
+        svc_crashes.sort_by_key(|e| (e.at, e.node));
         FabricFaultPlan {
             drop_p,
             reorder_p,
             jitter_p,
             jitter_extra,
+            corrupt_p,
             partitions,
+            svc_crashes,
             drop_rng,
             reorder_rng,
             jitter_rng,
+            corrupt_rng,
             stats: FabricFaultStats::default(),
         }
     }
@@ -624,7 +683,21 @@ impl FabricFaultPlan {
         self.drop_p == 0.0
             && self.reorder_p == 0.0
             && self.jitter_p == 0.0
+            && self.corrupt_p == 0.0
             && self.partitions.is_empty()
+            && self.svc_crashes.is_empty()
+    }
+
+    /// The scheduled service-VM crashes, sorted by (time, node). The
+    /// cluster schedules one recovery sequence per entry and reports
+    /// each via [`FabricFaultStats::svc_crashes`] when it fires.
+    pub fn svc_crash_events(&self) -> &[SvcCrashEvent] {
+        &self.svc_crashes
+    }
+
+    /// Record that a scheduled service-VM crash actually fired.
+    pub fn note_svc_crash(&mut self) {
+        self.stats.svc_crashes += 1;
     }
 
     /// The nodes named by any partition window (healthy-node tests use
@@ -656,6 +729,20 @@ impl FabricFaultPlan {
             true
         } else {
             false
+        }
+    }
+
+    /// Should this frame arrive with its payload mangled? Returns a
+    /// seeded salt the caller uses to pick which byte to flip, or
+    /// `None` when the frame passes clean. Corruption is a delivery
+    /// fault, not a drop: the frame still arrives (and still pays wire
+    /// time); the receiver is expected to catch it by checksum.
+    pub fn corrupt_frame(&mut self) -> Option<u64> {
+        if self.corrupt_p > 0.0 && self.corrupt_rng.chance(self.corrupt_p) {
+            self.stats.frames_corrupted += 1;
+            Some(self.corrupt_rng.next_u64())
+        } else {
+            None
         }
     }
 
@@ -833,6 +920,62 @@ mod tests {
         );
         assert!(FabricFaultSpec::parse("").unwrap().is_empty());
         assert!(FabricFaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn fabric_corrupt_and_crashsvc_parse_and_round_trip() {
+        let s = "corrupt:0.01,crashsvc@25000000ns:3,crashsvc@5000000ns:1";
+        let spec = FabricFaultSpec::parse(s).unwrap();
+        assert_eq!(spec.clauses.len(), 3);
+        assert_eq!(FabricFaultSpec::parse(&spec.to_string()).unwrap(), spec);
+        assert_eq!(
+            spec.clauses[1],
+            FabricClause::CrashSvc(Nanos::from_millis(25), 3)
+        );
+        assert!(FabricFaultSpec::parse("crashsvc@5ms").is_err(), "no node");
+        assert!(FabricFaultSpec::parse("crashsvc@5ms:x").is_err());
+        assert!(FabricFaultSpec::parse("corrupt:2").is_err(), "p > 1");
+        // Crash events come out sorted by time regardless of spec order.
+        let plan = FabricFaultPlan::new(&spec, 1);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.svc_crash_events(),
+            &[
+                SvcCrashEvent {
+                    at: Nanos::from_millis(5),
+                    node: 1
+                },
+                SvcCrashEvent {
+                    at: Nanos::from_millis(25),
+                    node: 3
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn fabric_corrupt_gate_is_seeded_and_counted() {
+        let spec = FabricFaultSpec::parse("corrupt:0.5").unwrap();
+        let draw = |seed| {
+            let mut p = FabricFaultPlan::new(&spec, seed);
+            let out: Vec<Option<u64>> = (0..64).map(|_| p.corrupt_frame()).collect();
+            (out, p.stats.frames_corrupted)
+        };
+        let (a, hits) = draw(7);
+        assert_eq!(draw(7), (a.clone(), hits), "same seed, same salts");
+        assert_ne!(draw(8).0, a, "different seed, different gate sequence");
+        assert!(hits > 0 && hits < 64, "p=0.5 should mix over 64 frames");
+        assert_eq!(hits, a.iter().filter(|s| s.is_some()).count() as u64);
+        // The corrupt stream is independent of the drop stream.
+        let both = FabricFaultSpec::parse("corrupt:0.5,drop:0.5").unwrap();
+        let mut p = FabricFaultPlan::new(&both, 7);
+        let interleaved: Vec<Option<u64>> = (0..64)
+            .map(|_| {
+                let _ = p.drop_frame();
+                p.corrupt_frame()
+            })
+            .collect();
+        assert_eq!(interleaved, a, "drop draws must not perturb corrupt");
     }
 
     #[test]

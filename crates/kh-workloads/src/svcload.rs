@@ -12,14 +12,31 @@
 //! virtio-net peering path; [`request_frame`]/[`response_frame`] embed
 //! the request id, originating client, and send timestamp so the
 //! receiving side can compute end-to-end latency without any side
-//! channel.
+//! channel. Since PR 5 the header also carries a frame kind (request /
+//! response / NACK), the attempt number, and an FNV-1a checksum over
+//! the whole frame, so a frame mangled in transit is *detected* and
+//! attributed ([`RequestOutcome::Corrupt`]) instead of being parsed as
+//! garbage. The reliability layer itself — deadline, bounded
+//! retransmits with seeded jittered backoff, optional hedging — is
+//! described by [`RetryPolicy`] and resolves every request into an
+//! explicit [`RequestOutcome`].
 
 use kh_arch::cpu::{AccessPattern, Phase};
 use kh_sim::{Nanos, SimRng};
 use serde::{Deserialize, Serialize};
 
-/// Frame header: request id (u64) + client index (u16) + send time (u64).
-pub const HEADER_BYTES: usize = 18;
+/// Frame header layout (little-endian):
+/// bytes 0..8 request id, 8..10 client index, 10..18 send time (ns),
+/// 18 frame kind, 19 attempt number, 20..24 FNV-1a-32 checksum
+/// computed over the whole frame with the checksum field zeroed.
+pub const HEADER_BYTES: usize = 24;
+
+/// Byte range of the checksum field inside the header.
+const CHECKSUM_RANGE: std::ops::Range<usize> = 20..24;
+
+/// Wire length of a NACK frame (shed notification) — minimum Ethernet
+/// frame sized, much smaller than a response, so shedding is cheap.
+pub const NACK_BYTES: usize = 64;
 
 /// Parameters of the open-loop service workload.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -121,45 +138,311 @@ impl Arrivals {
     }
 }
 
-fn header(id: u64, client: u16, sent: Nanos) -> [u8; HEADER_BYTES] {
-    let mut h = [0u8; HEADER_BYTES];
-    h[0..8].copy_from_slice(&id.to_le_bytes());
-    h[8..10].copy_from_slice(&client.to_le_bytes());
-    h[10..18].copy_from_slice(&sent.as_nanos().to_le_bytes());
+/// What a frame *is* — request, response, or a shed notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    Request,
+    Response,
+    /// Explicit admission-control rejection (load shed), so overload
+    /// is visible to the client instead of indistinguishable from loss.
+    Nack,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::Response => 1,
+            FrameKind::Nack => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<FrameKind> {
+        match b {
+            0 => Some(FrameKind::Request),
+            1 => Some(FrameKind::Response),
+            2 => Some(FrameKind::Nack),
+            _ => None,
+        }
+    }
+}
+
+/// The decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub id: u64,
+    pub client: u16,
+    pub sent: Nanos,
+    pub kind: FrameKind,
+    /// Which transmission attempt this frame belongs to (0 = first
+    /// send; responses and NACKs echo the attempt they answer).
+    pub attempt: u8,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than a header — not one of ours.
+    Truncated,
+    /// Checksum mismatch. The header fields are still reported when
+    /// they parse (fabric corruption flips payload bytes, so the id is
+    /// normally intact), letting the receiver attribute the damage to
+    /// a specific request instead of just counting a mystery frame.
+    Corrupt(Option<FrameHeader>),
+}
+
+/// FNV-1a over the whole frame with the checksum field read as zero.
+pub fn frame_checksum(frame: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for (i, &b) in frame.iter().enumerate() {
+        let b = if CHECKSUM_RANGE.contains(&i) { 0 } else { b };
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
     h
 }
 
-fn padded(id: u64, client: u16, sent: Nanos, bytes: usize) -> Vec<u8> {
-    let mut f = header(id, client, sent).to_vec();
-    f.resize(bytes.max(HEADER_BYTES), 0);
+fn build(hdr: FrameHeader, bytes: usize) -> Vec<u8> {
+    let mut f = vec![0u8; bytes.max(HEADER_BYTES)];
+    f[0..8].copy_from_slice(&hdr.id.to_le_bytes());
+    f[8..10].copy_from_slice(&hdr.client.to_le_bytes());
+    f[10..18].copy_from_slice(&hdr.sent.as_nanos().to_le_bytes());
+    f[18] = hdr.kind.to_byte();
+    f[19] = hdr.attempt;
     for (j, b) in f.iter_mut().enumerate().skip(HEADER_BYTES) {
-        let x = id
+        let x = hdr
+            .id
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(j as u64);
         *b = (x ^ (x >> 7)) as u8;
     }
+    let sum = frame_checksum(&f);
+    f[CHECKSUM_RANGE].copy_from_slice(&sum.to_le_bytes());
     f
 }
 
-/// Build the request frame for `(id, client, sent)`.
-pub fn request_frame(cfg: &SvcLoadConfig, id: u64, client: u16, sent: Nanos) -> Vec<u8> {
-    padded(id, client, sent, cfg.request_bytes)
+/// Build the request frame for `(id, client, sent)` on `attempt`.
+pub fn request_frame(
+    cfg: &SvcLoadConfig,
+    id: u64,
+    client: u16,
+    sent: Nanos,
+    attempt: u8,
+) -> Vec<u8> {
+    build(
+        FrameHeader {
+            id,
+            client,
+            sent,
+            kind: FrameKind::Request,
+            attempt,
+        },
+        cfg.request_bytes,
+    )
 }
 
 /// Build the response frame echoing the request's identity.
-pub fn response_frame(cfg: &SvcLoadConfig, id: u64, client: u16, sent: Nanos) -> Vec<u8> {
-    padded(id, client, sent, cfg.response_bytes)
+pub fn response_frame(
+    cfg: &SvcLoadConfig,
+    id: u64,
+    client: u16,
+    sent: Nanos,
+    attempt: u8,
+) -> Vec<u8> {
+    build(
+        FrameHeader {
+            id,
+            client,
+            sent,
+            kind: FrameKind::Response,
+            attempt,
+        },
+        cfg.response_bytes,
+    )
 }
 
-/// Parse `(id, client, sent)` back out of a frame.
-pub fn parse_header(frame: &[u8]) -> Option<(u64, u16, Nanos)> {
+/// Build the NACK frame a shedding server sends back for a request.
+pub fn nack_frame(id: u64, client: u16, sent: Nanos, attempt: u8) -> Vec<u8> {
+    build(
+        FrameHeader {
+            id,
+            client,
+            sent,
+            kind: FrameKind::Nack,
+            attempt,
+        },
+        NACK_BYTES,
+    )
+}
+
+/// Decode and checksum-verify a frame.
+pub fn decode_frame(frame: &[u8]) -> Result<FrameHeader, FrameError> {
     if frame.len() < HEADER_BYTES {
-        return None;
+        return Err(FrameError::Truncated);
     }
-    let id = u64::from_le_bytes(frame[0..8].try_into().ok()?);
-    let client = u16::from_le_bytes(frame[8..10].try_into().ok()?);
-    let sent = u64::from_le_bytes(frame[10..18].try_into().ok()?);
-    Some((id, client, Nanos(sent)))
+    let hdr = FrameKind::from_byte(frame[18]).map(|kind| FrameHeader {
+        id: u64::from_le_bytes(frame[0..8].try_into().unwrap()),
+        client: u16::from_le_bytes(frame[8..10].try_into().unwrap()),
+        sent: Nanos(u64::from_le_bytes(frame[10..18].try_into().unwrap())),
+        kind,
+        attempt: frame[19],
+    });
+    let stored = u32::from_le_bytes(frame[CHECKSUM_RANGE].try_into().unwrap());
+    if stored != frame_checksum(frame) {
+        return Err(FrameError::Corrupt(hdr));
+    }
+    hdr.ok_or(FrameError::Corrupt(None))
+}
+
+/// Parse `(id, client, sent)` back out of a clean frame. Compatibility
+/// shim over [`decode_frame`]; corrupt or truncated frames yield `None`.
+pub fn parse_header(frame: &[u8]) -> Option<(u64, u16, Nanos)> {
+    let h = decode_frame(frame).ok()?;
+    Some((h.id, h.client, h.sent))
+}
+
+/// Mangle one payload byte of `frame` in place, choosing the position
+/// from `salt` (a seeded draw by the fabric's corrupt gate). The header
+/// is left intact so the damage stays attributable; a frame with no
+/// payload gets its checksum field flipped instead, which decodes to
+/// the same verdict.
+pub fn corrupt_frame_payload(frame: &mut [u8], salt: u64) {
+    if frame.len() > HEADER_BYTES {
+        let span = frame.len() - HEADER_BYTES;
+        let at = HEADER_BYTES + (salt % span as u64) as usize;
+        frame[at] ^= 0xff;
+    } else if !frame.is_empty() {
+        let at = frame.len().min(CHECKSUM_RANGE.start + 1) - 1;
+        frame[at] ^= 0xff;
+    }
+}
+
+/// Client-side reliability policy: per-request deadline, bounded
+/// retransmits with exponential backoff + seeded jitter, and optional
+/// request hedging. All randomness comes from a per-request seed (see
+/// [`retry_seed`]) on its own `SimRng` stream, so arming the policy
+/// never perturbs arrivals, noise, or fabric fault draws — the
+/// cluster's determinism gates hold with retries on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total transmissions allowed per request, including the first.
+    pub max_attempts: u32,
+    /// End-to-end budget from first send; when it expires the request
+    /// resolves to a terminal [`RequestOutcome`].
+    pub deadline: Nanos,
+    /// Backoff before the first retransmit; doubles per attempt.
+    pub base_backoff: Nanos,
+    /// Cap on a single backoff step (pre-jitter).
+    pub max_backoff: Nanos,
+    /// Each step is stretched by `1 + jitter_frac * u`, `u ~ U[0,1)`
+    /// from the request's own stream, to decorrelate retry storms.
+    pub jitter_frac: f64,
+    /// When set, a duplicate (hedge) transmission fires this long
+    /// after the first send unless a response already arrived.
+    /// Benchmarks derive it from a fault-free baseline p99.
+    pub hedge_delay: Option<Nanos>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // The backoff floor must clear the *loaded* latency tail, not
+        // the median: a retransmit timer inside the queueing tail turns
+        // duplicates into extra load exactly when the system is slow,
+        // and the spurious-retry storm sheds more than the fault it was
+        // meant to cover (metastable failure). svcload's full profile
+        // tops out under ~5 ms end-to-end, so the first retransmit
+        // waits 10 ms.
+        RetryPolicy {
+            max_attempts: 4,
+            deadline: Nanos::from_millis(60),
+            base_backoff: Nanos::from_millis(10),
+            max_backoff: Nanos::from_millis(20),
+            jitter_frac: 0.25,
+            hedge_delay: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The retransmit delays for one request: `schedule[k]` is how long
+    /// after attempt `k`'s send attempt `k+1` fires (absent a response).
+    /// Deterministic per seed; at most `max_attempts - 1` entries;
+    /// monotone non-decreasing; cumulative sum strictly below the
+    /// deadline (a retransmit that could only land after the deadline
+    /// is never scheduled).
+    pub fn backoff_schedule(&self, seed: u64) -> Vec<Nanos> {
+        let mut rng = SimRng::new(seed);
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        let mut prev = 0u64;
+        for k in 0..self.max_attempts.saturating_sub(1) {
+            let doubled = self
+                .base_backoff
+                .as_nanos()
+                .checked_shl(k)
+                .unwrap_or(u64::MAX);
+            let capped = doubled.min(self.max_backoff.as_nanos());
+            let jittered =
+                (capped as f64 * (1.0 + self.jitter_frac.max(0.0) * rng.next_f64())) as u64;
+            let delay = jittered.max(prev);
+            cum = cum.saturating_add(delay);
+            if cum >= self.deadline.as_nanos() {
+                break;
+            }
+            out.push(Nanos(delay));
+            prev = delay;
+        }
+        out
+    }
+}
+
+/// Derive the per-request backoff seed from the cluster's retry root
+/// stream seed and the request id. Golden-ratio multiply so adjacent
+/// ids land in unrelated `SimRng` states.
+pub fn retry_seed(retry_root: u64, id: u64) -> u64 {
+    retry_root.wrapping_add(id.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// How a request's story ended. Every generated request resolves to
+/// exactly one of these, recorded next to its latency — there is no
+/// silent-loss path once the reliability layer is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Response received; `attempt` is the transmission that won.
+    Ok { attempt: u8 },
+    /// Response received, and the winning transmission was the hedge.
+    OkHedged { attempt: u8 },
+    /// Server shed the request (NACK) and no attempt succeeded.
+    Shed,
+    /// Deadline expired with attempts still outstanding.
+    DeadlineExceeded,
+    /// Every observed reply was checksum-corrupt.
+    Corrupt,
+    /// Lost with no reliability layer armed — the silent-drop case the
+    /// retry path exists to eliminate.
+    Failed,
+}
+
+impl RequestOutcome {
+    /// Stable short label used in CSV exports and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestOutcome::Ok { .. } => "ok",
+            RequestOutcome::OkHedged { .. } => "ok-hedged",
+            RequestOutcome::Shed => "shed",
+            RequestOutcome::DeadlineExceeded => "deadline",
+            RequestOutcome::Corrupt => "corrupt",
+            RequestOutcome::Failed => "failed",
+        }
+    }
+
+    /// Did the client get its answer?
+    pub fn is_ok(&self) -> bool {
+        matches!(
+            self,
+            RequestOutcome::Ok { .. } | RequestOutcome::OkHedged { .. }
+        )
+    }
 }
 
 #[cfg(test)]
@@ -193,23 +476,89 @@ mod tests {
     fn frames_round_trip_their_header() {
         let cfg = SvcLoadConfig::default();
         let sent = Nanos::from_micros(1234);
-        let req = request_frame(&cfg, 42, 3, sent);
+        let req = request_frame(&cfg, 42, 3, sent, 0);
         assert_eq!(req.len(), cfg.request_bytes);
         assert_eq!(parse_header(&req), Some((42, 3, sent)));
-        let resp = response_frame(&cfg, 42, 3, sent);
+        let h = decode_frame(&req).unwrap();
+        assert_eq!(h.kind, FrameKind::Request);
+        assert_eq!(h.attempt, 0);
+        let resp = response_frame(&cfg, 42, 3, sent, 2);
         assert_eq!(resp.len(), cfg.response_bytes);
         assert_eq!(parse_header(&resp), Some((42, 3, sent)));
-        assert!(parse_header(&resp[..10]).is_none(), "truncated header");
+        assert_eq!(decode_frame(&resp).unwrap().kind, FrameKind::Response);
+        assert_eq!(decode_frame(&resp).unwrap().attempt, 2);
+        assert_eq!(
+            decode_frame(&resp[..10]),
+            Err(FrameError::Truncated),
+            "truncated header"
+        );
+        assert!(parse_header(&resp[..10]).is_none());
+        let nack = nack_frame(42, 3, sent, 1);
+        assert_eq!(nack.len(), NACK_BYTES);
+        let h = decode_frame(&nack).unwrap();
+        assert_eq!((h.id, h.client, h.kind), (42, 3, FrameKind::Nack));
+    }
+
+    #[test]
+    fn corruption_is_detected_and_still_attributable() {
+        let cfg = SvcLoadConfig::default();
+        let sent = Nanos::from_micros(55);
+        for salt in [0u64, 1, 97, u64::MAX] {
+            let mut f = request_frame(&cfg, 9, 1, sent, 0);
+            corrupt_frame_payload(&mut f, salt);
+            match decode_frame(&f) {
+                Err(FrameError::Corrupt(Some(h))) => {
+                    assert_eq!((h.id, h.client, h.sent), (9, 1, sent));
+                }
+                other => panic!("corrupt frame decoded as {other:?}"),
+            }
+            assert!(parse_header(&f).is_none());
+        }
+        // Header-only frames (no payload to flip) are still caught.
+        let mut tiny = build(
+            FrameHeader {
+                id: 1,
+                client: 0,
+                sent,
+                kind: FrameKind::Nack,
+                attempt: 0,
+            },
+            HEADER_BYTES,
+        );
+        corrupt_frame_payload(&mut tiny, 3);
+        assert!(matches!(decode_frame(&tiny), Err(FrameError::Corrupt(_))));
     }
 
     #[test]
     fn padding_is_deterministic_per_request() {
         let cfg = SvcLoadConfig::default();
-        let a = request_frame(&cfg, 1, 0, Nanos(5));
-        let b = request_frame(&cfg, 1, 0, Nanos(5));
+        let a = request_frame(&cfg, 1, 0, Nanos(5), 0);
+        let b = request_frame(&cfg, 1, 0, Nanos(5), 0);
         assert_eq!(a, b);
-        let c = request_frame(&cfg, 2, 0, Nanos(5));
+        let c = request_frame(&cfg, 2, 0, Nanos(5), 0);
         assert_ne!(a[HEADER_BYTES..], c[HEADER_BYTES..]);
+        // The attempt byte changes the header (and checksum) only.
+        let d = request_frame(&cfg, 1, 0, Nanos(5), 1);
+        assert_eq!(a[HEADER_BYTES..], d[HEADER_BYTES..]);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn backoff_schedule_is_seeded_bounded_and_monotone() {
+        let p = RetryPolicy::default();
+        let s = p.backoff_schedule(retry_seed(11, 7));
+        assert_eq!(s, p.backoff_schedule(retry_seed(11, 7)));
+        assert_ne!(s, p.backoff_schedule(retry_seed(11, 8)));
+        assert!(s.len() <= (p.max_attempts - 1) as usize);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        let total: u64 = s.iter().map(|d| d.as_nanos()).sum();
+        assert!(total < p.deadline.as_nanos(), "never past the deadline");
+        // A tight deadline truncates the schedule entirely.
+        let tight = RetryPolicy {
+            deadline: Nanos::from_micros(1),
+            ..p
+        };
+        assert!(tight.backoff_schedule(1).is_empty());
     }
 
     #[test]

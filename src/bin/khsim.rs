@@ -56,7 +56,7 @@ USAGE:
   khsim parallel [--threads N] [--stack S] [--seed N] [--no-barrier]
   khsim cluster [--nodes N] [--workload svcload] [--stack S] [--seed N]
                 [--faults SPEC] [--fault-seed N] [--quick] [--ablation]
-                [--out FILE] [--jobs N]
+                [--retries] [--reliability] [--out FILE] [--jobs N]
   khsim figures [--trials N] [--seed N] [--jobs N]
   khsim trace [--workload W] [--stack S] [--routing primary|selective] [--out FILE]
   khsim list
@@ -71,12 +71,17 @@ OPTIONS:
   --faults      fault spec, e.g. crash@200ms,drop-mailbox:0.1,lose-irq:0.05
                 (`default` = the built-in storm); injected into a victim
                 secondary VM, never the benchmark. For `cluster` the spec
-                is a fabric spec: drop:P,reorder:P,jitter:P:EXTRA,
-                partition@T:DUR:NODE
+                is a fabric spec: drop:P,corrupt:P,reorder:P,
+                jitter:P:EXTRA,partition@T:DUR:NODE,crashsvc@T:NODE
   --nodes       cluster node count: first half clients, second half
                 servers (default 4)
   --quick       cluster: 50 ms load window instead of 200 ms
   --ablation    cluster: run both server stacks and print the comparison
+  --retries     cluster: arm the default RetryPolicy (deadline, seeded
+                backoff retransmits); lost requests retry instead of
+                silently failing
+  --reliability cluster: run the {{no-faults, drop, partition, crashsvc}}
+                x {{retries off/on}} matrix and print the sweep table
   --out         cluster/trace: write the per-request CSV here
   --fault-seed  u64 seed for the fault streams (default 1)
   --jobs        experiment-pool worker threads (default: KH_JOBS env var,
@@ -92,7 +97,10 @@ fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            if matches!(key, "no-barrier" | "quick" | "ablation") {
+            if matches!(
+                key,
+                "no-barrier" | "quick" | "ablation" | "retries" | "reliability"
+            ) {
                 map.insert(key.to_string(), "true".to_string());
                 continue;
             }
@@ -281,7 +289,7 @@ fn cmd_parallel(flags: &HashMap<String, String>) -> Option<()> {
 fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
     use kitten_hafnium::cluster::{self, ClusterConfig};
     use kitten_hafnium::sim::fault::FabricFaultSpec;
-    use kitten_hafnium::workloads::svcload::SvcLoadConfig;
+    use kitten_hafnium::workloads::svcload::{RetryPolicy, SvcLoadConfig};
 
     let workload = flags
         .get("workload")
@@ -315,9 +323,17 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
         println!("{}", cluster::render_cluster(&reports));
         return Some(());
     }
+    if flags.contains_key("reliability") {
+        let rows = cluster::reliability_matrix(nodes, seed, svcload, RetryPolicy::default());
+        println!("{}", cluster::render_reliability(&rows));
+        return Some(());
+    }
 
     let mut cfg = ClusterConfig::new(nodes, stack, seed);
     cfg.svcload = svcload;
+    if flags.contains_key("retries") {
+        cfg.retry = Some(RetryPolicy::default());
+    }
     if let Some(raw) = flags.get("faults") {
         let spec = match FabricFaultSpec::parse(raw) {
             Ok(s) => s,

@@ -321,4 +321,52 @@ mod cluster_determinism {
         assert_eq!(csv(5), csv(5), "same fault seed, same bytes");
         assert_ne!(csv(5).1, csv(6).1, "fault streams are seeded");
     }
+
+    /// The full reliability layer — retries with hedging, frame
+    /// corruption, and a service-VM crash with recovery — replays
+    /// byte-identically per seed. Retry/hedge randomness rides its own
+    /// per-request streams, so arming the policy is deterministic too.
+    #[test]
+    fn reliability_layer_replays_byte_identically() {
+        use kitten_hafnium::workloads::svcload::RetryPolicy;
+        let artifacts = |seed: u64| {
+            let mut cfg = quick(StackKind::HafniumKitten, seed);
+            cfg.faults = Some((
+                FabricFaultSpec::parse("drop:0.05,corrupt:0.02,crashsvc@10ms:3").unwrap(),
+                seed ^ 0xF,
+            ));
+            cfg.retry = Some(RetryPolicy {
+                hedge_delay: Some(kitten_hafnium::sim::Nanos::from_millis(2)),
+                ..RetryPolicy::default()
+            });
+            let r = cluster::run(&cfg);
+            assert!(r.reliability.retransmits > 0, "drops must trigger retries");
+            assert!(r.fault_stats.frames_corrupted > 0, "corrupt gate must fire");
+            assert_eq!(r.recoveries.len(), 1, "the crash must fire and recover");
+            (r.render(), r.csv())
+        };
+        assert_eq!(artifacts(21), artifacts(21), "same seed, same bytes");
+        assert_ne!(artifacts(21).1, artifacts(22).1);
+    }
+
+    /// The reliability fault matrix is worker-count independent: the
+    /// pooled sweep produces the same per-request traces for any jobs
+    /// value, which is what `khbench reliability` gates on in CI.
+    #[test]
+    fn reliability_matrix_is_identical_for_any_worker_count() {
+        use kitten_hafnium::workloads::svcload::RetryPolicy;
+        let fingerprint = |jobs: usize| {
+            pool::set_jobs(jobs);
+            let rows =
+                cluster::reliability_matrix(4, 13, SvcLoadConfig::quick(), RetryPolicy::default());
+            pool::set_jobs(1);
+            rows.iter()
+                .map(|(name, retries, r)| format!("{name},{retries}\n{}", r.csv()))
+                .collect::<Vec<_>>()
+        };
+        let serial = fingerprint(1);
+        for jobs in [2, 4] {
+            assert_eq!(serial, fingerprint(jobs), "jobs={jobs}");
+        }
+    }
 }

@@ -236,6 +236,103 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Retry backoff schedules (the cluster reliability layer)
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// A backoff schedule is a pure function of (policy, seed): replaying
+    /// the same seed yields the same delays, and nearby seeds diverge
+    /// often enough that retry storms decorrelate.
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        base_us in 100u64..5_000,
+        jitter in 0.0f64..1.0,
+    ) {
+        use kitten_hafnium::workloads::svcload::RetryPolicy;
+        let policy = RetryPolicy {
+            base_backoff: Nanos::from_micros(base_us),
+            jitter_frac: jitter,
+            ..RetryPolicy::default()
+        };
+        prop_assert_eq!(policy.backoff_schedule(seed), policy.backoff_schedule(seed));
+    }
+
+    /// For any policy shape, the schedule is bounded by the attempt
+    /// budget, monotone non-decreasing (doubling with jitter clamped to
+    /// never shrink), and its cumulative sum stays below the deadline —
+    /// a retransmit that could only land post-deadline is never scheduled.
+    #[test]
+    fn backoff_schedule_is_bounded_and_monotone(
+        seed in any::<u64>(),
+        max_attempts in 1u32..12,
+        base_us in 1u64..20_000,
+        max_us in 1u64..50_000,
+        deadline_us in 1u64..100_000,
+        jitter in 0.0f64..2.0,
+    ) {
+        use kitten_hafnium::workloads::svcload::RetryPolicy;
+        let policy = RetryPolicy {
+            max_attempts,
+            deadline: Nanos::from_micros(deadline_us),
+            base_backoff: Nanos::from_micros(base_us),
+            max_backoff: Nanos::from_micros(max_us),
+            jitter_frac: jitter,
+            hedge_delay: None,
+        };
+        let schedule = policy.backoff_schedule(seed);
+        prop_assert!(schedule.len() <= max_attempts.saturating_sub(1) as usize);
+        let mut cum = 0u64;
+        let mut prev = Nanos::ZERO;
+        for &delay in &schedule {
+            prop_assert!(delay >= prev, "schedule must be monotone non-decreasing");
+            prev = delay;
+            cum += delay.as_nanos();
+        }
+        prop_assert!(
+            cum < policy.deadline.as_nanos(),
+            "cumulative backoff {cum} must stay below the deadline"
+        );
+    }
+
+    /// Frame integrity: flipping any single byte of a well-formed
+    /// request frame is always caught by the header checksum (FNV-1a's
+    /// per-byte xor-then-multiply step is injective in the byte, so a
+    /// one-byte delta can never collide).
+    #[test]
+    fn any_single_byte_flip_is_detected(
+        id in any::<u64>(),
+        client in any::<u16>(),
+        sent_us in 0u64..1_000_000,
+        pos_sel in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        use kitten_hafnium::workloads::svcload::{decode_frame, request_frame, SvcLoadConfig};
+        let cfg = SvcLoadConfig::default();
+        let clean = request_frame(&cfg, id, client, Nanos::from_micros(sent_us), 0);
+        prop_assert!(decode_frame(&clean).is_ok());
+        let mut frame = clean;
+        let pos = (pos_sel % frame.len() as u64) as usize;
+        frame[pos] ^= flip;
+        prop_assert!(decode_frame(&frame).is_err(), "byte {pos} flip slipped through");
+    }
+
+    /// The per-request seed derivation spreads adjacent request ids into
+    /// unrelated streams: consecutive ids get different first delays
+    /// somewhere in any modest window (no lockstep retry storms).
+    #[test]
+    fn retry_seeds_decorrelate_adjacent_requests(root in any::<u64>()) {
+        use kitten_hafnium::workloads::svcload::{retry_seed, RetryPolicy};
+        let policy = RetryPolicy::default();
+        let firsts: Vec<u64> = (0..16u64)
+            .map(|id| policy.backoff_schedule(retry_seed(root, id))[0].as_nanos())
+            .collect();
+        let distinct: std::collections::HashSet<_> = firsts.iter().collect();
+        prop_assert!(distinct.len() > 1, "adjacent requests retry in lockstep");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Shared ring + virtqueue (the paravirtual I/O substrates)
 // ---------------------------------------------------------------------
 
