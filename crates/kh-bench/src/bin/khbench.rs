@@ -26,6 +26,15 @@
 //! goodput-with-retries >= 99% under 5% frame loss (where retries-off
 //! measurably loses requests), and crash recovery inside the
 //! detect+restart budget. Writes `BENCH_cluster_reliability.json`.
+//!
+//! `khbench scenario` runs the traffic-scenario cell: the fan-out degree
+//! sweep (both server stacks x degrees, p99 amplification over the
+//! single-tier baseline) and the HPC-colocation comparison. It gates on
+//! byte-identical traces across `--jobs 1/2/N` and same-seed reruns,
+//! amplification >= 1 at every degree with Kitten's amplification never
+//! above Linux's, and bit-identical noise histograms on every
+//! non-colocated node when a neighbor is armed. Writes
+//! `BENCH_cluster_scenario.json`.
 
 use kh_arch::mmu::{two_stage_translate, AccessKind, MemAttr, PagePerms, Stage1Table, Stage2Table};
 use kh_arch::platform::Platform;
@@ -55,16 +64,18 @@ USAGE:
   khbench perf [--quick] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench cluster [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench reliability [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+  khbench scenario [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
 
 OPTIONS:
   --quick    smaller trial counts / fewer repeats (CI smoke profile)
-  --nodes    cluster node count                    (default 4)
+  --nodes    cluster node count                    (default 4, scenario 8)
   --jobs     pooled worker count (default: KH_JOBS env, then host cores)
   --seed     base seed for all cells               (default 0x5C21)
   --repeats  timed repeats per cell after 1 warmup (default 5, quick 3)
   --out      output JSON path (default BENCH_parallel_walkcache.json,
              cluster: BENCH_cluster_svcload.json,
-             reliability: BENCH_cluster_reliability.json)"
+             reliability: BENCH_cluster_reliability.json,
+             scenario: BENCH_cluster_scenario.json)"
     );
     ExitCode::from(2)
 }
@@ -709,6 +720,241 @@ fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
     Some(())
 }
 
+/// `khbench scenario`: the traffic-scenario cell — fan-out amplification
+/// sweep plus the HPC-colocation comparison — with the determinism,
+/// amplification-ordering, and noise-isolation gates baked into the
+/// exit code.
+fn cmd_scenario(flags: &HashMap<String, String>) -> Option<()> {
+    use kh_cluster::figures::{
+        colocation_compare, fanout_amplification, fanout_sweep, render_colocation, render_fanout,
+    };
+    use kh_cluster::ClusterReport;
+    use kh_scenario::Scenario;
+    use kh_workloads::svcload::SvcLoadConfig;
+
+    let quick = flags.contains_key("quick");
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(8))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(kh_bench::SEED))?;
+    let repeats: usize = flags
+        .get("repeats")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(if quick { 3 } else { 5 }))?;
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster_scenario.json".to_string());
+    let jobs = match flags.get("jobs") {
+        Some(j) => j.parse().ok().filter(|&n| n >= 1)?,
+        None => kh_core::pool::jobs(),
+    };
+    let svcload = if quick {
+        SvcLoadConfig::quick()
+    } else {
+        SvcLoadConfig::default()
+    };
+    let degrees: Vec<usize> = if quick {
+        vec![0, 1, 3]
+    } else {
+        vec![0, 1, 2, 3]
+    };
+    // Degree 0 is the single-tier baseline the amplification normalizes
+    // against. The arrival gap keeps the deepest fan-out subcritical:
+    // at degree f every request costs 1+f service phases, and the tail
+    // comparison is only meaningful below saturation — a queue growing
+    // for the whole window measures the window, not the stacks. Service
+    // is deterministic so OS noise is the only stack difference (the
+    // paper's comparison); heavy-tailed multipliers would swamp the
+    // stack effect with stack-identical randomness.
+    let sweep_spec = Scenario::parse("arrive=exp:2ms,svc=det,backend=det").expect("builtin");
+    let clients = (nodes / 2).max(1);
+    let victim = clients + (nodes - clients) / 2; // middle of the server half
+    let colo_spec = Scenario::parse(&format!("arrive=exp:800us,svc=exp,colocate=hpcg:{victim}"))
+        .expect("builtin");
+    eprintln!(
+        "khbench scenario: nodes={nodes} jobs={jobs} quick={quick} seed={seed:#x} degrees={degrees:?}"
+    );
+    eprintln!("sweep spec: {sweep_spec}");
+    eprintln!("colocation spec: {colo_spec}");
+
+    type SweepRow = (StackKind, usize, ClusterReport);
+    type ColoRow = (StackKind, bool, ClusterReport);
+    let fingerprint = |sweep: &[SweepRow], colo: &[ColoRow]| -> String {
+        sweep
+            .iter()
+            .map(|(_, _, r)| r.csv())
+            .chain(colo.iter().map(|(_, _, r)| r.csv()))
+            .collect::<Vec<_>>()
+            .join("---\n")
+    };
+    let run_all = |workers: usize| -> (Vec<SweepRow>, Vec<ColoRow>) {
+        kh_core::pool::set_jobs(workers);
+        (
+            fanout_sweep(nodes, seed, svcload, &sweep_spec, &degrees),
+            colocation_compare(nodes, seed, svcload, &colo_spec),
+        )
+    };
+
+    // Gate 1 — determinism: --jobs 1, 2, and N plus a same-seed rerun
+    // must all produce byte-identical per-request traces (tier and
+    // fanout columns included).
+    let (s1, c1) = run_all(1);
+    let (s2, c2) = run_all(2);
+    let (sweep, colo) = run_all(jobs);
+    let (sr, cr) = run_all(jobs);
+    let fp = fingerprint(&s1, &c1);
+    let deterministic = !fp.is_empty()
+        && fp == fingerprint(&s2, &c2)
+        && fp == fingerprint(&sweep, &colo)
+        && fp == fingerprint(&sr, &cr);
+    eprintln!("determinism (jobs 1 == 2 == {jobs} == rerun): {deterministic}");
+
+    // Gate 2 — amplification: every degree's p99 is at least its stack's
+    // single-tier baseline, and Kitten's amplification never exceeds
+    // Linux's at the same degree.
+    let amps = fanout_amplification(&sweep);
+    let amplification_gate = amps
+        .iter()
+        .all(|(_, _, amp)| amp.is_finite() && *amp >= 1.0 - 1e-9);
+    // The amplified p99 itself, per degree — not the ratio: the stack
+    // with the tighter single-tier baseline always shows the larger
+    // *relative* amplification, so the ratio would punish Kitten for
+    // having a cleaner denominator.
+    let kitten_p99_le_linux = degrees.iter().all(|d| {
+        let p99_of = |stack: StackKind| {
+            sweep
+                .iter()
+                .find(|(s, deg, _)| *s == stack && deg == d)
+                .map(|(_, _, r)| r.latency.p99())
+                .unwrap_or(f64::NAN)
+        };
+        p99_of(StackKind::HafniumKitten) <= p99_of(StackKind::HafniumLinux) + 1e-9
+    });
+
+    // Gate 3 — noise isolation: arming the neighbor must not move a
+    // single noise-histogram bucket on any non-colocated node.
+    let noise_gate = colo.chunks(2).all(|pair| {
+        let (clean, armed) = (&pair[0].2, &pair[1].2);
+        let hpc = &armed.scenario.as_ref().expect("scenario run").hpc_nodes;
+        clean
+            .per_node
+            .iter()
+            .zip(armed.per_node.iter())
+            .all(|(c, a)| hpc.contains(&c.index) || c.noise_hist == a.noise_hist)
+    });
+    // And the neighbor must actually hurt: colocated p99 >= clean p99.
+    let colocation_bites = colo
+        .chunks(2)
+        .all(|pair| pair[1].2.latency.p99() >= pair[0].2.latency.p99());
+    eprintln!(
+        "gates: deterministic={deterministic} amplification_gate={amplification_gate} \
+         kitten_p99_le_linux={kitten_p99_le_linux} noise_gate={noise_gate} \
+         colocation_bites={colocation_bites}"
+    );
+    eprintln!("{}", render_fanout(&sweep));
+    eprintln!("{}", render_colocation(&colo));
+
+    // Wall clock for the sweep at the requested worker count.
+    kh_core::pool::set_jobs(jobs);
+    let wall_ns = time_median(repeats, || {
+        let rows = fanout_sweep(nodes, seed, svcload, &sweep_spec, &degrees);
+        assert_eq!(rows.len(), sweep.len());
+    });
+    eprintln!(
+        "sweep: median {:.2} ms over {repeats} repeats",
+        wall_ns as f64 / 1e6
+    );
+
+    let sweep_rows: Vec<String> = sweep
+        .iter()
+        .zip(&amps)
+        .map(|((stack, d, r), (_, _, amp))| {
+            let s = r.scenario.as_ref().expect("scenario run");
+            format!(
+                "    {{ \"stack\": \"{}\", \"fanout\": {d}, \"sent\": {}, \"completed\": {}, \
+                 \"legs_sent\": {}, \"legs_ok\": {}, \"joins_ok\": {}, \
+                 \"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"p99_amplification\": {amp:.6} }}",
+                stack.label(),
+                r.sent,
+                r.completed,
+                s.legs_sent,
+                s.legs_ok,
+                s.joins_ok,
+                r.latency.median(),
+                r.latency.p99(),
+            )
+        })
+        .collect();
+    let colo_rows: Vec<String> = colo
+        .iter()
+        .map(|(stack, armed, r)| {
+            let s = r.scenario.as_ref().expect("scenario run");
+            format!(
+                "    {{ \"stack\": \"{}\", \"colocated\": {armed}, \"hpc_nodes\": {:?}, \
+                 \"hpc_quanta\": {}, \"hpc_busy_ns\": {}, \"sent\": {}, \"completed\": {}, \
+                 \"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"p999_ns\": {:.0} }}",
+                stack.label(),
+                s.hpc_nodes,
+                s.hpc_quanta,
+                s.hpc_busy.as_nanos(),
+                r.sent,
+                r.completed,
+                r.latency.median(),
+                r.latency.p99(),
+                r.latency.p999(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"khbench-cluster-scenario-v1\",\n  \"quick\": {quick},\n  \
+         \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"jobs\": {jobs},\n  \
+         \"repeats\": {repeats},\n  \"sweep_spec\": \"{sweep_spec}\",\n  \
+         \"colocation_spec\": \"{colo_spec}\",\n  \
+         \"sweep_median_wall_ns\": {wall_ns},\n  \
+         \"deterministic\": {deterministic},\n  \
+         \"amplification_gate_met\": {amplification_gate},\n  \
+         \"kitten_p99_le_linux\": {kitten_p99_le_linux},\n  \
+         \"noise_isolation_gate_met\": {noise_gate},\n  \
+         \"colocation_bites\": {colocation_bites},\n  \
+         \"sweep\": [\n{}\n  ],\n  \"colocation\": [\n{}\n  ]\n}}\n",
+        sweep_rows.join(",\n"),
+        colo_rows.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return None;
+    }
+    eprintln!("wrote {out_path}");
+    if !deterministic {
+        eprintln!(
+            "error: scenario traces diverged across reruns/worker counts — determinism broken"
+        );
+        return None;
+    }
+    if !amplification_gate {
+        eprintln!("error: fan-out failed to amplify the tail over the single-tier baseline");
+        return None;
+    }
+    if !kitten_p99_le_linux {
+        eprintln!("error: Kitten amplified p99 exceeded Linux at some fan-out degree");
+        return None;
+    }
+    if !noise_gate {
+        eprintln!("error: an HPC neighbor moved a non-colocated node's noise histogram");
+        return None;
+    }
+    if !colocation_bites {
+        eprintln!("error: the HPC neighbor left the colocated tail unchanged — the model is inert");
+        return None;
+    }
+    Some(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -721,6 +967,7 @@ fn main() -> ExitCode {
         "perf" => cmd_perf(&flags),
         "cluster" => cmd_cluster(&flags),
         "reliability" => cmd_reliability(&flags),
+        "scenario" => cmd_scenario(&flags),
         _ => None,
     };
     match ok {

@@ -15,11 +15,13 @@
 
 use crate::fabric::{Fabric, FabricStats, DEFAULT_QUEUE_DEPTH};
 use crate::node::{Node, NodeStats, Role};
+use crate::scenario::ScenarioStats;
 use kh_arch::platform::Platform;
 use kh_core::config::StackKind;
 use kh_metrics::hist::LogHistogram;
 use kh_metrics::outcome::OutcomeCounters;
 use kh_metrics::table::Table;
+use kh_scenario::Scenario;
 use kh_sim::{EventQueue, FabricFaultPlan, FabricFaultSpec, FabricFaultStats, Nanos, SimRng};
 use kh_virtio::LinkProfile;
 use kh_workloads::svcload::{
@@ -55,6 +57,9 @@ pub struct ClusterConfig {
     pub detect_latency: Nanos,
     /// Service-core time a restart costs (stage-2 rebuild, reboot).
     pub restart_cost: Nanos,
+    /// Traffic scenario. When set, [`run`] dispatches to the multi-tier
+    /// executor in [`crate::scenario`] instead of the svcload loop.
+    pub scenario: Option<Scenario>,
 }
 
 impl ClusterConfig {
@@ -72,6 +77,7 @@ impl ClusterConfig {
             admission_limit: DEFAULT_ADMISSION_LIMIT,
             detect_latency: Nanos::from_millis(1),
             restart_cost: Nanos::from_millis(2),
+            scenario: None,
         }
     }
 
@@ -101,6 +107,10 @@ pub struct RequestRecord {
     pub attempts: u32,
     /// How the request's story ended.
     pub outcome: RequestOutcome,
+    /// 0 = client-facing request, 1 = a backend leg of a fan-out.
+    pub tier: u8,
+    /// Fan-out degree of the request's tree (0 = single-tier).
+    pub fanout: u16,
 }
 
 /// Aggregate reliability-layer counters for one run.
@@ -171,6 +181,8 @@ pub struct ClusterReport {
     pub reliability: ReliabilityStats,
     /// One entry per `crashsvc` fault that fired.
     pub recoveries: Vec<RecoveryRecord>,
+    /// Multi-tier counters; Some only for scenario runs.
+    pub scenario: Option<ScenarioStats>,
     /// Virtual time of the last event processed.
     pub elapsed: Nanos,
 }
@@ -241,7 +253,13 @@ fn transmit_request(
 }
 
 /// Run the svcload workload over a freshly booted cluster.
+///
+/// With `cfg.scenario` set, dispatches to the multi-tier executor
+/// instead; everything below is the single-tier svcload loop.
 pub fn run(cfg: &ClusterConfig) -> ClusterReport {
+    if let Some(scn) = &cfg.scenario {
+        return crate::scenario::run_scenario(cfg, scn);
+    }
     let clients = cfg.clients();
     let servers = cfg.servers();
     let total = clients + servers;
@@ -332,6 +350,8 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                     attempts: 1,
                     // Placeholder until a terminal outcome resolves it.
                     outcome: RequestOutcome::Failed,
+                    tier: 0,
+                    fanout: 0,
                 });
                 sent += 1;
                 let mut st = ReqState {
@@ -648,6 +668,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
         fault_stats: fabric.faults.stats,
         reliability: rel,
         recoveries,
+        scenario: None,
         elapsed,
     }
 }
@@ -755,14 +776,39 @@ impl ClusterReport {
                 rec.downtime().as_nanos(),
             ));
         }
+        if let Some(s) = &self.scenario {
+            out.push_str(&format!(
+                "scenario: {} (effective fanout {})\n  legs: {} sent, {} ok, {} shed, {} failed, {} late; joins: {} ok, {} failed\n  tier1 p50/p99 us: {}/{}\n",
+                s.spec,
+                s.fanout,
+                s.legs_sent,
+                s.legs_ok,
+                s.legs_shed,
+                s.legs_failed,
+                s.late_legs,
+                s.joins_ok,
+                s.joins_failed,
+                us(s.tier1.median()),
+                us(s.tier1.p99()),
+            ));
+            if !s.hpc_nodes.is_empty() {
+                out.push_str(&format!(
+                    "  hpc neighbors on {:?}: {} quanta, {:.1}ms busy below horizon\n",
+                    s.hpc_nodes,
+                    s.hpc_quanta,
+                    s.hpc_busy.as_nanos() as f64 / 1e6,
+                ));
+            }
+        }
         out
     }
 
     /// The per-request trace as CSV — the byte-identity artifact the
     /// determinism tests (and `khsim cluster --out`) compare.
     pub fn csv(&self) -> String {
-        let mut s =
-            String::from("req,client,server,sent_ns,completed_ns,latency_ns,attempts,outcome\n");
+        let mut s = String::from(
+            "req,client,server,sent_ns,completed_ns,latency_ns,attempts,outcome,tier,fanout\n",
+        );
         for r in &self.records {
             let (done, lat) = match r.completed {
                 Some(c) => (
@@ -772,7 +818,7 @@ impl ClusterReport {
                 None => (String::new(), String::new()),
             };
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{}\n",
                 r.id,
                 r.client,
                 r.server,
@@ -781,6 +827,8 @@ impl ClusterReport {
                 lat,
                 r.attempts,
                 r.outcome.label(),
+                r.tier,
+                r.fanout,
             ));
         }
         s

@@ -10,6 +10,7 @@ use crate::cluster::{self, ClusterConfig, ClusterReport};
 use kh_core::config::StackKind;
 use kh_core::pool::Pool;
 use kh_metrics::table::Table;
+use kh_scenario::Scenario;
 use kh_sim::FabricFaultSpec;
 use kh_workloads::svcload::{RetryPolicy, SvcLoadConfig};
 
@@ -143,6 +144,155 @@ pub fn render_reliability(rows: &[(String, bool, ClusterReport)]) -> String {
     t.render()
 }
 
+/// Run the fan-out sweep: both server stacks × the given degrees, under
+/// the same scenario otherwise. Degree 0 rows are the single-tier
+/// baselines the amplification figures normalize against. Pooled and
+/// deterministic for any worker count; rows come back in
+/// (stack-major, degree-minor) order.
+pub fn fanout_sweep(
+    nodes: usize,
+    seed: u64,
+    svcload: SvcLoadConfig,
+    base: &Scenario,
+    degrees: &[usize],
+) -> Vec<(StackKind, usize, ClusterReport)> {
+    let combos: Vec<(StackKind, usize)> = ARMS
+        .iter()
+        .flat_map(|&stack| degrees.iter().map(move |&d| (stack, d)))
+        .collect();
+    let reports = Pool::with_default_jobs().run_indexed(combos.len(), |i| {
+        let (stack, degree) = combos[i];
+        let mut scn = base.clone();
+        scn.fanout = degree;
+        let mut cfg = ClusterConfig::new(nodes, stack, seed);
+        cfg.svcload = svcload;
+        cfg.scenario = Some(scn);
+        cluster::run(&cfg)
+    });
+    combos
+        .into_iter()
+        .zip(reports)
+        .map(|((stack, d), r)| (stack, d, r))
+        .collect()
+}
+
+/// p99 amplification of each sweep row over its stack's first (lowest
+/// degree) row — the figure's y-axis.
+pub fn fanout_amplification(
+    rows: &[(StackKind, usize, ClusterReport)],
+) -> Vec<(StackKind, usize, f64)> {
+    rows.iter()
+        .map(|(stack, d, r)| {
+            let base = rows
+                .iter()
+                .find(|(s, _, _)| s == stack)
+                .map(|(_, _, b)| b.latency.p99())
+                .unwrap_or(f64::NAN);
+            (*stack, *d, r.latency.p99() / base)
+        })
+        .collect()
+}
+
+/// Render the fan-out sweep as the paper-style table.
+pub fn render_fanout(rows: &[(StackKind, usize, ClusterReport)]) -> String {
+    let us = |v: f64| {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.1}", v / 1_000.0)
+        }
+    };
+    let nodes = rows.first().map(|(_, _, r)| r.nodes).unwrap_or(0);
+    let amps = fanout_amplification(rows);
+    let mut t = Table::new(
+        format!("scenario fan-out sweep, {nodes} nodes"),
+        &["fanout", "sent", "done", "p50 us", "p99 us", "p99 amp"],
+    );
+    for ((stack, d, r), (_, _, amp)) in rows.iter().zip(&amps) {
+        t.row(
+            format!("{} f={d}", stack.label()),
+            vec![
+                d.to_string(),
+                r.sent.to_string(),
+                r.completed.to_string(),
+                us(r.latency.median()),
+                us(r.latency.p99()),
+                format!("{amp:.2}"),
+            ],
+        );
+    }
+    t.render()
+}
+
+/// Run the colocation comparison: both server stacks × {clean, with the
+/// scenario's HPC neighbors}. The scenario must carry a `colocate`
+/// clause; the clean arm strips it and changes nothing else.
+pub fn colocation_compare(
+    nodes: usize,
+    seed: u64,
+    svcload: SvcLoadConfig,
+    scn: &Scenario,
+) -> Vec<(StackKind, bool, ClusterReport)> {
+    let combos: Vec<(StackKind, bool)> = ARMS
+        .iter()
+        .flat_map(|&stack| [(stack, false), (stack, true)])
+        .collect();
+    let reports = Pool::with_default_jobs().run_indexed(combos.len(), |i| {
+        let (stack, colocated) = combos[i];
+        let mut scn = scn.clone();
+        if !colocated {
+            scn.colocate = None;
+        }
+        let mut cfg = ClusterConfig::new(nodes, stack, seed);
+        cfg.svcload = svcload;
+        cfg.scenario = Some(scn);
+        cluster::run(&cfg)
+    });
+    combos
+        .into_iter()
+        .zip(reports)
+        .map(|((stack, c), r)| (stack, c, r))
+        .collect()
+}
+
+/// Render the colocation comparison as a table.
+pub fn render_colocation(rows: &[(StackKind, bool, ClusterReport)]) -> String {
+    let us = |v: f64| {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.1}", v / 1_000.0)
+        }
+    };
+    let nodes = rows.first().map(|(_, _, r)| r.nodes).unwrap_or(0);
+    let mut t = Table::new(
+        format!("scenario HPC colocation, {nodes} nodes"),
+        &["neighbor", "sent", "done", "p50 us", "p99 us", "p999 us"],
+    );
+    for (stack, colocated, r) in rows {
+        let neighbor = if *colocated {
+            r.scenario
+                .as_ref()
+                .map(|s| format!("{:?}", s.hpc_nodes))
+                .unwrap_or_else(|| "on".to_string())
+        } else {
+            "none".to_string()
+        };
+        t.row(
+            format!("{}{}", stack.label(), if *colocated { "+hpc" } else { "" }),
+            vec![
+                neighbor,
+                r.sent.to_string(),
+                r.completed.to_string(),
+                us(r.latency.median()),
+                us(r.latency.p99()),
+                us(r.latency.p999()),
+            ],
+        );
+    }
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +339,60 @@ mod tests {
             pool::set_jobs(1);
             rows.iter()
                 .map(|(n, retries, r)| format!("{n},{retries}\n{}", r.csv()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fingerprint(1), fingerprint(2));
+    }
+
+    #[test]
+    fn fanout_sweep_amplifies_the_tail() {
+        let scn = Scenario::parse("arrive=exp:800us,svc=det,backend=exp").unwrap();
+        let rows = fanout_sweep(8, 7, SvcLoadConfig::quick(), &scn, &[0, 2]);
+        assert_eq!(rows.len(), 4, "2 stacks x 2 degrees");
+        let amps = fanout_amplification(&rows);
+        for (stack, d, amp) in &amps {
+            if *d == 0 {
+                assert!((amp - 1.0).abs() < 1e-9, "{stack:?} baseline amp {amp}");
+            } else {
+                assert!(
+                    *amp >= 1.0,
+                    "{stack:?} f={d}: fan-out joins wait on the slowest leg (amp {amp})"
+                );
+            }
+        }
+        let table = render_fanout(&rows);
+        assert!(table.contains("p99 amp"));
+    }
+
+    #[test]
+    fn colocation_compare_strips_only_the_neighbor() {
+        let scn = Scenario::parse("arrive=exp:700us,svc=exp,colocate=hpcg:5").unwrap();
+        let rows = colocation_compare(8, 9, SvcLoadConfig::quick(), &scn);
+        assert_eq!(rows.len(), 4, "2 stacks x clean/colocated");
+        for pair in rows.chunks(2) {
+            let (clean, colo) = (&pair[0].2, &pair[1].2);
+            assert!(!pair[0].1 && pair[1].1);
+            assert_eq!(clean.sent, colo.sent, "open loop: same offered load");
+            assert!(colo.latency.p99() >= clean.latency.p99());
+            assert!(clean.scenario.as_ref().unwrap().hpc_nodes.is_empty());
+            assert_eq!(colo.scenario.as_ref().unwrap().hpc_nodes, vec![5]);
+        }
+        let table = render_colocation(&rows);
+        assert!(table.contains("+hpc"));
+    }
+
+    #[test]
+    fn scenario_figures_are_worker_count_independent() {
+        let scn = Scenario::parse("arrive=exp:800us,backend=exp,colocate=hpcg:6").unwrap();
+        let fingerprint = |jobs| {
+            pool::set_jobs(jobs);
+            let sweep = fanout_sweep(8, 11, SvcLoadConfig::quick(), &scn, &[1, 2]);
+            let colo = colocation_compare(8, 11, SvcLoadConfig::quick(), &scn);
+            pool::set_jobs(1);
+            sweep
+                .iter()
+                .map(|(_, _, r)| r.csv())
+                .chain(colo.iter().map(|(_, _, r)| r.csv()))
                 .collect::<Vec<_>>()
         };
         assert_eq!(fingerprint(1), fingerprint(2));

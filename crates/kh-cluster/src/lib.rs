@@ -21,8 +21,12 @@
 //!   admission control, crash recovery), and [`ClusterReport`]
 //!   (latency histogram, per-request CSV trace with terminal outcomes,
 //!   per-node noise);
+//! - [`scenario`] — the multi-tier executor behind `kh_scenario`
+//!   specs: frontend fan-out to backends, wait-for-all or quorum-k
+//!   joins, and HPC noisy neighbors colocated on designated nodes;
 //! - [`figures`] — the Kitten-vs-Linux server ablation under identical
-//!   offered load, plus the reliability fault-matrix sweep.
+//!   offered load, plus the reliability fault-matrix sweep and the
+//!   scenario fan-out/colocation figures.
 //!
 //! Everything is a pure function of `(config, seed)`: same seed, same
 //! bytes out — across worker counts, and with fault injection armed.
@@ -31,6 +35,7 @@ pub mod cluster;
 pub mod fabric;
 pub mod figures;
 pub mod node;
+pub mod scenario;
 
 pub use cluster::{
     run, ClusterConfig, ClusterReport, NodeReport, RecoveryRecord, ReliabilityStats, RequestRecord,
@@ -38,7 +43,9 @@ pub use cluster::{
 };
 pub use fabric::{Delivery, Fabric, FabricStats, PortStats, DEFAULT_QUEUE_DEPTH};
 pub use figures::{
-    ablation_cluster, reliability_matrix, reliability_scenarios, render_cluster,
-    render_reliability, ARMS,
+    ablation_cluster, colocation_compare, fanout_amplification, fanout_sweep, reliability_matrix,
+    reliability_scenarios, render_cluster, render_colocation, render_fanout, render_reliability,
+    ARMS,
 };
 pub use node::{Node, NodeStats, Role};
+pub use scenario::{run_scenario, ScenarioStats};

@@ -1,0 +1,763 @@
+//! Scenario executor: multi-tier traffic over the booted cluster.
+//!
+//! [`run_scenario`] drives a parsed [`Scenario`] over the same node and
+//! fabric machinery as [`crate::cluster::run`], generalising the flow
+//! from one tier to two:
+//!
+//! ```text
+//! client --request--> frontend --N leg requests--> backends
+//! client <--response- frontend <--leg responses--- backends
+//! ```
+//!
+//! The frontend serves its tier-0 phase, fans out `fanout` leg requests
+//! to distinct backends, and answers the client when the join resolves:
+//! every leg for wait-for-all, the first `k` successes for quorum-k. A
+//! shed leg (backend admission NACK) counts against the join; once the
+//! quorum is arithmetically impossible the frontend NACKs the client
+//! immediately. Every leg and every client request ends in a terminal
+//! [`RequestOutcome`]; legs are appended to the report's records with
+//! `tier = 1`, so the run trace CSV carries the whole tree.
+//!
+//! Randomness discipline (the PR 5 rule): arrivals, service multipliers,
+//! and HPC neighbor schedules each ride their own stream root split off
+//! the run seed, and per-request draws are keyed by
+//! [`leg_seed`] — a pure function of (root, id,
+//! leg). Arming a scenario therefore perturbs no noise, fault, or retry
+//! draw, and non-colocated nodes' noise histograms are bit-identical to
+//! a scenario-free run, which the bench gates assert.
+//!
+//! Scope: the scenario path is fire-and-forget — `cfg.retry` and
+//! scheduled `crashsvc` faults are not wired here (the in-fabric gates —
+//! drop, corrupt, reorder, jitter, partition — still apply). A lost leg
+//! surfaces as a `Failed` join at the end-of-run sweep, never a hang.
+
+use crate::cluster::{ClusterConfig, ClusterReport, NodeReport, RequestRecord};
+use crate::fabric::Fabric;
+use crate::node::{Node, Role};
+use kh_arch::cpu::Phase;
+use kh_core::config::StackKind;
+use kh_metrics::hist::LogHistogram;
+use kh_scenario::{leg_seed, ArrivalProcess, JoinPolicy, Scenario};
+use kh_sim::{EventQueue, FabricFaultPlan, Nanos, SimRng};
+use kh_virtio::LinkProfile;
+use kh_workloads::svcload::{
+    decode_frame, nack_frame, request_frame, response_frame, FrameError, FrameHeader, FrameKind,
+    RequestOutcome,
+};
+
+/// High bits of the frame id carry the leg index (0 = the client's own
+/// request, n >= 1 = backend leg n-1), so one id namespace covers the
+/// whole request tree and replies self-identify.
+const LEG_SHIFT: u32 = 48;
+
+fn leg_frame_id(id: u64, leg: usize) -> u64 {
+    id | ((leg as u64 + 1) << LEG_SHIFT)
+}
+
+fn split_frame_id(raw: u64) -> (u64, u32) {
+    (raw & ((1u64 << LEG_SHIFT) - 1), (raw >> LEG_SHIFT) as u32)
+}
+
+/// Scale a service phase by a sampled mean-1 multiplier: the request
+/// does proportionally more work over the same working set.
+fn scale_phase(base: &Phase, m: f64) -> Phase {
+    let s = |v: u64| ((v as f64) * m).round() as u64;
+    Phase {
+        instructions: s(base.instructions).max(1),
+        mem_refs: s(base.mem_refs),
+        flops: s(base.flops),
+        footprint: base.footprint,
+        dram_bytes: s(base.dram_bytes),
+        pattern: base.pattern,
+    }
+}
+
+/// Aggregate counters a scenario run adds on top of [`ClusterReport`].
+#[derive(Debug, Clone)]
+pub struct ScenarioStats {
+    /// Canonical rendering of the executed spec.
+    pub spec: String,
+    /// Fan-out degree actually used (the spec degree clamped to the
+    /// server count minus one — a frontend never calls itself).
+    pub fanout: usize,
+    pub legs_sent: u64,
+    pub legs_ok: u64,
+    /// Legs refused by backend admission control.
+    pub legs_shed: u64,
+    /// Legs that never resolved (lost in the fabric, or corrupt).
+    pub legs_failed: u64,
+    /// Leg responses that arrived after their join had already
+    /// resolved (quorum already met, or already failed).
+    pub late_legs: u64,
+    pub joins_ok: u64,
+    pub joins_failed: u64,
+    /// Client-observed end-to-end latency (same data as the report's
+    /// `latency` histogram).
+    pub tier0: LogHistogram,
+    /// Backend leg latency as observed by the frontend (dispatch to
+    /// leg-response arrival).
+    pub tier1: LogHistogram,
+    /// Nodes that actually hosted an HPC neighbor.
+    pub hpc_nodes: Vec<u16>,
+    /// Neighbor occupancy below the horizon, summed over those nodes.
+    pub hpc_quanta: u64,
+    pub hpc_busy: Nanos,
+}
+
+impl ScenarioStats {
+    /// Both tiers in one histogram, via bucket-wise
+    /// [`LogHistogram::merge`] — no re-recording.
+    pub fn merged_latency(&self) -> LogHistogram {
+        let mut m = self.tier0.clone();
+        m.merge(&self.tier1);
+        m
+    }
+}
+
+/// Per-leg bookkeeping at the frontend.
+struct LegSlot {
+    backend: u16,
+    sent: Nanos,
+    completed: Option<Nanos>,
+    outcome: RequestOutcome,
+    resolved: bool,
+}
+
+/// One client request's whole tree.
+struct ReqState {
+    client: u16,
+    frontend: u16,
+    /// Original client send time; every reply echoes it.
+    sent: Nanos,
+    /// Successful legs needed to answer the client (0 = single-tier).
+    needed: u32,
+    ok_legs: u32,
+    refused_legs: u32,
+    legs: Vec<LegSlot>,
+    /// Join resolved (either way); later legs are "late".
+    join_done: bool,
+    /// Client-level resolution (response, NACK + sweep, ...).
+    done: bool,
+    nack_seen: bool,
+    corrupt_seen: bool,
+}
+
+enum Ev {
+    Arrival { client: u16 },
+    Deliver { dst: u16, frame: Vec<u8> },
+}
+
+/// Run `scn` over a freshly booted cluster. Dispatched by
+/// [`crate::cluster::run`] when `cfg.scenario` is set.
+pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
+    let clients = cfg.clients();
+    let servers = cfg.servers();
+    let total = clients + servers;
+    let horizon = cfg.svcload.duration + cfg.svcload.duration + Nanos::from_millis(50);
+    // A frontend fans out to *other* servers; one lone server degrades
+    // to single-tier.
+    let fanout = scn.fanout.min(servers.saturating_sub(1));
+    let needed = match scn.join {
+        _ if fanout == 0 => 0,
+        JoinPolicy::All => fanout as u32,
+        JoinPolicy::Quorum(k) => k.min(fanout as u32),
+    };
+
+    // Node boot is byte-identical to the svcload path: same stream root,
+    // same split order — a scenario changes traffic, not machines.
+    let mut node_seeds = SimRng::new(cfg.seed ^ 0x6B68_636C_7573); // "khclus"
+    let mut nodes: Vec<Node> = (0..total)
+        .map(|i| {
+            let role = if i < clients {
+                Role::Client
+            } else {
+                Role::Server
+            };
+            let stack = match role {
+                Role::Client => StackKind::HafniumKitten,
+                Role::Server => cfg.server_stack,
+            };
+            Node::new(
+                i as u16,
+                role,
+                stack,
+                cfg.platform,
+                node_seeds.split(i as u64).next_u64(),
+            )
+        })
+        .collect();
+
+    // Dedicated scenario streams, all split off the run seed: arrivals
+    // ("khscna"), service multipliers ("khscns"), HPC neighbors
+    // ("khscnh"). None of these roots are shared with noise, fault, or
+    // retry streams.
+    let mut arrival_seeds = SimRng::new(cfg.seed ^ 0x6B68_7363_6E61);
+    let mut arrivals: Vec<ArrivalProcess> = (0..clients)
+        .map(|c| {
+            ArrivalProcess::new(
+                scn.arrival,
+                cfg.svcload.duration,
+                arrival_seeds.split(c as u64).next_u64(),
+            )
+        })
+        .collect();
+    let svc_root = SimRng::new(cfg.seed ^ 0x6B68_7363_6E73).next_u64();
+    let mut hpc_seeds = SimRng::new(cfg.seed ^ 0x6B68_7363_6E68);
+    let mut hpc_nodes: Vec<u16> = Vec::new();
+    if let Some(colo) = &scn.colocate {
+        for &idx in &colo.nodes {
+            // Seeds are drawn per listed node (in-range or not) so the
+            // schedule on node k never depends on which other indices
+            // were listed.
+            let seed = hpc_seeds.split(idx as u64).next_u64();
+            if (idx as usize) < total {
+                nodes[idx as usize].colocate_hpc(colo.kind, seed);
+                hpc_nodes.push(idx);
+            }
+        }
+    }
+
+    let mut fabric = Fabric::new(
+        LinkProfile::from_platform(&cfg.platform),
+        scn.queue_depth.unwrap_or(cfg.queue_depth),
+        total,
+    );
+    if let Some((spec, fault_seed)) = &cfg.faults {
+        fabric.faults = FabricFaultPlan::new(spec, *fault_seed);
+    }
+
+    let base_phase = cfg.svcload.service_phase();
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for (c, gen) in arrivals.iter_mut().enumerate().take(clients) {
+        if let Some(t) = gen.next_arrival() {
+            q.schedule_at(t, Ev::Arrival { client: c as u16 });
+        }
+    }
+
+    let mut records: Vec<RequestRecord> = Vec::new();
+    let mut states: Vec<ReqState> = Vec::new();
+    let mut latency = LogHistogram::for_latency();
+    let mut stats = ScenarioStats {
+        spec: scn.to_string(),
+        fanout,
+        legs_sent: 0,
+        legs_ok: 0,
+        legs_shed: 0,
+        legs_failed: 0,
+        late_legs: 0,
+        joins_ok: 0,
+        joins_failed: 0,
+        tier0: LogHistogram::for_latency(),
+        tier1: LogHistogram::for_latency(),
+        hpc_nodes,
+        hpc_quanta: 0,
+        hpc_busy: Nanos::ZERO,
+    };
+    let mut corrupt_rx = 0u64;
+    let mut nacks_sent = 0u64;
+    let mut sent = 0u64;
+    let mut completed = 0u64;
+
+    // Route one frame through a node's NIC and the fabric.
+    macro_rules! push_frame {
+        ($src:expr, $dst:expr, $frame:expr, $at:expr) => {{
+            let mut frame = $frame;
+            let enter = nodes[$src as usize].send($at, &frame, horizon);
+            if let Some(d) = fabric.transit($src, $dst, frame.len() as u64, enter) {
+                if let Some(salt) = d.corrupt_salt {
+                    kh_workloads::svcload::corrupt_frame_payload(&mut frame, salt);
+                }
+                q.schedule_at(d.at, Ev::Deliver { dst: $dst, frame });
+            }
+        }};
+    }
+
+    while let Some(ev) = q.pop_next() {
+        let now = ev.at;
+        match ev.payload {
+            Ev::Arrival { client } => {
+                if let Some(t) = arrivals[client as usize].next_arrival() {
+                    q.schedule_at(t, Ev::Arrival { client });
+                }
+                let id = states.len() as u64;
+                let frontend = (clients + (client as usize % servers)) as u16;
+                records.push(RequestRecord {
+                    id,
+                    client,
+                    server: frontend,
+                    sent: now,
+                    completed: None,
+                    attempts: 1,
+                    outcome: RequestOutcome::Failed,
+                    tier: 0,
+                    fanout: fanout as u16,
+                });
+                sent += 1;
+                states.push(ReqState {
+                    client,
+                    frontend,
+                    sent: now,
+                    needed,
+                    ok_legs: 0,
+                    refused_legs: 0,
+                    legs: Vec::new(),
+                    join_done: false,
+                    done: false,
+                    nack_seen: false,
+                    corrupt_seen: false,
+                });
+                let frame = request_frame(&cfg.svcload, id, client, now, 0);
+                push_frame!(client, frontend, frame, now);
+            }
+            Ev::Deliver { dst, frame } => {
+                let decoded = decode_frame(&frame);
+                if nodes[dst as usize].role == Role::Server {
+                    match decoded {
+                        Ok(FrameHeader {
+                            id: raw,
+                            client: reply_to,
+                            sent: sent_at,
+                            kind: FrameKind::Request,
+                            attempt,
+                        }) => {
+                            let (id, leg) = split_frame_id(raw);
+                            let node = &mut nodes[dst as usize];
+                            let ready = node.receive(now, &frame, horizon);
+                            if !node.admit(ready, cfg.admission_limit) {
+                                nacks_sent += 1;
+                                let reply = nack_frame(raw, reply_to, sent_at, attempt);
+                                push_frame!(dst, reply_to, reply, ready);
+                                continue;
+                            }
+                            // Tier by leg index: 0 = frontend work, else
+                            // backend leg work; each draws its multiplier
+                            // from its own (id, leg)-keyed stream.
+                            let dist = if leg == 0 { scn.service } else { scn.backend };
+                            let mut rng = SimRng::new(leg_seed(svc_root, id, leg));
+                            let phase = scale_phase(&base_phase, dist.sample(&mut rng));
+                            let done = nodes[dst as usize].serve(ready, &phase, horizon);
+                            if leg == 0 && fanout > 0 {
+                                // Fan out: distinct backends, skipping
+                                // this frontend, in a fixed rotation.
+                                let f_local = dst as usize - clients;
+                                let st = &mut states[id as usize];
+                                for j in 0..fanout {
+                                    let backend = (clients + ((f_local + 1 + j) % servers)) as u16;
+                                    st.legs.push(LegSlot {
+                                        backend,
+                                        sent: done,
+                                        completed: None,
+                                        outcome: RequestOutcome::Failed,
+                                        resolved: false,
+                                    });
+                                    stats.legs_sent += 1;
+                                    let leg_frame = request_frame(
+                                        &cfg.svcload,
+                                        leg_frame_id(id, j),
+                                        dst, // replies route back to the frontend
+                                        done,
+                                        0,
+                                    );
+                                    push_frame!(dst, backend, leg_frame, done);
+                                }
+                            } else {
+                                // Single-tier answer or a finished leg.
+                                let reply =
+                                    response_frame(&cfg.svcload, raw, reply_to, sent_at, attempt);
+                                push_frame!(dst, reply_to, reply, done);
+                            }
+                        }
+                        Ok(FrameHeader {
+                            id: raw,
+                            kind,
+                            attempt,
+                            ..
+                        }) => {
+                            // A leg reply (response or NACK) lands back
+                            // at its frontend.
+                            let (id, leg) = split_frame_id(raw);
+                            let done = nodes[dst as usize].receive(now, &frame, horizon);
+                            if leg == 0 {
+                                continue; // unreachable: client frames route to clients
+                            }
+                            let st = &mut states[id as usize];
+                            let slot = &mut st.legs[(leg - 1) as usize];
+                            if slot.resolved {
+                                continue;
+                            }
+                            slot.resolved = true;
+                            let mut answer: Option<Vec<u8>> = None;
+                            match kind {
+                                FrameKind::Response => {
+                                    slot.completed = Some(done);
+                                    slot.outcome = RequestOutcome::Ok { attempt: 0 };
+                                    stats.tier1.record(
+                                        done.saturating_sub(slot.sent).as_nanos().max(1) as f64,
+                                    );
+                                    stats.legs_ok += 1;
+                                    if st.join_done {
+                                        stats.late_legs += 1;
+                                    } else {
+                                        st.ok_legs += 1;
+                                        if st.ok_legs >= st.needed {
+                                            st.join_done = true;
+                                            stats.joins_ok += 1;
+                                            answer = Some(response_frame(
+                                                &cfg.svcload,
+                                                id,
+                                                st.client,
+                                                st.sent,
+                                                attempt,
+                                            ));
+                                        }
+                                    }
+                                }
+                                FrameKind::Nack => {
+                                    slot.outcome = RequestOutcome::Shed;
+                                    stats.legs_shed += 1;
+                                    if st.join_done {
+                                        stats.late_legs += 1;
+                                    } else {
+                                        st.refused_legs += 1;
+                                        // Quorum arithmetically impossible:
+                                        // fail fast with a client NACK.
+                                        if st.refused_legs > fanout as u32 - st.needed {
+                                            st.join_done = true;
+                                            stats.joins_failed += 1;
+                                            answer =
+                                                Some(nack_frame(id, st.client, st.sent, attempt));
+                                        }
+                                    }
+                                }
+                                FrameKind::Request => {}
+                            }
+                            if let Some(reply) = answer {
+                                let to = st.client;
+                                push_frame!(dst, to, reply, done);
+                            }
+                        }
+                        Err(_) => {
+                            // Mangled frame at a server: pay the RX copy,
+                            // checksum rejects it; the sweep owns the
+                            // request's terminal outcome.
+                            corrupt_rx += 1;
+                            let _ = nodes[dst as usize].receive(now, &frame, horizon);
+                        }
+                    }
+                } else {
+                    // A reply lands at the originating client.
+                    match decoded {
+                        Ok(h) => {
+                            let done = nodes[dst as usize].receive(now, &frame, horizon);
+                            let (id, _) = split_frame_id(h.id);
+                            let st = &mut states[id as usize];
+                            if st.done {
+                                continue;
+                            }
+                            match h.kind {
+                                FrameKind::Response => {
+                                    st.done = true;
+                                    let lat = done.saturating_sub(h.sent);
+                                    latency.record(lat.as_nanos().max(1) as f64);
+                                    stats.tier0.record(lat.as_nanos().max(1) as f64);
+                                    nodes[dst as usize]
+                                        .latency_hist
+                                        .record(lat.as_nanos().max(1) as f64);
+                                    let rec = &mut records[id as usize];
+                                    rec.completed = Some(done);
+                                    rec.outcome = RequestOutcome::Ok { attempt: 0 };
+                                    completed += 1;
+                                }
+                                FrameKind::Nack => st.nack_seen = true,
+                                FrameKind::Request => {}
+                            }
+                        }
+                        Err(FrameError::Corrupt(hdr)) => {
+                            corrupt_rx += 1;
+                            let _ = nodes[dst as usize].receive(now, &frame, horizon);
+                            if let Some(st) = hdr.and_then(|h| {
+                                let (id, _) = split_frame_id(h.id);
+                                states.get_mut(id as usize)
+                            }) {
+                                if !st.done {
+                                    st.corrupt_seen = true;
+                                }
+                            }
+                        }
+                        Err(FrameError::Truncated) => {}
+                    }
+                }
+            }
+        }
+    }
+    let elapsed = q.now();
+
+    // End-of-run sweep: name every open outcome explicitly — client
+    // requests first, then legs.
+    for (rec, st) in records.iter_mut().zip(states.iter_mut()) {
+        if !st.done {
+            st.done = true;
+            rec.outcome = if st.nack_seen {
+                RequestOutcome::Shed
+            } else if st.corrupt_seen {
+                RequestOutcome::Corrupt
+            } else {
+                RequestOutcome::Failed
+            };
+        }
+        if fanout > 0 && !st.legs.is_empty() && !st.join_done {
+            st.join_done = true;
+            stats.joins_failed += 1;
+        }
+        for slot in &mut st.legs {
+            if !slot.resolved {
+                slot.resolved = true;
+                stats.legs_failed += 1;
+            }
+        }
+    }
+    let mut rel = crate::cluster::ReliabilityStats {
+        nacks_sent,
+        corrupt_rx,
+        ..Default::default()
+    };
+    for rec in records.iter() {
+        match rec.outcome {
+            RequestOutcome::Ok { .. } => rel.outcomes.ok += 1,
+            RequestOutcome::OkHedged { .. } => rel.outcomes.ok_hedged += 1,
+            RequestOutcome::Shed => rel.outcomes.shed += 1,
+            RequestOutcome::DeadlineExceeded => rel.outcomes.deadline += 1,
+            RequestOutcome::Corrupt => rel.outcomes.corrupt += 1,
+            RequestOutcome::Failed => rel.outcomes.failed += 1,
+        }
+    }
+
+    // Append the per-leg trace: tier-1 rows in (id, leg) order, the
+    // frontend as the row's client. The CSV carries the whole tree.
+    for (id, st) in states.iter().enumerate() {
+        for slot in &st.legs {
+            records.push(RequestRecord {
+                id: id as u64,
+                client: st.frontend,
+                server: slot.backend,
+                sent: slot.sent,
+                completed: slot.completed,
+                attempts: 1,
+                outcome: slot.outcome,
+                tier: 1,
+                fanout: fanout as u16,
+            });
+        }
+    }
+
+    let per_node = nodes
+        .iter_mut()
+        .map(|n| {
+            n.advance_noise_to(horizon, horizon);
+            n.audit_isolation().expect("isolation preserved per node");
+            if let Some((quanta, busy)) = n.hpc_occupancy_below(horizon) {
+                stats.hpc_quanta += quanta;
+                stats.hpc_busy += busy;
+            }
+            NodeReport {
+                index: n.index,
+                role: n.role,
+                stack: if n.role == Role::Client {
+                    StackKind::HafniumKitten
+                } else {
+                    cfg.server_stack
+                },
+                stats: n.stats,
+                noise_hist: n.noise_hist.clone(),
+            }
+        })
+        .collect();
+
+    ClusterReport {
+        server_stack: cfg.server_stack,
+        nodes: total,
+        clients,
+        servers,
+        seed: cfg.seed,
+        sent,
+        completed,
+        latency,
+        records,
+        per_node,
+        fabric: fabric.stats.clone(),
+        fault_stats: fabric.faults.stats,
+        reliability: rel,
+        recoveries: Vec::new(),
+        scenario: Some(stats),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kh_scenario::HpcKind;
+    use kh_workloads::svcload::SvcLoadConfig;
+
+    fn cfg_with(stack: StackKind, seed: u64, nodes: usize, spec: &str) -> ClusterConfig {
+        let mut c = ClusterConfig::new(nodes, stack, seed);
+        c.svcload = SvcLoadConfig::quick();
+        c.scenario = Some(Scenario::parse(spec).expect(spec));
+        c
+    }
+
+    #[test]
+    fn single_tier_scenario_completes() {
+        let cfg = cfg_with(StackKind::HafniumKitten, 3, 4, "arrive=exp:500us,svc=exp");
+        let r = crate::cluster::run(&cfg);
+        assert!(r.sent > 50, "sent = {}", r.sent);
+        assert_eq!(r.completed, r.sent);
+        let s = r.scenario.as_ref().unwrap();
+        assert_eq!(s.fanout, 0);
+        assert_eq!(s.legs_sent, 0);
+        assert_eq!(s.tier0.count(), r.completed);
+        assert!(r.records.iter().all(|rec| rec.tier == 0));
+    }
+
+    #[test]
+    fn fanout_all_join_tracks_every_leg() {
+        let cfg = cfg_with(
+            StackKind::HafniumKitten,
+            5,
+            8,
+            "arrive=exp:800us,svc=det,backend=det,fanout=3:all",
+        );
+        let r = crate::cluster::run(&cfg);
+        let s = r.scenario.as_ref().unwrap();
+        assert_eq!(s.fanout, 3);
+        assert!(r.sent > 20);
+        assert_eq!(r.completed, r.sent, "clean fabric: every join completes");
+        assert_eq!(s.joins_ok, r.sent);
+        assert_eq!(s.legs_sent, r.sent * 3);
+        assert_eq!(s.legs_ok, s.legs_sent);
+        assert_eq!(s.legs_failed, 0);
+        assert_eq!(s.late_legs, 0, "wait-for-all has no late legs");
+        assert_eq!(s.tier1.count(), s.legs_ok);
+        // The trace carries both tiers.
+        let legs = r.records.iter().filter(|rec| rec.tier == 1).count() as u64;
+        assert_eq!(legs, s.legs_sent);
+        assert!(r
+            .records
+            .iter()
+            .filter(|rec| rec.tier == 1)
+            .all(|rec| rec.fanout == 3 && rec.outcome.is_ok()));
+        // Fan-out means the client answer waits on the slowest leg.
+        assert!(s.merged_latency().count() == s.tier0.count() + s.tier1.count());
+    }
+
+    #[test]
+    fn quorum_join_answers_early_and_counts_late_legs() {
+        let cfg = cfg_with(
+            StackKind::HafniumKitten,
+            7,
+            8,
+            "arrive=exp:800us,svc=det,backend=exp,fanout=3:quorum:1",
+        );
+        let r = crate::cluster::run(&cfg);
+        let s = r.scenario.as_ref().unwrap();
+        assert_eq!(r.completed, r.sent);
+        assert_eq!(s.joins_ok, r.sent);
+        assert!(
+            s.late_legs > 0,
+            "quorum-1 of 3: two legs per join arrive late"
+        );
+        assert_eq!(s.legs_ok + s.legs_shed + s.legs_failed, s.legs_sent);
+    }
+
+    #[test]
+    fn quorum_tails_are_tighter_than_wait_for_all() {
+        let all = crate::cluster::run(&cfg_with(
+            StackKind::HafniumKitten,
+            9,
+            8,
+            "arrive=exp:800us,svc=det,backend=lognormal:1.0,fanout=3:all",
+        ));
+        let quorum = crate::cluster::run(&cfg_with(
+            StackKind::HafniumKitten,
+            9,
+            8,
+            "arrive=exp:800us,svc=det,backend=lognormal:1.0,fanout=3:quorum:1",
+        ));
+        assert!(
+            quorum.latency.p99() <= all.latency.p99(),
+            "quorum-1 p99 {} must not exceed wait-for-all p99 {}",
+            quorum.latency.p99(),
+            all.latency.p99()
+        );
+    }
+
+    #[test]
+    fn scenario_runs_are_byte_reproducible() {
+        let cfg = cfg_with(
+            StackKind::HafniumLinux,
+            11,
+            8,
+            "arrive=mmpp:400us:4ms:2ms,svc=exp,backend=exp,fanout=2:all,colocate=hpcg:6",
+        );
+        let a = crate::cluster::run(&cfg);
+        let b = crate::cluster::run(&cfg);
+        assert_eq!(a.csv(), b.csv());
+        assert_eq!(a.render(), b.render());
+        let mut other = cfg.clone();
+        other.seed = 12;
+        assert_ne!(a.csv(), crate::cluster::run(&other).csv());
+    }
+
+    #[test]
+    fn colocation_perturbs_only_the_listed_nodes() {
+        let seed = 13;
+        let base = "arrive=exp:600us,svc=exp";
+        let clean = crate::cluster::run(&cfg_with(StackKind::HafniumKitten, seed, 6, base));
+        let colo = crate::cluster::run(&cfg_with(
+            StackKind::HafniumKitten,
+            seed,
+            6,
+            &format!("{base},colocate=hpcg:4"),
+        ));
+        let s = colo.scenario.as_ref().unwrap();
+        assert_eq!(s.hpc_nodes, vec![4]);
+        assert!(s.hpc_quanta > 0 && s.hpc_busy > Nanos::ZERO);
+        for (c, n) in clean.per_node.iter().zip(colo.per_node.iter()) {
+            assert_eq!(
+                c.noise_hist, n.noise_hist,
+                "node{} noise must be colocation-invariant",
+                c.index
+            );
+        }
+        // The colocated server's clients see heavier tails.
+        assert!(
+            colo.latency.p99() >= clean.latency.p99(),
+            "colocated p99 {} vs clean {}",
+            colo.latency.p99(),
+            clean.latency.p99()
+        );
+    }
+
+    #[test]
+    fn queue_depth_override_applies() {
+        let mut cfg = cfg_with(StackKind::HafniumKitten, 15, 4, "arrive=exp:500us,queues=8");
+        let r = crate::cluster::run(&cfg);
+        assert_eq!(r.completed, r.sent);
+        // And the spec round-trips through the stats block.
+        assert!(r.scenario.unwrap().spec.contains("queues=8"));
+        // Sanity: the plain config default is untouched.
+        cfg.scenario = None;
+        let plain = crate::cluster::run(&cfg);
+        assert!(plain.scenario.is_none());
+    }
+
+    #[test]
+    fn every_hpc_kind_drives_a_run() {
+        for kind in [HpcKind::NasEp, HpcKind::NasSp] {
+            let spec = format!("arrive=exp:900us,colocate={}:3", kind.label());
+            let r = crate::cluster::run(&cfg_with(StackKind::HafniumKitten, 17, 4, &spec));
+            assert!(r.sent > 0);
+            assert!(r.scenario.unwrap().hpc_busy > Nanos::ZERO);
+        }
+    }
+}

@@ -380,6 +380,54 @@ mod tests {
                     h.max()
                 );
             }
+
+            /// merge(a, b) is indistinguishable from recording the
+            /// union of both sample sets into one histogram: the same
+            /// buckets fill, so count, extremes, and every percentile
+            /// match exactly. Only the running `sum` may differ in the
+            /// last bits (float addition is association-sensitive), so
+            /// the mean is compared with relative tolerance.
+            #[test]
+            fn merge_equals_recording_the_union(
+                xs in prop::collection::vec(1.0f64..1e6, 0..200),
+                ys in prop::collection::vec(1.0f64..1e6, 0..200),
+                q in 0.0f64..1.0,
+            ) {
+                let mut a = LogHistogram::for_latency();
+                let mut b = LogHistogram::for_latency();
+                let mut union = LogHistogram::for_latency();
+                for v in &xs {
+                    a.record(*v);
+                    union.record(*v);
+                }
+                for v in &ys {
+                    b.record(*v);
+                    union.record(*v);
+                }
+                a.merge(&b);
+                prop_assert_eq!(a.count(), union.count());
+                let same = |x: f64, y: f64| x == y || (x.is_nan() && y.is_nan());
+                prop_assert!(same(a.min(), union.min()));
+                prop_assert!(same(a.max(), union.max()));
+                let (pa, pu) = (a.percentile(q), union.percentile(q));
+                prop_assert!(same(pa, pu), "p({q}): merged {pa} vs union {pu}");
+                for (ma, mu) in [
+                    (a.median(), union.median()),
+                    (a.p99(), union.p99()),
+                    (a.p999(), union.p999()),
+                    (a.percentile(0.0), union.percentile(0.0)),
+                    (a.percentile(1.0), union.percentile(1.0)),
+                ] {
+                    prop_assert!(same(ma, mu), "{ma} vs {mu}");
+                }
+                if a.count() > 0 {
+                    let (ma, mu) = (a.mean(), union.mean());
+                    prop_assert!(
+                        ((ma - mu) / mu).abs() < 1e-12,
+                        "mean: merged {ma} vs union {mu}"
+                    );
+                }
+            }
         }
     }
 }

@@ -1,0 +1,32 @@
+//! Deterministic traffic scenarios for the cluster simulator.
+//!
+//! svcload (PR 4/5) drives a single-tier open loop with exponential
+//! arrivals. Real service traffic is burstier and deeper: heavy-tailed
+//! request sizes, on/off sources, diurnal rate swings, and RPC fan-out
+//! where one user request becomes N backend calls joined by wait-for-all
+//! or quorum — the "tail at scale" amplification setting. This crate is
+//! the scenario vocabulary for all of that, as data:
+//!
+//! * [`Scenario`] — the parsed spec: arrival shape, per-tier service
+//!   distributions, fan-out graph + join policy, an optional HPC
+//!   colocation plan, and an optional switch queue-depth override.
+//! * A one-line DSL (`arrive=pareto:500us:1.5,fanout=4:quorum:3,...`)
+//!   with a strict parse → [`Display`](core::fmt::Display) → parse
+//!   round-trip, or the same clauses one-per-line in a `.khs` file.
+//! * [`sample`] — the deterministic samplers: [`sample::ArrivalProcess`]
+//!   turns a shape into a strictly-increasing arrival sequence and
+//!   [`ServiceDist::sample`] draws per-request service multipliers, both
+//!   on dedicated [`SimRng`](kh_sim::SimRng) streams so arming a
+//!   scenario never perturbs noise, fault, or retry draws.
+//!
+//! The executor for all of this lives in `kh-cluster::scenario`; this
+//! crate owns only the vocabulary and the sampling math, so specs can be
+//! parsed, validated, and rendered without booting a cluster.
+
+pub mod sample;
+pub mod spec;
+
+pub use sample::{leg_seed, ArrivalProcess};
+pub use spec::{
+    ArrivalShape, Colocation, HpcKind, JoinPolicy, Scenario, ScenarioError, ServiceDist,
+};

@@ -1,0 +1,972 @@
+//! The scenario spec: structures, DSL grammar, parse, render, validate.
+//!
+//! # Grammar
+//!
+//! A spec is a comma-separated list of `key=value` clauses; values use
+//! `:`-separated subfields. In a `.khs` file the same clauses appear one
+//! per line, with `#` starting a comment — the parser accepts both forms
+//! (newlines count as clause separators).
+//!
+//! ```text
+//! arrive=exp:<mean>                      open-loop exponential
+//! arrive=pareto:<mean>:<alpha>           heavy-tailed gaps, alpha > 1
+//! arrive=lognormal:<mean>:<sigma>        log-normal gaps
+//! arrive=mmpp:<on_mean>:<on_dur>:<off_dur>   on/off modulated Poisson
+//! arrive=diurnal:<mean>:<amp>:<period>   sinusoidal rate curve
+//! svc=det | exp | pareto:<alpha> | lognormal:<sigma>
+//! backend=<same forms as svc>            tier-1 service distribution
+//! fanout=<n>[:all | :quorum:<k>]         frontend -> n backends
+//! colocate=<kind>:<n1>+<n2>+...          HPC neighbor on listed nodes
+//! queues=<depth>                         switch egress queue override
+//! ```
+//!
+//! Times take `ns`/`us`/`ms`/`s` suffixes (bare numbers are ns).
+//! `<kind>` is one of `hpcg`, `nas-lu`, `nas-bt`, `nas-cg`, `nas-ep`,
+//! `nas-sp`. [`Display`](core::fmt::Display) renders the canonical form
+//! (times in ns, defaults omitted) and `parse(render(s)) == s` holds for
+//! every valid scenario.
+
+use core::fmt;
+use kh_sim::Nanos;
+use kh_workloads::hpcg::{HpcgConfig, HpcgModel};
+use kh_workloads::nas::NasBenchmark;
+use kh_workloads::Workload;
+
+/// Spec-level cap on fan-out degree (the run also caps at the server
+/// count); bounds join-state memory for adversarial specs.
+pub const MAX_FANOUT: usize = 64;
+
+/// Widest log-normal / Pareto shape parameters the DSL accepts; beyond
+/// this the distributions are so heavy that a single draw can dominate a
+/// whole run and the simulation degenerates.
+pub const MAX_SIGMA: f64 = 5.0;
+pub const MAX_ALPHA: f64 = 100.0;
+
+/// How a scenario parse or validation failed. Every variant carries the
+/// offending clause text — malformed specs are diagnosable, never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A clause key the grammar doesn't know.
+    UnknownClause(String),
+    /// A known clause with an unparseable or out-of-range value.
+    BadValue(String),
+    /// The same clause given twice.
+    Duplicate(String),
+    /// Clauses that parse individually but conflict as a whole
+    /// (e.g. `quorum` larger than the fan-out degree).
+    Conflict(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownClause(c) => write!(f, "unknown scenario clause `{c}`"),
+            ScenarioError::BadValue(m) => write!(f, "bad scenario value: {m}"),
+            ScenarioError::Duplicate(c) => write!(f, "duplicate scenario clause `{c}`"),
+            ScenarioError::Conflict(m) => write!(f, "conflicting scenario clauses: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Arrival-gap shape for the open-loop client sources.
+///
+/// Every variant is parameterised by time constants in [`Nanos`]; the
+/// samplers add a 1 ns floor per gap so arrival sequences are strictly
+/// increasing regardless of parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalShape {
+    /// Poisson process: exponential gaps with the given mean.
+    Exp { mean: Nanos },
+    /// Pareto gaps with the given mean and tail index `alpha > 1`
+    /// (scale chosen as `mean * (alpha-1) / alpha`).
+    Pareto { mean: Nanos, alpha: f64 },
+    /// Log-normal gaps with the given mean and log-space sigma.
+    LogNormal { mean: Nanos, sigma: f64 },
+    /// On/off modulated Poisson: exponential on-windows (mean `on_dur`)
+    /// emitting exponential gaps of mean `on_mean`, separated by silent
+    /// exponential off-windows (mean `off_dur`).
+    Mmpp {
+        on_mean: Nanos,
+        on_dur: Nanos,
+        off_dur: Nanos,
+    },
+    /// Sinusoidal rate curve: instantaneous rate
+    /// `(1 + amp * sin(2*pi*t/period)) / mean`, sampled by thinning.
+    Diurnal {
+        mean: Nanos,
+        amp: f64,
+        period: Nanos,
+    },
+}
+
+impl ArrivalShape {
+    /// The long-run mean interarrival gap this shape targets, for
+    /// load-matching across shapes (MMPP reports the on-window mean
+    /// stretched by the duty cycle).
+    pub fn mean_gap(&self) -> Nanos {
+        match *self {
+            ArrivalShape::Exp { mean }
+            | ArrivalShape::Pareto { mean, .. }
+            | ArrivalShape::LogNormal { mean, .. }
+            | ArrivalShape::Diurnal { mean, .. } => mean,
+            ArrivalShape::Mmpp {
+                on_mean,
+                on_dur,
+                off_dur,
+            } => {
+                let duty = on_dur.as_secs_f64() / (on_dur + off_dur).as_secs_f64().max(1e-12);
+                Nanos((on_mean.as_secs_f64() / duty.max(1e-3) * 1e9) as u64)
+            }
+        }
+    }
+}
+
+impl fmt::Display for ArrivalShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ArrivalShape::Exp { mean } => write!(f, "exp:{}ns", mean.as_nanos()),
+            ArrivalShape::Pareto { mean, alpha } => {
+                write!(f, "pareto:{}ns:{}", mean.as_nanos(), alpha)
+            }
+            ArrivalShape::LogNormal { mean, sigma } => {
+                write!(f, "lognormal:{}ns:{}", mean.as_nanos(), sigma)
+            }
+            ArrivalShape::Mmpp {
+                on_mean,
+                on_dur,
+                off_dur,
+            } => write!(
+                f,
+                "mmpp:{}ns:{}ns:{}ns",
+                on_mean.as_nanos(),
+                on_dur.as_nanos(),
+                off_dur.as_nanos()
+            ),
+            ArrivalShape::Diurnal { mean, amp, period } => {
+                write!(
+                    f,
+                    "diurnal:{}ns:{}:{}ns",
+                    mean.as_nanos(),
+                    amp,
+                    period.as_nanos()
+                )
+            }
+        }
+    }
+}
+
+/// Per-tier service-time distribution, expressed as a mean-1 multiplier
+/// on the tier's base phase (so the configured service cost stays the
+/// mean regardless of shape). Draws are clamped to
+/// [`sample::MAX_SERVICE_MULT`](crate::sample::MAX_SERVICE_MULT).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceDist {
+    /// Deterministic: every request costs exactly the base phase.
+    Det,
+    /// Exponential multiplier, mean 1.
+    Exp,
+    /// Pareto multiplier with tail index `alpha > 1`, mean 1.
+    Pareto { alpha: f64 },
+    /// Log-normal multiplier with log-space sigma, mean 1.
+    LogNormal { sigma: f64 },
+}
+
+impl fmt::Display for ServiceDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ServiceDist::Det => write!(f, "det"),
+            ServiceDist::Exp => write!(f, "exp"),
+            ServiceDist::Pareto { alpha } => write!(f, "pareto:{alpha}"),
+            ServiceDist::LogNormal { sigma } => write!(f, "lognormal:{sigma}"),
+        }
+    }
+}
+
+/// When a fanned-out request's join completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinPolicy {
+    /// Wait for every backend leg.
+    All,
+    /// Wait for the first `k` successful legs.
+    Quorum(u32),
+}
+
+/// Which HPC workload model plays the noisy neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HpcKind {
+    Hpcg,
+    NasLu,
+    NasBt,
+    NasCg,
+    NasEp,
+    NasSp,
+}
+
+impl HpcKind {
+    pub const ALL: [HpcKind; 6] = [
+        HpcKind::Hpcg,
+        HpcKind::NasLu,
+        HpcKind::NasBt,
+        HpcKind::NasCg,
+        HpcKind::NasEp,
+        HpcKind::NasSp,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            HpcKind::Hpcg => "hpcg",
+            HpcKind::NasLu => "nas-lu",
+            HpcKind::NasBt => "nas-bt",
+            HpcKind::NasCg => "nas-cg",
+            HpcKind::NasEp => "nas-ep",
+            HpcKind::NasSp => "nas-sp",
+        }
+    }
+
+    fn parse(s: &str) -> Result<HpcKind, ScenarioError> {
+        HpcKind::ALL
+            .into_iter()
+            .find(|k| k.label() == s)
+            .ok_or_else(|| ScenarioError::BadValue(format!("unknown HPC workload kind `{s}`")))
+    }
+
+    /// Instantiate the phase-stream model that plays this neighbor. The
+    /// colocation engine recreates the model whenever it runs dry, so
+    /// the neighbor occupies its node for the whole run.
+    pub fn model(self) -> Box<dyn Workload + Send> {
+        match self {
+            HpcKind::Hpcg => Box::new(HpcgModel::new(HpcgConfig::default())),
+            HpcKind::NasLu => NasBenchmark::Lu.model(),
+            HpcKind::NasBt => NasBenchmark::Bt.model(),
+            HpcKind::NasCg => NasBenchmark::Cg.model(),
+            HpcKind::NasEp => NasBenchmark::Ep.model(),
+            HpcKind::NasSp => NasBenchmark::Sp.model(),
+        }
+    }
+}
+
+impl fmt::Display for HpcKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Mixed-tenancy plan: run `kind` as a noisy neighbor on the listed
+/// cluster node indices (strictly increasing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Colocation {
+    pub kind: HpcKind,
+    pub nodes: Vec<u16>,
+}
+
+impl fmt::Display for Colocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:", self.kind)?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full parsed traffic scenario. See the [module docs](self) for the
+/// grammar; `kh-cluster::scenario` executes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    pub arrival: ArrivalShape,
+    /// Tier-0 (frontend) service distribution.
+    pub service: ServiceDist,
+    /// Tier-1 (backend) service distribution; only sampled when
+    /// `fanout > 0`.
+    pub backend: ServiceDist,
+    /// Backends each frontend calls per request; 0 = single-tier.
+    pub fanout: usize,
+    pub join: JoinPolicy,
+    pub colocate: Option<Colocation>,
+    /// Switch egress queue depth override (frames per port).
+    pub queue_depth: Option<usize>,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            arrival: ArrivalShape::Exp {
+                mean: Nanos::from_micros(500),
+            },
+            service: ServiceDist::Det,
+            backend: ServiceDist::Det,
+            fanout: 0,
+            join: JoinPolicy::All,
+            colocate: None,
+            queue_depth: None,
+        }
+    }
+}
+
+impl Scenario {
+    /// Parse a one-line spec or `.khs` file contents (newlines count as
+    /// clause separators, `#` starts a comment).
+    pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+        let mut scn = Scenario::default();
+        let mut seen: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("");
+            for raw in line.split(',') {
+                let clause = raw.trim();
+                if clause.is_empty() {
+                    continue;
+                }
+                let (key, val) = clause
+                    .split_once('=')
+                    .ok_or_else(|| ScenarioError::UnknownClause(clause.to_string()))?;
+                let key = key.trim();
+                let val = val.trim();
+                if seen.contains(&key) {
+                    return Err(ScenarioError::Duplicate(key.to_string()));
+                }
+                match key {
+                    "arrive" => scn.arrival = parse_arrival(val)?,
+                    "svc" => scn.service = parse_service(val)?,
+                    "backend" => scn.backend = parse_service(val)?,
+                    "fanout" => {
+                        let (n, join) = parse_fanout(val)?;
+                        scn.fanout = n;
+                        scn.join = join;
+                    }
+                    "colocate" => scn.colocate = Some(parse_colocate(val)?),
+                    "queues" => {
+                        scn.queue_depth = Some(val.parse().map_err(|_| {
+                            ScenarioError::BadValue(format!("bad queue depth `{val}`"))
+                        })?)
+                    }
+                    _ => return Err(ScenarioError::UnknownClause(clause.to_string())),
+                }
+                seen.push(key);
+            }
+        }
+        scn.validate()?;
+        Ok(scn)
+    }
+
+    /// Check cross-clause consistency and parameter ranges. `parse`
+    /// calls this; hand-built scenarios should too.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        validate_arrival(&self.arrival)?;
+        validate_service("svc", &self.service)?;
+        validate_service("backend", &self.backend)?;
+        if self.fanout > MAX_FANOUT {
+            return Err(ScenarioError::BadValue(format!(
+                "fanout {} exceeds the spec cap {MAX_FANOUT}",
+                self.fanout
+            )));
+        }
+        match self.join {
+            JoinPolicy::All => {}
+            JoinPolicy::Quorum(k) => {
+                if self.fanout == 0 {
+                    return Err(ScenarioError::Conflict(
+                        "quorum join requires fanout > 0".into(),
+                    ));
+                }
+                if k == 0 || k as usize > self.fanout {
+                    return Err(ScenarioError::Conflict(format!(
+                        "quorum {k} outside 1..={}",
+                        self.fanout
+                    )));
+                }
+            }
+        }
+        if let Some(c) = &self.colocate {
+            if c.nodes.is_empty() {
+                return Err(ScenarioError::BadValue("empty colocation node list".into()));
+            }
+            if !c.nodes.windows(2).all(|w| w[0] < w[1]) {
+                return Err(ScenarioError::BadValue(
+                    "colocation nodes must be strictly increasing".into(),
+                ));
+            }
+        }
+        if self.queue_depth == Some(0) {
+            return Err(ScenarioError::BadValue("queue depth must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Scenario {
+    /// Canonical one-line form: `arrive` and `svc` always, everything
+    /// else only when it differs from the default — so the output parses
+    /// back to exactly this scenario.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arrive={},svc={}", self.arrival, self.service)?;
+        if self.backend != ServiceDist::Det {
+            write!(f, ",backend={}", self.backend)?;
+        }
+        if self.fanout > 0 {
+            match self.join {
+                JoinPolicy::All => write!(f, ",fanout={}:all", self.fanout)?,
+                JoinPolicy::Quorum(k) => write!(f, ",fanout={}:quorum:{k}", self.fanout)?,
+            }
+        }
+        if let Some(c) = &self.colocate {
+            write!(f, ",colocate={c}")?;
+        }
+        if let Some(q) = self.queue_depth {
+            write!(f, ",queues={q}")?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_time(s: &str) -> Result<Nanos, ScenarioError> {
+    let err = || ScenarioError::BadValue(format!("bad time `{s}` (want e.g. 500us, 4ms, 1200ns)"));
+    let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1u64)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        (s, 1)
+    };
+    let v: u64 = num.parse().map_err(|_| err())?;
+    v.checked_mul(mult).map(Nanos).ok_or_else(err)
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, ScenarioError> {
+    let v: f64 = s
+        .parse()
+        .map_err(|_| ScenarioError::BadValue(format!("bad {what} `{s}`")))?;
+    if !v.is_finite() {
+        return Err(ScenarioError::BadValue(format!("non-finite {what} `{s}`")));
+    }
+    Ok(v)
+}
+
+fn parse_arrival(val: &str) -> Result<ArrivalShape, ScenarioError> {
+    let mut it = val.split(':');
+    let kind = it.next().unwrap_or("");
+    let rest: Vec<&str> = it.collect();
+    let argc = |n: usize| -> Result<(), ScenarioError> {
+        if rest.len() != n {
+            Err(ScenarioError::BadValue(format!(
+                "`arrive={val}`: `{kind}` wants {n} parameter(s), got {}",
+                rest.len()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    let shape = match kind {
+        "exp" => {
+            argc(1)?;
+            ArrivalShape::Exp {
+                mean: parse_time(rest[0])?,
+            }
+        }
+        "pareto" => {
+            argc(2)?;
+            ArrivalShape::Pareto {
+                mean: parse_time(rest[0])?,
+                alpha: parse_f64(rest[1], "pareto alpha")?,
+            }
+        }
+        "lognormal" => {
+            argc(2)?;
+            ArrivalShape::LogNormal {
+                mean: parse_time(rest[0])?,
+                sigma: parse_f64(rest[1], "lognormal sigma")?,
+            }
+        }
+        "mmpp" => {
+            argc(3)?;
+            ArrivalShape::Mmpp {
+                on_mean: parse_time(rest[0])?,
+                on_dur: parse_time(rest[1])?,
+                off_dur: parse_time(rest[2])?,
+            }
+        }
+        "diurnal" => {
+            argc(3)?;
+            ArrivalShape::Diurnal {
+                mean: parse_time(rest[0])?,
+                amp: parse_f64(rest[1], "diurnal amplitude")?,
+                period: parse_time(rest[2])?,
+            }
+        }
+        _ => {
+            return Err(ScenarioError::BadValue(format!(
+                "unknown arrival shape `{kind}`"
+            )))
+        }
+    };
+    Ok(shape)
+}
+
+fn validate_arrival(a: &ArrivalShape) -> Result<(), ScenarioError> {
+    let pos = |t: Nanos, what: &str| -> Result<(), ScenarioError> {
+        if t == Nanos::ZERO {
+            Err(ScenarioError::BadValue(format!("{what} must be > 0")))
+        } else {
+            Ok(())
+        }
+    };
+    match *a {
+        ArrivalShape::Exp { mean } => pos(mean, "arrival mean"),
+        ArrivalShape::Pareto { mean, alpha } => {
+            pos(mean, "arrival mean")?;
+            if !(alpha > 1.0 && alpha <= MAX_ALPHA) {
+                return Err(ScenarioError::BadValue(format!(
+                    "pareto alpha {alpha} outside (1, {MAX_ALPHA}]"
+                )));
+            }
+            Ok(())
+        }
+        ArrivalShape::LogNormal { mean, sigma } => {
+            pos(mean, "arrival mean")?;
+            if !(sigma > 0.0 && sigma <= MAX_SIGMA) {
+                return Err(ScenarioError::BadValue(format!(
+                    "lognormal sigma {sigma} outside (0, {MAX_SIGMA}]"
+                )));
+            }
+            Ok(())
+        }
+        ArrivalShape::Mmpp {
+            on_mean,
+            on_dur,
+            off_dur,
+        } => {
+            pos(on_mean, "mmpp on-window mean gap")?;
+            pos(on_dur, "mmpp on-window duration")?;
+            pos(off_dur, "mmpp off-window duration")
+        }
+        ArrivalShape::Diurnal { mean, amp, period } => {
+            pos(mean, "arrival mean")?;
+            if !(0.0..=1.0).contains(&amp) {
+                return Err(ScenarioError::BadValue(format!(
+                    "diurnal amplitude {amp} outside [0, 1]"
+                )));
+            }
+            pos(period, "diurnal period")
+        }
+    }
+}
+
+fn parse_service(val: &str) -> Result<ServiceDist, ScenarioError> {
+    let (kind, rest) = match val.split_once(':') {
+        Some((k, r)) => (k, Some(r)),
+        None => (val, None),
+    };
+    match (kind, rest) {
+        ("det", None) => Ok(ServiceDist::Det),
+        ("exp", None) => Ok(ServiceDist::Exp),
+        ("pareto", Some(a)) => Ok(ServiceDist::Pareto {
+            alpha: parse_f64(a, "pareto alpha")?,
+        }),
+        ("lognormal", Some(s)) => Ok(ServiceDist::LogNormal {
+            sigma: parse_f64(s, "lognormal sigma")?,
+        }),
+        _ => Err(ScenarioError::BadValue(format!(
+            "unknown service distribution `{val}`"
+        ))),
+    }
+}
+
+fn validate_service(which: &str, d: &ServiceDist) -> Result<(), ScenarioError> {
+    match *d {
+        ServiceDist::Det | ServiceDist::Exp => Ok(()),
+        ServiceDist::Pareto { alpha } => {
+            if !(alpha > 1.0 && alpha <= MAX_ALPHA) {
+                Err(ScenarioError::BadValue(format!(
+                    "{which} pareto alpha {alpha} outside (1, {MAX_ALPHA}]"
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        ServiceDist::LogNormal { sigma } => {
+            if !(sigma > 0.0 && sigma <= MAX_SIGMA) {
+                Err(ScenarioError::BadValue(format!(
+                    "{which} lognormal sigma {sigma} outside (0, {MAX_SIGMA}]"
+                )))
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+fn parse_fanout(val: &str) -> Result<(usize, JoinPolicy), ScenarioError> {
+    let mut it = val.split(':');
+    let n: usize = it
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| ScenarioError::BadValue(format!("bad fanout degree `{val}`")))?;
+    let join = match (it.next(), it.next(), it.next()) {
+        (None, _, _) | (Some("all"), None, _) => JoinPolicy::All,
+        (Some("quorum"), Some(k), None) => JoinPolicy::Quorum(
+            k.parse()
+                .map_err(|_| ScenarioError::BadValue(format!("bad quorum `{val}`")))?,
+        ),
+        _ => {
+            return Err(ScenarioError::BadValue(format!(
+                "bad fanout join `{val}` (want N, N:all, or N:quorum:K)"
+            )))
+        }
+    };
+    if n == 0 {
+        return Err(ScenarioError::BadValue(
+            "fanout degree must be >= 1 (omit the clause for single-tier)".into(),
+        ));
+    }
+    Ok((n, join))
+}
+
+fn parse_colocate(val: &str) -> Result<Colocation, ScenarioError> {
+    let (kind, nodes) = val.split_once(':').ok_or_else(|| {
+        ScenarioError::BadValue(format!("`colocate={val}` wants <kind>:<n1>+<n2>+..."))
+    })?;
+    let kind = HpcKind::parse(kind)?;
+    let mut list = Vec::new();
+    for part in nodes.split('+') {
+        let n: u16 = part
+            .trim()
+            .parse()
+            .map_err(|_| ScenarioError::BadValue(format!("bad colocation node `{part}`")))?;
+        list.push(n);
+    }
+    Ok(Colocation { kind, nodes: list })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(scn: &Scenario) {
+        let rendered = scn.to_string();
+        let back = Scenario::parse(&rendered).expect(&rendered);
+        assert_eq!(&back, scn, "render was `{rendered}`");
+    }
+
+    #[test]
+    fn default_renders_and_roundtrips() {
+        let scn = Scenario::default();
+        assert_eq!(scn.to_string(), "arrive=exp:500000ns,svc=det");
+        roundtrip(&scn);
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let scn = Scenario::parse(
+            "arrive=pareto:500us:1.5,svc=exp,backend=lognormal:0.6,fanout=4:quorum:3,colocate=hpcg:5+6,queues=256",
+        )
+        .unwrap();
+        assert_eq!(
+            scn.arrival,
+            ArrivalShape::Pareto {
+                mean: Nanos::from_micros(500),
+                alpha: 1.5
+            }
+        );
+        assert_eq!(scn.service, ServiceDist::Exp);
+        assert_eq!(scn.backend, ServiceDist::LogNormal { sigma: 0.6 });
+        assert_eq!(scn.fanout, 4);
+        assert_eq!(scn.join, JoinPolicy::Quorum(3));
+        assert_eq!(
+            scn.colocate,
+            Some(Colocation {
+                kind: HpcKind::Hpcg,
+                nodes: vec![5, 6]
+            })
+        );
+        assert_eq!(scn.queue_depth, Some(256));
+        roundtrip(&scn);
+    }
+
+    #[test]
+    fn khs_file_form_parses() {
+        let text = "\
+# fan-out scenario with a noisy neighbor
+arrive=mmpp:250us:4ms:2ms   # bursty source
+fanout=3:all
+svc=exp
+colocate=nas-cg:6
+";
+        let scn = Scenario::parse(text).unwrap();
+        assert_eq!(scn.fanout, 3);
+        assert_eq!(scn.join, JoinPolicy::All);
+        assert_eq!(
+            scn.arrival,
+            ArrivalShape::Mmpp {
+                on_mean: Nanos::from_micros(250),
+                on_dur: Nanos::from_millis(4),
+                off_dur: Nanos::from_millis(2),
+            }
+        );
+        assert_eq!(scn.colocate.unwrap().kind, HpcKind::NasCg);
+        roundtrip(&Scenario::parse(text).unwrap());
+    }
+
+    #[test]
+    fn every_arrival_shape_roundtrips() {
+        let shapes = [
+            ArrivalShape::Exp {
+                mean: Nanos::from_micros(500),
+            },
+            ArrivalShape::Pareto {
+                mean: Nanos::from_micros(300),
+                alpha: 2.5,
+            },
+            ArrivalShape::LogNormal {
+                mean: Nanos::from_micros(400),
+                sigma: 0.75,
+            },
+            ArrivalShape::Mmpp {
+                on_mean: Nanos::from_micros(100),
+                on_dur: Nanos::from_millis(3),
+                off_dur: Nanos::from_millis(1),
+            },
+            ArrivalShape::Diurnal {
+                mean: Nanos::from_micros(500),
+                amp: 0.8,
+                period: Nanos::from_millis(40),
+            },
+        ];
+        for arrival in shapes {
+            roundtrip(&Scenario {
+                arrival,
+                ..Scenario::default()
+            });
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        type ErrCheck = fn(&ScenarioError) -> bool;
+        let cases: &[(&str, ErrCheck)] = &[
+            ("frobnicate=3", |e| {
+                matches!(e, ScenarioError::UnknownClause(_))
+            }),
+            ("arrive", |e| matches!(e, ScenarioError::UnknownClause(_))),
+            ("arrive=warp:9", |e| matches!(e, ScenarioError::BadValue(_))),
+            ("arrive=exp:0ns", |e| {
+                matches!(e, ScenarioError::BadValue(_))
+            }),
+            ("arrive=exp:500us:7", |e| {
+                matches!(e, ScenarioError::BadValue(_))
+            }),
+            ("arrive=pareto:500us:0.9", |e| {
+                matches!(e, ScenarioError::BadValue(_))
+            }),
+            ("arrive=lognormal:500us:bananas", |e| {
+                matches!(e, ScenarioError::BadValue(_))
+            }),
+            ("arrive=diurnal:500us:1.5:40ms", |e| {
+                matches!(e, ScenarioError::BadValue(_))
+            }),
+            ("svc=pareto", |e| matches!(e, ScenarioError::BadValue(_))),
+            ("fanout=0", |e| matches!(e, ScenarioError::BadValue(_))),
+            ("fanout=9000", |e| matches!(e, ScenarioError::BadValue(_))),
+            ("fanout=3:sometimes", |e| {
+                matches!(e, ScenarioError::BadValue(_))
+            }),
+            ("fanout=3:quorum:5", |e| {
+                matches!(e, ScenarioError::Conflict(_))
+            }),
+            ("fanout=3:quorum:0", |e| {
+                matches!(e, ScenarioError::Conflict(_))
+            }),
+            ("svc=exp,svc=det", |e| {
+                matches!(e, ScenarioError::Duplicate(_))
+            }),
+            ("colocate=hpcg", |e| matches!(e, ScenarioError::BadValue(_))),
+            ("colocate=quake:1", |e| {
+                matches!(e, ScenarioError::BadValue(_))
+            }),
+            ("colocate=hpcg:3+3", |e| {
+                matches!(e, ScenarioError::BadValue(_))
+            }),
+            ("colocate=hpcg:5+2", |e| {
+                matches!(e, ScenarioError::BadValue(_))
+            }),
+            ("queues=0", |e| matches!(e, ScenarioError::BadValue(_))),
+            ("queues=lots", |e| matches!(e, ScenarioError::BadValue(_))),
+        ];
+        for (spec, want) in cases {
+            let err = Scenario::parse(spec).expect_err(spec);
+            assert!(want(&err), "`{spec}` gave unexpected error {err:?}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn quorum_without_fanout_is_conflict() {
+        let scn = Scenario {
+            join: JoinPolicy::Quorum(2),
+            ..Scenario::default()
+        };
+        assert!(matches!(scn.validate(), Err(ScenarioError::Conflict(_))));
+    }
+
+    #[test]
+    fn mean_gap_matches_shape() {
+        let exp = ArrivalShape::Exp {
+            mean: Nanos::from_micros(500),
+        };
+        assert_eq!(exp.mean_gap(), Nanos::from_micros(500));
+        // 4ms on / 2ms off duty cycle = 2/3, so the long-run gap is the
+        // on-window gap stretched by 3/2.
+        let mmpp = ArrivalShape::Mmpp {
+            on_mean: Nanos::from_micros(100),
+            on_dur: Nanos::from_millis(4),
+            off_dur: Nanos::from_millis(2),
+        };
+        assert_eq!(mmpp.mean_gap(), Nanos::from_nanos(150_000));
+    }
+
+    #[test]
+    fn all_hpc_kinds_parse_and_build() {
+        for kind in HpcKind::ALL {
+            assert_eq!(HpcKind::parse(kind.label()).unwrap(), kind);
+            let mut model = kind.model();
+            assert!(model.next_phase(Nanos::ZERO).is_some());
+        }
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+        use proptest::strategy::Strategy;
+
+        fn arb_time() -> impl Strategy<Value = Nanos> {
+            (1u64..10_000_000u64).prop_map(Nanos)
+        }
+
+        fn arb_alpha() -> impl Strategy<Value = f64> {
+            1.01f64..MAX_ALPHA
+        }
+
+        fn arb_sigma() -> impl Strategy<Value = f64> {
+            0.01f64..MAX_SIGMA
+        }
+
+        fn arb_arrival() -> impl Strategy<Value = ArrivalShape> {
+            prop_oneof![
+                arb_time().prop_map(|mean| ArrivalShape::Exp { mean }),
+                (arb_time(), arb_alpha())
+                    .prop_map(|(mean, alpha)| ArrivalShape::Pareto { mean, alpha }),
+                (arb_time(), arb_sigma())
+                    .prop_map(|(mean, sigma)| ArrivalShape::LogNormal { mean, sigma }),
+                (arb_time(), arb_time(), arb_time()).prop_map(|(on_mean, on_dur, off_dur)| {
+                    ArrivalShape::Mmpp {
+                        on_mean,
+                        on_dur,
+                        off_dur,
+                    }
+                }),
+                (arb_time(), 0.0f64..1.0, arb_time())
+                    .prop_map(|(mean, amp, period)| ArrivalShape::Diurnal { mean, amp, period }),
+            ]
+        }
+
+        fn arb_service() -> impl Strategy<Value = ServiceDist> {
+            prop_oneof![
+                Just(ServiceDist::Det),
+                Just(ServiceDist::Exp),
+                arb_alpha().prop_map(|alpha| ServiceDist::Pareto { alpha }),
+                arb_sigma().prop_map(|sigma| ServiceDist::LogNormal { sigma }),
+            ]
+        }
+
+        fn arb_scenario() -> impl Strategy<Value = Scenario> {
+            (
+                (arb_arrival(), arb_service(), arb_service()),
+                // Degree, join selector, raw quorum (folded into 1..=n).
+                (0usize..=8, any::<bool>(), 1u32..=8),
+                (
+                    any::<bool>(),
+                    0usize..HpcKind::ALL.len(),
+                    proptest::collection::vec(1u16..5, 1..4),
+                ),
+                (any::<bool>(), 1usize..=512),
+            )
+                .prop_map(
+                    |(
+                        (arrival, service, backend),
+                        (fanout, quorum, kraw),
+                        (colo, kind_ix, steps),
+                        (queues, depth),
+                    )| {
+                        let join = if fanout > 0 && quorum {
+                            JoinPolicy::Quorum(1 + (kraw - 1) % fanout as u32)
+                        } else {
+                            JoinPolicy::All
+                        };
+                        let colocate = colo.then(|| {
+                            let mut acc = 0u16;
+                            Colocation {
+                                kind: HpcKind::ALL[kind_ix],
+                                nodes: steps
+                                    .iter()
+                                    .map(|s| {
+                                        acc += s;
+                                        acc
+                                    })
+                                    .collect(),
+                            }
+                        });
+                        Scenario {
+                            arrival,
+                            service,
+                            backend,
+                            fanout,
+                            join,
+                            colocate,
+                            queue_depth: queues.then_some(depth),
+                        }
+                    },
+                )
+        }
+
+        proptest! {
+            /// Every valid scenario renders to a spec that parses back
+            /// to exactly itself (f64 Display is shortest-round-trip, so
+            /// even arbitrary float parameters survive).
+            #[test]
+            fn parse_render_parse_roundtrips(scn in arb_scenario()) {
+                prop_assert!(scn.validate().is_ok(), "generator made invalid {scn:?}");
+                let rendered = scn.to_string();
+                let back = Scenario::parse(&rendered);
+                prop_assert_eq!(back.as_ref(), Ok(&scn), "render was `{}`", rendered);
+            }
+
+            /// Arbitrary printable garbage never panics the parser —
+            /// it's always Ok or a typed error with a message.
+            #[test]
+            fn arbitrary_input_never_panics(
+                bytes in proptest::collection::vec(32u8..127, 0..60),
+            ) {
+                let text = String::from_utf8(bytes).unwrap();
+                if let Err(e) = Scenario::parse(&text) {
+                    prop_assert!(!e.to_string().is_empty());
+                }
+            }
+
+            /// Rendering is stable: render(parse(render(s))) == render(s).
+            #[test]
+            fn canonical_form_is_a_fixpoint(scn in arb_scenario()) {
+                let once = scn.to_string();
+                let twice = Scenario::parse(&once).unwrap().to_string();
+                prop_assert_eq!(once, twice);
+            }
+        }
+    }
+}

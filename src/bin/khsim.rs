@@ -56,7 +56,8 @@ USAGE:
   khsim parallel [--threads N] [--stack S] [--seed N] [--no-barrier]
   khsim cluster [--nodes N] [--workload svcload] [--stack S] [--seed N]
                 [--faults SPEC] [--fault-seed N] [--quick] [--ablation]
-                [--retries] [--reliability] [--out FILE] [--jobs N]
+                [--retries] [--reliability] [--scenario SPEC|FILE.khs]
+                [--queue-depth N] [--out FILE] [--jobs N]
   khsim figures [--trials N] [--seed N] [--jobs N]
   khsim trace [--workload W] [--stack S] [--routing primary|selective] [--out FILE]
   khsim list
@@ -82,12 +83,18 @@ OPTIONS:
                 silently failing
   --reliability cluster: run the {{no-faults, drop, partition, crashsvc}}
                 x {{retries off/on}} matrix and print the sweep table
+  --scenario    cluster: a traffic scenario — inline one-liner or a .khs
+                file path, e.g. arrive=exp:500us,svc=exp,fanout=3:quorum:2
+                or arrive=mmpp:300us:5ms:5ms,colocate=hpcg:6+7
+  --queue-depth cluster: switch egress queue depth, frames per port
+                (default {}; a scenario's queues= clause overrides)
   --out         cluster/trace: write the per-request CSV here
   --fault-seed  u64 seed for the fault streams (default 1)
   --jobs        experiment-pool worker threads (default: KH_JOBS env var,
                 then host cores). Results are identical for any value.",
         kitten_hafnium::VERSION,
-        WORKLOADS.join(" | ")
+        WORKLOADS.join(" | "),
+        kitten_hafnium::cluster::DEFAULT_QUEUE_DEPTH
     );
     ExitCode::from(2)
 }
@@ -331,6 +338,36 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
 
     let mut cfg = ClusterConfig::new(nodes, stack, seed);
     cfg.svcload = svcload;
+    if let Some(depth) = flags.get("queue-depth") {
+        match depth.parse::<usize>() {
+            Ok(n) if n >= 1 => cfg.queue_depth = n,
+            _ => {
+                eprintln!("error: --queue-depth wants an integer >= 1");
+                return None;
+            }
+        }
+    }
+    if let Some(raw) = flags.get("scenario") {
+        // A path to a .khs file, or the spec inline — same grammar.
+        let text = if std::path::Path::new(raw).is_file() {
+            match std::fs::read_to_string(raw) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {raw}: {e}");
+                    return None;
+                }
+            }
+        } else {
+            raw.clone()
+        };
+        match kitten_hafnium::scenario::Scenario::parse(&text) {
+            Ok(s) => cfg.scenario = Some(s),
+            Err(e) => {
+                eprintln!("error: bad --scenario spec: {e}");
+                return None;
+            }
+        }
+    }
     if flags.contains_key("retries") {
         cfg.retry = Some(RetryPolicy::default());
     }

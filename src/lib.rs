@@ -34,6 +34,7 @@
 //! | [`metrics`] | `kh-metrics` | stats, tables, scatter plots |
 //! | [`core`] | `kh-core` | machine executor + experiment harness |
 //! | [`cluster`] | `kh-cluster` | multi-machine fabric + svcload tails |
+//! | [`scenario`] | `kh-scenario` | traffic-scenario DSL: arrivals, fan-out, colocation |
 
 pub use kh_arch as arch;
 pub use kh_cluster as cluster;
@@ -42,6 +43,7 @@ pub use kh_hafnium as hafnium;
 pub use kh_kitten as kitten;
 pub use kh_linux as linux;
 pub use kh_metrics as metrics;
+pub use kh_scenario as scenario;
 pub use kh_sim as sim;
 pub use kh_virtio as virtio;
 pub use kh_workloads as workloads;

@@ -369,4 +369,46 @@ mod cluster_determinism {
             assert_eq!(serial, fingerprint(jobs), "jobs={jobs}");
         }
     }
+
+    /// A full scenario run — MMPP arrivals, fan-out with a quorum join,
+    /// an HPC neighbor — replays byte-identically per seed, and the
+    /// scenario figures are worker-count independent: the sampled
+    /// sequences ride per-request seeded streams, never a shared
+    /// cursor, which is what `khbench scenario` gates on in CI.
+    #[test]
+    fn scenario_runs_are_identical_for_any_worker_count() {
+        use kitten_hafnium::scenario::Scenario;
+        let scn = Scenario::parse(
+            "arrive=mmpp:500us:4ms:2ms,svc=exp,backend=lognormal:0.8,\
+             fanout=3:quorum:2,colocate=nas-cg:6",
+        )
+        .unwrap();
+        let artifacts = |seed: u64| {
+            let mut cfg = ClusterConfig::new(8, StackKind::HafniumKitten, seed);
+            cfg.svcload = SvcLoadConfig::quick();
+            cfg.scenario = Some(scn.clone());
+            let r = cluster::run(&cfg);
+            assert!(r.scenario.as_ref().unwrap().legs_sent > 0);
+            (r.render(), r.csv())
+        };
+        assert_eq!(artifacts(31), artifacts(31), "same seed, same bytes");
+        assert_ne!(artifacts(31).1, artifacts(32).1);
+
+        let sweep_base = Scenario::parse("arrive=exp:800us,svc=det,backend=exp").unwrap();
+        let fingerprint = |jobs: usize| {
+            pool::set_jobs(jobs);
+            let rows =
+                cluster::fanout_sweep(8, 33, SvcLoadConfig::quick(), &sweep_base, &[0, 2, 3]);
+            let colo = cluster::colocation_compare(8, 33, SvcLoadConfig::quick(), &scn);
+            pool::set_jobs(1);
+            rows.iter()
+                .map(|(_, _, r)| r.csv())
+                .chain(colo.iter().map(|(_, _, r)| r.csv()))
+                .collect::<Vec<_>>()
+        };
+        let serial = fingerprint(1);
+        for jobs in [2, 4] {
+            assert_eq!(serial, fingerprint(jobs), "jobs={jobs}");
+        }
+    }
 }

@@ -527,3 +527,92 @@ fn a_crashed_service_vm_recovers_without_perturbing_healthy_nodes() {
         );
     }
 }
+
+/// Colocation isolation: an HPC noisy neighbor armed on one node must
+/// be invisible everywhere else. Three layers of the claim:
+/// (1) arming a *scenario at all* leaves every node's noise histogram
+/// bit-identical to the plain svcload run — scenario sampling rides its
+/// own seed streams ("khscna"/"khscns"/"khscnh"), never the noise
+/// cursors; (2) adding the neighbor leaves non-colocated nodes' noise
+/// and request records identical to the nanosecond; (3) the colocated
+/// node itself still preserves per-node noise invariance (its neighbor
+/// steals service time, not timer traffic).
+#[test]
+fn an_hpc_neighbor_perturbs_only_its_own_node() {
+    use kitten_hafnium::cluster::{self, ClusterConfig};
+    use kitten_hafnium::core::config::StackKind;
+    use kitten_hafnium::scenario::Scenario;
+    use kitten_hafnium::workloads::svcload::SvcLoadConfig;
+
+    // 8 nodes: clients 0-3 pin to servers 4-7. Node 6 gets the neighbor,
+    // so only client 2's traffic crosses it.
+    let cfg_base = {
+        let mut c = ClusterConfig::new(8, StackKind::HafniumKitten, 55);
+        c.svcload = SvcLoadConfig::quick();
+        c
+    };
+    let plain = cluster::run(&cfg_base);
+    let scenario = {
+        let mut c = cfg_base.clone();
+        c.scenario = Some(Scenario::parse("arrive=exp:600us,svc=exp").unwrap());
+        cluster::run(&c)
+    };
+    let colocated = {
+        let mut c = cfg_base.clone();
+        c.scenario = Some(Scenario::parse("arrive=exp:600us,svc=exp,colocate=hpcg:6").unwrap());
+        cluster::run(&c)
+    };
+
+    // (1) Scenario arrivals and service draws never touch noise streams:
+    // all three runs — plain svcload included — share every noise
+    // histogram bit for bit.
+    for ((p, s), c) in plain
+        .per_node
+        .iter()
+        .zip(&scenario.per_node)
+        .zip(&colocated.per_node)
+    {
+        assert_eq!(
+            p.noise_hist, s.noise_hist,
+            "node{}: arming a scenario moved a noise bucket",
+            p.index
+        );
+        assert_eq!(
+            s.noise_hist, c.noise_hist,
+            "node{}: the neighbor moved a noise bucket",
+            s.index
+        );
+    }
+
+    // (2) Non-colocated servers see the same requests at the same
+    // nanoseconds whether or not node 6 hosts a neighbor.
+    let stats = colocated.scenario.as_ref().unwrap();
+    assert_eq!(stats.hpc_nodes, vec![6]);
+    assert!(stats.hpc_quanta > 0, "the neighbor must actually run");
+    let others = |r: &cluster::ClusterReport| {
+        r.records
+            .iter()
+            .filter(|rec| rec.server != 6)
+            .map(|rec| (rec.id, rec.client, rec.sent, rec.completed))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(others(&scenario), others(&colocated));
+
+    // (3) The colocated node pays for its neighbor in service tails,
+    // and nothing else: same offered load, worse completion times.
+    assert_eq!(scenario.sent, colocated.sent, "open loop: same arrivals");
+    let victim_latency = |r: &cluster::ClusterReport| {
+        r.records
+            .iter()
+            .filter_map(|rec| {
+                rec.completed
+                    .filter(|_| rec.server == 6)
+                    .map(|done| done.saturating_sub(rec.sent).as_nanos())
+            })
+            .sum::<u64>()
+    };
+    assert!(
+        victim_latency(&colocated) > victim_latency(&scenario),
+        "the neighbor must cost the colocated node's clients time"
+    );
+}
