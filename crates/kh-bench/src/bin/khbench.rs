@@ -21,11 +21,21 @@
 //!
 //! `khbench reliability` runs the fault-injection reliability cell:
 //! `{no-faults, drop:0.05, partition, crashsvc}` x `{retries off, on}`
-//! with a hedge delay derived from the clean run's p99. It gates on
-//! byte-identical per-request traces across worker counts and reruns,
-//! goodput-with-retries >= 99% under 5% frame loss (where retries-off
-//! measurably loses requests), and crash recovery inside the
-//! detect+restart budget. Writes `BENCH_cluster_reliability.json`.
+//! with the retries-on arm running the adaptive policy (live-quantile
+//! hedging, retry budgets, circuit breakers). It gates on byte-identical
+//! per-request traces across worker counts and reruns, goodput-with-
+//! retries >= 99% under 5% frame loss (where retries-off measurably
+//! loses requests), crash recovery inside the detect+restart budget,
+//! zero self-inflicted sheds under no faults, and partition goodput no
+//! worse than retries-off. Writes `BENCH_cluster_reliability.json`.
+//!
+//! `khbench adaptive` runs the metastability cell: `{no-faults,
+//! drop:0.05, partition}` x `{off, static frozen-hedge, adaptive}` plus
+//! the load x drop metastability grid. It gates on byte-identical traces
+//! across `--jobs 1/2/N` and same-seed reruns, adaptive no-faults p99
+//! <= 1.5x the retries-off tail (the static policy sits ~17x above it),
+//! and adaptive partition goodput >= retries-off. Writes
+//! `BENCH_cluster_adaptive.json`.
 //!
 //! `khbench scenario` runs the traffic-scenario cell: the fan-out degree
 //! sweep (both server stacks x degrees, p99 amplification over the
@@ -64,6 +74,7 @@ USAGE:
   khbench perf [--quick] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench cluster [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench reliability [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+  khbench adaptive [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench scenario [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
 
 OPTIONS:
@@ -75,6 +86,7 @@ OPTIONS:
   --out      output JSON path (default BENCH_parallel_walkcache.json,
              cluster: BENCH_cluster_svcload.json,
              reliability: BENCH_cluster_reliability.json,
+             adaptive: BENCH_cluster_adaptive.json,
              scenario: BENCH_cluster_scenario.json)"
     );
     ExitCode::from(2)
@@ -522,13 +534,17 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
 
 /// `khbench reliability`: the fault-matrix reliability cell with the
 /// determinism, goodput, and crash-recovery gates baked into the exit
-/// code. The hedge delay is derived from the clean baseline's p99, so
-/// the policy under test is itself a pure function of `(config, seed)`.
+/// code. The retries-on arm runs the *adaptive* policy — live-quantile
+/// hedging, token-bucket retry budgets, and the per-destination circuit
+/// breaker — so the hedge delay tracks the observed latency
+/// distribution instead of a frozen fault-free baseline (the frozen
+/// configuration self-inflicted sheds under zero faults).
 fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
     use kh_cluster::figures::{reliability_matrix, render_reliability};
     use kh_cluster::{ClusterConfig, ClusterReport};
     use kh_sim::Nanos;
-    use kh_workloads::svcload::{RetryPolicy, SvcLoadConfig};
+    use kh_workloads::adaptive::AdaptivePolicy;
+    use kh_workloads::svcload::SvcLoadConfig;
 
     let quick = flags.contains_key("quick");
     let nodes: usize = flags
@@ -558,24 +574,11 @@ fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
     };
     eprintln!("khbench reliability: nodes={nodes} jobs={jobs} quick={quick} seed={seed:#x}");
 
-    // Hedge delay from the clean baseline: run the no-fault, no-retry
-    // cell once and take its p99. Requests still in flight at that age
-    // are in the tail, so a hedge is cheap insurance, not extra load.
-    let baseline = {
-        let mut cfg = ClusterConfig::new(nodes, StackKind::HafniumKitten, seed);
-        cfg.svcload = svcload;
-        kh_cluster::run(&cfg)
-    };
-    let p99 = baseline.latency.p99();
-    let mut retry = RetryPolicy::default();
-    if p99.is_finite() && p99 > 0.0 {
-        retry.hedge_delay = Some(Nanos::from_nanos(p99 as u64));
-    }
-    let hedge_ns = retry.hedge_delay.map(|d| d.as_nanos()).unwrap_or(0);
-    eprintln!(
-        "hedge delay from baseline p99: {:.1} us",
-        hedge_ns as f64 / 1e3
-    );
+    // The retries-on arm is the adaptive layer: hedge delays come from
+    // per-destination live quantile trackers inside the run, so there is
+    // no baseline pre-run and the policy stays a pure function of
+    // `(config, seed)`.
+    let policy = AdaptivePolicy::default();
 
     type Row = (String, bool, ClusterReport);
     let fingerprint = |rows: &[Row]| -> String {
@@ -586,7 +589,7 @@ fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
     };
     let run_matrix = |workers: usize| -> Vec<Row> {
         kh_core::pool::set_jobs(workers);
-        reliability_matrix(nodes, seed, svcload, retry)
+        reliability_matrix(nodes, seed, svcload, policy)
     };
 
     // Determinism gate: --jobs 1, 2, and N plus a same-seed rerun must
@@ -605,7 +608,7 @@ fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
     // Wall clock for the whole matrix at the requested worker count.
     kh_core::pool::set_jobs(jobs);
     let wall_ns = time_median(repeats, || {
-        let rows = reliability_matrix(nodes, seed, svcload, retry);
+        let rows = reliability_matrix(nodes, seed, svcload, policy);
         assert_eq!(rows.len(), pooled.len());
     });
     eprintln!(
@@ -623,6 +626,15 @@ fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
     };
     let retries_off_loses = find("drop0.05", false).2.goodput() < 1.0;
     let goodput_gate = find("drop0.05", true).2.goodput() >= 0.99;
+    // The adaptive layer must not invent load under zero faults (the
+    // frozen-hedge policy self-inflicted sheds) and must not lose
+    // goodput under partition relative to retries-off (the static
+    // policy's retransmit storm did).
+    let no_faults_on = &find("no-faults", true).2;
+    let no_self_shedding =
+        no_faults_on.reliability.outcomes.shed == 0 && no_faults_on.reliability.nacks_sent == 0;
+    let partition_no_worse =
+        find("partition", true).2.goodput() >= find("partition", false).2.goodput();
     let recovery_budget = {
         let cfg = ClusterConfig::new(nodes, StackKind::HafniumKitten, seed);
         cfg.detect_latency + cfg.restart_cost + Nanos::from_millis(1)
@@ -636,7 +648,8 @@ fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
     });
     eprintln!(
         "gates: retries_off_loses_requests={retries_off_loses} goodput_gate_met={goodput_gate} \
-         crash_recovery_within_gate={recovery_gate}"
+         crash_recovery_within_gate={recovery_gate} no_self_shedding={no_self_shedding} \
+         partition_no_worse={partition_no_worse}"
     );
 
     let rows_json: Vec<String> = pooled
@@ -662,6 +675,8 @@ fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
                 "    {{ \"scenario\": \"{name}\", \"retries\": {retries}, \"sent\": {}, \
                  \"goodput\": {:.6}, \"p99_ns\": {:.0}, \"retransmits\": {}, \"hedges\": {}, \
                  \"nacks_sent\": {}, \"corrupt_rx\": {}, \"crash_drops\": {}, \
+                 \"retries_suppressed\": {}, \"hedges_suppressed\": {}, \
+                 \"dups_absorbed\": {}, \"breaker_opens\": {}, \
                  \"outcomes\": {{ \"ok\": {}, \"ok_hedged\": {}, \"shed\": {}, \
                  \"deadline\": {}, \"corrupt\": {}, \"failed\": {} }}, \
                  \"recoveries\": [{}] }}",
@@ -673,6 +688,10 @@ fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
                 r.reliability.nacks_sent,
                 r.reliability.corrupt_rx,
                 r.reliability.crash_drops,
+                r.reliability.retries_suppressed,
+                r.reliability.hedges_suppressed,
+                r.reliability.dups_absorbed,
+                r.reliability.breaker_opens,
                 o.ok,
                 o.ok_hedged,
                 o.shed,
@@ -686,12 +705,14 @@ fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
     let json = format!(
         "{{\n  \"schema\": \"khbench-cluster-reliability-v1\",\n  \"quick\": {quick},\n  \
          \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"jobs\": {jobs},\n  \
-         \"repeats\": {repeats},\n  \"hedge_delay_ns\": {hedge_ns},\n  \
+         \"repeats\": {repeats},\n  \"policy\": \"adaptive\",\n  \
          \"matrix_median_wall_ns\": {wall_ns},\n  \
          \"deterministic\": {deterministic},\n  \
          \"retries_off_loses_requests\": {retries_off_loses},\n  \
          \"goodput_gate_met\": {goodput_gate},\n  \
-         \"crash_recovery_within_gate\": {recovery_gate},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"crash_recovery_within_gate\": {recovery_gate},\n  \
+         \"no_self_shedding\": {no_self_shedding},\n  \
+         \"partition_no_worse\": {partition_no_worse},\n  \"rows\": [\n{}\n  ]\n}}\n",
         rows_json.join(",\n"),
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -715,6 +736,298 @@ fn cmd_reliability(flags: &HashMap<String, String>) -> Option<()> {
     }
     if !recovery_gate {
         eprintln!("error: crashsvc recovery missed the detect+restart budget");
+        return None;
+    }
+    if !no_self_shedding {
+        eprintln!("error: the adaptive layer shed or NACKed requests under zero faults");
+        return None;
+    }
+    if !partition_no_worse {
+        eprintln!("error: retries lost goodput under partition relative to retries-off");
+        return None;
+    }
+    Some(())
+}
+
+/// `khbench adaptive`: the metastability cell — `{no-faults, drop:0.05,
+/// partition}` × `{off, static, adaptive}` plus the load × drop
+/// metastability grid — with the determinism, no-self-inflicted-tail,
+/// and partition-goodput gates baked into the exit code. The static arm
+/// carries the frozen baseline-derived hedge delay (the historical
+/// configuration whose load feedback collapses the tail); the adaptive
+/// arm is the fix under test.
+fn cmd_adaptive(flags: &HashMap<String, String>) -> Option<()> {
+    use kh_cluster::figures::{
+        metastability_sweep, render_metastability, MetastabilityRow, ReliabilityPolicy,
+    };
+    use kh_cluster::{ClusterConfig, ClusterReport};
+    use kh_sim::FabricFaultSpec;
+    use kh_workloads::adaptive::AdaptivePolicy;
+    use kh_workloads::svcload::{RetryPolicy, SvcLoadConfig};
+
+    let quick = flags.contains_key("quick");
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(4))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(kh_bench::SEED))?;
+    let repeats: usize = flags
+        .get("repeats")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(if quick { 3 } else { 5 }))?;
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster_adaptive.json".to_string());
+    let jobs = match flags.get("jobs") {
+        Some(j) => j.parse().ok().filter(|&n| n >= 1)?,
+        None => kh_core::pool::jobs(),
+    };
+    let svcload = if quick {
+        SvcLoadConfig::quick()
+    } else {
+        SvcLoadConfig::default()
+    };
+    eprintln!("khbench adaptive: nodes={nodes} jobs={jobs} quick={quick} seed={seed:#x}");
+
+    // The static arm reproduces the historical configuration: a hedge
+    // delay frozen at the fault-free baseline's p99. Deriving it from a
+    // clean pre-run keeps the whole cell a pure function of
+    // `(config, seed)`.
+    let baseline = {
+        let mut cfg = ClusterConfig::new(nodes, StackKind::HafniumKitten, seed);
+        cfg.svcload = svcload;
+        kh_cluster::run(&cfg)
+    };
+    let p99 = baseline.latency.p99();
+    let mut static_policy = RetryPolicy::default();
+    if p99.is_finite() && p99 > 0.0 {
+        static_policy.hedge_delay = Some(Nanos::from_nanos(p99 as u64));
+    }
+    let static_hedge_ns = static_policy.hedge_delay.map(|d| d.as_nanos()).unwrap_or(0);
+    let adaptive_policy = AdaptivePolicy::default();
+    eprintln!(
+        "static arm hedge frozen at baseline p99: {:.1} us",
+        static_hedge_ns as f64 / 1e3
+    );
+
+    // Scenario matrix: {no-faults, drop, partition} x the three policies.
+    let victim = (nodes / 2).max(1); // first server index
+    let scenarios: Vec<(String, Option<String>)> = vec![
+        ("no-faults".to_string(), None),
+        ("drop0.05".to_string(), Some("drop:0.05".to_string())),
+        (
+            "partition".to_string(),
+            Some(format!("partition@10ms:5ms:{victim}")),
+        ),
+    ];
+    type Row = (String, ReliabilityPolicy, ClusterReport);
+    let combos: Vec<(String, Option<String>, ReliabilityPolicy)> = scenarios
+        .iter()
+        .flat_map(|(name, spec)| {
+            ReliabilityPolicy::ALL
+                .iter()
+                .map(move |&policy| (name.clone(), spec.clone(), policy))
+        })
+        .collect();
+    let run_matrix = |workers: usize| -> Vec<Row> {
+        kh_core::pool::set_jobs(workers);
+        let reports = Pool::with_default_jobs().run_indexed(combos.len(), |i| {
+            let (_, spec, policy) = &combos[i];
+            let mut cfg = ClusterConfig::new(nodes, StackKind::HafniumKitten, seed);
+            cfg.svcload = svcload;
+            if let Some(s) = spec {
+                let spec = FabricFaultSpec::parse(s).expect("scenario specs parse");
+                cfg.faults = Some((spec, seed ^ 0xFAB5));
+            }
+            match policy {
+                ReliabilityPolicy::Off => {}
+                ReliabilityPolicy::Static => cfg.retry = Some(static_policy),
+                ReliabilityPolicy::Adaptive => cfg.adaptive = Some(adaptive_policy),
+            }
+            kh_cluster::run(&cfg)
+        });
+        combos
+            .iter()
+            .zip(reports)
+            .map(|((name, _, policy), r)| (name.clone(), *policy, r))
+            .collect()
+    };
+    let grid_loads: &[u64] = if quick { &[500, 300] } else { &[500, 350, 250] };
+    let grid_drops: &[f64] = if quick {
+        &[0.0, 0.05]
+    } else {
+        &[0.0, 0.02, 0.05]
+    };
+    let run_grid = |workers: usize| -> Vec<MetastabilityRow> {
+        kh_core::pool::set_jobs(workers);
+        metastability_sweep(
+            nodes,
+            seed,
+            svcload,
+            grid_loads,
+            grid_drops,
+            static_policy,
+            adaptive_policy,
+        )
+    };
+
+    // Gate 1 — determinism: --jobs 1, 2, and N plus a same-seed rerun
+    // must all produce byte-identical per-request traces, for the
+    // scenario matrix and the grid both.
+    let fingerprint = |rows: &[Row], grid: &[MetastabilityRow]| -> String {
+        rows.iter()
+            .map(|(name, policy, r)| format!("{name},{}\n{}", policy.label(), r.csv()))
+            .chain(grid.iter().map(|g| {
+                format!(
+                    "{},{},{}\n{}",
+                    g.interarrival_us,
+                    g.drop,
+                    g.policy.label(),
+                    g.report.csv()
+                )
+            }))
+            .collect::<Vec<_>>()
+            .join("---\n")
+    };
+    let fp_at = |workers: usize| fingerprint(&run_matrix(workers), &run_grid(workers));
+    let fp1 = fp_at(1);
+    let deterministic =
+        !fp1.is_empty() && fp1 == fp_at(2) && fp1 == fp_at(jobs) && fp1 == fp_at(jobs);
+    eprintln!("determinism (jobs 1 == 2 == {jobs} == rerun): {deterministic}");
+
+    kh_core::pool::set_jobs(jobs);
+    let rows = run_matrix(jobs);
+    let grid = run_grid(jobs);
+    eprintln!("{}", render_metastability(&grid));
+
+    let find = |name: &str, policy: ReliabilityPolicy| -> &ClusterReport {
+        rows.iter()
+            .find(|(n, p, _)| n == name && *p == policy)
+            .map(|(_, _, r)| r)
+            .expect("matrix covers all scenario x policy cells")
+    };
+    // Gate 2 — no self-inflicted tail: under zero faults the adaptive
+    // layer's p99 stays within 1.5x of fire-and-forget (the static
+    // policy sits an order of magnitude above it).
+    let off_p99 = find("no-faults", ReliabilityPolicy::Off).latency.p99();
+    let static_p99 = find("no-faults", ReliabilityPolicy::Static).latency.p99();
+    let adaptive_p99 = find("no-faults", ReliabilityPolicy::Adaptive).latency.p99();
+    let tail_gate = adaptive_p99 <= off_p99 * 1.5;
+    eprintln!(
+        "no-faults p99 (us): off {:.1} | static {:.1} | adaptive {:.1} | gate (<=1.5x off): {tail_gate}",
+        off_p99 / 1e3,
+        static_p99 / 1e3,
+        adaptive_p99 / 1e3
+    );
+    // Gate 3 — partition goodput: the adaptive layer recovers at least
+    // what fire-and-forget delivers (the static retransmit storm lost
+    // goodput against that same bar).
+    let part_off = find("partition", ReliabilityPolicy::Off).goodput();
+    let part_static = find("partition", ReliabilityPolicy::Static).goodput();
+    let part_adaptive = find("partition", ReliabilityPolicy::Adaptive).goodput();
+    let goodput_gate = part_adaptive >= part_off;
+    eprintln!(
+        "partition goodput: off {part_off:.4} | static {part_static:.4} | \
+         adaptive {part_adaptive:.4} | gate (adaptive >= off): {goodput_gate}"
+    );
+
+    // Wall clock for the scenario matrix at the requested worker count.
+    let wall_ns = time_median(repeats, || {
+        let r = run_matrix(jobs);
+        assert_eq!(r.len(), rows.len());
+    });
+    eprintln!(
+        "matrix: median {:.2} ms over {repeats} repeats",
+        wall_ns as f64 / 1e6
+    );
+
+    let row_json = |name: &str, policy: ReliabilityPolicy, r: &ClusterReport| -> String {
+        let o = &r.reliability.outcomes;
+        format!(
+            "    {{ \"scenario\": \"{name}\", \"policy\": \"{}\", \"sent\": {}, \
+             \"goodput\": {:.6}, \"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \
+             \"retransmits\": {}, \"hedges\": {}, \"nacks_sent\": {}, \
+             \"retries_suppressed\": {}, \"hedges_suppressed\": {}, \
+             \"dups_absorbed\": {}, \"breaker_opens\": {}, \
+             \"outcomes\": {{ \"ok\": {}, \"ok_hedged\": {}, \"shed\": {}, \
+             \"deadline\": {}, \"corrupt\": {}, \"failed\": {} }} }}",
+            policy.label(),
+            r.sent,
+            r.goodput(),
+            r.latency.median(),
+            r.latency.p99(),
+            r.reliability.retransmits,
+            r.reliability.hedges,
+            r.reliability.nacks_sent,
+            r.reliability.retries_suppressed,
+            r.reliability.hedges_suppressed,
+            r.reliability.dups_absorbed,
+            r.reliability.breaker_opens,
+            o.ok,
+            o.ok_hedged,
+            o.shed,
+            o.deadline,
+            o.corrupt,
+            o.failed,
+        )
+    };
+    let scenario_rows: Vec<String> = rows
+        .iter()
+        .map(|(name, policy, r)| row_json(name, *policy, r))
+        .collect();
+    let grid_rows: Vec<String> = grid
+        .iter()
+        .map(|g| {
+            format!(
+                "    {{ \"interarrival_us\": {}, \"drop\": {}, \"policy\": \"{}\", \
+                 \"sent\": {}, \"goodput\": {:.6}, \"p99_ns\": {:.0}, \"shed\": {} }}",
+                g.interarrival_us,
+                g.drop,
+                g.policy.label(),
+                g.report.sent,
+                g.report.goodput(),
+                g.report.latency.p99(),
+                g.report.reliability.outcomes.shed,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"khbench-cluster-adaptive-v1\",\n  \"quick\": {quick},\n  \
+         \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"jobs\": {jobs},\n  \
+         \"repeats\": {repeats},\n  \"static_hedge_ns\": {static_hedge_ns},\n  \
+         \"matrix_median_wall_ns\": {wall_ns},\n  \
+         \"deterministic\": {deterministic},\n  \
+         \"no_faults_tail_gate_met\": {tail_gate},\n  \
+         \"partition_goodput_gate_met\": {goodput_gate},\n  \
+         \"no_faults_p99_ns\": {{ \"off\": {off_p99:.0}, \"static\": {static_p99:.0}, \
+         \"adaptive\": {adaptive_p99:.0} }},\n  \
+         \"partition_goodput\": {{ \"off\": {part_off:.6}, \"static\": {part_static:.6}, \
+         \"adaptive\": {part_adaptive:.6} }},\n  \
+         \"scenarios\": [\n{}\n  ],\n  \"grid\": [\n{}\n  ]\n}}\n",
+        scenario_rows.join(",\n"),
+        grid_rows.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return None;
+    }
+    eprintln!("wrote {out_path}");
+    if !deterministic {
+        eprintln!(
+            "error: adaptive traces diverged across reruns/worker counts — determinism broken"
+        );
+        return None;
+    }
+    if !tail_gate {
+        eprintln!("error: adaptive no-faults p99 exceeded 1.5x the retries-off tail");
+        return None;
+    }
+    if !goodput_gate {
+        eprintln!("error: adaptive partition goodput fell below the retries-off bar");
         return None;
     }
     Some(())
@@ -967,6 +1280,7 @@ fn main() -> ExitCode {
         "perf" => cmd_perf(&flags),
         "cluster" => cmd_cluster(&flags),
         "reliability" => cmd_reliability(&flags),
+        "adaptive" => cmd_adaptive(&flags),
         "scenario" => cmd_scenario(&flags),
         _ => None,
     };

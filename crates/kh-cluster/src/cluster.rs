@@ -14,24 +14,24 @@
 //! node 3 never consumes randomness belonging to node 5.
 
 use crate::fabric::{Fabric, FabricStats, DEFAULT_QUEUE_DEPTH};
-use crate::node::{Node, NodeStats, Role};
+use crate::node::{AdmissionPolicy, Node, NodeStats, Role};
 use crate::scenario::ScenarioStats;
 use kh_arch::platform::Platform;
 use kh_core::config::StackKind;
 use kh_metrics::hist::LogHistogram;
 use kh_metrics::outcome::OutcomeCounters;
+use kh_metrics::quantile::WindowedQuantile;
 use kh_metrics::table::Table;
 use kh_scenario::Scenario;
 use kh_sim::{EventQueue, FabricFaultPlan, FabricFaultSpec, FabricFaultStats, Nanos, SimRng};
 use kh_virtio::LinkProfile;
+use kh_workloads::adaptive::{AdaptivePolicy, CircuitBreaker, RetryBudget};
 use kh_workloads::svcload::{
     corrupt_frame_payload, decode_frame, nack_frame, request_frame, response_frame, retry_seed,
     Arrivals, FrameError, FrameHeader, FrameKind, RequestOutcome, RetryPolicy, SvcLoadConfig,
 };
 
-/// Default bound on a server's outstanding service queue; past it,
-/// admission control sheds with an explicit NACK.
-pub const DEFAULT_ADMISSION_LIMIT: usize = 64;
+pub use crate::node::DEFAULT_ADMISSION_LIMIT;
 
 /// Everything a cluster run needs.
 #[derive(Debug, Clone)]
@@ -50,8 +50,16 @@ pub struct ClusterConfig {
     /// Client-side reliability policy. None = fire-and-forget (a lost
     /// frame silently erases its request, outcome `Failed`).
     pub retry: Option<RetryPolicy>,
-    /// Server admission bound: outstanding requests before shedding.
-    pub admission_limit: usize,
+    /// The adaptive reliability layer: hedge delays follow each
+    /// destination's *live* latency quantile, retransmits/hedges pay
+    /// from a token-bucket budget, per-destination circuit breakers
+    /// stop retransmits into silence, and servers run CoDel
+    /// queue-delay admission (from the policy's `codel_*` fields,
+    /// overriding `admission`). Takes precedence over `retry` when
+    /// both are set.
+    pub adaptive: Option<AdaptivePolicy>,
+    /// Server admission policy (ignored when `adaptive` is set).
+    pub admission: AdmissionPolicy,
     /// How long the Kitten primary takes to notice a dead secondary
     /// (`Spm::vm_is_crashed` poll cadence) before driving restart.
     pub detect_latency: Nanos,
@@ -74,7 +82,8 @@ impl ClusterConfig {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             faults: None,
             retry: None,
-            admission_limit: DEFAULT_ADMISSION_LIMIT,
+            adaptive: None,
+            admission: AdmissionPolicy::default(),
             detect_latency: Nanos::from_millis(1),
             restart_cost: Nanos::from_millis(2),
             scenario: None,
@@ -128,6 +137,15 @@ pub struct ReliabilityStats {
     pub corrupt_rx: u64,
     /// Request frames that arrived at a down (crashed) service VM.
     pub crash_drops: u64,
+    /// Retransmits withheld by the adaptive budget or circuit breaker.
+    pub retries_suppressed: u64,
+    /// Hedges withheld by the adaptive budget or circuit breaker.
+    pub hedges_suppressed: u64,
+    /// Duplicate attempts the server response cache answered without
+    /// re-admission or a second service.
+    pub dups_absorbed: u64,
+    /// Times any destination's circuit breaker tripped open.
+    pub breaker_opens: u64,
 }
 
 /// One service-VM crash and its recovery, for time-to-recovery gates.
@@ -322,6 +340,42 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
     // perturbs arrivals, noise, or fabric fault draws.
     let retry_root = SimRng::new(cfg.seed ^ 0x6B68_7274_7279).next_u64(); // "khrtry"
 
+    // The adaptive layer: deadline/backoff semantics come from its
+    // embedded base policy; hedging, budgets, breakers, and admission
+    // are its own. Breaker reopen jitter rides a dedicated stream per
+    // destination ("khbrkr"), so arming adaptivity perturbs nothing.
+    let base_retry: Option<RetryPolicy> = cfg.adaptive.map(|a| a.retry).or(cfg.retry);
+    let admission = match &cfg.adaptive {
+        Some(a) => AdmissionPolicy::CoDel {
+            target: a.codel_target,
+            interval: a.codel_interval,
+        },
+        None => cfg.admission,
+    };
+    struct DestState {
+        tracker: WindowedQuantile,
+        budget: RetryBudget,
+        breaker: CircuitBreaker,
+    }
+    let mut dest_state: Vec<DestState> = match &cfg.adaptive {
+        Some(a) => {
+            let mut breaker_seeds = SimRng::new(cfg.seed ^ 0x6B68_6272_6B72); // "khbrkr"
+            (0..total)
+                .map(|i| DestState {
+                    tracker: WindowedQuantile::new(a.window),
+                    budget: RetryBudget::new(a.budget_percent, a.budget_burst),
+                    breaker: CircuitBreaker::new(
+                        a.breaker_threshold,
+                        a.breaker_open_base,
+                        a.breaker_jitter,
+                        breaker_seeds.split(i as u64),
+                    ),
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+
     let mut records: Vec<RequestRecord> = Vec::new();
     let mut states: Vec<ReqState> = Vec::new();
     let mut latency = LogHistogram::for_latency();
@@ -365,7 +419,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                     corrupt_seen: false,
                     done: false,
                 };
-                if let Some(policy) = &cfg.retry {
+                if let Some(policy) = &base_retry {
                     st.deadline_at = now + policy.deadline;
                     st.backoff = policy.backoff_schedule(retry_seed(retry_root, id));
                     q.schedule_at(st.deadline_at, Ev::Deadline { id });
@@ -376,12 +430,36 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                         }
                         st.next_backoff = 1;
                     }
-                    if let Some(h) = policy.hedge_delay {
+                    // Static policy: hedge at the frozen configured
+                    // delay. Adaptive: hedge at the destination's live
+                    // hedge-quantile latency, and only once the tracker
+                    // has seen enough completions to know the
+                    // distribution — the cold-start guard that replaces
+                    // the frozen baseline.
+                    let hedge_delay = match &cfg.adaptive {
+                        Some(a) => {
+                            let d = &dest_state[server as usize];
+                            if d.tracker.recorded() >= a.hedge_min_samples {
+                                let (qn, qd) = a.hedge_quantile;
+                                d.tracker
+                                    .quantile(qn, qd)
+                                    .map(|v| Nanos(v).max(a.hedge_floor))
+                            } else {
+                                None
+                            }
+                        }
+                        None => policy.hedge_delay,
+                    };
+                    if let Some(h) = hedge_delay {
                         let at = now + h;
                         if at < st.deadline_at {
                             q.schedule_at(at, Ev::Hedge { id });
                         }
                     }
+                }
+                if cfg.adaptive.is_some() {
+                    // First sends are never gated; they earn budget.
+                    dest_state[server as usize].budget.on_send();
                 }
                 transmit_request(
                     cfg,
@@ -400,14 +478,23 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
             Ev::Retry { id } => {
                 let rec = &mut records[id as usize];
                 let st = &mut states[id as usize];
-                let max = cfg.retry.as_ref().map(|p| p.max_attempts).unwrap_or(1);
-                if st.done || now >= st.deadline_at || rec.attempts >= max {
+                let max = base_retry.as_ref().map(|p| p.max_attempts).unwrap_or(1);
+                if st.done || now >= st.deadline_at {
                     continue;
                 }
-                let attempt = rec.attempts as u8;
-                rec.attempts += 1;
-                rel.retransmits += 1;
-                // Chain the next backoff timer off this send instant.
+                // The backoff timer firing means the outstanding
+                // attempt went unanswered — the breaker's failure
+                // signal, whether or not a retransmit follows.
+                if cfg.adaptive.is_some() {
+                    dest_state[st.server as usize].breaker.on_timeout(now);
+                }
+                if rec.attempts >= max {
+                    continue;
+                }
+                // Chain the next backoff timer off this instant whether
+                // or not this retransmit is allowed out: a suppressed
+                // attempt must leave the request a later chance (e.g. a
+                // breaker probe after the cooldown).
                 if let Some(delay) = st.backoff.get(st.next_backoff).copied() {
                     st.next_backoff += 1;
                     let at = now + delay;
@@ -415,6 +502,16 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                         q.schedule_at(at, Ev::Retry { id });
                     }
                 }
+                if cfg.adaptive.is_some() {
+                    let d = &mut dest_state[st.server as usize];
+                    if !d.breaker.allow_attempt(now) || !d.budget.try_spend() {
+                        rel.retries_suppressed += 1;
+                        continue;
+                    }
+                }
+                let attempt = rec.attempts as u8;
+                rec.attempts += 1;
+                rel.retransmits += 1;
                 let client = rec.client;
                 let st = &states[id as usize];
                 transmit_request(
@@ -433,9 +530,16 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
             Ev::Hedge { id } => {
                 let rec = &mut records[id as usize];
                 let st = &mut states[id as usize];
-                let max = cfg.retry.as_ref().map(|p| p.max_attempts).unwrap_or(1);
+                let max = base_retry.as_ref().map(|p| p.max_attempts).unwrap_or(1);
                 if st.done || now >= st.deadline_at || rec.attempts >= max {
                     continue;
+                }
+                if cfg.adaptive.is_some() {
+                    let d = &mut dest_state[st.server as usize];
+                    if !d.breaker.allow_attempt(now) || !d.budget.try_spend() {
+                        rel.hedges_suppressed += 1;
+                        continue;
+                    }
                 }
                 let attempt = rec.attempts as u8;
                 rec.attempts += 1;
@@ -462,6 +566,12 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                     continue;
                 }
                 st.done = true;
+                // A deadline expiring in silence (no NACK, no corrupt
+                // reply attributable) is a timeout signal too; a shed
+                // or corrupt story proves the destination reachable.
+                if cfg.adaptive.is_some() && !st.nack_seen && !st.corrupt_seen {
+                    dest_state[st.server as usize].breaker.on_timeout(now);
+                }
                 records[id as usize].outcome = if st.nack_seen {
                     RequestOutcome::Shed
                 } else if st.corrupt_seen {
@@ -515,12 +625,29 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                                 rel.crash_drops += 1;
                                 continue;
                             }
-                            // Request lands at the server: RX copy, admission
-                            // check, queue for the service core, compute, then
-                            // answer (response or NACK) back through the fabric.
+                            // Request lands at the server: RX copy, dedupe
+                            // check, admission check, queue for the service
+                            // core, compute, then answer (response or NACK)
+                            // back through the fabric.
                             let ready = node.receive(now, &frame, horizon);
-                            let reply = if node.admit(ready, cfg.admission_limit) {
+                            let reply = if let Some(done) = node.cached_response(id) {
+                                // A duplicate attempt (hedge/retransmit) of a
+                                // request this server already admitted:
+                                // replay the cached answer — at-most-once
+                                // execution against the client's
+                                // at-least-once transmission. It never
+                                // consumes an admission slot or a second
+                                // service, so duplicates cannot shed or feed
+                                // the congestion loop. The replay departs no
+                                // earlier than this RX finished and no
+                                // earlier than the original service did.
+                                rel.dups_absorbed += 1;
+                                let reply =
+                                    response_frame(&cfg.svcload, id, client, sent_at, attempt);
+                                (ready.max(done), reply)
+                            } else if node.admit_with(ready, &admission) {
                                 let done = node.serve(ready, &phase, horizon);
+                                node.note_served(id, done);
                                 let reply =
                                     response_frame(&cfg.svcload, id, client, sent_at, attempt);
                                 (done, reply)
@@ -569,6 +696,13 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                                 FrameKind::Response => {
                                     st.done = true;
                                     let lat = done.saturating_sub(h.sent);
+                                    if cfg.adaptive.is_some() {
+                                        // Feed the live distribution and
+                                        // clear the breaker's streak.
+                                        let d = &mut dest_state[st.server as usize];
+                                        d.tracker.record(lat.as_nanos().max(1));
+                                        d.breaker.on_success();
+                                    }
                                     latency.record(lat.as_nanos().max(1) as f64);
                                     nodes[dst as usize]
                                         .latency_hist
@@ -582,7 +716,15 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                                     };
                                     completed += 1;
                                 }
-                                FrameKind::Nack => st.nack_seen = true,
+                                FrameKind::Nack => {
+                                    st.nack_seen = true;
+                                    // A NACK is proof of reachability:
+                                    // the breaker detects silent
+                                    // destinations, not loaded ones.
+                                    if cfg.adaptive.is_some() {
+                                        dest_state[st.server as usize].breaker.on_success();
+                                    }
+                                }
                                 FrameKind::Request => {} // unreachable
                             }
                         }
@@ -621,6 +763,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
             RequestOutcome::Failed
         };
     }
+    rel.breaker_opens = dest_state.iter().map(|d| d.breaker.opens).sum();
     for rec in &records {
         match rec.outcome {
             RequestOutcome::Ok { .. } => rel.outcomes.ok += 1,
@@ -765,6 +908,15 @@ impl ClusterReport {
                 r.nacks_sent,
                 r.corrupt_rx,
                 r.crash_drops,
+            ));
+        }
+        if r.retries_suppressed + r.hedges_suppressed + r.dups_absorbed + r.breaker_opens > 0 {
+            out.push_str(&format!(
+                "adaptive: {} retries suppressed, {} hedges suppressed, {} dups absorbed, {} breaker opens\n",
+                r.retries_suppressed,
+                r.hedges_suppressed,
+                r.dups_absorbed,
+                r.breaker_opens,
             ));
         }
         for rec in &self.recoveries {
@@ -977,7 +1129,7 @@ mod tests {
         let mut cfg = quick(StackKind::HafniumKitten, 13);
         // Overdrive one server pair and bound the queue tightly.
         cfg.svcload.mean_interarrival = Nanos::from_micros(40);
-        cfg.admission_limit = 2;
+        cfg.admission = AdmissionPolicy::Fixed { limit: 2 };
         cfg.retry = Some(RetryPolicy::default());
         let r = run(&cfg);
         assert!(r.reliability.nacks_sent > 0, "overload must shed");
@@ -993,6 +1145,86 @@ mod tests {
         );
         let shed_total: u64 = r.per_node.iter().map(|n| n.stats.shed).sum();
         assert_eq!(shed_total, r.reliability.nacks_sent);
+    }
+
+    #[test]
+    fn duplicate_attempts_never_shed_or_double_serve() {
+        // An aggressive static policy (hedge every request at 300us,
+        // backoff floor near the median) floods servers with
+        // duplicates; before the response cache this self-shed with
+        // zero faults. Now every duplicate of an admitted request is
+        // absorbed: no NACKs, no sheds, no double service.
+        let mut cfg = quick(StackKind::HafniumKitten, 29);
+        cfg.retry = Some(RetryPolicy {
+            hedge_delay: Some(Nanos::from_micros(300)),
+            base_backoff: Nanos::from_millis(1),
+            max_backoff: Nanos::from_millis(2),
+            ..RetryPolicy::default()
+        });
+        let r = run(&cfg);
+        assert!(
+            r.reliability.hedges + r.reliability.retransmits > 0,
+            "the policy must generate duplicates for this test to bite"
+        );
+        assert!(r.reliability.dups_absorbed > 0, "cache must absorb them");
+        assert_eq!(r.reliability.nacks_sent, 0, "no self-induced shedding");
+        let served: u64 = r.per_node.iter().map(|n| n.stats.served).sum();
+        assert_eq!(served, r.sent, "each request is served exactly once");
+        let dup_hits: u64 = r.per_node.iter().map(|n| n.stats.dup_hits).sum();
+        assert_eq!(dup_hits, r.reliability.dups_absorbed);
+        assert_eq!(r.goodput(), 1.0);
+    }
+
+    #[test]
+    fn adaptive_no_faults_tail_tracks_retries_off() {
+        let off = run(&quick(StackKind::HafniumKitten, 31));
+        let mut cfg = quick(StackKind::HafniumKitten, 31);
+        cfg.adaptive = Some(AdaptivePolicy::default());
+        let adaptive = run(&cfg);
+        assert_eq!(adaptive.sent, off.sent, "open loop: same offered load");
+        assert_eq!(adaptive.goodput(), 1.0);
+        // The whole point: arming the adaptive policy on a healthy
+        // cluster must not manufacture a tail (static hedging at a
+        // frozen baseline inflated p99 ~17x here).
+        assert!(
+            adaptive.latency.p99() <= off.latency.p99() * 1.5,
+            "adaptive p99 {} vs off p99 {}",
+            adaptive.latency.p99(),
+            off.latency.p99()
+        );
+        assert_eq!(
+            adaptive.reliability.breaker_opens, 0,
+            "healthy cluster never trips a breaker"
+        );
+        // Reproducible with the full adaptive stack armed.
+        let again = run(&cfg);
+        assert_eq!(adaptive.csv(), again.csv());
+        assert_eq!(adaptive.render(), again.render());
+    }
+
+    #[test]
+    fn adaptive_partition_recovers_at_least_retries_off_goodput() {
+        let mut cfg = quick(StackKind::HafniumKitten, 33);
+        let victim = cfg.clients();
+        cfg.faults = Some((
+            FabricFaultSpec::parse(&format!("partition@10ms:5ms:{victim}")).unwrap(),
+            3,
+        ));
+        let off = run(&cfg);
+        assert!(off.goodput() < 1.0, "partition must hurt the bare arm");
+        cfg.adaptive = Some(AdaptivePolicy::default());
+        let adaptive = run(&cfg);
+        assert_eq!(adaptive.sent, off.sent, "open loop: same offered load");
+        assert!(
+            adaptive.goodput() >= off.goodput(),
+            "adaptive {} vs off {}",
+            adaptive.goodput(),
+            off.goodput()
+        );
+        assert!(
+            adaptive.reliability.retransmits > 0,
+            "recovery needs retransmits"
+        );
     }
 
     #[test]

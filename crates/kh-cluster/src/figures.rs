@@ -11,7 +11,8 @@ use kh_core::config::StackKind;
 use kh_core::pool::Pool;
 use kh_metrics::table::Table;
 use kh_scenario::Scenario;
-use kh_sim::FabricFaultSpec;
+use kh_sim::{FabricFaultSpec, Nanos};
+use kh_workloads::adaptive::AdaptivePolicy;
 use kh_workloads::svcload::{RetryPolicy, SvcLoadConfig};
 
 /// The two server stacks the ablation compares.
@@ -78,13 +79,17 @@ pub fn reliability_scenarios(nodes: usize) -> Vec<(String, Option<String>)> {
 
 /// Run the reliability cell: `{no-faults, drop, partition, crashsvc}`
 /// × `{retries off, retries on}` on Kitten-primary servers, pooled and
-/// deterministic for any worker count. Returns
+/// deterministic for any worker count. The retries-on arm runs the
+/// *adaptive* policy — live-quantile hedging, retry budgets, and the
+/// per-destination circuit breaker — so retransmits into a known-dead
+/// destination stop instead of stuffing the fabric (the static policy
+/// measurably *lost* goodput under partition). Returns
 /// `(scenario, retries_on, report)` rows in a fixed order.
 pub fn reliability_matrix(
     nodes: usize,
     seed: u64,
     svcload: SvcLoadConfig,
-    retry: RetryPolicy,
+    policy: AdaptivePolicy,
 ) -> Vec<(String, bool, ClusterReport)> {
     let combos: Vec<(String, Option<String>, bool)> = reliability_scenarios(nodes)
         .into_iter()
@@ -99,7 +104,7 @@ pub fn reliability_matrix(
             cfg.faults = Some((spec, seed ^ 0xFAB5));
         }
         if *retries {
-            cfg.retry = Some(retry);
+            cfg.adaptive = Some(policy);
         }
         cluster::run(&cfg)
     });
@@ -138,6 +143,143 @@ pub fn render_reliability(rows: &[(String, bool, ClusterReport)]) -> String {
                 r.reliability.nacks_sent.to_string(),
                 us(r.latency.p99()),
                 r.reliability.outcomes.render(),
+            ],
+        );
+    }
+    t.render()
+}
+
+/// Which reliability layer a metastability-grid cell arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliabilityPolicy {
+    /// Fire-and-forget: losses stay lost, but nothing feeds back.
+    Off,
+    /// The static [`RetryPolicy`]: frozen hedge delay, no budget, no
+    /// breaker, fixed admission — the arm that collapses.
+    Static,
+    /// The adaptive layer: live-quantile hedging, budgets, breakers,
+    /// CoDel admission.
+    Adaptive,
+}
+
+impl ReliabilityPolicy {
+    pub const ALL: [ReliabilityPolicy; 3] = [
+        ReliabilityPolicy::Off,
+        ReliabilityPolicy::Static,
+        ReliabilityPolicy::Adaptive,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReliabilityPolicy::Off => "off",
+            ReliabilityPolicy::Static => "static",
+            ReliabilityPolicy::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// One cell of the metastability grid.
+#[derive(Debug, Clone)]
+pub struct MetastabilityRow {
+    /// Mean interarrival per client, µs (smaller = more load).
+    pub interarrival_us: u64,
+    /// Fabric random-loss probability (0 = clean).
+    pub drop: f64,
+    pub policy: ReliabilityPolicy,
+    pub report: ClusterReport,
+}
+
+/// The metastability sweep: a load × drop-rate grid, each cell run
+/// with retries off, the static policy, and the adaptive policy — the
+/// figure that shows *where* the static layer's load feedback tips a
+/// healthy cluster into congestion collapse and that the adaptive
+/// layer holds the tail flat over the same grid. `static_policy`
+/// should carry the frozen baseline-derived hedge delay that triggers
+/// the collapse (the historical configuration under test); pooled and
+/// deterministic for any worker count.
+pub fn metastability_sweep(
+    nodes: usize,
+    seed: u64,
+    base: SvcLoadConfig,
+    loads_us: &[u64],
+    drops: &[f64],
+    static_policy: RetryPolicy,
+    adaptive_policy: AdaptivePolicy,
+) -> Vec<MetastabilityRow> {
+    let combos: Vec<(u64, f64, ReliabilityPolicy)> = loads_us
+        .iter()
+        .flat_map(|&ia| {
+            drops.iter().flat_map(move |&drop| {
+                ReliabilityPolicy::ALL
+                    .iter()
+                    .map(move |&policy| (ia, drop, policy))
+            })
+        })
+        .collect();
+    let reports = Pool::with_default_jobs().run_indexed(combos.len(), |i| {
+        let (ia, drop, policy) = combos[i];
+        let mut cfg = ClusterConfig::new(nodes, StackKind::HafniumKitten, seed);
+        cfg.svcload = base;
+        cfg.svcload.mean_interarrival = Nanos::from_micros(ia);
+        if drop > 0.0 {
+            let spec = FabricFaultSpec::parse(&format!("drop:{drop}")).expect("drop spec parses");
+            cfg.faults = Some((spec, seed ^ 0xFAB5));
+        }
+        match policy {
+            ReliabilityPolicy::Off => {}
+            ReliabilityPolicy::Static => cfg.retry = Some(static_policy),
+            ReliabilityPolicy::Adaptive => cfg.adaptive = Some(adaptive_policy),
+        }
+        cluster::run(&cfg)
+    });
+    combos
+        .into_iter()
+        .zip(reports)
+        .map(
+            |((interarrival_us, drop, policy), report)| MetastabilityRow {
+                interarrival_us,
+                drop,
+                policy,
+                report,
+            },
+        )
+        .collect()
+}
+
+/// Render the metastability grid as a table.
+pub fn render_metastability(rows: &[MetastabilityRow]) -> String {
+    let us = |v: f64| {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.1}", v / 1_000.0)
+        }
+    };
+    let nodes = rows.first().map(|r| r.report.nodes).unwrap_or(0);
+    let mut t = Table::new(
+        format!("metastability grid (load x drop x policy), {nodes} nodes"),
+        &[
+            "policy", "sent", "goodput%", "retx", "hedges", "shed", "p50 us", "p99 us",
+        ],
+    );
+    for row in rows {
+        let r = &row.report;
+        t.row(
+            format!(
+                "ia={}us drop={} {}",
+                row.interarrival_us,
+                row.drop,
+                row.policy.label()
+            ),
+            vec![
+                row.policy.label().to_string(),
+                r.sent.to_string(),
+                format!("{:.3}", r.goodput() * 100.0),
+                r.reliability.retransmits.to_string(),
+                r.reliability.hedges.to_string(),
+                r.reliability.nacks_sent.to_string(),
+                us(r.latency.median()),
+                us(r.latency.p99()),
             ],
         );
     }
@@ -314,7 +456,7 @@ mod tests {
 
     #[test]
     fn reliability_matrix_covers_the_scenarios() {
-        let rows = reliability_matrix(4, 3, SvcLoadConfig::quick(), RetryPolicy::default());
+        let rows = reliability_matrix(4, 3, SvcLoadConfig::quick(), AdaptivePolicy::default());
         assert_eq!(rows.len(), 8, "4 scenarios x retries off/on");
         // The drop scenario: retries-off loses, retries-on recovers.
         let drop_off = rows
@@ -327,6 +469,22 @@ mod tests {
             .unwrap();
         assert!(drop_off.2.goodput() < 1.0);
         assert!(drop_on.2.goodput() >= 0.99);
+        // The partition scenario: the breaker-armed adaptive arm never
+        // does worse than no retries at all (the static policy did).
+        let part_off = rows
+            .iter()
+            .find(|(n, retries, _)| n == "partition" && !retries)
+            .unwrap();
+        let part_on = rows
+            .iter()
+            .find(|(n, retries, _)| n == "partition" && *retries)
+            .unwrap();
+        assert!(
+            part_on.2.goodput() >= part_off.2.goodput(),
+            "adaptive {} vs off {}",
+            part_on.2.goodput(),
+            part_off.2.goodput()
+        );
         let table = render_reliability(&rows);
         assert!(table.contains("crashsvc+retry"));
     }
@@ -335,10 +493,76 @@ mod tests {
     fn reliability_matrix_is_worker_count_independent() {
         let fingerprint = |jobs| {
             pool::set_jobs(jobs);
-            let rows = reliability_matrix(4, 5, SvcLoadConfig::quick(), RetryPolicy::default());
+            let rows = reliability_matrix(4, 5, SvcLoadConfig::quick(), AdaptivePolicy::default());
             pool::set_jobs(1);
             rows.iter()
                 .map(|(n, retries, r)| format!("{n},{retries}\n{}", r.csv()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fingerprint(1), fingerprint(2));
+    }
+
+    #[test]
+    fn metastability_grid_covers_every_cell_once() {
+        let rows = metastability_sweep(
+            4,
+            13,
+            SvcLoadConfig::quick(),
+            &[500, 300],
+            &[0.0, 0.05],
+            RetryPolicy {
+                hedge_delay: Some(kh_sim::Nanos::from_millis(2)),
+                ..RetryPolicy::default()
+            },
+            AdaptivePolicy::default(),
+        );
+        assert_eq!(rows.len(), 12, "2 loads x 2 drops x 3 policies");
+        // Offered load depends only on the (load, drop) cell, not the
+        // policy: arming a reliability layer perturbs nothing upstream.
+        for cell in rows.chunks(3) {
+            assert_eq!(cell[0].report.sent, cell[1].report.sent);
+            assert_eq!(cell[0].report.sent, cell[2].report.sent);
+        }
+        // At the clean baseline cell, adaptive matches off's tail to
+        // within the no-self-inflicted-tail gate.
+        let off = &rows[0];
+        let adaptive = &rows[2];
+        assert_eq!(off.policy, ReliabilityPolicy::Off);
+        assert_eq!(adaptive.policy, ReliabilityPolicy::Adaptive);
+        assert!(
+            adaptive.report.latency.p99() <= off.report.latency.p99() * 1.5,
+            "adaptive p99 {} vs off {}",
+            adaptive.report.latency.p99(),
+            off.report.latency.p99()
+        );
+        let table = render_metastability(&rows);
+        assert!(table.contains("adaptive") && table.contains("drop=0.05"));
+    }
+
+    #[test]
+    fn metastability_sweep_is_worker_count_independent() {
+        let fingerprint = |jobs| {
+            pool::set_jobs(jobs);
+            let rows = metastability_sweep(
+                4,
+                15,
+                SvcLoadConfig::quick(),
+                &[400],
+                &[0.0, 0.05],
+                RetryPolicy::default(),
+                AdaptivePolicy::default(),
+            );
+            pool::set_jobs(1);
+            rows.iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{}\n{}",
+                        r.interarrival_us,
+                        r.drop,
+                        r.policy.label(),
+                        r.report.csv()
+                    )
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(fingerprint(1), fingerprint(2));

@@ -18,14 +18,18 @@
 //!   jitter, and partitions;
 //! - [`cluster`] — topology, the event loop with the end-to-end
 //!   reliability layer (deadlines, seeded-backoff retries, hedging,
-//!   admission control, crash recovery), and [`ClusterReport`]
+//!   admission control, crash recovery — plus the *adaptive* layer:
+//!   live-quantile hedge delays, token-bucket retry budgets,
+//!   per-destination circuit breakers, CoDel queue-delay admission,
+//!   and server-side duplicate absorption), and [`ClusterReport`]
 //!   (latency histogram, per-request CSV trace with terminal outcomes,
 //!   per-node noise);
 //! - [`scenario`] — the multi-tier executor behind `kh_scenario`
 //!   specs: frontend fan-out to backends, wait-for-all or quorum-k
 //!   joins, and HPC noisy neighbors colocated on designated nodes;
 //! - [`figures`] — the Kitten-vs-Linux server ablation under identical
-//!   offered load, plus the reliability fault-matrix sweep and the
+//!   offered load, plus the reliability fault-matrix sweep, the
+//!   metastability load×drop grid (static vs adaptive), and the
 //!   scenario fan-out/colocation figures.
 //!
 //! Everything is a pure function of `(config, seed)`: same seed, same
@@ -43,9 +47,9 @@ pub use cluster::{
 };
 pub use fabric::{Delivery, Fabric, FabricStats, PortStats, DEFAULT_QUEUE_DEPTH};
 pub use figures::{
-    ablation_cluster, colocation_compare, fanout_amplification, fanout_sweep, reliability_matrix,
-    reliability_scenarios, render_cluster, render_colocation, render_fanout, render_reliability,
-    ARMS,
+    ablation_cluster, colocation_compare, fanout_amplification, fanout_sweep, metastability_sweep,
+    reliability_matrix, reliability_scenarios, render_cluster, render_colocation, render_fanout,
+    render_metastability, render_reliability, MetastabilityRow, ReliabilityPolicy, ARMS,
 };
-pub use node::{Node, NodeStats, Role};
+pub use node::{AdmissionPolicy, Node, NodeStats, Role};
 pub use scenario::{run_scenario, ScenarioStats};

@@ -41,7 +41,7 @@ use kh_scenario::HpcKind;
 use kh_sim::{Nanos, SimRng};
 use kh_virtio::{PeerBackend, VirtioNet};
 use kh_workloads::Workload;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 const MB: u64 = 1 << 20;
 /// Virtio-net completion interrupt id on the svc secondary.
@@ -123,6 +123,64 @@ impl HpcNeighbor {
     }
 }
 
+/// Default bound on a server's outstanding service queue under the
+/// fixed admission policy; past it, admission sheds with an explicit
+/// NACK.
+pub const DEFAULT_ADMISSION_LIMIT: usize = 64;
+
+/// How a server decides whether an arriving request may enter the
+/// service queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Shed once `limit` admitted requests are outstanding — a bound on
+    /// instantaneous queue *length*. Simple, but blind to how long the
+    /// queue has been bad: a burst of `limit` requests sheds even if
+    /// the queue drains in microseconds.
+    Fixed { limit: usize },
+    /// CoDel-style: shed only when queue *sojourn* (how long an
+    /// admitted request would wait before service starts) has stayed
+    /// above `target` for a full `interval`, then shed at an
+    /// increasing rate (`interval / sqrt(drops)`) until sojourn drops
+    /// back under target. Sheds on sustained excess, not transient
+    /// bursts — the admission half of the metastability fix.
+    CoDel { target: Nanos, interval: Nanos },
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy::Fixed {
+            limit: DEFAULT_ADMISSION_LIMIT,
+        }
+    }
+}
+
+/// CoDel control-law state, one per server node. All integer-nanos.
+#[derive(Debug, Clone, Copy, Default)]
+struct CoDelState {
+    /// When sojourn first exceeded target (+interval), if it still does.
+    first_above: Option<Nanos>,
+    /// In the shedding regime.
+    dropping: bool,
+    /// Next shed instant while dropping.
+    drop_next: Nanos,
+    /// Sheds this dropping episode (sets the control-law rate).
+    drop_count: u64,
+}
+
+/// Integer square root (floor), for the CoDel drop-rate law.
+fn isqrt(v: u64) -> u64 {
+    if v < 2 {
+        return v;
+    }
+    let mut x = v;
+    let mut y = (x as u128).div_ceil(2) as u64;
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x
+}
+
 /// What a node is for in the cluster topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
@@ -145,6 +203,10 @@ pub struct NodeStats {
     pub served: u64,
     /// Requests refused by admission control (servers only).
     pub shed: u64,
+    /// Duplicate attempts (hedges/retransmits) of an already-served
+    /// request absorbed by the response cache instead of re-entering
+    /// admission (servers only).
+    pub dup_hits: u64,
     /// Requests that arrived while the service VM was down.
     pub crash_drops: u64,
     /// Times the primary restarted a crashed service VM.
@@ -172,6 +234,14 @@ pub struct Node {
     /// Completion times of admitted requests still in the service
     /// queue; admission control bounds its occupancy.
     pending_done: VecDeque<Nanos>,
+    /// Response cache: request id → service completion instant, for
+    /// every request admitted since the last crash. Duplicate attempts
+    /// replay the cached answer instead of consuming an admission slot
+    /// and a second full service — an at-most-once execution guarantee
+    /// against the client's at-least-once transmission layer.
+    served_cache: HashMap<u64, Nanos>,
+    /// CoDel admission control-law state (servers only).
+    codel: CoDelState,
     /// True between a `crashsvc` fault and the primary's restart.
     crashed: bool,
     /// Colocated HPC neighbor sharing the service core (scenario mode).
@@ -266,6 +336,8 @@ impl Node {
             guest_tick_at,
             background,
             pending_done: VecDeque::new(),
+            served_cache: HashMap::new(),
+            codel: CoDelState::default(),
             crashed: false,
             hpc: None,
             busy_until: Nanos::ZERO,
@@ -524,6 +596,70 @@ impl Node {
         }
     }
 
+    /// Admission under a configured [`AdmissionPolicy`].
+    pub fn admit_with(&mut self, now: Nanos, policy: &AdmissionPolicy) -> bool {
+        match *policy {
+            AdmissionPolicy::Fixed { limit } => self.admit(now, limit),
+            AdmissionPolicy::CoDel { target, interval } => self.admit_codel(now, target, interval),
+        }
+    }
+
+    /// CoDel admission: the sojourn a request admitted at `now` faces
+    /// is how long the service core stays busy ahead of it. Shedding
+    /// starts only after sojourn has exceeded `target` continuously
+    /// for `interval`, then sheds at `interval / sqrt(n)` spacing
+    /// until sojourn recovers — sustained excess sheds, transient
+    /// bursts ride through.
+    fn admit_codel(&mut self, now: Nanos, target: Nanos, interval: Nanos) -> bool {
+        let sojourn = self.busy_until.saturating_sub(now);
+        if sojourn < target {
+            self.codel.first_above = None;
+            self.codel.dropping = false;
+            return true;
+        }
+        match self.codel.first_above {
+            None => {
+                self.codel.first_above = Some(now + interval);
+                true
+            }
+            Some(first_above) if now < first_above => true,
+            Some(_) => {
+                if !self.codel.dropping {
+                    self.codel.dropping = true;
+                    self.codel.drop_count = 0;
+                    self.codel.drop_next = now;
+                }
+                if now >= self.codel.drop_next {
+                    self.codel.drop_count += 1;
+                    let step = interval.as_nanos() / isqrt(self.codel.drop_count).max(1);
+                    self.codel.drop_next = now + Nanos(step.max(1));
+                    self.stats.shed += 1;
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// If request `id` was already admitted and served since the last
+    /// crash, its cached completion instant — the dedupe check the
+    /// cluster runs *before* admission, so a hedge or retransmit of an
+    /// in-flight request never consumes an admission slot or a second
+    /// service. Counts the hit.
+    pub fn cached_response(&mut self, id: u64) -> Option<Nanos> {
+        let hit = self.served_cache.get(&id).copied();
+        if hit.is_some() {
+            self.stats.dup_hits += 1;
+        }
+        hit
+    }
+
+    /// Record request `id`'s service completion in the response cache.
+    pub fn note_served(&mut self, id: u64, done: Nanos) {
+        self.served_cache.insert(id, done);
+    }
+
     /// Is the service VM currently down (crashed, not yet restarted)?
     pub fn is_crashed(&self) -> bool {
         self.crashed
@@ -557,6 +693,9 @@ impl Node {
         debug_assert!(self.spm.vm_is_crashed(self.svc_vm));
         self.crashed = true;
         self.pending_done.clear();
+        // Cached responses and queue-delay history die with the VM.
+        self.served_cache.clear();
+        self.codel = CoDelState::default();
     }
 
     /// The Kitten primary noticed the dead secondary (via
@@ -804,5 +943,71 @@ mod tests {
         assert!(ready > Nanos::from_micros(200), "rx copy time charged");
         assert_eq!(n.net_stats().frames_tx, 1);
         assert_eq!(n.net_stats().frames_rx, 1);
+    }
+
+    #[test]
+    fn integer_sqrt_is_exact_floor() {
+        for v in 0u64..2_000 {
+            let r = isqrt(v);
+            assert!(r * r <= v, "isqrt({v}) = {r}");
+            assert!((r + 1) * (r + 1) > v, "isqrt({v}) = {r}");
+        }
+        assert_eq!(isqrt(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn codel_rides_through_transient_excess() {
+        let mut n = node(StackKind::HafniumKitten, 21);
+        let policy = AdmissionPolicy::CoDel {
+            target: Nanos::from_millis(1),
+            interval: Nanos::from_millis(10),
+        };
+        // Queue momentarily 5ms deep, but the excess lasts under one
+        // interval: everything is admitted.
+        n.busy_until = Nanos::from_millis(5);
+        assert!(n.admit_with(Nanos::ZERO, &policy));
+        assert!(n.admit_with(Nanos::from_millis(2), &policy));
+        // Sojourn back under target: state resets, still admitting.
+        assert!(n.admit_with(Nanos::from_millis(4) + Nanos::from_micros(500), &policy));
+        assert_eq!(n.stats.shed, 0);
+    }
+
+    #[test]
+    fn codel_sheds_on_sustained_sojourn_excess() {
+        let mut n = node(StackKind::HafniumKitten, 22);
+        let target = Nanos::from_millis(1);
+        let interval = Nanos::from_millis(10);
+        let policy = AdmissionPolicy::CoDel { target, interval };
+        // Hold the queue 20ms deep continuously: past one interval of
+        // sustained excess, sheds begin and accelerate.
+        let mut shed = 0u64;
+        let mut t = Nanos::ZERO;
+        while t < Nanos::from_millis(40) {
+            n.busy_until = t + Nanos::from_millis(20);
+            if !n.admit_with(t, &policy) {
+                shed += 1;
+            }
+            t += Nanos::from_micros(200);
+        }
+        assert!(shed > 0, "sustained excess must shed");
+        assert_eq!(n.stats.shed, shed);
+        // Everything before the first full interval elapsed rode through.
+        assert!(
+            shed < 40 * 5,
+            "CoDel sheds at the control-law rate, not every request"
+        );
+    }
+
+    #[test]
+    fn response_cache_absorbs_duplicates_and_clears_on_crash() {
+        let mut n = node(StackKind::HafniumKitten, 23);
+        let horizon = Nanos::from_millis(50);
+        assert_eq!(n.cached_response(7), None);
+        n.note_served(7, Nanos::from_micros(900));
+        assert_eq!(n.cached_response(7), Some(Nanos::from_micros(900)));
+        assert_eq!(n.stats.dup_hits, 1);
+        n.crash_svc(Nanos::from_millis(1), horizon);
+        assert_eq!(n.cached_response(7), None, "cache dies with the VM");
+        assert_eq!(n.stats.dup_hits, 1);
     }
 }

@@ -323,7 +323,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                             let (id, leg) = split_frame_id(raw);
                             let node = &mut nodes[dst as usize];
                             let ready = node.receive(now, &frame, horizon);
-                            if !node.admit(ready, cfg.admission_limit) {
+                            if !node.admit_with(ready, &cfg.admission) {
                                 nacks_sent += 1;
                                 let reply = nack_frame(raw, reply_to, sent_at, attempt);
                                 push_frame!(dst, reply_to, reply, ready);

@@ -8,6 +8,14 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Fixed-point scale for the running sum: 2^20 fractional bits. Each
+/// sample is rounded once to this grid on `record`, and from then on
+/// the sum is integer arithmetic — exact, overflow-safe for simulation
+/// magnitudes (u128 holds ~3e32 at this scale), and independent of
+/// accumulation order, so `merge` reproduces the union's sum bit for
+/// bit no matter how samples were sharded across histograms.
+const SUM_SCALE: u128 = 1 << 20;
+
 /// A log-bucketed histogram over positive values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LogHistogram {
@@ -17,7 +25,8 @@ pub struct LogHistogram {
     resolution: u32,
     counts: Vec<u64>,
     total: u64,
-    sum: f64,
+    /// Sum of all samples in `SUM_SCALE` fixed point.
+    sum_fp: u128,
     /// Smallest recorded value (post-clamping); `INFINITY` when empty.
     min_seen: f64,
     /// Largest recorded value (post-clamping); `0.0` when empty.
@@ -35,7 +44,7 @@ impl LogHistogram {
             resolution,
             counts: vec![0; (decades * resolution + 1) as usize],
             total: 0,
-            sum: 0.0,
+            sum_fp: 0,
             min_seen: f64::INFINITY,
             max_seen: 0.0,
         }
@@ -90,7 +99,7 @@ impl LogHistogram {
         let b = self.bucket_of(value);
         self.counts[b] += 1;
         self.total += 1;
-        self.sum += value;
+        self.sum_fp += (value * SUM_SCALE as f64).round() as u128;
         self.min_seen = self.min_seen.min(value);
         self.max_seen = self.max_seen.max(value);
     }
@@ -123,7 +132,7 @@ impl LogHistogram {
         if self.total == 0 {
             f64::NAN
         } else {
-            self.sum / self.total as f64
+            (self.sum_fp as f64 / SUM_SCALE as f64) / self.total as f64
         }
     }
 
@@ -180,7 +189,7 @@ impl LogHistogram {
             *a += b;
         }
         self.total += other.total;
-        self.sum += other.sum;
+        self.sum_fp += other.sum_fp;
         self.min_seen = self.min_seen.min(other.min_seen);
         self.max_seen = self.max_seen.max(other.max_seen);
     }
@@ -384,9 +393,9 @@ mod tests {
             /// merge(a, b) is indistinguishable from recording the
             /// union of both sample sets into one histogram: the same
             /// buckets fill, so count, extremes, and every percentile
-            /// match exactly. Only the running `sum` may differ in the
-            /// last bits (float addition is association-sensitive), so
-            /// the mean is compared with relative tolerance.
+            /// match exactly — and the fixed-point sum makes the mean
+            /// exactly equal too (each sample rounds to the integer
+            /// grid once at record time; integer addition commutes).
             #[test]
             fn merge_equals_recording_the_union(
                 xs in prop::collection::vec(1.0f64..1e6, 0..200),
@@ -422,10 +431,7 @@ mod tests {
                 }
                 if a.count() > 0 {
                     let (ma, mu) = (a.mean(), union.mean());
-                    prop_assert!(
-                        ((ma - mu) / mu).abs() < 1e-12,
-                        "mean: merged {ma} vs union {mu}"
-                    );
+                    prop_assert!(same(ma, mu), "mean: merged {ma} vs union {mu}");
                 }
             }
         }

@@ -9,12 +9,16 @@
 //!   figures (4–6),
 //! * [`csv`] — machine-readable emission of every figure's data,
 //! * [`outcome`] — terminal request-outcome counters and goodput for
-//!   the cluster reliability layer.
+//!   the cluster reliability layer,
+//! * [`quantile`] — deterministic online windowed quantile trackers
+//!   (integer nanos) driving the adaptive reliability layer's hedge
+//!   delays from live latency distributions.
 
 pub mod csv;
 pub mod hist;
 pub mod norm;
 pub mod outcome;
+pub mod quantile;
 pub mod scatter;
 pub mod stats;
 pub mod table;
@@ -22,6 +26,7 @@ pub mod table;
 pub use hist::LogHistogram;
 pub use norm::normalize;
 pub use outcome::OutcomeCounters;
+pub use quantile::WindowedQuantile;
 pub use scatter::AsciiScatter;
 pub use stats::Summary;
 pub use table::Table;

@@ -1,0 +1,423 @@
+//! The adaptive reliability policy: live-quantile hedging, token-bucket
+//! retry budgets, and a per-destination circuit breaker.
+//!
+//! The static [`RetryPolicy`] has a
+//! reproducible failure mode: its hedge delay is frozen at a fault-free
+//! baseline p99, so ~1% of perfectly healthy requests always hedge, the
+//! duplicates add real service load, the added load pushes more
+//! requests past the frozen timer, and the feedback loop inflates a
+//! 2.7 ms p99 to 45 ms with zero faults — a metastable congestion
+//! collapse in miniature. This module holds the *policy* side of the
+//! fix; the cluster event loop owns the per-destination runtime state
+//! (latency tracker, budget, breaker) and the CoDel admission control
+//! on the server side.
+//!
+//! Determinism: the budget is pure integer arithmetic; the breaker's
+//! only randomness is the reopen-probe jitter, drawn from a dedicated
+//! `SimRng` stream handed in at construction — arming the adaptive
+//! layer never perturbs arrival, noise, or fault draws.
+
+use crate::svcload::RetryPolicy;
+use kh_sim::{Nanos, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Centitokens per retransmission/hedge: budgets are tracked in
+/// hundredths of an attempt so percentage earn rates stay integral.
+const TOKEN_SCALE: u64 = 100;
+
+/// Configuration for the adaptive reliability layer. Embeds the base
+/// [`RetryPolicy`] (deadline, backoff schedule, attempt cap); its
+/// `hedge_delay` is ignored — hedges fire off the live per-destination
+/// latency tracker instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePolicy {
+    /// Base deadline/backoff/attempt policy.
+    pub retry: RetryPolicy,
+    /// Hedge when a request outlives this quantile (num, den) of the
+    /// destination's live latency window.
+    pub hedge_quantile: (u64, u64),
+    /// Never hedge earlier than this, whatever the tracker says.
+    pub hedge_floor: Nanos,
+    /// Tracker observations required before hedging arms at all — the
+    /// cold-start guard that replaces the frozen baseline.
+    pub hedge_min_samples: u64,
+    /// Sliding-window size of the per-destination latency tracker.
+    pub window: usize,
+    /// Retransmits + hedges may spend at most this percentage of the
+    /// destination's recent first-sends (token-bucket earn rate).
+    pub budget_percent: u64,
+    /// Token-bucket capacity, in whole attempts. The bucket starts
+    /// full so early faults are retryable before the earn rate has
+    /// accumulated history.
+    pub budget_burst: u64,
+    /// Consecutive timeouts that trip the breaker open.
+    pub breaker_threshold: u32,
+    /// Base open-state cooldown before a half-open probe is allowed.
+    pub breaker_open_base: Nanos,
+    /// Cooldown stretch factor: each open draws `1 + jitter * u`,
+    /// `u ~ U[0,1)` from the breaker's own stream, decorrelating
+    /// reopen probes across destinations.
+    pub breaker_jitter: f64,
+    /// CoDel admission: sojourn target the server queue may not exceed
+    /// for longer than `codel_interval` before shedding starts.
+    pub codel_target: Nanos,
+    /// CoDel admission: how long sojourn must stay above target before
+    /// the first shed, and the base of the shed-rate control law.
+    pub codel_interval: Nanos,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            retry: RetryPolicy {
+                // Hedging is tracker-driven; the static delay is unused.
+                hedge_delay: None,
+                ..RetryPolicy::default()
+            },
+            hedge_quantile: (99, 100),
+            hedge_floor: Nanos::from_micros(200),
+            hedge_min_samples: 32,
+            window: 128,
+            budget_percent: 10,
+            budget_burst: 10,
+            breaker_threshold: 5,
+            breaker_open_base: Nanos::from_millis(2),
+            breaker_jitter: 0.5,
+            codel_target: Nanos::from_millis(1),
+            codel_interval: Nanos::from_millis(10),
+        }
+    }
+}
+
+/// Token-bucket retry budget: every first send earns `percent`
+/// centitokens (capped at `burst` whole attempts); every retransmit or
+/// hedge spends one whole attempt. Pure integer arithmetic — no clock,
+/// no floats, no randomness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryBudget {
+    percent: u64,
+    cap: u64,
+    centitokens: u64,
+    /// Centitokens ever earned (excluding the initial fill).
+    pub earned: u64,
+    /// Attempts actually spent.
+    pub spent: u64,
+    /// Attempts denied for lack of tokens.
+    pub denied: u64,
+}
+
+impl RetryBudget {
+    /// A bucket earning `percent`% of sends, holding at most `burst`
+    /// attempts, starting full.
+    pub fn new(percent: u64, burst: u64) -> Self {
+        let cap = burst.max(1) * TOKEN_SCALE;
+        RetryBudget {
+            percent,
+            cap,
+            centitokens: cap,
+            earned: 0,
+            spent: 0,
+            denied: 0,
+        }
+    }
+
+    /// A first send to the destination: earn the percentage.
+    pub fn on_send(&mut self) {
+        self.earned += self.percent;
+        self.centitokens = (self.centitokens + self.percent).min(self.cap);
+    }
+
+    /// Try to pay for one retransmit/hedge.
+    pub fn try_spend(&mut self) -> bool {
+        if self.centitokens >= TOKEN_SCALE {
+            self.centitokens -= TOKEN_SCALE;
+            self.spent += 1;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+
+    /// Tokens currently available, in whole attempts.
+    pub fn available(&self) -> u64 {
+        self.centitokens / TOKEN_SCALE
+    }
+}
+
+/// Circuit-breaker state. `Open` stores the instant the next probe is
+/// allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: attempts flow freely.
+    Closed,
+    /// Tripped: attempts are suppressed until `until`.
+    Open { until: Nanos },
+    /// Cooldown expired: probe attempts are allowed; the next timeout
+    /// reopens, the next success closes.
+    HalfOpen,
+}
+
+/// Per-destination circuit breaker: `threshold` consecutive timeouts
+/// open it; while open, retransmits/hedges to the destination are
+/// suppressed (pure fabric load against a dead or partitioned peer);
+/// after a jittered cooldown a half-open probe decides whether to
+/// close again. All randomness rides the dedicated stream passed to
+/// [`CircuitBreaker::new`].
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    open_base: Nanos,
+    jitter: f64,
+    rng: SimRng,
+    state: BreakerState,
+    consecutive_timeouts: u32,
+    /// Times the breaker tripped open.
+    pub opens: u64,
+    /// Attempts suppressed while open.
+    pub suppressed: u64,
+}
+
+impl CircuitBreaker {
+    /// `rng` must be a dedicated stream (split off the run seed) so
+    /// breaker draws never perturb other subsystems.
+    pub fn new(threshold: u32, open_base: Nanos, jitter: f64, rng: SimRng) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            open_base,
+            jitter,
+            rng,
+            state: BreakerState::Closed,
+            consecutive_timeouts: 0,
+            opens: 0,
+            suppressed: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May a retransmit/hedge go out now? Transitions Open → HalfOpen
+    /// when the cooldown has expired (the allowed attempt is the probe).
+    pub fn allow_attempt(&mut self, now: Nanos) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } if now >= until => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open { .. } => {
+                self.suppressed += 1;
+                false
+            }
+        }
+    }
+
+    /// A response (even a NACK) arrived from the destination: it is
+    /// reachable, so close and clear the timeout streak.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_timeouts = 0;
+    }
+
+    /// A retry/deadline timer fired with the destination still silent.
+    pub fn on_timeout(&mut self, now: Nanos) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_timeouts += 1;
+                if self.consecutive_timeouts >= self.threshold {
+                    self.trip(now);
+                }
+            }
+            // The probe also timed out: straight back to Open.
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    fn trip(&mut self, now: Nanos) {
+        let stretch = 1.0 + self.jitter.max(0.0) * self.rng.next_f64();
+        let cooldown = (self.open_base.as_nanos() as f64 * stretch) as u64;
+        self.state = BreakerState::Open {
+            until: now + Nanos(cooldown),
+        };
+        self.opens += 1;
+        self.consecutive_timeouts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn budget_starts_full_and_spends_down() {
+        let mut b = RetryBudget::new(10, 3);
+        assert_eq!(b.available(), 3);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "empty bucket denies");
+        assert_eq!(b.spent, 3);
+        assert_eq!(b.denied, 1);
+    }
+
+    #[test]
+    fn budget_earns_a_fraction_of_sends() {
+        let mut b = RetryBudget::new(10, 100);
+        // Drain the initial fill.
+        while b.try_spend() {}
+        // 10 sends at 10% earn exactly one attempt.
+        for _ in 0..9 {
+            b.on_send();
+            assert!(b.available() == 0);
+        }
+        b.on_send();
+        assert_eq!(b.available(), 1);
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+    }
+
+    #[test]
+    fn budget_caps_at_burst() {
+        let mut b = RetryBudget::new(50, 2);
+        for _ in 0..1_000 {
+            b.on_send();
+        }
+        assert_eq!(b.available(), 2, "cap bounds stored tokens");
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_timeouts() {
+        let rng = SimRng::new(7);
+        let mut br = CircuitBreaker::new(3, ms(2), 0.0, rng);
+        assert!(br.allow_attempt(ms(1)));
+        br.on_timeout(ms(1));
+        br.on_timeout(ms(2));
+        assert_eq!(br.state(), BreakerState::Closed);
+        br.on_timeout(ms(3));
+        // jitter 0: cooldown is exactly open_base.
+        assert_eq!(br.state(), BreakerState::Open { until: ms(5) });
+        assert_eq!(br.opens, 1);
+        assert!(!br.allow_attempt(ms(4)), "open suppresses");
+        assert_eq!(br.suppressed, 1);
+    }
+
+    #[test]
+    fn breaker_probe_success_closes() {
+        let mut br = CircuitBreaker::new(1, ms(2), 0.0, SimRng::new(7));
+        br.on_timeout(ms(0));
+        assert!(matches!(br.state(), BreakerState::Open { .. }));
+        assert!(br.allow_attempt(ms(2)), "cooldown expired: probe allowed");
+        assert_eq!(br.state(), BreakerState::HalfOpen);
+        br.on_success();
+        assert_eq!(br.state(), BreakerState::Closed);
+        assert!(br.allow_attempt(ms(3)));
+    }
+
+    #[test]
+    fn breaker_probe_timeout_reopens() {
+        let mut br = CircuitBreaker::new(1, ms(2), 0.0, SimRng::new(7));
+        br.on_timeout(ms(0));
+        assert!(br.allow_attempt(ms(2)));
+        br.on_timeout(ms(3));
+        assert_eq!(br.state(), BreakerState::Open { until: ms(5) });
+        assert_eq!(br.opens, 2);
+    }
+
+    #[test]
+    fn breaker_success_resets_the_streak() {
+        let mut br = CircuitBreaker::new(2, ms(2), 0.0, SimRng::new(7));
+        br.on_timeout(ms(0));
+        br.on_success();
+        br.on_timeout(ms(1));
+        assert_eq!(br.state(), BreakerState::Closed, "streak was reset");
+    }
+
+    /// Replayable op sequence for the determinism property.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Allow(u64),
+        Timeout(u64),
+        Success,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..50).prop_map(Op::Allow),
+            (0u64..50).prop_map(Op::Timeout),
+            Just(Op::Success),
+        ]
+    }
+
+    proptest! {
+        /// The budget never spends more than its initial fill plus the
+        /// earned fraction of sends, and stored tokens never exceed
+        /// the cap — conservation holds for any interleaving.
+        #[test]
+        fn budget_conservation(
+            percent in 0u64..=100,
+            burst in 1u64..20,
+            ops in proptest::collection::vec(any::<bool>(), 0..400),
+        ) {
+            let mut b = RetryBudget::new(percent, burst);
+            let initial = burst * TOKEN_SCALE;
+            let mut sends = 0u64;
+            for send in ops {
+                if send {
+                    b.on_send();
+                    sends += 1;
+                } else {
+                    b.try_spend();
+                }
+                prop_assert!(b.available() <= burst);
+                prop_assert!(
+                    b.spent * TOKEN_SCALE <= initial + sends * percent,
+                    "spent {} attempts on {} sends at {}%",
+                    b.spent, sends, percent
+                );
+            }
+            prop_assert_eq!(b.earned, sends * percent);
+        }
+
+        /// Same seed, same op sequence → bitwise-identical state and
+        /// decision trace: the breaker has no hidden nondeterminism,
+        /// which is what makes cluster runs worker-count independent.
+        #[test]
+        fn breaker_deterministic_under_same_stream(
+            seed in 0u64..u64::MAX,
+            ops in proptest::collection::vec(op_strategy(), 0..200),
+        ) {
+            let run = |seed: u64| {
+                let mut br =
+                    CircuitBreaker::new(3, ms(2), 0.5, SimRng::new(seed));
+                // Timestamps must be monotone for the state machine to
+                // make sense; ops carry offsets from a running clock.
+                let mut now = Nanos(0);
+                let mut trace = Vec::new();
+                for op in &ops {
+                    match *op {
+                        Op::Allow(dt) => {
+                            now += Nanos(dt * 100_000);
+                            trace.push(format!("a{}", br.allow_attempt(now)));
+                        }
+                        Op::Timeout(dt) => {
+                            now += Nanos(dt * 100_000);
+                            br.on_timeout(now);
+                        }
+                        Op::Success => br.on_success(),
+                    }
+                    trace.push(format!("{:?}", br.state()));
+                }
+                (trace, br.opens, br.suppressed)
+            };
+            prop_assert_eq!(run(seed), run(seed));
+        }
+    }
+}

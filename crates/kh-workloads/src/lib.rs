@@ -17,6 +17,7 @@
 //! simulated figures inherit the kernels' arithmetic intensity and
 //! footprints rather than being hand-tuned constants.
 
+pub mod adaptive;
 pub mod blkstream;
 pub mod ftq;
 pub mod gups;

@@ -56,8 +56,9 @@ USAGE:
   khsim parallel [--threads N] [--stack S] [--seed N] [--no-barrier]
   khsim cluster [--nodes N] [--workload svcload] [--stack S] [--seed N]
                 [--faults SPEC] [--fault-seed N] [--quick] [--ablation]
-                [--retries] [--reliability] [--scenario SPEC|FILE.khs]
-                [--queue-depth N] [--out FILE] [--jobs N]
+                [--retries] [--adaptive] [--reliability] [--metastability]
+                [--scenario SPEC|FILE.khs] [--queue-depth N] [--out FILE]
+                [--jobs N]
   khsim figures [--trials N] [--seed N] [--jobs N]
   khsim trace [--workload W] [--stack S] [--routing primary|selective] [--out FILE]
   khsim list
@@ -81,8 +82,14 @@ OPTIONS:
   --retries     cluster: arm the default RetryPolicy (deadline, seeded
                 backoff retransmits); lost requests retry instead of
                 silently failing
+  --adaptive    cluster: arm the adaptive reliability layer (live-quantile
+                hedging, token-bucket retry budgets, per-destination
+                circuit breakers, CoDel queue-delay admission)
   --reliability cluster: run the {{no-faults, drop, partition, crashsvc}}
                 x {{retries off/on}} matrix and print the sweep table
+  --metastability
+                cluster: run the load x drop x {{off, static, adaptive}}
+                grid and print where the static layer tips into collapse
   --scenario    cluster: a traffic scenario — inline one-liner or a .khs
                 file path, e.g. arrive=exp:500us,svc=exp,fanout=3:quorum:2
                 or arrive=mmpp:300us:5ms:5ms,colocate=hpcg:6+7
@@ -106,7 +113,13 @@ fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
         if let Some(key) = a.strip_prefix("--") {
             if matches!(
                 key,
-                "no-barrier" | "quick" | "ablation" | "retries" | "reliability"
+                "no-barrier"
+                    | "quick"
+                    | "ablation"
+                    | "retries"
+                    | "adaptive"
+                    | "reliability"
+                    | "metastability"
             ) {
                 map.insert(key.to_string(), "true".to_string());
                 continue;
@@ -296,6 +309,7 @@ fn cmd_parallel(flags: &HashMap<String, String>) -> Option<()> {
 fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
     use kitten_hafnium::cluster::{self, ClusterConfig};
     use kitten_hafnium::sim::fault::FabricFaultSpec;
+    use kitten_hafnium::workloads::adaptive::AdaptivePolicy;
     use kitten_hafnium::workloads::svcload::{RetryPolicy, SvcLoadConfig};
 
     let workload = flags
@@ -331,8 +345,28 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
         return Some(());
     }
     if flags.contains_key("reliability") {
-        let rows = cluster::reliability_matrix(nodes, seed, svcload, RetryPolicy::default());
+        let rows = cluster::reliability_matrix(nodes, seed, svcload, AdaptivePolicy::default());
         println!("{}", cluster::render_reliability(&rows));
+        return Some(());
+    }
+    if flags.contains_key("metastability") {
+        // The static arm carries a frozen 2 ms hedge delay — the
+        // historical fault-free-baseline configuration whose load
+        // feedback the grid is built to expose.
+        let static_policy = RetryPolicy {
+            hedge_delay: Some(kitten_hafnium::sim::Nanos::from_millis(2)),
+            ..RetryPolicy::default()
+        };
+        let rows = cluster::metastability_sweep(
+            nodes,
+            seed,
+            svcload,
+            &[500, 350, 250],
+            &[0.0, 0.02, 0.05],
+            static_policy,
+            AdaptivePolicy::default(),
+        );
+        println!("{}", cluster::render_metastability(&rows));
         return Some(());
     }
 
@@ -370,6 +404,9 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
     }
     if flags.contains_key("retries") {
         cfg.retry = Some(RetryPolicy::default());
+    }
+    if flags.contains_key("adaptive") {
+        cfg.adaptive = Some(AdaptivePolicy::default());
     }
     if let Some(raw) = flags.get("faults") {
         let spec = match FabricFaultSpec::parse(raw) {

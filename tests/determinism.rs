@@ -354,11 +354,15 @@ mod cluster_determinism {
     /// value, which is what `khbench reliability` gates on in CI.
     #[test]
     fn reliability_matrix_is_identical_for_any_worker_count() {
-        use kitten_hafnium::workloads::svcload::RetryPolicy;
+        use kitten_hafnium::workloads::adaptive::AdaptivePolicy;
         let fingerprint = |jobs: usize| {
             pool::set_jobs(jobs);
-            let rows =
-                cluster::reliability_matrix(4, 13, SvcLoadConfig::quick(), RetryPolicy::default());
+            let rows = cluster::reliability_matrix(
+                4,
+                13,
+                SvcLoadConfig::quick(),
+                AdaptivePolicy::default(),
+            );
             pool::set_jobs(1);
             rows.iter()
                 .map(|(name, retries, r)| format!("{name},{retries}\n{}", r.csv()))
@@ -368,6 +372,30 @@ mod cluster_determinism {
         for jobs in [2, 4] {
             assert_eq!(serial, fingerprint(jobs), "jobs={jobs}");
         }
+    }
+
+    /// The full adaptive layer — live-quantile hedging, retry budgets,
+    /// circuit breakers, CoDel admission, duplicate absorption — replays
+    /// byte-identically per seed under fault injection. Its extra
+    /// randomness (breaker reopen jitter) rides a dedicated per-node
+    /// stream split off the run seed, so arming it stays deterministic.
+    #[test]
+    fn adaptive_layer_replays_byte_identically() {
+        use kitten_hafnium::workloads::adaptive::AdaptivePolicy;
+        let artifacts = |seed: u64| {
+            let mut cfg = quick(StackKind::HafniumKitten, seed);
+            cfg.faults = Some((
+                FabricFaultSpec::parse("drop:0.05,corrupt:0.02,crashsvc@10ms:3").unwrap(),
+                seed ^ 0xF,
+            ));
+            cfg.adaptive = Some(AdaptivePolicy::default());
+            let r = cluster::run(&cfg);
+            assert!(r.reliability.retransmits > 0, "drops must trigger retries");
+            assert_eq!(r.recoveries.len(), 1, "the crash must fire and recover");
+            (r.render(), r.csv())
+        };
+        assert_eq!(artifacts(21), artifacts(21), "same seed, same bytes");
+        assert_ne!(artifacts(21).1, artifacts(22).1);
     }
 
     /// A full scenario run — MMPP arrivals, fan-out with a quorum join,
