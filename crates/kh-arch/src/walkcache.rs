@@ -25,22 +25,26 @@
 //! invalidation; callers must use `invalidate_asid`/`invalidate_vmid`/
 //! `invalidate_all` (mirroring the TLB maintenance paths in [`crate::tlb`])
 //! on unmap, ASID reuse, or stage-2 re-initialization (VM restart).
-//! Eviction is deterministic FIFO — no hash-order dependence — so simulated
-//! runs are bit-identical across processes and thread schedules.
+//!
+//! Both structures are flat open-addressed set-associative tables (the
+//! shape hardware walk caches actually take): the key packs into twelve
+//! bytes, a fibonacci hash picks the set, and a cached lookup touches one
+//! way array — a couple of cache lines — instead of a `HashMap` probe plus
+//! separate FIFO bookkeeping. Eviction is per-set clock (second chance).
+//! Everything is deterministic — the hash is a fixed function of the key
+//! and the clock hands depend only on the access sequence, never on hash
+//! randomization or allocation state — so simulated runs are bit-identical
+//! across processes and thread schedules.
 
 use crate::mmu::{
     combine_translations, full_nested_steps, AccessKind, Stage1Table, Stage2Table, Translation,
     TwoStageFault, BLOCK_SHIFT, PAGE_SHIFT, PAGE_SIZE,
 };
-use std::collections::{HashMap, VecDeque};
 
 /// Combined-cache entries (page-granule leaf results).
 pub const DEFAULT_COMBINED_CAPACITY: usize = 8192;
 /// S1-prefix entries (each covers 2 MiB of VA).
 pub const DEFAULT_S1_PREFIX_CAPACITY: usize = 256;
-
-/// `(vmid, asid, page-or-prefix index)`.
-type Key = (u16, u16, u64);
 
 /// Counters for walk-cache behavior, consumable by the timing model.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -99,67 +103,173 @@ impl WalkCacheStats {
     }
 }
 
-/// A bounded map with deterministic FIFO eviction. Insertion order is the
-/// eviction order regardless of hash state, so two runs that perform the
-/// same lookups evict the same entries.
-#[derive(Debug, Clone)]
-struct BoundedMap<V> {
-    map: HashMap<Key, V>,
-    order: VecDeque<Key>,
-    capacity: usize,
+/// Pack `(vmid, asid)` into the slot tag.
+#[inline]
+fn tag_of(vmid: u16, asid: u16) -> u32 {
+    ((vmid as u32) << 16) | asid as u32
 }
 
-impl<V> BoundedMap<V> {
+/// Slot flag: the entry is live.
+const VALID: u8 = 1;
+/// Slot flag: second-chance reference bit.
+const REFERENCED: u8 = 2;
+
+/// One way of a set: a packed key (`tag` + page/prefix index), the
+/// valid/referenced flags, and the cached value stored inline — no
+/// `Option` discriminant, so a combined-cache slot is 32 bytes and a
+/// whole 8-way set spans four cache lines.
+#[derive(Debug, Clone, Copy)]
+struct Slot<V> {
+    idx: u64,
+    tag: u32,
+    flags: u8,
+    val: V,
+}
+
+/// A bounded flat set-associative table with deterministic clock
+/// (second-chance) eviction.
+///
+/// Geometry: up to 8 ways; the set count is the largest power of two
+/// with `sets * ways <= capacity` (so the table never exceeds the
+/// requested bound). The set index comes from the top bits of a
+/// fibonacci hash of the packed key, which spreads the arithmetic key
+/// sequences page tables produce without any per-process hash state.
+#[derive(Debug, Clone)]
+struct SetTable<V> {
+    slots: Vec<Slot<V>>,
+    /// Per-set clock hand for second-chance eviction.
+    hands: Vec<u8>,
+    set_bits: u32,
+    ways: usize,
+    len: usize,
+}
+
+impl<V: Copy + Default> SetTable<V> {
     fn new(capacity: usize) -> Self {
-        BoundedMap {
-            map: HashMap::with_capacity(capacity.min(1 << 16)),
-            order: VecDeque::new(),
-            capacity: capacity.max(1),
+        let cap = capacity.max(1);
+        let ways = cap.min(8);
+        let max_sets = (cap / ways).max(1);
+        let sets = 1usize << (usize::BITS - 1 - max_sets.leading_zeros());
+        SetTable {
+            slots: vec![
+                Slot {
+                    idx: 0,
+                    tag: 0,
+                    flags: 0,
+                    val: V::default(),
+                };
+                sets * ways
+            ],
+            hands: vec![0; sets],
+            set_bits: sets.trailing_zeros(),
+            ways,
+            len: 0,
         }
     }
 
-    fn get(&self, k: &Key) -> Option<&V> {
-        self.map.get(k)
+    #[inline]
+    fn set_of(&self, tag: u32, idx: u64) -> usize {
+        if self.set_bits == 0 {
+            return 0;
+        }
+        let h = (idx ^ ((tag as u64) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - self.set_bits)) as usize
     }
 
-    fn insert(&mut self, k: Key, v: V) {
-        if self.map.insert(k, v).is_some() {
-            return; // refreshed in place; keep original FIFO position
-        }
-        self.order.push_back(k);
-        while self.map.len() > self.capacity {
-            // The front may be a key already retained out (see retain);
-            // skip until we drop a live one.
-            if let Some(old) = self.order.pop_front() {
-                self.map.remove(&old);
-            } else {
-                break;
+    /// Probe for `(tag, idx)`, marking the slot referenced on a hit.
+    /// The 64-bit index compares first — it is the discriminating field,
+    /// so non-matching ways fall through on one predictable test.
+    #[inline]
+    fn get(&mut self, tag: u32, idx: u64) -> Option<&V> {
+        let base = self.set_of(tag, idx) * self.ways;
+        for i in base..base + self.ways {
+            let s = &self.slots[i];
+            if s.idx == idx && s.tag == tag && s.flags & VALID != 0 {
+                let s = &mut self.slots[i];
+                s.flags |= REFERENCED;
+                return Some(&s.val);
             }
         }
+        None
     }
 
-    /// Drop entries matching `pred`; returns how many were dropped.
-    fn drop_matching(&mut self, mut pred: impl FnMut(&Key) -> bool) -> u64 {
-        let before = self.map.len();
-        self.map.retain(|k, _| !pred(k));
-        self.order.retain(|k| !pred(k));
-        (before - self.map.len()) as u64
+    fn insert(&mut self, tag: u32, idx: u64, val: V) {
+        let set = self.set_of(tag, idx);
+        let base = set * self.ways;
+        let mut empty = None;
+        for i in base..base + self.ways {
+            let slot = &mut self.slots[i];
+            if slot.flags & VALID != 0 {
+                if slot.tag == tag && slot.idx == idx {
+                    // Refresh in place.
+                    slot.val = val;
+                    slot.flags |= REFERENCED;
+                    return;
+                }
+            } else if empty.is_none() {
+                empty = Some(i);
+            }
+        }
+        let target = match empty {
+            Some(i) => {
+                self.len += 1;
+                i
+            }
+            None => {
+                // Second chance: sweep the hand, stripping reference
+                // bits, until an unreferenced victim appears (at most
+                // two laps, since each pass clears one bit).
+                loop {
+                    let i = base + self.hands[set] as usize;
+                    self.hands[set] = (self.hands[set] + 1) % self.ways as u8;
+                    let slot = &mut self.slots[i];
+                    if slot.flags & REFERENCED != 0 {
+                        slot.flags &= !REFERENCED;
+                    } else {
+                        break i;
+                    }
+                }
+            }
+        };
+        self.slots[target] = Slot {
+            idx,
+            tag,
+            flags: VALID | REFERENCED,
+            val,
+        };
+    }
+
+    /// Drop entries whose `(vmid, asid)` matches `pred`; returns how
+    /// many were dropped.
+    fn drop_matching(&mut self, mut pred: impl FnMut(u16, u16) -> bool) -> u64 {
+        let mut dropped = 0u64;
+        for slot in &mut self.slots {
+            if slot.flags & VALID != 0 && pred((slot.tag >> 16) as u16, slot.tag as u16) {
+                slot.flags = 0;
+                dropped += 1;
+            }
+        }
+        self.len -= dropped as usize;
+        dropped
     }
 
     fn clear(&mut self) -> u64 {
-        let n = self.map.len() as u64;
-        self.map.clear();
-        self.order.clear();
+        let n = self.len as u64;
+        for slot in &mut self.slots {
+            slot.flags = 0;
+        }
+        self.len = 0;
         n
     }
 
     fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 }
 
 /// Cached leaf of a combined two-stage translation. Stores the page-base
-/// output so one entry serves every offset within the page.
+/// output so one entry serves every offset within the page. Sized to 16
+/// bytes so a combined-cache slot packs into 32.
 #[derive(Debug, Clone, Copy)]
 struct CombinedEntry {
     page_out: u64,
@@ -167,14 +277,31 @@ struct CombinedEntry {
     attr: crate::mmu::MemAttr,
     block: bool,
     /// Full nested-walk cost this entry short-circuits (24, 15, …).
-    full_steps: u32,
+    full_steps: u16,
+}
+
+impl Default for CombinedEntry {
+    /// Filler for invalid slots; never read while `VALID` is clear.
+    fn default() -> Self {
+        CombinedEntry {
+            page_out: 0,
+            perms: crate::mmu::PagePerms {
+                read: false,
+                write: false,
+                exec: false,
+            },
+            attr: crate::mmu::MemAttr::Normal,
+            block: false,
+            full_steps: 0,
+        }
+    }
 }
 
 /// Two-level translation walk cache. See the module docs for the model.
 #[derive(Debug, Clone)]
 pub struct WalkCache {
-    combined: BoundedMap<CombinedEntry>,
-    s1_prefix: BoundedMap<()>,
+    combined: SetTable<CombinedEntry>,
+    s1_prefix: SetTable<()>,
     stats: WalkCacheStats,
 }
 
@@ -187,8 +314,8 @@ impl Default for WalkCache {
 impl WalkCache {
     pub fn new(combined_capacity: usize, s1_prefix_capacity: usize) -> Self {
         WalkCache {
-            combined: BoundedMap::new(combined_capacity),
-            s1_prefix: BoundedMap::new(s1_prefix_capacity),
+            combined: SetTable::new(combined_capacity),
+            s1_prefix: SetTable::new(s1_prefix_capacity),
             stats: WalkCacheStats::default(),
         }
     }
@@ -223,8 +350,8 @@ impl WalkCache {
         kind: AccessKind,
     ) -> Result<(Translation, u32), TwoStageFault> {
         let vpn = va >> PAGE_SHIFT;
-        let key = (s2.vmid, s1.asid, vpn);
-        if let Some(e) = self.combined.get(&key) {
+        let tag = tag_of(s2.vmid, s1.asid);
+        if let Some(&e) = self.combined.get(tag, vpn) {
             if e.perms.allows(kind) {
                 self.stats.hits += 1;
                 self.stats.steps_saved += e.full_steps as u64;
@@ -240,8 +367,8 @@ impl WalkCache {
             // Denying hit: take the slow path for exact fault attribution.
         }
 
-        let prefix_key = (s2.vmid, s1.asid, va >> BLOCK_SHIFT);
-        let prefix_hit = self.s1_prefix.get(&prefix_key).is_some();
+        let prefix_idx = va >> BLOCK_SHIFT;
+        let prefix_hit = self.s1_prefix.get(tag, prefix_idx).is_some();
 
         let t1 = s1.translate(va, kind).map_err(|f| {
             self.stats.misses += 1;
@@ -265,16 +392,17 @@ impl WalkCache {
         self.stats.steps_paid += paid as u64;
         self.stats.steps_saved += (full - paid) as u64;
 
-        self.s1_prefix.insert(prefix_key, ());
+        self.s1_prefix.insert(tag, prefix_idx, ());
         let combined = combine_translations(&t1, &t2, paid);
         self.combined.insert(
-            key,
+            tag,
+            vpn,
             CombinedEntry {
                 page_out: combined.out_addr & !(PAGE_SIZE - 1),
                 perms: combined.perms,
                 attr: combined.attr,
                 block: combined.block,
-                full_steps: full,
+                full_steps: full as u16,
             },
         );
         Ok((combined, paid))
@@ -282,16 +410,16 @@ impl WalkCache {
 
     /// Drop all entries for `(vmid, asid)` — the `TLBI ASID` analogue.
     pub fn invalidate_asid(&mut self, vmid: u16, asid: u16) {
-        let n = self.combined.drop_matching(|k| k.0 == vmid && k.1 == asid)
-            + self.s1_prefix.drop_matching(|k| k.0 == vmid && k.1 == asid);
+        let n = self.combined.drop_matching(|v, a| v == vmid && a == asid)
+            + self.s1_prefix.drop_matching(|v, a| v == vmid && a == asid);
         self.stats.invalidations += n;
     }
 
     /// Drop all entries for `vmid` — the `TLBI VMALLS12E1` analogue, used
     /// on VM teardown / restart (stage-2 re-init).
     pub fn invalidate_vmid(&mut self, vmid: u16) {
-        let n = self.combined.drop_matching(|k| k.0 == vmid)
-            + self.s1_prefix.drop_matching(|k| k.0 == vmid);
+        let n = self.combined.drop_matching(|v, _| v == vmid)
+            + self.s1_prefix.drop_matching(|v, _| v == vmid);
         self.stats.invalidations += n;
     }
 
@@ -447,7 +575,7 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_is_bounded_and_deterministic() {
+    fn eviction_is_bounded_and_deterministic() {
         let (s1, s2) = tables(64);
         let run = || {
             let mut wc = WalkCache::new(8, 4);
@@ -457,7 +585,9 @@ mod tests {
             }
             let (c, p) = wc.len();
             assert!(c <= 8 && p <= 4);
-            // Re-touch all pages; hit pattern depends only on FIFO order.
+            // Re-touch all pages; the hit pattern depends only on the
+            // access sequence (hash + clock state), never on ambient
+            // randomness.
             let mut hits = Vec::new();
             for i in 0..64u64 {
                 let before = wc.stats().hits;
@@ -484,5 +614,221 @@ mod tests {
             wc.translate2(&s1, &s2, VA, AccessKind::Write),
             two_stage_translate(&s1, &s2, VA, AccessKind::Write)
         );
+    }
+
+    /// The displaced implementation: `HashMap` + `VecDeque` FIFO, exactly
+    /// as the cache was structured before the open-addressed table. Kept
+    /// here as the reference model for the equivalence proptest below.
+    mod legacy {
+        use super::super::*;
+        use std::collections::{HashMap, VecDeque};
+
+        type Key = (u16, u16, u64);
+
+        #[derive(Debug, Clone)]
+        struct BoundedMap<V> {
+            map: HashMap<Key, V>,
+            order: VecDeque<Key>,
+            capacity: usize,
+        }
+
+        impl<V> BoundedMap<V> {
+            fn new(capacity: usize) -> Self {
+                BoundedMap {
+                    map: HashMap::with_capacity(capacity.min(1 << 16)),
+                    order: VecDeque::new(),
+                    capacity: capacity.max(1),
+                }
+            }
+
+            fn get(&self, k: &Key) -> Option<&V> {
+                self.map.get(k)
+            }
+
+            fn insert(&mut self, k: Key, v: V) {
+                if self.map.insert(k, v).is_some() {
+                    return;
+                }
+                self.order.push_back(k);
+                while self.map.len() > self.capacity {
+                    if let Some(old) = self.order.pop_front() {
+                        self.map.remove(&old);
+                    } else {
+                        break;
+                    }
+                }
+            }
+
+            fn drop_matching(&mut self, mut pred: impl FnMut(&Key) -> bool) -> u64 {
+                let before = self.map.len();
+                self.map.retain(|k, _| !pred(k));
+                self.order.retain(|k| !pred(k));
+                (before - self.map.len()) as u64
+            }
+
+            fn clear(&mut self) -> u64 {
+                let n = self.map.len() as u64;
+                self.map.clear();
+                self.order.clear();
+                n
+            }
+        }
+
+        pub struct LegacyWalkCache {
+            combined: BoundedMap<CombinedEntry>,
+            s1_prefix: BoundedMap<()>,
+            stats: WalkCacheStats,
+        }
+
+        impl LegacyWalkCache {
+            pub fn new(combined_capacity: usize, s1_prefix_capacity: usize) -> Self {
+                LegacyWalkCache {
+                    combined: BoundedMap::new(combined_capacity),
+                    s1_prefix: BoundedMap::new(s1_prefix_capacity),
+                    stats: WalkCacheStats::default(),
+                }
+            }
+
+            pub fn stats(&self) -> WalkCacheStats {
+                self.stats
+            }
+
+            pub fn translate2(
+                &mut self,
+                s1: &Stage1Table,
+                s2: &Stage2Table,
+                va: u64,
+                kind: AccessKind,
+            ) -> Result<(Translation, u32), TwoStageFault> {
+                let key = (s2.vmid, s1.asid, va >> PAGE_SHIFT);
+                if let Some(e) = self.combined.get(&key) {
+                    if e.perms.allows(kind) {
+                        self.stats.hits += 1;
+                        self.stats.steps_saved += e.full_steps as u64;
+                        let t = Translation {
+                            out_addr: e.page_out | (va & (PAGE_SIZE - 1)),
+                            perms: e.perms,
+                            attr: e.attr,
+                            walk_steps: 0,
+                            block: e.block,
+                        };
+                        return Ok((t, 0));
+                    }
+                }
+                let prefix_key = (s2.vmid, s1.asid, va >> BLOCK_SHIFT);
+                let prefix_hit = self.s1_prefix.get(&prefix_key).is_some();
+                let t1 = s1.translate(va, kind).map_err(|f| {
+                    self.stats.misses += 1;
+                    TwoStageFault::Stage1(f)
+                })?;
+                let t2 = s2.translate(t1.out_addr, kind).map_err(|f| {
+                    self.stats.misses += 1;
+                    TwoStageFault::Stage2(f)
+                })?;
+                let full = full_nested_steps(&t1, &t2);
+                let paid = if prefix_hit {
+                    self.stats.s1_prefix_hits += 1;
+                    1 + t2.walk_steps
+                } else {
+                    self.stats.misses += 1;
+                    full
+                };
+                self.stats.steps_paid += paid as u64;
+                self.stats.steps_saved += (full - paid) as u64;
+                self.s1_prefix.insert(prefix_key, ());
+                let combined = combine_translations(&t1, &t2, paid);
+                self.combined.insert(
+                    key,
+                    CombinedEntry {
+                        page_out: combined.out_addr & !(PAGE_SIZE - 1),
+                        perms: combined.perms,
+                        attr: combined.attr,
+                        block: combined.block,
+                        full_steps: full as u16,
+                    },
+                );
+                Ok((combined, paid))
+            }
+
+            pub fn invalidate_asid(&mut self, vmid: u16, asid: u16) {
+                let n = self.combined.drop_matching(|k| k.0 == vmid && k.1 == asid)
+                    + self.s1_prefix.drop_matching(|k| k.0 == vmid && k.1 == asid);
+                self.stats.invalidations += n;
+            }
+
+            pub fn invalidate_vmid(&mut self, vmid: u16) {
+                let n = self.combined.drop_matching(|k| k.0 == vmid)
+                    + self.s1_prefix.drop_matching(|k| k.0 == vmid);
+                self.stats.invalidations += n;
+            }
+
+            pub fn invalidate_all(&mut self) {
+                let n = self.combined.clear() + self.s1_prefix.clear();
+                self.stats.invalidations += n;
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// The open-addressed table must be behaviorally identical to the
+        /// displaced HashMap+FIFO implementation whenever capacity covers
+        /// the working set (both run eviction-free): same translations,
+        /// same faults, and bit-identical hit/miss/invalidation stats
+        /// under random translate/invalidate interleavings across two
+        /// VMIDs and two ASIDs.
+        #[test]
+        fn matches_legacy_implementation_stats(
+            ops in proptest::collection::vec((0u8..8, 0u8..4, 0u64..48, 0u8..3), 1..250)
+        ) {
+            let (s1a, s2a) = tables(64);
+            let mut s1b = Stage1Table::new(9);
+            s1b.map(VA, 0x0, 64 * PAGE_SIZE, PagePerms::RW, MemAttr::Normal)
+                .unwrap();
+            let mut s2b = Stage2Table::new(8);
+            s2b.map(0x0, 0x9000_0000, 64 * MB, PagePerms::RWX, MemAttr::Normal)
+                .unwrap();
+            let s1s = [&s1a, &s1b];
+            let s2s = [&s2a, &s2b];
+            let mut wc = WalkCache::default();
+            let mut model = legacy::LegacyWalkCache::new(
+                DEFAULT_COMBINED_CAPACITY,
+                DEFAULT_S1_PREFIX_CAPACITY,
+            );
+            for (op, pick, page, kind) in ops {
+                let (vm, asid) = (pick & 1, (pick >> 1) & 1);
+                match op {
+                    0..=4 => {
+                        // Bias toward translations; mix offsets so some
+                        // share a page and some share a 2 MiB prefix.
+                        let va = VA + page * PAGE_SIZE + (page % 7) * 64;
+                        let kind = match kind {
+                            0 => AccessKind::Read,
+                            1 => AccessKind::Write,
+                            _ => AccessKind::Exec,
+                        };
+                        let got = wc.translate2(s1s[asid as usize], s2s[vm as usize], va, kind);
+                        let want =
+                            model.translate2(s1s[asid as usize], s2s[vm as usize], va, kind);
+                        proptest::prop_assert_eq!(got, want);
+                    }
+                    5 => {
+                        let vmid = s2s[vm as usize].vmid;
+                        let a = s1s[asid as usize].asid;
+                        wc.invalidate_asid(vmid, a);
+                        model.invalidate_asid(vmid, a);
+                    }
+                    6 => {
+                        let vmid = s2s[vm as usize].vmid;
+                        wc.invalidate_vmid(vmid);
+                        model.invalidate_vmid(vmid);
+                    }
+                    _ => {
+                        wc.invalidate_all();
+                        model.invalidate_all();
+                    }
+                }
+                proptest::prop_assert_eq!(wc.stats(), model.stats());
+            }
+        }
     }
 }

@@ -45,6 +45,16 @@
 //! above Linux's, and bit-identical noise histograms on every
 //! non-colocated node when a neighbor is armed. Writes
 //! `BENCH_cluster_scenario.json`.
+//!
+//! `khbench hotpath` is the host hot-path cell: timing-wheel event
+//! queue vs the displaced `BinaryHeap` baseline (steady-state
+//! scheduling and cancellation churn), the open-addressed walk cache
+//! vs the raw nested walk and the displaced FIFO `HashMap` probe, and
+//! a byte-identity check of the freshly re-derived gups walk-cache
+//! simulation fields against the committed perf artifact — proving the
+//! rework moved host time only. Gates on sim-field identity,
+//! `translate_wall_speedup >= 1`, and wheel events/sec >= heap. Writes
+//! `BENCH_host_hotpath.json`.
 
 use kh_arch::mmu::{two_stage_translate, AccessKind, MemAttr, PagePerms, Stage1Table, Stage2Table};
 use kh_arch::platform::Platform;
@@ -76,6 +86,7 @@ USAGE:
   khbench reliability [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench adaptive [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench scenario [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+  khbench hotpath [--quick] [--seed N] [--repeats N] [--baseline FILE] [--out FILE]
 
 OPTIONS:
   --quick    smaller trial counts / fewer repeats (CI smoke profile)
@@ -83,11 +94,14 @@ OPTIONS:
   --jobs     pooled worker count (default: KH_JOBS env, then host cores)
   --seed     base seed for all cells               (default 0x5C21)
   --repeats  timed repeats per cell after 1 warmup (default 5, quick 3)
+  --baseline committed perf artifact the hotpath cell checks sim-field
+             identity against    (default BENCH_parallel_walkcache.json)
   --out      output JSON path (default BENCH_parallel_walkcache.json,
              cluster: BENCH_cluster_svcload.json,
              reliability: BENCH_cluster_reliability.json,
              adaptive: BENCH_cluster_adaptive.json,
-             scenario: BENCH_cluster_scenario.json)"
+             scenario: BENCH_cluster_scenario.json,
+             hotpath: BENCH_host_hotpath.json)"
     );
     ExitCode::from(2)
 }
@@ -201,6 +215,57 @@ struct WalkCacheResults {
     translate_speedup: f64,
 }
 
+/// Shared fixture for the functional-translation microbenches: a
+/// fragmented pair of stage tables plus a uniform-random access stream.
+/// The guest heap is mapped page-by-page — how a guest kernel actually
+/// populates a heap (fault-in order, no contiguity guarantee) — so the
+/// stage-1 table is fragmented into one extent per page and an uncached
+/// translate pays a real descent over it. The hypervisor's stage-2 uses
+/// 2 MiB chunks, its realistic granularity.
+struct TranslateFixture {
+    s1: Stage1Table,
+    s2: Stage2Table,
+    vas: Vec<u64>,
+}
+
+fn translate_fixture(seed: u64, quick: bool) -> TranslateFixture {
+    let pages: u64 = 4096; // 16 MiB of 4 KiB guest mappings
+    let mut s1 = Stage1Table::new(1);
+    for p in 0..pages {
+        s1.map_with_granule(
+            0x4000_0000 + p * PAGE_SIZE,
+            p * PAGE_SIZE,
+            PAGE_SIZE,
+            PagePerms::RW,
+            MemAttr::Normal,
+            false,
+        )
+        .unwrap();
+    }
+    let mut s2 = Stage2Table::new(2);
+    let chunk: u64 = 512 * PAGE_SIZE; // 2 MiB
+    let mut off = 0u64;
+    while off < pages * PAGE_SIZE {
+        s2.map(
+            off,
+            0x8000_0000 + off,
+            chunk,
+            PagePerms::RWX,
+            MemAttr::Normal,
+        )
+        .unwrap();
+        off += chunk;
+    }
+    let accesses: u64 = if quick { 50_000 } else { 200_000 };
+    let vas: Vec<u64> = {
+        let mut rng = SimRng::new(seed ^ 0x77616C6B);
+        (0..accesses)
+            .map(|_| 0x4000_0000 + rng.next_below(pages) * PAGE_SIZE)
+            .collect()
+    };
+    TranslateFixture { s1, s2, vas }
+}
+
 /// Measure the walk cache on gups: simulated per-trial speedup (analytic
 /// full-walk pricing vs replay-discounted pricing) and the raw wall-clock
 /// cost of cached vs uncached functional translation.
@@ -217,33 +282,8 @@ fn walk_cache_bench(seed: u64, quick: bool) -> WalkCacheResults {
 
     // Functional-translation microbench: same access stream through the
     // raw nested walk and through the walk cache.
-    let pages: u64 = 4096; // 16 MiB table, far beyond TLB reach
-    let mut s1 = Stage1Table::new(1);
-    s1.map_with_granule(
-        0x4000_0000,
-        0,
-        pages * PAGE_SIZE,
-        PagePerms::RW,
-        MemAttr::Normal,
-        false,
-    )
-    .unwrap();
-    let mut s2 = Stage2Table::new(2);
-    s2.map(
-        0,
-        0x8000_0000,
-        pages * PAGE_SIZE,
-        PagePerms::RWX,
-        MemAttr::Normal,
-    )
-    .unwrap();
-    let accesses: u64 = if quick { 50_000 } else { 200_000 };
-    let vas: Vec<u64> = {
-        let mut rng = SimRng::new(seed ^ 0x77616C6B);
-        (0..accesses)
-            .map(|_| 0x4000_0000 + rng.next_below(pages) * PAGE_SIZE)
-            .collect()
-    };
+    let TranslateFixture { s1, s2, vas } = translate_fixture(seed, quick);
+    let accesses = vas.len() as u64;
     let repeats = if quick { 3 } else { 5 };
     let uncached_ns = time_median(repeats, || {
         let mut steps = 0u64;
@@ -1268,6 +1308,266 @@ fn cmd_scenario(flags: &HashMap<String, String>) -> Option<()> {
     Some(())
 }
 
+/// `khbench hotpath`: the host hot-path cell. Times the production
+/// timing-wheel event queue against the displaced `BinaryHeap` +
+/// tombstone baseline (steady-state scheduling and cancellation churn),
+/// the open-addressed walk cache against both the raw nested walk and
+/// the displaced FIFO `HashMap` probe, and re-derives the gups
+/// walk-cache simulation fields to confirm they are byte-identical to
+/// the committed perf artifact — the proof that the hot-path rework
+/// moved host time only. Gates (reflected in the exit code):
+/// `sim_fields_identical`, `translate_wall_speedup >= 1`, and wheel
+/// events/sec >= heap. Writes `BENCH_host_hotpath.json`.
+fn cmd_hotpath(flags: &HashMap<String, String>) -> Option<()> {
+    use kh_bench::legacy::{LegacyBoundedMap, LegacyEventQueue};
+    use kh_sim::EventQueue;
+
+    let quick = flags.contains_key("quick");
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(kh_bench::SEED))?;
+    let repeats: usize = flags
+        .get("repeats")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(if quick { 3 } else { 5 }))?;
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_host_hotpath.json".to_string());
+    let baseline_path = flags
+        .get("baseline")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parallel_walkcache.json".to_string());
+    eprintln!("khbench hotpath: quick={quick} seed={seed:#x} repeats={repeats}");
+
+    // --- 1. Event queue: wheel vs displaced heap ---------------------
+    // Steady-state load: `PENDING` events always in flight; each
+    // iteration pops the earliest and schedules a replacement at a
+    // pseudorandom offset up to 1 ms out (the simulator's typical
+    // horizon mix). The churn load additionally schedules a second
+    // event and cancels it immediately — the hedged-retry pattern that
+    // motivated O(1) cancellation.
+    const PENDING: u64 = 4096;
+    let pure_ops: usize = if quick { 200_000 } else { 1_000_000 };
+    let churn_ops: usize = pure_ops / 2;
+    let qseed = seed ^ 0x686F_7470; // "hotp"
+
+    eprintln!("event queue: pure scheduling, {pure_ops} pop+schedule pairs...");
+    let wheel_pure_ns = time_median(repeats, || {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(PENDING as usize);
+        let mut rng = SimRng::new(qseed);
+        for i in 0..PENDING {
+            q.schedule_at(Nanos::from_nanos(1 + rng.next_below(1_000_000)), i);
+        }
+        let mut sum = 0u64;
+        for _ in 0..pure_ops {
+            let ev = q.pop_next().expect("steady state");
+            q.schedule_after(Nanos::from_nanos(1 + rng.next_below(1_000_000)), ev.payload);
+            sum = sum.wrapping_add(ev.payload);
+        }
+        std::hint::black_box(sum);
+    });
+    let heap_pure_ns = time_median(repeats, || {
+        let mut q: LegacyEventQueue<u64> = LegacyEventQueue::new();
+        let mut rng = SimRng::new(qseed);
+        for i in 0..PENDING {
+            q.schedule_at(Nanos::from_nanos(1 + rng.next_below(1_000_000)), i);
+        }
+        let mut sum = 0u64;
+        for _ in 0..pure_ops {
+            let (_, payload) = q.pop_next().expect("steady state");
+            q.schedule_after(Nanos::from_nanos(1 + rng.next_below(1_000_000)), payload);
+            sum = sum.wrapping_add(payload);
+        }
+        std::hint::black_box(sum);
+    });
+
+    eprintln!("event queue: cancellation churn, {churn_ops} schedule x2 + cancel + pop...");
+    let wheel_churn_ns = time_median(repeats, || {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(PENDING as usize);
+        let mut rng = SimRng::new(qseed);
+        for i in 0..PENDING {
+            q.schedule_at(Nanos::from_nanos(1 + rng.next_below(1_000_000)), i);
+        }
+        let mut sum = 0u64;
+        for _ in 0..churn_ops {
+            let _keep = q.schedule_after(Nanos::from_nanos(1 + rng.next_below(1_000_000)), 1);
+            let victim = q.schedule_after(Nanos::from_nanos(1 + rng.next_below(1_000_000)), 2);
+            assert!(q.cancel(victim));
+            let ev = q.pop_next().expect("steady state");
+            sum = sum.wrapping_add(ev.payload);
+        }
+        std::hint::black_box(sum);
+    });
+    let heap_churn_ns = time_median(repeats, || {
+        let mut q: LegacyEventQueue<u64> = LegacyEventQueue::new();
+        let mut rng = SimRng::new(qseed);
+        for i in 0..PENDING {
+            q.schedule_at(Nanos::from_nanos(1 + rng.next_below(1_000_000)), i);
+        }
+        let mut sum = 0u64;
+        for _ in 0..churn_ops {
+            let _keep = q.schedule_after(Nanos::from_nanos(1 + rng.next_below(1_000_000)), 1);
+            let victim = q.schedule_after(Nanos::from_nanos(1 + rng.next_below(1_000_000)), 2);
+            assert!(q.cancel(victim));
+            let (_, payload) = q.pop_next().expect("steady state");
+            sum = sum.wrapping_add(payload);
+        }
+        std::hint::black_box(sum);
+    });
+
+    let pure_speedup = heap_pure_ns as f64 / wheel_pure_ns.max(1) as f64;
+    let churn_speedup = heap_churn_ns as f64 / wheel_churn_ns.max(1) as f64;
+    let wheel_total = wheel_pure_ns + wheel_churn_ns;
+    let heap_total = heap_pure_ns + heap_churn_ns;
+    let wheel_eps = (pure_ops + churn_ops) as f64 * 1e9 / wheel_total.max(1) as f64;
+    let heap_eps = (pure_ops + churn_ops) as f64 * 1e9 / heap_total.max(1) as f64;
+    let gate_wheel = wheel_eps >= heap_eps;
+    eprintln!(
+        "event queue: pure {:.1} -> {:.1} ns/op ({pure_speedup:.2}x), churn {:.1} -> {:.1} ns/op \
+         ({churn_speedup:.2}x), wheel {:.2}M ev/s vs heap {:.2}M ev/s",
+        heap_pure_ns as f64 / pure_ops as f64,
+        wheel_pure_ns as f64 / pure_ops as f64,
+        heap_churn_ns as f64 / churn_ops as f64,
+        wheel_churn_ns as f64 / churn_ops as f64,
+        wheel_eps / 1e6,
+        heap_eps / 1e6,
+    );
+
+    // --- 2. Walk cache: flat table vs raw walk vs displaced FIFO map --
+    eprintln!("walk cache: gups sim fields + translate microbench...");
+    let wc = walk_cache_bench(seed, quick);
+    let fixture = translate_fixture(seed, quick);
+    let accesses = fixture.vas.len() as u64;
+    // Displaced baseline: the FIFO HashMap+VecDeque probe layer at the
+    // production combined-cache capacity, same hit pattern as the flat
+    // table (uniform stream over 4096 pages -> ~100% steady-state hits).
+    let legacy_cached_ns = time_median(repeats, || {
+        let mut m: LegacyBoundedMap<u64> =
+            LegacyBoundedMap::new(kh_arch::walkcache::DEFAULT_COMBINED_CAPACITY);
+        let mut hits = 0u64;
+        let mut out = 0u64;
+        for &va in &fixture.vas {
+            let vpn = va >> 12;
+            match m.get(&(2, 1, vpn)) {
+                Some(&page) => {
+                    hits += 1;
+                    out ^= page | (va & 0xFFF);
+                }
+                None => {
+                    let (tr, _) =
+                        two_stage_translate(&fixture.s1, &fixture.s2, va, AccessKind::Read)
+                            .unwrap();
+                    m.insert((2, 1, vpn), tr.out_addr & !0xFFF);
+                    out ^= tr.out_addr;
+                }
+            }
+        }
+        assert!(hits > 0);
+        std::hint::black_box(out);
+    });
+    let legacy_cached_per_access = legacy_cached_ns as f64 / accesses as f64;
+    let gate_translate = wc.translate_speedup >= 1.0;
+    eprintln!(
+        "walk cache: translate {:.1} -> {:.1} ns/access ({:.2}x); displaced FIFO probe {:.1} ns/access",
+        wc.translate_uncached_ns, wc.translate_cached_ns, wc.translate_speedup, legacy_cached_per_access,
+    );
+
+    // --- 3. Sim-field identity vs the committed perf artifact --------
+    // The hot-path rework is host-time-only: the simulated gups numbers
+    // it just re-derived must appear byte-for-byte in the committed
+    // artifact. Needles carry the leading quote so e.g. `"hits":` never
+    // matches inside `"s1_prefix_hits":`.
+    let needles = [
+        format!(
+            "\"gups_virtual_elapsed_analytic_ns\": {}",
+            wc.virtual_analytic_ns
+        ),
+        format!(
+            "\"gups_virtual_elapsed_cached_ns\": {}",
+            wc.virtual_cached_ns
+        ),
+        format!("\"gups_virtual_speedup\": {:.4}", wc.virtual_speedup),
+        format!("\"hit_rate\": {:.6}", wc.stats.hit_rate()),
+        format!("\"hits\": {}", wc.stats.hits),
+        format!("\"s1_prefix_hits\": {}", wc.stats.s1_prefix_hits),
+        format!("\"misses\": {}", wc.stats.misses),
+        format!("\"invalidations\": {}", wc.stats.invalidations),
+        format!("\"steps_paid\": {}", wc.stats.steps_paid),
+        format!("\"steps_saved\": {}", wc.stats.steps_saved),
+        format!("\"walk_cost_factor\": {:.6}", wc.stats.walk_cost_factor()),
+    ];
+    let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let missing: Vec<&str> = if baseline.is_empty() {
+        eprintln!("sim identity: cannot read {baseline_path} — gate fails");
+        needles.iter().map(|n| n.as_str()).collect()
+    } else {
+        needles
+            .iter()
+            .map(|n| n.as_str())
+            .filter(|n| !baseline.contains(*n))
+            .collect()
+    };
+    for n in &missing {
+        eprintln!("sim identity: field not byte-identical in {baseline_path}: {n}");
+    }
+    let gate_sim = missing.is_empty();
+    eprintln!(
+        "sim identity: {}/{} walk-cache sim fields byte-identical to {baseline_path}",
+        needles.len() - missing.len(),
+        needles.len()
+    );
+
+    eprintln!(
+        "gates: sim_fields_identical={gate_sim} translate_wall_speedup_ge_1={gate_translate} \
+         wheel_ge_heap={gate_wheel}"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"khbench-hotpath-v1\",\n  \"quick\": {quick},\n  \"seed\": {seed},\n  \
+         \"repeats\": {repeats},\n  \"event_queue\": {{\n    \
+         \"pending\": {PENDING},\n    \"pure_ops\": {pure_ops},\n    \"churn_ops\": {churn_ops},\n    \
+         \"wheel_pure_ns_per_op\": {wpure:.2},\n    \"heap_pure_ns_per_op\": {hpure:.2},\n    \
+         \"pure_speedup\": {pure_speedup:.4},\n    \
+         \"wheel_churn_ns_per_op\": {wchurn:.2},\n    \"heap_churn_ns_per_op\": {hchurn:.2},\n    \
+         \"churn_speedup\": {churn_speedup:.4},\n    \
+         \"wheel_events_per_sec\": {weps:.0},\n    \"heap_events_per_sec\": {heps:.0}\n  }},\n  \
+         \"walk_cache\": {{\n    \
+         \"translate_uncached_ns_per_access\": {tu:.2},\n    \
+         \"translate_cached_ns_per_access\": {tc:.2},\n    \
+         \"translate_wall_speedup\": {ts:.4},\n    \
+         \"legacy_fifo_cached_ns_per_access\": {lf:.2}\n  }},\n  \
+         \"sim_identity\": {{\n    \"baseline_file\": \"{baseline_path}\",\n    \
+         \"fields_checked\": {nf},\n    \"fields_identical\": {ni}\n  }},\n  \
+         \"gates\": {{\n    \"sim_fields_identical\": {gate_sim},\n    \
+         \"translate_wall_speedup_ge_1\": {gate_translate},\n    \
+         \"wheel_ge_heap\": {gate_wheel}\n  }}\n}}\n",
+        wpure = wheel_pure_ns as f64 / pure_ops as f64,
+        hpure = heap_pure_ns as f64 / pure_ops as f64,
+        wchurn = wheel_churn_ns as f64 / churn_ops as f64,
+        hchurn = heap_churn_ns as f64 / churn_ops as f64,
+        weps = wheel_eps,
+        heps = heap_eps,
+        tu = wc.translate_uncached_ns,
+        tc = wc.translate_cached_ns,
+        ts = wc.translate_speedup,
+        lf = legacy_cached_per_access,
+        nf = needles.len(),
+        ni = needles.len() - missing.len(),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return None;
+    }
+    eprintln!("wrote {out_path}");
+    if gate_sim && gate_translate && gate_wheel {
+        Some(())
+    } else {
+        None
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -1282,6 +1582,7 @@ fn main() -> ExitCode {
         "reliability" => cmd_reliability(&flags),
         "adaptive" => cmd_adaptive(&flags),
         "scenario" => cmd_scenario(&flags),
+        "hotpath" => cmd_hotpath(&flags),
         _ => None,
     };
     match ok {

@@ -1,0 +1,256 @@
+//! Displaced hot-path baselines, preserved for `khbench hotpath`.
+//!
+//! The simulator's event queue used to be a `BinaryHeap` with lazy
+//! tombstone deletion, and the walk cache a `HashMap` + `VecDeque`
+//! FIFO. Both were replaced (timing wheel; open-addressed set table) —
+//! these copies keep the old algorithms alive so the benchmark can
+//! measure the replacement against the thing it displaced, on the same
+//! host, forever. They are benchmark fixtures, not production code:
+//! nothing outside `kh-bench` may depend on them.
+
+use kh_sim::Nanos;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Opaque handle to a scheduled event in the legacy queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LegacyEventId(u64);
+
+#[derive(Debug)]
+struct HeapEntry<T> {
+    at: Nanos,
+    seq: u64,
+    id: LegacyEventId,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then first
+        // scheduled) event is at the top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pre-timing-wheel event queue: `BinaryHeap` ordered by
+/// `(at, seq)`, an immediate lane for zero-delay events, exact `pending`
+/// membership, and lazy tombstone deletion through a `cancelled` set.
+/// Pop order is identical to the production wheel.
+#[derive(Debug)]
+pub struct LegacyEventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    immediate: VecDeque<HeapEntry<T>>,
+    pending: HashSet<LegacyEventId>,
+    cancelled: HashSet<LegacyEventId>,
+    next_seq: u64,
+    now: Nanos,
+    live: usize,
+}
+
+impl<T> Default for LegacyEventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LegacyEventQueue<T> {
+    pub fn new() -> Self {
+        LegacyEventQueue {
+            heap: BinaryHeap::new(),
+            immediate: VecDeque::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: Nanos::ZERO,
+            live: 0,
+        }
+    }
+
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    pub fn schedule_at(&mut self, at: Nanos, payload: T) -> LegacyEventId {
+        assert!(at >= self.now, "scheduling into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = LegacyEventId(seq);
+        let entry = HeapEntry {
+            at,
+            seq,
+            id,
+            payload,
+        };
+        if at == self.now {
+            self.immediate.push_back(entry);
+        } else {
+            self.heap.push(entry);
+        }
+        self.pending.insert(id);
+        self.live += 1;
+        id
+    }
+
+    pub fn schedule_after(&mut self, delay: Nanos, payload: T) -> LegacyEventId {
+        let at = self.now.checked_add(delay).expect("virtual time overflow");
+        self.schedule_at(at, payload)
+    }
+
+    pub fn cancel(&mut self, id: LegacyEventId) -> bool {
+        if !self.pending.remove(&id) {
+            return false;
+        }
+        self.cancelled.insert(id);
+        self.live -= 1;
+        self.clean_front();
+        true
+    }
+
+    pub fn pop_next(&mut self) -> Option<(Nanos, T)> {
+        let take_immediate = match (self.heap.peek(), self.immediate.front()) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(h), Some(i)) => (i.at, i.seq) < (h.at, h.seq),
+        };
+        let entry = if take_immediate {
+            self.immediate.pop_front().expect("front just observed")
+        } else {
+            self.heap.pop().expect("top just observed")
+        };
+        self.now = entry.at;
+        self.pending.remove(&entry.id);
+        self.live -= 1;
+        self.clean_front();
+        Some((entry.at, entry.payload))
+    }
+
+    fn clean_front(&mut self) {
+        while let Some(h) = self.heap.peek() {
+            if self.cancelled.remove(&h.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+        while let Some(i) = self.immediate.front() {
+            if self.cancelled.remove(&i.id) {
+                self.immediate.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+type Key = (u16, u16, u64);
+
+/// The pre-rework walk-cache probe layer: a bounded `HashMap` with
+/// deterministic FIFO eviction tracked in a side `VecDeque`. The
+/// production cache replaced this with a flat open-addressed
+/// set-associative table; this copy keeps the displaced probe cost
+/// measurable.
+#[derive(Debug, Clone)]
+pub struct LegacyBoundedMap<V> {
+    map: HashMap<Key, V>,
+    order: VecDeque<Key>,
+    capacity: usize,
+}
+
+impl<V> LegacyBoundedMap<V> {
+    pub fn new(capacity: usize) -> Self {
+        LegacyBoundedMap {
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn get(&self, k: &Key) -> Option<&V> {
+        self.map.get(k)
+    }
+
+    pub fn insert(&mut self, k: Key, v: V) {
+        if self.map.insert(k, v).is_some() {
+            return; // refreshed in place; keep original FIFO position
+        }
+        self.order.push_back(k);
+        while self.map.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_queue_orders_by_time_then_seq() {
+        let mut q = LegacyEventQueue::new();
+        q.schedule_at(Nanos::from_nanos(50), "b");
+        q.schedule_at(Nanos::from_nanos(10), "a");
+        q.schedule_at(Nanos::from_nanos(50), "c");
+        assert_eq!(q.pop_next(), Some((Nanos::from_nanos(10), "a")));
+        assert_eq!(q.pop_next(), Some((Nanos::from_nanos(50), "b")));
+        assert_eq!(q.pop_next(), Some((Nanos::from_nanos(50), "c")));
+        assert!(q.pop_next().is_none());
+    }
+
+    #[test]
+    fn legacy_queue_cancel_skips_event() {
+        let mut q = LegacyEventQueue::new();
+        let a = q.schedule_at(Nanos::from_nanos(10), 1u32);
+        q.schedule_at(Nanos::from_nanos(20), 2u32);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_next(), Some((Nanos::from_nanos(20), 2)));
+    }
+
+    #[test]
+    fn legacy_bounded_map_evicts_fifo() {
+        let mut m = LegacyBoundedMap::new(2);
+        m.insert((1, 1, 10), 'a');
+        m.insert((1, 1, 20), 'b');
+        m.insert((1, 1, 30), 'c');
+        assert_eq!(m.len(), 2);
+        assert!(m.get(&(1, 1, 10)).is_none());
+        assert_eq!(m.get(&(1, 1, 20)), Some(&'b'));
+        assert_eq!(m.get(&(1, 1, 30)), Some(&'c'));
+    }
+}

@@ -6,6 +6,8 @@
 //! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
 //! comparison each target feeds.
 
+pub mod legacy;
+
 use kh_core::config::StackKind;
 use kh_core::machine::{Machine, RunReport};
 use kh_core::MachineConfig;

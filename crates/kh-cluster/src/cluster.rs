@@ -13,7 +13,7 @@
 //! is what makes the run order-independent: processing a Deliver for
 //! node 3 never consumes randomness belonging to node 5.
 
-use crate::fabric::{Fabric, FabricStats, DEFAULT_QUEUE_DEPTH};
+use crate::fabric::{Fabric, FabricStats, FrameSlab, DEFAULT_QUEUE_DEPTH};
 use crate::node::{AdmissionPolicy, Node, NodeStats, Role};
 use crate::scenario::ScenarioStats;
 use kh_arch::platform::Platform;
@@ -27,11 +27,18 @@ use kh_sim::{EventQueue, FabricFaultPlan, FabricFaultSpec, FabricFaultStats, Nan
 use kh_virtio::LinkProfile;
 use kh_workloads::adaptive::{AdaptivePolicy, CircuitBreaker, RetryBudget};
 use kh_workloads::svcload::{
-    corrupt_frame_payload, decode_frame, nack_frame, request_frame, response_frame, retry_seed,
-    Arrivals, FrameError, FrameHeader, FrameKind, RequestOutcome, RetryPolicy, SvcLoadConfig,
+    corrupt_frame_payload, decode_frame, nack_frame_into, request_frame_into, response_frame_into,
+    retry_seed, Arrivals, FrameError, FrameHeader, FrameKind, RequestOutcome, RetryPolicy,
+    SvcLoadConfig,
 };
 
 pub use crate::node::DEFAULT_ADMISSION_LIMIT;
+
+/// How many future arrivals each client keeps filed in the event queue.
+/// Refilled in one generator pass when the batch drains; arrival *times*
+/// are identical to one-at-a-time generation (same per-client stream,
+/// same draw order), only the filing is amortised.
+pub(crate) const ARRIVAL_BATCH: usize = 32;
 
 /// Everything a cluster run needs.
 #[derive(Debug, Clone)]
@@ -241,11 +248,14 @@ struct ReqState {
 
 /// Send one (re)transmission of a request through the client NIC and
 /// the fabric, applying the corrupt gate's byte-flip on delivery.
+/// Frame payloads come from (and return to) `slab`: a dropped frame's
+/// buffer is recycled instead of freed.
 #[allow(clippy::too_many_arguments)]
 fn transmit_request(
     cfg: &ClusterConfig,
     nodes: &mut [Node],
     fabric: &mut Fabric,
+    slab: &mut FrameSlab,
     q: &mut EventQueue<Ev>,
     st: &ReqState,
     id: u64,
@@ -254,7 +264,8 @@ fn transmit_request(
     now: Nanos,
     horizon: Nanos,
 ) {
-    let mut frame = request_frame(&cfg.svcload, id, client, st.sent, attempt);
+    let mut frame = slab.take();
+    request_frame_into(&cfg.svcload, id, client, st.sent, attempt, &mut frame);
     let enter = nodes[client as usize].send(now, &frame, horizon);
     if let Some(d) = fabric.transit(client, st.server, frame.len() as u64, enter) {
         if let Some(salt) = d.corrupt_salt {
@@ -267,6 +278,8 @@ fn transmit_request(
                 frame,
             },
         );
+    } else {
+        slab.put(frame);
     }
 }
 
@@ -325,10 +338,19 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
 
     let phase = cfg.svcload.service_phase();
     let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut slab = FrameSlab::new();
+    // Open-loop arrivals are filed a batch at a time: each client keeps
+    // `ARRIVAL_BATCH` future arrivals in the queue and refills when the
+    // last one fires, amortising generator re-entry across K events.
+    let mut arrival_buf: Vec<Nanos> = Vec::with_capacity(ARRIVAL_BATCH);
+    let mut outstanding: Vec<usize> = vec![0; clients];
     for (c, gen) in arrivals.iter_mut().enumerate().take(clients) {
-        if let Some(t) = gen.next_arrival() {
+        arrival_buf.clear();
+        let n = gen.next_arrivals(ARRIVAL_BATCH, &mut arrival_buf);
+        for &t in &arrival_buf[..n] {
             q.schedule_at(t, Ev::Arrival { client: c as u16 });
         }
+        outstanding[c] = n;
     }
     // Scheduled service-VM crashes become events; each is detected and
     // recovered by the node's own primary, on the cluster clock.
@@ -388,10 +410,18 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
         let now = ev.at;
         match ev.payload {
             Ev::Arrival { client } => {
-                // Keep the generator open-loop: the next arrival is
-                // scheduled before this request does anything.
-                if let Some(t) = arrivals[client as usize].next_arrival() {
-                    q.schedule_at(t, Ev::Arrival { client });
+                // Keep the generator open-loop: when this batch's last
+                // arrival fires, the next batch is filed before this
+                // request does anything.
+                let c = client as usize;
+                outstanding[c] -= 1;
+                if outstanding[c] == 0 {
+                    arrival_buf.clear();
+                    let n = arrivals[c].next_arrivals(ARRIVAL_BATCH, &mut arrival_buf);
+                    for &t in &arrival_buf[..n] {
+                        q.schedule_at(t, Ev::Arrival { client });
+                    }
+                    outstanding[c] = n;
                 }
                 let id = records.len() as u64;
                 let server = (clients + (client as usize % servers)) as u16;
@@ -465,6 +495,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                     cfg,
                     &mut nodes,
                     &mut fabric,
+                    &mut slab,
                     &mut q,
                     &st,
                     id,
@@ -518,6 +549,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                     cfg,
                     &mut nodes,
                     &mut fabric,
+                    &mut slab,
                     &mut q,
                     st,
                     id,
@@ -551,6 +583,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                     cfg,
                     &mut nodes,
                     &mut fabric,
+                    &mut slab,
                     &mut q,
                     st,
                     id,
@@ -605,7 +638,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                     r.recovered_at = up;
                 }
             }
-            Ev::Deliver { dst, frame } => {
+            Ev::Deliver { dst, mut frame } => {
                 let decoded = decode_frame(&frame);
                 if nodes[dst as usize].role == Role::Server {
                     match decoded {
@@ -623,14 +656,18 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                                 // (or deadline) owns recovery.
                                 node.stats.crash_drops += 1;
                                 rel.crash_drops += 1;
+                                slab.put(frame);
                                 continue;
                             }
                             // Request lands at the server: RX copy, dedupe
                             // check, admission check, queue for the service
                             // core, compute, then answer (response or NACK)
-                            // back through the fabric.
+                            // back through the fabric. The reply is encoded
+                            // into the request's own delivered buffer — the
+                            // slab keeps one payload allocation per in-flight
+                            // frame, not one per encode.
                             let ready = node.receive(now, &frame, horizon);
-                            let reply = if let Some(done) = node.cached_response(id) {
+                            let depart = if let Some(done) = node.cached_response(id) {
                                 // A duplicate attempt (hedge/retransmit) of a
                                 // request this server already admitted:
                                 // replay the cached answer — at-most-once
@@ -642,37 +679,47 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                                 // earlier than this RX finished and no
                                 // earlier than the original service did.
                                 rel.dups_absorbed += 1;
-                                let reply =
-                                    response_frame(&cfg.svcload, id, client, sent_at, attempt);
-                                (ready.max(done), reply)
+                                response_frame_into(
+                                    &cfg.svcload,
+                                    id,
+                                    client,
+                                    sent_at,
+                                    attempt,
+                                    &mut frame,
+                                );
+                                ready.max(done)
                             } else if node.admit_with(ready, &admission) {
                                 let done = node.serve(ready, &phase, horizon);
                                 node.note_served(id, done);
-                                let reply =
-                                    response_frame(&cfg.svcload, id, client, sent_at, attempt);
-                                (done, reply)
+                                response_frame_into(
+                                    &cfg.svcload,
+                                    id,
+                                    client,
+                                    sent_at,
+                                    attempt,
+                                    &mut frame,
+                                );
+                                done
                             } else {
                                 rel.nacks_sent += 1;
-                                (ready, nack_frame(id, client, sent_at, attempt))
+                                nack_frame_into(id, client, sent_at, attempt, &mut frame);
+                                ready
                             };
-                            let (depart, mut reply_frame) = reply;
-                            let enter = node.send(depart, &reply_frame, horizon);
-                            if let Some(d) =
-                                fabric.transit(dst, client, reply_frame.len() as u64, enter)
+                            let enter = node.send(depart, &frame, horizon);
+                            if let Some(d) = fabric.transit(dst, client, frame.len() as u64, enter)
                             {
                                 if let Some(salt) = d.corrupt_salt {
-                                    corrupt_frame_payload(&mut reply_frame, salt);
+                                    corrupt_frame_payload(&mut frame, salt);
                                 }
-                                q.schedule_at(
-                                    d.at,
-                                    Ev::Deliver {
-                                        dst: client,
-                                        frame: reply_frame,
-                                    },
-                                );
+                                q.schedule_at(d.at, Ev::Deliver { dst: client, frame });
+                            } else {
+                                slab.put(frame);
                             }
                         }
-                        Ok(_) => {} // response/NACK routed to a server: unreachable
+                        Ok(_) => {
+                            // response/NACK routed to a server: unreachable
+                            slab.put(frame);
+                        }
                         Err(_) => {
                             // Mangled request: the RX path still pays the copy,
                             // then the checksum rejects it. The client's retry
@@ -681,6 +728,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                             if !nodes[dst as usize].is_crashed() {
                                 let _ = nodes[dst as usize].receive(now, &frame, horizon);
                             }
+                            slab.put(frame);
                         }
                     }
                 } else {
@@ -688,6 +736,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                     match decoded {
                         Ok(h) => {
                             let done = nodes[dst as usize].receive(now, &frame, horizon);
+                            slab.put(frame);
                             let st = &mut states[h.id as usize];
                             if st.done {
                                 continue; // duplicate answer after resolution
@@ -731,6 +780,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                         Err(FrameError::Corrupt(hdr)) => {
                             rel.corrupt_rx += 1;
                             let _ = nodes[dst as usize].receive(now, &frame, horizon);
+                            slab.put(frame);
                             // The header survived (the corrupt gate flips
                             // payload bytes), so the damage is attributable.
                             if let Some(st) = hdr.and_then(|h| states.get_mut(h.id as usize)) {
@@ -739,7 +789,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                                 }
                             }
                         }
-                        Err(FrameError::Truncated) => {}
+                        Err(FrameError::Truncated) => slab.put(frame),
                     }
                 }
             }

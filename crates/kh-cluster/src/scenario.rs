@@ -31,8 +31,8 @@
 //! drop, corrupt, reorder, jitter, partition — still apply). A lost leg
 //! surfaces as a `Failed` join at the end-of-run sweep, never a hang.
 
-use crate::cluster::{ClusterConfig, ClusterReport, NodeReport, RequestRecord};
-use crate::fabric::Fabric;
+use crate::cluster::{ClusterConfig, ClusterReport, NodeReport, RequestRecord, ARRIVAL_BATCH};
+use crate::fabric::{Fabric, FrameSlab};
 use crate::node::{Node, Role};
 use kh_arch::cpu::Phase;
 use kh_core::config::StackKind;
@@ -41,8 +41,8 @@ use kh_scenario::{leg_seed, ArrivalProcess, JoinPolicy, Scenario};
 use kh_sim::{EventQueue, FabricFaultPlan, Nanos, SimRng};
 use kh_virtio::LinkProfile;
 use kh_workloads::svcload::{
-    decode_frame, nack_frame, request_frame, response_frame, FrameError, FrameHeader, FrameKind,
-    RequestOutcome,
+    decode_frame, nack_frame_into, request_frame_into, response_frame_into, FrameError,
+    FrameHeader, FrameKind, RequestOutcome,
 };
 
 /// High bits of the frame id carry the leg index (0 = the client's own
@@ -228,10 +228,19 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
 
     let base_phase = cfg.svcload.service_phase();
     let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut slab = FrameSlab::new();
+    // Same batching discipline as the svcload loop: each client keeps
+    // `ARRIVAL_BATCH` future arrivals filed and refills when the last
+    // one fires. Times are identical to one-at-a-time generation.
+    let mut arrival_buf: Vec<Nanos> = Vec::with_capacity(ARRIVAL_BATCH);
+    let mut outstanding: Vec<usize> = vec![0; clients];
     for (c, gen) in arrivals.iter_mut().enumerate().take(clients) {
-        if let Some(t) = gen.next_arrival() {
+        arrival_buf.clear();
+        let n = gen.next_arrivals(ARRIVAL_BATCH, &mut arrival_buf);
+        for &t in &arrival_buf[..n] {
             q.schedule_at(t, Ev::Arrival { client: c as u16 });
         }
+        outstanding[c] = n;
     }
 
     let mut records: Vec<RequestRecord> = Vec::new();
@@ -258,7 +267,8 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
     let mut sent = 0u64;
     let mut completed = 0u64;
 
-    // Route one frame through a node's NIC and the fabric.
+    // Route one frame through a node's NIC and the fabric. Buffers come
+    // from (and return to) the slab: a dropped frame is recycled.
     macro_rules! push_frame {
         ($src:expr, $dst:expr, $frame:expr, $at:expr) => {{
             let mut frame = $frame;
@@ -268,6 +278,8 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                     kh_workloads::svcload::corrupt_frame_payload(&mut frame, salt);
                 }
                 q.schedule_at(d.at, Ev::Deliver { dst: $dst, frame });
+            } else {
+                slab.put(frame);
             }
         }};
     }
@@ -276,8 +288,15 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
         let now = ev.at;
         match ev.payload {
             Ev::Arrival { client } => {
-                if let Some(t) = arrivals[client as usize].next_arrival() {
-                    q.schedule_at(t, Ev::Arrival { client });
+                let c = client as usize;
+                outstanding[c] -= 1;
+                if outstanding[c] == 0 {
+                    arrival_buf.clear();
+                    let n = arrivals[c].next_arrivals(ARRIVAL_BATCH, &mut arrival_buf);
+                    for &t in &arrival_buf[..n] {
+                        q.schedule_at(t, Ev::Arrival { client });
+                    }
+                    outstanding[c] = n;
                 }
                 let id = states.len() as u64;
                 let frontend = (clients + (client as usize % servers)) as u16;
@@ -306,10 +325,11 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                     nack_seen: false,
                     corrupt_seen: false,
                 });
-                let frame = request_frame(&cfg.svcload, id, client, now, 0);
+                let mut frame = slab.take();
+                request_frame_into(&cfg.svcload, id, client, now, 0, &mut frame);
                 push_frame!(client, frontend, frame, now);
             }
-            Ev::Deliver { dst, frame } => {
+            Ev::Deliver { dst, mut frame } => {
                 let decoded = decode_frame(&frame);
                 if nodes[dst as usize].role == Role::Server {
                     match decoded {
@@ -325,8 +345,9 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                             let ready = node.receive(now, &frame, horizon);
                             if !node.admit_with(ready, &cfg.admission) {
                                 nacks_sent += 1;
-                                let reply = nack_frame(raw, reply_to, sent_at, attempt);
-                                push_frame!(dst, reply_to, reply, ready);
+                                // The NACK rides the request's own buffer.
+                                nack_frame_into(raw, reply_to, sent_at, attempt, &mut frame);
+                                push_frame!(dst, reply_to, frame, ready);
                                 continue;
                             }
                             // Tier by leg index: 0 = frontend work, else
@@ -338,7 +359,10 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                             let done = nodes[dst as usize].serve(ready, &phase, horizon);
                             if leg == 0 && fanout > 0 {
                                 // Fan out: distinct backends, skipping
-                                // this frontend, in a fixed rotation.
+                                // this frontend, in a fixed rotation. The
+                                // consumed request buffer seeds the slab,
+                                // so the first leg reuses it directly.
+                                slab.put(frame);
                                 let f_local = dst as usize - clients;
                                 let st = &mut states[id as usize];
                                 for j in 0..fanout {
@@ -351,20 +375,29 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                                         resolved: false,
                                     });
                                     stats.legs_sent += 1;
-                                    let leg_frame = request_frame(
+                                    let mut leg_frame = slab.take();
+                                    request_frame_into(
                                         &cfg.svcload,
                                         leg_frame_id(id, j),
                                         dst, // replies route back to the frontend
                                         done,
                                         0,
+                                        &mut leg_frame,
                                     );
                                     push_frame!(dst, backend, leg_frame, done);
                                 }
                             } else {
-                                // Single-tier answer or a finished leg.
-                                let reply =
-                                    response_frame(&cfg.svcload, raw, reply_to, sent_at, attempt);
-                                push_frame!(dst, reply_to, reply, done);
+                                // Single-tier answer or a finished leg,
+                                // encoded into the request's own buffer.
+                                response_frame_into(
+                                    &cfg.svcload,
+                                    raw,
+                                    reply_to,
+                                    sent_at,
+                                    attempt,
+                                    &mut frame,
+                                );
+                                push_frame!(dst, reply_to, frame, done);
                             }
                         }
                         Ok(FrameHeader {
@@ -378,15 +411,20 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                             let (id, leg) = split_frame_id(raw);
                             let done = nodes[dst as usize].receive(now, &frame, horizon);
                             if leg == 0 {
+                                slab.put(frame);
                                 continue; // unreachable: client frames route to clients
                             }
                             let st = &mut states[id as usize];
                             let slot = &mut st.legs[(leg - 1) as usize];
                             if slot.resolved {
+                                slab.put(frame);
                                 continue;
                             }
                             slot.resolved = true;
-                            let mut answer: Option<Vec<u8>> = None;
+                            // When the join resolves here, the client's
+                            // answer is encoded into this leg reply's
+                            // buffer; otherwise the buffer is recycled.
+                            let mut answer: Option<FrameKind> = None;
                             match kind {
                                 FrameKind::Response => {
                                     slot.completed = Some(done);
@@ -402,13 +440,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                                         if st.ok_legs >= st.needed {
                                             st.join_done = true;
                                             stats.joins_ok += 1;
-                                            answer = Some(response_frame(
-                                                &cfg.svcload,
-                                                id,
-                                                st.client,
-                                                st.sent,
-                                                attempt,
-                                            ));
+                                            answer = Some(FrameKind::Response);
                                         }
                                     }
                                 }
@@ -424,16 +456,31 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                                         if st.refused_legs > fanout as u32 - st.needed {
                                             st.join_done = true;
                                             stats.joins_failed += 1;
-                                            answer =
-                                                Some(nack_frame(id, st.client, st.sent, attempt));
+                                            answer = Some(FrameKind::Nack);
                                         }
                                     }
                                 }
                                 FrameKind::Request => {}
                             }
-                            if let Some(reply) = answer {
-                                let to = st.client;
-                                push_frame!(dst, to, reply, done);
+                            let to = st.client;
+                            let first_sent = st.sent;
+                            match answer {
+                                Some(FrameKind::Response) => {
+                                    response_frame_into(
+                                        &cfg.svcload,
+                                        id,
+                                        to,
+                                        first_sent,
+                                        attempt,
+                                        &mut frame,
+                                    );
+                                    push_frame!(dst, to, frame, done);
+                                }
+                                Some(FrameKind::Nack) => {
+                                    nack_frame_into(id, to, first_sent, attempt, &mut frame);
+                                    push_frame!(dst, to, frame, done);
+                                }
+                                _ => slab.put(frame),
                             }
                         }
                         Err(_) => {
@@ -442,6 +489,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                             // request's terminal outcome.
                             corrupt_rx += 1;
                             let _ = nodes[dst as usize].receive(now, &frame, horizon);
+                            slab.put(frame);
                         }
                     }
                 } else {
@@ -449,6 +497,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                     match decoded {
                         Ok(h) => {
                             let done = nodes[dst as usize].receive(now, &frame, horizon);
+                            slab.put(frame);
                             let (id, _) = split_frame_id(h.id);
                             let st = &mut states[id as usize];
                             if st.done {
@@ -475,6 +524,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                         Err(FrameError::Corrupt(hdr)) => {
                             corrupt_rx += 1;
                             let _ = nodes[dst as usize].receive(now, &frame, horizon);
+                            slab.put(frame);
                             if let Some(st) = hdr.and_then(|h| {
                                 let (id, _) = split_frame_id(h.id);
                                 states.get_mut(id as usize)
@@ -484,7 +534,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                                 }
                             }
                         }
-                        Err(FrameError::Truncated) => {}
+                        Err(FrameError::Truncated) => slab.put(frame),
                     }
                 }
             }

@@ -128,6 +128,26 @@ impl ArrivalProcess {
         }
     }
 
+    /// Append up to `k` arrival times to `out` in one pass, returning
+    /// how many were produced (fewer than `k` only when the horizon
+    /// closes). Semantically identical to calling
+    /// [`Self::next_arrival`] `k` times — same stream, same draw order;
+    /// the batch form lets an event loop file a client's next chunk of
+    /// arrivals in one go.
+    pub fn next_arrivals(&mut self, k: usize, out: &mut Vec<Nanos>) -> usize {
+        let mut n = 0;
+        while n < k {
+            match self.next_arrival() {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     fn next_mmpp(&mut self, on_mean: f64, on_dur: f64, off_dur: f64) -> Option<Nanos> {
         loop {
             if self.cursor >= self.horizon {

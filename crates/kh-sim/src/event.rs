@@ -5,12 +5,29 @@
 //! hypercall completion land on the same nanosecond.
 
 use crate::time::Nanos;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
-use std::collections::VecDeque;
+
+/// Levels in the hierarchical wheel. Eight levels of eight bits each
+/// cover the full 64-bit nanosecond range, so no event is ever "too far"
+/// to file.
+const LEVELS: usize = 8;
+/// Slots per level (2^8).
+const SLOTS: usize = 256;
+/// Total wheel lists; list index = `level * SLOTS + slot`.
+const WHEEL_LISTS: usize = LEVELS * SLOTS;
+/// Pseudo-list holding the zero-delay immediate lane.
+const LANE: usize = WHEEL_LISTS;
+/// Total intrusive lists (wheel slots + immediate lane).
+const NLISTS: usize = WHEEL_LISTS + 1;
+/// `Rec::list` value for a record on the freelist.
+const FREE: u16 = u16::MAX;
+/// Null link in the intrusive lists.
+const NIL: u32 = u32::MAX;
 
 /// Opaque handle to a scheduled event; used for cancellation.
+///
+/// Encodes `(generation << 32) | slab_index`. The generation is bumped
+/// every time a slab record is freed, so a stale id (popped or
+/// cancelled) can never alias a later event that reuses the record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
@@ -22,34 +39,19 @@ pub struct ScheduledEvent<T> {
     pub payload: T,
 }
 
+/// One slab record. Live records are threaded onto exactly one intrusive
+/// doubly-linked list (a wheel slot or the immediate lane); free records
+/// sit on the freelist with `list == FREE` and no payload.
 #[derive(Debug)]
-struct HeapEntry<T> {
+struct Rec<T> {
     at: Nanos,
     seq: u64,
-    id: EventId,
-    payload: T,
-}
-
-impl<T> PartialEq for HeapEntry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<T> Eq for HeapEntry<T> {}
-impl<T> PartialOrd for HeapEntry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for HeapEntry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (then first
-        // scheduled) event is at the top.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+    gen: u32,
+    /// Wheel list index, `LANE`, or `FREE`.
+    list: u16,
+    next: u32,
+    prev: u32,
+    payload: Option<T>,
 }
 
 /// A deterministic event queue.
@@ -57,26 +59,40 @@ impl<T> Ord for HeapEntry<T> {
 /// `pop_next` never returns an event scheduled in the past relative to the
 /// last popped event — virtual time is monotone by construction.
 ///
-/// # Lazy deletion invariant
+/// # Timing-wheel layout
 ///
-/// Cancellation does not remove entries from the heap (a `BinaryHeap` has no
-/// efficient arbitrary removal). Instead the id goes into `cancelled` and the
-/// entry is reaped when it surfaces. The queue maintains a stronger *clean
-/// front* invariant: after every public mutating call, neither the heap top
-/// nor the immediate-lane front is a cancelled entry. `cancel` and `pop_next`
-/// re-establish it before returning, which is what lets the read-only
-/// accessors (`peek_time`, `contains`, `len`) take `&self`. Cancelled
-/// entries *behind* the front stay in place until they surface; `cancelled`
-/// therefore holds exactly the not-yet-reaped cancelled ids, and
-/// `pending`/`live` are always exact.
+/// Pending events live in a hierarchical timing wheel: eight levels of
+/// 256 slots, level `L` bucketing bits `[8L, 8L+8)` of the absolute
+/// nanosecond timestamp relative to a monotone `base`. An event files at
+/// the level of the highest bit where its timestamp differs from `base`,
+/// so near-horizon events take level 0 (O(1) schedule and pop) and far
+/// timers park in coarse slots until the clock approaches. Slot residency
+/// is an intrusive doubly-linked list through a slab of generation-stamped
+/// records: `cancel` is an O(1) unlink plus freelist push — there is no
+/// tombstone set, no deferred reaping, and cancelled entries retain
+/// nothing. Each level keeps a 256-bit occupancy bitmap so finding the
+/// next slot is a few word scans.
+///
+/// # Cascading
+///
+/// When the minimum lives in a coarse slot, `pop_next` first *cascades*:
+/// it advances `base` to that slot's window start and re-files the slot's
+/// entries one level down (repeating until the minimum sits at level 0).
+/// Cascading only ever happens while popping the global minimum, which
+/// bounds `base` by the new virtual time — so a later `schedule_at` can
+/// never land behind the wheel. Each event cascades at most once per
+/// level, giving amortized O(levels) per event; slot lists stay in `seq`
+/// order throughout, which preserves exact FIFO tie-breaking.
 ///
 /// # Fast paths
 ///
-/// Events scheduled exactly at the current virtual time bypass the heap into
-/// a FIFO `immediate` lane (plain `VecDeque` push/pop, no sift). Global
-/// `(at, seq)` order is preserved: `pop_next` compares the lane front with
-/// the heap top, so an earlier-`seq` heap entry at the same instant still
-/// pops first.
+/// Events scheduled exactly at the current virtual time bypass the wheel
+/// into a FIFO `immediate` lane (a plain list append). Global `(at, seq)`
+/// order is preserved: `pop_next` compares the lane front with the cached
+/// wheel minimum, so an earlier-`seq` wheel entry at the same instant
+/// still pops first. The exact wheel minimum `(at, seq)` is cached and
+/// maintained on every mutation, which is what lets the read-only
+/// accessors (`peek_time`, `contains`, `len`) take `&self`.
 ///
 /// ```
 /// use kh_sim::{EventQueue, Nanos};
@@ -88,15 +104,23 @@ impl<T> Ord for HeapEntry<T> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<HeapEntry<T>>,
-    /// Zero-delay lane: events scheduled at exactly `now`, in seq order.
-    immediate: VecDeque<HeapEntry<T>>,
-    /// Ids scheduled but neither popped nor cancelled. This is the exact
-    /// pending set; `live` is always `pending.len()`.
-    pending: HashSet<EventId>,
-    /// Cancelled ids whose entries have not been reaped yet (removal from
-    /// a binary heap is lazy; see the lazy-deletion invariant above).
-    cancelled: HashSet<EventId>,
+    /// Backing store for all records; bounded by the historical maximum
+    /// number of concurrently live events (freed records are reused).
+    slab: Vec<Rec<T>>,
+    /// Indices of free slab records.
+    free: Vec<u32>,
+    /// Head of each intrusive list (`NLISTS` entries, `NIL` if empty).
+    head: Vec<u32>,
+    /// Tail of each intrusive list.
+    tail: Vec<u32>,
+    /// Per-level slot occupancy bitmaps (256 bits per level).
+    occ: [[u64; 4]; LEVELS],
+    /// Wheel origin. Monotone; only advanced while popping the minimum,
+    /// so `base <= now` always holds and inserts never land behind it.
+    base: u64,
+    /// Exact cached wheel minimum `(at, seq, slab index)`; `None` iff the
+    /// wheel holds no events (the immediate lane is tracked separately).
+    wheel_min: Option<(Nanos, u64, u32)>,
     next_seq: u64,
     now: Nanos,
     live: usize,
@@ -108,19 +132,32 @@ impl<T> Default for EventQueue<T> {
     }
 }
 
+/// Lowest set bit position in a 256-bit occupancy map.
+fn lowest_slot(words: &[u64; 4]) -> Option<usize> {
+    for (w, word) in words.iter().enumerate() {
+        if *word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
 impl<T> EventQueue<T> {
     pub fn new() -> Self {
         Self::with_capacity(0)
     }
 
-    /// Create a queue with pre-reserved capacity in the heap and pending
-    /// set, avoiding reallocation churn in hot simulation loops.
+    /// Create a queue with pre-reserved slab capacity, avoiding
+    /// reallocation churn in hot simulation loops.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            immediate: VecDeque::new(),
-            pending: HashSet::with_capacity(cap),
-            cancelled: HashSet::new(),
+            slab: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: vec![NIL; NLISTS],
+            tail: vec![NIL; NLISTS],
+            occ: [[0; 4]; LEVELS],
+            base: 0,
+            wheel_min: None,
             next_seq: 0,
             now: Nanos::ZERO,
             live: 0,
@@ -129,8 +166,10 @@ impl<T> EventQueue<T> {
 
     /// Reserve room for at least `additional` more events.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
-        self.pending.reserve(additional);
+        let spare = self.free.len() + (self.slab.capacity() - self.slab.len());
+        if additional > spare {
+            self.slab.reserve(additional - spare);
+        }
     }
 
     /// Current virtual time: the timestamp of the last popped event.
@@ -150,7 +189,12 @@ impl<T> EventQueue<T> {
     /// O(1) exact membership test: is `id` still pending (scheduled,
     /// not yet popped, not cancelled)?
     pub fn contains(&self, id: EventId) -> bool {
-        self.pending.contains(&id)
+        let idx = (id.0 & 0xFFFF_FFFF) as usize;
+        let gen = (id.0 >> 32) as u32;
+        match self.slab.get(idx) {
+            Some(rec) => rec.gen == gen && rec.list != FREE,
+            None => false,
+        }
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -166,21 +210,24 @@ impl<T> EventQueue<T> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let id = EventId(seq);
-        let entry = HeapEntry {
-            at,
-            seq,
-            id,
-            payload,
-        };
+        let idx = self.alloc(at, seq, payload);
+        let id = EventId(((self.slab[idx as usize].gen as u64) << 32) | idx as u64);
         if at == self.now {
-            // Zero-delay fast path: no heap sift. FIFO order within the
-            // lane is seq order because seq is monotone.
-            self.immediate.push_back(entry);
+            // Zero-delay fast path: no wheel filing. FIFO order within
+            // the lane is seq order because seq is monotone.
+            self.link_back(LANE, idx);
         } else {
-            self.heap.push(entry);
+            if self.wheel_min.is_none() {
+                // Empty wheel: re-anchor the origin at the clock so the
+                // next batch of near-future events files at level 0.
+                self.base = self.now.0;
+            }
+            self.wheel_insert(idx);
+            match self.wheel_min {
+                Some((ba, bs, _)) if (ba, bs) < (at, seq) => {}
+                _ => self.wheel_min = Some((at, seq, idx)),
+            }
         }
-        self.pending.insert(id);
         self.live += 1;
         id
     }
@@ -192,7 +239,7 @@ impl<T> EventQueue<T> {
     }
 
     /// Schedule `payload` at the current instant (zero delay). Takes the
-    /// immediate-dispatch lane, skipping the heap entirely.
+    /// immediate-dispatch lane, skipping the wheel entirely.
     pub fn schedule_now(&mut self, payload: T) -> EventId {
         self.schedule_at(self.now, payload)
     }
@@ -201,32 +248,42 @@ impl<T> EventQueue<T> {
     /// pending (i.e. not yet popped and not already cancelled).
     /// Cancelling an unknown, already-popped, or already-cancelled id is
     /// a no-op returning `false` — `len()` stays exact either way.
+    ///
+    /// O(1): unlink from the slot list and free the record. Nothing is
+    /// retained; the generation bump invalidates the id immediately.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.pending.remove(&id) {
+        if !self.contains(id) {
             return false; // never issued, already popped, or already cancelled
         }
-        // The entry is reaped lazily; re-establish the clean-front
-        // invariant in case we just cancelled the front.
-        self.cancelled.insert(id);
+        let idx = (id.0 & 0xFFFF_FFFF) as u32;
+        let was_min = matches!(self.wheel_min, Some((_, _, m)) if m == idx);
+        self.unlink(idx);
+        self.free_rec(idx);
         self.live -= 1;
-        self.clean_front();
+        if was_min {
+            // Re-scan for the new minimum without cascading: a cancel
+            // does not advance the clock, so moving `base` here could
+            // strand later near-future inserts.
+            self.wheel_min = self.find_wheel_min();
+        }
         true
     }
 
     /// Peek at the timestamp of the next pending event.
     ///
-    /// Read-only: the clean-front invariant guarantees neither front is a
-    /// cancelled entry, so no lazy cleanup is needed here.
+    /// Read-only: the wheel minimum is cached exactly, so no slot walk
+    /// or cascade is needed here.
     pub fn peek_time(&self) -> Option<Nanos> {
-        match (self.heap.peek(), self.immediate.front()) {
+        let lane = self.lane_front();
+        match (self.wheel_min, lane) {
             (None, None) => None,
-            (Some(h), None) => Some(h.at),
-            (None, Some(i)) => Some(i.at),
-            (Some(h), Some(i)) => {
-                if (i.at, i.seq) < (h.at, h.seq) {
-                    Some(i.at)
+            (Some((at, _, _)), None) => Some(at),
+            (None, Some((at, _))) => Some(at),
+            (Some((ha, hs, _)), Some((ia, is_))) => {
+                if (ia, is_) < (ha, hs) {
+                    Some(ia)
                 } else {
-                    Some(h.at)
+                    Some(ha)
                 }
             }
         }
@@ -234,31 +291,41 @@ impl<T> EventQueue<T> {
 
     /// Pop the next event, advancing virtual time to its timestamp.
     pub fn pop_next(&mut self) -> Option<ScheduledEvent<T>> {
-        let take_immediate = match (self.heap.peek(), self.immediate.front()) {
+        let take_lane = match (self.wheel_min, self.lane_front()) {
             (None, None) => return None,
             (Some(_), None) => false,
             (None, Some(_)) => true,
-            (Some(h), Some(i)) => (i.at, i.seq) < (h.at, h.seq),
+            (Some((ha, hs, _)), Some((ia, is_))) => (ia, is_) < (ha, hs),
         };
-        let entry = if take_immediate {
-            self.immediate.pop_front().expect("front just observed")
+        let idx = if take_lane {
+            self.head[LANE]
         } else {
-            self.heap.pop().expect("top just observed")
+            let (_, _, m) = self.wheel_min.expect("wheel minimum just observed");
+            // Advancing the clock to the minimum makes it safe to pull
+            // its slot down to level 0 (base stays <= now).
+            self.settle_min(m);
+            m
         };
+        let rec = &self.slab[idx as usize];
+        let at = rec.at;
+        let id = EventId(((rec.gen as u64) << 32) | idx as u64);
+        debug_assert!(at >= self.now);
         debug_assert!(
-            !self.cancelled.contains(&entry.id),
-            "clean-front invariant violated"
+            take_lane || (rec.list as usize) < SLOTS,
+            "settled minimum must sit at level 0"
         );
-        debug_assert!(entry.at >= self.now);
-        self.now = entry.at;
-        self.pending.remove(&entry.id);
+        self.now = at;
+        self.unlink(idx);
+        let payload = self.slab[idx as usize]
+            .payload
+            .take()
+            .expect("live record carries a payload");
+        self.free_rec(idx);
         self.live -= 1;
-        self.clean_front();
-        Some(ScheduledEvent {
-            id: entry.id,
-            at: entry.at,
-            payload: entry.payload,
-        })
+        if !take_lane {
+            self.wheel_min = self.find_wheel_min();
+        }
+        Some(ScheduledEvent { id, at, payload })
     }
 
     /// Advance the clock without popping (e.g. to account for work done
@@ -274,25 +341,197 @@ impl<T> EventQueue<T> {
         self.now = t;
     }
 
-    /// Re-establish the clean-front invariant: reap cancelled entries from
-    /// the heap top and the immediate-lane front until both are live (or
-    /// empty). Called after every mutation that can expose a cancelled
-    /// entry at a front.
-    fn clean_front(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.id) {
-                self.heap.pop();
-            } else {
-                break;
-            }
+    /// `(at, seq)` of the immediate-lane front, if any.
+    fn lane_front(&self) -> Option<(Nanos, u64)> {
+        let h = self.head[LANE];
+        if h == NIL {
+            None
+        } else {
+            let rec = &self.slab[h as usize];
+            Some((rec.at, rec.seq))
         }
-        while let Some(front) = self.immediate.front() {
-            if self.cancelled.remove(&front.id) {
-                self.immediate.pop_front();
-            } else {
-                break;
-            }
+    }
+
+    /// Take a record from the freelist (or grow the slab) and initialize
+    /// it. The record's `list` is set by the caller's subsequent link.
+    fn alloc(&mut self, at: Nanos, seq: u64, payload: T) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let rec = &mut self.slab[idx as usize];
+            debug_assert_eq!(rec.list, FREE, "freelist record must be free");
+            rec.at = at;
+            rec.seq = seq;
+            rec.next = NIL;
+            rec.prev = NIL;
+            rec.payload = Some(payload);
+            idx
+        } else {
+            let idx = self.slab.len();
+            assert!(idx < NIL as usize, "event slab index space exhausted");
+            self.slab.push(Rec {
+                at,
+                seq,
+                gen: 1,
+                list: FREE,
+                next: NIL,
+                prev: NIL,
+                payload: Some(payload),
+            });
+            idx as u32
         }
+    }
+
+    /// Return a record to the freelist, bumping its generation so stale
+    /// ids can never alias the reused record.
+    fn free_rec(&mut self, idx: u32) {
+        let rec = &mut self.slab[idx as usize];
+        rec.list = FREE;
+        rec.payload = None;
+        rec.next = NIL;
+        rec.prev = NIL;
+        rec.gen = rec.gen.wrapping_add(1);
+        if rec.gen == 0 {
+            rec.gen = 1; // generation 0 is reserved for "never issued"
+        }
+        self.free.push(idx);
+    }
+
+    /// Append `idx` to list `list` (a wheel slot or the lane).
+    fn link_back(&mut self, list: usize, idx: u32) {
+        let prev_tail = self.tail[list];
+        {
+            let rec = &mut self.slab[idx as usize];
+            rec.list = list as u16;
+            rec.next = NIL;
+            rec.prev = prev_tail;
+        }
+        if prev_tail == NIL {
+            self.head[list] = idx;
+        } else {
+            self.slab[prev_tail as usize].next = idx;
+        }
+        self.tail[list] = idx;
+    }
+
+    /// Unlink `idx` from its list, clearing the slot occupancy bit if a
+    /// wheel slot just emptied. Does not free the record.
+    fn unlink(&mut self, idx: u32) {
+        let (list, prev, next) = {
+            let rec = &self.slab[idx as usize];
+            debug_assert_ne!(rec.list, FREE, "unlinking a free record");
+            (rec.list as usize, rec.prev, rec.next)
+        };
+        if prev == NIL {
+            self.head[list] = next;
+        } else {
+            self.slab[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail[list] = prev;
+        } else {
+            self.slab[next as usize].prev = prev;
+        }
+        if list < WHEEL_LISTS && self.head[list] == NIL {
+            let slot = list % SLOTS;
+            self.occ[list / SLOTS][slot / 64] &= !(1u64 << (slot % 64));
+        }
+    }
+
+    /// File `idx` into the wheel slot matching its timestamp: the level
+    /// of the highest bit where `at` differs from `base`, and that
+    /// level's 8-bit digit of `at` as the slot.
+    fn wheel_insert(&mut self, idx: u32) {
+        let at = self.slab[idx as usize].at.0;
+        debug_assert!(at >= self.base, "insert behind the wheel base");
+        let x = at ^ self.base;
+        let lvl = if x == 0 {
+            0
+        } else {
+            (63 - x.leading_zeros()) as usize / 8
+        };
+        let slot = ((at >> (8 * lvl)) & 0xFF) as usize;
+        self.occ[lvl][slot / 64] |= 1u64 << (slot % 64);
+        self.link_back(lvl * SLOTS + slot, idx);
+    }
+
+    /// Cascade the minimum's slot down until the minimum sits at level 0.
+    /// Only called from `pop_next` while popping the global minimum, so
+    /// advancing `base` to each slot's window start keeps `base <= now`.
+    fn settle_min(&mut self, idx: u32) {
+        loop {
+            let list = self.slab[idx as usize].list as usize;
+            debug_assert!(list < WHEEL_LISTS, "wheel minimum must be filed");
+            let lvl = list / SLOTS;
+            if lvl == 0 {
+                return;
+            }
+            self.cascade(lvl, list % SLOTS);
+        }
+    }
+
+    /// Advance `base` into slot `(lvl, slot)`'s window and re-file every
+    /// entry of that slot one or more levels down. Requires all lower
+    /// levels to be empty (true whenever the slot holds the global
+    /// minimum), so no already-filed entry is stranded by the move.
+    fn cascade(&mut self, lvl: usize, slot: usize) {
+        debug_assert!(lvl > 0);
+        debug_assert!(
+            (0..lvl).all(|l| self.occ[l] == [0u64; 4]),
+            "cascade with occupied lower levels"
+        );
+        let shift = 8 * lvl;
+        let high = if lvl + 1 == LEVELS {
+            0
+        } else {
+            self.base & (u64::MAX << (shift + 8))
+        };
+        let new_base = high | ((slot as u64) << shift);
+        debug_assert!(new_base >= self.base, "wheel base must be monotone");
+        let list = lvl * SLOTS + slot;
+        let mut cur = self.head[list];
+        debug_assert_ne!(cur, NIL, "cascading an empty slot");
+        self.head[list] = NIL;
+        self.tail[list] = NIL;
+        self.occ[lvl][slot / 64] &= !(1u64 << (slot % 64));
+        self.base = new_base;
+        // Re-file in list order: slot lists are seq-sorted, and keeping
+        // that order preserves exact FIFO tie-breaking after the move.
+        while cur != NIL {
+            let next = self.slab[cur as usize].next;
+            debug_assert_eq!(
+                (self.slab[cur as usize].at.0 >> shift) & 0xFF,
+                slot as u64,
+                "record filed in a slot not matching its timestamp"
+            );
+            self.wheel_insert(cur);
+            debug_assert!(
+                (self.slab[cur as usize].list as usize) / SLOTS < lvl,
+                "cascade must move entries to a lower level"
+            );
+            cur = next;
+        }
+    }
+
+    /// Locate the exact wheel minimum by scanning the lowest occupied
+    /// slot of the lowest occupied level. Read-only: never cascades, so
+    /// it is safe after cancels (which do not advance the clock).
+    fn find_wheel_min(&self) -> Option<(Nanos, u64, u32)> {
+        let lvl = (0..LEVELS).find(|&l| self.occ[l] != [0u64; 4])?;
+        let slot = lowest_slot(&self.occ[lvl]).expect("occupancy bit just observed");
+        let mut cur = self.head[lvl * SLOTS + slot];
+        debug_assert_ne!(cur, NIL, "occupied slot with an empty list");
+        let mut best: Option<(Nanos, u64, u32)> = None;
+        while cur != NIL {
+            let rec = &self.slab[cur as usize];
+            let better = match best {
+                Some((ba, bs, _)) => (rec.at, rec.seq) < (ba, bs),
+                None => true,
+            };
+            if better {
+                best = Some((rec.at, rec.seq, cur));
+            }
+            cur = rec.next;
+        }
+        best
     }
 }
 
@@ -383,18 +622,53 @@ mod tests {
     }
 
     #[test]
-    fn stale_cancel_does_not_leak_into_cancelled_set() {
+    fn stale_cancel_retains_nothing() {
         let mut q = EventQueue::new();
         let a = q.schedule_at(Nanos(10), ());
         q.pop_next();
-        q.cancel(a); // stale
-        assert!(q.cancelled.is_empty(), "stale cancel must not be retained");
-        // A fresh cancel is reaped from the set once the heap entry goes.
+        assert!(!q.cancel(a), "stale cancel must report false");
+        assert!(!q.contains(a));
+        // A fresh cancel frees its record immediately: every slab record
+        // is back on the freelist once the queue drains.
         let b = q.schedule_at(Nanos(20), ());
         q.schedule_at(Nanos(30), ());
         assert!(q.cancel(b));
         q.pop_next();
-        assert!(q.cancelled.is_empty(), "reaped cancel must be forgotten");
+        assert!(q.is_empty());
+        assert_eq!(
+            q.free.len(),
+            q.slab.len(),
+            "drained queue must hold only free records"
+        );
+    }
+
+    /// The churn regression from the tombstone era: a schedule/cancel
+    /// loop must recycle records instead of accumulating state. The slab
+    /// is bounded by the peak number of *concurrently* live events, not
+    /// by the number of events ever scheduled.
+    #[test]
+    fn churn_reuses_records_without_unbounded_growth() {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let held: Vec<EventId> = (0..64).map(|i| q.schedule_at(Nanos(1 + i), i)).collect();
+        let peak = q.slab.len();
+        for round in 0..100_000u64 {
+            let near = q.schedule_at(Nanos(1_000 + round), round);
+            let far = q.schedule_at(Nanos(1 << 40), round);
+            assert!(q.cancel(near));
+            assert!(q.cancel(far));
+            assert_eq!(q.len(), 64);
+        }
+        assert!(
+            q.slab.len() <= peak + 2,
+            "churn must reuse freed records: slab grew to {} (peak live was {})",
+            q.slab.len(),
+            peak
+        );
+        for id in held {
+            assert!(q.cancel(id));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.free.len(), q.slab.len());
     }
 
     proptest::proptest! {
@@ -443,6 +717,71 @@ mod tests {
             }
             proptest::prop_assert!(model.is_empty());
         }
+
+        /// Full behavioral check against a naive sorted-vec model: the
+        /// wheel must agree on pop order (time, then FIFO seq), peek,
+        /// cancel outcomes, and ids under random interleavings. Delta
+        /// shaping exercises the immediate lane, level-0 slots, mid
+        /// levels, and far-future slots that must cascade on pop.
+        #[test]
+        fn wheel_matches_sorted_vec_model(
+            ops in proptest::collection::vec((0u8..4, 0u64..(1u64 << 24)), 1..300)
+        ) {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut model: Vec<(Nanos, u64, EventId)> = Vec::new();
+            let mut issued: Vec<EventId> = Vec::new();
+            let mut tag = 0u64;
+            for (op, arg) in ops {
+                match op {
+                    0 => {
+                        let delta = match arg & 3 {
+                            0 => 0,
+                            1 => 1 + (arg >> 2) % 200,
+                            2 => 1_000 + (arg >> 2) % 100_000,
+                            _ => ((arg >> 2) % 64) << 33,
+                        };
+                        let at = Nanos(q.now().0 + delta);
+                        let id = q.schedule_at(at, tag);
+                        model.push((at, tag, id));
+                        issued.push(id);
+                        tag += 1;
+                    }
+                    1 => {
+                        model.sort();
+                        match q.pop_next() {
+                            None => proptest::prop_assert!(model.is_empty()),
+                            Some(e) => {
+                                let (at, t, id) = model.remove(0);
+                                proptest::prop_assert_eq!(e.at, at);
+                                proptest::prop_assert_eq!(e.payload, t);
+                                proptest::prop_assert_eq!(e.id, id);
+                            }
+                        }
+                    }
+                    2 => {
+                        if !issued.is_empty() {
+                            let id = issued[(arg as usize) % issued.len()];
+                            let pos = model.iter().position(|&(_, _, i)| i == id);
+                            if let Some(p) = pos {
+                                model.remove(p);
+                            }
+                            proptest::prop_assert_eq!(q.cancel(id), pos.is_some());
+                        }
+                    }
+                    _ => {
+                        let expect = model.iter().map(|&(at, t, _)| (at, t)).min();
+                        proptest::prop_assert_eq!(q.peek_time(), expect.map(|(at, _)| at));
+                    }
+                }
+                proptest::prop_assert_eq!(q.len(), model.len());
+            }
+            model.sort();
+            for (at, t, id) in model {
+                let e = q.pop_next().unwrap();
+                proptest::prop_assert_eq!((e.at, e.payload, e.id), (at, t, id));
+            }
+            proptest::prop_assert!(q.pop_next().is_none());
+        }
     }
 
     #[test]
@@ -454,7 +793,7 @@ mod tests {
         q.pop_next(); // now = 20; heap_same_instant popped
         assert_eq!(q.now(), Nanos(20));
         let _ = heap_same_instant;
-        // Heap entry at the current instant scheduled *before* two
+        // Wheel entry at the current instant scheduled *before* two
         // zero-delay events must still pop first (seq order).
         q.schedule_at(Nanos(25), "later");
         q.pop_next(); // now = 25
@@ -474,8 +813,8 @@ mod tests {
     fn heap_entry_at_same_instant_with_lower_seq_pops_before_lane() {
         let mut q = EventQueue::new();
         q.schedule_at(Nanos(10), "a");
-        q.schedule_at(Nanos(10), "b"); // heap, seq 1
-        q.pop_next(); // pops "a", now = 10; "b" still in heap at now
+        q.schedule_at(Nanos(10), "b"); // wheel, seq 1
+        q.pop_next(); // pops "a", now = 10; "b" still in the wheel at now
         let _z = q.schedule_now("z"); // lane, seq 2
         assert_eq!(q.pop_next().unwrap().payload, "b");
         assert_eq!(q.pop_next().unwrap().payload, "z");
@@ -491,7 +830,11 @@ mod tests {
         assert!(q.contains(z2));
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop_next().unwrap().payload, "z2");
-        assert!(q.cancelled.is_empty(), "lane cancel must be reaped");
+        assert_eq!(
+            q.free.len(),
+            q.slab.len(),
+            "lane cancel must free its record"
+        );
     }
 
     #[test]
@@ -500,7 +843,7 @@ mod tests {
         let a = q.schedule_at(Nanos(10), "a");
         q.schedule_at(Nanos(20), "b");
         q.cancel(a);
-        // &self access: the clean-front invariant already reaped `a`.
+        // &self access: the cached wheel minimum was updated by `cancel`.
         let q_ref: &EventQueue<&str> = &q;
         assert_eq!(q_ref.peek_time(), Some(Nanos(20)));
         assert!(!q_ref.contains(a));
@@ -521,6 +864,32 @@ mod tests {
         q.schedule_at(Nanos(20), "b");
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(Nanos(20)));
+    }
+
+    #[test]
+    fn far_future_events_cascade_in_order() {
+        let mut q = EventQueue::new();
+        // Two far timers sharing one coarse slot, plus near events: the
+        // pops must interleave in exact (at, seq) order across cascades.
+        let far_a = Nanos((3 << 33) + 7);
+        let far_b = Nanos((3 << 33) + 7); // same instant, later seq
+        q.schedule_at(far_a, "far-a");
+        q.schedule_at(far_b, "far-b");
+        q.schedule_at(Nanos(5), "near");
+        assert_eq!(q.peek_time(), Some(Nanos(5)));
+        assert_eq!(q.pop_next().unwrap().payload, "near");
+        // Scheduling after the cascade-triggering pop must still work
+        // for times between now and the far slot.
+        q.schedule_at(Nanos(10), "mid");
+        assert_eq!(q.pop_next().unwrap().payload, "mid");
+        assert_eq!(q.pop_next().unwrap().payload, "far-a");
+        assert_eq!(q.now(), far_a);
+        // base has advanced into the far window; near-now scheduling
+        // still files correctly.
+        q.schedule_after(Nanos(1), "after-far");
+        assert_eq!(q.pop_next().unwrap().payload, "far-b");
+        assert_eq!(q.pop_next().unwrap().payload, "after-far");
+        assert!(q.pop_next().is_none());
     }
 
     #[test]

@@ -136,6 +136,26 @@ impl Arrivals {
         self.generated += 1;
         Some(t)
     }
+
+    /// Append up to `k` arrival times to `out` in one pass, returning
+    /// how many were produced (fewer than `k` only when the window
+    /// closes). Semantically identical to calling [`Self::next_arrival`]
+    /// `k` times; the batch form lets the event loop file a client's
+    /// next chunk of arrivals into the queue in one go instead of
+    /// re-entering the generator once per event.
+    pub fn next_arrivals(&mut self, k: usize, out: &mut Vec<Nanos>) -> usize {
+        let mut n = 0;
+        while n < k {
+            match self.next_arrival() {
+                Some(t) => {
+                    out.push(t);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 }
 
 /// What a frame *is* — request, response, or a shed notification.
@@ -202,8 +222,13 @@ pub fn frame_checksum(frame: &[u8]) -> u32 {
     h
 }
 
-fn build(hdr: FrameHeader, bytes: usize) -> Vec<u8> {
-    let mut f = vec![0u8; bytes.max(HEADER_BYTES)];
+/// Encode a frame into `buf`, reusing its allocation. The buffer is
+/// truncated/extended to the frame length; contents are fully
+/// overwritten, so a recycled buffer produces bytes identical to a
+/// fresh one.
+fn build_into(hdr: FrameHeader, bytes: usize, f: &mut Vec<u8>) {
+    f.clear();
+    f.resize(bytes.max(HEADER_BYTES), 0);
     f[0..8].copy_from_slice(&hdr.id.to_le_bytes());
     f[8..10].copy_from_slice(&hdr.client.to_le_bytes());
     f[10..18].copy_from_slice(&hdr.sent.as_nanos().to_le_bytes());
@@ -216,8 +241,13 @@ fn build(hdr: FrameHeader, bytes: usize) -> Vec<u8> {
             .wrapping_add(j as u64);
         *b = (x ^ (x >> 7)) as u8;
     }
-    let sum = frame_checksum(&f);
+    let sum = frame_checksum(f);
     f[CHECKSUM_RANGE].copy_from_slice(&sum.to_le_bytes());
+}
+
+fn build(hdr: FrameHeader, bytes: usize) -> Vec<u8> {
+    let mut f = Vec::new();
+    build_into(hdr, bytes, &mut f);
     f
 }
 
@@ -273,6 +303,66 @@ pub fn nack_frame(id: u64, client: u16, sent: Nanos, attempt: u8) -> Vec<u8> {
         },
         NACK_BYTES,
     )
+}
+
+/// [`request_frame`], but encoding into a reusable buffer (e.g. one
+/// recycled through `kh-cluster`'s frame slab).
+pub fn request_frame_into(
+    cfg: &SvcLoadConfig,
+    id: u64,
+    client: u16,
+    sent: Nanos,
+    attempt: u8,
+    buf: &mut Vec<u8>,
+) {
+    build_into(
+        FrameHeader {
+            id,
+            client,
+            sent,
+            kind: FrameKind::Request,
+            attempt,
+        },
+        cfg.request_bytes,
+        buf,
+    );
+}
+
+/// [`response_frame`], but encoding into a reusable buffer.
+pub fn response_frame_into(
+    cfg: &SvcLoadConfig,
+    id: u64,
+    client: u16,
+    sent: Nanos,
+    attempt: u8,
+    buf: &mut Vec<u8>,
+) {
+    build_into(
+        FrameHeader {
+            id,
+            client,
+            sent,
+            kind: FrameKind::Response,
+            attempt,
+        },
+        cfg.response_bytes,
+        buf,
+    );
+}
+
+/// [`nack_frame`], but encoding into a reusable buffer.
+pub fn nack_frame_into(id: u64, client: u16, sent: Nanos, attempt: u8, buf: &mut Vec<u8>) {
+    build_into(
+        FrameHeader {
+            id,
+            client,
+            sent,
+            kind: FrameKind::Nack,
+            attempt,
+        },
+        NACK_BYTES,
+        buf,
+    );
 }
 
 /// Decode and checksum-verify a frame.
@@ -527,6 +617,36 @@ mod tests {
         );
         corrupt_frame_payload(&mut tiny, 3);
         assert!(matches!(decode_frame(&tiny), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_byte_identically() {
+        let cfg = SvcLoadConfig::default();
+        let sent = Nanos::from_micros(9);
+        // A dirty, oversized recycled buffer must yield the same bytes
+        // as a fresh allocation.
+        let mut buf = vec![0xAA; 4096];
+        request_frame_into(&cfg, 7, 2, sent, 1, &mut buf);
+        assert_eq!(buf, request_frame(&cfg, 7, 2, sent, 1));
+        response_frame_into(&cfg, 7, 2, sent, 1, &mut buf);
+        assert_eq!(buf, response_frame(&cfg, 7, 2, sent, 1));
+        nack_frame_into(7, 2, sent, 1, &mut buf);
+        assert_eq!(buf, nack_frame(7, 2, sent, 1));
+    }
+
+    #[test]
+    fn batched_arrivals_match_one_at_a_time() {
+        let cfg = SvcLoadConfig::default();
+        let mut one = Arrivals::new(&cfg, 13);
+        let mut serial = Vec::new();
+        while let Some(t) = one.next_arrival() {
+            serial.push(t);
+        }
+        let mut batched = Arrivals::new(&cfg, 13);
+        let mut out = Vec::new();
+        while batched.next_arrivals(32, &mut out) == 32 {}
+        assert_eq!(out, serial);
+        assert_eq!(batched.generated, one.generated);
     }
 
     #[test]
