@@ -83,6 +83,7 @@ fn usage() -> ExitCode {
 USAGE:
   khbench perf [--quick] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench cluster [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+  khbench attestation [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench reliability [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench adaptive [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench scenario [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
@@ -98,6 +99,7 @@ OPTIONS:
              identity against    (default BENCH_parallel_walkcache.json)
   --out      output JSON path (default BENCH_parallel_walkcache.json,
              cluster: BENCH_cluster_svcload.json,
+             attestation: BENCH_cluster_attestation.json,
              reliability: BENCH_cluster_reliability.json,
              adaptive: BENCH_cluster_adaptive.json,
              scenario: BENCH_cluster_scenario.json,
@@ -516,10 +518,13 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
 
     let kitten = &pooled[0];
     let linux = &pooled[1];
+    let theseus = &pooled[2];
     let tail_ordering_holds = kitten.latency.p99() <= linux.latency.p99()
         && kitten.latency.p999() <= linux.latency.p999();
+    let theseus_p99_le_kitten = theseus.latency.p99() <= kitten.latency.p99();
     eprintln!(
-        "tails (us): Kitten p99 {:.1} p999 {:.1} | Linux p99 {:.1} p999 {:.1} | ordering holds: {tail_ordering_holds}",
+        "tails (us): Theseus p99 {:.1} | Kitten p99 {:.1} p999 {:.1} | Linux p99 {:.1} p999 {:.1} | kitten<=linux: {tail_ordering_holds} theseus<=kitten: {theseus_p99_le_kitten}",
+        theseus.latency.p99() / 1e3,
         kitten.latency.p99() / 1e3,
         kitten.latency.p999() / 1e3,
         linux.latency.p99() / 1e3,
@@ -549,7 +554,8 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
          \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"clients\": {},\n  \
          \"servers\": {},\n  \"jobs\": {jobs},\n  \"repeats\": {repeats},\n  \
          \"deterministic\": {deterministic},\n  \
-         \"tail_ordering_holds\": {tail_ordering_holds},\n  \"arms\": [\n{}\n  ]\n}}\n",
+         \"tail_ordering_holds\": {tail_ordering_holds},\n  \
+         \"theseus_p99_le_kitten\": {theseus_p99_le_kitten},\n  \"arms\": [\n{}\n  ]\n}}\n",
         kitten.clients,
         kitten.servers,
         arm_rows.join(",\n"),
@@ -567,6 +573,255 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
     }
     if !tail_ordering_holds {
         eprintln!("error: Kitten-primary tails exceed Linux-primary under identical load");
+        return None;
+    }
+    if !theseus_p99_le_kitten {
+        eprintln!("error: Theseus-primary p99 exceeds Kitten-primary under identical load");
+        return None;
+    }
+    Some(())
+}
+
+/// `khbench attestation`: the cluster bring-up attestation cell. Three
+/// sub-experiments behind one exit code:
+///
+/// 1. **Handshake cost vs cluster size** — the all-pairs
+///    challenge/response mesh over growing node counts: frames and
+///    bytes grow quadratically, simulated completion time linearly
+///    (verifiers sweep their peers in parallel).
+/// 2. **Attested three-arm ablation** — svcload under Theseus, Kitten,
+///    and Linux server arms with the handshake armed, gated on
+///    byte-identical traces (attestation verdicts included) across
+///    worker counts plus a rerun, and on the tail ordering
+///    Theseus <= Kitten <= Linux at p99.
+/// 3. **Tamper cell** — `tamper@<last server>` forges one node's boot
+///    measurement. The gate demands that node quarantined (every
+///    request routed at it refused at arrival, zero attempts) while
+///    every healthy server's records and every node's noise histogram
+///    stay byte-identical to the tamper-free attested run.
+fn cmd_attestation(flags: &HashMap<String, String>) -> Option<()> {
+    use kh_cluster::figures::ARMS;
+    use kh_cluster::{ClusterConfig, ClusterReport, Node, Role};
+    use kh_sim::FabricFaultSpec;
+    use kh_virtio::LinkProfile;
+    use kh_workloads::svcload::{RequestOutcome, SvcLoadConfig};
+
+    let quick = flags.contains_key("quick");
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(4))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(kh_bench::SEED))?;
+    let repeats: usize = flags
+        .get("repeats")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(if quick { 3 } else { 5 }))?;
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster_attestation.json".to_string());
+    let jobs = match flags.get("jobs") {
+        Some(j) => j.parse().ok().filter(|&n| n >= 1)?,
+        None => kh_core::pool::jobs(),
+    };
+    let svcload = if quick {
+        SvcLoadConfig::quick()
+    } else {
+        SvcLoadConfig::default()
+    };
+    eprintln!("khbench attestation: nodes={nodes} jobs={jobs} quick={quick} seed={seed:#x}");
+
+    // Handshake cost vs cluster size, on a mesh built with the same
+    // role split and seed discipline as a cluster run.
+    let platform = Platform::pine_a64_lts();
+    let link = LinkProfile::from_platform(&platform);
+    let sizes: &[usize] = if quick { &[4, 8, 16] } else { &[4, 8, 16, 32] };
+    let mut handshake_rows = Vec::new();
+    for &n in sizes {
+        let mut node_seeds = SimRng::new(seed ^ 0x6B68_636C_7573); // "khclus"
+        let mesh: Vec<Node> = (0..n)
+            .map(|i| {
+                let role = if i < n / 2 {
+                    Role::Client
+                } else {
+                    Role::Server
+                };
+                Node::new(
+                    i as u16,
+                    role,
+                    StackKind::HafniumKitten,
+                    platform,
+                    node_seeds.split(i as u64).next_u64(),
+                )
+            })
+            .collect();
+        let rep = kh_cluster::handshake(&mesh, seed, &[], &link);
+        let wall = time_median(repeats, || {
+            let r = kh_cluster::handshake(&mesh, seed, &[], &link);
+            assert!(r.all_clean());
+        });
+        eprintln!(
+            "handshake n={n}: {} frames / {} bytes, done at {} us sim, median {:.1} us wall",
+            rep.frames,
+            rep.bytes,
+            rep.completed_at.as_nanos() / 1_000,
+            wall as f64 / 1e3,
+        );
+        handshake_rows.push(format!(
+            "    {{ \"nodes\": {n}, \"frames\": {}, \"bytes\": {}, \
+             \"completed_at_ns\": {}, \"median_wall_ns\": {wall} }}",
+            rep.frames,
+            rep.bytes,
+            rep.completed_at.as_nanos(),
+        ));
+    }
+
+    // Attested three-arm ablation; the fingerprint folds the verdict
+    // table in so a nondeterministic handshake cannot hide behind
+    // identical traffic.
+    let run_arms = |workers: usize| -> Vec<ClusterReport> {
+        kh_core::pool::set_jobs(workers);
+        Pool::with_default_jobs().run_indexed(ARMS.len(), |i| {
+            let mut cfg = ClusterConfig::new(nodes, ARMS[i], seed);
+            cfg.svcload = svcload;
+            cfg.attest = true;
+            kh_cluster::run(&cfg)
+        })
+    };
+    let fingerprint = |reports: &[ClusterReport]| -> String {
+        reports
+            .iter()
+            .map(|r| {
+                let attest = r.attestation.as_ref().map(|a| a.csv()).unwrap_or_default();
+                format!("{attest}---\n{}", r.csv())
+            })
+            .collect::<Vec<_>>()
+            .join("===\n")
+    };
+    let serial = run_arms(1);
+    let pooled = run_arms(jobs);
+    let rerun = run_arms(jobs);
+    let deterministic =
+        fingerprint(&serial) == fingerprint(&pooled) && fingerprint(&pooled) == fingerprint(&rerun);
+    eprintln!("determinism (serial == pooled == rerun, attestation csv included): {deterministic}");
+
+    let arm_for = |stack: StackKind| pooled.iter().find(|r| r.server_stack == stack);
+    let theseus = arm_for(StackKind::NativeTheseus)?;
+    let kitten = arm_for(StackKind::HafniumKitten)?;
+    let linux = arm_for(StackKind::HafniumLinux)?;
+    let theseus_p99_le_kitten = theseus.latency.p99() <= kitten.latency.p99();
+    let kitten_p99_le_linux = kitten.latency.p99() <= linux.latency.p99();
+    eprintln!(
+        "attested tails (us): Theseus p99 {:.1} | Kitten p99 {:.1} | Linux p99 {:.1} | \
+         theseus<=kitten: {theseus_p99_le_kitten} kitten<=linux: {kitten_p99_le_linux}",
+        theseus.latency.p99() / 1e3,
+        kitten.latency.p99() / 1e3,
+        linux.latency.p99() / 1e3,
+    );
+
+    // Tamper cell: forge the last server's measurement and diff against
+    // the tamper-free attested run.
+    let victim = (nodes - 1) as u16;
+    let run_tamper = |tamper: bool| -> ClusterReport {
+        let mut cfg = ClusterConfig::new(nodes, StackKind::HafniumKitten, seed);
+        cfg.svcload = svcload;
+        cfg.attest = true;
+        if tamper {
+            let spec = FabricFaultSpec::parse(&format!("tamper@{victim}")).expect("tamper spec");
+            cfg.faults = Some((spec, 1));
+        }
+        kh_cluster::run(&cfg)
+    };
+    let clean = run_tamper(false);
+    let tampered = run_tamper(true);
+    let quarantined = tampered
+        .attestation
+        .as_ref()
+        .map(|a| a.quarantined.clone())
+        .unwrap_or_default();
+    let victim_records: Vec<_> = tampered
+        .records
+        .iter()
+        .filter(|rec| rec.server == victim)
+        .collect();
+    let tamper_quarantined = quarantined == vec![victim]
+        && !victim_records.is_empty()
+        && victim_records
+            .iter()
+            .all(|rec| rec.outcome == RequestOutcome::Refused && rec.attempts == 0);
+    let healthy = |rep: &ClusterReport| {
+        rep.records
+            .iter()
+            .filter(|rec| rec.server != victim)
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    let healthy_byte_identity = healthy(&clean) == healthy(&tampered)
+        && clean
+            .per_node
+            .iter()
+            .zip(tampered.per_node.iter())
+            .all(|(c, t)| c.noise_hist == t.noise_hist);
+    eprintln!(
+        "tamper@{victim}: quarantined {quarantined:?}, {} refused | \
+         quarantine gate: {tamper_quarantined} | healthy byte-identity: {healthy_byte_identity}",
+        victim_records.len(),
+    );
+
+    let arm_rows: Vec<String> = pooled
+        .iter()
+        .map(|r| {
+            let a = r.attestation.as_ref().expect("attested arm");
+            format!(
+                "    {{ \"stack\": \"{}\", \"sent\": {}, \"completed\": {}, \
+                 \"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"p999_ns\": {:.0}, \
+                 \"attest_frames\": {}, \"attest_done_ns\": {} }}",
+                r.server_stack.label(),
+                r.sent,
+                r.completed,
+                r.latency.median(),
+                r.latency.p99(),
+                r.latency.p999(),
+                a.frames,
+                a.completed_at.as_nanos(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"khbench-cluster-attestation-v1\",\n  \"quick\": {quick},\n  \
+         \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"jobs\": {jobs},\n  \
+         \"repeats\": {repeats},\n  \
+         \"deterministic\": {deterministic},\n  \
+         \"theseus_p99_le_kitten\": {theseus_p99_le_kitten},\n  \
+         \"kitten_p99_le_linux\": {kitten_p99_le_linux},\n  \
+         \"tamper_quarantined\": {tamper_quarantined},\n  \
+         \"healthy_byte_identity\": {healthy_byte_identity},\n  \
+         \"handshake\": [\n{}\n  ],\n  \"arms\": [\n{}\n  ]\n}}\n",
+        handshake_rows.join(",\n"),
+        arm_rows.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return None;
+    }
+    eprintln!("wrote {out_path}");
+    if !deterministic {
+        eprintln!("error: attested traces diverged across reruns/worker counts");
+        return None;
+    }
+    if !theseus_p99_le_kitten || !kitten_p99_le_linux {
+        eprintln!("error: attested ablation tail ordering Theseus <= Kitten <= Linux broken");
+        return None;
+    }
+    if !tamper_quarantined {
+        eprintln!("error: tampered node was not fully quarantined");
+        return None;
+    }
+    if !healthy_byte_identity {
+        eprintln!("error: quarantine perturbed healthy nodes' records or noise");
         return None;
     }
     Some(())
@@ -1579,6 +1834,7 @@ fn main() -> ExitCode {
     let ok = match cmd.as_str() {
         "perf" => cmd_perf(&flags),
         "cluster" => cmd_cluster(&flags),
+        "attestation" => cmd_attestation(&flags),
         "reliability" => cmd_reliability(&flags),
         "adaptive" => cmd_adaptive(&flags),
         "scenario" => cmd_scenario(&flags),

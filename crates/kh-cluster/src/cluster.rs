@@ -75,6 +75,11 @@ pub struct ClusterConfig {
     /// Traffic scenario. When set, [`run`] dispatches to the multi-tier
     /// executor in [`crate::scenario`] instead of the svcload loop.
     pub scenario: Option<Scenario>,
+    /// Run the remote-attestation handshake ([`crate::attest`]) at
+    /// bring-up, before any traffic. Nodes whose evidence fails the
+    /// registry are quarantined: requests targeting them terminate in
+    /// [`RequestOutcome::Refused`] without ever touching the wire.
+    pub attest: bool,
 }
 
 impl ClusterConfig {
@@ -94,6 +99,7 @@ impl ClusterConfig {
             detect_latency: Nanos::from_millis(1),
             restart_cost: Nanos::from_millis(2),
             scenario: None,
+            attest: false,
         }
     }
 
@@ -208,6 +214,9 @@ pub struct ClusterReport {
     pub recoveries: Vec<RecoveryRecord>,
     /// Multi-tier counters; Some only for scenario runs.
     pub scenario: Option<ScenarioStats>,
+    /// Remote-attestation handshake result; Some only when
+    /// `cfg.attest` was set.
+    pub attestation: Option<crate::attest::AttestationReport>,
     /// Virtual time of the last event processed.
     pub elapsed: Nanos,
 }
@@ -336,6 +345,24 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
         fabric.faults = FabricFaultPlan::new(spec, *fault_seed);
     }
 
+    // Attestation happens at bring-up, before the first arrival: every
+    // node sweeps its peers, and anyone whose evidence fails the
+    // registry is quarantined for the whole run. The handshake draws
+    // from its own stream roots and mutates no node, so arming it (or
+    // a tamper clause) leaves every other stream byte-identical.
+    let attestation = cfg.attest.then(|| {
+        crate::attest::handshake(
+            &nodes,
+            cfg.seed,
+            fabric.faults.tampered_nodes(),
+            &LinkProfile::from_platform(&cfg.platform),
+        )
+    });
+    let quarantined: Vec<u16> = attestation
+        .as_ref()
+        .map(|a| a.quarantined.clone())
+        .unwrap_or_default();
+
     let phase = cfg.svcload.service_phase();
     let mut q: EventQueue<Ev> = EventQueue::new();
     let mut slab = FrameSlab::new();
@@ -425,6 +452,35 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
                 }
                 let id = records.len() as u64;
                 let server = (clients + (client as usize % servers)) as u16;
+                if quarantined.contains(&server) {
+                    // The target failed attestation: the client refuses
+                    // to transmit. Terminal immediately — no frame, no
+                    // retry timers, no service work anywhere.
+                    records.push(RequestRecord {
+                        id,
+                        client,
+                        server,
+                        sent: now,
+                        completed: None,
+                        attempts: 0,
+                        outcome: RequestOutcome::Refused,
+                        tier: 0,
+                        fanout: 0,
+                    });
+                    states.push(ReqState {
+                        server,
+                        sent: now,
+                        deadline_at: Nanos::MAX,
+                        backoff: Vec::new(),
+                        next_backoff: 0,
+                        hedge_attempt: None,
+                        nack_seen: false,
+                        corrupt_seen: false,
+                        done: true,
+                    });
+                    sent += 1;
+                    continue;
+                }
                 records.push(RequestRecord {
                     id,
                     client,
@@ -822,6 +878,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
             RequestOutcome::DeadlineExceeded => rel.outcomes.deadline += 1,
             RequestOutcome::Corrupt => rel.outcomes.corrupt += 1,
             RequestOutcome::Failed => rel.outcomes.failed += 1,
+            RequestOutcome::Refused => rel.outcomes.refused += 1,
         }
     }
 
@@ -862,6 +919,7 @@ pub fn run(cfg: &ClusterConfig) -> ClusterReport {
         reliability: rel,
         recoveries,
         scenario: None,
+        attestation,
         elapsed,
     }
 }
@@ -933,6 +991,11 @@ impl ClusterReport {
         }
         out.push('\n');
         out.push_str(&nt.render());
+        if let Some(a) = &self.attestation {
+            out.push('\n');
+            out.push_str(&a.render());
+            out.push('\n');
+        }
         if self.fault_stats.total() > 0 || self.fabric.queue_drops > 0 {
             out.push_str(&format!(
                 "\nfabric: {} forwarded, {} queue drops, {} fault drops, {} reordered, {} jittered, {} partition drops, {} corrupted\n",
@@ -980,13 +1043,14 @@ impl ClusterReport {
         }
         if let Some(s) = &self.scenario {
             out.push_str(&format!(
-                "scenario: {} (effective fanout {})\n  legs: {} sent, {} ok, {} shed, {} failed, {} late; joins: {} ok, {} failed\n  tier1 p50/p99 us: {}/{}\n",
+                "scenario: {} (effective fanout {})\n  legs: {} sent, {} ok, {} shed, {} failed, {} refused, {} late; joins: {} ok, {} failed\n  tier1 p50/p99 us: {}/{}\n",
                 s.spec,
                 s.fanout,
                 s.legs_sent,
                 s.legs_ok,
                 s.legs_shed,
                 s.legs_failed,
+                s.legs_refused,
                 s.late_legs,
                 s.joins_ok,
                 s.joins_failed,
@@ -1322,5 +1386,86 @@ mod tests {
         assert!(r.goodput() >= 0.99, "goodput = {}", r.goodput());
         // Reproducible, crash and all.
         assert_eq!(run(&cfg).csv(), r.csv());
+    }
+
+    #[test]
+    fn clean_attestation_does_not_perturb_traffic() {
+        // Arming the handshake with nothing tampered is free: every
+        // node attests, nobody is quarantined, and the request trace is
+        // byte-identical to the unattested run — the handshake draws
+        // only from its own stream roots.
+        let base = run(&quick(StackKind::HafniumKitten, 23));
+        let mut cfg = quick(StackKind::HafniumKitten, 23);
+        cfg.attest = true;
+        let attested = run(&cfg);
+        let a = attested.attestation.as_ref().unwrap();
+        assert!(a.all_clean());
+        assert_eq!(a.nodes, 4);
+        assert_eq!(attested.csv(), base.csv());
+        assert!(base.attestation.is_none());
+    }
+
+    #[test]
+    fn tampered_node_is_quarantined_and_refused() {
+        // tamper@3 forges the second server's measurement. Every
+        // request routed at it is refused without touching the wire;
+        // the other server's records and every node's noise histogram
+        // are byte-identical to the tamper-free attested run.
+        let mut clean = quick(StackKind::HafniumKitten, 29);
+        clean.attest = true;
+        let clean_r = run(&clean);
+
+        let mut cfg = quick(StackKind::HafniumKitten, 29);
+        cfg.attest = true;
+        cfg.faults = Some((FabricFaultSpec::parse("tamper@3").unwrap(), 1));
+        let r = run(&cfg);
+
+        let a = r.attestation.as_ref().unwrap();
+        assert_eq!(a.quarantined, vec![3]);
+        let refused: Vec<_> = r.records.iter().filter(|rec| rec.server == 3).collect();
+        assert!(!refused.is_empty());
+        assert!(refused
+            .iter()
+            .all(|rec| rec.outcome == RequestOutcome::Refused && rec.attempts == 0));
+        assert_eq!(r.reliability.outcomes.refused, refused.len() as u64);
+        assert!(r.goodput() < 1.0);
+
+        // The healthy server's traffic is untouched (client 0 -> server
+        // 2 shares no fabric port with the quarantined pair) ...
+        let healthy = |rep: &ClusterReport| {
+            rep.records
+                .iter()
+                .filter(|rec| rec.server == 2)
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(healthy(&r), healthy(&clean_r));
+        // ... and noise never depended on traffic in the first place:
+        // every node's histogram, the quarantined one included, is
+        // bit-identical with the tamper armed.
+        for (t, c) in r.per_node.iter().zip(clean_r.per_node.iter()) {
+            assert_eq!(t.noise_hist, c.noise_hist, "node {}", t.index);
+        }
+        // Reproducible, quarantine and all.
+        assert_eq!(run(&cfg).csv(), r.csv());
+    }
+
+    #[test]
+    fn theseus_servers_run_the_cluster_load() {
+        let r = run(&quick(StackKind::NativeTheseus, 31));
+        assert_eq!(r.completed, r.sent);
+        assert!(r.sent > 50);
+        // Theseus nodes tick quietly and run no guest: their noise
+        // event count undercuts the Kitten arm's.
+        let kitten = run(&quick(StackKind::HafniumKitten, 31));
+        let server_noise = |rep: &ClusterReport| {
+            rep.per_node
+                .iter()
+                .filter(|n| n.role == Role::Server)
+                .map(|n| n.noise_hist.count())
+                .sum::<u64>()
+        };
+        assert!(server_noise(&r) <= server_noise(&kitten));
+        assert_eq!(r.goodput(), 1.0);
     }
 }

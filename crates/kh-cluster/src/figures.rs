@@ -15,10 +15,12 @@ use kh_sim::{FabricFaultSpec, Nanos};
 use kh_workloads::adaptive::AdaptivePolicy;
 use kh_workloads::svcload::{RetryPolicy, SvcLoadConfig};
 
-/// The two server stacks the ablation compares.
-pub const ARMS: [StackKind; 2] = [StackKind::HafniumKitten, StackKind::HafniumLinux];
+/// The server stacks the ablation compares, from
+/// [`StackKind::CLUSTER_ARMS`]: both virtualized primaries plus the
+/// safe-language Theseus lower bound.
+pub const ARMS: [StackKind; 3] = StackKind::CLUSTER_ARMS;
 
-/// Run both arms (pooled, deterministic for any worker count) and return
+/// Run every arm (pooled, deterministic for any worker count) and return
 /// the reports in [`ARMS`] order.
 pub fn ablation_cluster(nodes: usize, seed: u64, svcload: SvcLoadConfig) -> Vec<ClusterReport> {
     Pool::with_default_jobs().run_indexed(ARMS.len(), |i| {
@@ -443,15 +445,20 @@ mod tests {
     #[test]
     fn ablation_orders_the_tails() {
         let reports = ablation_cluster(4, 2, SvcLoadConfig::quick());
-        assert_eq!(reports.len(), 2);
-        let (kitten, linux) = (&reports[0], &reports[1]);
+        assert_eq!(reports.len(), ARMS.len());
+        let (kitten, linux, theseus) = (&reports[0], &reports[1], &reports[2]);
         assert_eq!(kitten.server_stack, StackKind::HafniumKitten);
         assert_eq!(linux.server_stack, StackKind::HafniumLinux);
+        assert_eq!(theseus.server_stack, StackKind::NativeTheseus);
         assert_eq!(kitten.sent, linux.sent, "identical offered load");
+        assert_eq!(kitten.sent, theseus.sent, "identical offered load");
         assert!(kitten.latency.p99() <= linux.latency.p99());
         assert!(kitten.latency.p999() <= linux.latency.p999());
+        // The safe-language arm is the lower bound: no stage-2, no
+        // world switches, a quieter host.
+        assert!(theseus.latency.p99() <= kitten.latency.p99());
         let table = render_cluster(&reports);
-        assert!(table.contains("Kitten") && table.contains("Linux"));
+        assert!(table.contains("Kitten") && table.contains("Linux") && table.contains("Theseus"));
     }
 
     #[test]
@@ -572,7 +579,7 @@ mod tests {
     fn fanout_sweep_amplifies_the_tail() {
         let scn = Scenario::parse("arrive=exp:800us,svc=det,backend=exp").unwrap();
         let rows = fanout_sweep(8, 7, SvcLoadConfig::quick(), &scn, &[0, 2]);
-        assert_eq!(rows.len(), 4, "2 stacks x 2 degrees");
+        assert_eq!(rows.len(), ARMS.len() * 2, "every arm x 2 degrees");
         let amps = fanout_amplification(&rows);
         for (stack, d, amp) in &amps {
             if *d == 0 {
@@ -592,7 +599,7 @@ mod tests {
     fn colocation_compare_strips_only_the_neighbor() {
         let scn = Scenario::parse("arrive=exp:700us,svc=exp,colocate=hpcg:5").unwrap();
         let rows = colocation_compare(8, 9, SvcLoadConfig::quick(), &scn);
-        assert_eq!(rows.len(), 4, "2 stacks x clean/colocated");
+        assert_eq!(rows.len(), ARMS.len() * 2, "every arm x clean/colocated");
         for pair in rows.chunks(2) {
             let (clean, colo) = (&pair[0].2, &pair[1].2);
             assert!(!pair[0].1 && pair[1].1);

@@ -8,6 +8,10 @@
 //!
 //! The layering:
 //!
+//! - [`attest`] — cluster-wide remote attestation: a deterministic
+//!   full-mesh challenge/response handshake over boot-chain
+//!   measurements, run before any traffic, quarantining nodes whose
+//!   evidence fails the boot-time key registry;
 //! - [`node`] — one booted stack per node, with a lazily-advanced OS
 //!   noise cursor that keeps per-node randomness out of the shared
 //!   queue (the determinism invariant) and noise schedules independent
@@ -35,12 +39,14 @@
 //! Everything is a pure function of `(config, seed)`: same seed, same
 //! bytes out — across worker counts, and with fault injection armed.
 
+pub mod attest;
 pub mod cluster;
 pub mod fabric;
 pub mod figures;
 pub mod node;
 pub mod scenario;
 
+pub use attest::{handshake, AttestationReport, PairVerdict};
 pub use cluster::{
     run, ClusterConfig, ClusterReport, NodeReport, RecoveryRecord, ReliabilityStats, RequestRecord,
     DEFAULT_ADMISSION_LIMIT,

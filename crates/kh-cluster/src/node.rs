@@ -25,6 +25,7 @@
 //!    isolation test asserts.
 
 use kh_arch::cpu::{CoreTimer, Phase, PollutionState, TranslationRegime};
+use kh_arch::el::ExceptionLevel;
 use kh_arch::noise::{NoiseEvent, OsTimingModel};
 use kh_arch::platform::Platform;
 use kh_core::config::{MachineConfig, StackKind, StackOptions};
@@ -39,6 +40,7 @@ use kh_linux::profile::LinuxProfile;
 use kh_metrics::hist::LogHistogram;
 use kh_scenario::HpcKind;
 use kh_sim::{Nanos, SimRng};
+use kh_theseus::{TheseusProfile, TheseusRuntime, SAFETY_TAX};
 use kh_virtio::{PeerBackend, VirtioNet};
 use kh_workloads::Workload;
 use std::collections::{HashMap, VecDeque};
@@ -213,6 +215,22 @@ pub struct NodeStats {
     pub restarts: u64,
 }
 
+/// The isolation substrate under a node's service: either a real
+/// Hafnium SPM with a guest secondary (the virtualized stacks), or the
+/// Theseus runtime's software-isolated components in a single address
+/// space (no stage 2, no world switches, no guest tick).
+enum Backend {
+    Spm {
+        /// Boxed: an SPM (stage-2 tables, mailboxes, vGIC state) dwarfs
+        /// the Theseus runtime, and nodes move through `Vec<Node>`.
+        spm: Box<Spm>,
+        port: SecondaryPort,
+        svc_vm: VmId,
+        guest: KittenProfile,
+    },
+    Theseus(TheseusRuntime),
+}
+
 /// One full machine stack wired into the cluster fabric.
 pub struct Node {
     pub index: u16,
@@ -220,10 +238,9 @@ pub struct Node {
     cfg: MachineConfig,
     timer: CoreTimer,
     host: Box<dyn OsTimingModel>,
-    guest: KittenProfile,
-    spm: Spm,
-    port: SecondaryPort,
-    svc_vm: VmId,
+    backend: Backend,
+    /// Boot-chain measurement, fixed at boot; attestation evidence.
+    measurement: [u8; 32],
     net: VirtioNet,
     peer: PeerBackend,
     service_rng: SimRng,
@@ -256,12 +273,13 @@ pub struct Node {
 }
 
 impl Node {
-    /// Boot one node. Only virtualized stacks can join a cluster — the
-    /// fabric peers virtio devices, which need the SPM underneath.
+    /// Boot one node. The stack must support clustering: virtualized
+    /// stacks peer virtio devices through the SPM; Theseus brings its
+    /// own in-kernel driver components instead.
     pub fn new(index: u16, role: Role, stack: StackKind, platform: Platform, seed: u64) -> Self {
         assert!(
-            stack.is_virtualized(),
-            "cluster nodes must run a virtualized stack"
+            stack.supports_cluster(),
+            "cluster nodes must run a virtualized stack or Theseus"
         );
         let cfg = MachineConfig {
             platform,
@@ -272,50 +290,84 @@ impl Node {
         let timer = CoreTimer::new(platform);
         let mut rng = SimRng::new(seed ^ 0x6B68_6E6F_6465); // "khnode"
         let mut host: Box<dyn OsTimingModel> = match stack {
+            // Only the Linux arm consumes a seed draw — existing arms'
+            // draw order is untouched by the Theseus addition.
             StackKind::HafniumLinux => Box::new(LinuxProfile::new(rng.next_u64(), 1)),
+            StackKind::NativeTheseus => Box::new(TheseusProfile::default()),
             _ => Box::new(KittenProfile::default()),
         };
-        let primary_name = match stack {
-            StackKind::HafniumKitten => "kitten-primary",
-            _ => "linux-primary",
-        };
-        let manifest = BootManifest::new()
-            .with_vm(VmManifest::new(
-                primary_name,
-                VmKind::Primary,
-                64 * MB,
-                platform.num_cores,
-            ))
-            .with_vm(VmManifest::new("svc", VmKind::Secondary, 64 * MB, 1));
-        let (mut spm, _report) =
-            kh_hafnium::boot::boot(SpmConfig::default_for(platform), &manifest, vec![])
-                .expect("cluster node manifest boots");
-        let svc_vm = VmId(2);
-        let port = SecondaryPort::new(svc_vm);
-        port.boot_probe().expect("secondary port has workarounds");
-        let guest = KittenProfile::with_tick_hz(cfg.options.guest_tick_hz);
-
-        // Initial dispatch + vtimer arming, exactly as Machine::run does.
         let mut stats = NodeStats::default();
-        spm.hypercall(
-            VmId::PRIMARY,
-            0,
-            0,
-            HfCall::VcpuRun {
-                vm: svc_vm,
-                vcpu: 0,
-            },
-            Nanos::ZERO,
-        )
-        .expect("initial dispatch");
-        stats.vcpu_runs += 1;
-        port.init_timer(&mut spm, 0, 0, guest.tick_period, Nanos::ZERO)
-            .expect("vtimer init");
+        let (backend, measurement) = if stack == StackKind::NativeTheseus {
+            let rt = TheseusRuntime::new(seed);
+            let measurement = rt.measurement();
+            (Backend::Theseus(rt), measurement)
+        } else {
+            let primary_name = match stack {
+                StackKind::HafniumKitten => "kitten-primary",
+                _ => "linux-primary",
+            };
+            let manifest = BootManifest::new()
+                .with_vm(VmManifest::new(
+                    primary_name,
+                    VmKind::Primary,
+                    64 * MB,
+                    platform.num_cores,
+                ))
+                .with_vm(VmManifest::new("svc", VmKind::Secondary, 64 * MB, 1));
+            let (mut spm, report) =
+                kh_hafnium::boot::boot(SpmConfig::default_for(platform), &manifest, vec![])
+                    .expect("cluster node manifest boots");
+            // Fold the measured boot chain (EL3 firmware → EL2 Hafnium
+            // → each EL1 image) into the single digest this node will
+            // present as attestation evidence.
+            let mut chain = kh_hafnium::sha256::Sha256::new();
+            for stage in &report.stages {
+                chain.update(stage.name.as_bytes());
+                chain.update(stage.measurement.as_bytes());
+            }
+            let measurement = chain.finalize();
+            let svc_vm = VmId(2);
+            let port = SecondaryPort::new(svc_vm);
+            port.boot_probe().expect("secondary port has workarounds");
+            let guest = KittenProfile::with_tick_hz(cfg.options.guest_tick_hz);
+
+            // Initial dispatch + vtimer arming, exactly as Machine::run
+            // does.
+            spm.hypercall(
+                VmId::PRIMARY,
+                0,
+                0,
+                HfCall::VcpuRun {
+                    vm: svc_vm,
+                    vcpu: 0,
+                },
+                Nanos::ZERO,
+            )
+            .expect("initial dispatch");
+            stats.vcpu_runs += 1;
+            port.init_timer(&mut spm, 0, 0, guest.tick_period, Nanos::ZERO)
+                .expect("vtimer init");
+            (
+                Backend::Spm {
+                    spm: Box::new(spm),
+                    port,
+                    svc_vm,
+                    guest,
+                },
+                measurement,
+            )
+        };
 
         // Tick schedules start at a random phase offset, one stream per
-        // node, drawn in a fixed order (host, then guest).
+        // node, drawn in a fixed order (host, then guest). Theseus has
+        // no guest and takes no second draw.
         let host_tick_at = Nanos(1 + rng.next_below(host.tick_period().as_nanos().max(1)));
-        let guest_tick_at = Nanos(1 + rng.next_below(guest.tick_period.as_nanos().max(1)));
+        let guest_tick_at = match &backend {
+            Backend::Spm { guest, .. } => {
+                Nanos(1 + rng.next_below(guest.tick_period.as_nanos().max(1)))
+            }
+            Backend::Theseus(_) => Nanos::MAX,
+        };
         let background = host.next_background(0, Nanos::ZERO);
         let service_rng = SimRng::new(seed ^ 0x6B68_7376_636A); // "khsvcj"
 
@@ -325,10 +377,8 @@ impl Node {
             cfg,
             timer,
             host,
-            guest,
-            spm,
-            port,
-            svc_vm,
+            backend,
+            measurement,
             net: VirtioNet::new(&platform, NET_INTID, QUEUE_SIZE, 0),
             peer: PeerBackend::default(),
             service_rng,
@@ -344,6 +394,49 @@ impl Node {
             noise_hist: LogHistogram::for_detours(),
             latency_hist: LogHistogram::for_latency(),
             stats,
+        }
+    }
+
+    /// The address-translation regime service work is priced under:
+    /// two-stage walks under Hafnium, stage-1 only for Theseus (single
+    /// address space, no hypervisor).
+    fn regime(&self) -> TranslationRegime {
+        if self.cfg.stack.is_virtualized() {
+            TranslationRegime::TwoStage
+        } else {
+            TranslationRegime::Stage1Only
+        }
+    }
+
+    /// Work-time multiplier: Theseus pays the safe-language bounds
+    /// check/safety tax on service compute; the other stacks pay
+    /// exactly 1.0 (bitwise, so existing arms are unperturbed).
+    fn tax(&self) -> f64 {
+        match self.backend {
+            Backend::Theseus(_) => 1.0 + SAFETY_TAX,
+            Backend::Spm { .. } => 1.0,
+        }
+    }
+
+    /// Fixed per-request dispatch overhead on the service path.
+    ///
+    /// Under Hafnium the request crosses the hypervisor both ways: the
+    /// RX interrupt enters at EL2 and is injected into the service VM
+    /// (EL1<->EL2 round trip), the SPM context-switches the VM in and
+    /// back out, and the response doorbell traps to EL2 again. Theseus
+    /// has no EL2 — the driver hands the request to the service
+    /// component and back with two in-address-space context switches.
+    /// Priced from the platform's calibrated transition costs, same as
+    /// the single-machine executor pays through real SPM hypercalls.
+    fn dispatch_overhead(&self) -> Nanos {
+        match &self.backend {
+            Backend::Spm { .. } => {
+                let t = &self.cfg.platform.transitions;
+                let cycles = 2 * t.vm_context_switch_cycles
+                    + 2 * t.round_trip_cycles(ExceptionLevel::El1, ExceptionLevel::El2);
+                self.cfg.platform.core_freq.cycles_to_nanos(cycles)
+            }
+            Backend::Theseus(_) => self.host.ctx_switch_cost().scaled(2),
         }
     }
 
@@ -366,56 +459,65 @@ impl Node {
             // handles its tick and re-dispatches. A crashed secondary
             // has nothing to re-dispatch (the tick itself still steals
             // the same time, so the noise profile is crash-invariant).
-            self.spm.preempt(0);
-            if !self.crashed {
-                self.spm
-                    .hypercall(
+            // On Theseus the tick is a plain EL1 handler: no SPM state
+            // machine to drive, just the handler's own cost.
+            if let Backend::Spm { spm, svc_vm, .. } = &mut self.backend {
+                spm.preempt(0);
+                if !self.crashed {
+                    spm.hypercall(
                         VmId::PRIMARY,
                         0,
                         0,
                         HfCall::VcpuRun {
-                            vm: self.svc_vm,
+                            vm: *svc_vm,
                             vcpu: 0,
                         },
                         at,
                     )
                     .expect("re-dispatch after tick");
-                self.stats.vcpu_runs += 1;
+                    self.stats.vcpu_runs += 1;
+                }
             }
             (
                 host_tick_steal(&self.cfg, self.host.as_ref()),
                 self.host.tick_pollution(),
             )
         } else if at == self.guest_tick_at {
+            let Backend::Spm {
+                spm,
+                port,
+                svc_vm,
+                guest,
+            } = &mut self.backend
+            else {
+                unreachable!("theseus nodes schedule no guest tick")
+            };
             self.stats.guest_ticks += 1;
-            self.guest_tick_at += self.guest.tick_period;
+            self.guest_tick_at += guest.tick_period;
             // Re-arm the virtual timer and drain the para-virtual
             // interrupt through the real SPM interfaces.
-            let _ = self.spm.hypercall(
+            let _ = spm.hypercall(
                 VmId::PRIMARY,
                 0,
                 0,
                 HfCall::InterruptInject {
-                    vm: self.svc_vm,
+                    vm: *svc_vm,
                     vcpu: 0,
-                    intid: self.port.vtimer_intid,
+                    intid: port.vtimer_intid,
                 },
                 at,
             );
-            let _ = self.port.next_interrupt(&mut self.spm, 0, 0, at);
-            let _ = self.spm.hypercall(
-                self.svc_vm,
+            let _ = port.next_interrupt(spm, 0, 0, at);
+            let _ = spm.hypercall(
+                *svc_vm,
                 0,
                 0,
                 HfCall::ArmVtimer {
-                    delay_ns: self.guest.tick_period.as_nanos(),
+                    delay_ns: guest.tick_period.as_nanos(),
                 },
                 at,
             );
-            (
-                guest_tick_steal(&self.cfg, &self.guest),
-                self.guest.tick_pollution,
-            )
+            (guest_tick_steal(&self.cfg, guest), guest.tick_pollution)
         } else {
             debug_assert_eq!(at, bg_at);
             let ev = self.background.take().expect("bg event");
@@ -483,14 +585,15 @@ impl Node {
     pub fn serve(&mut self, ready: Nanos, phase: &Phase, horizon: Nanos) -> Nanos {
         self.advance_noise_to(ready, horizon);
         let start = ready.max(self.busy_until);
+        let regime = self.regime();
         let mut clean = PollutionState::default();
-        let cost = self
-            .timer
-            .price(phase, TranslationRegime::TwoStage, &mut clean, 1);
+        let cost = self.timer.price(phase, regime, &mut clean, 1);
         // Per-request DRAM/thermal jitter, same sigma as the machine
         // executor, from this node's dedicated stream.
         let jitter = 1.0 + self.service_rng.next_gaussian() * self.cfg.options.jitter_sigma;
-        let mut remaining = Nanos((cost.time.as_nanos() as f64 * jitter.max(0.5)) as u64);
+        let mut remaining =
+            Nanos((cost.time.as_nanos() as f64 * jitter.max(0.5) * self.tax()) as u64)
+                + self.dispatch_overhead();
         let mut now = start;
         loop {
             // A colocated HPC neighbor owning the core right now runs
@@ -498,8 +601,7 @@ impl Node {
             // pays re-warm for whatever the neighbor trashed.
             if let Some((end, pollution)) = self.hpc_window_at(now) {
                 now = end;
-                remaining +=
-                    rewarm_extra(&self.timer, TranslationRegime::TwoStage, phase, pollution);
+                remaining += rewarm_extra(&self.timer, regime, phase, pollution);
                 continue;
             }
             let next_noise = self.next_noise_at();
@@ -518,8 +620,7 @@ impl Node {
             if next_noise <= next {
                 let (stolen, pollution) = self.fire_noise(horizon);
                 now += stolen;
-                remaining +=
-                    rewarm_extra(&self.timer, TranslationRegime::TwoStage, phase, pollution);
+                remaining += rewarm_extra(&self.timer, regime, phase, pollution);
             }
             // An HPC-quantum boundary falls through: the next iteration's
             // occupancy check jumps the window and charges the re-warm.
@@ -672,25 +773,33 @@ impl Node {
     /// fault-free run (the isolation tests assert this).
     pub fn crash_svc(&mut self, now: Nanos, horizon: Nanos) {
         self.advance_noise_to(now, horizon);
-        self.spm.preempt(0);
-        let dispatched = self
-            .spm
-            .hypercall(
-                VmId::PRIMARY,
-                0,
-                0,
-                HfCall::VcpuRun {
-                    vm: self.svc_vm,
-                    vcpu: 0,
-                },
-                now,
-            )
-            .is_ok();
-        if dispatched {
-            self.stats.vcpu_runs += 1;
-            self.spm.finish_run(0, VcpuRunExit::Aborted);
+        match &mut self.backend {
+            Backend::Spm { spm, svc_vm, .. } => {
+                spm.preempt(0);
+                let dispatched = spm
+                    .hypercall(
+                        VmId::PRIMARY,
+                        0,
+                        0,
+                        HfCall::VcpuRun {
+                            vm: *svc_vm,
+                            vcpu: 0,
+                        },
+                        now,
+                    )
+                    .is_ok();
+                if dispatched {
+                    self.stats.vcpu_runs += 1;
+                    spm.finish_run(0, VcpuRunExit::Aborted);
+                }
+                debug_assert!(spm.vm_is_crashed(*svc_vm));
+            }
+            Backend::Theseus(rt) => {
+                // The language boundary catches the fault; the service
+                // cell is marked dead until the restart relinks it.
+                let _detect = rt.crash_svc();
+            }
         }
-        debug_assert!(self.spm.vm_is_crashed(self.svc_vm));
         self.crashed = true;
         self.pending_done.clear();
         // Cached responses and queue-delay history die with the VM.
@@ -705,28 +814,40 @@ impl Node {
     /// Returns the instant the service is accepting requests again.
     pub fn restart_svc(&mut self, now: Nanos, restart_cost: Nanos, horizon: Nanos) -> Nanos {
         self.advance_noise_to(now, horizon);
-        debug_assert!(self.spm.vm_is_crashed(self.svc_vm));
-        self.spm.restart_vm(self.svc_vm).expect("svc restart");
         // The crashed instance's device state dies with it; the fresh
         // instance brings up fresh queues.
         self.net = VirtioNet::new(&self.cfg.platform, NET_INTID, QUEUE_SIZE, 0);
         self.peer = PeerBackend::default();
-        self.spm
-            .hypercall(
-                VmId::PRIMARY,
-                0,
-                0,
-                HfCall::VcpuRun {
-                    vm: self.svc_vm,
-                    vcpu: 0,
-                },
-                now,
-            )
-            .expect("re-dispatch after restart");
-        self.stats.vcpu_runs += 1;
-        self.port
-            .init_timer(&mut self.spm, 0, 0, self.guest.tick_period, now)
-            .expect("vtimer re-init");
+        match &mut self.backend {
+            Backend::Spm {
+                spm,
+                port,
+                svc_vm,
+                guest,
+            } => {
+                debug_assert!(spm.vm_is_crashed(*svc_vm));
+                spm.restart_vm(*svc_vm).expect("svc restart");
+                spm.hypercall(
+                    VmId::PRIMARY,
+                    0,
+                    0,
+                    HfCall::VcpuRun {
+                        vm: *svc_vm,
+                        vcpu: 0,
+                    },
+                    now,
+                )
+                .expect("re-dispatch after restart");
+                self.stats.vcpu_runs += 1;
+                port.init_timer(spm, 0, 0, guest.tick_period, now)
+                    .expect("vtimer re-init");
+            }
+            Backend::Theseus(rt) => {
+                // Cooperative unwind + relink of the dead cell; no image
+                // re-verification, no stage-2 rebuild.
+                let _restart = rt.restart_svc();
+            }
+        }
         self.crashed = false;
         self.stats.restarts += 1;
         self.busy_until = self.busy_until.max(now) + restart_cost;
@@ -738,9 +859,30 @@ impl Node {
         &self.net.stats
     }
 
-    /// The paper's invariant, audited per node at end of run.
+    /// The paper's invariant, audited per node at end of run: SPM
+    /// page-table/mailbox isolation for the virtualized stacks, the
+    /// component-ledger audit for Theseus.
     pub fn audit_isolation(&self) -> Result<(), String> {
-        self.spm.audit_isolation().map_err(|e| format!("{e:?}"))
+        match &self.backend {
+            Backend::Spm { spm, .. } => spm.audit_isolation().map_err(|e| format!("{e:?}")),
+            Backend::Theseus(rt) => rt.audit(),
+        }
+    }
+
+    /// Boot-chain measurement this node presents as attestation
+    /// evidence: the folded boot-stage digest chain for virtualized
+    /// stacks, the Theseus component-manifest digest for the safe
+    /// stack.
+    pub fn measurement(&self) -> [u8; 32] {
+        self.measurement
+    }
+
+    /// The Theseus runtime, when this node runs the safe stack.
+    pub fn theseus(&self) -> Option<&TheseusRuntime> {
+        match &self.backend {
+            Backend::Theseus(rt) => Some(rt),
+            Backend::Spm { .. } => None,
+        }
     }
 }
 

@@ -86,6 +86,9 @@ pub struct ScenarioStats {
     pub legs_shed: u64,
     /// Legs that never resolved (lost in the fabric, or corrupt).
     pub legs_failed: u64,
+    /// Legs never dispatched: the backend failed attestation and is
+    /// quarantined.
+    pub legs_refused: u64,
     /// Leg responses that arrived after their join had already
     /// resolved (quorum already met, or already failed).
     pub late_legs: u64,
@@ -226,6 +229,24 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
         fabric.faults = FabricFaultPlan::new(spec, *fault_seed);
     }
 
+    // Bring-up attestation, identical to the svcload path: the
+    // handshake runs before the first arrival, draws only from its own
+    // stream roots, and quarantines any node whose evidence fails the
+    // registry. Quarantined frontends refuse client requests;
+    // quarantined backends have their legs refused by the frontend.
+    let attestation = cfg.attest.then(|| {
+        crate::attest::handshake(
+            &nodes,
+            cfg.seed,
+            fabric.faults.tampered_nodes(),
+            &LinkProfile::from_platform(&cfg.platform),
+        )
+    });
+    let quarantined: Vec<u16> = attestation
+        .as_ref()
+        .map(|a| a.quarantined.clone())
+        .unwrap_or_default();
+
     let base_phase = cfg.svcload.service_phase();
     let mut q: EventQueue<Ev> = EventQueue::new();
     let mut slab = FrameSlab::new();
@@ -253,6 +274,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
         legs_ok: 0,
         legs_shed: 0,
         legs_failed: 0,
+        legs_refused: 0,
         late_legs: 0,
         joins_ok: 0,
         joins_failed: 0,
@@ -300,6 +322,36 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                 }
                 let id = states.len() as u64;
                 let frontend = (clients + (client as usize % servers)) as u16;
+                if quarantined.contains(&frontend) {
+                    // The frontend failed attestation: the client
+                    // refuses to transmit. Terminal immediately.
+                    records.push(RequestRecord {
+                        id,
+                        client,
+                        server: frontend,
+                        sent: now,
+                        completed: None,
+                        attempts: 0,
+                        outcome: RequestOutcome::Refused,
+                        tier: 0,
+                        fanout: fanout as u16,
+                    });
+                    sent += 1;
+                    states.push(ReqState {
+                        client,
+                        frontend,
+                        sent: now,
+                        needed,
+                        ok_legs: 0,
+                        refused_legs: 0,
+                        legs: Vec::new(),
+                        join_done: true,
+                        done: true,
+                        nack_seen: false,
+                        corrupt_seen: false,
+                    });
+                    continue;
+                }
                 records.push(RequestRecord {
                     id,
                     client,
@@ -367,6 +419,21 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                                 let st = &mut states[id as usize];
                                 for j in 0..fanout {
                                     let backend = (clients + ((f_local + 1 + j) % servers)) as u16;
+                                    if quarantined.contains(&backend) {
+                                        // The backend failed attestation:
+                                        // the frontend refuses the leg on
+                                        // the spot — resolved, no frame.
+                                        st.legs.push(LegSlot {
+                                            backend,
+                                            sent: done,
+                                            completed: None,
+                                            outcome: RequestOutcome::Refused,
+                                            resolved: true,
+                                        });
+                                        stats.legs_refused += 1;
+                                        st.refused_legs += 1;
+                                        continue;
+                                    }
                                     st.legs.push(LegSlot {
                                         backend,
                                         sent: done,
@@ -385,6 +452,18 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                                         &mut leg_frame,
                                     );
                                     push_frame!(dst, backend, leg_frame, done);
+                                }
+                                // Enough refused legs can make the quorum
+                                // arithmetically impossible before any
+                                // reply: fail fast with a client NACK.
+                                if !st.join_done && st.refused_legs > fanout as u32 - st.needed {
+                                    st.join_done = true;
+                                    stats.joins_failed += 1;
+                                    let to = st.client;
+                                    let first_sent = st.sent;
+                                    let mut nf = slab.take();
+                                    nack_frame_into(raw, to, first_sent, attempt, &mut nf);
+                                    push_frame!(dst, to, nf, done);
                                 }
                             } else {
                                 // Single-tier answer or a finished leg,
@@ -579,6 +658,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
             RequestOutcome::DeadlineExceeded => rel.outcomes.deadline += 1,
             RequestOutcome::Corrupt => rel.outcomes.corrupt += 1,
             RequestOutcome::Failed => rel.outcomes.failed += 1,
+            RequestOutcome::Refused => rel.outcomes.refused += 1,
         }
     }
 
@@ -639,6 +719,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
         reliability: rel,
         recoveries: Vec::new(),
         scenario: Some(stats),
+        attestation,
         elapsed,
     }
 }
@@ -809,5 +890,64 @@ mod tests {
             assert!(r.sent > 0);
             assert!(r.scenario.unwrap().hpc_busy > Nanos::ZERO);
         }
+    }
+
+    #[test]
+    fn quarantined_backend_legs_are_refused_and_quorum_absorbs_them() {
+        // 8 nodes: clients 0-3, servers 4-7; fanout 2, quorum 1. A
+        // tampered node 7 loses its legs at the frontend, but every
+        // join still resolves through the healthy backend.
+        let mut cfg = cfg_with(
+            StackKind::HafniumKitten,
+            37,
+            8,
+            "arrive=exp:800us,svc=det,backend=det,fanout=2:quorum:1",
+        );
+        cfg.attest = true;
+        cfg.faults = Some((kh_sim::FabricFaultSpec::parse("tamper@7").unwrap(), 1));
+        let r = crate::cluster::run(&cfg);
+        assert_eq!(r.attestation.as_ref().unwrap().quarantined, vec![7]);
+        let s = r.scenario.as_ref().unwrap();
+        assert!(s.legs_refused > 0, "some fan-outs must hit node 7");
+        assert!(r
+            .records
+            .iter()
+            .filter(|rec| rec.tier == 1 && rec.server == 7)
+            .all(|rec| rec.outcome == RequestOutcome::Refused));
+        // Node 7 is also client 3's frontend, so its share of requests
+        // is refused at tier 0; every join that did start resolves
+        // through a healthy backend.
+        let refused_t0 = r
+            .records
+            .iter()
+            .filter(|rec| rec.tier == 0 && rec.outcome == RequestOutcome::Refused)
+            .count() as u64;
+        assert!(refused_t0 > 0);
+        assert_eq!(
+            s.joins_ok + refused_t0,
+            r.sent,
+            "quorum-1 survives one quarantine"
+        );
+        assert_eq!(r.completed + refused_t0, r.sent);
+        // Reproducible, quarantine and all.
+        assert_eq!(crate::cluster::run(&cfg).csv(), r.csv());
+    }
+
+    #[test]
+    fn quarantined_frontend_refuses_its_clients() {
+        let mut cfg = cfg_with(StackKind::HafniumKitten, 41, 4, "arrive=exp:500us,svc=exp");
+        cfg.attest = true;
+        // Node 2 is client 0's frontend.
+        cfg.faults = Some((kh_sim::FabricFaultSpec::parse("tamper@2").unwrap(), 1));
+        let r = crate::cluster::run(&cfg);
+        assert_eq!(r.attestation.as_ref().unwrap().quarantined, vec![2]);
+        let (to_2, rest): (Vec<&RequestRecord>, Vec<&RequestRecord>) =
+            r.records.iter().partition(|rec| rec.server == 2);
+        assert!(!to_2.is_empty());
+        assert!(to_2
+            .iter()
+            .all(|rec| rec.outcome == RequestOutcome::Refused && rec.attempts == 0));
+        assert!(rest.iter().all(|rec| rec.outcome.is_ok()));
+        assert_eq!(r.reliability.outcomes.refused, to_2.len() as u64);
     }
 }

@@ -4,7 +4,8 @@ use kh_arch::platform::Platform;
 use kh_hafnium::irq::IrqRoutingPolicy;
 use serde::{Deserialize, Serialize};
 
-/// The three configurations of the paper's evaluation.
+/// The paper's three evaluated configurations plus the safe-language
+/// lower bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StackKind {
     /// Baseline: Kitten on bare metal, no hypervisor.
@@ -14,14 +15,35 @@ pub enum StackKind {
     HafniumKitten,
     /// Hafnium with the reference Linux primary (the commodity default).
     HafniumLinux,
+    /// Theseus-style safe-language OS on bare metal: one address space,
+    /// one privilege level, component isolation by the compiler. The
+    /// hardware-isolation-free bound — no stage-2 walks, no SPM traps,
+    /// but a deterministic safety tax and cooperative component restart.
+    NativeTheseus,
 }
 
 impl StackKind {
-    pub const ALL: [StackKind; 3] = [
+    pub const ALL: [StackKind; 4] = [
         StackKind::NativeKitten,
         StackKind::HafniumKitten,
         StackKind::HafniumLinux,
+        StackKind::NativeTheseus,
     ];
+
+    /// The stacks that can serve as a cluster node (`ALL` filtered by
+    /// [`StackKind::supports_cluster`], order preserved). The single
+    /// source of truth for every cluster ablation's arm list.
+    pub const CLUSTER_ARMS: [StackKind; 3] = [
+        StackKind::HafniumKitten,
+        StackKind::HafniumLinux,
+        StackKind::NativeTheseus,
+    ];
+
+    /// Every stack, as a slice — the single source of truth for
+    /// single-machine ablation arms.
+    pub fn all() -> &'static [StackKind] {
+        &Self::ALL
+    }
 
     /// Row labels used throughout the paper's tables.
     pub fn label(self) -> &'static str {
@@ -29,11 +51,20 @@ impl StackKind {
             StackKind::NativeKitten => "Native",
             StackKind::HafniumKitten => "Kitten",
             StackKind::HafniumLinux => "Linux",
+            StackKind::NativeTheseus => "Theseus",
         }
     }
 
     pub fn is_virtualized(self) -> bool {
-        !matches!(self, StackKind::NativeKitten)
+        matches!(self, StackKind::HafniumKitten | StackKind::HafniumLinux)
+    }
+
+    /// Can this stack run a cluster service node? The virtualized stacks
+    /// qualify (the service VM is isolated by the SPM), and Theseus
+    /// qualifies (the service component is isolated by the language).
+    /// Native Kitten has no isolation boundary to offer a tenant.
+    pub fn supports_cluster(self) -> bool {
+        self.is_virtualized() || matches!(self, StackKind::NativeTheseus)
     }
 }
 
@@ -134,6 +165,7 @@ mod tests {
         assert_eq!(StackKind::NativeKitten.label(), "Native");
         assert_eq!(StackKind::HafniumKitten.label(), "Kitten");
         assert_eq!(StackKind::HafniumLinux.label(), "Linux");
+        assert_eq!(StackKind::NativeTheseus.label(), "Theseus");
     }
 
     #[test]
@@ -141,6 +173,31 @@ mod tests {
         assert!(!StackKind::NativeKitten.is_virtualized());
         assert!(StackKind::HafniumKitten.is_virtualized());
         assert!(StackKind::HafniumLinux.is_virtualized());
+        assert!(!StackKind::NativeTheseus.is_virtualized());
+    }
+
+    #[test]
+    fn cluster_support() {
+        assert!(!StackKind::NativeKitten.supports_cluster());
+        assert!(StackKind::HafniumKitten.supports_cluster());
+        assert!(StackKind::HafniumLinux.supports_cluster());
+        assert!(StackKind::NativeTheseus.supports_cluster());
+    }
+
+    #[test]
+    fn arm_lists_derive_from_all() {
+        // CLUSTER_ARMS must stay ALL filtered by supports_cluster, in
+        // ALL's order — the consts exist only so arm counts are type-level.
+        let derived: Vec<StackKind> = StackKind::all()
+            .iter()
+            .copied()
+            .filter(|s| s.supports_cluster())
+            .collect();
+        assert_eq!(derived, StackKind::CLUSTER_ARMS.to_vec());
+        // The first three entries of ALL are the paper's original rows,
+        // in figure order; Theseus is appended as the added bound.
+        assert_eq!(StackKind::ALL[0], StackKind::NativeKitten);
+        assert_eq!(StackKind::ALL[3], StackKind::NativeTheseus);
     }
 
     #[test]

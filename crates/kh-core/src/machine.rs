@@ -24,6 +24,7 @@ use kh_kitten::profile::KittenProfile;
 use kh_kitten::secondary::SecondaryPort;
 use kh_linux::profile::LinuxProfile;
 use kh_sim::{FaultPlan, FaultStats, Nanos, SimRng, TraceCategory, TraceRecorder};
+use kh_theseus::{TheseusProfile, TheseusRuntime, SAFETY_TAX};
 use kh_workloads::{Workload, WorkloadOutput};
 
 const MB: u64 = 1 << 20;
@@ -68,6 +69,11 @@ pub fn host_tick_steal(cfg: &MachineConfig, host: &dyn OsTimingModel) -> Nanos {
         round_trip_p(&cfg.platform, ExceptionLevel::El1, ExceptionLevel::El2).scaled(2)
             + vm_ctx_switch(&cfg.platform).scaled(2)
             + host.tick_cost()
+    } else if cfg.stack == StackKind::NativeTheseus {
+        // Single privilege level: the timer IRQ is a same-level vector
+        // dispatch; there is no EL0<->EL1 round trip to pay around the
+        // handler.
+        host.tick_cost()
     } else {
         round_trip_p(&cfg.platform, ExceptionLevel::El0, ExceptionLevel::El1) + host.tick_cost()
     }
@@ -180,6 +186,10 @@ pub struct Machine {
     /// drawn from `rng`, so a modeled and an unmodeled run with the same
     /// seed see identical tick alignment and jitter.
     replay_rng: SimRng,
+    /// Component runtime (NativeTheseus only): owns the stack's
+    /// measurement and the cooperative-restart fault story that stands
+    /// in for the SPM's `restart_vm`.
+    theseus: Option<TheseusRuntime>,
 }
 
 impl Machine {
@@ -203,6 +213,10 @@ impl Machine {
             StackKind::HafniumLinux => Box::new(match cfg.options.host_tick_hz {
                 Some(hz) => LinuxProfile::with_hz(rng.next_u64(), cfg.platform.num_cores, hz),
                 None => LinuxProfile::new(rng.next_u64(), cfg.platform.num_cores),
+            }),
+            StackKind::NativeTheseus => Box::new(match cfg.options.host_tick_hz {
+                Some(hz) => TheseusProfile::with_tick_hz(hz),
+                None => TheseusProfile::default(),
             }),
         };
         let (spm, port, guest, regime, workload_vm) = if cfg.stack.is_virtualized() {
@@ -256,7 +270,14 @@ impl Machine {
             s1_replay,
             replay_mapped: 0,
             replay_rng,
+            theseus: (cfg.stack == StackKind::NativeTheseus).then(|| TheseusRuntime::new(cfg.seed)),
         }
+    }
+
+    /// The component runtime, for post-run inspection (NativeTheseus
+    /// only).
+    pub fn theseus(&self) -> Option<&TheseusRuntime> {
+        self.theseus.as_ref()
     }
 
     /// Arm a fault-injection plan. For virtualized stacks this also
@@ -459,15 +480,26 @@ impl Machine {
             }
         }
 
-        let fault_at = self
+        // Virtualized stacks take an unrecoverable stage-2 abort;
+        // Theseus survives the same injection by unwinding and relinking
+        // the faulted component (one-shot: `fault_at` is cleared after).
+        let mut fault_at = self
             .cfg
             .options
             .inject_fault_at_ns
-            .filter(|_| self.cfg.stack.is_virtualized())
+            .filter(|_| self.cfg.stack.is_virtualized() || self.theseus.is_some())
             .map(Nanos)
             .unwrap_or(Nanos::MAX);
 
         let jitter_sigma = self.cfg.options.jitter_sigma;
+        // Safe-language runtime tax on all service work (exactly 1.0 for
+        // every other stack, so their phase costs are bit-identical to
+        // the pre-Theseus model).
+        let tax = if self.theseus.is_some() {
+            1.0 + SAFETY_TAX
+        } else {
+            1.0
+        };
         'run: while let Some(phase) = w.next_phase(now) {
             let mut clean = PollutionState::default();
             // Walk-cache discount from the functional translation replay;
@@ -483,7 +515,7 @@ impl Machine {
             // Per-phase timing jitter models DRAM refresh/thermal
             // variation: the source of run-to-run stdev.
             let jitter = 1.0 + self.rng.next_gaussian() * jitter_sigma;
-            let mut remaining = Nanos((cost.time.as_nanos() as f64 * jitter.max(0.5)) as u64);
+            let mut remaining = Nanos((cost.time.as_nanos() as f64 * jitter.max(0.5) * tax) as u64);
 
             loop {
                 let next_bg = background.as_ref().map(|e| e.at).unwrap_or(Nanos::MAX);
@@ -506,6 +538,28 @@ impl Machine {
                         .map(|end| end > fault_at)
                         .unwrap_or(true)
                 {
+                    if let Some(rt) = self.theseus.as_mut() {
+                        // The service component panics mid-phase. The
+                        // runtime detects the unwind, drops the cell's
+                        // heap, and relinks a fresh instance; the
+                        // benchmark resumes where it stopped.
+                        let advance = fault_at.saturating_sub(now);
+                        remaining = remaining.saturating_sub(advance);
+                        now = now.max(fault_at);
+                        let stolen = rt.crash_svc() + rt.restart_svc();
+                        self.trace.emit(
+                            now,
+                            core,
+                            TraceCategory::ContextSwitch,
+                            stolen,
+                            "component-restart",
+                        );
+                        report.interruptions += 1;
+                        now += stolen;
+                        report.stolen += stolen;
+                        fault_at = Nanos::MAX;
+                        continue;
+                    }
                     // The benchmark VM takes an unrecoverable stage-2
                     // abort mid-phase: Hafnium reports `Aborted` to the
                     // primary and the VCPU never runs again.
@@ -658,6 +712,12 @@ impl Machine {
             }
             // The isolation invariant must survive the whole run.
             spm.audit_isolation().expect("isolation preserved");
+        }
+        if let Some(rt) = self.theseus.as_ref() {
+            report.vm_restarts = rt.total_restarts;
+            // The language-level analogue of the SPM audit: every cell
+            // live, restart ledger balanced.
+            rt.audit().expect("component isolation preserved");
         }
         report
     }
@@ -1054,6 +1114,83 @@ mod tests {
         assert_eq!(r.vm_restarts, 2);
         // run() already audits, but make the property explicit here.
         assert!(m.spm().unwrap().audit_isolation().is_ok());
+    }
+
+    #[test]
+    fn theseus_is_as_quiet_as_native() {
+        let mut m = Machine::new(cfg(StackKind::NativeTheseus, 1));
+        let mut w = selfish(1000);
+        let r = m.run(w.as_mut());
+        let detours = r.output.detours().unwrap();
+        // Same 10 Hz tick as the native LWK, nothing else — and the 1us
+        // handler is so cheap it ducks under the detour threshold.
+        assert!(
+            (5..=15).contains(&r.host_ticks),
+            "theseus host ticks = {}",
+            r.host_ticks
+        );
+        assert!(detours.len() <= 15, "theseus detours = {}", detours.len());
+        assert_eq!(r.background_events, 0, "no daemons in the safe stack");
+        assert_eq!(r.vcpu_runs, 0, "no hypervisor underneath");
+        assert!(m.theseus().unwrap().svc_alive());
+    }
+
+    #[test]
+    fn theseus_pays_only_the_safety_tax_on_gups() {
+        let gups = |stack, seed| {
+            let mut m = Machine::new(cfg(stack, seed));
+            let mut w = Box::new(GupsModel::new(GupsConfig::default()));
+            m.run(w.as_mut()).output.throughput().unwrap()
+        };
+        let native = gups(StackKind::NativeKitten, 7);
+        let theseus = gups(StackKind::NativeTheseus, 7);
+        let kitten = gups(StackKind::HafniumKitten, 7);
+        // Bounds checks cost less than stage-2 walks: the safe stack
+        // sits strictly between bare metal and the virtualized LWK.
+        assert!(
+            native > theseus && theseus > kitten,
+            "native {native} > theseus {theseus} > kitten {kitten}"
+        );
+        let tax = 1.0 - theseus / native;
+        assert!((0.005..0.03).contains(&tax), "safety tax {tax}");
+    }
+
+    #[test]
+    fn theseus_fault_restarts_the_component_and_finishes() {
+        let mut c = cfg(StackKind::NativeTheseus, 6);
+        c.options.inject_fault_at_ns = Some(Nanos::from_millis(100).as_nanos());
+        let mut m = Machine::new(c);
+        let mut w = selfish(300);
+        let r = m.run(w.as_mut());
+        // No SPM abort: the crashed cell is unwound and relinked in
+        // place and the run carries on to completion.
+        assert!(!r.aborted, "component restart must not kill the run");
+        assert!(r.elapsed >= Nanos::from_millis(300));
+        assert_eq!(r.vm_restarts, 1, "one component restart recorded");
+        let rt = m.theseus().unwrap();
+        assert!(rt.svc_alive());
+        assert_eq!(rt.total_restarts, 1);
+        assert!(rt.audit().is_ok());
+    }
+
+    #[test]
+    fn theseus_restart_undercuts_spm_reboot() {
+        use kh_theseus::runtime::{FAULT_DETECT, RELINK_COST, UNWIND_COST};
+        let stolen = |stack| {
+            let mut c = cfg(stack, 6);
+            c.options.inject_fault_at_ns = Some(Nanos::from_millis(50).as_nanos());
+            let mut m = Machine::new(c);
+            let mut w = selfish(300);
+            let r = m.run(w.as_mut());
+            (r.aborted, r.stolen)
+        };
+        let (theseus_aborted, _) = stolen(StackKind::NativeTheseus);
+        let (kitten_aborted, _) = stolen(StackKind::HafniumKitten);
+        assert!(!theseus_aborted && kitten_aborted);
+        // The cooperative unwind + relink is bounded well under the
+        // SPM's image re-verification reboot path (>= 300us).
+        let restart = FAULT_DETECT + UNWIND_COST + RELINK_COST;
+        assert!(restart < Nanos::from_micros(300), "restart = {restart}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ use kh_hafnium::vm::VmId;
 use kh_kitten::profile::KittenProfile;
 use kh_linux::profile::LinuxProfile;
 use kh_sim::{Nanos, SimRng};
+use kh_theseus::{TheseusProfile, SAFETY_TAX};
 use kh_workloads::{Workload, WorkloadOutput};
 
 const MB: u64 = 1 << 20;
@@ -131,6 +132,10 @@ impl ParallelMachine {
             StackKind::HafniumLinux => Box::new(match cfg.options.host_tick_hz {
                 Some(hz) => LinuxProfile::with_hz(rng.next_u64(), cfg.platform.num_cores, hz),
                 None => LinuxProfile::new(rng.next_u64(), cfg.platform.num_cores),
+            }),
+            StackKind::NativeTheseus => Box::new(match cfg.options.host_tick_hz {
+                Some(hz) => TheseusProfile::with_tick_hz(hz),
+                None => TheseusProfile::default(),
             }),
         };
         let placements: Vec<(VmId, u16)> = match tenancy {
@@ -237,7 +242,13 @@ impl ParallelMachine {
             .timer
             .price(phase, self.regime, &mut clean, streams.max(1));
         let jitter = 1.0 + ctx.jitter_rng.next_gaussian() * self.cfg.options.jitter_sigma;
-        let mut remaining = Nanos((cost.time.as_nanos() as f64 * jitter.max(0.5)) as u64);
+        // Safe-language runtime tax (exactly 1.0 for every other stack).
+        let tax = if self.cfg.stack == StackKind::NativeTheseus {
+            1.0 + SAFETY_TAX
+        } else {
+            1.0
+        };
+        let mut remaining = Nanos((cost.time.as_nanos() as f64 * jitter.max(0.5) * tax) as u64);
         let host_period = self.host.tick_period();
         let guest_period = self.guest.as_ref().map(|g| g.tick_period);
 

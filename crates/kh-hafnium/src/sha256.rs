@@ -252,6 +252,30 @@ mod tests {
         );
     }
 
+    // RFC 4231 test case 3: combined key and data of repeated bytes.
+    #[test]
+    fn hmac_rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let mac = hmac(&key, &data);
+        assert_eq!(
+            to_hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 4: counting key, repeated data.
+    #[test]
+    fn hmac_rfc4231_case4() {
+        let key: Vec<u8> = (0x01u8..=0x19).collect();
+        let data = [0xcdu8; 50];
+        let mac = hmac(&key, &data);
+        assert_eq!(
+            to_hex(&mac),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
     // RFC 4231 test case 6: key longer than block size.
     #[test]
     fn hmac_long_key() {

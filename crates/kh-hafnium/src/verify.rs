@@ -153,6 +153,43 @@ mod tests {
         assert_eq!(reg.verify(b"img", &b.sign(b"img")), Ok("b"));
     }
 
+    proptest::proptest! {
+        /// Any single-byte corruption — anywhere in the image or
+        /// anywhere in its signature — must fail verification. There
+        /// is no byte on the launch path the registry does not cover,
+        /// and no nonzero xor mask that collides.
+        #[test]
+        fn single_byte_flip_defeats_verify(
+            image in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 1..64),
+            pos in proptest::arbitrary::any::<usize>(),
+            mask in 1usize..256,
+            in_signature in proptest::arbitrary::any::<bool>(),
+        ) {
+            let key = TrustedKey::new("boot", b"registry-key");
+            let mut reg = KeyRegistry::new();
+            reg.install(key.clone()).unwrap();
+            reg.seal();
+            let sig = key.sign(&image);
+            proptest::prop_assert_eq!(reg.verify(&image, &sig), Ok("boot"));
+            if in_signature {
+                let mut bad = sig;
+                bad[pos % bad.len()] ^= mask as u8;
+                proptest::prop_assert_eq!(
+                    reg.verify(&image, &bad),
+                    Err(VerifyError::Untrusted)
+                );
+            } else {
+                let mut bad = image.clone();
+                let i = pos % bad.len();
+                bad[i] ^= mask as u8;
+                proptest::prop_assert_eq!(
+                    reg.verify(&bad, &sig),
+                    Err(VerifyError::Untrusted)
+                );
+            }
+        }
+    }
+
     #[test]
     fn sealed_registry_rejects_new_keys() {
         let mut reg = KeyRegistry::new();

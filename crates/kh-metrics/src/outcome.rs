@@ -23,12 +23,21 @@ pub struct OutcomeCounters {
     pub corrupt: u64,
     /// Lost with no reliability layer armed.
     pub failed: u64,
+    /// Never transmitted: the target failed remote attestation and is
+    /// quarantined.
+    pub refused: u64,
 }
 
 impl OutcomeCounters {
     /// All requests accounted for.
     pub fn total(&self) -> u64 {
-        self.ok + self.ok_hedged + self.shed + self.deadline + self.corrupt + self.failed
+        self.ok
+            + self.ok_hedged
+            + self.shed
+            + self.deadline
+            + self.corrupt
+            + self.failed
+            + self.refused
     }
 
     /// Requests whose client got an answer.
@@ -56,6 +65,7 @@ impl OutcomeCounters {
             ("deadline", self.deadline),
             ("corrupt", self.corrupt),
             ("failed", self.failed),
+            ("refused", self.refused),
         ];
         let mut out = String::new();
         for (label, n) in pairs {

@@ -475,6 +475,11 @@ enum FabricClause {
     /// node takes an unrecoverable abort at the given time; the node's
     /// primary must detect and restart it.
     CrashSvc(Nanos, u16),
+    /// `tamper@<node>` — the named node's boot-chain measurement is
+    /// forged: the evidence it presents during remote attestation does
+    /// not match the registry's golden value, so peers must refuse it.
+    /// Consumes no randomness — arming it perturbs no other stream.
+    Tamper(u16),
 }
 
 /// A scheduled service-VM crash on one cluster node.
@@ -540,6 +545,11 @@ impl FabricFaultSpec {
                     .parse()
                     .map_err(|_| FaultParseError(format!("bad node in `{c}`")))?;
                 FabricClause::CrashSvc(parse_time(at)?, node)
+            } else if let Some(rest) = c.strip_prefix("tamper@") {
+                let node: u16 = rest
+                    .parse()
+                    .map_err(|_| FaultParseError(format!("`{c}` wants tamper@<node>")))?;
+                FabricClause::Tamper(node)
             } else {
                 return Err(FaultParseError(format!("unknown fabric clause `{c}`")));
             };
@@ -568,6 +578,7 @@ impl fmt::Display for FabricFaultSpec {
                 }
                 FabricClause::Corrupt(p) => write!(f, "corrupt:{p}")?,
                 FabricClause::CrashSvc(t, n) => write!(f, "crashsvc@{}ns:{n}", t.as_nanos())?,
+                FabricClause::Tamper(n) => write!(f, "tamper@{n}")?,
             }
         }
         Ok(())
@@ -617,6 +628,7 @@ pub struct FabricFaultPlan {
     corrupt_p: f64,
     partitions: Vec<(Nanos, Nanos, u16)>,
     svc_crashes: Vec<SvcCrashEvent>,
+    tampered: Vec<u16>,
     drop_rng: SimRng,
     reorder_rng: SimRng,
     jitter_rng: SimRng,
@@ -644,6 +656,7 @@ impl FabricFaultPlan {
         let mut jitter_extra = Nanos::ZERO;
         let mut partitions = Vec::new();
         let mut svc_crashes = Vec::new();
+        let mut tampered = Vec::new();
         for clause in &spec.clauses {
             match *clause {
                 FabricClause::DropFrame(p) => drop_p = combine(drop_p, p),
@@ -659,9 +672,12 @@ impl FabricFaultPlan {
                 FabricClause::CrashSvc(at, node) => {
                     svc_crashes.push(SvcCrashEvent { at, node });
                 }
+                FabricClause::Tamper(node) => tampered.push(node),
             }
         }
         svc_crashes.sort_by_key(|e| (e.at, e.node));
+        tampered.sort_unstable();
+        tampered.dedup();
         FabricFaultPlan {
             drop_p,
             reorder_p,
@@ -670,6 +686,7 @@ impl FabricFaultPlan {
             corrupt_p,
             partitions,
             svc_crashes,
+            tampered,
             drop_rng,
             reorder_rng,
             jitter_rng,
@@ -686,6 +703,7 @@ impl FabricFaultPlan {
             && self.corrupt_p == 0.0
             && self.partitions.is_empty()
             && self.svc_crashes.is_empty()
+            && self.tampered.is_empty()
     }
 
     /// The scheduled service-VM crashes, sorted by (time, node). The
@@ -698,6 +716,14 @@ impl FabricFaultPlan {
     /// Record that a scheduled service-VM crash actually fired.
     pub fn note_svc_crash(&mut self) {
         self.stats.svc_crashes += 1;
+    }
+
+    /// Nodes whose boot-chain measurement is forged (`tamper@<node>`
+    /// clauses), sorted and deduplicated. The attestation handshake
+    /// consults this list; no randomness is drawn for it, so arming a
+    /// tamper clause leaves every other node's streams untouched.
+    pub fn tampered_nodes(&self) -> &[u16] {
+        &self.tampered
     }
 
     /// The nodes named by any partition window (healthy-node tests use
@@ -935,6 +961,13 @@ mod tests {
         assert!(FabricFaultSpec::parse("crashsvc@5ms").is_err(), "no node");
         assert!(FabricFaultSpec::parse("crashsvc@5ms:x").is_err());
         assert!(FabricFaultSpec::parse("corrupt:2").is_err(), "p > 1");
+        // Tamper clauses round-trip, dedupe, and draw no randomness.
+        let t = FabricFaultSpec::parse("tamper@2,tamper@2,tamper@1").unwrap();
+        assert_eq!(FabricFaultSpec::parse(&t.to_string()).unwrap(), t);
+        let tplan = FabricFaultPlan::new(&t, 9);
+        assert!(!tplan.is_empty());
+        assert_eq!(tplan.tampered_nodes(), &[1, 2]);
+        assert!(FabricFaultSpec::parse("tamper@x").is_err());
         // Crash events come out sorted by time regardless of spec order.
         let plan = FabricFaultPlan::new(&spec, 1);
         assert!(!plan.is_empty());

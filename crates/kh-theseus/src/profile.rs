@@ -1,0 +1,144 @@
+//! The Theseus timing personality.
+//!
+//! A single-address-space OS needs a tick for cooperative time slicing
+//! and timekeeping, but the handler is a plain EL1 function: no vmexit,
+//! no stage-2 refill afterwards. We keep the same 10 Hz default as
+//! Kitten so tick *frequency* never differs across the native arms —
+//! only the cost and pollution per tick do.
+
+use kh_arch::cpu::PollutionState;
+use kh_arch::noise::{NoiseEvent, OsTimingModel};
+use kh_sim::Nanos;
+
+/// Timing profile of the Theseus-style safe-language kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheseusProfile {
+    /// Scheduler tick period (default 10 Hz, matching Kitten).
+    pub tick_period: Nanos,
+    /// CPU cost of one tick handler. Cheaper than Kitten's 2us: the
+    /// handler is a direct call in the single address space, with no
+    /// exception-level round trip to amortize.
+    pub tick_cost: Nanos,
+    /// A "context switch" is a cooperative yield between components in
+    /// the same address space: spill registers, swap stacks, done. No
+    /// TLB or table switch.
+    pub ctx_switch_cost: Nanos,
+    /// Cache/TLB damage per tick. No address-space switch means no TLB
+    /// invalidation; only the handler's own footprint evicts lines.
+    pub tick_pollution: PollutionState,
+}
+
+impl Default for TheseusProfile {
+    fn default() -> Self {
+        TheseusProfile {
+            tick_period: Nanos::from_millis(100),
+            tick_cost: Nanos::from_micros(1),
+            ctx_switch_cost: Nanos(200),
+            tick_pollution: PollutionState {
+                tlb_evicted: 0,
+                cache_lines_evicted: 8,
+            },
+        }
+    }
+}
+
+impl TheseusProfile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fully tickless variant for noise-floor experiments.
+    pub fn tickless() -> Self {
+        TheseusProfile {
+            tick_period: Nanos::MAX,
+            tick_cost: Nanos::ZERO,
+            tick_pollution: PollutionState::default(),
+            ..Self::default()
+        }
+    }
+
+    /// Override the tick rate (hz = 0 means tickless).
+    pub fn with_tick_hz(hz: u64) -> Self {
+        if hz == 0 {
+            return Self::tickless();
+        }
+        TheseusProfile {
+            tick_period: Nanos(1_000_000_000 / hz),
+            ..Self::default()
+        }
+    }
+}
+
+impl OsTimingModel for TheseusProfile {
+    fn name(&self) -> &'static str {
+        "theseus"
+    }
+
+    fn tick_period(&self) -> Nanos {
+        self.tick_period
+    }
+
+    fn tick_cost(&self) -> Nanos {
+        self.tick_cost
+    }
+
+    fn tick_pollution(&self) -> PollutionState {
+        self.tick_pollution
+    }
+
+    fn ctx_switch_cost(&self) -> Nanos {
+        self.ctx_switch_cost
+    }
+
+    /// Theseus has no background daemons: no kworkers, no RCU, no
+    /// writeback. Like Kitten, the background stream is empty.
+    fn next_background(&mut self, _core: u16, _now: Nanos) -> Option<NoiseEvent> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheaper_than_kitten_on_every_axis() {
+        let t = TheseusProfile::default();
+        // Kitten: tick 2us, switch 1us, pollution {4, 16}.
+        assert!(t.tick_cost < Nanos::from_micros(2));
+        assert!(t.ctx_switch_cost < Nanos::from_micros(1));
+        assert_eq!(t.tick_pollution.tlb_evicted, 0, "no address-space switch");
+        assert!(t.tick_pollution.cache_lines_evicted < 16);
+    }
+
+    #[test]
+    fn same_tick_rate_as_kitten() {
+        assert_eq!(
+            TheseusProfile::default().tick_period,
+            Nanos::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn no_background_noise() {
+        let mut t = TheseusProfile::default();
+        assert!(t.next_background(0, Nanos::ZERO).is_none());
+        assert!(t.next_background(3, Nanos::from_millis(500)).is_none());
+    }
+
+    #[test]
+    fn tickless_never_ticks() {
+        let t = TheseusProfile::tickless();
+        assert_eq!(t.tick_period, Nanos::MAX);
+        assert_eq!(t.tick_cost, Nanos::ZERO);
+    }
+
+    #[test]
+    fn tick_hz_override() {
+        assert_eq!(
+            TheseusProfile::with_tick_hz(1000).tick_period,
+            Nanos::from_millis(1)
+        );
+        assert_eq!(TheseusProfile::with_tick_hz(0).tick_period, Nanos::MAX);
+    }
+}

@@ -511,6 +511,9 @@ pub enum RequestOutcome {
     /// Lost with no reliability layer armed — the silent-drop case the
     /// retry path exists to eliminate.
     Failed,
+    /// Never transmitted: the target server failed remote attestation
+    /// and is quarantined, so the client refused to talk to it at all.
+    Refused,
 }
 
 impl RequestOutcome {
@@ -523,6 +526,7 @@ impl RequestOutcome {
             RequestOutcome::DeadlineExceeded => "deadline",
             RequestOutcome::Corrupt => "corrupt",
             RequestOutcome::Failed => "failed",
+            RequestOutcome::Refused => "refused",
         }
     }
 

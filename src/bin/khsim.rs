@@ -57,15 +57,16 @@ USAGE:
   khsim cluster [--nodes N] [--workload svcload] [--stack S] [--seed N]
                 [--faults SPEC] [--fault-seed N] [--quick] [--ablation]
                 [--retries] [--adaptive] [--reliability] [--metastability]
-                [--scenario SPEC|FILE.khs] [--queue-depth N] [--out FILE]
-                [--jobs N]
+                [--attest] [--scenario SPEC|FILE.khs] [--queue-depth N]
+                [--out FILE] [--jobs N]
   khsim figures [--trials N] [--seed N] [--jobs N]
   khsim trace [--workload W] [--stack S] [--routing primary|selective] [--out FILE]
   khsim list
 
 OPTIONS:
   --workload    one of: {}
-  --stack       native | kitten | linux        (default kitten)
+  --stack       native | kitten | linux | theseus  (default kitten;
+                cluster accepts kitten | linux | theseus)
   --platform    pine | rpi3 | qemu | tx2       (default pine)
   --seed        u64                            (default 0x5C21)
   --trials      repeat count with seed+i       (default 1)
@@ -74,11 +75,13 @@ OPTIONS:
                 (`default` = the built-in storm); injected into a victim
                 secondary VM, never the benchmark. For `cluster` the spec
                 is a fabric spec: drop:P,corrupt:P,reorder:P,
-                jitter:P:EXTRA,partition@T:DUR:NODE,crashsvc@T:NODE
+                jitter:P:EXTRA,partition@T:DUR:NODE,crashsvc@T:NODE,
+                tamper@NODE (forged boot measurement; needs --attest)
   --nodes       cluster node count: first half clients, second half
                 servers (default 4)
   --quick       cluster: 50 ms load window instead of 200 ms
-  --ablation    cluster: run both server stacks and print the comparison
+  --ablation    cluster: run every server-stack arm (kitten, linux,
+                theseus) and print the comparison
   --retries     cluster: arm the default RetryPolicy (deadline, seeded
                 backoff retransmits); lost requests retry instead of
                 silently failing
@@ -90,6 +93,9 @@ OPTIONS:
   --metastability
                 cluster: run the load x drop x {{off, static, adaptive}}
                 grid and print where the static layer tips into collapse
+  --attest      cluster: run the remote-attestation handshake before
+                traffic; nodes failing the measurement registry are
+                quarantined (pair with --faults tamper@NODE)
   --scenario    cluster: a traffic scenario — inline one-liner or a .khs
                 file path, e.g. arrive=exp:500us,svc=exp,fanout=3:quorum:2
                 or arrive=mmpp:300us:5ms:5ms,colocate=hpcg:6+7
@@ -120,6 +126,7 @@ fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
                     | "adaptive"
                     | "reliability"
                     | "metastability"
+                    | "attest"
             ) {
                 map.insert(key.to_string(), "true".to_string());
                 continue;
@@ -138,6 +145,7 @@ fn stack_of(name: &str) -> Option<StackKind> {
         "native" => Some(StackKind::NativeKitten),
         "kitten" => Some(StackKind::HafniumKitten),
         "linux" => Some(StackKind::HafniumLinux),
+        "theseus" => Some(StackKind::NativeTheseus),
         _ => None,
     }
 }
@@ -325,8 +333,8 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
         .map(|s| s.parse().ok())
         .unwrap_or(Some(4))?;
     let stack = stack_of(flags.get("stack").map(|s| s.as_str()).unwrap_or("kitten"))?;
-    if !stack.is_virtualized() {
-        eprintln!("error: cluster nodes need a virtualized stack (kitten | linux)");
+    if !stack.supports_cluster() {
+        eprintln!("error: cluster nodes need a cluster-capable stack (kitten | linux | theseus)");
         return None;
     }
     let seed: u64 = flags
@@ -407,6 +415,9 @@ fn cmd_cluster(flags: &HashMap<String, String>) -> Option<()> {
     }
     if flags.contains_key("adaptive") {
         cfg.adaptive = Some(AdaptivePolicy::default());
+    }
+    if flags.contains_key("attest") {
+        cfg.attest = true;
     }
     if let Some(raw) = flags.get("faults") {
         let spec = match FabricFaultSpec::parse(raw) {

@@ -207,7 +207,7 @@ mod pool_determinism {
             seed in 0u64..10_000,
             trials in 1u32..5,
             workers in 1usize..9,
-            stack_idx in 0usize..3,
+            stack_idx in 0usize..StackKind::ALL.len(),
         ) {
             let stack = StackKind::ALL[stack_idx];
             let fingerprint = |pool: &Pool| {
@@ -295,6 +295,48 @@ mod cluster_determinism {
             reports
                 .iter()
                 .map(|r| format!("{}\n{}", r.render(), r.csv()))
+                .collect::<Vec<_>>()
+        };
+        let serial = arms_fingerprint(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(serial, arms_fingerprint(jobs), "jobs={jobs}");
+        }
+    }
+
+    /// The Theseus arm with the attestation handshake armed is as
+    /// reproducible as the stage-2 arms: same seed, any worker count,
+    /// and a rerun all collapse to one byte string. The fingerprint
+    /// folds in the verdict table so a wandering handshake cannot
+    /// hide behind stable traffic.
+    #[test]
+    fn theseus_attested_runs_replay_byte_identically_for_any_worker_count() {
+        use kitten_hafnium::core::pool::Pool;
+
+        let artifacts = |seed: u64| {
+            let mut cfg = quick(StackKind::NativeTheseus, seed);
+            cfg.attest = true;
+            let r = cluster::run(&cfg);
+            let a = r.attestation.as_ref().unwrap();
+            assert!(a.all_clean());
+            assert_eq!(r.completed, r.sent);
+            format!("{}\n{}\n{}", a.csv(), r.render(), r.csv())
+        };
+        assert_eq!(artifacts(17), artifacts(17), "rerun must replay");
+        assert_ne!(artifacts(17), artifacts(18), "seeds must matter");
+
+        // All three attested server arms, swept under jobs 1, 2, and N.
+        let arms = StackKind::CLUSTER_ARMS;
+        let arms_fingerprint = |jobs: usize| {
+            pool::set_jobs(jobs);
+            let reports = Pool::with_default_jobs().run_indexed(arms.len(), |i| {
+                let mut cfg = quick(arms[i], 17);
+                cfg.attest = true;
+                cluster::run(&cfg)
+            });
+            pool::set_jobs(1);
+            reports
+                .iter()
+                .map(|r| format!("{}\n{}", r.attestation.as_ref().unwrap().csv(), r.csv()))
                 .collect::<Vec<_>>()
         };
         let serial = arms_fingerprint(1);

@@ -616,3 +616,76 @@ fn an_hpc_neighbor_perturbs_only_its_own_node() {
         "the neighbor must cost the colocated node's clients time"
     );
 }
+
+/// Attestation quarantine isolation: a node presenting a forged boot
+/// measurement is refused by every peer before the first request flows,
+/// and the quarantine is surgical — every healthy server's request
+/// records and every node's noise histogram (the quarantined node's
+/// included) are byte-identical to the tamper-free attested run. The
+/// handshake and the tamper clause draw only from their own seeded
+/// streams, so arming them cannot leak timing into anyone else's world.
+#[test]
+fn a_tampered_node_is_quarantined_without_perturbing_healthy_nodes() {
+    use kitten_hafnium::cluster::{self, ClusterConfig};
+    use kitten_hafnium::core::config::StackKind;
+    use kitten_hafnium::sim::fault::FabricFaultSpec;
+    use kitten_hafnium::workloads::svcload::{RequestOutcome, SvcLoadConfig};
+
+    // 4 nodes: clients 0,1 pin to servers 2,3. Node 3 forges its boot
+    // measurement; node 2 stays honest.
+    let attested = {
+        let mut c = ClusterConfig::new(4, StackKind::HafniumKitten, 57);
+        c.svcload = SvcLoadConfig::quick();
+        c.attest = true;
+        c
+    };
+    let clean = cluster::run(&attested);
+    let tampered = {
+        let mut c = attested.clone();
+        c.faults = Some((FabricFaultSpec::parse("tamper@3").unwrap(), 1));
+        cluster::run(&c)
+    };
+
+    // The clean mesh admits everyone; the tampered mesh quarantines
+    // exactly the forger — its signature still verifies (the key is
+    // not compromised, the image is) but the registry comparison fails.
+    assert!(clean.attestation.as_ref().unwrap().all_clean());
+    let a = tampered.attestation.as_ref().unwrap();
+    assert_eq!(a.quarantined, vec![3]);
+    assert!(a
+        .verdicts
+        .iter()
+        .filter(|v| v.peer == 3)
+        .all(|v| v.sig_ok && !v.measurement_ok));
+
+    // Every request routed at the forger dies at arrival: refused,
+    // zero attempts, nothing on the wire.
+    let refused: Vec<_> = tampered
+        .records
+        .iter()
+        .filter(|rec| rec.server == 3)
+        .collect();
+    assert!(!refused.is_empty());
+    assert!(refused
+        .iter()
+        .all(|rec| rec.outcome == RequestOutcome::Refused && rec.attempts == 0));
+
+    // The honest server's clients see the same world to the nanosecond...
+    let honest = |r: &cluster::ClusterReport| {
+        r.records
+            .iter()
+            .filter(|rec| rec.server == 2)
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(honest(&clean), honest(&tampered));
+    // ... and every node's noise profile is untouched, the quarantined
+    // node's included: it still boots, still ticks, just serves no one.
+    for (c, t) in clean.per_node.iter().zip(&tampered.per_node) {
+        assert_eq!(
+            c.noise_hist, t.noise_hist,
+            "node{} noise profile must not see the quarantine",
+            c.index
+        );
+    }
+}
