@@ -46,6 +46,18 @@
 //! non-colocated node when a neighbor is armed. Writes
 //! `BENCH_cluster_scenario.json`.
 //!
+//! `khbench scenario-reliability` runs the scenario-reliability grid:
+//! stack arm x fault scenario x retry policy x fan-out depth, every
+//! cell a full multi-tier scenario through the per-leg
+//! terminal-outcome pipeline (per-(tier, destination) hedge trackers,
+//! retry budgets, circuit breakers) with `crashsvc` recovery wired in.
+//! It gates on byte-identical traces across `--jobs 1/2/N` and
+//! same-seed reruns, adaptive goodput >= static goodput under a
+//! mid-scenario service-VM crash, bit-identical noise histograms on
+//! every healthy node with faults armed, and Theseus p99 <= Kitten p99
+//! <= Linux p99 at fan-out depth >= 2. Writes
+//! `BENCH_cluster_scenario_reliability.json`.
+//!
 //! `khbench hotpath` is the host hot-path cell: timing-wheel event
 //! queue vs the displaced `BinaryHeap` baseline (steady-state
 //! scheduling and cancellation churn), the open-addressed walk cache
@@ -87,6 +99,7 @@ USAGE:
   khbench reliability [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench adaptive [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench scenario [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
+  khbench scenario-reliability [--quick] [--nodes N] [--jobs N] [--seed N] [--repeats N] [--out FILE]
   khbench hotpath [--quick] [--seed N] [--repeats N] [--baseline FILE] [--out FILE]
 
 OPTIONS:
@@ -103,6 +116,7 @@ OPTIONS:
              reliability: BENCH_cluster_reliability.json,
              adaptive: BENCH_cluster_adaptive.json,
              scenario: BENCH_cluster_scenario.json,
+             scenario-reliability: BENCH_cluster_scenario_reliability.json,
              hotpath: BENCH_host_hotpath.json)"
     );
     ExitCode::from(2)
@@ -1563,6 +1577,277 @@ fn cmd_scenario(flags: &HashMap<String, String>) -> Option<()> {
     Some(())
 }
 
+/// `khbench scenario-reliability`: the scenario-reliability grid —
+/// stack arm x fault scenario x retry policy x fan-out depth, every
+/// cell a full multi-tier scenario run through the per-leg
+/// terminal-outcome pipeline with crash recovery wired in — with the
+/// determinism, adaptive-vs-static goodput, healthy-node noise
+/// isolation, and stack tail-ordering gates baked into the exit code.
+fn cmd_scenario_reliability(flags: &HashMap<String, String>) -> Option<()> {
+    use kh_cluster::figures::{
+        render_scenario_reliability, scenario_reliability, ReliabilityPolicy,
+        ScenarioReliabilityRow,
+    };
+    use kh_workloads::adaptive::AdaptivePolicy;
+    use kh_workloads::svcload::{RetryPolicy, SvcLoadConfig};
+
+    let quick = flags.contains_key("quick");
+    let nodes: usize = flags
+        .get("nodes")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(8))?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(kh_bench::SEED))?;
+    let repeats: usize = flags
+        .get("repeats")
+        .map(|s| s.parse().ok())
+        .unwrap_or(Some(if quick { 3 } else { 5 }))?;
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster_scenario_reliability.json".to_string());
+    let jobs = match flags.get("jobs") {
+        Some(j) => j.parse().ok().filter(|&n| n >= 1)?,
+        None => kh_core::pool::jobs(),
+    };
+    let svcload = if quick {
+        SvcLoadConfig::quick()
+    } else {
+        SvcLoadConfig::default()
+    };
+    let depths: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 3] };
+    // Arrivals stay well subcritical at the deepest chain: depth d
+    // costs 1 + 2 + (d - 1) service phases per request through the
+    // quorum-1 fan-out plus single-leg chain below it, and the tail
+    // comparison (gate 4) is only meaningful below saturation — a
+    // queue growing for the whole window measures the window, not the
+    // stacks. It also keeps queue delay under the CoDel target, so the
+    // adaptive arm sheds nothing the static arm keeps (gate 2).
+    let interarrival_us = 2500;
+    let clients = (nodes / 2).max(1);
+    let victim = (clients + (nodes - clients) / 2) as u16; // middle of the server half
+    // Mid-scenario: the VM dies at 40% of the window, with enough
+    // runway left for detection, restart, and the drained backlog.
+    let crash_ms = svcload.duration.as_nanos() * 2 / 5 / 1_000_000;
+    let mut faults: Vec<(String, Option<String>)> = vec![
+        ("no-faults".to_string(), None),
+        (
+            "crashsvc".to_string(),
+            Some(format!("crashsvc@{crash_ms}ms:{victim}")),
+        ),
+    ];
+    if !quick {
+        faults.push(("drop0.04".to_string(), Some("drop:0.04".to_string())));
+    }
+    eprintln!(
+        "khbench scenario-reliability: nodes={nodes} jobs={jobs} quick={quick} seed={seed:#x} \
+         depths={depths:?} victim={victim} crash={crash_ms}ms"
+    );
+
+    let fingerprint = |rows: &[ScenarioReliabilityRow]| -> String {
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{}\n{}",
+                    r.stack.label(),
+                    r.fault,
+                    r.depth,
+                    r.policy.label(),
+                    r.report.csv()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("---\n")
+    };
+    let run_grid = |workers: usize| -> Vec<ScenarioReliabilityRow> {
+        kh_core::pool::set_jobs(workers);
+        scenario_reliability(
+            nodes,
+            seed,
+            svcload,
+            &faults,
+            &depths,
+            interarrival_us,
+            RetryPolicy::default(),
+            AdaptivePolicy::default(),
+        )
+    };
+
+    // Gate 1 — determinism: --jobs 1, 2, and N plus a same-seed rerun
+    // must produce byte-identical per-request traces, reliability
+    // machinery, crash recovery, and all.
+    let r1 = run_grid(1);
+    let r2 = run_grid(2);
+    let rows = run_grid(jobs);
+    let rerun = run_grid(jobs);
+    let fp = fingerprint(&r1);
+    let deterministic = !fp.is_empty()
+        && fp == fingerprint(&r2)
+        && fp == fingerprint(&rows)
+        && fp == fingerprint(&rerun);
+    eprintln!("determinism (jobs 1 == 2 == {jobs} == rerun): {deterministic}");
+
+    let find = |stack: StackKind, fault: &str, depth: usize, policy: ReliabilityPolicy| {
+        rows.iter().find(|r| {
+            r.stack == stack && r.fault == fault && r.depth == depth && r.policy == policy
+        })
+    };
+
+    // Gate 2 — the adaptive layer earns its keep where it matters: with
+    // a service VM crashing mid-scenario, adaptive goodput is never
+    // below static at any (stack, depth) cell.
+    let mut adaptive_ge_static = true;
+    for &stack in kh_cluster::figures::ARMS.iter() {
+        for &d in &depths {
+            let st = find(stack, "crashsvc", d, ReliabilityPolicy::Static)?;
+            let ad = find(stack, "crashsvc", d, ReliabilityPolicy::Adaptive)?;
+            let (gs, ga) = (st.report.goodput(), ad.report.goodput());
+            if ga + 1e-9 < gs {
+                eprintln!(
+                    "gate miss: {} d={d} crashsvc adaptive {ga:.6} < static {gs:.6}",
+                    stack.label()
+                );
+                adaptive_ge_static = false;
+            }
+        }
+    }
+
+    // Gate 3 — crash isolation: arming the crash fault must not move a
+    // single noise-histogram bucket on any node but the victim, at any
+    // cell of the grid.
+    let healthy_noise_identical = rows.iter().all(|r| {
+        if r.fault == "no-faults" {
+            return true;
+        }
+        let Some(clean) = find(r.stack, "no-faults", r.depth, r.policy) else {
+            return false;
+        };
+        clean
+            .report
+            .per_node
+            .iter()
+            .zip(r.report.per_node.iter())
+            .all(|(c, f)| c.index == victim || c.noise_hist == f.noise_hist)
+    });
+
+    // Gate 4 — the paper's ordering survives retried multi-tier
+    // traffic: on the clean fabric at depth >= 2, Theseus p99 <=
+    // Kitten p99 <= Linux p99 at every policy.
+    let mut stack_order = true;
+    for &d in depths.iter().filter(|&&d| d >= 2) {
+        for &policy in ReliabilityPolicy::ALL.iter() {
+            let p99 = |stack: StackKind| {
+                find(stack, "no-faults", d, policy)
+                    .map(|r| r.report.latency.p99())
+                    .unwrap_or(f64::NAN)
+            };
+            let (th, ki, li) = (
+                p99(StackKind::NativeTheseus),
+                p99(StackKind::HafniumKitten),
+                p99(StackKind::HafniumLinux),
+            );
+            if !(th <= ki + 1e-9 && ki <= li + 1e-9) {
+                eprintln!(
+                    "gate miss: d={d} {} p99 theseus/kitten/linux = {th:.0}/{ki:.0}/{li:.0}",
+                    policy.label()
+                );
+                stack_order = false;
+            }
+        }
+    }
+    eprintln!(
+        "gates: deterministic={deterministic} adaptive_goodput_ge_static={adaptive_ge_static} \
+         healthy_noise_identical={healthy_noise_identical} stack_p99_ordered={stack_order}"
+    );
+    eprintln!("{}", render_scenario_reliability(&rows));
+
+    // Wall clock for one full grid at the requested worker count.
+    kh_core::pool::set_jobs(jobs);
+    let wall_ns = time_median(repeats, || {
+        let r = run_grid(jobs);
+        assert_eq!(r.len(), rows.len());
+    });
+    eprintln!(
+        "grid: median {:.2} ms over {repeats} repeats",
+        wall_ns as f64 / 1e6
+    );
+
+    let grid_rows: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let r = &row.report;
+            let s = r.scenario.as_ref().expect("scenario run");
+            format!(
+                "    {{ \"stack\": \"{}\", \"fault\": \"{}\", \"depth\": {}, \"policy\": \"{}\", \
+                 \"sent\": {}, \"completed\": {}, \"goodput\": {:.6}, \
+                 \"retransmits\": {}, \"hedges\": {}, \"retries_suppressed\": {}, \
+                 \"breaker_opens\": {}, \"crash_drops\": {}, \"recoveries\": {}, \
+                 \"legs_sent\": {}, \"legs_ok\": {}, \"joins_ok\": {}, \"joins_failed\": {}, \
+                 \"p50_ns\": {:.0}, \"p99_ns\": {:.0} }}",
+                row.stack.label(),
+                row.fault,
+                row.depth,
+                row.policy.label(),
+                r.sent,
+                r.completed,
+                r.goodput(),
+                r.reliability.retransmits,
+                r.reliability.hedges,
+                r.reliability.retries_suppressed,
+                r.reliability.breaker_opens,
+                r.reliability.crash_drops,
+                r.recoveries.len(),
+                s.legs_sent,
+                s.legs_ok,
+                s.joins_ok,
+                s.joins_failed,
+                r.latency.median(),
+                r.latency.p99(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"khbench-cluster-scenario-reliability-v1\",\n  \"quick\": {quick},\n  \
+         \"seed\": {seed},\n  \"nodes\": {nodes},\n  \"jobs\": {jobs},\n  \
+         \"repeats\": {repeats},\n  \"depths\": {depths:?},\n  \
+         \"interarrival_us\": {interarrival_us},\n  \"victim\": {victim},\n  \
+         \"crash_at_ms\": {crash_ms},\n  \"grid_median_wall_ns\": {wall_ns},\n  \
+         \"deterministic\": {deterministic},\n  \
+         \"adaptive_goodput_ge_static\": {adaptive_ge_static},\n  \
+         \"healthy_noise_identical\": {healthy_noise_identical},\n  \
+         \"stack_p99_ordered\": {stack_order},\n  \
+         \"grid\": [\n{}\n  ]\n}}\n",
+        grid_rows.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return None;
+    }
+    eprintln!("wrote {out_path}");
+    if !deterministic {
+        eprintln!(
+            "error: scenario-reliability traces diverged across reruns/worker counts — \
+             determinism broken"
+        );
+        return None;
+    }
+    if !adaptive_ge_static {
+        eprintln!("error: adaptive goodput fell below static under a mid-scenario crash");
+        return None;
+    }
+    if !healthy_noise_identical {
+        eprintln!("error: a fault moved a healthy node's noise histogram");
+        return None;
+    }
+    if !stack_order {
+        eprintln!("error: stack p99 ordering broke at depth >= 2");
+        return None;
+    }
+    Some(())
+}
+
 /// `khbench hotpath`: the host hot-path cell. Times the production
 /// timing-wheel event queue against the displaced `BinaryHeap` +
 /// tombstone baseline (steady-state scheduling and cancellation churn),
@@ -1838,6 +2123,7 @@ fn main() -> ExitCode {
         "reliability" => cmd_reliability(&flags),
         "adaptive" => cmd_adaptive(&flags),
         "scenario" => cmd_scenario(&flags),
+        "scenario-reliability" => cmd_scenario_reliability(&flags),
         "hotpath" => cmd_hotpath(&flags),
         _ => None,
     };

@@ -1043,9 +1043,10 @@ impl ClusterReport {
         }
         if let Some(s) = &self.scenario {
             out.push_str(&format!(
-                "scenario: {} (effective fanout {})\n  legs: {} sent, {} ok, {} shed, {} failed, {} refused, {} late; joins: {} ok, {} failed\n  tier1 p50/p99 us: {}/{}\n",
+                "scenario: {} (effective fanout {}, depth {})\n  legs: {} sent, {} ok, {} shed, {} failed, {} refused, {} late; joins: {} ok, {} failed\n  tier1 p50/p99 us: {}/{}\n",
                 s.spec,
                 s.fanout,
+                s.depth,
                 s.legs_sent,
                 s.legs_ok,
                 s.legs_shed,

@@ -288,6 +288,144 @@ pub fn render_metastability(rows: &[MetastabilityRow]) -> String {
     t.render()
 }
 
+/// Build the canonical depth-`d` reliability scenario: quorum-1 fan-out
+/// of two at tier 1 (so one crashed or partitioned backend never sinks
+/// the join) and a single-leg chain below it, which keeps offered legs
+/// linear in depth while exercising coordinator joins at every tier.
+/// Service is deterministic at every tier so OS noise is the only
+/// stack difference — the paper's comparison; heavy-tailed multipliers
+/// would swamp the stack effect with stack-identical randomness.
+pub fn scenario_for_depth(depth: usize, interarrival_us: u64) -> Scenario {
+    let mut spec = format!("arrive=exp:{interarrival_us}us,svc=det,backend=det");
+    if depth >= 1 {
+        spec.push_str(",fanout=2:quorum:1");
+        for t in 2..=depth {
+            spec.push_str(&format!(",tier={t}:1:all"));
+        }
+    }
+    Scenario::parse(&spec).expect("depth scenario spec parses")
+}
+
+/// One cell of the scenario-reliability grid.
+#[derive(Debug, Clone)]
+pub struct ScenarioReliabilityRow {
+    pub stack: StackKind,
+    /// Fault-scenario label from [`reliability_scenarios`].
+    pub fault: String,
+    pub policy: ReliabilityPolicy,
+    /// Fan-out depth of the scenario the cell ran.
+    pub depth: usize,
+    pub report: ClusterReport,
+}
+
+/// The scenario-reliability grid: stack arm × fault scenario × retry
+/// policy × fan-out depth, every cell a full scenario run through the
+/// per-leg terminal-outcome pipeline. This is the figure the tentpole
+/// is for: retried and hedged multi-tier traffic under crash faults is
+/// where isolation overhead shows up in tails. `interarrival_us` is
+/// the depth-1 arrival gap; deeper cells stretch it by their offered
+/// phases per request (`2·depth + 1` for [`scenario_for_depth`]'s
+/// shape) so per-server utilization — not the saturation point — is
+/// what stays fixed across the depth axis. Pooled and deterministic
+/// for any worker count; rows come back stack-major, then fault, then
+/// depth, then policy.
+pub fn scenario_reliability(
+    nodes: usize,
+    seed: u64,
+    svcload: SvcLoadConfig,
+    faults: &[(String, Option<String>)],
+    depths: &[usize],
+    interarrival_us: u64,
+    static_policy: RetryPolicy,
+    adaptive_policy: AdaptivePolicy,
+) -> Vec<ScenarioReliabilityRow> {
+    let combos: Vec<(StackKind, String, Option<String>, usize, ReliabilityPolicy)> = ARMS
+        .iter()
+        .flat_map(|&stack| {
+            faults.iter().flat_map(move |(name, spec)| {
+                depths.iter().flat_map(move |&depth| {
+                    let name = name.clone();
+                    let spec = spec.clone();
+                    ReliabilityPolicy::ALL
+                        .iter()
+                        .map(move |&policy| (stack, name.clone(), spec.clone(), depth, policy))
+                })
+            })
+        })
+        .collect();
+    let reports = Pool::with_default_jobs().run_indexed(combos.len(), |i| {
+        let (stack, _, spec, depth, policy) = &combos[i];
+        let mut cfg = ClusterConfig::new(nodes, *stack, seed);
+        cfg.svcload = svcload;
+        let ia = interarrival_us * (2 * *depth as u64 + 1) / 3;
+        cfg.scenario = Some(scenario_for_depth(*depth, ia));
+        if let Some(s) = spec {
+            let spec = FabricFaultSpec::parse(s).expect("fault specs parse");
+            cfg.faults = Some((spec, seed ^ 0xFAB5));
+        }
+        match policy {
+            ReliabilityPolicy::Off => {}
+            ReliabilityPolicy::Static => cfg.retry = Some(static_policy),
+            ReliabilityPolicy::Adaptive => cfg.adaptive = Some(adaptive_policy),
+        }
+        cluster::run(&cfg)
+    });
+    combos
+        .into_iter()
+        .zip(reports)
+        .map(|((stack, fault, _, depth, policy), report)| ScenarioReliabilityRow {
+            stack,
+            fault,
+            policy,
+            depth,
+            report,
+        })
+        .collect()
+}
+
+/// Render the scenario-reliability grid as a table.
+pub fn render_scenario_reliability(rows: &[ScenarioReliabilityRow]) -> String {
+    let us = |v: f64| {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.1}", v / 1_000.0)
+        }
+    };
+    let nodes = rows.first().map(|r| r.report.nodes).unwrap_or(0);
+    let mut t = Table::new(
+        format!("scenario reliability grid (stack x fault x depth x policy), {nodes} nodes"),
+        &[
+            "policy", "sent", "goodput%", "retx", "hedges", "crashdrop", "joins", "p99 us",
+        ],
+    );
+    for row in rows {
+        let r = &row.report;
+        let s = r.scenario.as_ref();
+        t.row(
+            format!(
+                "{} {} d={} {}",
+                row.stack.label(),
+                row.fault,
+                row.depth,
+                row.policy.label()
+            ),
+            vec![
+                row.policy.label().to_string(),
+                r.sent.to_string(),
+                format!("{:.3}", r.goodput() * 100.0),
+                r.reliability.retransmits.to_string(),
+                r.reliability.hedges.to_string(),
+                r.reliability.crash_drops.to_string(),
+                s.map(|s| format!("{}/{}", s.joins_ok, s.joins_ok + s.joins_failed))
+                    .unwrap_or_else(|| "-".to_string()),
+                us(r.latency.p99()),
+            ],
+        );
+    }
+    t.render()
+}
+
 /// Run the fan-out sweep: both server stacks × the given degrees, under
 /// the same scenario otherwise. Degree 0 rows are the single-tier
 /// baselines the amplification figures normalize against. Pooled and
@@ -624,6 +762,74 @@ mod tests {
                 .iter()
                 .map(|(_, _, r)| r.csv())
                 .chain(colo.iter().map(|(_, _, r)| r.csv()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fingerprint(1), fingerprint(2));
+    }
+
+    #[test]
+    fn scenario_reliability_grid_covers_every_cell() {
+        let faults = vec![
+            ("no-faults".to_string(), None),
+            ("crashsvc".to_string(), Some("crashsvc@4ms:5".to_string())),
+        ];
+        let rows = scenario_reliability(
+            8,
+            21,
+            SvcLoadConfig::quick(),
+            &faults,
+            &[1, 2],
+            900,
+            RetryPolicy::default(),
+            AdaptivePolicy::default(),
+        );
+        assert_eq!(rows.len(), ARMS.len() * 2 * 2 * 3, "arm x fault x depth x policy");
+        // Offered load depends only on the (fault, depth) cell: arming
+        // a policy never perturbs the arrival stream.
+        for cell in rows.chunks(3) {
+            assert_eq!(cell[0].report.sent, cell[1].report.sent);
+            assert_eq!(cell[0].report.sent, cell[2].report.sent);
+        }
+        for row in &rows {
+            let s = row.report.scenario.as_ref().unwrap();
+            assert_eq!(s.depth, row.depth);
+            if row.fault == "crashsvc" {
+                assert_eq!(row.report.recoveries.len(), 1, "crash must recover");
+            } else {
+                assert!(row.report.recoveries.is_empty());
+            }
+        }
+        let table = render_scenario_reliability(&rows);
+        assert!(table.contains("crashsvc d=2 adaptive"));
+    }
+
+    #[test]
+    fn scenario_reliability_is_worker_count_independent() {
+        let faults = vec![("crashsvc".to_string(), Some("crashsvc@4ms:5".to_string()))];
+        let fingerprint = |jobs| {
+            pool::set_jobs(jobs);
+            let rows = scenario_reliability(
+                8,
+                23,
+                SvcLoadConfig::quick(),
+                &faults,
+                &[2],
+                900,
+                RetryPolicy::default(),
+                AdaptivePolicy::default(),
+            );
+            pool::set_jobs(1);
+            rows.iter()
+                .map(|r| {
+                    format!(
+                        "{},{},{},{}\n{}",
+                        r.stack.label(),
+                        r.fault,
+                        r.depth,
+                        r.policy.label(),
+                        r.report.csv()
+                    )
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(fingerprint(1), fingerprint(2));

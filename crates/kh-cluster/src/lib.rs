@@ -29,12 +29,18 @@
 //!   (latency histogram, per-request CSV trace with terminal outcomes,
 //!   per-node noise);
 //! - [`scenario`] — the multi-tier executor behind `kh_scenario`
-//!   specs: frontend fan-out to backends, wait-for-all or quorum-k
-//!   joins, and HPC noisy neighbors colocated on designated nodes;
+//!   specs: arbitrary-depth fan-out trees with wait-for-all or
+//!   quorum-k joins at every coordinator, open-loop arrivals or
+//!   closed-loop sessions with think time, the full per-leg
+//!   terminal-outcome reliability pipeline (per-(tier, destination)
+//!   hedge trackers, retry budgets, and circuit breakers), mid-run
+//!   service-VM crash recovery, and HPC noisy neighbors colocated on
+//!   designated nodes;
 //! - [`figures`] — the Kitten-vs-Linux server ablation under identical
 //!   offered load, plus the reliability fault-matrix sweep, the
-//!   metastability load×drop grid (static vs adaptive), and the
-//!   scenario fan-out/colocation figures.
+//!   metastability load×drop grid (static vs adaptive), the scenario
+//!   fan-out/colocation figures, and the scenario-reliability
+//!   stack×fault×depth×policy grid.
 //!
 //! Everything is a pure function of `(config, seed)`: same seed, same
 //! bytes out — across worker counts, and with fault injection armed.
@@ -55,7 +61,8 @@ pub use fabric::{Delivery, Fabric, FabricStats, PortStats, DEFAULT_QUEUE_DEPTH};
 pub use figures::{
     ablation_cluster, colocation_compare, fanout_amplification, fanout_sweep, metastability_sweep,
     reliability_matrix, reliability_scenarios, render_cluster, render_colocation, render_fanout,
-    render_metastability, render_reliability, MetastabilityRow, ReliabilityPolicy, ARMS,
+    render_metastability, render_reliability, render_scenario_reliability, scenario_for_depth,
+    scenario_reliability, MetastabilityRow, ReliabilityPolicy, ScenarioReliabilityRow, ARMS,
 };
 pub use node::{AdmissionPolicy, Node, NodeStats, Role};
 pub use scenario::{run_scenario, ScenarioStats};

@@ -1,57 +1,84 @@
-//! Scenario executor: multi-tier traffic over the booted cluster.
+//! Scenario executor: multi-tier reliability workloads over the booted
+//! cluster.
 //!
 //! [`run_scenario`] drives a parsed [`Scenario`] over the same node and
 //! fabric machinery as [`crate::cluster::run`], generalising the flow
-//! from one tier to two:
+//! from one tier to an arbitrary-depth fan-out tree:
 //!
 //! ```text
-//! client --request--> frontend --N leg requests--> backends
-//! client <--response- frontend <--leg responses--- backends
+//! client --request--> frontend --d1 legs--> tier-1 --d2 legs--> tier-2 ...
+//! client <--response- frontend <--joins---- tier-1 <--joins---- tier-2 ...
 //! ```
 //!
-//! The frontend serves its tier-0 phase, fans out `fanout` leg requests
-//! to distinct backends, and answers the client when the join resolves:
-//! every leg for wait-for-all, the first `k` successes for quorum-k. A
-//! shed leg (backend admission NACK) counts against the join; once the
-//! quorum is arithmetically impossible the frontend NACKs the client
-//! immediately. Every leg and every client request ends in a terminal
-//! [`RequestOutcome`]; legs are appended to the report's records with
-//! `tier = 1`, so the run trace CSV carries the whole tree.
+//! Each server that owns a non-leaf leg is that leg's *coordinator*: it
+//! serves its own phase, fans out `d` child legs to distinct peers, and
+//! answers upstream when its join resolves — every child for
+//! wait-for-all, the first `k` successes for quorum-k. A failed child
+//! (shed, deadline-expired, corrupt, or refused) counts against the
+//! join; once the quorum is arithmetically impossible the coordinator
+//! NACKs upstream immediately. Every leg and every client request ends
+//! in a terminal [`RequestOutcome`]; legs are appended to the report's
+//! records with their tier index, so the run trace CSV carries the
+//! whole tree.
 //!
-//! Randomness discipline (the PR 5 rule): arrivals, service multipliers,
-//! and HPC neighbor schedules each ride their own stream root split off
-//! the run seed, and per-request draws are keyed by
-//! [`leg_seed`] — a pure function of (root, id,
-//! leg). Arming a scenario therefore perturbs no noise, fault, or retry
-//! draw, and non-colocated nodes' noise histograms are bit-identical to
-//! a scenario-free run, which the bench gates assert.
+//! **Reliability per leg.** Every leg runs the full terminal-outcome
+//! pipeline from the svcload path: deadline, jittered-backoff
+//! retransmits, hedged sends, and — under the adaptive policy —
+//! per-destination [`WindowedQuantile`] hedge trackers, retry budgets,
+//! and circuit breakers keyed by *(tier, destination)*, so a breaker
+//! tripped by tier-2 silence never gates tier-1 sends to the same node.
+//! The `retry=<leg>:off|static|adaptive` clauses override the
+//! config-wide default per tier. Leaf servers dedupe retransmits
+//! through the node response cache (at-most-once execution);
+//! coordinators replay their join answer to duplicate requests once the
+//! join has resolved.
 //!
-//! Scope: the scenario path is fire-and-forget — `cfg.retry` and
-//! scheduled `crashsvc` faults are not wired here (the in-fabric gates —
-//! drop, corrupt, reorder, jitter, partition — still apply). A lost leg
-//! surfaces as a `Failed` join at the end-of-run sweep, never a hang.
+//! **Crash recovery.** Scheduled `crashsvc@t:node` faults are wired
+//! exactly as in the svcload loop: the victim's service VM drops
+//! frames while down (`crash_drops`), the Kitten primary detects and
+//! restarts it on the cluster clock, and each incident lands in the
+//! report's [`RecoveryRecord`]s. Crash-window time-stealing is
+//! deterministic whether or not traffic hits the victim, so
+//! healthy-node noise histograms stay bit-identical to a fault-free
+//! run.
+//!
+//! Randomness discipline (the PR 5 rule): arrivals ("khscna"), service
+//! multipliers ("khscns"), HPC neighbors ("khscnh"), closed-loop think
+//! times ("khscnt"), retry backoff jitter ("khsrty"), and breaker
+//! reopen jitter ("khsbrk") each ride their own stream root split off
+//! the run seed, and per-leg draws are keyed by [`leg_seed`] — a pure
+//! function of (root, id, leg). Arming reliability, closed-loop
+//! clients, or crash faults therefore never perturbs arrival, noise,
+//! or fabric fault draws, which the bench gates assert byte-for-byte.
 
-use crate::cluster::{ClusterConfig, ClusterReport, NodeReport, RequestRecord, ARRIVAL_BATCH};
+use crate::cluster::{
+    ClusterConfig, ClusterReport, NodeReport, RecoveryRecord, ReliabilityStats, RequestRecord,
+    ARRIVAL_BATCH,
+};
 use crate::fabric::{Fabric, FrameSlab};
-use crate::node::{Node, Role};
+use crate::node::{AdmissionPolicy, Node, Role};
 use kh_arch::cpu::Phase;
 use kh_core::config::StackKind;
 use kh_metrics::hist::LogHistogram;
-use kh_scenario::{leg_seed, ArrivalProcess, JoinPolicy, Scenario};
+use kh_metrics::quantile::WindowedQuantile;
+use kh_scenario::{leg_seed, ArrivalProcess, JoinPolicy, RetryMode, Scenario};
 use kh_sim::{EventQueue, FabricFaultPlan, Nanos, SimRng};
 use kh_virtio::LinkProfile;
+use kh_workloads::adaptive::{CircuitBreaker, RetryBudget};
 use kh_workloads::svcload::{
     decode_frame, nack_frame_into, request_frame_into, response_frame_into, FrameError,
-    FrameHeader, FrameKind, RequestOutcome,
+    FrameHeader, FrameKind, RequestOutcome, RetryPolicy,
 };
 
-/// High bits of the frame id carry the leg index (0 = the client's own
-/// request, n >= 1 = backend leg n-1), so one id namespace covers the
-/// whole request tree and replies self-identify.
+/// High bits of the frame id carry the leg's tree index (0 = the
+/// client's own request, n >= 1 = the n-th leg of the breadth-first
+/// flattened fan-out tree), so one id namespace covers the whole
+/// request tree and replies self-identify. `Scenario::validate`
+/// guarantees the tree fits the 16 bits above this shift.
 const LEG_SHIFT: u32 = 48;
 
-fn leg_frame_id(id: u64, leg: usize) -> u64 {
-    id | ((leg as u64 + 1) << LEG_SHIFT)
+fn leg_frame_id(id: u64, leg: u32) -> u64 {
+    id | ((leg as u64) << LEG_SHIFT)
 }
 
 fn split_frame_id(raw: u64) -> (u64, u32) {
@@ -72,19 +99,102 @@ fn scale_phase(base: &Phase, m: f64) -> Phase {
     }
 }
 
+/// The spec's fan-out tree flattened breadth-first, with per-tier
+/// degrees clamped to the server count minus one (a coordinator never
+/// calls itself). Tier `t` occupies leg indices
+/// `start[t] .. start[t] + count[t]`; parent/child arithmetic is pure
+/// index math, so no per-request tree allocation is needed.
+struct LegTree {
+    /// Effective degree of tier `t` at index `t - 1`.
+    degrees: Vec<usize>,
+    /// Successful children needed per tier-`t` join, at index `t - 1`.
+    needed: Vec<u32>,
+    /// First leg index of tier `t` (start[0] == 0, the client leg).
+    start: Vec<usize>,
+    /// Legs per tier.
+    count: Vec<usize>,
+    /// Total legs per request.
+    total: usize,
+}
+
+impl LegTree {
+    fn build(scn: &Scenario, servers: usize) -> LegTree {
+        let cap = servers.saturating_sub(1);
+        let mut degrees = Vec::new();
+        for d in scn.tier_degrees() {
+            let eff = d.min(cap);
+            if eff == 0 {
+                break;
+            }
+            degrees.push(eff);
+        }
+        let needed = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| match scn.tier_join(i + 1) {
+                JoinPolicy::All => d as u32,
+                JoinPolicy::Quorum(k) => k.min(d as u32),
+            })
+            .collect();
+        let mut start = vec![0usize];
+        let mut count = vec![1usize];
+        for &d in &degrees {
+            start.push(start.last().unwrap() + count.last().unwrap());
+            count.push(count.last().unwrap() * d);
+        }
+        let total = start.last().unwrap() + count.last().unwrap();
+        LegTree {
+            degrees,
+            needed,
+            start,
+            count,
+            total,
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Which tier a leg index belongs to (0 = the client leg).
+    fn tier_of(&self, leg: usize) -> usize {
+        let mut t = 0;
+        while leg >= self.start[t] + self.count[t] {
+            t += 1;
+        }
+        t
+    }
+
+    /// The coordinator leg this leg reports to. Caller guarantees
+    /// `leg >= 1`.
+    fn parent(&self, leg: usize) -> usize {
+        let t = self.tier_of(leg);
+        self.start[t - 1] + (leg - self.start[t]) / self.degrees[t - 1]
+    }
+
+    /// The `j`-th child of a non-leaf leg.
+    fn child(&self, leg: usize, j: usize) -> usize {
+        let t = self.tier_of(leg);
+        self.start[t + 1] + (leg - self.start[t]) * self.degrees[t] + j
+    }
+}
+
 /// Aggregate counters a scenario run adds on top of [`ClusterReport`].
 #[derive(Debug, Clone)]
 pub struct ScenarioStats {
     /// Canonical rendering of the executed spec.
     pub spec: String,
-    /// Fan-out degree actually used (the spec degree clamped to the
-    /// server count minus one — a frontend never calls itself).
+    /// Fan-out degree actually used at tier 1 (the spec degree clamped
+    /// to the server count minus one — a frontend never calls itself).
     pub fanout: usize,
+    /// Effective fan-out depth (tiers of backend legs actually run).
+    pub depth: usize,
     pub legs_sent: u64,
     pub legs_ok: u64,
     /// Legs refused by backend admission control.
     pub legs_shed: u64,
-    /// Legs that never resolved (lost in the fabric, or corrupt).
+    /// Legs that never resolved in time (lost in the fabric, corrupt,
+    /// or deadline-expired).
     pub legs_failed: u64,
     /// Legs never dispatched: the backend failed attestation and is
     /// quarantined.
@@ -97,8 +207,8 @@ pub struct ScenarioStats {
     /// Client-observed end-to-end latency (same data as the report's
     /// `latency` histogram).
     pub tier0: LogHistogram,
-    /// Backend leg latency as observed by the frontend (dispatch to
-    /// leg-response arrival).
+    /// Backend leg latency as observed by each coordinator (dispatch
+    /// to leg-response arrival), across every tier >= 1.
     pub tier1: LogHistogram,
     /// Nodes that actually hosted an HPC neighbor.
     pub hpc_nodes: Vec<u16>,
@@ -117,37 +227,112 @@ impl ScenarioStats {
     }
 }
 
-/// Per-leg bookkeeping at the frontend.
-struct LegSlot {
-    backend: u16,
+/// Per-leg bookkeeping: reliability state at the leg's issuer plus
+/// coordinator state at the leg's destination. One request
+/// pre-allocates `LegTree::total` slots; slots whose parent never
+/// served stay `issued == false` and produce no trace row.
+struct LegState {
+    /// Issuer (the client for leg 0, the parent's server otherwise).
+    src: u16,
+    dst: u16,
+    /// First-send time; every retransmit and reply echoes it.
     sent: Nanos,
     completed: Option<Nanos>,
     outcome: RequestOutcome,
+    /// Terminal at the issuer.
     resolved: bool,
+    issued: bool,
+    attempts: u32,
+    backoff: Vec<Nanos>,
+    next_backoff: usize,
+    deadline_at: Nanos,
+    hedge_attempt: Option<u8>,
+    nack_seen: bool,
+    corrupt_seen: bool,
+    /// Coordinator side: the destination admitted this leg and began
+    /// serving (fan-out runs at most once per leg).
+    started: bool,
+    serve_done: Nanos,
+    /// Attempt number of the request copy that was admitted; the
+    /// upstream answer echoes it so hedge wins are attributed.
+    serve_attempt: u8,
+    ok_children: u32,
+    bad_children: u32,
+    join_done: bool,
+    /// The join answer already sent upstream, replayed to duplicate
+    /// requests that arrive after resolution.
+    answer: Option<FrameKind>,
+    answer_at: Nanos,
+}
+
+impl LegState {
+    fn new() -> LegState {
+        LegState {
+            src: 0,
+            dst: 0,
+            sent: Nanos::ZERO,
+            completed: None,
+            outcome: RequestOutcome::Failed,
+            resolved: false,
+            issued: false,
+            attempts: 0,
+            backoff: Vec::new(),
+            next_backoff: 0,
+            deadline_at: Nanos::MAX,
+            hedge_attempt: None,
+            nack_seen: false,
+            corrupt_seen: false,
+            started: false,
+            serve_done: Nanos::ZERO,
+            serve_attempt: 0,
+            ok_children: 0,
+            bad_children: 0,
+            join_done: false,
+            answer: None,
+            answer_at: Nanos::ZERO,
+        }
+    }
 }
 
 /// One client request's whole tree.
 struct ReqState {
     client: u16,
     frontend: u16,
-    /// Original client send time; every reply echoes it.
-    sent: Nanos,
-    /// Successful legs needed to answer the client (0 = single-tier).
-    needed: u32,
-    ok_legs: u32,
-    refused_legs: u32,
-    legs: Vec<LegSlot>,
-    /// Join resolved (either way); later legs are "late".
-    join_done: bool,
-    /// Client-level resolution (response, NACK + sweep, ...).
+    /// Closed-loop session that issued this request, when in
+    /// closed-loop mode; the session's next request is paced off this
+    /// one's terminal resolution.
+    session: Option<u16>,
+    /// Client-level resolution (response, deadline, sweep).
     done: bool,
-    nack_seen: bool,
-    corrupt_seen: bool,
+    legs: Vec<LegState>,
+}
+
+/// Resolved reliability policy for one tier's legs.
+struct TierCtl {
+    /// Deadline/backoff/hedge base. `None` = fire-and-forget.
+    base: Option<RetryPolicy>,
+    /// Adaptive layer armed: live hedge quantiles, budgets, breakers.
+    adaptive: bool,
+}
+
+/// Per-(tier, destination) adaptive reliability state — a breaker
+/// tripped by tier-2 silence never gates tier-1 sends to the same
+/// node.
+struct DestState {
+    tracker: WindowedQuantile,
+    budget: RetryBudget,
+    breaker: CircuitBreaker,
 }
 
 enum Ev {
     Arrival { client: u16 },
+    SessionNext { client: u16, session: u16 },
     Deliver { dst: u16, frame: Vec<u8> },
+    Retry { id: u64, leg: u32 },
+    Hedge { id: u64, leg: u32 },
+    Deadline { id: u64, leg: u32 },
+    CrashSvc { node: u16 },
+    RestartSvc { node: u16 },
 }
 
 /// Run `scn` over a freshly booted cluster. Dispatched by
@@ -157,14 +342,9 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
     let servers = cfg.servers();
     let total = clients + servers;
     let horizon = cfg.svcload.duration + cfg.svcload.duration + Nanos::from_millis(50);
-    // A frontend fans out to *other* servers; one lone server degrades
-    // to single-tier.
-    let fanout = scn.fanout.min(servers.saturating_sub(1));
-    let needed = match scn.join {
-        _ if fanout == 0 => 0,
-        JoinPolicy::All => fanout as u32,
-        JoinPolicy::Quorum(k) => k.min(fanout as u32),
-    };
+    let tree = LegTree::build(scn, servers);
+    let fanout = tree.degrees.first().copied().unwrap_or(0);
+    let depth = tree.depth();
 
     // Node boot is byte-identical to the svcload path: same stream root,
     // same split order — a scenario changes traffic, not machines.
@@ -192,8 +372,10 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
 
     // Dedicated scenario streams, all split off the run seed: arrivals
     // ("khscna"), service multipliers ("khscns"), HPC neighbors
-    // ("khscnh"). None of these roots are shared with noise, fault, or
-    // retry streams.
+    // ("khscnh"), closed-loop think time ("khscnt"), per-leg retry
+    // jitter ("khsrty"), breaker reopen jitter ("khsbrk"). None of
+    // these roots are shared with noise or fabric fault streams — nor
+    // with each other — so arming any one layer perturbs nothing else.
     let mut arrival_seeds = SimRng::new(cfg.seed ^ 0x6B68_7363_6E61);
     let mut arrivals: Vec<ArrivalProcess> = (0..clients)
         .map(|c| {
@@ -205,6 +387,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
         })
         .collect();
     let svc_root = SimRng::new(cfg.seed ^ 0x6B68_7363_6E73).next_u64();
+    let retry_root = SimRng::new(cfg.seed ^ 0x6B68_7372_7479).next_u64();
     let mut hpc_seeds = SimRng::new(cfg.seed ^ 0x6B68_7363_6E68);
     let mut hpc_nodes: Vec<u16> = Vec::new();
     if let Some(colo) = &scn.colocate {
@@ -220,6 +403,68 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
         }
     }
 
+    // Per-tier reliability controls: the config-wide default (adaptive
+    // beats static beats off, as in the svcload loop) overridden by
+    // any `retry=` clause. Tier 0 is the client's own request.
+    let default_mode = if cfg.adaptive.is_some() {
+        RetryMode::Adaptive
+    } else if cfg.retry.is_some() {
+        RetryMode::Static
+    } else {
+        RetryMode::Off
+    };
+    let apol = cfg.adaptive.unwrap_or_default();
+    let static_base = cfg.retry.unwrap_or(apol.retry);
+    let tier_ctl: Vec<TierCtl> = (0..=depth as u32)
+        .map(|t| match scn.retry_mode(t, default_mode) {
+            RetryMode::Off => TierCtl {
+                base: None,
+                adaptive: false,
+            },
+            RetryMode::Static => TierCtl {
+                base: Some(static_base),
+                adaptive: false,
+            },
+            RetryMode::Adaptive => TierCtl {
+                base: Some(apol.retry),
+                adaptive: true,
+            },
+        })
+        .collect();
+    let any_adaptive = tier_ctl.iter().any(|c| c.adaptive);
+    // CoDel admission comes with the config-wide adaptive policy, as
+    // in the svcload loop; per-tier `retry=` overrides change sender
+    // behavior only.
+    let admission = match &cfg.adaptive {
+        Some(a) => AdmissionPolicy::CoDel {
+            target: a.codel_target,
+            interval: a.codel_interval,
+        },
+        None => cfg.admission,
+    };
+    let dix = |tier: usize, dst: u16| tier * servers + (dst as usize - clients);
+    let mut dest_state: Vec<DestState> = if any_adaptive {
+        let mut breaker_seeds = SimRng::new(cfg.seed ^ 0x6B68_7362_726B); // "khsbrk"
+        (0..(depth + 1) * servers)
+            .map(|i| DestState {
+                tracker: WindowedQuantile::new(apol.window),
+                budget: RetryBudget::new(apol.budget_percent, apol.budget_burst),
+                breaker: CircuitBreaker::new(
+                    apol.breaker_threshold,
+                    apol.breaker_open_base,
+                    apol.breaker_jitter,
+                    breaker_seeds.split(i as u64),
+                ),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // Closed-loop sessions with `retry=client:off` still need a timer
+    // to pace the next request off a lost reply; it resolves the
+    // request exactly like the end-of-run sweep would.
+    let session_deadline = RetryPolicy::default().deadline;
+
     let mut fabric = Fabric::new(
         LinkProfile::from_platform(&cfg.platform),
         scn.queue_depth.unwrap_or(cfg.queue_depth),
@@ -233,7 +478,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
     // handshake runs before the first arrival, draws only from its own
     // stream roots, and quarantines any node whose evidence fails the
     // registry. Quarantined frontends refuse client requests;
-    // quarantined backends have their legs refused by the frontend.
+    // quarantined backends have their legs refused by the coordinator.
     let attestation = cfg.attest.then(|| {
         crate::attest::handshake(
             &nodes,
@@ -250,26 +495,60 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
     let base_phase = cfg.svcload.service_phase();
     let mut q: EventQueue<Ev> = EventQueue::new();
     let mut slab = FrameSlab::new();
-    // Same batching discipline as the svcload loop: each client keeps
-    // `ARRIVAL_BATCH` future arrivals filed and refills when the last
-    // one fires. Times are identical to one-at-a-time generation.
+    // Open loop: same batching discipline as the svcload loop — each
+    // client keeps `ARRIVAL_BATCH` future arrivals filed and refills
+    // when the last one fires. Closed loop: one SessionNext per
+    // session, paced by its own think-time stream; the first request
+    // of each session fires after one think draw, staggering sessions
+    // deterministically.
     let mut arrival_buf: Vec<Nanos> = Vec::with_capacity(ARRIVAL_BATCH);
     let mut outstanding: Vec<usize> = vec![0; clients];
-    for (c, gen) in arrivals.iter_mut().enumerate().take(clients) {
-        arrival_buf.clear();
-        let n = gen.next_arrivals(ARRIVAL_BATCH, &mut arrival_buf);
-        for &t in &arrival_buf[..n] {
-            q.schedule_at(t, Ev::Arrival { client: c as u16 });
+    let mut think_rngs: Vec<SimRng> = Vec::new();
+    if let Some(cl) = &scn.clients {
+        let mut think_seeds = SimRng::new(cfg.seed ^ 0x6B68_7363_6E74); // "khscnt"
+        for i in 0..clients * cl.sessions {
+            think_rngs.push(think_seeds.split(i as u64));
         }
-        outstanding[c] = n;
+        for c in 0..clients {
+            for s in 0..cl.sessions {
+                let m = cl.think.sample(&mut think_rngs[c * cl.sessions + s]);
+                let at = Nanos((cl.think_mean.as_nanos() as f64 * m).round() as u64);
+                if at < cfg.svcload.duration {
+                    q.schedule_at(
+                        at,
+                        Ev::SessionNext {
+                            client: c as u16,
+                            session: s as u16,
+                        },
+                    );
+                }
+            }
+        }
+    } else {
+        for (c, gen) in arrivals.iter_mut().enumerate().take(clients) {
+            arrival_buf.clear();
+            let n = gen.next_arrivals(ARRIVAL_BATCH, &mut arrival_buf);
+            for &t in &arrival_buf[..n] {
+                q.schedule_at(t, Ev::Arrival { client: c as u16 });
+            }
+            outstanding[c] = n;
+        }
+    }
+    // Scheduled service-VM crashes become events; each is detected and
+    // recovered by the node's own primary, on the cluster clock.
+    for e in fabric.faults.svc_crash_events().to_vec() {
+        q.schedule_at(e.at, Ev::CrashSvc { node: e.node });
     }
 
     let mut records: Vec<RequestRecord> = Vec::new();
     let mut states: Vec<ReqState> = Vec::new();
     let mut latency = LogHistogram::for_latency();
+    let mut rel = ReliabilityStats::default();
+    let mut recoveries: Vec<RecoveryRecord> = Vec::new();
     let mut stats = ScenarioStats {
         spec: scn.to_string(),
         fanout,
+        depth,
         legs_sent: 0,
         legs_ok: 0,
         legs_shed: 0,
@@ -284,8 +563,6 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
         hpc_quanta: 0,
         hpc_busy: Nanos::ZERO,
     };
-    let mut corrupt_rx = 0u64;
-    let mut nacks_sent = 0u64;
     let mut sent = 0u64;
     let mut completed = 0u64;
 
@@ -306,6 +583,235 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
         }};
     }
 
+    // Closed loop: pace the owning session's next request off this
+    // request's terminal resolution. Draws ride the session's own
+    // think stream; no-op for open-loop requests.
+    macro_rules! session_continue {
+        ($id:expr, $at:expr) => {{
+            let id = $id as usize;
+            if let Some(sess) = states[id].session {
+                let cl = scn.clients.as_ref().expect("session implies closed loop");
+                let client = states[id].client;
+                let ix = client as usize * cl.sessions + sess as usize;
+                let m = cl.think.sample(&mut think_rngs[ix]);
+                let at = $at + Nanos((cl.think_mean.as_nanos() as f64 * m).round() as u64);
+                if at < cfg.svcload.duration {
+                    q.schedule_at(
+                        at,
+                        Ev::SessionNext {
+                            client,
+                            session: sess,
+                        },
+                    );
+                }
+            }
+        }};
+    }
+
+    // First-send of one leg: arm its deadline/backoff/hedge timers per
+    // its tier's policy, earn retry budget, and transmit. Backoff
+    // schedules ride the "khsrty" root keyed by (id, leg); adaptive
+    // hedge delays follow the (tier, destination) live quantile with
+    // the same cold-start guard as the svcload loop.
+    macro_rules! issue_leg {
+        ($id:expr, $leg:expr, $src:expr, $dst:expr, $at:expr) => {{
+            let (id, leg, src, dst): (u64, usize, u16, u16) = ($id, $leg, $src, $dst);
+            let at: Nanos = $at;
+            let tier = tree.tier_of(leg);
+            let ctl = &tier_ctl[tier];
+            if leg > 0 {
+                stats.legs_sent += 1;
+            }
+            let mut deadline_at = Nanos::MAX;
+            let mut backoff: Vec<Nanos> = Vec::new();
+            let mut next_backoff = 0usize;
+            if let Some(policy) = &ctl.base {
+                deadline_at = at + policy.deadline;
+                backoff = policy.backoff_schedule(leg_seed(retry_root, id, leg as u32));
+                q.schedule_at(deadline_at, Ev::Deadline { id, leg: leg as u32 });
+                if let Some(first) = backoff.first() {
+                    let t = at + *first;
+                    if t < deadline_at {
+                        q.schedule_at(t, Ev::Retry { id, leg: leg as u32 });
+                    }
+                    next_backoff = 1;
+                }
+                let hedge_delay = if ctl.adaptive {
+                    let d = &dest_state[dix(tier, dst)];
+                    if d.tracker.recorded() >= apol.hedge_min_samples {
+                        let (qn, qd) = apol.hedge_quantile;
+                        d.tracker.quantile(qn, qd).map(|v| Nanos(v).max(apol.hedge_floor))
+                    } else {
+                        None
+                    }
+                } else {
+                    policy.hedge_delay
+                };
+                if let Some(h) = hedge_delay {
+                    let t = at + h;
+                    if t < deadline_at {
+                        q.schedule_at(t, Ev::Hedge { id, leg: leg as u32 });
+                    }
+                }
+            } else if leg == 0 && scn.clients.is_some() {
+                deadline_at = at + session_deadline;
+                q.schedule_at(deadline_at, Ev::Deadline { id, leg: 0 });
+            }
+            if ctl.adaptive {
+                // First sends are never gated; they earn budget.
+                dest_state[dix(tier, dst)].budget.on_send();
+            }
+            {
+                let lst = &mut states[id as usize].legs[leg];
+                lst.issued = true;
+                lst.src = src;
+                lst.dst = dst;
+                lst.sent = at;
+                lst.attempts = 1;
+                lst.deadline_at = deadline_at;
+                lst.backoff = backoff;
+                lst.next_backoff = next_backoff;
+            }
+            let mut frame = slab.take();
+            request_frame_into(&cfg.svcload, leg_frame_id(id, leg as u32), src, at, 0, &mut frame);
+            push_frame!(src, dst, frame, at);
+        }};
+    }
+
+    // A coordinator's join resolved: send the answer upstream (to the
+    // client for leg 0), recording it for duplicate-request replay. A
+    // crashed coordinator cannot transmit — its parent's own timers
+    // own recovery.
+    macro_rules! answer_upstream {
+        ($id:expr, $leg:expr, $kind:expr, $at:expr) => {{
+            let (id, leg): (u64, usize) = ($id, $leg);
+            let kind: FrameKind = $kind;
+            let (cnode, to, first_sent, attempt, t) = {
+                let lst = &mut states[id as usize].legs[leg];
+                let t = Nanos::max($at, lst.serve_done);
+                lst.answer = Some(kind);
+                lst.answer_at = t;
+                (lst.dst, lst.src, lst.sent, lst.serve_attempt, t)
+            };
+            if !nodes[cnode as usize].is_crashed() {
+                let mut frame = slab.take();
+                match kind {
+                    FrameKind::Nack => {
+                        nack_frame_into(leg_frame_id(id, leg as u32), to, first_sent, attempt, &mut frame)
+                    }
+                    _ => response_frame_into(
+                        &cfg.svcload,
+                        leg_frame_id(id, leg as u32),
+                        to,
+                        first_sent,
+                        attempt,
+                        &mut frame,
+                    ),
+                }
+                push_frame!(cnode, to, frame, t);
+            }
+        }};
+    }
+
+    // A child leg reached a terminal outcome: feed its parent's join.
+    // `arrived` marks resolutions carried by a frame landing at the
+    // coordinator (those count as late once the join is done); timer
+    // resolutions pass false.
+    macro_rules! resolve_child {
+        ($id:expr, $leg:expr, $ok:expr, $arrived:expr, $at:expr) => {{
+            let (id, leg, ok, arrived): (u64, usize, bool, bool) = ($id, $leg, $ok, $arrived);
+            let parent = tree.parent(leg);
+            let ptier = tree.tier_of(parent);
+            let deg = tree.degrees[ptier] as u32;
+            let need = tree.needed[ptier];
+            let mut answer: Option<FrameKind> = None;
+            {
+                let plst = &mut states[id as usize].legs[parent];
+                if plst.join_done {
+                    if arrived {
+                        stats.late_legs += 1;
+                    }
+                } else if ok {
+                    plst.ok_children += 1;
+                    if plst.ok_children >= need {
+                        plst.join_done = true;
+                        stats.joins_ok += 1;
+                        answer = Some(FrameKind::Response);
+                    }
+                } else {
+                    plst.bad_children += 1;
+                    // Quorum arithmetically impossible: fail fast.
+                    if plst.bad_children > deg - need {
+                        plst.join_done = true;
+                        stats.joins_failed += 1;
+                        answer = Some(FrameKind::Nack);
+                    }
+                }
+            }
+            if let Some(kind) = answer {
+                answer_upstream!(id, parent, kind, $at);
+            }
+        }};
+    }
+
+    // Mint a new client request (open-loop arrival or closed-loop
+    // session turn) and issue its leg 0.
+    macro_rules! spawn_request {
+        ($client:expr, $session:expr, $now:expr) => {{
+            let client: u16 = $client;
+            let session: Option<u16> = $session;
+            let now: Nanos = $now;
+            let id = states.len() as u64;
+            let frontend = (clients + (client as usize % servers)) as u16;
+            sent += 1;
+            if quarantined.contains(&frontend) {
+                // The frontend failed attestation: the client refuses
+                // to transmit. Terminal immediately; a closed-loop
+                // session lives on and re-tries after one think time.
+                records.push(RequestRecord {
+                    id,
+                    client,
+                    server: frontend,
+                    sent: now,
+                    completed: None,
+                    attempts: 0,
+                    outcome: RequestOutcome::Refused,
+                    tier: 0,
+                    fanout: fanout as u16,
+                });
+                states.push(ReqState {
+                    client,
+                    frontend,
+                    session,
+                    done: true,
+                    legs: Vec::new(),
+                });
+                session_continue!(id, now);
+            } else {
+                records.push(RequestRecord {
+                    id,
+                    client,
+                    server: frontend,
+                    sent: now,
+                    completed: None,
+                    attempts: 1,
+                    // Placeholder until a terminal outcome resolves it.
+                    outcome: RequestOutcome::Failed,
+                    tier: 0,
+                    fanout: fanout as u16,
+                });
+                states.push(ReqState {
+                    client,
+                    frontend,
+                    session,
+                    done: false,
+                    legs: (0..tree.total).map(|_| LegState::new()).collect(),
+                });
+                issue_leg!(id, 0usize, client, frontend, now);
+            }
+        }};
+    }
+
     while let Some(ev) = q.pop_next() {
         let now = ev.at;
         match ev.payload {
@@ -320,66 +826,188 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                     }
                     outstanding[c] = n;
                 }
-                let id = states.len() as u64;
-                let frontend = (clients + (client as usize % servers)) as u16;
-                if quarantined.contains(&frontend) {
-                    // The frontend failed attestation: the client
-                    // refuses to transmit. Terminal immediately.
-                    records.push(RequestRecord {
-                        id,
-                        client,
-                        server: frontend,
-                        sent: now,
-                        completed: None,
-                        attempts: 0,
-                        outcome: RequestOutcome::Refused,
-                        tier: 0,
-                        fanout: fanout as u16,
-                    });
-                    sent += 1;
-                    states.push(ReqState {
-                        client,
-                        frontend,
-                        sent: now,
-                        needed,
-                        ok_legs: 0,
-                        refused_legs: 0,
-                        legs: Vec::new(),
-                        join_done: true,
-                        done: true,
-                        nack_seen: false,
-                        corrupt_seen: false,
-                    });
+                spawn_request!(client, None, now);
+            }
+            Ev::SessionNext { client, session } => {
+                spawn_request!(client, Some(session), now);
+            }
+            Ev::Retry { id, leg } => {
+                let leg = leg as usize;
+                let tier = tree.tier_of(leg);
+                let ctl = &tier_ctl[tier];
+                let max = ctl.base.as_ref().map(|p| p.max_attempts).unwrap_or(1);
+                let (resolved, deadline_at, src, dstn) = {
+                    let l = &states[id as usize].legs[leg];
+                    (l.resolved, l.deadline_at, l.src, l.dst)
+                };
+                if resolved || now >= deadline_at {
                     continue;
                 }
-                records.push(RequestRecord {
-                    id,
-                    client,
-                    server: frontend,
-                    sent: now,
-                    completed: None,
-                    attempts: 1,
-                    outcome: RequestOutcome::Failed,
-                    tier: 0,
-                    fanout: fanout as u16,
-                });
-                sent += 1;
-                states.push(ReqState {
-                    client,
-                    frontend,
-                    sent: now,
-                    needed,
-                    ok_legs: 0,
-                    refused_legs: 0,
-                    legs: Vec::new(),
-                    join_done: false,
-                    done: false,
-                    nack_seen: false,
-                    corrupt_seen: false,
-                });
+                // A crashed coordinator's outstanding sub-requests died
+                // with its VM: its timers go silent until the parent's
+                // own deadline names the outcome.
+                if nodes[src as usize].is_crashed() {
+                    continue;
+                }
+                // The backoff timer firing means the outstanding
+                // attempt went unanswered — the breaker's failure
+                // signal, whether or not a retransmit follows.
+                if ctl.adaptive {
+                    dest_state[dix(tier, dstn)].breaker.on_timeout(now);
+                }
+                if states[id as usize].legs[leg].attempts >= max {
+                    continue;
+                }
+                // Chain the next backoff timer off this instant whether
+                // or not this retransmit is allowed out: a suppressed
+                // attempt must leave the leg a later chance (e.g. a
+                // breaker probe after the cooldown).
+                {
+                    let l = &mut states[id as usize].legs[leg];
+                    if let Some(delay) = l.backoff.get(l.next_backoff).copied() {
+                        l.next_backoff += 1;
+                        let at = now + delay;
+                        if at < l.deadline_at {
+                            q.schedule_at(at, Ev::Retry { id, leg: leg as u32 });
+                        }
+                    }
+                }
+                if ctl.adaptive {
+                    let d = &mut dest_state[dix(tier, dstn)];
+                    if !d.breaker.allow_attempt(now) || !d.budget.try_spend() {
+                        rel.retries_suppressed += 1;
+                        continue;
+                    }
+                }
+                let (attempt, sent0) = {
+                    let l = &mut states[id as usize].legs[leg];
+                    let a = l.attempts as u8;
+                    l.attempts += 1;
+                    (a, l.sent)
+                };
+                rel.retransmits += 1;
                 let mut frame = slab.take();
-                request_frame_into(&cfg.svcload, id, client, now, 0, &mut frame);
-                push_frame!(client, frontend, frame, now);
+                request_frame_into(
+                    &cfg.svcload,
+                    leg_frame_id(id, leg as u32),
+                    src,
+                    sent0,
+                    attempt,
+                    &mut frame,
+                );
+                push_frame!(src, dstn, frame, now);
+            }
+            Ev::Hedge { id, leg } => {
+                let leg = leg as usize;
+                let tier = tree.tier_of(leg);
+                let ctl = &tier_ctl[tier];
+                let max = ctl.base.as_ref().map(|p| p.max_attempts).unwrap_or(1);
+                let (resolved, deadline_at, src, dstn, attempts) = {
+                    let l = &states[id as usize].legs[leg];
+                    (l.resolved, l.deadline_at, l.src, l.dst, l.attempts)
+                };
+                if resolved || now >= deadline_at || attempts >= max {
+                    continue;
+                }
+                if nodes[src as usize].is_crashed() {
+                    continue;
+                }
+                if ctl.adaptive {
+                    let d = &mut dest_state[dix(tier, dstn)];
+                    if !d.breaker.allow_attempt(now) || !d.budget.try_spend() {
+                        rel.hedges_suppressed += 1;
+                        continue;
+                    }
+                }
+                let (attempt, sent0) = {
+                    let l = &mut states[id as usize].legs[leg];
+                    let a = l.attempts as u8;
+                    l.attempts += 1;
+                    l.hedge_attempt = Some(a);
+                    (a, l.sent)
+                };
+                rel.hedges += 1;
+                let mut frame = slab.take();
+                request_frame_into(
+                    &cfg.svcload,
+                    leg_frame_id(id, leg as u32),
+                    src,
+                    sent0,
+                    attempt,
+                    &mut frame,
+                );
+                push_frame!(src, dstn, frame, now);
+            }
+            Ev::Deadline { id, leg } => {
+                let leg = leg as usize;
+                let tier = tree.tier_of(leg);
+                let ctl = &tier_ctl[tier];
+                let (resolved, nack_seen, corrupt_seen, dstn) = {
+                    let l = &states[id as usize].legs[leg];
+                    (l.resolved, l.nack_seen, l.corrupt_seen, l.dst)
+                };
+                if resolved {
+                    continue;
+                }
+                // A deadline expiring in silence (no NACK, no corrupt
+                // reply attributable) is a timeout signal too; a shed
+                // or corrupt story proves the destination reachable.
+                if ctl.adaptive && !nack_seen && !corrupt_seen {
+                    dest_state[dix(tier, dstn)].breaker.on_timeout(now);
+                }
+                let outcome = if nack_seen {
+                    RequestOutcome::Shed
+                } else if corrupt_seen {
+                    RequestOutcome::Corrupt
+                } else if ctl.base.is_some() {
+                    RequestOutcome::DeadlineExceeded
+                } else {
+                    // A closed-loop session timer with retries off: the
+                    // request failed fire-and-forget style.
+                    RequestOutcome::Failed
+                };
+                {
+                    let l = &mut states[id as usize].legs[leg];
+                    l.resolved = true;
+                    l.outcome = outcome;
+                }
+                if leg == 0 {
+                    states[id as usize].done = true;
+                    records[id as usize].outcome = outcome;
+                    session_continue!(id, now);
+                } else {
+                    if outcome == RequestOutcome::Shed {
+                        stats.legs_shed += 1;
+                    } else {
+                        stats.legs_failed += 1;
+                    }
+                    resolve_child!(id, leg, false, false, now);
+                }
+            }
+            Ev::CrashSvc { node } => {
+                let n = node as usize;
+                if n >= nodes.len() || nodes[n].role != Role::Server || nodes[n].is_crashed() {
+                    continue;
+                }
+                fabric.faults.note_svc_crash();
+                nodes[n].crash_svc(now, horizon);
+                recoveries.push(RecoveryRecord {
+                    node,
+                    crashed_at: now,
+                    detected_at: now + cfg.detect_latency,
+                    recovered_at: Nanos::MAX,
+                });
+                q.schedule_at(now + cfg.detect_latency, Ev::RestartSvc { node });
+            }
+            Ev::RestartSvc { node } => {
+                let up = nodes[node as usize].restart_svc(now, cfg.restart_cost, horizon);
+                if let Some(r) = recoveries
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.node == node && r.recovered_at == Nanos::MAX)
+                {
+                    r.recovered_at = up;
+                }
             }
             Ev::Deliver { dst, mut frame } => {
                 let decoded = decode_frame(&frame);
@@ -393,10 +1021,71 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                             attempt,
                         }) => {
                             let (id, leg) = split_frame_id(raw);
+                            let leg = leg as usize;
+                            let tier = tree.tier_of(leg);
                             let node = &mut nodes[dst as usize];
+                            if node.is_crashed() {
+                                // The NIC died with the VM: nothing to
+                                // receive into. The issuer's retry path
+                                // (or deadline) owns recovery.
+                                node.stats.crash_drops += 1;
+                                rel.crash_drops += 1;
+                                slab.put(frame);
+                                continue;
+                            }
                             let ready = node.receive(now, &frame, horizon);
-                            if !node.admit_with(ready, &cfg.admission) {
-                                nacks_sent += 1;
+                            let leaf = tier == tree.depth();
+                            if leaf {
+                                // Leaf dedupe rides the node response
+                                // cache, exactly as in the svcload loop:
+                                // at-most-once execution against the
+                                // issuer's at-least-once transmission.
+                                if let Some(done) = node.cached_response(raw) {
+                                    rel.dups_absorbed += 1;
+                                    response_frame_into(
+                                        &cfg.svcload,
+                                        raw,
+                                        reply_to,
+                                        sent_at,
+                                        attempt,
+                                        &mut frame,
+                                    );
+                                    push_frame!(dst, reply_to, frame, ready.max(done));
+                                    continue;
+                                }
+                            } else if states[id as usize].legs[leg].started {
+                                // Coordinator dedupe: the fan-out ran
+                                // already. Replay the join answer when
+                                // it exists; absorb silently while the
+                                // join is still pending (the original
+                                // flow will answer).
+                                rel.dups_absorbed += 1;
+                                let (ans, t) = {
+                                    let l = &states[id as usize].legs[leg];
+                                    (l.answer, ready.max(l.answer_at))
+                                };
+                                match ans {
+                                    Some(FrameKind::Nack) => {
+                                        nack_frame_into(raw, reply_to, sent_at, attempt, &mut frame);
+                                        push_frame!(dst, reply_to, frame, t);
+                                    }
+                                    Some(_) => {
+                                        response_frame_into(
+                                            &cfg.svcload,
+                                            raw,
+                                            reply_to,
+                                            sent_at,
+                                            attempt,
+                                            &mut frame,
+                                        );
+                                        push_frame!(dst, reply_to, frame, t);
+                                    }
+                                    None => slab.put(frame),
+                                }
+                                continue;
+                            }
+                            if !nodes[dst as usize].admit_with(ready, &admission) {
+                                rel.nacks_sent += 1;
                                 // The NACK rides the request's own buffer.
                                 nack_frame_into(raw, reply_to, sent_at, attempt, &mut frame);
                                 push_frame!(dst, reply_to, frame, ready);
@@ -406,68 +1095,11 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                             // backend leg work; each draws its multiplier
                             // from its own (id, leg)-keyed stream.
                             let dist = if leg == 0 { scn.service } else { scn.backend };
-                            let mut rng = SimRng::new(leg_seed(svc_root, id, leg));
+                            let mut rng = SimRng::new(leg_seed(svc_root, id, leg as u32));
                             let phase = scale_phase(&base_phase, dist.sample(&mut rng));
                             let done = nodes[dst as usize].serve(ready, &phase, horizon);
-                            if leg == 0 && fanout > 0 {
-                                // Fan out: distinct backends, skipping
-                                // this frontend, in a fixed rotation. The
-                                // consumed request buffer seeds the slab,
-                                // so the first leg reuses it directly.
-                                slab.put(frame);
-                                let f_local = dst as usize - clients;
-                                let st = &mut states[id as usize];
-                                for j in 0..fanout {
-                                    let backend = (clients + ((f_local + 1 + j) % servers)) as u16;
-                                    if quarantined.contains(&backend) {
-                                        // The backend failed attestation:
-                                        // the frontend refuses the leg on
-                                        // the spot — resolved, no frame.
-                                        st.legs.push(LegSlot {
-                                            backend,
-                                            sent: done,
-                                            completed: None,
-                                            outcome: RequestOutcome::Refused,
-                                            resolved: true,
-                                        });
-                                        stats.legs_refused += 1;
-                                        st.refused_legs += 1;
-                                        continue;
-                                    }
-                                    st.legs.push(LegSlot {
-                                        backend,
-                                        sent: done,
-                                        completed: None,
-                                        outcome: RequestOutcome::Failed,
-                                        resolved: false,
-                                    });
-                                    stats.legs_sent += 1;
-                                    let mut leg_frame = slab.take();
-                                    request_frame_into(
-                                        &cfg.svcload,
-                                        leg_frame_id(id, j),
-                                        dst, // replies route back to the frontend
-                                        done,
-                                        0,
-                                        &mut leg_frame,
-                                    );
-                                    push_frame!(dst, backend, leg_frame, done);
-                                }
-                                // Enough refused legs can make the quorum
-                                // arithmetically impossible before any
-                                // reply: fail fast with a client NACK.
-                                if !st.join_done && st.refused_legs > fanout as u32 - st.needed {
-                                    st.join_done = true;
-                                    stats.joins_failed += 1;
-                                    let to = st.client;
-                                    let first_sent = st.sent;
-                                    let mut nf = slab.take();
-                                    nack_frame_into(raw, to, first_sent, attempt, &mut nf);
-                                    push_frame!(dst, to, nf, done);
-                                }
-                            } else {
-                                // Single-tier answer or a finished leg,
-                                // encoded into the request's own buffer.
+                            if leaf {
+                                nodes[dst as usize].note_served(raw, done);
                                 response_frame_into(
                                     &cfg.svcload,
                                     raw,
@@ -477,6 +1109,56 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                                     &mut frame,
                                 );
                                 push_frame!(dst, reply_to, frame, done);
+                            } else {
+                                // Fan out: distinct peers, skipping this
+                                // coordinator, in a fixed rotation. The
+                                // consumed request buffer seeds the slab,
+                                // so the first leg reuses it directly.
+                                slab.put(frame);
+                                {
+                                    let lst = &mut states[id as usize].legs[leg];
+                                    lst.started = true;
+                                    lst.serve_done = done;
+                                    lst.serve_attempt = attempt;
+                                }
+                                let deg = tree.degrees[tier];
+                                let need = tree.needed[tier];
+                                let p_local = dst as usize - clients;
+                                for j in 0..deg {
+                                    let child = tree.child(leg, j);
+                                    let backend =
+                                        (clients + ((p_local + 1 + j) % servers)) as u16;
+                                    if quarantined.contains(&backend) {
+                                        // The backend failed attestation:
+                                        // the coordinator refuses the leg
+                                        // on the spot — resolved, no frame.
+                                        {
+                                            let clst =
+                                                &mut states[id as usize].legs[child];
+                                            clst.src = dst;
+                                            clst.dst = backend;
+                                            clst.sent = done;
+                                            clst.resolved = true;
+                                            clst.outcome = RequestOutcome::Refused;
+                                        }
+                                        stats.legs_refused += 1;
+                                        states[id as usize].legs[leg].bad_children += 1;
+                                        continue;
+                                    }
+                                    issue_leg!(id, child, dst, backend, done);
+                                }
+                                // Enough refused legs can make the quorum
+                                // arithmetically impossible before any
+                                // reply: fail fast with an upstream NACK.
+                                let (bad, jd) = {
+                                    let l = &states[id as usize].legs[leg];
+                                    (l.bad_children, l.join_done)
+                                };
+                                if !jd && bad > deg as u32 - need {
+                                    states[id as usize].legs[leg].join_done = true;
+                                    stats.joins_failed += 1;
+                                    answer_upstream!(id, leg, FrameKind::Nack, done);
+                                }
                             }
                         }
                         Ok(FrameHeader {
@@ -486,88 +1168,114 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                             ..
                         }) => {
                             // A leg reply (response or NACK) lands back
-                            // at its frontend.
+                            // at its coordinator.
                             let (id, leg) = split_frame_id(raw);
-                            let done = nodes[dst as usize].receive(now, &frame, horizon);
-                            if leg == 0 {
-                                slab.put(frame);
-                                continue; // unreachable: client frames route to clients
-                            }
-                            let st = &mut states[id as usize];
-                            let slot = &mut st.legs[(leg - 1) as usize];
-                            if slot.resolved {
+                            let leg = leg as usize;
+                            let node = &mut nodes[dst as usize];
+                            if node.is_crashed() {
+                                // The coordinator's VM is down: the
+                                // reply dies at its NIC. Parent timers
+                                // own recovery.
+                                node.stats.crash_drops += 1;
+                                rel.crash_drops += 1;
                                 slab.put(frame);
                                 continue;
                             }
-                            slot.resolved = true;
-                            // When the join resolves here, the client's
-                            // answer is encoded into this leg reply's
-                            // buffer; otherwise the buffer is recycled.
-                            let mut answer: Option<FrameKind> = None;
+                            let done = node.receive(now, &frame, horizon);
+                            slab.put(frame);
+                            if leg == 0 {
+                                continue; // unreachable: client frames route to clients
+                            }
+                            let tier = tree.tier_of(leg);
+                            let ctl = &tier_ctl[tier];
                             match kind {
                                 FrameKind::Response => {
-                                    slot.completed = Some(done);
-                                    slot.outcome = RequestOutcome::Ok { attempt: 0 };
-                                    stats.tier1.record(
-                                        done.saturating_sub(slot.sent).as_nanos().max(1) as f64,
-                                    );
-                                    stats.legs_ok += 1;
-                                    if st.join_done {
-                                        stats.late_legs += 1;
-                                    } else {
-                                        st.ok_legs += 1;
-                                        if st.ok_legs >= st.needed {
-                                            st.join_done = true;
-                                            stats.joins_ok += 1;
-                                            answer = Some(FrameKind::Response);
-                                        }
+                                    let (already, sent0, dstn, hedge_hit) = {
+                                        let l = &states[id as usize].legs[leg];
+                                        (
+                                            l.resolved,
+                                            l.sent,
+                                            l.dst,
+                                            l.hedge_attempt == Some(attempt),
+                                        )
+                                    };
+                                    if already {
+                                        continue; // duplicate answer after resolution
                                     }
+                                    let lat = done.saturating_sub(sent0);
+                                    if ctl.adaptive {
+                                        // Feed the live distribution and
+                                        // clear the breaker's streak.
+                                        let d = &mut dest_state[dix(tier, dstn)];
+                                        d.tracker.record(lat.as_nanos().max(1));
+                                        d.breaker.on_success();
+                                    }
+                                    {
+                                        let l = &mut states[id as usize].legs[leg];
+                                        l.resolved = true;
+                                        l.completed = Some(done);
+                                        l.outcome = if hedge_hit {
+                                            RequestOutcome::OkHedged { attempt }
+                                        } else {
+                                            RequestOutcome::Ok { attempt }
+                                        };
+                                    }
+                                    stats.tier1.record(lat.as_nanos().max(1) as f64);
+                                    stats.legs_ok += 1;
+                                    resolve_child!(id, leg, true, true, done);
                                 }
                                 FrameKind::Nack => {
-                                    slot.outcome = RequestOutcome::Shed;
-                                    stats.legs_shed += 1;
-                                    if st.join_done {
-                                        stats.late_legs += 1;
+                                    if states[id as usize].legs[leg].resolved {
+                                        continue;
+                                    }
+                                    if ctl.adaptive {
+                                        // A NACK proves the destination
+                                        // reachable.
+                                        let dstn = states[id as usize].legs[leg].dst;
+                                        dest_state[dix(tier, dstn)].breaker.on_success();
+                                    }
+                                    if ctl.base.is_some() {
+                                        // Retries may still land this
+                                        // leg; the deadline owns the
+                                        // terminal outcome.
+                                        states[id as usize].legs[leg].nack_seen = true;
                                     } else {
-                                        st.refused_legs += 1;
-                                        // Quorum arithmetically impossible:
-                                        // fail fast with a client NACK.
-                                        if st.refused_legs > fanout as u32 - st.needed {
-                                            st.join_done = true;
-                                            stats.joins_failed += 1;
-                                            answer = Some(FrameKind::Nack);
+                                        {
+                                            let l = &mut states[id as usize].legs[leg];
+                                            l.resolved = true;
+                                            l.outcome = RequestOutcome::Shed;
                                         }
+                                        stats.legs_shed += 1;
+                                        resolve_child!(id, leg, false, true, done);
                                     }
                                 }
                                 FrameKind::Request => {}
                             }
-                            let to = st.client;
-                            let first_sent = st.sent;
-                            match answer {
-                                Some(FrameKind::Response) => {
-                                    response_frame_into(
-                                        &cfg.svcload,
-                                        id,
-                                        to,
-                                        first_sent,
-                                        attempt,
-                                        &mut frame,
-                                    );
-                                    push_frame!(dst, to, frame, done);
-                                }
-                                Some(FrameKind::Nack) => {
-                                    nack_frame_into(id, to, first_sent, attempt, &mut frame);
-                                    push_frame!(dst, to, frame, done);
-                                }
-                                _ => slab.put(frame),
-                            }
                         }
-                        Err(_) => {
-                            // Mangled frame at a server: pay the RX copy,
-                            // checksum rejects it; the sweep owns the
-                            // request's terminal outcome.
-                            corrupt_rx += 1;
-                            let _ = nodes[dst as usize].receive(now, &frame, horizon);
+                        Err(e) => {
+                            // Mangled frame at a server: the RX path
+                            // still pays the copy (if the VM is up),
+                            // then the checksum rejects it. A surviving
+                            // header attributes a corrupt *reply* to
+                            // its leg so the deadline names `Corrupt`.
+                            rel.corrupt_rx += 1;
+                            if !nodes[dst as usize].is_crashed() {
+                                let _ = nodes[dst as usize].receive(now, &frame, horizon);
+                            }
+                            if let FrameError::Corrupt(Some(h)) = e {
+                                let (id, leg) = split_frame_id(h.id);
+                                let leg = leg as usize;
+                                if leg > 0 {
+                                    if let Some(l) = states
+                                        .get_mut(id as usize)
+                                        .and_then(|st| st.legs.get_mut(leg))
+                                    {
+                                        if !l.resolved && l.src == dst {
+                                            l.corrupt_seen = true;
+                                        }
+                                    }
+                                }
+                            }
                             slab.put(frame);
                         }
                     }
@@ -578,14 +1286,27 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                             let done = nodes[dst as usize].receive(now, &frame, horizon);
                             slab.put(frame);
                             let (id, _) = split_frame_id(h.id);
-                            let st = &mut states[id as usize];
-                            if st.done {
+                            if states[id as usize].done {
                                 continue;
                             }
                             match h.kind {
                                 FrameKind::Response => {
-                                    st.done = true;
                                     let lat = done.saturating_sub(h.sent);
+                                    let (frontend, outcome) = {
+                                        let st = &mut states[id as usize];
+                                        st.done = true;
+                                        let outcome =
+                                            if st.legs[0].hedge_attempt == Some(h.attempt) {
+                                                RequestOutcome::OkHedged { attempt: h.attempt }
+                                            } else {
+                                                RequestOutcome::Ok { attempt: h.attempt }
+                                            };
+                                        let l0 = &mut st.legs[0];
+                                        l0.resolved = true;
+                                        l0.completed = Some(done);
+                                        l0.outcome = outcome;
+                                        (st.frontend, outcome)
+                                    };
                                     latency.record(lat.as_nanos().max(1) as f64);
                                     stats.tier0.record(lat.as_nanos().max(1) as f64);
                                     nodes[dst as usize]
@@ -593,15 +1314,27 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                                         .record(lat.as_nanos().max(1) as f64);
                                     let rec = &mut records[id as usize];
                                     rec.completed = Some(done);
-                                    rec.outcome = RequestOutcome::Ok { attempt: 0 };
+                                    rec.outcome = outcome;
                                     completed += 1;
+                                    if tier_ctl[0].adaptive {
+                                        let d = &mut dest_state[dix(0, frontend)];
+                                        d.tracker.record(lat.as_nanos().max(1));
+                                        d.breaker.on_success();
+                                    }
+                                    session_continue!(id, done);
                                 }
-                                FrameKind::Nack => st.nack_seen = true,
+                                FrameKind::Nack => {
+                                    let frontend = states[id as usize].frontend;
+                                    states[id as usize].legs[0].nack_seen = true;
+                                    if tier_ctl[0].adaptive {
+                                        dest_state[dix(0, frontend)].breaker.on_success();
+                                    }
+                                }
                                 FrameKind::Request => {}
                             }
                         }
                         Err(FrameError::Corrupt(hdr)) => {
-                            corrupt_rx += 1;
+                            rel.corrupt_rx += 1;
                             let _ = nodes[dst as usize].receive(now, &frame, horizon);
                             slab.put(frame);
                             if let Some(st) = hdr.and_then(|h| {
@@ -609,7 +1342,9 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
                                 states.get_mut(id as usize)
                             }) {
                                 if !st.done {
-                                    st.corrupt_seen = true;
+                                    if let Some(l0) = st.legs.get_mut(0) {
+                                        l0.corrupt_seen = true;
+                                    }
                                 }
                             }
                         }
@@ -622,34 +1357,52 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
     let elapsed = q.now();
 
     // End-of-run sweep: name every open outcome explicitly — client
-    // requests first, then legs.
-    for (rec, st) in records.iter_mut().zip(states.iter_mut()) {
+    // requests first, then legs (armed legs always resolved through
+    // their deadline event; only fire-and-forget legs can reach the
+    // sweep open).
+    for (id, st) in states.iter_mut().enumerate() {
+        let rec = &mut records[id];
         if !st.done {
             st.done = true;
-            rec.outcome = if st.nack_seen {
-                RequestOutcome::Shed
-            } else if st.corrupt_seen {
-                RequestOutcome::Corrupt
-            } else {
-                RequestOutcome::Failed
-            };
+            let l0 = &mut st.legs[0];
+            if !l0.resolved {
+                l0.resolved = true;
+                l0.outcome = if l0.nack_seen {
+                    RequestOutcome::Shed
+                } else if l0.corrupt_seen {
+                    RequestOutcome::Corrupt
+                } else {
+                    RequestOutcome::Failed
+                };
+            }
+            rec.outcome = l0.outcome;
         }
-        if fanout > 0 && !st.legs.is_empty() && !st.join_done {
-            st.join_done = true;
-            stats.joins_failed += 1;
+        if let Some(l0) = st.legs.first() {
+            rec.attempts = rec.attempts.max(l0.attempts);
         }
-        for slot in &mut st.legs {
-            if !slot.resolved {
-                slot.resolved = true;
-                stats.legs_failed += 1;
+        for (leg, l) in st.legs.iter_mut().enumerate() {
+            if leg > 0 && l.issued && !l.resolved {
+                l.resolved = true;
+                l.outcome = if l.nack_seen {
+                    RequestOutcome::Shed
+                } else if l.corrupt_seen {
+                    RequestOutcome::Corrupt
+                } else {
+                    RequestOutcome::Failed
+                };
+                if l.outcome == RequestOutcome::Shed {
+                    stats.legs_shed += 1;
+                } else {
+                    stats.legs_failed += 1;
+                }
+            }
+            if l.started && !l.join_done {
+                l.join_done = true;
+                stats.joins_failed += 1;
             }
         }
     }
-    let mut rel = crate::cluster::ReliabilityStats {
-        nacks_sent,
-        corrupt_rx,
-        ..Default::default()
-    };
+    rel.breaker_opens = dest_state.iter().map(|d| d.breaker.opens).sum();
     for rec in records.iter() {
         match rec.outcome {
             RequestOutcome::Ok { .. } => rel.outcomes.ok += 1,
@@ -662,19 +1415,24 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
         }
     }
 
-    // Append the per-leg trace: tier-1 rows in (id, leg) order, the
-    // frontend as the row's client. The CSV carries the whole tree.
+    // Append the per-leg trace: tier >= 1 rows in (id, leg) order, the
+    // issuing coordinator as the row's client. Slots whose parent
+    // never served were never materialised and produce no row. The
+    // CSV carries the whole tree.
     for (id, st) in states.iter().enumerate() {
-        for slot in &st.legs {
+        for (leg, l) in st.legs.iter().enumerate().skip(1) {
+            if !(l.issued || l.resolved) {
+                continue;
+            }
             records.push(RequestRecord {
                 id: id as u64,
-                client: st.frontend,
-                server: slot.backend,
-                sent: slot.sent,
-                completed: slot.completed,
-                attempts: 1,
-                outcome: slot.outcome,
-                tier: 1,
+                client: l.src,
+                server: l.dst,
+                sent: l.sent,
+                completed: l.completed,
+                attempts: l.attempts,
+                outcome: l.outcome,
+                tier: tree.tier_of(leg) as u8,
                 fanout: fanout as u16,
             });
         }
@@ -717,7 +1475,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
         fabric: fabric.stats.clone(),
         fault_stats: fabric.faults.stats,
         reliability: rel,
-        recoveries: Vec::new(),
+        recoveries,
         scenario: Some(stats),
         attestation,
         elapsed,
@@ -728,6 +1486,7 @@ pub fn run_scenario(cfg: &ClusterConfig, scn: &Scenario) -> ClusterReport {
 mod tests {
     use super::*;
     use kh_scenario::HpcKind;
+    use kh_workloads::adaptive::AdaptivePolicy;
     use kh_workloads::svcload::SvcLoadConfig;
 
     fn cfg_with(stack: StackKind, seed: u64, nodes: usize, spec: &str) -> ClusterConfig {
@@ -745,6 +1504,7 @@ mod tests {
         assert_eq!(r.completed, r.sent);
         let s = r.scenario.as_ref().unwrap();
         assert_eq!(s.fanout, 0);
+        assert_eq!(s.depth, 0);
         assert_eq!(s.legs_sent, 0);
         assert_eq!(s.tier0.count(), r.completed);
         assert!(r.records.iter().all(|rec| rec.tier == 0));
@@ -949,5 +1709,217 @@ mod tests {
             .all(|rec| rec.outcome == RequestOutcome::Refused && rec.attempts == 0));
         assert!(rest.iter().all(|rec| rec.outcome.is_ok()));
         assert_eq!(r.reliability.outcomes.refused, to_2.len() as u64);
+    }
+
+    #[test]
+    fn leg_tree_index_arithmetic_round_trips() {
+        let scn =
+            Scenario::parse("arrive=exp:1ms,fanout=3:quorum:2,tier=2:2:all,tier=3:2:quorum:1")
+                .unwrap();
+        let tree = LegTree::build(&scn, 8);
+        assert_eq!(tree.depth(), 3);
+        assert_eq!(tree.degrees, vec![3, 2, 2]);
+        assert_eq!(tree.needed, vec![2, 2, 1]);
+        assert_eq!(tree.count, vec![1, 3, 6, 12]);
+        assert_eq!(tree.start, vec![0, 1, 4, 10]);
+        assert_eq!(tree.total, 22);
+        for leg in 1..tree.total {
+            let t = tree.tier_of(leg);
+            let parent = tree.parent(leg);
+            assert_eq!(tree.tier_of(parent), t - 1, "leg {leg}");
+            // Child arithmetic inverts parent arithmetic.
+            let base = tree.start[t];
+            let j = (leg - base) % tree.degrees[t - 1];
+            assert_eq!(tree.child(parent, j), leg, "leg {leg}");
+        }
+        // Degrees clamp to servers - 1: three servers cap every tier
+        // at degree 2.
+        let clamped = LegTree::build(&scn, 3);
+        assert_eq!(clamped.degrees, vec![2, 2, 2]);
+        assert_eq!(clamped.needed, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn deep_tier_chain_completes_and_traces_every_tier() {
+        // Depth 3: fanout 2, then 2, then 1 — 2 + 4 + 4 = 10 backend
+        // legs per request on a clean fabric.
+        let cfg = cfg_with(
+            StackKind::HafniumKitten,
+            19,
+            12,
+            "arrive=exp:2ms,svc=det,backend=det,fanout=2:all,tier=2:2:all,tier=3:1:all",
+        );
+        let r = crate::cluster::run(&cfg);
+        let s = r.scenario.as_ref().unwrap();
+        assert_eq!(s.depth, 3);
+        assert!(r.sent > 10, "sent = {}", r.sent);
+        assert_eq!(r.completed, r.sent, "clean fabric: every join completes");
+        assert_eq!(s.legs_sent, r.sent * 10);
+        assert_eq!(s.legs_ok, s.legs_sent);
+        // One join per coordinator: 1 + 2 + 4 per request.
+        assert_eq!(s.joins_ok, r.sent * 7);
+        for tier in 1..=3u8 {
+            let per_req: u64 = match tier {
+                1 => 2,
+                2 => 4,
+                _ => 4,
+            };
+            let n = r.records.iter().filter(|rec| rec.tier == tier).count() as u64;
+            assert_eq!(n, r.sent * per_req, "tier {tier} rows");
+        }
+        // Deep-tier rows carry their coordinator, not the frontend.
+        assert!(r
+            .records
+            .iter()
+            .filter(|rec| rec.tier >= 2)
+            .all(|rec| rec.client as usize >= cfg.clients()));
+        assert_eq!(crate::cluster::run(&cfg).csv(), r.csv());
+    }
+
+    #[test]
+    fn closed_loop_sessions_pace_requests_by_think_time() {
+        let cfg = cfg_with(
+            StackKind::HafniumKitten,
+            23,
+            6,
+            "clients=4:think:300us,svc=det",
+        );
+        let r = crate::cluster::run(&cfg);
+        assert!(r.sent > 20, "sent = {}", r.sent);
+        assert_eq!(r.completed, r.sent, "clean fabric closes every session turn");
+        // Closed loop bounds outstanding work: per client, never more
+        // requests than sessions * (duration / think) and always some.
+        let per_client_cap =
+            cfg.svcload.duration.as_nanos() / Nanos::from_micros(300).as_nanos() * 4 + 4;
+        for c in 0..cfg.clients() as u16 {
+            let n = r
+                .records
+                .iter()
+                .filter(|rec| rec.tier == 0 && rec.client == c)
+                .count() as u64;
+            assert!(n > 0, "client {c} sent nothing");
+            assert!(n <= per_client_cap, "client {c}: {n} > {per_client_cap}");
+        }
+        // Think-time draws ride their own stream: byte reproducible.
+        assert_eq!(crate::cluster::run(&cfg).csv(), r.csv());
+    }
+
+    #[test]
+    fn per_leg_retry_modes_override_the_config_default() {
+        // Static retries everywhere by config, but tier 1 opts out:
+        // its legs must never retransmit (attempts stay 1) while the
+        // client leg keeps its policy.
+        let mut cfg = cfg_with(
+            StackKind::HafniumKitten,
+            29,
+            8,
+            "arrive=exp:1ms,svc=det,backend=det,fanout=2:all,retry=t1:off",
+        );
+        cfg.retry = Some(RetryPolicy::default());
+        cfg.faults = Some((kh_sim::FabricFaultSpec::parse("drop:0.08").unwrap(), 2));
+        let r = crate::cluster::run(&cfg);
+        assert!(r.reliability.retransmits > 0, "tier 0 must retry drops");
+        assert!(r
+            .records
+            .iter()
+            .filter(|rec| rec.tier == 1)
+            .all(|rec| rec.attempts <= 1));
+        // Flip the override to adaptive: tier-1 legs now hedge/retry.
+        let mut adaptive = cfg.clone();
+        adaptive.scenario = Some(
+            Scenario::parse("arrive=exp:1ms,svc=det,backend=det,fanout=2:all,retry=t1:adaptive")
+                .unwrap(),
+        );
+        let ra = crate::cluster::run(&adaptive);
+        assert!(
+            ra.records
+                .iter()
+                .filter(|rec| rec.tier == 1)
+                .any(|rec| rec.attempts > 1),
+            "adaptive tier-1 legs must retransmit under drops"
+        );
+    }
+
+    #[test]
+    fn static_retries_recover_dropped_legs() {
+        let spec = "arrive=exp:1500us,svc=det,backend=det,fanout=2:all";
+        let mut off = cfg_with(StackKind::HafniumKitten, 31, 8, spec);
+        off.faults = Some((kh_sim::FabricFaultSpec::parse("drop:0.05").unwrap(), 3));
+        let mut armed = off.clone();
+        armed.retry = Some(RetryPolicy::default());
+        let r_off = crate::cluster::run(&off);
+        let r_armed = crate::cluster::run(&armed);
+        assert!(r_off.goodput() < 1.0, "drops must hurt fire-and-forget");
+        assert!(r_armed.reliability.retransmits > 0);
+        assert!(
+            r_armed.goodput() > r_off.goodput(),
+            "retries {:.4} must beat fire-and-forget {:.4}",
+            r_armed.goodput(),
+            r_off.goodput()
+        );
+        // Retry draws ride their own streams: the fault pattern and
+        // noise histograms are unperturbed by arming the policy.
+        for (a, b) in r_off.per_node.iter().zip(r_armed.per_node.iter()) {
+            assert_eq!(a.noise_hist, b.noise_hist, "node{} noise", a.index);
+        }
+    }
+
+    #[test]
+    fn crashsvc_mid_scenario_recovers_and_isolates() {
+        // Depth-2 scenario with a crash on server 5 mid-run: the
+        // victim recovers on the cluster clock, crash drops are
+        // charged, and every node's noise histogram is bit-identical
+        // to the fault-free run.
+        let spec = "arrive=exp:1ms,svc=det,backend=det,fanout=2:quorum:1,tier=2:1:all";
+        let mut cfg = cfg_with(StackKind::HafniumKitten, 43, 8, spec);
+        cfg.retry = Some(RetryPolicy::default());
+        let clean = crate::cluster::run(&cfg);
+        let mut crashed = cfg.clone();
+        crashed.faults = Some((kh_sim::FabricFaultSpec::parse("crashsvc@4ms:5").unwrap(), 4));
+        let r = crate::cluster::run(&crashed);
+        assert_eq!(r.recoveries.len(), 1);
+        let rec = &r.recoveries[0];
+        assert_eq!(rec.node, 5);
+        assert_eq!(rec.crashed_at, Nanos::from_millis(4));
+        assert!(rec.recovered_at > rec.detected_at);
+        assert!(r.reliability.crash_drops > 0, "frames must hit the dead VM");
+        assert!(r.per_node[5].stats.restarts >= 1);
+        assert!(clean.recoveries.is_empty());
+        for (a, b) in clean.per_node.iter().zip(r.per_node.iter()) {
+            assert_eq!(
+                a.noise_hist, b.noise_hist,
+                "node{} noise must survive crashsvc",
+                a.index
+            );
+        }
+        // Quorum-1 absorbs the dead backend: goodput stays high.
+        assert!(r.completed > 0);
+        assert_eq!(crate::cluster::run(&crashed).csv(), r.csv());
+    }
+
+    #[test]
+    fn adaptive_scenarios_hedge_and_dedupe() {
+        // Drops make hedges matter: when the first copy (or its reply)
+        // dies in the fabric, the hedged retransmit wins the race.
+        let spec = "arrive=exp:900us,svc=exp,backend=lognormal:1.2,fanout=2:all";
+        let mut cfg = cfg_with(StackKind::HafniumKitten, 47, 8, spec);
+        cfg.adaptive = Some(AdaptivePolicy::default());
+        cfg.faults = Some((kh_sim::FabricFaultSpec::parse("drop:0.06").unwrap(), 5));
+        let r = crate::cluster::run(&cfg);
+        assert!(
+            r.reliability.hedges > 0,
+            "heavy backend tails must trigger hedges"
+        );
+        assert!(
+            r.records
+                .iter()
+                .any(|rec| matches!(rec.outcome, RequestOutcome::OkHedged { .. })),
+            "some hedge must win its race"
+        );
+        assert!(
+            r.reliability.dups_absorbed > 0,
+            "surviving duplicates must dedupe at the server"
+        );
+        assert_eq!(crate::cluster::run(&cfg).csv(), r.csv());
     }
 }

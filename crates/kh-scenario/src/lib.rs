@@ -7,12 +7,16 @@
 //! or quorum — the "tail at scale" amplification setting. This crate is
 //! the scenario vocabulary for all of that, as data:
 //!
-//! * [`Scenario`] — the parsed spec: arrival shape, per-tier service
-//!   distributions, fan-out graph + join policy, an optional HPC
-//!   colocation plan, and an optional switch queue-depth override.
-//! * A one-line DSL (`arrive=pareto:500us:1.5,fanout=4:quorum:3,...`)
-//!   with a strict parse → [`Display`](core::fmt::Display) → parse
-//!   round-trip, or the same clauses one-per-line in a `.khs` file.
+//! * [`Scenario`] — the parsed spec: arrival shape or closed-loop
+//!   client sessions with think time, per-tier service distributions,
+//!   an arbitrary-depth fan-out tree (`fanout=` plus `tier=` chains)
+//!   with per-tier join policies, per-leg retry-mode overrides, an
+//!   optional HPC colocation plan, and an optional switch queue-depth
+//!   override.
+//! * A one-line DSL (`arrive=pareto:500us:1.5,fanout=4:quorum:3,
+//!   tier=2:2:all,retry=t1:adaptive,...`) with a strict parse →
+//!   [`Display`](core::fmt::Display) → parse round-trip, or the same
+//!   clauses one-per-line in a `.khs` file.
 //! * [`sample`] — the deterministic samplers: [`sample::ArrivalProcess`]
 //!   turns a shape into a strictly-increasing arrival sequence and
 //!   [`ServiceDist::sample`] draws per-request service multipliers, both
@@ -28,5 +32,6 @@ pub mod spec;
 
 pub use sample::{leg_seed, ArrivalProcess};
 pub use spec::{
-    ArrivalShape, Colocation, HpcKind, JoinPolicy, Scenario, ScenarioError, ServiceDist,
+    ArrivalShape, ClosedLoop, Colocation, HpcKind, JoinPolicy, RetryMode, Scenario, ScenarioError,
+    ServiceDist, TierSpec, MAX_LEGS,
 };

@@ -98,7 +98,13 @@ OPTIONS:
                 quarantined (pair with --faults tamper@NODE)
   --scenario    cluster: a traffic scenario — inline one-liner or a .khs
                 file path, e.g. arrive=exp:500us,svc=exp,fanout=3:quorum:2
-                or arrive=mmpp:300us:5ms:5ms,colocate=hpcg:6+7
+                or arrive=mmpp:300us:5ms:5ms,colocate=hpcg:6+7. Deeper
+                tiers chain with tier=2:2:all,tier=3:1:quorum:1; closed-
+                loop sessions replace arrive= with clients=4:think:300us;
+                retry=client|tN:off|static|adaptive overrides the
+                --retries/--adaptive default per leg. Scenario legs run
+                the full reliability pipeline, and --faults crashsvc@T:N
+                (plus drop/partition) composes with scenario runs
   --queue-depth cluster: switch egress queue depth, frames per port
                 (default {}; a scenario's queues= clause overrides)
   --out         cluster/trace: write the per-request CSV here

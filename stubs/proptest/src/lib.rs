@@ -136,7 +136,7 @@ pub mod strategy {
             }
         )*};
     }
-    tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+    tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, F));
 }
 
 pub mod arbitrary {

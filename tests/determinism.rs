@@ -481,4 +481,83 @@ mod cluster_determinism {
             assert_eq!(serial, fingerprint(jobs), "jobs={jobs}");
         }
     }
+
+    /// A reliability-armed scenario — depth-3 tier chain, closed-loop
+    /// clients, per-leg retry overrides, the adaptive layer, and a
+    /// mid-run service-VM crash — replays byte-identically per seed,
+    /// and the scenario-reliability figure grid is worker-count
+    /// independent. Retry jitter rides "khsrty" per-leg streams and
+    /// breaker reopen jitter rides "khsbrk" per-destination streams,
+    /// so arming the whole pipeline never perturbs arrival, service,
+    /// think-time, or fault draws.
+    #[test]
+    fn reliability_armed_scenarios_replay_byte_identically() {
+        use kitten_hafnium::cluster::figures;
+        use kitten_hafnium::scenario::Scenario;
+        use kitten_hafnium::workloads::adaptive::AdaptivePolicy;
+        use kitten_hafnium::workloads::svcload::RetryPolicy;
+
+        let scn = Scenario::parse(
+            "clients=4:think:400us,svc=det,backend=det,\
+             fanout=2:quorum:1,tier=2:1:all,retry=t2:static,retry=t1:adaptive",
+        )
+        .unwrap();
+        let artifacts = |seed: u64| {
+            let mut cfg = ClusterConfig::new(8, StackKind::HafniumKitten, seed);
+            cfg.svcload = SvcLoadConfig::quick();
+            cfg.scenario = Some(scn.clone());
+            cfg.adaptive = Some(AdaptivePolicy::default());
+            cfg.faults = Some((
+                FabricFaultSpec::parse("drop:0.04,crashsvc@20ms:5").unwrap(),
+                seed ^ 0xFA,
+            ));
+            let r = cluster::run(&cfg);
+            assert_eq!(r.recoveries.len(), 1, "the crash must fire and recover");
+            assert!(r.reliability.retransmits > 0, "drops must trigger retries");
+            let s = r.scenario.as_ref().unwrap();
+            assert_eq!(s.depth, 2);
+            assert!(s.legs_sent > 0);
+            (r.render(), r.csv())
+        };
+        assert_eq!(artifacts(41), artifacts(41), "same seed, same bytes");
+        assert_ne!(artifacts(41).1, artifacts(42).1);
+
+        // The pooled stack x fault x depth x policy grid behind
+        // `khbench scenario-reliability` fingerprints identically for
+        // any worker count.
+        let faults = vec![
+            ("no-faults".to_string(), None),
+            ("crashsvc".to_string(), Some("crashsvc@20ms:5".to_string())),
+        ];
+        let fingerprint = |jobs: usize| {
+            pool::set_jobs(jobs);
+            let rows = figures::scenario_reliability(
+                8,
+                43,
+                SvcLoadConfig::quick(),
+                &faults,
+                &[1, 2],
+                2500,
+                RetryPolicy::default(),
+                AdaptivePolicy::default(),
+            );
+            pool::set_jobs(1);
+            rows.iter()
+                .map(|row| {
+                    format!(
+                        "{},{},{},{:?}\n{}",
+                        row.stack.label(),
+                        row.fault,
+                        row.depth,
+                        row.policy,
+                        row.report.csv()
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = fingerprint(1);
+        for jobs in [2, 4] {
+            assert_eq!(serial, fingerprint(jobs), "jobs={jobs}");
+        }
+    }
 }

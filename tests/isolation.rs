@@ -528,6 +528,108 @@ fn a_crashed_service_vm_recovers_without_perturbing_healthy_nodes() {
     }
 }
 
+/// Crash-recovery isolation at depth: a `crashsvc` fired in the middle
+/// of a depth-3 scenario run must stay confined to the chains that
+/// route through the victim. With 8 clients on 8 servers and a
+/// degree-1 chain per request (frontend -> +1 -> +2 -> +3 mod 8),
+/// client `c`'s chain covers server locals {c..c+3}; killing server
+/// local 4 taints exactly clients 1-4. Every record owned by clients
+/// 0, 5, 6, 7 — tier-0 rows and all three backend-leg rows — must be
+/// bit-identical to the fault-free run, and every one of the 16 noise
+/// histograms (victim included) must be unchanged: the crash window
+/// steals virtual time from the victim's existing host-tick schedule
+/// instead of inventing traffic, and scenario draws ride per-leg seed
+/// streams that never touch the noise cursors.
+#[test]
+fn a_mid_scenario_crash_stays_confined_to_chains_through_the_victim() {
+    use kitten_hafnium::cluster::{self, ClusterConfig};
+    use kitten_hafnium::core::config::StackKind;
+    use kitten_hafnium::scenario::Scenario;
+    use kitten_hafnium::sim::fault::FabricFaultSpec;
+    use kitten_hafnium::workloads::svcload::SvcLoadConfig;
+
+    // 16 nodes: clients 0-7, servers 8-15. Deterministic service at
+    // every tier and light arrivals (~0.1 per-server utilization) keep
+    // server queues empty, so the victim chains' missing frames cannot
+    // time-shift healthy chains through a shared serve queue or NIC.
+    // A stretched detect latency widens the crash window enough that
+    // a tainted chain provably dies inside it at this arrival rate.
+    let scn = Scenario::parse(
+        "arrive=exp:20ms,svc=det,backend=det,fanout=1:all,tier=2:1:all,tier=3:1:all",
+    )
+    .unwrap();
+    let cfg_base = {
+        let mut c = ClusterConfig::new(16, StackKind::HafniumKitten, 25);
+        c.svcload = SvcLoadConfig::quick();
+        c.scenario = Some(scn);
+        c.detect_latency = Nanos::from_millis(4);
+        c
+    };
+    let clean = cluster::run(&cfg_base);
+    let faulted = {
+        let mut c = cfg_base.clone();
+        c.faults = Some((FabricFaultSpec::parse("crashsvc@10ms:12").unwrap(), 7));
+        cluster::run(&c)
+    };
+    assert_eq!(faulted.scenario.as_ref().unwrap().depth, 3);
+
+    // The crash fired on node 12 (server local 4), recovered inside
+    // the detect+restart budget, and really cost traffic: requests in
+    // the window died (fire-and-forget — no retry clause armed).
+    assert_eq!(faulted.recoveries.len(), 1);
+    let rec = &faulted.recoveries[0];
+    assert_eq!(rec.node, 12);
+    assert_eq!(rec.detected_at, rec.crashed_at + cfg_base.detect_latency);
+    assert!(
+        rec.downtime() <= cfg_base.detect_latency + cfg_base.restart_cost + Nanos::from_millis(1),
+        "recovery took {:?}",
+        rec.downtime()
+    );
+    assert!(faulted.reliability.crash_drops > 0);
+    assert!(faulted.completed < clean.completed);
+    let victim = &faulted.per_node[12];
+    assert_eq!(victim.stats.restarts, 1);
+    assert!(victim.stats.served > 0, "restarted VM must serve again");
+
+    // Chains owned by clients 0, 5, 6, 7 never route through server
+    // local 4. Every one of their rows — the client-facing request and
+    // each backend leg, across all three tiers — matches the clean run
+    // to the nanosecond.
+    let healthy = [0u16, 5, 6, 7];
+    let chains = |r: &cluster::ClusterReport| {
+        let owner: std::collections::HashMap<u64, u16> = r
+            .records
+            .iter()
+            .filter(|rec| rec.tier == 0)
+            .map(|rec| (rec.id, rec.client))
+            .collect();
+        r.records
+            .iter()
+            .filter(|rec| healthy.contains(&owner[&rec.id]))
+            .map(|rec| format!("{rec:?}"))
+            .collect::<Vec<_>>()
+    };
+    let clean_chains = chains(&clean);
+    assert_eq!(clean_chains, chains(&faulted));
+    // Sanity: the healthy slice really exercises every tier.
+    for t in 0..=3u8 {
+        assert!(
+            clean_chains.iter().any(|s| s.contains(&format!("tier: {t}"))),
+            "no healthy-chain rows at tier {t}"
+        );
+    }
+
+    // Noise profiles — victim included — are bit-identical across all
+    // 16 nodes.
+    for (c, f) in clean.per_node.iter().zip(&faulted.per_node) {
+        assert_eq!(
+            c.noise_hist, f.noise_hist,
+            "node{} noise profile must not see the mid-scenario crash",
+            c.index
+        );
+    }
+}
+
 /// Colocation isolation: an HPC noisy neighbor armed on one node must
 /// be invisible everywhere else. Three layers of the claim:
 /// (1) arming a *scenario at all* leaves every node's noise histogram
